@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Ablation: value-misprediction penalty. The paper's abstract machine
+ * charges 1 cycle; real pipelines can pay much more. This sweep shows
+ * how the VP+FSM vs VP+profile comparison shifts as the penalty grows
+ * — the profile classifier's misprediction avoidance buys more at
+ * higher penalties.
+ */
+
+#include "bench_util.hh"
+
+using namespace vpprof;
+using namespace vpprof::bench;
+
+int
+main()
+{
+    banner("Ablation - misprediction penalty sweep (ILP increase over "
+           "no-VP)",
+           "sensitivity of Table 5.2 to the 1-cycle penalty assumption");
+
+    const std::vector<unsigned> penalties = {0, 1, 2, 4, 8};
+
+    std::printf("%-10s %8s", "benchmark", "policy");
+    for (unsigned p : penalties)
+        std::printf("   pen=%u", p);
+    std::printf("\n");
+
+    for (const char *name : {"go", "gcc", "li", "vortex"}) {
+        const Workload *w = suite().find(name);
+        MemoryImage input = w->input(0);
+        Program annotated = annotatedAt(name, 90.0);
+
+        for (int policy = 0; policy < 2; ++policy) {
+            std::printf("%-10s %8s", name,
+                        policy == 0 ? "FSM" : "prof@90");
+            for (unsigned penalty : penalties) {
+                IlpConfig cfg;
+                cfg.mispredictPenalty = penalty;
+                IlpResult base = evaluateIlp(w->program(), input, cfg,
+                                             VpPolicy::None,
+                                             infiniteConfig());
+                IlpResult vp = policy == 0
+                    ? evaluateIlp(w->program(), input, cfg,
+                                  VpPolicy::Fsm, paperFiniteConfig(true))
+                    : evaluateIlp(annotated, input, cfg,
+                                  VpPolicy::Profile,
+                                  paperFiniteConfig(false));
+                std::printf(" %+6.1f%%",
+                            100.0 * (vp.ilp() / base.ilp() - 1.0));
+            }
+            std::printf("\n");
+        }
+    }
+
+    std::printf("\nexpected: both schemes lose gain as the penalty "
+                "rises, but the\nprofile-guided scheme (threshold 90%%) "
+                "degrades more slowly because it\nconsumes far fewer "
+                "wrong predictions.\n");
+    return 0;
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Ablation: predictor families. Compares last-value, stride, order-2
+ * FCM (context) and the directive-steered hybrid on every workload —
+ * situating the paper's two predictors in the broader design space
+ * its successors explored.
+ */
+
+#include "bench_util.hh"
+
+#include "predictors/context_predictor.hh"
+#include "predictors/hybrid_predictor.hh"
+#include "predictors/last_value_predictor.hh"
+#include "predictors/stride_predictor.hh"
+
+using namespace vpprof;
+using namespace vpprof::bench;
+
+namespace
+{
+
+/** Dynamic accuracy of one predictor over every value producer. */
+double
+scorePredictor(const Workload &w, ValuePredictor &predictor,
+               bool steer_by_directive, const Program *annotated)
+{
+    uint64_t attempts = 0, correct = 0;
+    CallbackTraceSink sink([&](const TraceRecord &rec) {
+        if (!rec.writesReg)
+            return;
+        Directive hint = steer_by_directive ? rec.directive
+                                            : Directive::None;
+        Prediction pred = predictor.predict(rec.pc, hint);
+        bool ok = pred.hit && pred.value == rec.value;
+        if (pred.hit) {
+            ++attempts;
+            correct += ok ? 1 : 0;
+        }
+        bool allocate = steer_by_directive
+            ? rec.directive != Directive::None : true;
+        predictor.update(rec.pc, rec.value, ok, hint, allocate);
+    });
+    const Program &program = annotated ? *annotated : w.program();
+    Machine machine(program, w.input(0));
+    machine.run(&sink, w.maxInstructions());
+    return attempts == 0
+        ? 0.0 : 100.0 * static_cast<double>(correct)
+                    / static_cast<double>(attempts);
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Ablation - predictor families (infinite tables, "
+           "accuracy on attempted predictions)",
+           "design-space context for the paper's last-value/stride "
+           "choice");
+
+    std::printf("%-10s %10s %8s %8s %8s\n", "benchmark", "last-value",
+                "stride", "fcm-o2", "hybrid");
+
+    double sums[4] = {};
+    for (const auto &w : suite().all()) {
+        std::string name(w->name());
+
+        PredictorConfig inf;
+        inf.numEntries = 0;
+        inf.counterBits = 0;
+        LastValuePredictor lvp(inf);
+        StridePredictor sp(inf);
+        ContextConfig ctx;
+        ctx.level1 = inf;
+        ContextPredictor fcm(ctx);
+
+        HybridConfig hybrid_cfg;
+        hybrid_cfg.stride.numEntries = 0;
+        hybrid_cfg.stride.counterBits = 0;
+        hybrid_cfg.lastValue.numEntries = 0;
+        hybrid_cfg.lastValue.counterBits = 0;
+        HybridPredictor hybrid(hybrid_cfg);
+        Program annotated = annotatedAt(name, 70.0);
+
+        double scores[4] = {
+            scorePredictor(*w, lvp, false, nullptr),
+            scorePredictor(*w, sp, false, nullptr),
+            scorePredictor(*w, fcm, false, nullptr),
+            scorePredictor(*w, hybrid, true, &annotated),
+        };
+        std::printf("%-10s %9.1f%% %7.1f%% %7.1f%% %7.1f%%\n",
+                    name.c_str(), scores[0], scores[1], scores[2],
+                    scores[3]);
+        for (int i = 0; i < 4; ++i)
+            sums[i] += scores[i];
+    }
+    size_t n = suite().all().size();
+    std::printf("%-10s %9.1f%% %7.1f%% %7.1f%% %7.1f%%\n", "average",
+                sums[0] / static_cast<double>(n),
+                sums[1] / static_cast<double>(n),
+                sums[2] / static_cast<double>(n),
+                sums[3] / static_cast<double>(n));
+
+    std::printf(
+        "\nexpected: stride beats last-value almost everywhere "
+        "(a wrong stride can\nbreak a repeating pattern, so the "
+        "dominance is not strict);\nthe order-2 FCM wins on period-k "
+        "sequences "
+        "(interpreter decode\nstreams) but needs its context to "
+        "repeat; the hybrid's accuracy on\ntagged instructions is the "
+        "highest of all because profiling already\nfiltered its "
+        "stream.\n");
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Ablation: the stride-directive heuristic. Section 3.2 proposes
+ * "stride efficiency ratio > 50% => stride directive". This sweep
+ * varies that cut and measures hybrid-predictor accuracy, validating
+ * the paper's 50% heuristic.
+ */
+
+#include "bench_util.hh"
+
+#include "predictors/hybrid_predictor.hh"
+
+using namespace vpprof;
+using namespace vpprof::bench;
+
+namespace
+{
+
+struct Score
+{
+    uint64_t attempts = 0;
+    uint64_t correct = 0;
+};
+
+Score
+scoreHybrid(const Program &program, const MemoryImage &input)
+{
+    HybridConfig cfg;
+    cfg.stride.numEntries = 128;
+    cfg.stride.counterBits = 0;
+    cfg.lastValue.numEntries = 512;
+    cfg.lastValue.counterBits = 0;
+    HybridPredictor predictor(cfg);
+
+    Score s;
+    CallbackTraceSink sink([&](const TraceRecord &rec) {
+        if (!rec.writesReg)
+            return;
+        bool tagged = rec.directive != Directive::None;
+        Prediction pred = predictor.predict(rec.pc, rec.directive);
+        bool correct = pred.hit && pred.value == rec.value;
+        if (tagged && pred.hit) {
+            ++s.attempts;
+            s.correct += correct ? 1 : 0;
+        }
+        predictor.update(rec.pc, rec.value, correct, rec.directive,
+                         tagged);
+    });
+    Machine machine(program, input);
+    machine.run(&sink);
+    return s;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Ablation - stride-directive threshold for the hybrid "
+           "predictor",
+           "Section 3.2's 'stride efficiency > 50%' steering heuristic");
+
+    const std::vector<double> cuts = {10, 30, 50, 70, 90};
+
+    std::printf("%-10s", "benchmark");
+    for (double c : cuts)
+        std::printf("   cut=%2.0f%%", c);
+    std::printf("   (hybrid accuracy on tagged instructions)\n");
+
+    std::vector<double> sums(cuts.size(), 0.0);
+    for (const auto &w : suite().all()) {
+        std::string name(w->name());
+        MemoryImage input = w->input(0);
+        ProfileImage training = trainingProfile(name);
+
+        std::printf("%-10s", name.c_str());
+        for (size_t c = 0; c < cuts.size(); ++c) {
+            Program program = w->program();
+            InserterConfig cfg;
+            cfg.accuracyThresholdPercent = 70.0;
+            cfg.strideThresholdPercent = cuts[c];
+            insertDirectives(program, training, cfg);
+            Score s = scoreHybrid(program, input);
+            double pct = s.attempts == 0
+                ? 0.0 : 100.0 * static_cast<double>(s.correct) /
+                            static_cast<double>(s.attempts);
+            sums[c] += pct;
+            std::printf("    %6.1f", pct);
+        }
+        std::printf("\n");
+    }
+    std::printf("%-10s", "average");
+    size_t n = suite().all().size();
+    for (size_t c = 0; c < cuts.size(); ++c)
+        std::printf("    %6.1f", sums[c] / static_cast<double>(n));
+    std::printf("\n");
+
+    std::printf("\nexpected: accuracy is flat-topped around the middle "
+                "cuts - the\ndistribution of stride efficiency is "
+                "bimodal (Figure 2.3), so any cut\nbetween the modes "
+                "steers instructions the same way; the paper's 50%% "
+                "is\na robust choice rather than a tuned one.\n");
+    return 0;
+}

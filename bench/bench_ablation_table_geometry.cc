@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Ablation: prediction-table geometry. The Figures 5.3/5.4 result
+ * depends on capacity pressure; this sweep varies the stride table
+ * from 128 to 4096 entries and shows where profile-guided allocation
+ * stops mattering (once the whole working set fits).
+ */
+
+#include "bench_util.hh"
+
+using namespace vpprof;
+using namespace vpprof::bench;
+
+int
+main()
+{
+    banner("Ablation - prediction table geometry (profile@90 vs FSM)",
+           "capacity-sensitivity of Figures 5.3/5.4");
+
+    const std::vector<size_t> sizes = {128, 512, 2048, 4096};
+
+    std::printf("%-10s", "benchmark");
+    for (size_t s : sizes)
+        std::printf("     %6zu", s);
+    std::printf("   (d correct %% at each size)\n");
+
+    for (const auto &w : suite().all()) {
+        std::string name(w->name());
+        MemoryImage input = w->input(0);
+        Program annotated = annotatedAt(name, 90.0);
+
+        std::printf("%-10s", name.c_str());
+        for (size_t entries : sizes) {
+            PredictorConfig fsm_cfg = paperFiniteConfig(true);
+            fsm_cfg.numEntries = entries;
+            PredictorConfig prof_cfg = paperFiniteConfig(false);
+            prof_cfg.numEntries = entries;
+
+            FiniteTableStats fsm = evaluateFiniteTable(
+                w->program(), input, VpPolicy::Fsm, fsm_cfg);
+            FiniteTableStats prof = evaluateFiniteTable(
+                annotated, input, VpPolicy::Profile, prof_cfg);
+            double d = fsm.correctTaken == 0
+                ? 0.0
+                : 100.0 * (static_cast<double>(prof.correctTaken) /
+                               static_cast<double>(fsm.correctTaken) -
+                           1.0);
+            std::printf("    %+6.1f%%", d);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nexpected: the profile-guided advantage in correct "
+                "predictions is\nlargest for small tables (allocation "
+                "filtering buys capacity) and decays\nas the table "
+                "grows; with 4096 entries nearly every working set "
+                "fits and\nthe FSM's broader coverage wins back "
+                "ground.\n");
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Extension experiment: basic-block scheduling freedom from profiling
+ * — Section 6's "effect of the profiling information on the
+ * scheduling of instructions within a basic block".
+ *
+ * For every workload: the number of basic blocks, the aggregate
+ * minimum schedule length (sum of per-block dependence-chain lengths)
+ * before annotation, and the same with directive-tagged producers'
+ * out-edges collapsed — the slack a VP-aware scheduler gains.
+ */
+
+#include "bench_util.hh"
+
+#include "compiler/cfg.hh"
+
+using namespace vpprof;
+using namespace vpprof::bench;
+
+int
+main()
+{
+    banner("Extension - basic-block schedule lengths, plain vs "
+           "VP-aware",
+           "Section 6 future work: scheduling within a basic block");
+
+    std::printf("%-10s %8s %10s %12s %10s\n", "benchmark", "blocks",
+                "plain", "collapsed", "slack");
+
+    for (const auto &w : suite().all()) {
+        std::string name(w->name());
+        Program annotated = annotatedAt(name, 70.0);
+
+        uint64_t plain = 0, collapsed = 0;
+        size_t blocks = 0;
+        for (const BlockSchedule &s : analyzeSchedules(annotated)) {
+            plain += s.chainLength;
+            collapsed += s.collapsedChainLength;
+            ++blocks;
+        }
+        std::printf("%-10s %8zu %10llu %12llu %9.1f%%\n", name.c_str(),
+                    blocks, static_cast<unsigned long long>(plain),
+                    static_cast<unsigned long long>(collapsed),
+                    100.0 * (1.0 - static_cast<double>(collapsed) /
+                                       static_cast<double>(plain)));
+    }
+
+    std::printf(
+        "\nexpected: every benchmark gains schedule slack from its "
+        "tagged\ninstructions; the highly predictable ones (m88ksim, "
+        "li, mgrid) gain the\nmost, the hash-bound compress the "
+        "least — mirroring Table 5.2's ILP\nordering at the "
+        "basic-block granularity.\n");
+    return 0;
+}

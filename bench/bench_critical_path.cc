@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Extension experiment: dataflow critical paths with and without a
+ * value-prediction oracle — the quantitative backbone of the paper's
+ * introduction ("the limits of true-data dependencies can be
+ * exceeded") and of its Section 6 critical-path future work.
+ *
+ * For every workload: the plain dataflow-limit ILP, the ILP with
+ * correctly-predicted edges collapsed, and the hottest static
+ * instructions on the plain critical path (the ones a profile-guided
+ * compiler should target).
+ */
+
+#include "bench_util.hh"
+
+#include "ilp/critical_path.hh"
+
+using namespace vpprof;
+using namespace vpprof::bench;
+
+int
+main()
+{
+    banner("Extension - dataflow critical path, plain vs VP oracle",
+           "quantifies 'exceeding the dataflow limit' per benchmark");
+
+    std::printf("%-10s %12s %10s %12s %10s %9s\n", "benchmark",
+                "path", "df-ILP", "path w/ VP", "df-ILP", "shorter");
+
+    for (const auto &w : suite().all()) {
+        CriticalPathAnalyzer plain;
+        runProgram(w->program(), w->input(0), &plain,
+                   w->maxInstructions());
+        CriticalPathResult base = plain.finish();
+
+        CriticalPathConfig cfg;
+        cfg.collapseCorrectPredictions = true;
+        CriticalPathAnalyzer oracle(cfg);
+        runProgram(w->program(), w->input(0), &oracle,
+                   w->maxInstructions());
+        CriticalPathResult vp = oracle.finish();
+
+        std::printf("%-10s %12llu %10.2f %12llu %10.2f %8.1fx\n",
+                    std::string(w->name()).c_str(),
+                    static_cast<unsigned long long>(base.pathLength),
+                    base.dataflowIlp(),
+                    static_cast<unsigned long long>(vp.pathLength),
+                    vp.dataflowIlp(),
+                    static_cast<double>(base.pathLength) /
+                        static_cast<double>(vp.pathLength));
+    }
+
+    std::printf("\nhottest critical-path instructions (go, plain):\n");
+    {
+        const Workload *go = suite().find("go");
+        CriticalPathAnalyzer plain;
+        runProgram(go->program(), go->input(0), &plain,
+                   go->maxInstructions());
+        CriticalPathResult base = plain.finish();
+        for (size_t i = 0; i < base.members.size() && i < 6; ++i) {
+            std::printf("  pc %-6llu x%llu\n",
+                        static_cast<unsigned long long>(
+                            base.members[i].pc),
+                        static_cast<unsigned long long>(
+                            base.members[i].occurrences));
+        }
+    }
+
+    std::printf(
+        "\nexpected: collapsing correctly-predicted edges shortens "
+        "every critical\npath — dramatically for the predictable "
+        "benchmarks (m88ksim, li, mgrid),\nmodestly for compress. "
+        "This is the mechanism behind every ILP gain in\nTable 5.2.\n");
+    return 0;
+}

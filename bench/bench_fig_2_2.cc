@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 2.2 — the spread of instructions according to their value
+ * prediction accuracy: per benchmark, the decile histogram of
+ * per-instruction stride-predictor accuracy.
+ *
+ * Paper's observation: ~30% of instructions exceed 90% accuracy and
+ * ~40% fall below 10% — a strongly bimodal distribution.
+ */
+
+#include "bench_util.hh"
+
+#include "common/text_table.hh"
+
+using namespace vpprof;
+using namespace vpprof::bench;
+
+int
+main()
+{
+    banner("Figure 2.2 - distribution of per-instruction prediction "
+           "accuracy",
+           "Gabbay & Mendelson, MICRO-30 1997, Figure 2.2");
+
+    Histogram overall = makeDecileHistogram();
+    for (const auto &w : suite().all()) {
+        const ProfileImage &img =
+            cachedProfile(std::string(w->name()), 0);
+        Histogram h = makeDecileHistogram();
+        for (const auto &[pc, p] : img.entries()) {
+            if (p.attempts == 0)
+                continue;
+            h.addSample(p.accuracyPercent());
+            overall.addSample(p.accuracyPercent());
+        }
+        std::printf("%s",
+                    renderHistogram(h, std::string(w->name()) +
+                                           ": accuracy deciles")
+                        .c_str());
+        std::printf("\n");
+    }
+
+    std::printf("%s\n",
+                renderHistogram(overall, "suite overall").c_str());
+    std::printf("bimodality check: >90%% bucket holds %s, <=10%% bucket "
+                "holds %s of instructions\n",
+                formatPercent(overall.fraction(9)).c_str(),
+                formatPercent(overall.fraction(0)).c_str());
+    std::printf("\npaper: ~30%% of instructions above 90%% accuracy, "
+                "~40%% below 10%%.\nexpected shape: mass concentrated "
+                "in the two extreme deciles.\n");
+    return 0;
+}

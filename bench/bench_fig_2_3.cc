@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 2.3 — the spread of instructions according to their stride
+ * efficiency ratio (the share of an instruction's correct predictions
+ * that used a non-zero stride).
+ *
+ * Paper's observation: the distribution is strongly bimodal — a small
+ * set of truly stride-patterned instructions and a large set that
+ * simply reuses its last value.
+ */
+
+#include "bench_util.hh"
+
+#include "common/text_table.hh"
+
+using namespace vpprof;
+using namespace vpprof::bench;
+
+int
+main()
+{
+    banner("Figure 2.3 - distribution of per-instruction stride "
+           "efficiency ratio",
+           "Gabbay & Mendelson, MICRO-30 1997, Figure 2.3");
+
+    Histogram overall = makeDecileHistogram();
+    for (const auto &w : suite().all()) {
+        const ProfileImage &img =
+            cachedProfile(std::string(w->name()), 0);
+        Histogram h = makeDecileHistogram();
+        for (const auto &[pc, p] : img.entries()) {
+            // Only instructions with correct predictions have a
+            // defined stride efficiency ratio.
+            if (p.correct == 0)
+                continue;
+            h.addSample(p.strideEfficiencyPercent());
+            overall.addSample(p.strideEfficiencyPercent());
+        }
+        std::printf("%s",
+                    renderHistogram(h, std::string(w->name()) +
+                                           ": stride efficiency "
+                                           "deciles")
+                        .c_str());
+        std::printf("\n");
+    }
+
+    std::printf("%s\n",
+                renderHistogram(overall, "suite overall").c_str());
+    std::printf("bimodality check: extreme deciles hold %s of "
+                "instructions\n",
+                formatPercent(overall.fraction(0) + overall.fraction(9))
+                    .c_str());
+    std::printf("\npaper: most instructions sit at the extremes - a "
+                "small stride-patterned\nsubset near 100%% and a large "
+                "last-value subset near 0%%.\n");
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 4.3 — the spread of the coordinates of M(S)average: the
+ * average-distance metric applied to *stride efficiency ratio*
+ * vectors, showing that which instructions stride is also
+ * input-independent (so the compiler can steer the hybrid predictor).
+ */
+
+#include "bench_util.hh"
+
+#include "common/text_table.hh"
+
+using namespace vpprof;
+using namespace vpprof::bench;
+
+int
+main()
+{
+    banner("Figure 4.3 - the spread of M(S)average over n=5 runs",
+           "Gabbay & Mendelson, MICRO-30 1997, Figure 4.3");
+
+    Histogram overall = makeDecileHistogram();
+    for (const auto &w : suite().all()) {
+        std::vector<ProfileImage> images;
+        for (size_t i = 0; i < w->numInputSets(); ++i)
+            images.push_back(cachedProfile(std::string(w->name()), i));
+        AlignedProfileVectors v = alignStrideEfficiency(images);
+        Histogram h = decileSpread(averageDistance(v));
+        overall.merge(h);
+        std::printf("%s\n",
+                    renderHistogram(h, std::string(w->name()) +
+                                           ": M(S)average deciles")
+                        .c_str());
+    }
+
+    std::printf("%s\n",
+                renderHistogram(overall, "suite overall").c_str());
+    std::printf("low-interval mass ([0,10] + (10,20]): %s\n",
+                formatPercent(overall.fraction(0) + overall.fraction(1))
+                    .c_str());
+    std::printf("\npaper: the set of stride-patterned instructions is "
+                "independent of the\nprogram's inputs, so profiling "
+                "detects it reliably.\n");
+    return 0;
+}

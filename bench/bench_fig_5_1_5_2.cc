@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Figures 5.1 and 5.2 — classification accuracy with infinite tables:
+ * the percentage of mispredictions classified correctly (5.1) and of
+ * correct predictions classified correctly (5.2), for the
+ * saturating-counter FSM and the profile-guided classifier at
+ * thresholds 90/80/70/60/50.
+ *
+ * The profile is trained on inputs 1..4 and evaluated on the unseen
+ * input 0 — the paper's cross-input setting.
+ */
+
+#include "bench_util.hh"
+
+#include "predictors/profile_classifier.hh"
+#include "predictors/saturating_classifier.hh"
+
+using namespace vpprof;
+using namespace vpprof::bench;
+
+int
+main()
+{
+    banner("Figures 5.1 / 5.2 - classification accuracy (infinite "
+           "tables)",
+           "Gabbay & Mendelson, MICRO-30 1997, Figures 5.1 and 5.2");
+
+    struct Row
+    {
+        std::string name;
+        ClassificationAccuracy fsm;
+        std::vector<ClassificationAccuracy> prof;  // per threshold
+    };
+    std::vector<Row> rows;
+
+    for (const auto &w : suite().all()) {
+        Row row;
+        row.name = w->name();
+        MemoryImage input = w->input(0);
+
+        SaturatingClassifier fsm;
+        row.fsm = evaluateClassification(w->program(), input, fsm);
+
+        for (double threshold : kThresholds) {
+            Program annotated = annotatedAt(row.name, threshold);
+            ProfileClassifier cls;
+            row.prof.push_back(
+                evaluateClassification(annotated, input, cls));
+        }
+        rows.push_back(std::move(row));
+    }
+
+    auto print_series = [&](const char *title, auto extract) {
+        std::printf("%s\n", title);
+        std::printf("%-10s %6s", "benchmark", "FSM");
+        for (double t : kThresholds)
+            std::printf(" %5.0f%%", t);
+        std::printf("\n");
+        std::vector<double> sums(1 + kThresholds.size(), 0.0);
+        for (const Row &row : rows) {
+            std::printf("%-10s %5.1f ", row.name.c_str(),
+                        extract(row.fsm));
+            sums[0] += extract(row.fsm);
+            for (size_t t = 0; t < kThresholds.size(); ++t) {
+                std::printf(" %5.1f", extract(row.prof[t]));
+                sums[1 + t] += extract(row.prof[t]);
+            }
+            std::printf("\n");
+        }
+        std::printf("%-10s %5.1f ", "average",
+                    sums[0] / static_cast<double>(rows.size()));
+        for (size_t t = 0; t < kThresholds.size(); ++t)
+            std::printf(" %5.1f",
+                        sums[1 + t] / static_cast<double>(rows.size()));
+        std::printf("\n\n");
+    };
+
+    print_series("Figure 5.1: % of mispredictions classified "
+                 "correctly",
+                 [](const ClassificationAccuracy &a) {
+                     return a.mispredictionAccuracy();
+                 });
+    print_series("Figure 5.2: % of correct predictions classified "
+                 "correctly",
+                 [](const ClassificationAccuracy &a) {
+                     return a.correctAccuracy();
+                 });
+
+    std::printf(
+        "paper's shape:\n"
+        " - Fig 5.1: profiling beats the FSM at high thresholds; the\n"
+        "   advantage shrinks as the threshold drops, and only below\n"
+        "   ~60%% does the FSM win on average.\n"
+        " - Fig 5.2: the FSM is slightly better at accepting correct\n"
+        "   predictions (it never refuses a steadily-correct pc), and\n"
+        "   lowering the threshold closes the gap.\n");
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Extension experiment: the hybrid two-table organization of
+ * Section 3.2 head-to-head with an equal-budget single stride table.
+ *
+ * The paper argues that once directives identify which instructions
+ * stride, the expensive stride field only needs a small table, with a
+ * cheaper last-value table covering the rest. This bench quantifies
+ * that: a 128-entry stride + 512-entry last-value hybrid (640 entries
+ * total, but only 128 stride fields) versus a 640-entry all-stride
+ * table, both profile-steered at threshold 70%, and versus the
+ * hardware-only 512-entry FSM stride table of Figures 5.3/5.4.
+ */
+
+#include "bench_util.hh"
+
+using namespace vpprof;
+using namespace vpprof::bench;
+
+int
+main()
+{
+    banner("Extension - hybrid two-table predictor vs single stride "
+           "table",
+           "Section 3.2's hybrid proposal, quantified");
+
+    std::printf("%-10s | %9s %9s | %9s %9s | %9s %9s\n", "benchmark",
+                "fsm corr", "wrong", "mono corr", "wrong", "hyb corr",
+                "wrong");
+
+    for (const auto &w : suite().all()) {
+        std::string name(w->name());
+        MemoryImage input = w->input(0);
+        Program annotated = annotatedAt(name, 70.0);
+
+        // Baseline: the paper's 512x2 stride table with FSM counters.
+        FiniteTableStats fsm = evaluateFiniteTable(
+            w->program(), input, VpPolicy::Fsm, paperFiniteConfig(true));
+
+        // Equal-budget single stride table, profile-steered.
+        PredictorConfig mono = paperFiniteConfig(false);
+        mono.numEntries = 640;
+        FiniteTableStats single = evaluateFiniteTable(
+            annotated, input, VpPolicy::Profile, mono);
+
+        // Hybrid: 128 stride fields + 512 last-value entries.
+        HybridConfig hybrid;
+        hybrid.stride.numEntries = 128;
+        hybrid.stride.associativity = 2;
+        hybrid.stride.counterBits = 0;
+        hybrid.lastValue.numEntries = 512;
+        hybrid.lastValue.associativity = 2;
+        hybrid.lastValue.counterBits = 0;
+        FiniteTableStats hyb =
+            evaluateHybridTable(annotated, input, hybrid);
+
+        std::printf("%-10s | %9llu %9llu | %9llu %9llu | %9llu "
+                    "%9llu\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(fsm.correctTaken),
+                    static_cast<unsigned long long>(
+                        fsm.incorrectTaken),
+                    static_cast<unsigned long long>(
+                        single.correctTaken),
+                    static_cast<unsigned long long>(
+                        single.incorrectTaken),
+                    static_cast<unsigned long long>(hyb.correctTaken),
+                    static_cast<unsigned long long>(
+                        hyb.incorrectTaken));
+    }
+
+    std::printf(
+        "\nexpected: the hybrid delivers correct-prediction counts "
+        "close to the\nequal-budget single stride table while "
+        "spending a quarter of the stride\nfields — the paper's "
+        "utilization argument. Both profile-steered designs\nmake far "
+        "fewer wrong predictions than the FSM baseline.\n");
+    return 0;
+}

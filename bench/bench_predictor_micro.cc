@@ -1,0 +1,142 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the predictor data structures:
+ * lookup/update throughput of the last-value, stride and hybrid
+ * predictors over finite and infinite tables. These measure the
+ * library itself, not the paper's results.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.hh"
+#include "predictors/hybrid_predictor.hh"
+#include "predictors/last_value_predictor.hh"
+#include "predictors/stride_predictor.hh"
+
+namespace
+{
+
+using namespace vpprof;
+
+/** Synthetic pc/value stream: strides, repeats and noise. */
+struct Stream
+{
+    std::vector<uint64_t> pcs;
+    std::vector<int64_t> values;
+
+    explicit Stream(size_t n)
+    {
+        Rng rng(0xbe9c);
+        pcs.reserve(n);
+        values.reserve(n);
+        int64_t counter = 0;
+        for (size_t i = 0; i < n; ++i) {
+            uint64_t pc = rng.nextBelow(2048);
+            pcs.push_back(pc);
+            switch (pc % 3) {
+              case 0:
+                values.push_back(counter += 4);  // striding
+                break;
+              case 1:
+                values.push_back(7);             // repeating
+                break;
+              default:
+                values.push_back(static_cast<int64_t>(rng.next()));
+                break;
+            }
+        }
+    }
+};
+
+const Stream &
+stream()
+{
+    static Stream s(1 << 16);
+    return s;
+}
+
+template <typename Predictor>
+void
+runPredictor(benchmark::State &state, Predictor &predictor)
+{
+    const Stream &s = stream();
+    size_t i = 0;
+    uint64_t correct = 0;
+    for (auto _ : state) {
+        uint64_t pc = s.pcs[i];
+        int64_t value = s.values[i];
+        Prediction pred = predictor.predict(pc);
+        bool ok = pred.hit && pred.value == value;
+        correct += ok ? 1 : 0;
+        predictor.update(pc, value, ok);
+        i = (i + 1) % s.pcs.size();
+    }
+    benchmark::DoNotOptimize(correct);
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void
+BM_LastValueInfinite(benchmark::State &state)
+{
+    LastValuePredictor p(PredictorConfig{.numEntries = 0,
+                                         .counterBits = 0});
+    runPredictor(state, p);
+}
+BENCHMARK(BM_LastValueInfinite);
+
+void
+BM_StrideInfinite(benchmark::State &state)
+{
+    StridePredictor p(PredictorConfig{.numEntries = 0,
+                                      .counterBits = 0});
+    runPredictor(state, p);
+}
+BENCHMARK(BM_StrideInfinite);
+
+void
+BM_StrideFinite512(benchmark::State &state)
+{
+    StridePredictor p(PredictorConfig{.numEntries = 512,
+                                      .associativity = 2,
+                                      .counterBits = 2});
+    runPredictor(state, p);
+}
+BENCHMARK(BM_StrideFinite512);
+
+void
+BM_StrideFiniteSweep(benchmark::State &state)
+{
+    StridePredictor p(PredictorConfig{
+        .numEntries = static_cast<size_t>(state.range(0)),
+        .associativity = 2,
+        .counterBits = 2});
+    runPredictor(state, p);
+}
+BENCHMARK(BM_StrideFiniteSweep)->Arg(128)->Arg(512)->Arg(2048);
+
+void
+BM_HybridSteered(benchmark::State &state)
+{
+    HybridPredictor p;
+    const Stream &s = stream();
+    size_t i = 0;
+    uint64_t correct = 0;
+    for (auto _ : state) {
+        uint64_t pc = s.pcs[i];
+        int64_t value = s.values[i];
+        Directive d = pc % 3 == 0 ? Directive::Stride
+                                  : Directive::LastValue;
+        Prediction pred = p.predict(pc, d);
+        bool ok = pred.hit && pred.value == value;
+        correct += ok ? 1 : 0;
+        p.update(pc, value, ok, d);
+        i = (i + 1) % s.pcs.size();
+    }
+    benchmark::DoNotOptimize(correct);
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HybridSteered);
+
+} // namespace
+
+BENCHMARK_MAIN();

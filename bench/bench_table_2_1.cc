@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Table 2.1 — value prediction accuracy of the stride (S) and
+ * last-value (L) predictors, by instruction category, for the integer
+ * suite and for the FP benchmark's initialization and computation
+ * phases.
+ */
+
+#include "bench_util.hh"
+
+#include "common/text_table.hh"
+
+using namespace vpprof;
+using namespace vpprof::bench;
+
+namespace
+{
+
+/** Accuracy row over a set of images, for one category. */
+ClassAccuracy
+sumOver(const std::vector<const ProfileImage *> &images, OpClass cls)
+{
+    ClassAccuracy total;
+    for (const ProfileImage *img : images) {
+        ClassAccuracy one = accuracyOfClass(*img, cls);
+        total.attempts += one.attempts;
+        total.strideCorrect += one.strideCorrect;
+        total.lastValueCorrect += one.lastValueCorrect;
+    }
+    return total;
+}
+
+void
+printRow(const char *label, const std::vector<const ProfileImage *> &set,
+         OpClass alu, OpClass load)
+{
+    ClassAccuracy a = sumOver(set, alu);
+    ClassAccuracy l = sumOver(set, load);
+    std::printf("%-26s | %5.0f %5.0f | %5.0f %5.0f\n", label,
+                a.stridePct(), a.lastValuePct(), l.stridePct(),
+                l.lastValuePct());
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Table 2.1 - value prediction accuracy [%]",
+           "Gabbay & Mendelson, MICRO-30 1997, Table 2.1");
+
+    // Profile every workload on all five inputs (matching the paper's
+    // whole-suite measurement).
+    std::vector<const ProfileImage *> int_images;
+    for (const auto &w : suite().all()) {
+        if (w->isFloatingPoint())
+            continue;
+        for (size_t i = 0; i < w->numInputSets(); ++i)
+            int_images.push_back(
+                &cachedProfile(std::string(w->name()), i));
+    }
+
+    // FP benchmark split into init/computation phases.
+    const Workload *mgrid = suite().find("mgrid");
+    std::vector<PhasedProfiles> phased;
+    for (size_t i = 0; i < mgrid->numInputSets(); ++i)
+        phased.push_back(collectPhasedProfile(*mgrid, i));
+    std::vector<const ProfileImage *> fp_init, fp_comp;
+    for (const PhasedProfiles &p : phased) {
+        fp_init.push_back(&p.init);
+        fp_comp.push_back(&p.compute);
+    }
+
+    std::printf("%-26s | %11s | %11s\n", "", "ALU  S     L",
+                "loads S    L");
+    std::printf("---------------------------+-------------+------------"
+                "-\n");
+    printRow("Spec-int95 (integer)", int_images, OpClass::IntAlu,
+             OpClass::IntLoad);
+    printRow("Spec-fp95 init (FP ops)", fp_init, OpClass::FpAlu,
+             OpClass::FpLoad);
+    printRow("Spec-fp95 comp (FP ops)", fp_comp, OpClass::FpAlu,
+             OpClass::FpLoad);
+    printRow("Spec-fp95 init (int ops)", fp_init, OpClass::IntAlu,
+             OpClass::IntLoad);
+    printRow("Spec-fp95 comp (int ops)", fp_comp, OpClass::IntAlu,
+             OpClass::IntLoad);
+
+    std::printf(
+        "\npaper (Table 2.1, percent, S=stride L=last-value):\n"
+        "  Spec-int95:            ALU 48/50, loads 61/53\n"
+        "  Spec-fp95 init phase:  70/66, 52/47 (categories as printed)\n"
+        "  Spec-fp95 comp phase:  63/37, 96/23, 46/44, 29/28\n"
+        "\nexpected shape: both predictors land mid-range (~30-70%%) on\n"
+        "integer code with S >= L overall; the FP init phase is highly\n"
+        "stride-predictable for FP loads (S >> L); the FP compute phase\n"
+        "is harder for both.\n");
+    return 0;
+}

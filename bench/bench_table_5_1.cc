@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Table 5.1 — the fraction of potential allocation candidates admitted
+ * by the profile-guided scheme relative to those the saturating-
+ * counter scheme allocates (which is every value-producing
+ * instruction), per threshold, averaged over the benchmarks.
+ */
+
+#include "bench_util.hh"
+
+using namespace vpprof;
+using namespace vpprof::bench;
+
+int
+main()
+{
+    banner("Table 5.1 - allocation candidates, profiling vs saturating "
+           "counters",
+           "Gabbay & Mendelson, MICRO-30 1997, Table 5.1");
+
+    std::printf("%-10s", "benchmark");
+    for (double t : kThresholds)
+        std::printf(" %6.0f%%", t);
+    std::printf("\n");
+
+    std::vector<double> sums(kThresholds.size(), 0.0);
+    for (const auto &w : suite().all()) {
+        std::string name(w->name());
+        MemoryImage input = w->input(0);
+
+        FiniteTableStats fsm = evaluateFiniteTable(
+            w->program(), input, VpPolicy::Fsm, paperFiniteConfig(true));
+
+        std::printf("%-10s", name.c_str());
+        for (size_t t = 0; t < kThresholds.size(); ++t) {
+            Program annotated = annotatedAt(name, kThresholds[t]);
+            FiniteTableStats prof = evaluateFiniteTable(
+                annotated, input, VpPolicy::Profile,
+                paperFiniteConfig(false));
+            double frac = 100.0 * static_cast<double>(prof.candidates) /
+                          static_cast<double>(fsm.candidates);
+            sums[t] += frac;
+            std::printf(" %6.1f%%", frac);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("%-10s", "average");
+    size_t n = suite().all().size();
+    for (size_t t = 0; t < kThresholds.size(); ++t)
+        std::printf(" %6.1f%%", sums[t] / static_cast<double>(n));
+    std::printf("\n");
+
+    std::printf("\npaper (average row): 24%% / 32%% / 35%% / 39%% / "
+                "47%% for thresholds 90..50.\nexpected shape: "
+                "monotonically increasing with a looser threshold, and\n"
+                "clearly below 100%% everywhere (profiling filters the "
+                "candidate stream).\n");
+    return 0;
+}

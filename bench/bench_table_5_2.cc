@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Table 5.2 — the increase in ILP gained by value prediction under
+ * the different classification mechanisms, relative to no value
+ * prediction, on the paper's abstract machine (40-entry window,
+ * unlimited units, perfect branch prediction, 1-cycle misprediction
+ * penalty, 512-entry 2-way stride predictor).
+ */
+
+#include "bench_util.hh"
+
+using namespace vpprof;
+using namespace vpprof::bench;
+
+int
+main()
+{
+    banner("Table 5.2 - ILP increase from value prediction",
+           "Gabbay & Mendelson, MICRO-30 1997, Table 5.2");
+
+    // Paper's reported rows (percent increase over no-VP).
+    const std::map<std::string, std::vector<int>> paper = {
+        {"go", {10, 9, 10, 13, 13, 13}},
+        {"m88ksim", {593, 489, 492, 565, 577, 577}},
+        {"gcc", {15, 16, 17, 21, 21, 21}},
+        {"compress", {11, 7, 7, 8, 8, 8}},
+        {"li", {37, 33, 35, 38, 38, 40}},
+        {"ijpeg", {16, 14, 14, 15, 16, 15}},
+        {"perl", {19, 23, 24, 28, 28, 27}},
+        {"vortex", {159, 175, 178, 180, 179, 179}},
+        {"mgrid", {24, 7, 10, 11, 11, 11}},
+    };
+
+    IlpConfig machine_cfg;  // window 40, penalty 1
+
+    std::printf("%-10s %8s | %8s", "benchmark", "base ILP", "VP+SC");
+    for (double t : kThresholds)
+        std::printf(" %8.0f%%", t);
+    std::printf("   (measured, %% increase over no-VP)\n");
+
+    for (const auto &w : suite().all()) {
+        std::string name(w->name());
+        MemoryImage input = w->input(0);
+
+        IlpResult base = evaluateIlp(w->program(), input, machine_cfg,
+                                     VpPolicy::None, infiniteConfig());
+        IlpResult fsm = evaluateIlp(w->program(), input, machine_cfg,
+                                    VpPolicy::Fsm,
+                                    paperFiniteConfig(true));
+
+        std::printf("%-10s %8.2f | %+7.1f%%", name.c_str(), base.ilp(),
+                    100.0 * (fsm.ilp() / base.ilp() - 1.0));
+        for (double threshold : kThresholds) {
+            Program annotated = annotatedAt(name, threshold);
+            IlpResult prof = evaluateIlp(annotated, input, machine_cfg,
+                                         VpPolicy::Profile,
+                                         paperFiniteConfig(false));
+            std::printf(" %+8.1f",
+                        100.0 * (prof.ilp() / base.ilp() - 1.0));
+        }
+        auto it = paper.find(name);
+        std::printf("   paper:");
+        for (int v : it->second)
+            std::printf(" %d", v);
+        std::printf("\n");
+    }
+
+    std::printf(
+        "\npaper's shape: value prediction raises ILP everywhere; for "
+        "most\nbenchmarks some profiling threshold matches or beats "
+        "VP+SC, and the\nprofile-guided gain tends to GROW as the "
+        "threshold drops 90%% -> 50%%\n(more correct predictions "
+        "outweigh the extra mispredictions at a\n1-cycle penalty).\n");
+    return 0;
+}

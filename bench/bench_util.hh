@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Shared helpers for the reproduction benches: cached profile
+ * collection (several benches profile the same runs), aggregate
+ * accuracy math, and output conventions.
+ *
+ * Every bench prints the paper's reported numbers (where the text
+ * gives them) next to our measured values. Absolute agreement is not
+ * expected — the workloads are synthetic stand-ins — but the *shape*
+ * (who wins, orderings, trends across thresholds) should match.
+ */
+
+#ifndef VPPROF_BENCH_BENCH_UTIL_HH
+#define VPPROF_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "profile/correlation.hh"
+
+namespace vpprof
+{
+namespace bench
+{
+
+/** The profiling thresholds the paper sweeps in Section 5. */
+inline const std::vector<double> kThresholds = {90, 80, 70, 60, 50};
+
+/** Lazily-built, shared workload suite. */
+inline const WorkloadSuite &
+suite()
+{
+    static WorkloadSuite s;
+    return s;
+}
+
+/** Cached per-(workload, input) profile image. */
+inline const ProfileImage &
+cachedProfile(const std::string &name, size_t input)
+{
+    static std::map<std::pair<std::string, size_t>, ProfileImage> cache;
+    auto key = std::make_pair(name, input);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        const Workload *w = suite().find(name);
+        it = cache.emplace(key, collectProfile(*w, input)).first;
+    }
+    return it->second;
+}
+
+/** Merged profile over the training inputs for evaluation input 0. */
+inline ProfileImage
+trainingProfile(const std::string &name)
+{
+    const Workload *w = suite().find(name);
+    ProfileImage merged(name);
+    for (size_t idx : trainingInputsFor(*w, 0))
+        merged.merge(cachedProfile(name, idx));
+    return merged;
+}
+
+/** Annotated copy of a workload program at a threshold (trains on
+ *  inputs 1..n-1, reusing the cached profiles). */
+inline Program
+annotatedAt(const std::string &name, double threshold_pct)
+{
+    const Workload *w = suite().find(name);
+    Program program = w->program();
+    InserterConfig cfg;
+    cfg.accuracyThresholdPercent = threshold_pct;
+    insertDirectives(program, trainingProfile(name), cfg);
+    return program;
+}
+
+/** Aggregate dynamic accuracy (percent) over an image, one OpClass. */
+struct ClassAccuracy
+{
+    uint64_t attempts = 0;
+    uint64_t strideCorrect = 0;
+    uint64_t lastValueCorrect = 0;
+
+    double
+    stridePct() const
+    {
+        return attempts == 0
+            ? 0.0 : 100.0 * static_cast<double>(strideCorrect)
+                        / static_cast<double>(attempts);
+    }
+
+    double
+    lastValuePct() const
+    {
+        return attempts == 0
+            ? 0.0 : 100.0 * static_cast<double>(lastValueCorrect)
+                        / static_cast<double>(attempts);
+    }
+};
+
+inline ClassAccuracy
+accuracyOfClass(const ProfileImage &image, OpClass cls)
+{
+    ClassAccuracy acc;
+    for (const auto &[pc, p] : image.entries()) {
+        if (p.opClass != cls)
+            continue;
+        acc.attempts += p.attempts;
+        acc.strideCorrect += p.correct;
+        acc.lastValueCorrect += p.lastValueCorrect;
+    }
+    return acc;
+}
+
+/** Banner printed at the top of every bench. */
+inline void
+banner(const char *title, const char *paper_ref)
+{
+    std::printf("==============================================="
+                "=============\n");
+    std::printf("%s\n", title);
+    std::printf("reproduces: %s\n", paper_ref);
+    std::printf("==============================================="
+                "=============\n\n");
+}
+
+} // namespace bench
+} // namespace vpprof
+
+#endif // VPPROF_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Explore the abstract machine of Subsection 5.3 beyond the paper's
+ * fixed point: sweep the instruction-window size and the value-
+ * misprediction penalty and print the resulting ILP surface for one
+ * benchmark under no-VP / VP+FSM / VP+profile.
+ */
+
+#include <cstdio>
+
+#include "core/experiment.hh"
+
+using namespace vpprof;
+
+int
+main(int argc, char **argv)
+{
+    const char *name = argc > 1 ? argv[1] : "li";
+    WorkloadSuite suite;
+    const Workload *workload = suite.find(name);
+    if (!workload) {
+        std::fprintf(stderr, "unknown workload '%s'\n", name);
+        return 1;
+    }
+
+    InserterConfig cfg;
+    cfg.accuracyThresholdPercent = 70.0;
+    Program annotated =
+        annotatedProgram(*workload, trainingInputsFor(*workload, 0),
+                         cfg);
+    MemoryImage input = workload->input(0);
+
+    std::printf("ILP surface for %s (input 0)\n\n", name);
+    std::printf("%8s %8s | %8s %10s %12s\n", "window", "penalty",
+                "no-VP", "VP+FSM", "VP+prof@70");
+    for (size_t window : {16, 40, 128}) {
+        for (unsigned penalty : {0u, 1u, 4u}) {
+            IlpConfig mc;
+            mc.windowSize = window;
+            mc.mispredictPenalty = penalty;
+            IlpResult base = evaluateIlp(workload->program(), input,
+                                         mc, VpPolicy::None,
+                                         infiniteConfig());
+            IlpResult fsm = evaluateIlp(workload->program(), input,
+                                        mc, VpPolicy::Fsm,
+                                        paperFiniteConfig(true));
+            IlpResult prof = evaluateIlp(annotated, input, mc,
+                                         VpPolicy::Profile,
+                                         paperFiniteConfig(false));
+            std::printf("%8zu %8u | %8.3f %10.3f %12.3f\n", window,
+                        penalty, base.ilp(), fsm.ilp(), prof.ilp());
+        }
+    }
+    std::printf("\nThe paper's Table 5.2 point is (window=40, "
+                "penalty=1); larger windows amplify\nthe value of "
+                "collapsing true dependencies, larger penalties favour "
+                "the\nclassifier that avoids mispredictions.\n");
+    return 0;
+}

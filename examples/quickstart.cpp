@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Quickstart: build a tiny program with the assembler, run it on the
+ * VM, and watch the last-value and stride predictors work on its
+ * destination values.
+ *
+ * This is the vector-sum example from Section 3.2 of the paper
+ * (A[x] = B[x] + C[x]): the loop index strides perfectly while the
+ * data-dependent sum does not.
+ */
+
+#include <cstdio>
+
+#include "isa/program_builder.hh"
+#include "predictors/last_value_predictor.hh"
+#include "predictors/stride_predictor.hh"
+#include "vm/machine.hh"
+
+using namespace vpprof;
+
+int
+main()
+{
+    // for (x = 0; x < 100; x++) A[x] = B[x] + C[x];
+    // B at 1000, C at 2000, A at 3000.
+    ProgramBuilder b("vector-sum");
+    b.movi(R(1), 0);               // x
+    b.movi(R(2), 100);             // n
+    b.label("loop");
+    b.ld(R(3), R(1), 1000);        // B[x]
+    b.ld(R(4), R(1), 2000);        // C[x]
+    b.add(R(5), R(3), R(4));       // sum
+    b.st(R(1), R(5), 3000);        // A[x]
+    b.addi(R(1), R(1), 1);
+    b.blt(R(1), R(2), "loop");
+    b.halt();
+    Program program = b.build();
+
+    std::printf("program:\n%s\n", program.disassemble().c_str());
+
+    // Input: pseudo-random B and C.
+    MemoryImage image;
+    for (int64_t i = 0; i < 100; ++i) {
+        image.store(1000 + i, (i * 37) % 11);
+        image.store(2000 + i, (i * 53) % 7);
+    }
+
+    // Attach both predictors as streaming trace observers.
+    PredictorConfig infinite;
+    infinite.numEntries = 0;
+    infinite.counterBits = 0;
+    LastValuePredictor last_value(infinite);
+    StridePredictor stride(infinite);
+    uint64_t lv_correct = 0, st_correct = 0, attempts = 0;
+
+    CallbackTraceSink sink([&](const TraceRecord &rec) {
+        if (!rec.writesReg)
+            return;
+        Prediction lp = last_value.predict(rec.pc);
+        Prediction sp = stride.predict(rec.pc);
+        if (sp.hit) {
+            ++attempts;
+            lv_correct += lp.hit && lp.value == rec.value ? 1 : 0;
+            st_correct += sp.value == rec.value ? 1 : 0;
+        }
+        last_value.update(rec.pc, rec.value,
+                          lp.hit && lp.value == rec.value);
+        stride.update(rec.pc, rec.value,
+                      sp.hit && sp.value == rec.value);
+    });
+
+    Machine machine(program, image);
+    RunResult result = machine.run(&sink);
+
+    std::printf("executed %llu instructions (halted: %s)\n",
+                static_cast<unsigned long long>(
+                    result.instructionsExecuted),
+                result.halted ? "yes" : "no");
+    std::printf("prediction attempts:        %llu\n",
+                static_cast<unsigned long long>(attempts));
+    std::printf("last-value predictor right: %llu (%.1f%%)\n",
+                static_cast<unsigned long long>(lv_correct),
+                100.0 * static_cast<double>(lv_correct) /
+                    static_cast<double>(attempts));
+    std::printf("stride predictor right:     %llu (%.1f%%)\n",
+                static_cast<unsigned long long>(st_correct),
+                100.0 * static_cast<double>(st_correct) /
+                    static_cast<double>(attempts));
+    std::printf("\nThe loop index (addi) strides, so the stride "
+                "predictor dominates —\nthe paper's Table 3.1 example "
+                "in action.\n");
+    return 0;
+}

@@ -1,0 +1,98 @@
+#include "common/histogram.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace vpprof
+{
+
+Histogram::Histogram(std::vector<double> edges)
+    : edges_(std::move(edges))
+{
+    if (edges_.size() < 2)
+        vpprof_panic("Histogram needs at least two edges");
+    for (size_t i = 1; i < edges_.size(); ++i) {
+        if (edges_[i] <= edges_[i - 1])
+            vpprof_panic("Histogram edges must be strictly increasing");
+    }
+    counts_.assign(edges_.size() - 1, 0);
+}
+
+void
+Histogram::addSample(double x)
+{
+    addSample(x, 1);
+}
+
+void
+Histogram::addSample(double x, uint64_t weight)
+{
+    size_t bucket;
+    if (x < edges_.front()) {
+        bucket = 0;
+        clamped_ += weight;
+    } else if (x > edges_.back()) {
+        bucket = counts_.size() - 1;
+        clamped_ += weight;
+    } else {
+        // First bucket is closed: [e0, e1]. Later buckets are (ei, ei+1].
+        auto it = std::lower_bound(edges_.begin(), edges_.end(), x);
+        size_t idx = static_cast<size_t>(it - edges_.begin());
+        if (idx == 0) {
+            bucket = 0;
+        } else {
+            bucket = idx - 1;
+            if (bucket >= counts_.size())
+                bucket = counts_.size() - 1;
+        }
+    }
+    counts_[bucket] += weight;
+    total_ += weight;
+}
+
+uint64_t
+Histogram::count(size_t i) const
+{
+    if (i >= counts_.size())
+        vpprof_panic("Histogram bucket index out of range: ", i);
+    return counts_[i];
+}
+
+double
+Histogram::fraction(size_t i) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(count(i)) / static_cast<double>(total_);
+}
+
+std::string
+Histogram::bucketLabel(size_t i) const
+{
+    if (i >= counts_.size())
+        vpprof_panic("Histogram bucket index out of range: ", i);
+    std::ostringstream os;
+    os << (i == 0 ? '[' : '(') << edges_[i] << ',' << edges_[i + 1] << ']';
+    return os.str();
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.edges_ != edges_)
+        vpprof_panic("Histogram::merge with mismatched edges");
+    for (size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    total_ += other.total_;
+    clamped_ += other.clamped_;
+}
+
+Histogram
+makeDecileHistogram()
+{
+    return Histogram({0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100});
+}
+
+} // namespace vpprof

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Fixed-interval histograms used throughout the paper's figures.
+ *
+ * Gabbay & Mendelson bucket percentage-valued quantities into the ten
+ * intervals [0,10], (10,20], ..., (90,100] (Figures 2.2, 2.3, 4.1, 4.2,
+ * 4.3). DecileHistogram implements exactly that bucketing; Histogram is
+ * the general fixed-edge form.
+ */
+
+#ifndef VPPROF_COMMON_HISTOGRAM_HH
+#define VPPROF_COMMON_HISTOGRAM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vpprof
+{
+
+/**
+ * A histogram over contiguous buckets with caller-supplied edges.
+ *
+ * A sample x lands in bucket i when edges[i] < x <= edges[i+1], except for
+ * the first bucket which is closed on both sides ([edges[0], edges[1]]),
+ * matching the paper's interval convention. Samples outside the full range
+ * are clamped into the first/last bucket and counted as clamped.
+ */
+class Histogram
+{
+  public:
+    /** @param edges Strictly increasing bucket edges; >= 2 entries. */
+    explicit Histogram(std::vector<double> edges);
+
+    /** Insert one sample. */
+    void addSample(double x);
+
+    /** Insert a sample with an integral weight (e.g., dynamic count). */
+    void addSample(double x, uint64_t weight);
+
+    /** Number of buckets. */
+    size_t numBuckets() const { return counts_.size(); }
+
+    /** Raw count in bucket i. */
+    uint64_t count(size_t i) const;
+
+    /** Total number of samples inserted (including clamped ones). */
+    uint64_t totalSamples() const { return total_; }
+
+    /** Number of samples clamped into the extreme buckets. */
+    uint64_t clampedSamples() const { return clamped_; }
+
+    /** Fraction of samples in bucket i, in [0,1]; 0 when empty. */
+    double fraction(size_t i) const;
+
+    /** Human-readable label of bucket i, e.g. "(10,20]". */
+    std::string bucketLabel(size_t i) const;
+
+    /** Merge another histogram with identical edges into this one. */
+    void merge(const Histogram &other);
+
+    /** The bucket edges. */
+    const std::vector<double> &edges() const { return edges_; }
+
+  private:
+    std::vector<double> edges_;
+    std::vector<uint64_t> counts_;
+    uint64_t total_ = 0;
+    uint64_t clamped_ = 0;
+};
+
+/**
+ * The paper's decile histogram over percentages:
+ * [0,10], (10,20], ..., (90,100].
+ */
+Histogram makeDecileHistogram();
+
+} // namespace vpprof
+
+#endif // VPPROF_COMMON_HISTOGRAM_HH

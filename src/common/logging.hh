@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Status-message and error helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  -- an internal invariant was violated (a vpprof bug); aborts.
+ * fatal()  -- the simulation cannot continue because of a user error
+ *             (bad configuration, malformed input file); exits with code 1.
+ * warn()   -- something is suspicious but the run can continue.
+ * inform() -- plain status output.
+ */
+
+#ifndef VPPROF_COMMON_LOGGING_HH
+#define VPPROF_COMMON_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace vpprof
+{
+
+namespace detail
+{
+
+/** Format the variadic arguments into one string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+} // namespace vpprof
+
+/** Abort on an internal invariant violation. */
+#define vpprof_panic(...) \
+    ::vpprof::detail::panicImpl(__FILE__, __LINE__, \
+                                ::vpprof::detail::concat(__VA_ARGS__))
+
+/** Exit(1) on an unrecoverable user/configuration error. */
+#define vpprof_fatal(...) \
+    ::vpprof::detail::fatalImpl(__FILE__, __LINE__, \
+                                ::vpprof::detail::concat(__VA_ARGS__))
+
+/** Print a warning and continue. */
+#define vpprof_warn(...) \
+    ::vpprof::detail::warnImpl(::vpprof::detail::concat(__VA_ARGS__))
+
+/** Print an informational status line. */
+#define vpprof_inform(...) \
+    ::vpprof::detail::informImpl(::vpprof::detail::concat(__VA_ARGS__))
+
+#endif // VPPROF_COMMON_LOGGING_HH

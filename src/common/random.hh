@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload inputs.
+ *
+ * Workload input sets must be reproducible run to run so that profile
+ * images, correlation metrics and bench output are stable; we therefore
+ * use an explicit splitmix64/xoshiro256** pair rather than std::random
+ * engines whose distributions vary across standard libraries.
+ */
+
+#ifndef VPPROF_COMMON_RANDOM_HH
+#define VPPROF_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace vpprof
+{
+
+/** splitmix64 step; used for seeding and as a cheap stateless mixer. */
+inline uint64_t
+splitmix64(uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ull;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/**
+ * xoshiro256** generator. Deterministic across platforms, seeded through
+ * splitmix64 so that nearby seeds give unrelated streams.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed)
+    {
+        uint64_t sm = seed;
+        for (auto &word : state_)
+            word = splitmix64(sm);
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    uint64_t
+    nextBelow(uint64_t bound)
+    {
+        // Rejection-free modulo is fine here: stream quality dominates any
+        // sub-ppm modulo bias for simulator-input purposes.
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    nextInRange(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(
+                nextBelow(static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t state_[4];
+};
+
+} // namespace vpprof
+
+#endif // VPPROF_COMMON_RANDOM_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * An n-bit saturating up/down counter, the classic confidence device used
+ * by the hardware-only value-predictability classifier of Lipasti et al.
+ * (the "FSM" baseline in Gabbay & Mendelson, MICRO-30 1997).
+ */
+
+#ifndef VPPROF_COMMON_SATURATING_COUNTER_HH
+#define VPPROF_COMMON_SATURATING_COUNTER_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace vpprof
+{
+
+/**
+ * Saturating counter with a configurable bit width.
+ *
+ * The counter saturates at [0, 2^bits - 1]. A prediction is recommended
+ * ("taken") whenever the counter is in the upper half of its range, which
+ * for the default 2-bit counter reproduces the familiar four-state
+ * strongly/weakly scheme.
+ */
+class SaturatingCounter
+{
+  public:
+    /**
+     * @param bits Counter width in bits (1..15).
+     * @param initial Initial counter value; clamped to the legal range.
+     */
+    explicit SaturatingCounter(unsigned bits = 2, unsigned initial = 0)
+        : maxValue_((1u << bits) - 1),
+          threshold_(1u << (bits - 1)),
+          value_(initial > maxValue_ ? maxValue_ : initial)
+    {
+        if (bits < 1 || bits > 15)
+            vpprof_panic("SaturatingCounter width out of range: ", bits);
+    }
+
+    /** Increment, saturating at the maximum. */
+    void
+    increment()
+    {
+        if (value_ < maxValue_)
+            ++value_;
+    }
+
+    /** Decrement, saturating at zero. */
+    void
+    decrement()
+    {
+        if (value_ > 0)
+            --value_;
+    }
+
+    /** Reset to a given value (clamped). */
+    void
+    reset(unsigned value = 0)
+    {
+        value_ = value > maxValue_ ? maxValue_ : value;
+    }
+
+    /** True when the counter recommends using the prediction. */
+    bool predictTaken() const { return value_ >= threshold_; }
+
+    /** Current raw counter value. */
+    unsigned value() const { return value_; }
+
+    /** Maximum representable value. */
+    unsigned maxValue() const { return maxValue_; }
+
+    /** First value for which predictTaken() is true. */
+    unsigned threshold() const { return threshold_; }
+
+  private:
+    uint16_t maxValue_;
+    uint16_t threshold_;
+    uint16_t value_;
+};
+
+} // namespace vpprof
+
+#endif // VPPROF_COMMON_SATURATING_COUNTER_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Small statistics helpers: ratio counters and running means, used by the
+ * predictors, the profiler and the experiment layer.
+ */
+
+#ifndef VPPROF_COMMON_STATS_HH
+#define VPPROF_COMMON_STATS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace vpprof
+{
+
+/**
+ * A hit/total ratio with safe division. Accumulates two counters and
+ * reports their ratio as a fraction or percentage.
+ */
+class RatioStat
+{
+  public:
+    /** Record one event, hit or miss. */
+    void
+    sample(bool hit)
+    {
+        ++total_;
+        if (hit)
+            ++hits_;
+    }
+
+    /** Record many events at once. */
+    void
+    sampleMany(uint64_t hits, uint64_t total)
+    {
+        hits_ += hits;
+        total_ += total;
+    }
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return total_ - hits_; }
+    uint64_t total() const { return total_; }
+
+    /** hits / total in [0,1]; 0 when no samples. */
+    double
+    fraction() const
+    {
+        return total_ == 0
+            ? 0.0
+            : static_cast<double>(hits_) / static_cast<double>(total_);
+    }
+
+    /** hits / total as a percentage. */
+    double percent() const { return fraction() * 100.0; }
+
+    void
+    reset()
+    {
+        hits_ = 0;
+        total_ = 0;
+    }
+
+  private:
+    uint64_t hits_ = 0;
+    uint64_t total_ = 0;
+};
+
+/** Running arithmetic mean over double samples. */
+class MeanStat
+{
+  public:
+    void
+    sample(double x)
+    {
+        sum_ += x;
+        ++count_;
+    }
+
+    uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+
+    void
+    reset()
+    {
+        sum_ = 0.0;
+        count_ = 0;
+    }
+
+  private:
+    double sum_ = 0.0;
+    uint64_t count_ = 0;
+};
+
+/** Arithmetic mean of a vector; 0 for an empty vector. */
+double meanOf(const std::vector<double> &xs);
+
+/** Maximum of a vector; 0 for an empty vector. */
+double maxOf(const std::vector<double> &xs);
+
+/** Geometric mean of strictly positive values; 0 for an empty vector. */
+double geomeanOf(const std::vector<double> &xs);
+
+} // namespace vpprof
+
+#endif // VPPROF_COMMON_STATS_HH

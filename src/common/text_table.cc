@@ -1,0 +1,111 @@
+#include "common/text_table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/histogram.hh"
+
+namespace vpprof
+{
+
+void
+TextTable::setHeader(std::vector<std::string> cells)
+{
+    Row row;
+    row.cells = std::move(cells);
+    if (hasHeader_ && !rows_.empty()) {
+        rows_[0] = std::move(row);
+    } else {
+        rows_.insert(rows_.begin(), std::move(row));
+        hasHeader_ = true;
+    }
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    Row row;
+    row.cells = std::move(cells);
+    rows_.push_back(std::move(row));
+}
+
+void
+TextTable::addRule()
+{
+    Row row;
+    row.rule = true;
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TextTable::render() const
+{
+    // Compute column widths across all non-rule rows.
+    std::vector<size_t> widths;
+    for (const auto &row : rows_) {
+        if (row.rule)
+            continue;
+        if (row.cells.size() > widths.size())
+            widths.resize(row.cells.size(), 0);
+        for (size_t i = 0; i < row.cells.size(); ++i)
+            widths[i] = std::max(widths[i], row.cells[i].size());
+    }
+
+    size_t total_width = 0;
+    for (size_t w : widths)
+        total_width += w + 3;
+
+    std::ostringstream os;
+    bool header_pending = hasHeader_;
+    for (const auto &row : rows_) {
+        if (row.rule) {
+            os << std::string(total_width, '-') << '\n';
+            continue;
+        }
+        for (size_t i = 0; i < row.cells.size(); ++i) {
+            os << std::left << std::setw(static_cast<int>(widths[i]))
+               << row.cells[i];
+            if (i + 1 < row.cells.size())
+                os << " | ";
+        }
+        os << '\n';
+        if (header_pending) {
+            os << std::string(total_width, '=') << '\n';
+            header_pending = false;
+        }
+    }
+    return os.str();
+}
+
+std::string
+formatDouble(double x, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << x;
+    return os.str();
+}
+
+std::string
+formatPercent(double fraction, int precision)
+{
+    return formatDouble(fraction * 100.0, precision) + "%";
+}
+
+std::string
+renderHistogram(const Histogram &h, const std::string &title, int width)
+{
+    std::ostringstream os;
+    os << title << "  (" << h.totalSamples() << " samples)\n";
+    for (size_t i = 0; i < h.numBuckets(); ++i) {
+        double frac = h.fraction(i);
+        int bar = static_cast<int>(frac * width + 0.5);
+        os << std::right << std::setw(10) << h.bucketLabel(i) << ' '
+           << std::string(static_cast<size_t>(bar), '#')
+           << std::string(static_cast<size_t>(width - bar), ' ') << ' '
+           << formatPercent(frac) << '\n';
+    }
+    return os.str();
+}
+
+} // namespace vpprof

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Plain-text renderers for bench output: aligned tables (for the paper's
+ * tables) and horizontal bar charts (for the paper's histogram figures).
+ */
+
+#ifndef VPPROF_COMMON_TEXT_TABLE_HH
+#define VPPROF_COMMON_TEXT_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace vpprof
+{
+
+class Histogram;
+
+/**
+ * An aligned, pipe-separated text table. Rows may have differing cell
+ * counts; columns are sized to the widest cell.
+ */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator rule. */
+    void addRule();
+
+    /** Render the table to a string (trailing newline included). */
+    std::string render() const;
+
+  private:
+    struct Row
+    {
+        bool rule = false;
+        std::vector<std::string> cells;
+    };
+
+    std::vector<Row> rows_;
+    bool hasHeader_ = false;
+};
+
+/** Format a double with the given precision (fixed notation). */
+std::string formatDouble(double x, int precision = 1);
+
+/** Format a fraction as a percentage string, e.g. "42.7%". */
+std::string formatPercent(double fraction, int precision = 1);
+
+/**
+ * Render a histogram as a labelled horizontal bar chart where each bar's
+ * length is proportional to the bucket's share of samples.
+ *
+ * @param h The histogram to draw.
+ * @param title Chart caption.
+ * @param width Maximum bar width in characters.
+ */
+std::string renderHistogram(const Histogram &h, const std::string &title,
+                            int width = 50);
+
+} // namespace vpprof
+
+#endif // VPPROF_COMMON_TEXT_TABLE_HH

@@ -1,0 +1,145 @@
+#include "compiler/cfg.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.hh"
+
+namespace vpprof
+{
+
+ControlFlowGraph::ControlFlowGraph(const Program &program)
+{
+    if (program.empty())
+        vpprof_panic("ControlFlowGraph of an empty program");
+
+    // Leaders: entry, every control target, every fall-through
+    // successor of a control instruction or halt.
+    std::set<uint64_t> leaders;
+    leaders.insert(0);
+    for (uint64_t pc = 0; pc < program.size(); ++pc) {
+        const Instruction &inst = program.at(pc);
+        bool ends_block = isControl(inst.op) || inst.op == Opcode::Halt;
+        if (!ends_block)
+            continue;
+        if (pc + 1 < program.size())
+            leaders.insert(pc + 1);
+        if (isConditionalBranch(inst.op) || inst.op == Opcode::Jmp ||
+            inst.op == Opcode::Call) {
+            leaders.insert(static_cast<uint64_t>(inst.imm));
+        }
+    }
+
+    // Materialize blocks in address order.
+    std::vector<uint64_t> sorted(leaders.begin(), leaders.end());
+    blockIndex_.assign(program.size(), 0);
+    for (size_t i = 0; i < sorted.size(); ++i) {
+        BasicBlock block;
+        block.first = sorted[i];
+        block.last = (i + 1 < sorted.size() ? sorted[i + 1]
+                                            : program.size()) - 1;
+
+        const Instruction &term = program.at(block.last);
+        if (isConditionalBranch(term.op)) {
+            block.successors.push_back(
+                static_cast<uint64_t>(term.imm));
+            if (block.last + 1 < program.size())
+                block.successors.push_back(block.last + 1);
+        } else if (term.op == Opcode::Jmp) {
+            block.successors.push_back(
+                static_cast<uint64_t>(term.imm));
+        } else if (term.op == Opcode::Call) {
+            block.successors.push_back(
+                static_cast<uint64_t>(term.imm));
+        } else if (term.op == Opcode::JmpR) {
+            block.indirectExit = true;
+        } else if (term.op != Opcode::Halt &&
+                   block.last + 1 < program.size()) {
+            // Fell into the next leader without a terminator.
+            block.successors.push_back(block.last + 1);
+        }
+
+        for (uint64_t pc = block.first; pc <= block.last; ++pc)
+            blockIndex_[pc] = blocks_.size();
+        blocks_.push_back(std::move(block));
+    }
+}
+
+size_t
+ControlFlowGraph::blockOf(uint64_t pc) const
+{
+    if (pc >= blockIndex_.size())
+        vpprof_panic("blockOf: pc ", pc, " out of range");
+    return blockIndex_[pc];
+}
+
+BlockSchedule
+analyzeBlock(const Program &program, const BasicBlock &block)
+{
+    BlockSchedule sched;
+    sched.leader = block.first;
+    sched.instructions = block.size();
+
+    // depth[r]: chain depth of the last in-block writer of register r
+    // under the plain model; cdepth[r]: same with tagged producers'
+    // out-edges collapsed.
+    std::vector<size_t> depth(kNumRegs, 0), cdepth(kNumRegs, 0);
+    size_t store_depth = 0, store_cdepth = 0;
+    bool store_seen = false;
+
+    for (uint64_t pc = block.first; pc <= block.last; ++pc) {
+        const Instruction &inst = program.at(pc);
+
+        size_t in_depth = 0, in_cdepth = 0;
+        unsigned srcs = numSources(inst.op);
+        if (srcs >= 1 && inst.src1 != kZeroReg) {
+            in_depth = std::max(in_depth, depth[inst.src1]);
+            in_cdepth = std::max(in_cdepth, cdepth[inst.src1]);
+        }
+        if (srcs >= 2 && inst.src2 != kZeroReg) {
+            in_depth = std::max(in_depth, depth[inst.src2]);
+            in_cdepth = std::max(in_cdepth, cdepth[inst.src2]);
+        }
+        if (isLoad(inst.op) && store_seen) {
+            in_depth = std::max(in_depth, store_depth);
+            in_cdepth = std::max(in_cdepth, store_cdepth);
+        }
+
+        size_t my_depth = in_depth + 1;
+        size_t my_cdepth = in_cdepth + 1;
+        sched.chainLength = std::max(sched.chainLength, my_depth);
+        sched.collapsedChainLength =
+            std::max(sched.collapsedChainLength, my_cdepth);
+
+        if (writesRegister(inst.op)) {
+            ++sched.producers;
+            bool tagged = inst.directive != Directive::None;
+            sched.tagged += tagged ? 1 : 0;
+            depth[inst.dest] = my_depth;
+            // A VP-aware scheduler treats consumers of a tagged
+            // producer as ready immediately.
+            cdepth[inst.dest] = tagged ? 0 : my_cdepth;
+            depth[kZeroReg] = 0;
+            cdepth[kZeroReg] = 0;
+        }
+        if (isStore(inst.op)) {
+            store_seen = true;
+            store_depth = my_depth;
+            store_cdepth = my_cdepth;
+        }
+    }
+    return sched;
+}
+
+std::vector<BlockSchedule>
+analyzeSchedules(const Program &program)
+{
+    ControlFlowGraph cfg(program);
+    std::vector<BlockSchedule> schedules;
+    schedules.reserve(cfg.blocks().size());
+    for (const BasicBlock &block : cfg.blocks())
+        schedules.push_back(analyzeBlock(program, block));
+    return schedules;
+}
+
+} // namespace vpprof

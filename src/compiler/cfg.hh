@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Control-flow-graph construction and basic-block schedule analysis —
+ * the groundwork for the paper's second future-work item: "the effect
+ * of the profiling information on the scheduling of instructions
+ * within a basic block" (Section 6).
+ *
+ * A basic block's minimum schedule length (with unlimited units) is
+ * the longest dependence chain inside it. When an instruction carries
+ * a value-predictability directive, a VP-aware scheduler can treat its
+ * consumers as independent — the chain through it collapses. The
+ * difference between the plain and collapsed chain lengths is exactly
+ * the scheduling freedom profiling buys in that block.
+ */
+
+#ifndef VPPROF_COMPILER_CFG_HH
+#define VPPROF_COMPILER_CFG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace vpprof
+{
+
+/** A maximal straight-line region [first, last] of instructions. */
+struct BasicBlock
+{
+    uint64_t first = 0;   ///< address of the leader
+    uint64_t last = 0;    ///< address of the final instruction
+    /** Successor block leaders (empty for halt / indirect-jump exits). */
+    std::vector<uint64_t> successors;
+    /** Terminates in a JmpR (statically unknown target). */
+    bool indirectExit = false;
+
+    size_t size() const { return last - first + 1; }
+};
+
+/** Basic blocks of a program, in address order. */
+class ControlFlowGraph
+{
+  public:
+    /** Partition a validated program into basic blocks. */
+    explicit ControlFlowGraph(const Program &program);
+
+    const std::vector<BasicBlock> &blocks() const { return blocks_; }
+
+    /** Index of the block containing an address. */
+    size_t blockOf(uint64_t pc) const;
+
+  private:
+    std::vector<BasicBlock> blocks_;
+    std::vector<size_t> blockIndex_;  ///< per-pc block index
+};
+
+/** Dependence-chain metrics of one basic block. */
+struct BlockSchedule
+{
+    uint64_t leader = 0;
+    size_t instructions = 0;
+    size_t producers = 0;      ///< register-writing instructions
+    size_t tagged = 0;         ///< carrying a non-None directive
+    /**
+     * Longest register/memory dependence chain in the block = the
+     * minimum schedule length on an ideal machine.
+     */
+    size_t chainLength = 0;
+    /**
+     * The same chain with edges out of directive-tagged producers
+     * collapsed (their consumers can issue speculatively).
+     */
+    size_t collapsedChainLength = 0;
+};
+
+/**
+ * Analyze one block of a program. Memory dependencies are handled
+ * conservatively: every load depends on the closest preceding store
+ * in the block.
+ */
+BlockSchedule analyzeBlock(const Program &program,
+                           const BasicBlock &block);
+
+/** Analyze every block of a program. */
+std::vector<BlockSchedule> analyzeSchedules(const Program &program);
+
+} // namespace vpprof
+
+#endif // VPPROF_COMPILER_CFG_HH

@@ -1,0 +1,40 @@
+#include "compiler/directive_inserter.hh"
+
+namespace vpprof
+{
+
+InsertionStats
+insertDirectives(Program &program, const ProfileImage &image,
+                 const InserterConfig &config)
+{
+    InsertionStats stats;
+    for (size_t pc = 0; pc < program.size(); ++pc) {
+        Instruction &inst = program.at(pc);
+        if (!writesRegister(inst.op))
+            continue;
+        ++stats.producers;
+        inst.directive = Directive::None;
+
+        const PcProfile *prof = image.find(pc);
+        if (!prof)
+            continue;
+        ++stats.profiled;
+
+        if (prof->attempts < config.minAttempts)
+            continue;
+        if (prof->accuracyPercent() < config.accuracyThresholdPercent)
+            continue;
+
+        if (prof->strideEfficiencyPercent() >
+            config.strideThresholdPercent) {
+            inst.directive = Directive::Stride;
+            ++stats.taggedStride;
+        } else {
+            inst.directive = Directive::LastValue;
+            ++stats.taggedLastValue;
+        }
+    }
+    return stats;
+}
+
+} // namespace vpprof

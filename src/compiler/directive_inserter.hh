@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Phase #3 of the methodology (Figure 3.1): the compiler re-reads the
+ * profile image and a user-supplied threshold and inserts "stride" /
+ * "last-value" directives into instruction opcodes. No scheduling or
+ * code motion is performed — only the directive field changes.
+ *
+ * Classification rule (Section 3.2):
+ *  - prediction accuracy >= accuracy threshold  -> tagged predictable;
+ *  - tagged + stride efficiency ratio > stride threshold -> "stride",
+ *    otherwise -> "last-value";
+ *  - everything else keeps Directive::None (not recommended).
+ */
+
+#ifndef VPPROF_COMPILER_DIRECTIVE_INSERTER_HH
+#define VPPROF_COMPILER_DIRECTIVE_INSERTER_HH
+
+#include <cstdint>
+
+#include "isa/program.hh"
+#include "profile/profile_image.hh"
+
+namespace vpprof
+{
+
+/** Thresholds controlling directive insertion. */
+struct InserterConfig
+{
+    /**
+     * Prediction-accuracy threshold in percent: instructions at or
+     * above it are tagged value-predictable (the paper sweeps
+     * 90/80/70/60/50).
+     */
+    double accuracyThresholdPercent = 90.0;
+
+    /**
+     * Stride-efficiency threshold in percent: a tagged instruction
+     * whose stride efficiency ratio exceeds it is tagged "stride",
+     * otherwise "last-value" (the paper's heuristic uses 50%).
+     */
+    double strideThresholdPercent = 50.0;
+
+    /**
+     * Minimum profiled prediction attempts before an instruction may be
+     * tagged; avoids classifying on a single observation.
+     */
+    uint64_t minAttempts = 4;
+};
+
+/** Outcome counts of a directive-insertion pass. */
+struct InsertionStats
+{
+    size_t producers = 0;        ///< static value-producing instructions
+    size_t profiled = 0;         ///< of those, present in the image
+    size_t taggedStride = 0;     ///< tagged with the "stride" directive
+    size_t taggedLastValue = 0;  ///< tagged with "last-value"
+
+    size_t tagged() const { return taggedStride + taggedLastValue; }
+};
+
+/**
+ * Annotate a program in place from a profile image. Pre-existing
+ * directives are overwritten (the pass is idempotent for a given image
+ * and config).
+ */
+InsertionStats insertDirectives(Program &program,
+                                const ProfileImage &image,
+                                const InserterConfig &config = {});
+
+} // namespace vpprof
+
+#endif // VPPROF_COMPILER_DIRECTIVE_INSERTER_HH

@@ -1,0 +1,234 @@
+#include "core/experiment.hh"
+
+#include "common/logging.hh"
+#include "predictors/stride_predictor.hh"
+#include "profile/profile_collector.hh"
+
+namespace vpprof
+{
+
+RunResult
+runTrace(const Workload &workload, size_t input_idx, TraceSink *sink)
+{
+    return runProgram(workload.program(), workload.input(input_idx),
+                      sink, workload.maxInstructions());
+}
+
+RunResult
+runProgram(const Program &program, const MemoryImage &image,
+           TraceSink *sink, uint64_t max_insts)
+{
+    Machine machine(program, image);
+    RunResult result = machine.run(sink, max_insts);
+    if (!result.halted)
+        vpprof_fatal("program '", program.name(),
+                     "' hit the instruction limit (", max_insts, ")");
+    return result;
+}
+
+ProfileImage
+collectProfile(const Workload &workload, size_t input_idx)
+{
+    ProfileCollector collector(std::string(workload.name()));
+    runTrace(workload, input_idx, &collector);
+    return collector.takeImage();
+}
+
+PhasedProfiles
+collectPhasedProfile(const Workload &workload, size_t input_idx)
+{
+    auto split = workload.phaseSplitPc();
+    if (!split)
+        vpprof_fatal("workload '", workload.name(),
+                     "' has no phase split pc");
+
+    ProfileCollector init_collector(std::string(workload.name()) +
+                                    ".init");
+    ProfileCollector comp_collector(std::string(workload.name()) +
+                                    ".comp");
+    bool in_compute = false;
+    CallbackTraceSink sink([&](const TraceRecord &rec) {
+        if (!in_compute && rec.pc == *split)
+            in_compute = true;
+        if (in_compute)
+            comp_collector.record(rec);
+        else
+            init_collector.record(rec);
+    });
+    runTrace(workload, input_idx, &sink);
+
+    PhasedProfiles phases;
+    phases.init = init_collector.takeImage();
+    phases.compute = comp_collector.takeImage();
+    return phases;
+}
+
+std::vector<size_t>
+trainingInputsFor(const Workload &workload, size_t eval_idx)
+{
+    std::vector<size_t> inputs;
+    for (size_t i = 0; i < workload.numInputSets(); ++i) {
+        if (i != eval_idx)
+            inputs.push_back(i);
+    }
+    return inputs;
+}
+
+ProfileImage
+collectMergedProfile(const Workload &workload,
+                     const std::vector<size_t> &inputs)
+{
+    if (inputs.empty())
+        vpprof_fatal("collectMergedProfile: no training inputs");
+    ProfileImage merged(std::string(workload.name()));
+    for (size_t idx : inputs)
+        merged.merge(collectProfile(workload, idx));
+    return merged;
+}
+
+Program
+annotatedProgram(const Workload &workload,
+                 const std::vector<size_t> &train_inputs,
+                 const InserterConfig &config)
+{
+    ProfileImage image = collectMergedProfile(workload, train_inputs);
+    Program program = workload.program();  // copy
+    insertDirectives(program, image, config);
+    return program;
+}
+
+ClassificationAccuracy
+evaluateClassification(const Program &program, const MemoryImage &image,
+                       Classifier &classifier)
+{
+    StridePredictor predictor(infiniteConfig());
+    ClassificationAccuracy acc;
+
+    CallbackTraceSink sink([&](const TraceRecord &rec) {
+        if (!rec.writesReg)
+            return;
+        Prediction pred = predictor.predict(rec.pc, rec.directive);
+        bool correct = pred.hit && pred.value == rec.value;
+        if (pred.hit) {
+            bool take = classifier.shouldPredict(rec.pc, rec.directive);
+            if (correct) {
+                ++acc.corrects;
+                if (take)
+                    ++acc.correctsAccepted;
+            } else {
+                ++acc.mispredictions;
+                if (!take)
+                    ++acc.mispredictionsCaught;
+            }
+            classifier.train(rec.pc, correct);
+        }
+        predictor.update(rec.pc, rec.value, correct, rec.directive,
+                         true);
+    });
+    runProgram(program, image, &sink);
+    return acc;
+}
+
+FiniteTableStats
+evaluateFiniteTable(const Program &program, const MemoryImage &image,
+                    VpPolicy policy, const PredictorConfig &config)
+{
+    if (policy != VpPolicy::Fsm && policy != VpPolicy::Profile)
+        vpprof_panic("evaluateFiniteTable: policy must be Fsm or "
+                     "Profile");
+    StridePredictor predictor(config);
+    FiniteTableStats stats;
+
+    CallbackTraceSink sink([&](const TraceRecord &rec) {
+        if (!rec.writesReg)
+            return;
+        ++stats.producers;
+        bool tagged = rec.directive != Directive::None;
+        bool candidate = policy == VpPolicy::Profile ? tagged : true;
+        if (candidate)
+            ++stats.candidates;
+
+        Prediction pred = predictor.predict(rec.pc, rec.directive);
+        bool use = policy == VpPolicy::Fsm
+            ? pred.hit && pred.counterApproves
+            : pred.hit && tagged;
+        bool correct = pred.hit && pred.value == rec.value;
+        if (use) {
+            if (correct)
+                ++stats.correctTaken;
+            else
+                ++stats.incorrectTaken;
+        }
+        predictor.update(rec.pc, rec.value, correct, rec.directive,
+                         candidate);
+    });
+    runProgram(program, image, &sink);
+    stats.evictions = predictor.evictions();
+    return stats;
+}
+
+IlpResult
+evaluateIlp(const Program &program, const MemoryImage &image,
+            const IlpConfig &ilp_config, VpPolicy policy,
+            const PredictorConfig &predictor_config)
+{
+    StridePredictor predictor(predictor_config);
+    DataflowEngine engine(ilp_config, policy,
+                          policy == VpPolicy::None ? nullptr
+                                                   : &predictor);
+    runProgram(program, image, &engine);
+    return engine.result();
+}
+
+FiniteTableStats
+evaluateHybridTable(const Program &program, const MemoryImage &image,
+                    const HybridConfig &config)
+{
+    HybridPredictor predictor(config);
+    FiniteTableStats stats;
+
+    CallbackTraceSink sink([&](const TraceRecord &rec) {
+        if (!rec.writesReg)
+            return;
+        ++stats.producers;
+        bool tagged = rec.directive != Directive::None;
+        if (tagged)
+            ++stats.candidates;
+
+        Prediction pred = predictor.predict(rec.pc, rec.directive);
+        bool correct = pred.hit && pred.value == rec.value;
+        if (pred.hit && tagged) {
+            if (correct)
+                ++stats.correctTaken;
+            else
+                ++stats.incorrectTaken;
+        }
+        predictor.update(rec.pc, rec.value, correct, rec.directive,
+                         tagged);
+    });
+    runProgram(program, image, &sink);
+    stats.evictions = predictor.evictions();
+    return stats;
+}
+
+PredictorConfig
+paperFiniteConfig(bool with_counters)
+{
+    PredictorConfig config;
+    config.numEntries = 512;
+    config.associativity = 2;
+    config.counterBits = with_counters ? 2 : 0;
+    config.counterInit = 1;
+    return config;
+}
+
+PredictorConfig
+infiniteConfig()
+{
+    PredictorConfig config;
+    config.numEntries = 0;
+    config.counterBits = 0;
+    return config;
+}
+
+} // namespace vpprof

@@ -1,0 +1,131 @@
+#include "ilp/critical_path.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace vpprof
+{
+
+namespace
+{
+
+PredictorConfig
+oracleConfig()
+{
+    PredictorConfig cfg;
+    cfg.numEntries = 0;   // infinite
+    cfg.counterBits = 0;
+    return cfg;
+}
+
+} // namespace
+
+CriticalPathAnalyzer::CriticalPathAnalyzer(
+        const CriticalPathConfig &config)
+    : config_(config),
+      oracle_(oracleConfig())
+{
+    regProducer_.assign(kNumRegs, Producer{});
+}
+
+void
+CriticalPathAnalyzer::record(const TraceRecord &rec)
+{
+    if (finished_)
+        vpprof_panic("CriticalPathAnalyzer::record after finish");
+
+    Node node;
+    node.pc = rec.pc;
+
+    // The instruction's depth is one past its deepest operand.
+    uint64_t best_depth = 0;
+    int64_t best_parent = -1;
+    for (uint8_t s = 0; s < rec.numSrcs; ++s) {
+        RegId src = rec.srcs[s];
+        if (src == kZeroReg)
+            continue;
+        const Producer &p = regProducer_[src];
+        if (p.depth > best_depth) {
+            best_depth = p.depth;
+            best_parent = p.seq;
+        }
+    }
+    if (config_.trackMemoryDeps && rec.isMem && isLoad(rec.op)) {
+        auto it = memProducer_.find(rec.memAddr);
+        if (it != memProducer_.end() && it->second.depth > best_depth) {
+            best_depth = it->second.depth;
+            best_parent = it->second.seq;
+        }
+    }
+
+    node.depth = best_depth + 1;
+    node.parent = best_parent;
+    int64_t seq = static_cast<int64_t>(nodes_.size());
+
+    if (rec.writesReg) {
+        uint64_t result_depth = node.depth;
+        if (config_.collapseCorrectPredictions) {
+            Prediction pred = oracle_.predict(rec.pc, rec.directive);
+            bool correct = pred.hit && pred.value == rec.value;
+            if (correct) {
+                // Consumers get the value without waiting: the edge
+                // out of this instruction is collapsed.
+                result_depth = 0;
+            }
+            oracle_.update(rec.pc, rec.value, correct, rec.directive,
+                           true);
+        }
+        regProducer_[rec.dest] = Producer{result_depth, seq};
+        regProducer_[kZeroReg] = Producer{};
+    }
+    if (config_.trackMemoryDeps && rec.isMem && isStore(rec.op))
+        memProducer_[rec.memAddr] = Producer{node.depth, seq};
+
+    nodes_.push_back(node);
+}
+
+CriticalPathResult
+CriticalPathAnalyzer::finish()
+{
+    if (finished_)
+        vpprof_panic("CriticalPathAnalyzer::finish called twice");
+    finished_ = true;
+
+    CriticalPathResult result;
+    result.instructions = nodes_.size();
+    if (nodes_.empty())
+        return result;
+
+    // Find the deepest instruction, then walk the parent links back.
+    size_t deepest = 0;
+    for (size_t i = 1; i < nodes_.size(); ++i) {
+        if (nodes_[i].depth > nodes_[deepest].depth)
+            deepest = i;
+    }
+    result.pathLength = nodes_[deepest].depth;
+
+    std::unordered_map<uint64_t, uint64_t> census;
+    int64_t walk = static_cast<int64_t>(deepest);
+    while (walk >= 0) {
+        const Node &node = nodes_[static_cast<size_t>(walk)];
+        ++census[node.pc];
+        walk = node.parent;
+    }
+
+    result.members.reserve(census.size());
+    for (const auto &[pc, count] : census)
+        result.members.push_back(PathMember{pc, count});
+    std::sort(result.members.begin(), result.members.end(),
+              [](const PathMember &a, const PathMember &b) {
+                  if (a.occurrences != b.occurrences)
+                      return a.occurrences > b.occurrences;
+                  return a.pc < b.pc;
+              });
+
+    nodes_.clear();
+    nodes_.shrink_to_fit();
+    return result;
+}
+
+} // namespace vpprof

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Dataflow critical-path analysis — the "analysis of the critical
+ * path" the paper's conclusions name as ongoing work (Section 6).
+ *
+ * For a dynamic trace, the depth of an instruction is 1 plus the
+ * maximum depth of the producers of its operands (registers, and
+ * optionally store->load memory edges). The critical path is the
+ * longest such chain; N / pathLength is the pure dataflow ILP limit
+ * (no window, no resource constraints — the classic limit-study
+ * quantity the paper's "dataflow graph" discussion refers to).
+ *
+ * The analyzer can additionally collapse the edges a value predictor
+ * would have predicted correctly (an oracle-consumption model): the
+ * difference between the plain and collapsed path lengths is exactly
+ * the headroom value prediction has on the benchmark, and the per-pc
+ * census of critical-path membership shows *which* instructions the
+ * compiler should care about.
+ */
+
+#ifndef VPPROF_ILP_CRITICAL_PATH_HH
+#define VPPROF_ILP_CRITICAL_PATH_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "predictors/stride_predictor.hh"
+#include "vm/trace.hh"
+
+namespace vpprof
+{
+
+/** Critical-path analyzer configuration. */
+struct CriticalPathConfig
+{
+    /** Include store->load true dependencies through memory. */
+    bool trackMemoryDeps = true;
+
+    /**
+     * Collapse dependence edges whose producer an infinite stride
+     * predictor predicts correctly (value-prediction oracle).
+     */
+    bool collapseCorrectPredictions = false;
+};
+
+/** One static instruction's share of the critical path. */
+struct PathMember
+{
+    uint64_t pc = 0;
+    uint64_t occurrences = 0;  ///< dynamic instances on the path
+};
+
+/** Result of a critical-path analysis. */
+struct CriticalPathResult
+{
+    uint64_t instructions = 0;
+    uint64_t pathLength = 0;   ///< longest dependence chain (depth)
+
+    /** Dataflow-limit ILP = instructions / pathLength. */
+    double
+    dataflowIlp() const
+    {
+        return pathLength == 0
+            ? 0.0 : static_cast<double>(instructions)
+                        / static_cast<double>(pathLength);
+    }
+
+    /** Static instructions on the critical path, hottest first. */
+    std::vector<PathMember> members;
+};
+
+/**
+ * Streaming critical-path analyzer. Attach as a trace sink, then call
+ * finish() once to backtrack the path and obtain the result.
+ *
+ * Memory use is O(dynamic instructions) for the parent links (16
+ * bytes per instruction), which the backtracking needs.
+ */
+class CriticalPathAnalyzer : public TraceSink
+{
+  public:
+    explicit CriticalPathAnalyzer(const CriticalPathConfig &config = {});
+
+    void record(const TraceRecord &rec) override;
+
+    /**
+     * Backtrack the longest chain and summarize. May be called once;
+     * the analyzer is exhausted afterwards.
+     */
+    CriticalPathResult finish();
+
+  private:
+    /** Per-dynamic-instruction bookkeeping. */
+    struct Node
+    {
+        uint64_t depth = 0;
+        int64_t parent = -1;  ///< seq of the depth-defining producer
+        uint64_t pc = 0;
+    };
+
+    /** Depth and producing seq for a register value. */
+    struct Producer
+    {
+        uint64_t depth = 0;
+        int64_t seq = -1;
+    };
+
+    CriticalPathConfig config_;
+    StridePredictor oracle_;
+
+    std::vector<Node> nodes_;
+    std::vector<Producer> regProducer_;
+    std::unordered_map<uint64_t, Producer> memProducer_;
+    bool finished_ = false;
+};
+
+} // namespace vpprof
+
+#endif // VPPROF_ILP_CRITICAL_PATH_HH

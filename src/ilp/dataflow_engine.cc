@@ -1,0 +1,107 @@
+#include "ilp/dataflow_engine.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace vpprof
+{
+
+DataflowEngine::DataflowEngine(const IlpConfig &config, VpPolicy policy,
+                               ValuePredictor *predictor)
+    : config_(config),
+      policy_(policy),
+      predictor_(predictor)
+{
+    if (config_.windowSize == 0)
+        vpprof_panic("DataflowEngine window size must be positive");
+    if (policy_ != VpPolicy::None && predictor_ == nullptr)
+        vpprof_panic("DataflowEngine: policy needs a predictor");
+    completionRing_.assign(config_.windowSize, 0);
+    regAvail_.assign(kNumRegs, 0);
+}
+
+void
+DataflowEngine::record(const TraceRecord &rec)
+{
+    // Finite window: this instruction occupies the slot an instruction
+    // windowSize back freed at its completion.
+    uint64_t enter = completionRing_[index_ % config_.windowSize];
+
+    // True-data dependencies through registers (r0 is constant-ready).
+    uint64_t ready = enter;
+    for (uint8_t s = 0; s < rec.numSrcs; ++s) {
+        RegId src = rec.srcs[s];
+        if (src != kZeroReg)
+            ready = std::max(ready, regAvail_[src]);
+    }
+
+    // Memory true dependency: a load sees the completion of the last
+    // store to its word (perfect disambiguation / forwarding).
+    if (config_.trackMemoryDeps && rec.isMem && isLoad(rec.op)) {
+        auto it = memAvail_.find(rec.memAddr);
+        if (it != memAvail_.end())
+            ready = std::max(ready, it->second);
+    }
+
+    // Unit latency on unlimited execution units.
+    uint64_t issue = ready;
+    uint64_t complete = issue + 1;
+
+    if (rec.writesReg) {
+        uint64_t avail = complete;
+        if (policy_ != VpPolicy::None) {
+            Prediction pred = predictor_->predict(rec.pc, rec.directive);
+            bool tagged = rec.directive != Directive::None;
+
+            bool use = false;
+            switch (policy_) {
+              case VpPolicy::TakeAll:
+                use = pred.hit;
+                break;
+              case VpPolicy::Fsm:
+                use = pred.hit && pred.counterApproves;
+                break;
+              case VpPolicy::Profile:
+                use = pred.hit && tagged;
+                break;
+              case VpPolicy::None:
+                break;
+            }
+
+            bool correct = pred.hit && pred.value == rec.value;
+            if (use) {
+                ++result_.predictionsUsed;
+                if (correct) {
+                    ++result_.correctUsed;
+                    // Dependency collapsed: consumers can issue in
+                    // parallel with the producer.
+                    avail = enter;
+                } else {
+                    ++result_.incorrectUsed;
+                    avail = complete + config_.mispredictPenalty;
+                }
+            }
+
+            bool allocate =
+                policy_ == VpPolicy::Profile ? tagged : true;
+            predictor_->update(rec.pc, rec.value, correct,
+                               rec.directive, allocate);
+        }
+        regAvail_[rec.dest] = avail;
+        // r0 writes are architecturally dropped; keep it always ready.
+        regAvail_[kZeroReg] = 0;
+    }
+
+    if (config_.trackMemoryDeps && rec.isMem && isStore(rec.op))
+        memAvail_[rec.memAddr] = complete;
+
+    completionRing_[index_ % config_.windowSize] = complete;
+    ++index_;
+
+    lastCycle_ = std::max(lastCycle_, complete);
+    ++result_.instructions;
+    result_.cycles = lastCycle_;
+}
+
+} // namespace vpprof

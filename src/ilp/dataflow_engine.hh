@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The abstract machine of Subsection 5.3: a trace-driven dataflow
+ * scheduler with a finite instruction window (40 entries), an unlimited
+ * number of execution units, perfect branch prediction, and optional
+ * value prediction with a 1-cycle value-misprediction penalty.
+ *
+ * Model:
+ *  - Instruction i may not issue before instruction i-W completed (the
+ *    finite window); otherwise instructions issue as soon as their
+ *    true-data dependencies allow, unit latency, unlimited units.
+ *  - Register dependencies come from the traced source registers;
+ *    memory dependencies flow store -> load through the traced
+ *    effective addresses (perfect disambiguation).
+ *  - Branches never stall anything (perfect branch prediction).
+ *  - A correct, consumed value prediction collapses the dependency: the
+ *    destination value is available from the producer's window-entry
+ *    time, so consumers can issue in parallel with the producer.
+ *  - A consumed misprediction makes the value available only at
+ *    producer completion plus the misprediction penalty.
+ */
+
+#ifndef VPPROF_ILP_DATAFLOW_ENGINE_HH
+#define VPPROF_ILP_DATAFLOW_ENGINE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/instruction.hh"
+#include "predictors/value_predictor.hh"
+#include "vm/trace.hh"
+
+namespace vpprof
+{
+
+/** How value predictions are consumed and entries allocated. */
+enum class VpPolicy
+{
+    None,     ///< value prediction disabled (the ILP baseline)
+    TakeAll,  ///< consume every table hit; allocate every producer
+    Fsm,      ///< consume when the per-entry counter approves;
+              ///< allocate every producer (hardware-only scheme)
+    Profile   ///< consume hits of directive-tagged instructions only;
+              ///< allocate only tagged producers (profile-guided scheme)
+};
+
+/** Abstract-machine parameters (paper defaults). */
+struct IlpConfig
+{
+    size_t windowSize = 40;
+    unsigned mispredictPenalty = 1;
+    /** Model store->load true dependencies through memory. */
+    bool trackMemoryDeps = true;
+};
+
+/** Result of a dataflow analysis over one trace. */
+struct IlpResult
+{
+    uint64_t instructions = 0;
+    uint64_t cycles = 0;
+
+    uint64_t predictionsUsed = 0;     ///< consumed predictions
+    uint64_t correctUsed = 0;         ///< consumed and correct
+    uint64_t incorrectUsed = 0;       ///< consumed and wrong
+
+    /** Extracted instruction-level parallelism. */
+    double
+    ilp() const
+    {
+        return cycles == 0
+            ? 0.0 : static_cast<double>(instructions)
+                        / static_cast<double>(cycles);
+    }
+};
+
+/**
+ * Streaming dataflow analyzer. Feed it a trace (it is a TraceSink, so
+ * it can be attached directly to a Machine run) and call result().
+ */
+class DataflowEngine : public TraceSink
+{
+  public:
+    /**
+     * @param config Machine parameters.
+     * @param policy Value-prediction consumption policy.
+     * @param predictor Value predictor; may be nullptr iff policy is
+     *        None. Held by reference, not owned.
+     */
+    DataflowEngine(const IlpConfig &config, VpPolicy policy,
+                   ValuePredictor *predictor);
+
+    void record(const TraceRecord &rec) override;
+
+    /** Analysis result over everything recorded so far. */
+    IlpResult result() const { return result_; }
+
+  private:
+    IlpConfig config_;
+    VpPolicy policy_;
+    ValuePredictor *predictor_;
+
+    /** Completion times of the last windowSize instructions. */
+    std::vector<uint64_t> completionRing_;
+    uint64_t index_ = 0;
+
+    /** Cycle at which each register's value is available. */
+    std::vector<uint64_t> regAvail_;
+
+    /** Cycle at which the last store to each word completed. */
+    std::unordered_map<uint64_t, uint64_t> memAvail_;
+
+    uint64_t lastCycle_ = 0;
+    IlpResult result_;
+};
+
+} // namespace vpprof
+
+#endif // VPPROF_ILP_DATAFLOW_ENGINE_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Value-predictability opcode directives (Section 3.2 of the paper).
+ *
+ * The compiler inserts one of two directives into the opcode of each
+ * instruction it classifies as value-predictable: "last-value" for
+ * instructions that tend to repeat their most recent outcome, or
+ * "stride" for instructions whose outcomes advance by a constant delta.
+ * An untagged instruction is not recommended for value prediction.
+ */
+
+#ifndef VPPROF_ISA_DIRECTIVE_HH
+#define VPPROF_ISA_DIRECTIVE_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace vpprof
+{
+
+enum class Directive : uint8_t
+{
+    None,      ///< not recommended for value prediction (the default)
+    LastValue, ///< tends to repeat its last outcome value
+    Stride     ///< tends to exhibit non-zero stride patterns
+};
+
+/** Printable name of a directive. */
+constexpr std::string_view
+directiveName(Directive d)
+{
+    switch (d) {
+      case Directive::None: return "none";
+      case Directive::LastValue: return "last-value";
+      case Directive::Stride: return "stride";
+    }
+    return "?";
+}
+
+} // namespace vpprof
+
+#endif // VPPROF_ISA_DIRECTIVE_HH

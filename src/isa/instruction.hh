@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The static instruction word of the vpprof mini-ISA.
+ */
+
+#ifndef VPPROF_ISA_INSTRUCTION_HH
+#define VPPROF_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+
+#include "isa/directive.hh"
+#include "isa/opcode.hh"
+
+namespace vpprof
+{
+
+/**
+ * Register identifier. The register file is unified: ids 0..31 are the
+ * integer registers r0..r31 (r0 reads as constant zero and ignores
+ * writes), ids 32..63 are the FP registers f0..f31 holding IEEE doubles.
+ */
+using RegId = uint8_t;
+
+constexpr RegId kNumIntRegs = 32;
+constexpr RegId kNumFpRegs = 32;
+constexpr RegId kNumRegs = kNumIntRegs + kNumFpRegs;
+
+/** The always-zero integer register. */
+constexpr RegId kZeroReg = 0;
+
+/** First FP register id; FP register i is kFpBase + i. */
+constexpr RegId kFpBase = kNumIntRegs;
+
+/** Conventional link register for Call/JmpR (r31). */
+constexpr RegId kLinkReg = 31;
+
+/** Conventional stack pointer (r30). */
+constexpr RegId kStackReg = 30;
+
+/**
+ * One static instruction.
+ *
+ * Field use per opcode family:
+ *  - ALU reg-reg:  dest, src1, src2
+ *  - ALU reg-imm:  dest, src1, imm
+ *  - Movi:         dest, imm
+ *  - Ld/Fld:       dest, src1 (base), imm (offset); address = R[src1]+imm
+ *  - St/Fst:       src1 (base), src2 (value), imm (offset)
+ *  - branches:     src1, src2 compared; imm = absolute target index
+ *  - Jmp:          imm = target index
+ *  - Call:         dest = link register receiving pc+1; imm = target
+ *  - JmpR:         src1 holds the target index
+ *
+ * The directive field is the compiler-inserted value-predictability hint
+ * (Section 3.2); the first compilation phase leaves it at None.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+    RegId dest = 0;
+    RegId src1 = 0;
+    RegId src2 = 0;
+    int64_t imm = 0;
+    Directive directive = Directive::None;
+};
+
+} // namespace vpprof
+
+#endif // VPPROF_ISA_INSTRUCTION_HH

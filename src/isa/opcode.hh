@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The vpprof mini-ISA opcode set and its static traits.
+ *
+ * The ISA is a small load/store RISC machine rich enough to express the
+ * nine SPEC95-like workloads: integer ALU ops (register and immediate
+ * forms), 64-bit word-addressed loads/stores, IEEE double FP ops, and
+ * compare-and-branch control flow with call/return.
+ *
+ * Traits answer the questions the paper's measurements need: does an
+ * instruction write a destination register (only those participate in
+ * value prediction), and which Table 2.1 category does it belong to
+ * (integer ALU / integer load / FP computation / FP load)?
+ */
+
+#ifndef VPPROF_ISA_OPCODE_HH
+#define VPPROF_ISA_OPCODE_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace vpprof
+{
+
+enum class Opcode : uint8_t
+{
+    // Integer ALU, register-register.
+    Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr, Sar, Slt, Sltu,
+    // Integer ALU, register-immediate.
+    Addi, Subi, Muli, Divi, Remi, Andi, Ori, Xori, Shli, Shri, Sari, Slti,
+    // Register moves and constants.
+    Mov, Movi,
+    // Integer memory: Ld rd, [rs1 + imm]; St [rs1 + imm], rs2.
+    Ld, St,
+    // Floating point (operands are FP registers holding doubles).
+    Fadd, Fsub, Fmul, Fdiv, Fmov, Fneg, Fabs, Fmin, Fmax, Fsqrt,
+    // FP/int conversion: Itof fd, rs1; Ftoi rd, fs1 (truncating).
+    Itof, Ftoi,
+    // FP memory: Fld fd, [rs1 + imm]; Fst [rs1 + imm], fs2.
+    Fld, Fst,
+    // Control flow. Branch targets are absolute instruction indices
+    // carried in imm. Fblt compares two FP registers.
+    Beq, Bne, Blt, Bge, Bltu, Fblt, Jmp,
+    // Call saves the return index into the dest register (conventionally
+    // the link register); JmpR jumps to the index held in src1.
+    Call, JmpR,
+    Nop, Halt,
+
+    NumOpcodes
+};
+
+/** Table 2.1's instruction categories, plus the non-producing kinds. */
+enum class OpClass : uint8_t
+{
+    IntAlu,   ///< integer ALU producing a register value
+    IntLoad,  ///< integer load
+    FpAlu,    ///< FP computation producing a register value
+    FpLoad,   ///< FP load
+    Store,    ///< memory store (no destination register)
+    Control,  ///< branches, jumps, call/return
+    Other     ///< Nop/Halt
+};
+
+/** Number of source register operands (0..2) read by an opcode. */
+unsigned numSources(Opcode op);
+
+/** True when the opcode writes a destination register. */
+bool writesRegister(Opcode op);
+
+/** True for Ld/Fld. */
+bool isLoad(Opcode op);
+
+/** True for St/Fst. */
+bool isStore(Opcode op);
+
+/** True when destination and sources are FP registers. */
+bool isFp(Opcode op);
+
+/** True for all control-flow opcodes (branches, jumps, call). */
+bool isControl(Opcode op);
+
+/** True for conditional branches only. */
+bool isConditionalBranch(Opcode op);
+
+/** The Table 2.1 category of an opcode. */
+OpClass classOf(Opcode op);
+
+/** Mnemonic string, e.g. "addi". */
+std::string_view mnemonic(Opcode op);
+
+} // namespace vpprof
+
+#endif // VPPROF_ISA_OPCODE_HH

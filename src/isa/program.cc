@@ -1,0 +1,130 @@
+#include "isa/program.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace vpprof
+{
+
+const Instruction &
+Program::at(uint64_t addr) const
+{
+    if (addr >= insts_.size())
+        vpprof_panic("Program::at out of range: ", addr, " in ", name_);
+    return insts_[addr];
+}
+
+Instruction &
+Program::at(uint64_t addr)
+{
+    if (addr >= insts_.size())
+        vpprof_panic("Program::at out of range: ", addr, " in ", name_);
+    return insts_[addr];
+}
+
+void
+Program::addLabel(const std::string &label, uint64_t addr)
+{
+    labels_[addr] = label;
+}
+
+void
+Program::validate() const
+{
+    if (insts_.empty())
+        vpprof_fatal("program '", name_, "' is empty");
+
+    bool has_halt = false;
+    for (size_t i = 0; i < insts_.size(); ++i) {
+        const Instruction &inst = insts_[i];
+        if (inst.op >= Opcode::NumOpcodes)
+            vpprof_fatal("program '", name_, "': bad opcode at ", i);
+        if (inst.dest >= kNumRegs || inst.src1 >= kNumRegs ||
+            inst.src2 >= kNumRegs) {
+            vpprof_fatal("program '", name_, "': register id out of "
+                         "range at ", i);
+        }
+        if (isConditionalBranch(inst.op) || inst.op == Opcode::Jmp ||
+            inst.op == Opcode::Call) {
+            if (inst.imm < 0 ||
+                static_cast<uint64_t>(inst.imm) >= insts_.size()) {
+                vpprof_fatal("program '", name_, "': control target ",
+                             inst.imm, " out of range at ", i);
+            }
+        }
+        if (inst.op == Opcode::Halt)
+            has_halt = true;
+    }
+    if (!has_halt)
+        vpprof_fatal("program '", name_, "' has no halt instruction");
+}
+
+size_t
+Program::countValueProducers() const
+{
+    size_t n = 0;
+    for (const auto &inst : insts_)
+        n += writesRegister(inst.op) ? 1 : 0;
+    return n;
+}
+
+size_t
+Program::countTagged() const
+{
+    size_t n = 0;
+    for (const auto &inst : insts_)
+        n += inst.directive != Directive::None ? 1 : 0;
+    return n;
+}
+
+void
+Program::clearDirectives()
+{
+    for (auto &inst : insts_)
+        inst.directive = Directive::None;
+}
+
+namespace
+{
+
+/** Render a register id as rN or fN. */
+std::string
+regName(RegId r)
+{
+    std::ostringstream os;
+    if (r < kFpBase)
+        os << 'r' << unsigned(r);
+    else
+        os << 'f' << unsigned(r - kFpBase);
+    return os.str();
+}
+
+} // namespace
+
+std::string
+Program::disassemble() const
+{
+    std::ostringstream os;
+    for (size_t i = 0; i < insts_.size(); ++i) {
+        auto label = labels_.find(i);
+        if (label != labels_.end())
+            os << label->second << ":\n";
+        const Instruction &inst = insts_[i];
+        os << "  " << i << ":\t" << mnemonic(inst.op);
+        unsigned srcs = numSources(inst.op);
+        if (writesRegister(inst.op))
+            os << ' ' << regName(inst.dest) << ',';
+        if (srcs >= 1)
+            os << ' ' << regName(inst.src1) << ',';
+        if (srcs >= 2)
+            os << ' ' << regName(inst.src2) << ',';
+        os << ' ' << inst.imm;
+        if (inst.directive != Directive::None)
+            os << "\t!" << directiveName(inst.directive);
+        os << '\n';
+    }
+    return os.str();
+}
+
+} // namespace vpprof

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * A static program: named instruction sequence plus label metadata.
+ */
+
+#ifndef VPPROF_ISA_PROGRAM_HH
+#define VPPROF_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace vpprof
+{
+
+/**
+ * A program in the vpprof mini-ISA.
+ *
+ * The instruction index doubles as the instruction address (the "pc" in
+ * trace records and profile images), so a program's addresses are stable
+ * across runs — the property the paper's cross-run correlation study
+ * relies on.
+ */
+class Program
+{
+  public:
+    Program() = default;
+
+    /** @param name Human-readable program name. */
+    explicit Program(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+    void setName(std::string name) { name_ = std::move(name); }
+
+    /** Append an instruction; returns its address. */
+    uint64_t
+    append(const Instruction &inst)
+    {
+        insts_.push_back(inst);
+        return insts_.size() - 1;
+    }
+
+    size_t size() const { return insts_.size(); }
+    bool empty() const { return insts_.empty(); }
+
+    const Instruction &at(uint64_t addr) const;
+    Instruction &at(uint64_t addr);
+
+    const std::vector<Instruction> &instructions() const { return insts_; }
+
+    /** Record a label for disassembly/debugging. */
+    void addLabel(const std::string &label, uint64_t addr);
+
+    /** Labels by address (for disassembly). */
+    const std::map<uint64_t, std::string> &labels() const
+    {
+        return labels_;
+    }
+
+    /**
+     * Structural validation: register ids in range, branch/jump targets
+     * inside the program, positive size, reachable Halt. Calls
+     * vpprof_fatal on violation (a malformed program is a user error).
+     */
+    void validate() const;
+
+    /** Count of static instructions that write a destination register. */
+    size_t countValueProducers() const;
+
+    /** Count of static instructions carrying a non-None directive. */
+    size_t countTagged() const;
+
+    /** Reset every directive to None (undo a compiler annotation pass). */
+    void clearDirectives();
+
+    /** Disassemble to text, one instruction per line. */
+    std::string disassemble() const;
+
+  private:
+    std::string name_;
+    std::vector<Instruction> insts_;
+    std::map<uint64_t, std::string> labels_;
+};
+
+} // namespace vpprof
+
+#endif // VPPROF_ISA_PROGRAM_HH

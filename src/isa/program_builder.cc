@@ -1,0 +1,274 @@
+#include "isa/program_builder.hh"
+
+#include "common/logging.hh"
+
+namespace vpprof
+{
+
+ProgramBuilder::ProgramBuilder(std::string name)
+    : program_(std::move(name))
+{
+}
+
+ProgramBuilder &
+ProgramBuilder::label(const std::string &name)
+{
+    if (labels_.count(name))
+        vpprof_fatal("duplicate label '", name, "' in ", program_.name());
+    labels_[name] = program_.size();
+    program_.addLabel(name, program_.size());
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::emit3(Opcode op, RegId d, RegId a, RegId b)
+{
+    Instruction inst;
+    inst.op = op;
+    inst.dest = d;
+    inst.src1 = a;
+    inst.src2 = b;
+    program_.append(inst);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::emitImm(Opcode op, RegId d, RegId a, int64_t imm)
+{
+    Instruction inst;
+    inst.op = op;
+    inst.dest = d;
+    inst.src1 = a;
+    inst.imm = imm;
+    program_.append(inst);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::emitBranch(Opcode op, RegId a, RegId b,
+                           const std::string &target)
+{
+    Instruction inst;
+    inst.op = op;
+    inst.src1 = a;
+    inst.src2 = b;
+    auto it = labels_.find(target);
+    if (it != labels_.end())
+        inst.imm = static_cast<int64_t>(it->second);
+    else
+        fixups_.emplace_back(program_.size(), target);
+    program_.append(inst);
+    return *this;
+}
+
+#define VPPROF_DEF3(name, op) \
+    ProgramBuilder &ProgramBuilder::name(RegId d, RegId a, RegId b) \
+    { return emit3(Opcode::op, d, a, b); }
+
+VPPROF_DEF3(add, Add)
+VPPROF_DEF3(sub, Sub)
+VPPROF_DEF3(mul, Mul)
+VPPROF_DEF3(div, Div)
+VPPROF_DEF3(rem, Rem)
+VPPROF_DEF3(and_, And)
+VPPROF_DEF3(or_, Or)
+VPPROF_DEF3(xor_, Xor)
+VPPROF_DEF3(shl, Shl)
+VPPROF_DEF3(shr, Shr)
+VPPROF_DEF3(sar, Sar)
+VPPROF_DEF3(slt, Slt)
+VPPROF_DEF3(sltu, Sltu)
+VPPROF_DEF3(fadd, Fadd)
+VPPROF_DEF3(fsub, Fsub)
+VPPROF_DEF3(fmul, Fmul)
+VPPROF_DEF3(fdiv, Fdiv)
+VPPROF_DEF3(fmin, Fmin)
+VPPROF_DEF3(fmax, Fmax)
+
+#undef VPPROF_DEF3
+
+#define VPPROF_DEFIMM(name, op) \
+    ProgramBuilder &ProgramBuilder::name(RegId d, RegId a, int64_t imm) \
+    { return emitImm(Opcode::op, d, a, imm); }
+
+VPPROF_DEFIMM(addi, Addi)
+VPPROF_DEFIMM(subi, Subi)
+VPPROF_DEFIMM(muli, Muli)
+VPPROF_DEFIMM(divi, Divi)
+VPPROF_DEFIMM(remi, Remi)
+VPPROF_DEFIMM(andi, Andi)
+VPPROF_DEFIMM(ori, Ori)
+VPPROF_DEFIMM(xori, Xori)
+VPPROF_DEFIMM(shli, Shli)
+VPPROF_DEFIMM(shri, Shri)
+VPPROF_DEFIMM(sari, Sari)
+VPPROF_DEFIMM(slti, Slti)
+
+#undef VPPROF_DEFIMM
+
+ProgramBuilder &
+ProgramBuilder::mov(RegId d, RegId a)
+{
+    return emitImm(Opcode::Mov, d, a, 0);
+}
+
+ProgramBuilder &
+ProgramBuilder::movi(RegId d, int64_t imm)
+{
+    return emitImm(Opcode::Movi, d, 0, imm);
+}
+
+ProgramBuilder &
+ProgramBuilder::ld(RegId d, RegId base, int64_t off)
+{
+    return emitImm(Opcode::Ld, d, base, off);
+}
+
+ProgramBuilder &
+ProgramBuilder::st(RegId base, RegId value, int64_t off)
+{
+    Instruction inst;
+    inst.op = Opcode::St;
+    inst.src1 = base;
+    inst.src2 = value;
+    inst.imm = off;
+    program_.append(inst);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::fmov(RegId d, RegId a)
+{
+    return emitImm(Opcode::Fmov, d, a, 0);
+}
+
+ProgramBuilder &
+ProgramBuilder::fneg(RegId d, RegId a)
+{
+    return emitImm(Opcode::Fneg, d, a, 0);
+}
+
+ProgramBuilder &
+ProgramBuilder::fabs_(RegId d, RegId a)
+{
+    return emitImm(Opcode::Fabs, d, a, 0);
+}
+
+ProgramBuilder &
+ProgramBuilder::fsqrt(RegId d, RegId a)
+{
+    return emitImm(Opcode::Fsqrt, d, a, 0);
+}
+
+ProgramBuilder &
+ProgramBuilder::itof(RegId fd, RegId rs)
+{
+    return emitImm(Opcode::Itof, fd, rs, 0);
+}
+
+ProgramBuilder &
+ProgramBuilder::ftoi(RegId rd, RegId fs)
+{
+    return emitImm(Opcode::Ftoi, rd, fs, 0);
+}
+
+ProgramBuilder &
+ProgramBuilder::fld(RegId d, RegId base, int64_t off)
+{
+    return emitImm(Opcode::Fld, d, base, off);
+}
+
+ProgramBuilder &
+ProgramBuilder::fst(RegId base, RegId value, int64_t off)
+{
+    Instruction inst;
+    inst.op = Opcode::Fst;
+    inst.src1 = base;
+    inst.src2 = value;
+    inst.imm = off;
+    program_.append(inst);
+    return *this;
+}
+
+#define VPPROF_DEFBR(name, op) \
+    ProgramBuilder & \
+    ProgramBuilder::name(RegId a, RegId b, const std::string &target) \
+    { return emitBranch(Opcode::op, a, b, target); }
+
+VPPROF_DEFBR(beq, Beq)
+VPPROF_DEFBR(bne, Bne)
+VPPROF_DEFBR(blt, Blt)
+VPPROF_DEFBR(bge, Bge)
+VPPROF_DEFBR(bltu, Bltu)
+VPPROF_DEFBR(fblt, Fblt)
+
+#undef VPPROF_DEFBR
+
+ProgramBuilder &
+ProgramBuilder::jmp(const std::string &target)
+{
+    return emitBranch(Opcode::Jmp, 0, 0, target);
+}
+
+ProgramBuilder &
+ProgramBuilder::call(const std::string &target, RegId link)
+{
+    Instruction inst;
+    inst.op = Opcode::Call;
+    inst.dest = link;
+    auto it = labels_.find(target);
+    if (it != labels_.end())
+        inst.imm = static_cast<int64_t>(it->second);
+    else
+        fixups_.emplace_back(program_.size(), target);
+    program_.append(inst);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::ret(RegId link)
+{
+    Instruction inst;
+    inst.op = Opcode::JmpR;
+    inst.src1 = link;
+    program_.append(inst);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::nop()
+{
+    Instruction inst;
+    inst.op = Opcode::Nop;
+    program_.append(inst);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::halt()
+{
+    Instruction inst;
+    inst.op = Opcode::Halt;
+    program_.append(inst);
+    return *this;
+}
+
+Program
+ProgramBuilder::build()
+{
+    if (built_)
+        vpprof_panic("ProgramBuilder::build called twice for ",
+                     program_.name());
+    built_ = true;
+    for (const auto &[addr, name] : fixups_) {
+        auto it = labels_.find(name);
+        if (it == labels_.end())
+            vpprof_fatal("undefined label '", name, "' in ",
+                         program_.name());
+        program_.at(addr).imm = static_cast<int64_t>(it->second);
+    }
+    program_.validate();
+    return std::move(program_);
+}
+
+} // namespace vpprof

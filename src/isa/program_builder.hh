@@ -1,0 +1,154 @@
+/**
+ * @file
+ * A fluent assembler for mini-ISA programs with forward-label fixups.
+ *
+ * Workloads are written against this builder, e.g.:
+ * @code
+ *   ProgramBuilder b("sum");
+ *   b.movi(R(1), 0);          // i = 0
+ *   b.movi(R(2), 100);        // n = 100
+ *   b.label("loop");
+ *   b.add(R(3), R(3), R(1));  // acc += i
+ *   b.addi(R(1), R(1), 1);    // ++i
+ *   b.blt(R(1), R(2), "loop");
+ *   b.halt();
+ *   Program p = b.build();
+ * @endcode
+ */
+
+#ifndef VPPROF_ISA_PROGRAM_BUILDER_HH
+#define VPPROF_ISA_PROGRAM_BUILDER_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace vpprof
+{
+
+/** Shorthand for an integer register id. */
+constexpr RegId
+R(unsigned i)
+{
+    return static_cast<RegId>(i);
+}
+
+/** Shorthand for an FP register id. */
+constexpr RegId
+F(unsigned i)
+{
+    return static_cast<RegId>(kFpBase + i);
+}
+
+/**
+ * Builds a Program instruction by instruction. Labels may be referenced
+ * before they are defined; build() resolves all fixups and validates the
+ * result.
+ */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(std::string name);
+
+    /** Define a label at the current position. */
+    ProgramBuilder &label(const std::string &name);
+
+    // Integer ALU, register-register.
+    ProgramBuilder &add(RegId d, RegId a, RegId b);
+    ProgramBuilder &sub(RegId d, RegId a, RegId b);
+    ProgramBuilder &mul(RegId d, RegId a, RegId b);
+    ProgramBuilder &div(RegId d, RegId a, RegId b);
+    ProgramBuilder &rem(RegId d, RegId a, RegId b);
+    ProgramBuilder &and_(RegId d, RegId a, RegId b);
+    ProgramBuilder &or_(RegId d, RegId a, RegId b);
+    ProgramBuilder &xor_(RegId d, RegId a, RegId b);
+    ProgramBuilder &shl(RegId d, RegId a, RegId b);
+    ProgramBuilder &shr(RegId d, RegId a, RegId b);
+    ProgramBuilder &sar(RegId d, RegId a, RegId b);
+    ProgramBuilder &slt(RegId d, RegId a, RegId b);
+    ProgramBuilder &sltu(RegId d, RegId a, RegId b);
+
+    // Integer ALU, register-immediate.
+    ProgramBuilder &addi(RegId d, RegId a, int64_t imm);
+    ProgramBuilder &subi(RegId d, RegId a, int64_t imm);
+    ProgramBuilder &muli(RegId d, RegId a, int64_t imm);
+    ProgramBuilder &divi(RegId d, RegId a, int64_t imm);
+    ProgramBuilder &remi(RegId d, RegId a, int64_t imm);
+    ProgramBuilder &andi(RegId d, RegId a, int64_t imm);
+    ProgramBuilder &ori(RegId d, RegId a, int64_t imm);
+    ProgramBuilder &xori(RegId d, RegId a, int64_t imm);
+    ProgramBuilder &shli(RegId d, RegId a, int64_t imm);
+    ProgramBuilder &shri(RegId d, RegId a, int64_t imm);
+    ProgramBuilder &sari(RegId d, RegId a, int64_t imm);
+    ProgramBuilder &slti(RegId d, RegId a, int64_t imm);
+
+    // Moves.
+    ProgramBuilder &mov(RegId d, RegId a);
+    ProgramBuilder &movi(RegId d, int64_t imm);
+
+    // Integer memory.
+    ProgramBuilder &ld(RegId d, RegId base, int64_t off);
+    ProgramBuilder &st(RegId base, RegId value, int64_t off);
+
+    // Floating point.
+    ProgramBuilder &fadd(RegId d, RegId a, RegId b);
+    ProgramBuilder &fsub(RegId d, RegId a, RegId b);
+    ProgramBuilder &fmul(RegId d, RegId a, RegId b);
+    ProgramBuilder &fdiv(RegId d, RegId a, RegId b);
+    ProgramBuilder &fmov(RegId d, RegId a);
+    ProgramBuilder &fneg(RegId d, RegId a);
+    ProgramBuilder &fabs_(RegId d, RegId a);
+    ProgramBuilder &fmin(RegId d, RegId a, RegId b);
+    ProgramBuilder &fmax(RegId d, RegId a, RegId b);
+    ProgramBuilder &fsqrt(RegId d, RegId a);
+    ProgramBuilder &itof(RegId fd, RegId rs);
+    ProgramBuilder &ftoi(RegId rd, RegId fs);
+    ProgramBuilder &fld(RegId d, RegId base, int64_t off);
+    ProgramBuilder &fst(RegId base, RegId value, int64_t off);
+
+    // Control flow (targets are label names).
+    ProgramBuilder &beq(RegId a, RegId b, const std::string &target);
+    ProgramBuilder &bne(RegId a, RegId b, const std::string &target);
+    ProgramBuilder &blt(RegId a, RegId b, const std::string &target);
+    ProgramBuilder &bge(RegId a, RegId b, const std::string &target);
+    ProgramBuilder &bltu(RegId a, RegId b, const std::string &target);
+    ProgramBuilder &fblt(RegId a, RegId b, const std::string &target);
+    ProgramBuilder &jmp(const std::string &target);
+
+    /** call: link saved in kLinkReg by default. */
+    ProgramBuilder &call(const std::string &target, RegId link = kLinkReg);
+
+    /** ret: jumps to the index held in the link register. */
+    ProgramBuilder &ret(RegId link = kLinkReg);
+
+    ProgramBuilder &nop();
+    ProgramBuilder &halt();
+
+    /** Current instruction count (address of the next instruction). */
+    uint64_t here() const { return program_.size(); }
+
+    /**
+     * Resolve all label fixups, validate and return the program.
+     * Fatal on undefined labels or structural problems.
+     */
+    Program build();
+
+  private:
+    ProgramBuilder &emit3(Opcode op, RegId d, RegId a, RegId b);
+    ProgramBuilder &emitImm(Opcode op, RegId d, RegId a, int64_t imm);
+    ProgramBuilder &emitBranch(Opcode op, RegId a, RegId b,
+                               const std::string &target);
+
+    Program program_;
+    std::unordered_map<std::string, uint64_t> labels_;
+    /** (instruction address, unresolved label) pairs. */
+    std::vector<std::pair<uint64_t, std::string>> fixups_;
+    bool built_ = false;
+};
+
+} // namespace vpprof
+
+#endif // VPPROF_ISA_PROGRAM_BUILDER_HH

@@ -1,0 +1,94 @@
+#include "predictors/context_predictor.hh"
+
+#include "common/logging.hh"
+#include "predictors/counter_policy.hh"
+
+namespace vpprof
+{
+
+ContextPredictor::ContextPredictor(const ContextConfig &config)
+    : config_(config),
+      table_(config.level1.numEntries, config.level1.associativity)
+{
+    if (config_.level2Entries == 0 ||
+        (config_.level2Entries & (config_.level2Entries - 1)) != 0) {
+        vpprof_panic("ContextPredictor level-2 size must be a power "
+                     "of two, got ", config_.level2Entries);
+    }
+    values_.assign(config_.level2Entries, ValueSlot{});
+}
+
+uint64_t
+ContextPredictor::contextHash(uint64_t pc, const Entry &entry) const
+{
+    // splitmix-style mixing of (pc, v1, v2).
+    uint64_t h = pc * 0x9e3779b97f4a7c15ull;
+    h ^= static_cast<uint64_t>(entry.v1) + 0xbf58476d1ce4e5b9ull +
+         (h << 6) + (h >> 2);
+    h *= 0x94d049bb133111ebull;
+    h ^= static_cast<uint64_t>(entry.v2) + (h << 13) + (h >> 7);
+    h *= 0xff51afd7ed558ccdull;
+    return h ^ (h >> 33);
+}
+
+size_t
+ContextPredictor::slotIndex(uint64_t hash) const
+{
+    return static_cast<size_t>(hash & (config_.level2Entries - 1));
+}
+
+Prediction
+ContextPredictor::predict(uint64_t pc, Directive)
+{
+    Prediction pred;
+    Entry *entry = table_.lookup(pc);
+    if (!entry || entry->seen < 2)
+        return pred;
+    uint64_t hash = contextHash(pc, *entry);
+    const ValueSlot &slot = values_[slotIndex(hash)];
+    if (!slot.valid || slot.tag != hash)
+        return pred;
+    pred.hit = true;
+    pred.value = slot.value;
+    pred.counterApproves = counterApproves(config_.level1,
+                                           entry->counter);
+    return pred;
+}
+
+void
+ContextPredictor::update(uint64_t pc, int64_t actual, bool correct,
+                         Directive, bool allocate)
+{
+    Entry *entry = table_.lookup(pc);
+    if (!entry) {
+        if (!allocate)
+            return;
+        entry = &table_.allocate(pc);
+        entry->counter = initialCounter(config_.level1);
+        entry->seen = 0;
+    }
+
+    if (entry->seen >= 2) {
+        trainCounter(config_.level1, entry->counter, correct);
+        // Remember which value followed the old context.
+        uint64_t hash = contextHash(pc, *entry);
+        ValueSlot &slot = values_[slotIndex(hash)];
+        slot.valid = true;
+        slot.tag = hash;
+        slot.value = actual;
+    }
+
+    entry->v2 = entry->v1;
+    entry->v1 = actual;
+    if (entry->seen < 2)
+        ++entry->seen;
+}
+
+void
+ContextPredictor::reset()
+{
+    table_.clear();
+    values_.assign(config_.level2Entries, ValueSlot{});
+}
+
+} // namespace vpprof

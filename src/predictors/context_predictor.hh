@@ -1,0 +1,84 @@
+/**
+ * @file
+ * An order-2 finite-context-method (FCM) value predictor — the
+ * natural next step beyond the paper's last-value and stride
+ * predictors (Sazeides & Smith's "two-level" value prediction), kept
+ * here as an extension for the predictor-family ablation.
+ *
+ * Level 1 tracks, per static instruction, the two most recent
+ * destination values; level 2 is a shared value table indexed by a
+ * hash of (pc, v1, v2) that remembers which value followed that
+ * context last time. FCM captures repeating non-arithmetic sequences
+ * (e.g. pointer chases over a stable structure) that neither
+ * last-value nor stride prediction can.
+ */
+
+#ifndef VPPROF_PREDICTORS_CONTEXT_PREDICTOR_HH
+#define VPPROF_PREDICTORS_CONTEXT_PREDICTOR_HH
+
+#include <vector>
+
+#include "predictors/predictor_table.hh"
+#include "predictors/value_predictor.hh"
+
+namespace vpprof
+{
+
+/** FCM configuration: level-1 geometry plus the shared table size. */
+struct ContextConfig
+{
+    /** Level-1 (per-pc history) table; 0 entries = infinite. */
+    PredictorConfig level1{.numEntries = 0, .associativity = 2,
+                           .counterBits = 0, .counterInit = 0};
+
+    /** Level-2 shared value table entries (power of two). */
+    size_t level2Entries = 1 << 16;
+};
+
+/** Order-2 FCM predictor. */
+class ContextPredictor : public ValuePredictor
+{
+  public:
+    explicit ContextPredictor(const ContextConfig &config = {});
+
+    std::string_view name() const override { return "context-fcm"; }
+
+    Prediction predict(uint64_t pc,
+                       Directive hint = Directive::None) override;
+
+    void update(uint64_t pc, int64_t actual, bool correct,
+                Directive hint = Directive::None,
+                bool allocate = true) override;
+
+    void reset() override;
+
+    size_t occupancy() const override { return table_.occupancy(); }
+    uint64_t evictions() const override { return table_.evictions(); }
+
+  private:
+    struct Entry
+    {
+        uint8_t seen = 0;      ///< values observed (saturates at 2)
+        int64_t v1 = 0;        ///< most recent value
+        int64_t v2 = 0;        ///< second most recent value
+        uint8_t counter = 0;
+    };
+
+    struct ValueSlot
+    {
+        bool valid = false;
+        uint64_t tag = 0;      ///< full context hash, to avoid aliases
+        int64_t value = 0;
+    };
+
+    uint64_t contextHash(uint64_t pc, const Entry &entry) const;
+    size_t slotIndex(uint64_t hash) const;
+
+    ContextConfig config_;
+    PredictorTable<Entry> table_;
+    std::vector<ValueSlot> values_;
+};
+
+} // namespace vpprof
+
+#endif // VPPROF_PREDICTORS_CONTEXT_PREDICTOR_HH

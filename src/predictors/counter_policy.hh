@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Inline helpers applying a predictor-level saturating-counter policy to
+ * the raw per-entry counter byte. The width and threshold live in the
+ * PredictorConfig so table payloads stay trivially copyable.
+ */
+
+#ifndef VPPROF_PREDICTORS_COUNTER_POLICY_HH
+#define VPPROF_PREDICTORS_COUNTER_POLICY_HH
+
+#include <cstdint>
+
+#include "predictors/value_predictor.hh"
+
+namespace vpprof
+{
+
+/** True when the per-entry FSM is enabled and recommends predicting. */
+inline bool
+counterApproves(const PredictorConfig &cfg, uint8_t counter)
+{
+    if (cfg.counterBits == 0)
+        return false;
+    return counter >= (1u << (cfg.counterBits - 1));
+}
+
+/** Saturating increment/decrement of the raw counter byte. */
+inline void
+trainCounter(const PredictorConfig &cfg, uint8_t &counter, bool correct)
+{
+    if (cfg.counterBits == 0)
+        return;
+    uint8_t max = static_cast<uint8_t>((1u << cfg.counterBits) - 1);
+    if (correct) {
+        if (counter < max)
+            ++counter;
+    } else {
+        if (counter > 0)
+            --counter;
+    }
+}
+
+/** Initial counter value on allocation (clamped to the legal range). */
+inline uint8_t
+initialCounter(const PredictorConfig &cfg)
+{
+    if (cfg.counterBits == 0)
+        return 0;
+    uint8_t max = static_cast<uint8_t>((1u << cfg.counterBits) - 1);
+    return cfg.counterInit > max
+        ? max : static_cast<uint8_t>(cfg.counterInit);
+}
+
+} // namespace vpprof
+
+#endif // VPPROF_PREDICTORS_COUNTER_POLICY_HH

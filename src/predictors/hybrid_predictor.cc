@@ -1,0 +1,70 @@
+#include "predictors/hybrid_predictor.hh"
+
+namespace vpprof
+{
+
+HybridPredictor::HybridPredictor(const HybridConfig &config)
+    : stride_(config.stride),
+      last_(config.lastValue)
+{
+}
+
+Prediction
+HybridPredictor::predict(uint64_t pc, Directive hint)
+{
+    switch (hint) {
+      case Directive::Stride:
+        return stride_.predict(pc);
+      case Directive::LastValue:
+        return last_.predict(pc);
+      case Directive::None:
+        break;
+    }
+    Prediction pred = stride_.predict(pc);
+    if (pred.hit)
+        return pred;
+    return last_.predict(pc);
+}
+
+void
+HybridPredictor::update(uint64_t pc, int64_t actual, bool correct,
+                        Directive hint, bool allocate)
+{
+    switch (hint) {
+      case Directive::Stride:
+        stride_.update(pc, actual, correct, hint, allocate);
+        return;
+      case Directive::LastValue:
+        last_.update(pc, actual, correct, hint, allocate);
+        return;
+      case Directive::None:
+        break;
+    }
+    // Untagged: train whichever table already tracks the pc, never
+    // allocate a new entry.
+    if (stride_.table_.lookup(pc) != nullptr)
+        stride_.update(pc, actual, correct, Directive::None, false);
+    else
+        last_.update(pc, actual, correct, Directive::None, false);
+}
+
+void
+HybridPredictor::reset()
+{
+    stride_.reset();
+    last_.reset();
+}
+
+size_t
+HybridPredictor::occupancy() const
+{
+    return stride_.occupancy() + last_.occupancy();
+}
+
+uint64_t
+HybridPredictor::evictions() const
+{
+    return stride_.evictions() + last_.evictions();
+}
+
+} // namespace vpprof

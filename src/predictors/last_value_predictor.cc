@@ -1,0 +1,46 @@
+#include "predictors/last_value_predictor.hh"
+
+#include "predictors/counter_policy.hh"
+
+namespace vpprof
+{
+
+LastValuePredictor::LastValuePredictor(const PredictorConfig &config)
+    : config_(config),
+      table_(config.numEntries, config.associativity)
+{
+}
+
+Prediction
+LastValuePredictor::predict(uint64_t pc, Directive)
+{
+    Prediction pred;
+    Entry *entry = table_.lookup(pc);
+    if (!entry || !entry->hasValue)
+        return pred;
+    pred.hit = true;
+    pred.value = entry->lastValue;
+    pred.usedNonZeroStride = false;
+    pred.counterApproves = counterApproves(config_, entry->counter);
+    return pred;
+}
+
+void
+LastValuePredictor::update(uint64_t pc, int64_t actual, bool correct,
+                           Directive, bool allocate)
+{
+    Entry *entry = table_.lookup(pc);
+    if (!entry) {
+        if (!allocate)
+            return;
+        entry = &table_.allocate(pc);
+        entry->counter = initialCounter(config_);
+        entry->hasValue = false;
+    }
+    if (entry->hasValue)
+        trainCounter(config_, entry->counter, correct);
+    entry->lastValue = actual;
+    entry->hasValue = true;
+}
+
+} // namespace vpprof

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The last-value predictor of Lipasti et al. (references [9], [10] of
+ * the paper): predicts that an instruction will reproduce the
+ * destination value it generated most recently.
+ */
+
+#ifndef VPPROF_PREDICTORS_LAST_VALUE_PREDICTOR_HH
+#define VPPROF_PREDICTORS_LAST_VALUE_PREDICTOR_HH
+
+#include "predictors/predictor_table.hh"
+#include "predictors/value_predictor.hh"
+
+namespace vpprof
+{
+
+/**
+ * Last-value predictor. Each entry holds the tag and the last seen
+ * destination value (Figure 2.1, left), plus an optional per-entry
+ * saturating counter when configured as the hardware-classified variant.
+ */
+class LastValuePredictor : public ValuePredictor
+{
+  public:
+    explicit LastValuePredictor(const PredictorConfig &config);
+
+    std::string_view name() const override { return "last-value"; }
+
+    Prediction predict(uint64_t pc,
+                       Directive hint = Directive::None) override;
+
+    void update(uint64_t pc, int64_t actual, bool correct,
+                Directive hint = Directive::None,
+                bool allocate = true) override;
+
+    void reset() override { table_.clear(); }
+
+    size_t occupancy() const override { return table_.occupancy(); }
+    uint64_t evictions() const override { return table_.evictions(); }
+
+  private:
+    struct Entry
+    {
+        bool hasValue = false;
+        int64_t lastValue = 0;
+        uint8_t counter = 0;
+    };
+
+    PredictorConfig config_;
+    PredictorTable<Entry> table_;
+
+    friend class HybridPredictor;
+};
+
+} // namespace vpprof
+
+#endif // VPPROF_PREDICTORS_LAST_VALUE_PREDICTOR_HH

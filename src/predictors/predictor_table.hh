@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Storage shared by the value predictors: either a finite
+ * set-associative table (the hardware organization of Figure 2.1) or an
+ * unbounded per-pc map (the "infinite table" configuration Section 5.1
+ * uses to isolate classification quality from capacity effects).
+ */
+
+#ifndef VPPROF_PREDICTORS_PREDICTOR_TABLE_HH
+#define VPPROF_PREDICTORS_PREDICTOR_TABLE_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "common/assoc_table.hh"
+
+namespace vpprof
+{
+
+/**
+ * Predictor entry storage. Constructed with num_entries == 0 the table
+ * is infinite (never misses capacity); otherwise it is a set-associative
+ * LRU table of the given geometry.
+ */
+template <typename Payload>
+class PredictorTable
+{
+  public:
+    /**
+     * @param num_entries Total entries; 0 selects the infinite table.
+     * @param associativity Ways per set (ignored when infinite).
+     */
+    PredictorTable(size_t num_entries, size_t associativity)
+    {
+        if (num_entries > 0)
+            finite_.emplace(num_entries, associativity);
+    }
+
+    bool infinite() const { return !finite_.has_value(); }
+
+    /** Find an existing entry or nullptr. */
+    Payload *
+    lookup(uint64_t pc)
+    {
+        if (finite_)
+            return finite_->lookup(pc);
+        auto it = map_.find(pc);
+        return it == map_.end() ? nullptr : &it->second;
+    }
+
+    /** Const find without replacement side effects. */
+    const Payload *
+    peek(uint64_t pc) const
+    {
+        if (finite_)
+            return finite_->peek(pc);
+        auto it = map_.find(pc);
+        return it == map_.end() ? nullptr : &it->second;
+    }
+
+    /** Find or create the entry for pc (evicting LRU when finite). */
+    Payload &
+    allocate(uint64_t pc, bool *evicted = nullptr)
+    {
+        if (finite_)
+            return finite_->allocate(pc, evicted);
+        if (evicted)
+            *evicted = false;
+        return map_[pc];
+    }
+
+    void
+    clear()
+    {
+        if (finite_)
+            finite_->clear();
+        else
+            map_.clear();
+    }
+
+    size_t
+    occupancy() const
+    {
+        return finite_ ? finite_->occupancy() : map_.size();
+    }
+
+    /** LRU evictions performed (0 for infinite tables). */
+    uint64_t
+    evictions() const
+    {
+        return finite_ ? finite_->evictions() : 0;
+    }
+
+  private:
+    std::optional<AssocTable<Payload>> finite_;
+    std::unordered_map<uint64_t, Payload> map_;
+};
+
+} // namespace vpprof
+
+#endif // VPPROF_PREDICTORS_PREDICTOR_TABLE_HH

@@ -1,0 +1,4 @@
+#include "predictors/profile_classifier.hh"
+
+// All members are inline; this translation unit anchors the class so the
+// library has a home for its vtable.

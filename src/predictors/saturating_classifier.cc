@@ -1,0 +1,39 @@
+#include "predictors/saturating_classifier.hh"
+
+namespace vpprof
+{
+
+SaturatingClassifier::SaturatingClassifier(unsigned bits, unsigned initial)
+    : bits_(bits),
+      initial_(initial)
+{
+}
+
+SaturatingCounter &
+SaturatingClassifier::counterFor(uint64_t pc)
+{
+    auto it = counters_.find(pc);
+    if (it == counters_.end()) {
+        it = counters_.emplace(pc,
+                               SaturatingCounter(bits_, initial_)).first;
+    }
+    return it->second;
+}
+
+bool
+SaturatingClassifier::shouldPredict(uint64_t pc, Directive)
+{
+    return counterFor(pc).predictTaken();
+}
+
+void
+SaturatingClassifier::train(uint64_t pc, bool correct)
+{
+    SaturatingCounter &counter = counterFor(pc);
+    if (correct)
+        counter.increment();
+    else
+        counter.decrement();
+}
+
+} // namespace vpprof

@@ -1,0 +1,53 @@
+#include "predictors/stride_predictor.hh"
+
+#include "predictors/counter_policy.hh"
+
+namespace vpprof
+{
+
+StridePredictor::StridePredictor(const PredictorConfig &config)
+    : config_(config),
+      table_(config.numEntries, config.associativity)
+{
+}
+
+Prediction
+StridePredictor::predict(uint64_t pc, Directive)
+{
+    Prediction pred;
+    Entry *entry = table_.lookup(pc);
+    if (!entry || !entry->hasValue)
+        return pred;
+    pred.hit = true;
+    pred.value = static_cast<int64_t>(
+        static_cast<uint64_t>(entry->lastValue) +
+        static_cast<uint64_t>(entry->stride));
+    pred.usedNonZeroStride = entry->stride != 0;
+    pred.counterApproves = counterApproves(config_, entry->counter);
+    return pred;
+}
+
+void
+StridePredictor::update(uint64_t pc, int64_t actual, bool correct,
+                        Directive, bool allocate)
+{
+    Entry *entry = table_.lookup(pc);
+    if (!entry) {
+        if (!allocate)
+            return;
+        entry = &table_.allocate(pc);
+        entry->counter = initialCounter(config_);
+        entry->hasValue = false;
+        entry->stride = 0;
+    }
+    if (entry->hasValue) {
+        trainCounter(config_, entry->counter, correct);
+        entry->stride = static_cast<int64_t>(
+            static_cast<uint64_t>(actual) -
+            static_cast<uint64_t>(entry->lastValue));
+    }
+    entry->lastValue = actual;
+    entry->hasValue = true;
+}
+
+} // namespace vpprof

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The stride predictor of Gabbay & Mendelson (references [4], [5]):
+ * predicts last value + stride, the stride being the difference of the
+ * two most recent destination values (Figure 2.1, right).
+ */
+
+#ifndef VPPROF_PREDICTORS_STRIDE_PREDICTOR_HH
+#define VPPROF_PREDICTORS_STRIDE_PREDICTOR_HH
+
+#include "predictors/predictor_table.hh"
+#include "predictors/value_predictor.hh"
+
+namespace vpprof
+{
+
+/**
+ * Stride predictor. Until two values have been observed the stride field
+ * is zero, so the predictor degenerates to last-value — matching the
+ * "stride field is always determined upon the subtraction of two recent
+ * consecutive destination values" definition of Subsection 2.1.
+ */
+class StridePredictor : public ValuePredictor
+{
+  public:
+    explicit StridePredictor(const PredictorConfig &config);
+
+    std::string_view name() const override { return "stride"; }
+
+    Prediction predict(uint64_t pc,
+                       Directive hint = Directive::None) override;
+
+    void update(uint64_t pc, int64_t actual, bool correct,
+                Directive hint = Directive::None,
+                bool allocate = true) override;
+
+    void reset() override { table_.clear(); }
+
+    size_t occupancy() const override { return table_.occupancy(); }
+    uint64_t evictions() const override { return table_.evictions(); }
+
+  private:
+    struct Entry
+    {
+        bool hasValue = false;
+        int64_t lastValue = 0;
+        int64_t stride = 0;
+        uint8_t counter = 0;
+    };
+
+    PredictorConfig config_;
+    PredictorTable<Entry> table_;
+
+    friend class HybridPredictor;
+};
+
+} // namespace vpprof
+
+#endif // VPPROF_PREDICTORS_STRIDE_PREDICTOR_HH

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The value-predictor interface shared by the last-value, stride and
+ * hybrid predictors.
+ *
+ * Protocol per dynamic value-producing instruction:
+ *   1. predict(pc, hint)  -- consult the table; returns whether a
+ *      prediction is available, the predicted value, and bookkeeping the
+ *      experiments need (did a non-zero stride participate, does the
+ *      per-entry confidence counter approve).
+ *   2. update(pc, actual, hint, allocate) -- train with the true outcome.
+ *      `allocate` gates table allocation on a miss: the profile-guided
+ *      scheme only allocates directive-tagged instructions (Section 5.2),
+ *      while the hardware-only scheme allocates every candidate.
+ *
+ * The `hint` is the instruction's opcode directive; the hybrid predictor
+ * steers on it and the single-table predictors ignore it.
+ */
+
+#ifndef VPPROF_PREDICTORS_VALUE_PREDICTOR_HH
+#define VPPROF_PREDICTORS_VALUE_PREDICTOR_HH
+
+#include <cstdint>
+#include <string_view>
+
+#include "isa/directive.hh"
+
+namespace vpprof
+{
+
+/** Result of a predictor lookup. */
+struct Prediction
+{
+    /** A predicted value is available (entry present and trained). */
+    bool hit = false;
+
+    /** The predicted destination value (valid when hit). */
+    int64_t value = 0;
+
+    /**
+     * The prediction was formed with a non-zero stride (always false
+     * for the last-value predictor); feeds the stride efficiency ratio
+     * of Subsection 2.5.
+     */
+    bool usedNonZeroStride = false;
+
+    /**
+     * Per-entry saturating counter recommends taking the prediction.
+     * Only meaningful for predictors configured with counter bits > 0;
+     * false on a miss.
+     */
+    bool counterApproves = false;
+};
+
+/** Common configuration for table-based value predictors. */
+struct PredictorConfig
+{
+    /** Total table entries; 0 = infinite table. */
+    size_t numEntries = 0;
+
+    /** Ways per set (ignored for infinite tables). */
+    size_t associativity = 2;
+
+    /**
+     * Width of the per-entry classification counter in bits;
+     * 0 disables the per-entry FSM (the profile-guided configurations
+     * drop it, Section 3.2).
+     */
+    unsigned counterBits = 2;
+
+    /** Initial counter value on allocation. */
+    unsigned counterInit = 1;
+};
+
+/** Abstract value predictor. */
+class ValuePredictor
+{
+  public:
+    virtual ~ValuePredictor() = default;
+
+    /** Predictor family name for reports. */
+    virtual std::string_view name() const = 0;
+
+    /** Look up a prediction for the instruction at pc. */
+    virtual Prediction predict(uint64_t pc,
+                               Directive hint = Directive::None) = 0;
+
+    /**
+     * Train with the actual outcome value.
+     *
+     * @param pc Static instruction address.
+     * @param actual The value the instruction really produced.
+     * @param correct Whether the prediction consumed by the pipeline was
+     *        correct; drives the per-entry counter (when present).
+     * @param hint Opcode directive (hybrid steering).
+     * @param allocate Permit allocating a table entry on miss.
+     */
+    virtual void update(uint64_t pc, int64_t actual, bool correct,
+                        Directive hint = Directive::None,
+                        bool allocate = true) = 0;
+
+    /** Drop all table state. */
+    virtual void reset() = 0;
+
+    /** Currently valid entries (for utilization reports). */
+    virtual size_t occupancy() const = 0;
+
+    /** Capacity evictions so far (0 for infinite tables). */
+    virtual uint64_t evictions() const = 0;
+};
+
+} // namespace vpprof
+
+#endif // VPPROF_PREDICTORS_VALUE_PREDICTOR_HH

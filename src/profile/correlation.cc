@@ -1,0 +1,104 @@
+#include "profile/correlation.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace vpprof
+{
+
+namespace
+{
+
+/** Shared alignment walk; `extract` maps a PcProfile to the metric. */
+template <typename Extract>
+AlignedProfileVectors
+align(const std::vector<ProfileImage> &images, Extract extract)
+{
+    AlignedProfileVectors out;
+    out.pcs = commonPcs(images);
+    out.runs.resize(images.size());
+    for (size_t j = 0; j < images.size(); ++j) {
+        out.runs[j].reserve(out.pcs.size());
+        for (uint64_t pc : out.pcs) {
+            const PcProfile *prof = images[j].find(pc);
+            // commonPcs guarantees presence.
+            out.runs[j].push_back(extract(*prof));
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+AlignedProfileVectors
+alignAccuracy(const std::vector<ProfileImage> &images)
+{
+    return align(images, [](const PcProfile &p) {
+        return p.accuracyPercent();
+    });
+}
+
+AlignedProfileVectors
+alignStrideEfficiency(const std::vector<ProfileImage> &images)
+{
+    return align(images, [](const PcProfile &p) {
+        return p.strideEfficiencyPercent();
+    });
+}
+
+std::vector<double>
+maxDistance(const AlignedProfileVectors &vectors)
+{
+    if (vectors.numRuns() < 2)
+        vpprof_panic("maxDistance needs at least two runs");
+    size_t n = vectors.numRuns();
+    size_t k = vectors.dimension();
+    std::vector<double> metric(k, 0.0);
+    for (size_t i = 0; i < k; ++i) {
+        double worst = 0.0;
+        for (size_t a = 0; a < n; ++a) {
+            for (size_t b = a + 1; b < n; ++b) {
+                double d = std::fabs(vectors.runs[a][i] -
+                                     vectors.runs[b][i]);
+                if (d > worst)
+                    worst = d;
+            }
+        }
+        metric[i] = worst;
+    }
+    return metric;
+}
+
+std::vector<double>
+averageDistance(const AlignedProfileVectors &vectors)
+{
+    if (vectors.numRuns() < 2)
+        vpprof_panic("averageDistance needs at least two runs");
+    size_t n = vectors.numRuns();
+    size_t k = vectors.dimension();
+    double num_pairs = static_cast<double>(n * (n - 1) / 2);
+    std::vector<double> metric(k, 0.0);
+    for (size_t i = 0; i < k; ++i) {
+        double sum = 0.0;
+        for (size_t a = 0; a < n; ++a) {
+            for (size_t b = a + 1; b < n; ++b) {
+                sum += std::fabs(vectors.runs[a][i] -
+                                 vectors.runs[b][i]);
+            }
+        }
+        metric[i] = sum / num_pairs;
+    }
+    return metric;
+}
+
+Histogram
+decileSpread(const std::vector<double> &coordinates)
+{
+    Histogram h = makeDecileHistogram();
+    for (double x : coordinates)
+        h.addSample(x);
+    return h;
+}
+
+} // namespace vpprof

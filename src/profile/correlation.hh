@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Cross-run similarity metrics of Section 4.
+ *
+ * Running a program n times with different inputs yields n profile
+ * images. Viewing each image as a vector (one coordinate per
+ * instruction common to all runs), the paper measures the resemblance
+ * between the vectors with two metrics:
+ *
+ *  - M(V)max (Equation 4.1): per coordinate, the maximum distance
+ *    between the corresponding coordinates of each pair of vectors;
+ *  - M(V)average (Equation 4.2): per coordinate, the arithmetic-average
+ *    pairwise distance.
+ *
+ * The same machinery applied to stride-efficiency vectors produces
+ * M(S)average (Figure 4.3). Coordinates concentrated in the low deciles
+ * mean the runs agree, i.e., profiling is input-independent.
+ */
+
+#ifndef VPPROF_PROFILE_CORRELATION_HH
+#define VPPROF_PROFILE_CORRELATION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/histogram.hh"
+#include "profile/profile_image.hh"
+
+namespace vpprof
+{
+
+/**
+ * Profile vectors aligned over the instructions common to all runs:
+ * runs[j][i] is the metric value of instruction pcs[i] in run j.
+ */
+struct AlignedProfileVectors
+{
+    std::vector<uint64_t> pcs;
+    std::vector<std::vector<double>> runs;
+
+    /** Number of coordinates (aligned instructions). */
+    size_t dimension() const { return pcs.size(); }
+
+    /** Number of runs. */
+    size_t numRuns() const { return runs.size(); }
+};
+
+/**
+ * Align prediction-accuracy vectors (percent) over the pcs profiled in
+ * every image. Instructions appearing only in some runs are omitted,
+ * per Section 4.
+ */
+AlignedProfileVectors
+alignAccuracy(const std::vector<ProfileImage> &images);
+
+/** Align stride-efficiency-ratio vectors (percent). */
+AlignedProfileVectors
+alignStrideEfficiency(const std::vector<ProfileImage> &images);
+
+/**
+ * Equation 4.1: per coordinate, max over all vector pairs of the
+ * absolute coordinate difference. Needs >= 2 runs.
+ */
+std::vector<double> maxDistance(const AlignedProfileVectors &vectors);
+
+/**
+ * Equation 4.2: per coordinate, the arithmetic mean over all vector
+ * pairs of the absolute coordinate difference. Needs >= 2 runs.
+ */
+std::vector<double> averageDistance(const AlignedProfileVectors &vectors);
+
+/**
+ * Bucket metric coordinates into the paper's deciles
+ * ([0,10], (10,20], ..., (90,100]) for the Figure 4.x histograms.
+ */
+Histogram decileSpread(const std::vector<double> &coordinates);
+
+} // namespace vpprof
+
+#endif // VPPROF_PROFILE_CORRELATION_HH

@@ -1,0 +1,65 @@
+#include "profile/profile_collector.hh"
+
+namespace vpprof
+{
+
+namespace
+{
+
+/** Infinite, unclassified predictor configuration for profiling. */
+PredictorConfig
+profilingConfig()
+{
+    PredictorConfig cfg;
+    cfg.numEntries = 0;   // infinite
+    cfg.counterBits = 0;  // no FSM during profiling
+    return cfg;
+}
+
+} // namespace
+
+ProfileCollector::ProfileCollector(std::string program_name)
+    : image_(std::move(program_name)),
+      stride_(profilingConfig()),
+      lastValue_(profilingConfig())
+{
+}
+
+void
+ProfileCollector::record(const TraceRecord &rec)
+{
+    if (!rec.writesReg)
+        return;
+    ++producersSeen_;
+
+    PcProfile &prof = image_.at(rec.pc);
+    prof.opClass = classOf(rec.op);
+    ++prof.executions;
+
+    Prediction sp = stride_.predict(rec.pc);
+    if (sp.hit) {
+        ++prof.attempts;
+        if (sp.value == rec.value) {
+            ++prof.correct;
+            if (sp.usedNonZeroStride)
+                ++prof.correctNonZeroStride;
+        }
+    }
+    stride_.update(rec.pc, rec.value, sp.hit && sp.value == rec.value);
+
+    Prediction lp = lastValue_.predict(rec.pc);
+    if (lp.hit) {
+        ++prof.lastValueAttempts;
+        if (lp.value == rec.value)
+            ++prof.lastValueCorrect;
+    }
+    lastValue_.update(rec.pc, rec.value, lp.hit && lp.value == rec.value);
+}
+
+ProfileImage
+ProfileCollector::takeImage()
+{
+    return std::move(image_);
+}
+
+} // namespace vpprof

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * ProfileCollector: the profiling phase of the methodology (Phase #2 of
+ * Figure 3.1). It consumes a dynamic trace, emulates an infinite stride
+ * predictor and an infinite last-value predictor side by side, and
+ * accumulates the per-instruction statistics that form the profile
+ * image: prediction accuracy and stride efficiency ratio.
+ */
+
+#ifndef VPPROF_PROFILE_PROFILE_COLLECTOR_HH
+#define VPPROF_PROFILE_PROFILE_COLLECTOR_HH
+
+#include <memory>
+#include <string>
+
+#include "predictors/last_value_predictor.hh"
+#include "predictors/stride_predictor.hh"
+#include "profile/profile_image.hh"
+#include "vm/trace.hh"
+
+namespace vpprof
+{
+
+/**
+ * A trace sink that builds a ProfileImage. Only value-producing
+ * instructions (those writing a destination register) are observed, per
+ * the paper's convention.
+ */
+class ProfileCollector : public TraceSink
+{
+  public:
+    /** @param program_name Name recorded into the produced image. */
+    explicit ProfileCollector(std::string program_name);
+
+    void record(const TraceRecord &rec) override;
+
+    /** The image accumulated so far. */
+    const ProfileImage &image() const { return image_; }
+
+    /** Move the image out (collector becomes empty). */
+    ProfileImage takeImage();
+
+    /** Total value-producing instructions observed. */
+    uint64_t producersSeen() const { return producersSeen_; }
+
+  private:
+    ProfileImage image_;
+    StridePredictor stride_;
+    LastValuePredictor lastValue_;
+    uint64_t producersSeen_ = 0;
+};
+
+} // namespace vpprof
+
+#endif // VPPROF_PROFILE_PROFILE_COLLECTOR_HH

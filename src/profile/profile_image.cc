@@ -1,0 +1,134 @@
+#include "profile/profile_image.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace vpprof
+{
+
+const PcProfile *
+ProfileImage::find(uint64_t pc) const
+{
+    auto it = entries_.find(pc);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+void
+ProfileImage::merge(const ProfileImage &other)
+{
+    for (const auto &[pc, prof] : other.entries_) {
+        PcProfile &mine = entries_[pc];
+        mine.executions += prof.executions;
+        mine.attempts += prof.attempts;
+        mine.correct += prof.correct;
+        mine.correctNonZeroStride += prof.correctNonZeroStride;
+        mine.lastValueCorrect += prof.lastValueCorrect;
+        mine.lastValueAttempts += prof.lastValueAttempts;
+        mine.opClass = prof.opClass;
+    }
+}
+
+void
+ProfileImage::save(std::ostream &os) const
+{
+    os << "# vpprof profile image v1\n";
+    os << "program " << program_ << '\n';
+    os << "# pc executions attempts correct correctNonZeroStride"
+          " lvAttempts lvCorrect opclass\n";
+    for (const auto &[pc, p] : entries_) {
+        os << pc << ' ' << p.executions << ' ' << p.attempts << ' '
+           << p.correct << ' ' << p.correctNonZeroStride << ' '
+           << p.lastValueAttempts << ' ' << p.lastValueCorrect << ' '
+           << static_cast<unsigned>(p.opClass) << '\n';
+    }
+}
+
+void
+ProfileImage::saveFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        vpprof_fatal("cannot open profile image for writing: ", path);
+    save(os);
+}
+
+ProfileImage
+ProfileImage::load(std::istream &is)
+{
+    ProfileImage image;
+    std::string line;
+    bool saw_header = false;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::string first;
+        ls >> first;
+        if (first == "program") {
+            std::string name;
+            ls >> name;
+            image.program_ = name;
+            saw_header = true;
+            continue;
+        }
+        uint64_t pc = 0;
+        try {
+            pc = std::stoull(first);
+        } catch (const std::exception &) {
+            vpprof_fatal("malformed profile image line: ", line);
+        }
+        PcProfile p;
+        unsigned cls = 0;
+        ls >> p.executions >> p.attempts >> p.correct
+           >> p.correctNonZeroStride >> p.lastValueAttempts
+           >> p.lastValueCorrect >> cls;
+        if (!ls)
+            vpprof_fatal("malformed profile image line: ", line);
+        if (p.correct > p.attempts || p.correctNonZeroStride > p.correct ||
+            p.lastValueCorrect > p.lastValueAttempts) {
+            vpprof_fatal("inconsistent counters in profile image line: ",
+                         line);
+        }
+        p.opClass = static_cast<OpClass>(cls);
+        image.entries_[pc] = p;
+    }
+    if (!saw_header)
+        vpprof_fatal("profile image missing 'program' header");
+    return image;
+}
+
+ProfileImage
+ProfileImage::loadFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        vpprof_fatal("cannot open profile image: ", path);
+    return load(is);
+}
+
+std::vector<uint64_t>
+commonPcs(const std::vector<ProfileImage> &images)
+{
+    std::vector<uint64_t> common;
+    if (images.empty())
+        return common;
+    for (const auto &[pc, prof] : images[0].entries()) {
+        if (prof.attempts == 0)
+            continue;
+        bool in_all = true;
+        for (size_t j = 1; j < images.size(); ++j) {
+            const PcProfile *other = images[j].find(pc);
+            if (!other || other->attempts == 0) {
+                in_all = false;
+                break;
+            }
+        }
+        if (in_all)
+            common.push_back(pc);
+    }
+    return common;
+}
+
+} // namespace vpprof

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The profile image: per-instruction value-predictability statistics
+ * collected during a profiling run (Section 3.2, Table 3.1).
+ *
+ * The paper's profile image file holds, per instruction address, the
+ * prediction accuracy and the stride efficiency ratio. We persist the
+ * underlying counters instead of the ratios so images from multiple
+ * training runs can be merged exactly; the ratios are derived views.
+ */
+
+#ifndef VPPROF_PROFILE_PROFILE_IMAGE_HH
+#define VPPROF_PROFILE_PROFILE_IMAGE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/opcode.hh"
+
+namespace vpprof
+{
+
+/** Per-instruction profiling counters and their derived ratios. */
+struct PcProfile
+{
+    uint64_t executions = 0;  ///< dynamic occurrences (value producers)
+    uint64_t attempts = 0;    ///< stride-predictor predictions attempted
+    uint64_t correct = 0;     ///< correct stride-predictor predictions
+    /** Correct predictions formed with a non-zero stride. */
+    uint64_t correctNonZeroStride = 0;
+    /** Correct predictions of the companion last-value predictor. */
+    uint64_t lastValueCorrect = 0;
+    /** Last-value predictions attempted. */
+    uint64_t lastValueAttempts = 0;
+    OpClass opClass = OpClass::IntAlu;
+
+    /** Stride-predictor prediction accuracy in percent (0 if untried). */
+    double
+    accuracyPercent() const
+    {
+        return attempts == 0
+            ? 0.0 : 100.0 * static_cast<double>(correct)
+                        / static_cast<double>(attempts);
+    }
+
+    /** Last-value-predictor accuracy in percent. */
+    double
+    lastValueAccuracyPercent() const
+    {
+        return lastValueAttempts == 0
+            ? 0.0 : 100.0 * static_cast<double>(lastValueCorrect)
+                        / static_cast<double>(lastValueAttempts);
+    }
+
+    /**
+     * Stride efficiency ratio in percent: the share of correct
+     * predictions that used a non-zero stride (Subsection 2.5).
+     * 0 when the instruction never predicted correctly.
+     */
+    double
+    strideEfficiencyPercent() const
+    {
+        return correct == 0
+            ? 0.0 : 100.0 * static_cast<double>(correctNonZeroStride)
+                        / static_cast<double>(correct);
+    }
+};
+
+/**
+ * A profile image: the per-pc table produced by one (or several merged)
+ * profiling runs of one program.
+ */
+class ProfileImage
+{
+  public:
+    ProfileImage() = default;
+
+    /** @param program Name of the profiled program. */
+    explicit ProfileImage(std::string program)
+        : program_(std::move(program))
+    {
+    }
+
+    const std::string &programName() const { return program_; }
+
+    /** Mutable per-pc record, created on first touch. */
+    PcProfile &at(uint64_t pc) { return entries_[pc]; }
+
+    /** Lookup; nullptr when the pc was never profiled. */
+    const PcProfile *find(uint64_t pc) const;
+
+    /** Number of distinct profiled instructions. */
+    size_t size() const { return entries_.size(); }
+    bool empty() const { return entries_.empty(); }
+
+    /** Ordered iteration over (pc, profile) pairs. */
+    const std::map<uint64_t, PcProfile> &entries() const
+    {
+        return entries_;
+    }
+
+    /**
+     * Merge another image of the same program by summing counters
+     * (multi-run profiling, Section 3.2: "the program can be run either
+     * single or multiple times").
+     */
+    void merge(const ProfileImage &other);
+
+    /** Serialize as the text profile-image file format. */
+    void save(std::ostream &os) const;
+    void saveFile(const std::string &path) const;
+
+    /** Parse a text profile-image file; fatal on malformed input. */
+    static ProfileImage load(std::istream &is);
+    static ProfileImage loadFile(const std::string &path);
+
+  private:
+    std::string program_;
+    std::map<uint64_t, PcProfile> entries_;
+};
+
+/**
+ * The set of pcs profiled in every one of the given images — Section 4
+ * keeps only instructions that appear in all runs when building its
+ * metric vectors.
+ */
+std::vector<uint64_t> commonPcs(const std::vector<ProfileImage> &images);
+
+} // namespace vpprof
+
+#endif // VPPROF_PROFILE_PROFILE_IMAGE_HH

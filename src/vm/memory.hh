@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Sparse word-addressed data memory and initial memory images.
+ *
+ * Memory is an array of 64-bit words indexed by word address; a word can
+ * hold either an integer or the bit pattern of an IEEE double. Word
+ * addressing (rather than byte addressing) keeps workload code free of
+ * alignment arithmetic without changing any value-prediction behaviour.
+ */
+
+#ifndef VPPROF_VM_MEMORY_HH
+#define VPPROF_VM_MEMORY_HH
+
+#include <bit>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace vpprof
+{
+
+/** Sparse 64-bit word memory; unwritten words read as zero. */
+class Memory
+{
+  public:
+    /** Read the word at an address (0 when never written). */
+    int64_t
+    load(uint64_t addr) const
+    {
+        auto it = words_.find(addr);
+        return it == words_.end() ? 0 : it->second;
+    }
+
+    /** Write the word at an address. */
+    void store(uint64_t addr, int64_t value) { words_[addr] = value; }
+
+    /** Read a double stored via storeDouble. */
+    double
+    loadDouble(uint64_t addr) const
+    {
+        return std::bit_cast<double>(load(addr));
+    }
+
+    /** Store a double as its bit pattern. */
+    void
+    storeDouble(uint64_t addr, double value)
+    {
+        store(addr, std::bit_cast<int64_t>(value));
+    }
+
+    /** Number of distinct words ever written. */
+    size_t footprint() const { return words_.size(); }
+
+    void clear() { words_.clear(); }
+
+  private:
+    std::unordered_map<uint64_t, int64_t> words_;
+};
+
+/**
+ * An initial memory image plus optional initial register values: the
+ * "input set" of a workload run. Programs are fixed across runs; only
+ * the image varies, so static instruction addresses stay comparable
+ * between profile images (Section 4's requirement).
+ */
+class MemoryImage
+{
+  public:
+    /** Set one word. */
+    void store(uint64_t addr, int64_t value) { words_[addr] = value; }
+
+    /** Set one double. */
+    void
+    storeDouble(uint64_t addr, double value)
+    {
+        words_[addr] = std::bit_cast<int64_t>(value);
+    }
+
+    /** Set a contiguous block starting at addr. */
+    void
+    storeBlock(uint64_t addr, const std::vector<int64_t> &values)
+    {
+        for (size_t i = 0; i < values.size(); ++i)
+            words_[addr + i] = values[i];
+    }
+
+    /** Seed an initial register value (applied before execution). */
+    void
+    setRegister(uint8_t reg, int64_t value)
+    {
+        regs_[reg] = value;
+    }
+
+    const std::unordered_map<uint64_t, int64_t> &words() const
+    {
+        return words_;
+    }
+
+    const std::unordered_map<uint8_t, int64_t> &registers() const
+    {
+        return regs_;
+    }
+
+  private:
+    std::unordered_map<uint64_t, int64_t> words_;
+    std::unordered_map<uint8_t, int64_t> regs_;
+};
+
+} // namespace vpprof
+
+#endif // VPPROF_VM_MEMORY_HH

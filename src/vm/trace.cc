@@ -1,0 +1,22 @@
+#include "vm/trace.hh"
+
+namespace vpprof
+{
+
+void
+CountingTraceSink::record(const TraceRecord &rec)
+{
+    ++total_;
+    if (rec.writesReg)
+        ++producers_;
+    if (isLoad(rec.op))
+        ++loads_;
+    if (isStore(rec.op))
+        ++stores_;
+    if (isControl(rec.op))
+        ++branches_;
+    if (isFp(rec.op))
+        ++fpOps_;
+}
+
+} // namespace vpprof

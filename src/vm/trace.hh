@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Dynamic instruction trace records and sinks.
+ *
+ * The VM plays the role SHADE played for the paper: it executes the
+ * program and emits one TraceRecord per retired instruction, carrying
+ * everything the value-prediction experiments observe — the static
+ * address, the destination register and its computed value, the source
+ * registers (for the ILP dataflow analysis) and the effective address of
+ * memory operations (for memory true dependencies).
+ */
+
+#ifndef VPPROF_VM_TRACE_HH
+#define VPPROF_VM_TRACE_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace vpprof
+{
+
+/** One retired dynamic instruction. */
+struct TraceRecord
+{
+    uint64_t seq = 0;      ///< dynamic instruction number, from 0
+    uint64_t pc = 0;       ///< static instruction address
+    Opcode op = Opcode::Nop;
+    Directive directive = Directive::None;
+    bool writesReg = false;
+    RegId dest = 0;
+    int64_t value = 0;     ///< destination value when writesReg
+    uint8_t numSrcs = 0;
+    std::array<RegId, 2> srcs{{0, 0}};
+    bool isMem = false;
+    uint64_t memAddr = 0;  ///< effective word address when isMem
+};
+
+/** Consumer of a dynamic trace. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Called once per retired instruction, in program order. */
+    virtual void record(const TraceRecord &rec) = 0;
+};
+
+/** Buffers the whole trace in memory. */
+class VectorTraceSink : public TraceSink
+{
+  public:
+    void record(const TraceRecord &rec) override { trace_.push_back(rec); }
+
+    const std::vector<TraceRecord> &trace() const { return trace_; }
+    std::vector<TraceRecord> takeTrace() { return std::move(trace_); }
+
+  private:
+    std::vector<TraceRecord> trace_;
+};
+
+/** Forwards each record to a callable (for streaming analyses). */
+class CallbackTraceSink : public TraceSink
+{
+  public:
+    using Callback = std::function<void(const TraceRecord &)>;
+
+    explicit CallbackTraceSink(Callback cb) : cb_(std::move(cb)) {}
+
+    void record(const TraceRecord &rec) override { cb_(rec); }
+
+  private:
+    Callback cb_;
+};
+
+/** Fans one trace out to several sinks. */
+class MultiTraceSink : public TraceSink
+{
+  public:
+    void addSink(TraceSink *sink) { sinks_.push_back(sink); }
+
+    void
+    record(const TraceRecord &rec) override
+    {
+        for (TraceSink *sink : sinks_)
+            sink->record(rec);
+    }
+
+  private:
+    std::vector<TraceSink *> sinks_;
+};
+
+/** Counts records per instruction category. */
+class CountingTraceSink : public TraceSink
+{
+  public:
+    void record(const TraceRecord &rec) override;
+
+    uint64_t total() const { return total_; }
+    uint64_t producers() const { return producers_; }
+    uint64_t loads() const { return loads_; }
+    uint64_t stores() const { return stores_; }
+    uint64_t branches() const { return branches_; }
+    uint64_t fpOps() const { return fpOps_; }
+
+  private:
+    uint64_t total_ = 0;
+    uint64_t producers_ = 0;
+    uint64_t loads_ = 0;
+    uint64_t stores_ = 0;
+    uint64_t branches_ = 0;
+    uint64_t fpOps_ = 0;
+};
+
+} // namespace vpprof
+
+#endif // VPPROF_VM_TRACE_HH

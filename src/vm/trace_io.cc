@@ -1,0 +1,152 @@
+#include "vm/trace_io.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace vpprof
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'V', 'P', 'T', 'R', 'A', 'C', 'E', '1'};
+constexpr size_t kRecordBytes = 8 + 8 + 1 + 1 + 1 + 1 + 8 + 1 + 2 + 8;
+
+/** Serialize one record into a fixed-width buffer. */
+void
+encode(const TraceRecord &rec, char *buf)
+{
+    size_t off = 0;
+    auto put = [&](const void *p, size_t n) {
+        std::memcpy(buf + off, p, n);
+        off += n;
+    };
+    put(&rec.seq, 8);
+    put(&rec.pc, 8);
+    uint8_t op = static_cast<uint8_t>(rec.op);
+    put(&op, 1);
+    uint8_t dir = static_cast<uint8_t>(rec.directive);
+    put(&dir, 1);
+    uint8_t flags = (rec.writesReg ? 1 : 0) | (rec.isMem ? 2 : 0);
+    put(&flags, 1);
+    put(&rec.dest, 1);
+    put(&rec.value, 8);
+    put(&rec.numSrcs, 1);
+    put(rec.srcs.data(), 2);
+    put(&rec.memAddr, 8);
+}
+
+/** Deserialize one record from a fixed-width buffer. */
+void
+decode(const char *buf, TraceRecord &rec)
+{
+    size_t off = 0;
+    auto get = [&](void *p, size_t n) {
+        std::memcpy(p, buf + off, n);
+        off += n;
+    };
+    get(&rec.seq, 8);
+    get(&rec.pc, 8);
+    uint8_t op = 0;
+    get(&op, 1);
+    rec.op = static_cast<Opcode>(op);
+    uint8_t dir = 0;
+    get(&dir, 1);
+    rec.directive = static_cast<Directive>(dir);
+    uint8_t flags = 0;
+    get(&flags, 1);
+    rec.writesReg = (flags & 1) != 0;
+    rec.isMem = (flags & 2) != 0;
+    get(&rec.dest, 1);
+    get(&rec.value, 8);
+    get(&rec.numSrcs, 1);
+    get(rec.srcs.data(), 2);
+    get(&rec.memAddr, 8);
+}
+
+} // namespace
+
+TraceFileWriter::TraceFileWriter(const std::string &path)
+    : path_(path),
+      out_(path, std::ios::binary | std::ios::trunc)
+{
+    if (!out_)
+        vpprof_fatal("cannot create trace file: ", path);
+    out_.write(kMagic, sizeof(kMagic));
+    uint64_t placeholder = 0;
+    out_.write(reinterpret_cast<const char *>(&placeholder), 8);
+}
+
+TraceFileWriter::~TraceFileWriter()
+{
+    if (!closed_)
+        close();
+}
+
+void
+TraceFileWriter::record(const TraceRecord &rec)
+{
+    if (closed_)
+        vpprof_panic("TraceFileWriter::record after close");
+    char buf[kRecordBytes];
+    encode(rec, buf);
+    out_.write(buf, sizeof(buf));
+    ++count_;
+}
+
+void
+TraceFileWriter::close()
+{
+    if (closed_)
+        return;
+    closed_ = true;
+    out_.seekp(sizeof(kMagic));
+    out_.write(reinterpret_cast<const char *>(&count_), 8);
+    out_.close();
+    if (!out_)
+        vpprof_fatal("error finalizing trace file: ", path_);
+}
+
+TraceFileReader::TraceFileReader(const std::string &path)
+    : in_(path, std::ios::binary)
+{
+    if (!in_)
+        vpprof_fatal("cannot open trace file: ", path);
+    char magic[sizeof(kMagic)];
+    in_.read(magic, sizeof(magic));
+    if (!in_ || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        vpprof_fatal("not a vpprof trace file: ", path);
+    in_.read(reinterpret_cast<char *>(&count_), 8);
+    if (!in_)
+        vpprof_fatal("truncated trace header: ", path);
+}
+
+bool
+TraceFileReader::next(TraceRecord &rec)
+{
+    if (read_ >= count_)
+        return false;
+    char buf[kRecordBytes];
+    in_.read(buf, sizeof(buf));
+    if (!in_)
+        vpprof_fatal("truncated trace file (expected ", count_,
+                     " records, got ", read_, ")");
+    decode(buf, rec);
+    ++read_;
+    return true;
+}
+
+uint64_t
+TraceFileReader::replay(TraceSink *sink)
+{
+    uint64_t n = 0;
+    TraceRecord rec;
+    while (next(rec)) {
+        sink->record(rec);
+        ++n;
+    }
+    return n;
+}
+
+} // namespace vpprof

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Binary trace files: persist a dynamic trace to disk and replay it
+ * later, so expensive workload runs can be captured once and analyzed
+ * many times — the role SHADE's trace files played for the paper.
+ *
+ * Format: an 16-byte header ("VPTRACE1", record count) followed by
+ * fixed-width little-endian records. The format is versioned by the
+ * magic string; readers reject anything they do not understand.
+ */
+
+#ifndef VPPROF_VM_TRACE_IO_HH
+#define VPPROF_VM_TRACE_IO_HH
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "vm/trace.hh"
+
+namespace vpprof
+{
+
+/**
+ * A trace sink that streams records into a binary trace file. The
+ * record count in the header is fixed up on close().
+ */
+class TraceFileWriter : public TraceSink
+{
+  public:
+    /** Open (truncate) the file; fatal when it cannot be created. */
+    explicit TraceFileWriter(const std::string &path);
+
+    ~TraceFileWriter() override;
+
+    void record(const TraceRecord &rec) override;
+
+    /** Finalize the header and close; implicit in the destructor. */
+    void close();
+
+    uint64_t recordsWritten() const { return count_; }
+
+  private:
+    std::string path_;
+    std::ofstream out_;
+    uint64_t count_ = 0;
+    bool closed_ = false;
+};
+
+/**
+ * Reads a binary trace file. Records can be streamed into any
+ * TraceSink (replay) or pulled one at a time.
+ */
+class TraceFileReader
+{
+  public:
+    /** Open and validate the header; fatal on a malformed file. */
+    explicit TraceFileReader(const std::string &path);
+
+    /** Records the header promises. */
+    uint64_t recordCount() const { return count_; }
+
+    /** Read the next record; false at end of trace. */
+    bool next(TraceRecord &rec);
+
+    /** Stream every remaining record into a sink; returns how many. */
+    uint64_t replay(TraceSink *sink);
+
+  private:
+    std::ifstream in_;
+    uint64_t count_ = 0;
+    uint64_t read_ = 0;
+};
+
+} // namespace vpprof
+
+#endif // VPPROF_VM_TRACE_IO_HH

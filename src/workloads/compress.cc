@@ -1,0 +1,228 @@
+/**
+ * @file
+ * The "compress" workload: adaptive LZW-style compression standing in
+ * for SPEC95 129.compress95.
+ *
+ * The program compresses a character stream with the classic
+ * hash-table LZW scheme: form fcode = (prefix << 8) | c, hash it,
+ * linearly probe the hash table, either extend the prefix, or emit a
+ * code and insert a new dictionary entry. Emitted codes and the final
+ * dictionary state fold into the checksum.
+ *
+ * Value-predictability character: hash values, probe addresses and
+ * prefix codes are data-dependent and essentially unpredictable, while
+ * only the input index strides — reproducing the low prediction
+ * accuracy the paper reports for compress.
+ */
+
+#include "workloads/workload.hh"
+
+#include <array>
+
+#include "common/random.hh"
+#include "isa/program_builder.hh"
+
+namespace vpprof
+{
+
+namespace
+{
+
+constexpr int64_t kInputBase = 100000;
+constexpr int64_t kHashBase = 20000;   // 4096 entries, 0 = empty
+constexpr int64_t kCodeBase = 40000;   // code table, parallel to hash
+constexpr int64_t kOutputBase = 1000000;
+constexpr int64_t kHashSize = 8192;
+constexpr int64_t kMaxCode = 4096;
+constexpr int64_t kFirstFree = 256;
+constexpr int64_t kHashMul = 2654435761ll;  // Knuth multiplicative hash
+constexpr uint64_t kParamN = kParamBase + 0;
+
+struct CompressInput
+{
+    int64_t n;
+    uint64_t seed;
+    int alphabet;  ///< distinct symbols in the stream
+};
+
+constexpr std::array<CompressInput, 5> kInputs = {{
+    {70000, 0xc901, 20},
+    {55000, 0xc902, 12},
+    {85000, 0xc903, 28},
+    {62000, 0xc904, 16},
+    {75000, 0xc905, 24},
+}};
+
+/** Runs-plus-noise character stream (compressible but not trivial). */
+std::vector<int64_t>
+makeStream(const CompressInput &in)
+{
+    std::vector<int64_t> stream;
+    stream.reserve(static_cast<size_t>(in.n));
+    Rng rng(in.seed);
+    int64_t last = 1;
+    for (int64_t i = 0; i < in.n; ++i) {
+        if (rng.nextBelow(4) == 0)
+            last = static_cast<int64_t>(
+                rng.nextBelow(static_cast<uint64_t>(in.alphabet)));
+        stream.push_back(last);
+    }
+    return stream;
+}
+
+Program
+buildCompressProgram()
+{
+    ProgramBuilder b("compress");
+
+    // r1=i r2=N r3=prefix r4=c r5=fcode r6=h r7=free_code
+    // r8=outpos r9=checksum r10/r11=scratch
+    b.ld(R(2), R(0), kParamN);
+    b.ld(R(3), R(0), kInputBase);       // prefix = input[0]
+    b.movi(R(1), 1);
+    b.movi(R(7), kFirstFree);
+    b.movi(R(8), 0);
+    b.movi(R(9), 0);
+
+    b.label("main");
+    b.bge(R(1), R(2), "fin");
+    b.ld(R(4), R(1), kInputBase);       // c = input[i]
+    b.shli(R(5), R(3), 8);
+    b.or_(R(5), R(5), R(4));            // fcode
+    b.muli(R(6), R(5), kHashMul);       // multiplicative hash of fcode
+    b.shri(R(6), R(6), 8);
+    b.andi(R(6), R(6), kHashSize - 1);
+
+    b.label("probe");
+    b.ld(R(10), R(6), kHashBase);
+    b.addi(R(11), R(5), 1);             // stored key is fcode+1
+    b.beq(R(10), R(11), "hit");
+    b.beq(R(10), R(0), "insert");
+    b.addi(R(6), R(6), 1);              // linear probe
+    b.andi(R(6), R(6), kHashSize - 1);
+    b.jmp("probe");
+
+    b.label("hit");
+    b.ld(R(3), R(6), kCodeBase);        // prefix = code of fcode
+    b.addi(R(1), R(1), 1);
+    b.jmp("main");
+
+    b.label("insert");
+    b.st(R(8), R(3), kOutputBase);      // emit prefix
+    b.addi(R(8), R(8), 1);
+    b.muli(R(9), R(9), 37);             // fold into checksum
+    b.add(R(9), R(9), R(3));
+    b.movi(R(10), kMaxCode);
+    b.bge(R(7), R(10), "nofree");       // dictionary full
+    b.st(R(6), R(11), kHashBase);       // htab[h] = fcode+1
+    b.st(R(6), R(7), kCodeBase);        // codetab[h] = free_code
+    b.addi(R(7), R(7), 1);
+    b.label("nofree");
+    b.mov(R(3), R(4));
+    b.addi(R(1), R(1), 1);
+    b.jmp("main");
+
+    b.label("fin");
+    b.st(R(8), R(3), kOutputBase);      // flush final prefix
+    b.addi(R(8), R(8), 1);
+    b.muli(R(9), R(9), 37);
+    b.add(R(9), R(9), R(3));
+    b.muli(R(10), R(7), 101);
+    b.add(R(9), R(9), R(10));
+    b.add(R(9), R(9), R(8));
+    b.st(R(0), R(9), kChecksumAddr);
+    b.halt();
+
+    return b.build();
+}
+
+class CompressWorkload : public Workload
+{
+  public:
+    CompressWorkload() : program_(buildCompressProgram()) {}
+
+    std::string_view name() const override { return "compress"; }
+
+    std::string_view
+    description() const override
+    {
+        return "adaptive LZW hashing compressor (129.compress95)";
+    }
+
+    const Program &program() const override { return program_; }
+
+    size_t numInputSets() const override { return kInputs.size(); }
+
+    MemoryImage
+    input(size_t idx) const override
+    {
+        const CompressInput &in = kInputs.at(idx);
+        MemoryImage image;
+        image.store(kParamN, in.n);
+        image.storeBlock(kInputBase, makeStream(in));
+        return image;
+    }
+
+    int64_t referenceChecksum(size_t idx) const override;
+
+  private:
+    Program program_;
+};
+
+} // namespace
+
+int64_t
+CompressWorkload::referenceChecksum(size_t idx) const
+{
+    const CompressInput &in = kInputs.at(idx);
+    std::vector<int64_t> input = makeStream(in);
+
+    std::vector<int64_t> htab(kHashSize, 0);
+    std::vector<int64_t> codetab(kHashSize, 0);
+    int64_t prefix = input[0];
+    int64_t free_code = kFirstFree;
+    int64_t outpos = 0;
+    uint64_t checksum = 0;
+
+    auto emit = [&](int64_t code) {
+        ++outpos;
+        checksum = checksum * 37 + static_cast<uint64_t>(code);
+    };
+
+    for (int64_t i = 1; i < in.n; ++i) {
+        int64_t c = input[static_cast<size_t>(i)];
+        int64_t fcode = (prefix << 8) | c;
+        int64_t h = static_cast<int64_t>(
+            (static_cast<uint64_t>(fcode) *
+             static_cast<uint64_t>(kHashMul)) >> 8) & (kHashSize - 1);
+        while (true) {
+            if (htab[h] == fcode + 1) {
+                prefix = codetab[h];
+                break;
+            }
+            if (htab[h] == 0) {
+                emit(prefix);
+                if (free_code < kMaxCode) {
+                    htab[h] = fcode + 1;
+                    codetab[h] = free_code;
+                    ++free_code;
+                }
+                prefix = c;
+                break;
+            }
+            h = (h + 1) & (kHashSize - 1);
+        }
+    }
+    emit(prefix);
+    checksum += static_cast<uint64_t>(free_code) * 101 +
+                static_cast<uint64_t>(outpos);
+    return static_cast<int64_t>(checksum);
+}
+
+std::unique_ptr<Workload>
+makeCompress()
+{
+    return std::make_unique<CompressWorkload>();
+}
+
+} // namespace vpprof

@@ -1,0 +1,312 @@
+/**
+ * @file
+ * The "go" workload: a game-playing kernel standing in for SPEC95
+ * 099.go.
+ *
+ * The program plays moves on a 19x19 board. Each turn it (1) sweeps the
+ * board computing an influence map from a weight table, and (2) scans
+ * for the empty point with the best influence for the side to move,
+ * perturbed by LCG noise, then places a stone there. It finishes by
+ * folding the chosen moves and the final board into a checksum.
+ *
+ * Value-predictability character: the sweep's index arithmetic strides
+ * perfectly; the weight-table loads mostly repeat (boards change
+ * slowly); the LCG chain and the argmax running maximum are essentially
+ * unpredictable — giving the bimodal accuracy spread the paper reports
+ * for integer codes.
+ */
+
+#include "workloads/workload.hh"
+
+#include <array>
+#include <string>
+
+#include "common/random.hh"
+#include "isa/program_builder.hh"
+
+namespace vpprof
+{
+
+namespace
+{
+
+constexpr int64_t kBoardBase = 1000;   // 361 words, values 0/1/2
+constexpr int64_t kInfBase = 2000;     // 361-word influence map
+constexpr int64_t kWeightBase = 500;   // weight table w[0..2]
+constexpr uint64_t kParamIters = kParamBase + 0;
+constexpr uint64_t kParamSeed = kParamBase + 1;
+
+constexpr int64_t kLcgMul = 6364136223846793005ll;
+constexpr int64_t kLcgAdd = 1442695040888963407ll;
+
+/** Input-set shapes: (iterations, stones pre-placed, rng seed). */
+struct GoInput
+{
+    int64_t iters;
+    int stones;
+    uint64_t seed;
+};
+
+constexpr std::array<GoInput, 5> kInputs = {{
+    {70, 40, 0x6f01},
+    {60, 90, 0x6f02},
+    {80, 24, 0x6f03},
+    {66, 120, 0x6f04},
+    {74, 60, 0x6f05},
+}};
+
+Program
+buildGoProgram()
+{
+    ProgramBuilder b("go");
+
+    // r1=iter r2=NITER r3=seed r4=color r5=checksum
+    b.movi(R(1), 0);
+    b.ld(R(2), R(0), kParamIters);
+    b.ld(R(3), R(0), kParamSeed);
+    b.movi(R(4), 1);
+    b.movi(R(5), 0);
+
+    b.label("iter_loop");
+    b.bge(R(1), R(2), "after_moves");
+
+    // ---- influence sweep: row loop with the 19 column bodies fully
+    // unrolled (boundary checks for columns fold away statically, as a
+    // compiler would emit them) ----
+    // r6=row r13=row base index r8=idx r9=acc r10..r12 scratch
+    b.movi(R(6), 0);
+    b.label("row_loop");
+    b.slti(R(10), R(6), 19);
+    b.beq(R(10), R(0), "sweep_done");
+    // Even and odd rows run separate copies of the unrolled sweep
+    // (doubling the hot instruction working set, as row-specialised
+    // compiled code would).
+    b.andi(R(10), R(6), 1);
+    b.bne(R(10), R(0), "sweep_odd");
+    for (std::string par : {std::string("e"), std::string("o")}) {
+        if (par == "o")
+            b.label("sweep_odd");
+        b.muli(R(13), R(6), 19);
+        for (int c = 0; c < 19; ++c) {
+            std::string tag = std::to_string(c);
+            b.addi(R(8), R(13), c);             // idx = row*19 + c
+            b.ld(R(10), R(8), kBoardBase);
+            b.ld(R(12), R(10), kWeightBase);
+            b.shli(R(9), R(12), 2);             // acc = 4*w
+            // up neighbour (row boundary checked dynamically)
+            b.beq(R(6), R(0), "no_up_" + par + tag);
+            b.subi(R(11), R(8), 19);
+            b.ld(R(10), R(11), kBoardBase);
+            b.ld(R(12), R(10), kWeightBase);
+            b.add(R(9), R(9), R(12));
+            b.label("no_up_" + par + tag);
+            // down neighbour
+            b.slti(R(10), R(6), 18);
+            b.beq(R(10), R(0), "no_down_" + par + tag);
+            b.addi(R(11), R(8), 19);
+            b.ld(R(10), R(11), kBoardBase);
+            b.ld(R(12), R(10), kWeightBase);
+            b.add(R(9), R(9), R(12));
+            b.label("no_down_" + par + tag);
+            // left neighbour: statically absent for column 0
+            if (c > 0) {
+                b.subi(R(11), R(8), 1);
+                b.ld(R(10), R(11), kBoardBase);
+                b.ld(R(12), R(10), kWeightBase);
+                b.add(R(9), R(9), R(12));
+            }
+            // right neighbour: statically absent for column 18
+            if (c < 18) {
+                b.addi(R(11), R(8), 1);
+                b.ld(R(10), R(11), kBoardBase);
+                b.ld(R(12), R(10), kWeightBase);
+                b.add(R(9), R(9), R(12));
+            }
+            b.st(R(8), R(9), kInfBase);
+        }
+        b.addi(R(6), R(6), 1);
+        b.jmp("row_loop");
+    }
+    b.label("sweep_done");
+
+    // ---- move selection: row loop, 19 unrolled bodies per row,
+    // scanning cells in the exact order of the rolled original ----
+    // r6=row r13=row base r14=i r7=best r8=bestscore
+    b.movi(R(6), 0);
+    b.movi(R(7), -1);
+    b.movi(R(8), -100000000);
+    b.label("sel_row");
+    b.slti(R(10), R(6), 19);
+    b.beq(R(10), R(0), "sel_done");
+    b.andi(R(10), R(6), 1);
+    b.bne(R(10), R(0), "sel_odd");
+    for (std::string par : {std::string("e"), std::string("o")}) {
+        if (par == "o")
+            b.label("sel_odd");
+        b.muli(R(13), R(6), 19);
+        for (int j = 0; j < 19; ++j) {
+            std::string tag = std::to_string(j);
+            b.addi(R(14), R(13), j);            // i = row*19 + j
+            b.ld(R(10), R(14), kBoardBase);
+            b.bne(R(10), R(0), "sel_next_" + par + tag);
+            b.muli(R(3), R(3), kLcgMul);        // LCG step
+            b.addi(R(3), R(3), kLcgAdd);
+            b.shri(R(11), R(3), 59);            // noise in 0..31
+            b.ld(R(9), R(14), kInfBase);
+            b.movi(R(12), 1);
+            b.beq(R(4), R(12), "keep_sign_" + par + tag);
+            b.sub(R(9), R(0), R(9));            // white maximizes -influence
+            b.label("keep_sign_" + par + tag);
+            b.add(R(9), R(9), R(11));
+            b.slt(R(10), R(8), R(9));           // bestscore < score?
+            b.beq(R(10), R(0), "sel_next_" + par + tag);
+            b.mov(R(8), R(9));
+            b.mov(R(7), R(14));
+            b.label("sel_next_" + par + tag);
+        }
+        b.addi(R(6), R(6), 1);
+        b.jmp("sel_row");
+    }
+    b.label("sel_done");
+
+    b.slti(R(10), R(7), 0);
+    b.bne(R(10), R(0), "after_moves");  // board full
+    b.st(R(7), R(4), kBoardBase);       // board[best] = color
+    b.movi(R(10), 3);
+    b.sub(R(4), R(10), R(4));           // swap color
+    b.muli(R(5), R(5), 31);             // fold move into checksum
+    b.add(R(5), R(5), R(7));
+    b.add(R(5), R(5), R(8));
+    b.addi(R(1), R(1), 1);
+    b.jmp("iter_loop");
+
+    // ---- final board checksum ----
+    b.label("after_moves");
+    b.movi(R(6), 0);
+    b.label("sum_loop");
+    b.slti(R(10), R(6), 361);
+    b.beq(R(10), R(0), "sum_done");
+    b.ld(R(10), R(6), kBoardBase);
+    b.add(R(5), R(5), R(10));
+    b.addi(R(6), R(6), 1);
+    b.jmp("sum_loop");
+    b.label("sum_done");
+    b.st(R(0), R(5), kChecksumAddr);
+    b.halt();
+
+    return b.build();
+}
+
+class GoWorkload : public Workload
+{
+  public:
+    GoWorkload() : program_(buildGoProgram()) {}
+
+    std::string_view name() const override { return "go"; }
+
+    std::string_view
+    description() const override
+    {
+        return "influence-map game playing on a 19x19 board (099.go)";
+    }
+
+    const Program &program() const override { return program_; }
+
+    size_t numInputSets() const override { return kInputs.size(); }
+
+    MemoryImage
+    input(size_t idx) const override
+    {
+        const GoInput &in = kInputs.at(idx);
+        MemoryImage image;
+        image.store(kParamIters, in.iters);
+        image.store(kParamSeed, static_cast<int64_t>(in.seed * 2 + 1));
+        image.store(kWeightBase + 0, 0);
+        image.store(kWeightBase + 1, 16);
+        image.store(kWeightBase + 2, -16);
+        Rng rng(in.seed);
+        for (int s = 0; s < in.stones; ++s) {
+            uint64_t pos = rng.nextBelow(361);
+            int64_t color = 1 + static_cast<int64_t>(rng.nextBelow(2));
+            image.store(kBoardBase + pos, color);
+        }
+        return image;
+    }
+
+    int64_t referenceChecksum(size_t idx) const override;
+
+  private:
+    Program program_;
+};
+
+} // namespace
+
+int64_t
+GoWorkload::referenceChecksum(size_t idx) const
+{
+    const GoInput &in = kInputs.at(idx);
+
+    std::array<int64_t, 361> board{};
+    std::array<int64_t, 361> inf{};
+    std::array<int64_t, 3> w = {0, 16, -16};
+    Rng rng(in.seed);
+    for (int s = 0; s < in.stones; ++s) {
+        uint64_t pos = rng.nextBelow(361);
+        int64_t color = 1 + static_cast<int64_t>(rng.nextBelow(2));
+        board[pos] = color;
+    }
+
+    uint64_t seed = in.seed * 2 + 1;
+    int64_t color = 1;
+    uint64_t checksum = 0;
+
+    for (int64_t iter = 0; iter < in.iters; ++iter) {
+        for (int r = 0; r < 19; ++r) {
+            for (int c = 0; c < 19; ++c) {
+                int idx2 = r * 19 + c;
+                int64_t acc = w[board[idx2]] * 4;
+                if (r > 0)
+                    acc += w[board[idx2 - 19]];
+                if (r < 18)
+                    acc += w[board[idx2 + 19]];
+                if (c > 0)
+                    acc += w[board[idx2 - 1]];
+                if (c < 18)
+                    acc += w[board[idx2 + 1]];
+                inf[idx2] = acc;
+            }
+        }
+        int64_t best = -1;
+        int64_t bestscore = -100000000;
+        for (int i = 0; i < 361; ++i) {
+            if (board[i] != 0)
+                continue;
+            seed = seed * static_cast<uint64_t>(kLcgMul) +
+                   static_cast<uint64_t>(kLcgAdd);
+            int64_t noise = static_cast<int64_t>(seed >> 59);
+            int64_t score = color == 1 ? inf[i] : -inf[i];
+            score += noise;
+            if (bestscore < score) {
+                bestscore = score;
+                best = i;
+            }
+        }
+        if (best < 0)
+            break;
+        board[best] = color;
+        color = 3 - color;
+        checksum = checksum * 31 + static_cast<uint64_t>(best) +
+                   static_cast<uint64_t>(bestscore);
+    }
+    for (int i = 0; i < 361; ++i)
+        checksum += static_cast<uint64_t>(board[i]);
+    return static_cast<int64_t>(checksum);
+}
+
+std::unique_ptr<Workload>
+makeGo()
+{
+    return std::make_unique<GoWorkload>();
+}
+
+} // namespace vpprof

@@ -1,0 +1,317 @@
+/**
+ * @file
+ * The "ijpeg" workload: an integer block-transform image encoder
+ * standing in for SPEC95 132.ijpeg.
+ *
+ * The image is processed in 8x8 blocks. Each block goes through an
+ * 8-point butterfly transform over its rows, the same
+ * transform over the columns of the intermediate, and a quantization
+ * loop dividing by a quantization table while counting non-zero
+ * coefficients. All quantized coefficients fold into the checksum.
+ *
+ * Value-predictability character: block/row/column addressing strides
+ * hard (the transform passes are long straight-line code with highly
+ * regular index arithmetic) while the butterfly outputs and quotients
+ * are data-dependent — the classic mix of an image kernel.
+ */
+
+#include "workloads/workload.hh"
+
+#include <array>
+
+#include "common/random.hh"
+#include "isa/program_builder.hh"
+
+namespace vpprof
+{
+
+namespace
+{
+
+constexpr int64_t kImg = 100000;
+constexpr int64_t kTmp = 700;          // row-pass intermediate, 64 words
+constexpr int64_t kTmp2 = 800;         // col-pass output, 64 words
+constexpr int64_t kQtab = 900;         // quantization table, 64 words
+constexpr int64_t kOut = 500000;       // quantized coefficients
+constexpr uint64_t kParamW = kParamBase + 0;
+constexpr uint64_t kParamH = kParamBase + 1;
+
+struct IjpegInput
+{
+    int64_t w;
+    int64_t h;
+    uint64_t seed;
+};
+
+constexpr std::array<IjpegInput, 5> kInputs = {{
+    {256, 192, 0x19e1},
+    {224, 160, 0x19e2},
+    {288, 192, 0x19e3},
+    {240, 176, 0x19e4},
+    {256, 160, 0x19e5},
+}};
+
+/** Quantization table: JPEG-ish, larger divisors at high frequency. */
+std::vector<int64_t>
+makeQtab()
+{
+    std::vector<int64_t> qtab;
+    for (int64_t r = 0; r < 8; ++r)
+        for (int64_t c = 0; c < 8; ++c)
+            qtab.push_back(4 + 2 * r + 3 * c);
+    return qtab;
+}
+
+/** Gradient-plus-noise test image. */
+std::vector<int64_t>
+makeImage(const IjpegInput &in)
+{
+    std::vector<int64_t> img;
+    img.reserve(static_cast<size_t>(in.w * in.h));
+    Rng rng(in.seed);
+    for (int64_t y = 0; y < in.h; ++y) {
+        for (int64_t x = 0; x < in.w; ++x) {
+            int64_t v = (x + 2 * y +
+                         static_cast<int64_t>(rng.nextBelow(32))) & 255;
+            img.push_back(v);
+        }
+    }
+    return img;
+}
+
+/**
+ * Native 8-point butterfly, mirrored exactly by the emitted assembly.
+ * Reads v[0..7], writes out[0..7].
+ */
+void
+butterfly8(const int64_t *v, int64_t *out)
+{
+    int64_t s0 = v[0] + v[7], s1 = v[1] + v[6];
+    int64_t s2 = v[2] + v[5], s3 = v[3] + v[4];
+    int64_t d0 = v[0] - v[7], d1 = v[1] - v[6];
+    int64_t d2 = v[2] - v[5], d3 = v[3] - v[4];
+    int64_t e0 = s0 + s3, e1 = s1 + s2;
+    out[0] = e0 + e1;
+    out[4] = e0 - e1;
+    int64_t u0 = s0 - s3, u1 = s1 - s2;
+    out[2] = u0 + (u1 >> 1);
+    out[6] = (u0 >> 1) - u1;
+    out[1] = d0 + (d1 >> 1);
+    out[5] = d2 - (d3 >> 1);
+    out[3] = d0 - d2;
+    out[7] = d1 + d3;
+}
+
+/**
+ * Emit the assembly butterfly: loads 8 values from
+ * [base_reg + imm_base + i*stride], transforms, stores the outputs to
+ * [store_reg + store_base + k*stride2] in natural order t0..t7.
+ */
+void
+emitButterfly(ProgramBuilder &b, RegId base_reg, int64_t imm_base,
+              int64_t stride, RegId store_reg, int64_t store_base,
+              int64_t stride2)
+{
+    for (int64_t i = 0; i < 8; ++i)
+        b.ld(R(1 + i), base_reg, imm_base + i * stride);
+    b.add(R(9), R(1), R(8));            // s0
+    b.add(R(10), R(2), R(7));           // s1
+    b.add(R(11), R(3), R(6));           // s2
+    b.add(R(12), R(4), R(5));           // s3
+    b.sub(R(13), R(1), R(8));           // d0
+    b.sub(R(14), R(2), R(7));           // d1
+    b.sub(R(15), R(3), R(6));           // d2
+    b.sub(R(16), R(4), R(5));           // d3
+    b.add(R(17), R(9), R(12));          // e0 = s0+s3
+    b.add(R(18), R(10), R(11));         // e1 = s1+s2
+    b.add(R(1), R(17), R(18));          // t0
+    b.sub(R(2), R(17), R(18));          // t4
+    b.sub(R(17), R(9), R(12));          // u0 = s0-s3
+    b.sub(R(18), R(10), R(11));         // u1 = s1-s2
+    b.sari(R(3), R(18), 1);
+    b.add(R(3), R(17), R(3));           // t2
+    b.sari(R(4), R(17), 1);
+    b.sub(R(4), R(4), R(18));           // t6
+    b.sari(R(5), R(14), 1);
+    b.add(R(5), R(13), R(5));           // t1
+    b.sari(R(6), R(16), 1);
+    b.sub(R(6), R(15), R(6));           // t5
+    b.sub(R(7), R(13), R(15));          // t3
+    b.add(R(8), R(14), R(16));          // t7
+    // Natural-order stores: t0 t1 t2 t3 t4 t5 t6 t7.
+    const RegId t_regs[8] = {R(1), R(5), R(3), R(7),
+                             R(2), R(6), R(4), R(8)};
+    for (int64_t k = 0; k < 8; ++k)
+        b.st(store_reg, t_regs[k], store_base + k * stride2);
+}
+
+Program
+buildIjpegProgram()
+{
+    ProgramBuilder b("ijpeg");
+
+    // r23=bx r24=by r25=W r26=H r30=by*8 r31=bx*8
+    // r19=row/col/quant loop var r27=load base r28=store base
+    // r20=outpos r21=nz r22=checksum (r1..r18 are butterfly scratch)
+    b.ld(R(25), R(0), kParamW);
+    b.ld(R(26), R(0), kParamH);
+    b.movi(R(20), 0);
+    b.movi(R(21), 0);
+    b.movi(R(22), 0);
+
+    b.movi(R(24), 0);                   // by
+    b.label("by_loop");
+    b.sari(R(9), R(26), 3);             // H/8
+    b.bge(R(24), R(9), "done");
+    b.movi(R(23), 0);                   // bx
+    b.label("bx_loop");
+    b.sari(R(9), R(25), 3);             // W/8
+    b.bge(R(23), R(9), "by_next");
+    b.shli(R(30), R(24), 3);            // by*8
+    b.shli(R(31), R(23), 3);            // bx*8
+
+    // Row pass: one rolled butterfly, image -> TMP.
+    b.movi(R(19), 0);
+    b.label("row_loop");
+    b.slti(R(9), R(19), 8);
+    b.beq(R(9), R(0), "row_done");
+    b.add(R(27), R(30), R(19));         // by*8 + r
+    b.mul(R(27), R(27), R(25));         // * W
+    b.add(R(27), R(27), R(31));         // + bx*8
+    b.shli(R(28), R(19), 3);            // r*8 (TMP row base)
+    emitButterfly(b, R(27), kImg, 1, R(28), kTmp, 1);
+    b.addi(R(19), R(19), 1);
+    b.jmp("row_loop");
+    b.label("row_done");
+
+    // Column pass: one rolled butterfly, TMP -> TMP2.
+    b.movi(R(19), 0);
+    b.label("col_loop");
+    b.slti(R(9), R(19), 8);
+    b.beq(R(9), R(0), "col_done");
+    b.mov(R(27), R(19));                // column index as base
+    b.mov(R(28), R(19));
+    emitButterfly(b, R(27), kTmp, 8, R(28), kTmp2, 8);
+    b.addi(R(19), R(19), 1);
+    b.jmp("col_loop");
+    b.label("col_done");
+
+    // Quantization loop over the 64 coefficients.
+    b.movi(R(19), 0);
+    b.label("quant_loop");
+    b.slti(R(9), R(19), 64);
+    b.beq(R(9), R(0), "quant_end");
+    b.ld(R(10), R(19), kTmp2);
+    b.ld(R(11), R(19), kQtab);
+    b.div(R(12), R(10), R(11));         // quantize
+    b.st(R(20), R(12), kOut);
+    b.addi(R(20), R(20), 1);
+    b.beq(R(12), R(0), "is_zero");
+    b.addi(R(21), R(21), 1);            // nz++
+    b.label("is_zero");
+    b.muli(R(22), R(22), 17);
+    b.add(R(22), R(22), R(12));
+    b.addi(R(19), R(19), 1);
+    b.jmp("quant_loop");
+    b.label("quant_end");
+
+    b.addi(R(23), R(23), 1);
+    b.jmp("bx_loop");
+    b.label("by_next");
+    b.addi(R(24), R(24), 1);
+    b.jmp("by_loop");
+
+    b.label("done");
+    b.add(R(22), R(22), R(21));         // fold non-zero count
+    b.add(R(22), R(22), R(20));         // fold coefficient count
+    b.st(R(0), R(22), kChecksumAddr);
+    b.halt();
+
+    return b.build();
+}
+
+class IjpegWorkload : public Workload
+{
+  public:
+    IjpegWorkload() : program_(buildIjpegProgram()) {}
+
+    std::string_view name() const override { return "ijpeg"; }
+
+    std::string_view
+    description() const override
+    {
+        return "8x8 block-transform image encoder (132.ijpeg)";
+    }
+
+    const Program &program() const override { return program_; }
+
+    size_t numInputSets() const override { return kInputs.size(); }
+
+    MemoryImage
+    input(size_t idx) const override
+    {
+        const IjpegInput &in = kInputs.at(idx);
+        MemoryImage image;
+        image.store(kParamW, in.w);
+        image.store(kParamH, in.h);
+        image.storeBlock(kQtab, makeQtab());
+        image.storeBlock(kImg, makeImage(in));
+        return image;
+    }
+
+    int64_t referenceChecksum(size_t idx) const override;
+
+  private:
+    Program program_;
+};
+
+} // namespace
+
+int64_t
+IjpegWorkload::referenceChecksum(size_t idx) const
+{
+    const IjpegInput &in = kInputs.at(idx);
+    std::vector<int64_t> img = makeImage(in);
+    std::vector<int64_t> qtab = makeQtab();
+
+    uint64_t checksum = 0;
+    int64_t outpos = 0, nz = 0;
+    int64_t tmp[64], tmp2[64];
+
+    for (int64_t by = 0; by < in.h / 8; ++by) {
+        for (int64_t bx = 0; bx < in.w / 8; ++bx) {
+            for (int64_t r = 0; r < 8; ++r) {
+                int64_t base = (by * 8 + r) * in.w + bx * 8;
+                int64_t v[8];
+                for (int64_t i = 0; i < 8; ++i)
+                    v[i] = img[static_cast<size_t>(base + i)];
+                butterfly8(v, &tmp[r * 8]);
+            }
+            for (int64_t c = 0; c < 8; ++c) {
+                int64_t v[8], out[8];
+                for (int64_t i = 0; i < 8; ++i)
+                    v[i] = tmp[c + i * 8];
+                butterfly8(v, out);
+                for (int64_t k = 0; k < 8; ++k)
+                    tmp2[c + k * 8] = out[k];
+            }
+            for (int64_t k = 0; k < 64; ++k) {
+                int64_t q = tmp2[k] / qtab[static_cast<size_t>(k)];
+                ++outpos;
+                if (q != 0)
+                    ++nz;
+                checksum = checksum * 17 + static_cast<uint64_t>(q);
+            }
+        }
+    }
+    checksum += static_cast<uint64_t>(nz) + static_cast<uint64_t>(outpos);
+    return static_cast<int64_t>(checksum);
+}
+
+std::unique_ptr<Workload>
+makeIjpeg()
+{
+    return std::make_unique<IjpegWorkload>();
+}
+
+} // namespace vpprof

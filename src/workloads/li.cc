@@ -1,0 +1,327 @@
+/**
+ * @file
+ * The "li" workload: a list-processing interpreter kernel standing in
+ * for SPEC95 130.li (xlisp).
+ *
+ * The program bump-allocates cons cells to build lists from an input
+ * value stream, then repeatedly evaluates them: a walk subroutine
+ * (invoked through call/ret) sums and measures each list, and a map
+ * pass rewrites every list to 2*car+1 with freshly allocated cells.
+ * Sums, lengths and allocation state fold into the checksum.
+ *
+ * Value-predictability character: the allocator's bump pointer and the
+ * cdr chains of sequentially allocated cells stride; tag-style loads
+ * and list heads repeat; the data sums are unpredictable — a mid-range
+ * mix, like the paper's li numbers.
+ */
+
+#include "workloads/workload.hh"
+
+#include <array>
+#include <string>
+
+#include "common/random.hh"
+#include "isa/program_builder.hh"
+
+namespace vpprof
+{
+
+namespace
+{
+
+constexpr int64_t kArena = 200000;   // cell i: car at 2i, cdr at 2i+1
+constexpr int64_t kHeads = 45000;    // list head cell indices
+constexpr int64_t kLens = 40000;     // list lengths
+constexpr int64_t kValues = 100000;  // input value stream
+constexpr uint64_t kParamLists = kParamBase + 0;
+constexpr uint64_t kParamRounds = kParamBase + 1;
+
+struct LiInput
+{
+    int64_t lists;
+    int64_t rounds;
+    int64_t minLen;
+    int64_t maxLen;
+    uint64_t seed;
+};
+
+constexpr std::array<LiInput, 5> kInputs = {{
+    {60, 6, 100, 600, 0x11a1},
+    {45, 7, 80, 500, 0x11a2},
+    {75, 5, 120, 700, 0x11a3},
+    {52, 6, 60, 450, 0x11a4},
+    {68, 6, 90, 650, 0x11a5},
+}};
+
+std::vector<int64_t>
+listLengths(const LiInput &in)
+{
+    std::vector<int64_t> lens;
+    Rng rng(in.seed);
+    for (int64_t l = 0; l < in.lists; ++l)
+        lens.push_back(rng.nextInRange(in.minLen, in.maxLen));
+    return lens;
+}
+
+std::vector<int64_t>
+valueStream(const LiInput &in, int64_t total)
+{
+    std::vector<int64_t> values;
+    Rng rng(in.seed ^ 0x5555);
+    for (int64_t i = 0; i < total; ++i)
+        values.push_back(rng.nextInRange(-1000, 1000));
+    return values;
+}
+
+Program
+buildLiProgram()
+{
+    ProgramBuilder b("li");
+
+    // r20 = bump allocation pointer, r21 = input stream index,
+    // r22 = K (lists), r23 = R (rounds), r5 = checksum.
+    // The walk/map/build kernels are replicated (96/24/6 identical
+    // copies selected by list index) the way a real interpreter has
+    // many inlined evaluation sites; this gives li the large hot
+    // instruction working set the paper's table-pressure results rely
+    // on, without changing semantics.
+    b.ld(R(22), R(0), kParamLists);
+    b.ld(R(23), R(0), kParamRounds);
+    b.movi(R(20), 0);
+    b.movi(R(21), 0);
+    b.movi(R(5), 0);
+
+    // ---- build phase: prepend-construct each list ----
+    b.movi(R(1), 0);                    // l
+    b.label("build_list");
+    b.bge(R(1), R(22), "build_done");
+    b.ld(R(2), R(1), kLens);            // len
+    b.movi(R(3), -1);                   // head = nil
+    b.movi(R(4), 0);                    // j
+    b.remi(R(15), R(1), 6);             // build-site selector
+    for (int k = 0; k < 6; ++k) {
+        std::string tag = std::to_string(k);
+        if (k < 5) {
+            b.subi(R(9), R(15), k);
+            b.bne(R(9), R(0), "build_try_" + std::to_string(k + 1));
+        }
+        b.label("build_cell_" + tag);
+        b.bge(R(4), R(2), "build_next");
+        b.ld(R(6), R(21), kValues);     // v = values[ip++]
+        b.addi(R(21), R(21), 1);
+        b.shli(R(7), R(20), 1);         // cell word offset
+        b.st(R(7), R(6), kArena);       // car = v
+        b.st(R(7), R(3), kArena + 1);   // cdr = head
+        b.mov(R(3), R(20));             // head = cell
+        b.addi(R(20), R(20), 1);        // bump
+        b.addi(R(4), R(4), 1);
+        b.jmp("build_cell_" + tag);
+        if (k < 5)
+            b.label("build_try_" + std::to_string(k + 1));
+    }
+    b.label("build_next");
+    b.st(R(1), R(3), kHeads);           // heads[l] = head
+    b.addi(R(1), R(1), 1);
+    b.jmp("build_list");
+    b.label("build_done");
+
+    // ---- eval rounds ----
+    b.movi(R(10), 0);                   // round
+    b.label("round_loop");
+    b.bge(R(10), R(23), "eval_done");
+    b.movi(R(1), 0);                    // l
+    b.label("walk_lists");
+    b.bge(R(1), R(22), "walk_done");
+    b.ld(R(11), R(1), kHeads);          // arg: head
+    b.remi(R(15), R(1), 96);            // walk-site selector
+    for (int k = 0; k < 96; ++k) {
+        std::string tag = std::to_string(k);
+        if (k < 95) {
+            b.subi(R(9), R(15), k);
+            b.bne(R(9), R(0), "walk_try_" + std::to_string(k + 1));
+        }
+        b.call("walk_" + tag);
+        b.jmp("walk_ret_done");
+        if (k < 95)
+            b.label("walk_try_" + std::to_string(k + 1));
+    }
+    b.label("walk_ret_done");
+    b.muli(R(5), R(5), 31);             // fold sum and length
+    b.add(R(5), R(5), R(12));
+    b.add(R(5), R(5), R(13));
+    b.addi(R(1), R(1), 1);
+    b.jmp("walk_lists");
+    b.label("walk_done");
+
+    // Map pass only in round 0: list := map(2*car+1).
+    b.bne(R(10), R(0), "no_map");
+    b.movi(R(1), 0);
+    b.label("map_lists");
+    b.bge(R(1), R(22), "map_done");
+    b.ld(R(11), R(1), kHeads);          // node
+    b.movi(R(3), -1);                   // new head
+    b.remi(R(15), R(1), 24);            // map-site selector
+    for (int k = 0; k < 24; ++k) {
+        std::string tag = std::to_string(k);
+        if (k < 23) {
+            b.subi(R(9), R(15), k);
+            b.bne(R(9), R(0), "map_try_" + std::to_string(k + 1));
+        }
+        b.label("map_node_" + tag);
+        b.slti(R(9), R(11), 0);
+        b.bne(R(9), R(0), "map_store");
+        b.shli(R(7), R(11), 1);
+        b.ld(R(6), R(7), kArena);       // car
+        b.shli(R(6), R(6), 1);
+        b.addi(R(6), R(6), 1);          // 2*car + 1
+        b.shli(R(8), R(20), 1);
+        b.st(R(8), R(6), kArena);       // new car
+        b.st(R(8), R(3), kArena + 1);   // new cdr = new head
+        b.mov(R(3), R(20));
+        b.addi(R(20), R(20), 1);
+        b.ld(R(11), R(7), kArena + 1);  // node = cdr
+        b.jmp("map_node_" + tag);
+        if (k < 23)
+            b.label("map_try_" + std::to_string(k + 1));
+    }
+    b.label("map_store");
+    b.st(R(1), R(3), kHeads);
+    b.addi(R(1), R(1), 1);
+    b.jmp("map_lists");
+    b.label("map_done");
+    b.label("no_map");
+
+    b.addi(R(10), R(10), 1);
+    b.jmp("round_loop");
+    b.label("eval_done");
+
+    b.add(R(5), R(5), R(20));           // fold allocator state
+    b.st(R(0), R(5), kChecksumAddr);
+    b.halt();
+
+    // ---- walk subroutines: r11=head -> r12=sum r13=len ----
+    for (int k = 0; k < 96; ++k) {
+        std::string tag = std::to_string(k);
+        b.label("walk_" + tag);
+        b.movi(R(12), 0);
+        b.movi(R(13), 0);
+        b.label("walk_loop_" + tag);
+        b.slti(R(9), R(11), 0);
+        b.bne(R(9), R(0), "walk_exit_" + tag);
+        b.shli(R(7), R(11), 1);
+        b.ld(R(6), R(7), kArena);       // car
+        b.add(R(12), R(12), R(6));
+        b.ld(R(11), R(7), kArena + 1);  // cdr
+        b.addi(R(13), R(13), 1);
+        b.jmp("walk_loop_" + tag);
+        b.label("walk_exit_" + tag);
+        b.ret();
+    }
+
+    return b.build();
+}
+
+class LiWorkload : public Workload
+{
+  public:
+    LiWorkload() : program_(buildLiProgram()) {}
+
+    std::string_view name() const override { return "li"; }
+
+    std::string_view
+    description() const override
+    {
+        return "cons-cell list builder/walker/mapper (130.li)";
+    }
+
+    const Program &program() const override { return program_; }
+
+    size_t numInputSets() const override { return kInputs.size(); }
+
+    MemoryImage
+    input(size_t idx) const override
+    {
+        const LiInput &in = kInputs.at(idx);
+        MemoryImage image;
+        image.store(kParamLists, in.lists);
+        image.store(kParamRounds, in.rounds);
+        std::vector<int64_t> lens = listLengths(in);
+        image.storeBlock(kLens, lens);
+        int64_t total = 0;
+        for (int64_t len : lens)
+            total += len;
+        image.storeBlock(kValues, valueStream(in, total));
+        return image;
+    }
+
+    int64_t referenceChecksum(size_t idx) const override;
+
+  private:
+    Program program_;
+};
+
+} // namespace
+
+int64_t
+LiWorkload::referenceChecksum(size_t idx) const
+{
+    const LiInput &in = kInputs.at(idx);
+    std::vector<int64_t> lens = listLengths(in);
+    int64_t total = 0;
+    for (int64_t len : lens)
+        total += len;
+    std::vector<int64_t> values = valueStream(in, total);
+
+    std::vector<int64_t> car, cdr;
+    std::vector<int64_t> heads(static_cast<size_t>(in.lists), -1);
+
+    // Build.
+    size_t ip = 0;
+    for (size_t l = 0; l < heads.size(); ++l) {
+        int64_t head = -1;
+        for (int64_t j = 0; j < lens[l]; ++j) {
+            car.push_back(values[ip++]);
+            cdr.push_back(head);
+            head = static_cast<int64_t>(car.size()) - 1;
+        }
+        heads[l] = head;
+    }
+
+    uint64_t checksum = 0;
+    for (int64_t round = 0; round < in.rounds; ++round) {
+        for (size_t l = 0; l < heads.size(); ++l) {
+            uint64_t sum = 0;
+            int64_t len = 0;
+            for (int64_t node = heads[l]; node >= 0;
+                 node = cdr[static_cast<size_t>(node)]) {
+                sum += static_cast<uint64_t>(
+                    car[static_cast<size_t>(node)]);
+                ++len;
+            }
+            checksum = checksum * 31 + sum +
+                       static_cast<uint64_t>(len);
+        }
+        if (round == 0) {
+            for (size_t l = 0; l < heads.size(); ++l) {
+                int64_t new_head = -1;
+                for (int64_t node = heads[l]; node >= 0;
+                     node = cdr[static_cast<size_t>(node)]) {
+                    car.push_back(car[static_cast<size_t>(node)] * 2 + 1);
+                    cdr.push_back(new_head);
+                    new_head = static_cast<int64_t>(car.size()) - 1;
+                }
+                heads[l] = new_head;
+            }
+        }
+    }
+    checksum += car.size();  // allocator bump pointer
+    return static_cast<int64_t>(checksum);
+}
+
+std::unique_ptr<Workload>
+makeLi()
+{
+    return std::make_unique<LiWorkload>();
+}
+
+} // namespace vpprof

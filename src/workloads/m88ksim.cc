@@ -1,0 +1,371 @@
+/**
+ * @file
+ * The "m88ksim" workload: an instruction-set interpreter standing in
+ * for SPEC95 124.m88ksim (a Motorola 88100 simulator).
+ *
+ * The host program is a classic fetch/decode/dispatch/execute
+ * interpreter over a small guest ISA (16 registers, ten opcodes).
+ * Every step also runs simulator bookkeeping: a cycle counter, a status
+ * check against a constant machine-state word and a retire-window
+ * index. The guest program (part of the input image) runs two vector
+ * loops and halts.
+ *
+ * Value-predictability character: the bookkeeping block is almost
+ * perfectly predictable (stride-1 counters, constant status loads) and
+ * guest induction variables stride through the handlers, while only the
+ * short decode block cycles unpredictably — reproducing the very high
+ * overall prediction accuracy the paper reports for m88ksim.
+ */
+
+#include "workloads/workload.hh"
+
+#include <array>
+
+#include "common/random.hh"
+#include "isa/program_builder.hh"
+
+namespace vpprof
+{
+
+namespace
+{
+
+constexpr int64_t kGuestCode = 3000;   // guest code (encoded words)
+constexpr int64_t kGuestRegs = 200;    // 16 guest registers
+constexpr int64_t kGuestMem = 5000;    // guest address 0 maps here
+constexpr int64_t kMachineStatus = 300; // constant status word
+constexpr int64_t kMachineState = 301;  // cycle/window scratch
+constexpr uint64_t kParamMaxSteps = kParamBase + 0;
+
+// Guest opcodes.
+enum GuestOp : int64_t
+{
+    GHalt = 0, GAddi = 1, GAdd = 2, GSub = 3, GXor = 4,
+    GLd = 5, GSt = 6, GBlt = 7, GMovi = 8, GMuli = 9,
+};
+
+/** Encode one guest instruction word. */
+constexpr int64_t
+genc(int64_t op, int64_t rd, int64_t rs1, int64_t rs2, int64_t imm)
+{
+    return op | (rd << 4) | (rs1 << 8) | (rs2 << 12) | (imm << 16);
+}
+
+/** Input-set shapes: vector length and data seed. */
+struct M88kInput
+{
+    int64_t n;
+    uint64_t seed;
+};
+
+constexpr std::array<M88kInput, 5> kInputs = {{
+    {2200, 0x88a1},
+    {1700, 0x88a2},
+    {2550, 0x88a3},
+    {1900, 0x88a4},
+    {2350, 0x88a5},
+}};
+
+/** The guest program: sum a vector, then scale it by 3. */
+std::vector<int64_t>
+guestProgram(int64_t n)
+{
+    return {
+        genc(GMovi, 1, 0, 0, 0),     //  0: g1 = 0 (index)
+        genc(GMovi, 2, 0, 0, n),     //  1: g2 = n
+        genc(GMovi, 3, 0, 0, 0),     //  2: g3 = 0 (acc)
+        genc(GLd, 4, 1, 0, 100),     //  3: g4 = gmem[g1 + 100]
+        genc(GAdd, 3, 3, 4, 0),      //  4: g3 += g4
+        genc(GAddi, 1, 1, 0, 1),     //  5: g1 += 1
+        genc(GBlt, 0, 1, 2, 3),      //  6: if g1 < g2 goto 3
+        genc(GSt, 0, 0, 3, 99),      //  7: gmem[99] = g3
+        genc(GMovi, 1, 0, 0, 0),     //  8: g1 = 0
+        genc(GLd, 4, 1, 0, 100),     //  9: g4 = gmem[g1 + 100]
+        genc(GMuli, 4, 4, 0, 3),     // 10: g4 *= 3
+        genc(GSt, 0, 1, 4, 8000),    // 11: gmem[g1 + 8000] = g4
+        genc(GAddi, 1, 1, 0, 1),     // 12: g1 += 1
+        genc(GBlt, 0, 1, 2, 9),      // 13: if g1 < g2 goto 9
+        genc(GXor, 5, 3, 1, 0),      // 14: g5 = g3 ^ g1
+        genc(GHalt, 0, 0, 0, 0),     // 15: halt
+    };
+}
+
+Program
+buildM88ksimProgram()
+{
+    ProgramBuilder b("m88ksim");
+
+    // r1=gpc r2=word r3=op r4=rd r5=rs1 r6=rs2 r7=imm
+    // r10=cycle r11=icount r12=max steps r8/r9/r13=scratch
+    b.movi(R(1), 0);
+    b.movi(R(10), 0);
+    b.movi(R(11), 0);
+    b.ld(R(12), R(0), kParamMaxSteps);
+
+    b.label("fetch");
+    b.bge(R(11), R(12), "done");        // step cap
+    b.ld(R(2), R(1), kGuestCode);       // fetch
+    b.andi(R(3), R(2), 15);             // decode: op
+    b.shri(R(4), R(2), 4);
+    b.andi(R(4), R(4), 15);             // rd
+    b.shri(R(5), R(2), 8);
+    b.andi(R(5), R(5), 15);             // rs1
+    b.shri(R(6), R(2), 12);
+    b.andi(R(6), R(6), 15);             // rs2
+    b.shri(R(7), R(2), 16);             // imm (unsigned 16-bit+)
+
+    // Simulator bookkeeping.
+    b.addi(R(10), R(10), 1);            // cycle++
+    b.st(R(0), R(10), kMachineState);
+    b.ld(R(8), R(0), kMachineStatus);   // constant status word
+    b.andi(R(9), R(8), 3);
+    b.movi(R(13), 3);
+    b.beq(R(9), R(13), "trap");         // never taken
+    b.addi(R(11), R(11), 1);            // icount++
+    b.andi(R(9), R(11), 7);             // retire-window index
+    b.st(R(0), R(9), kMachineState + 1);
+
+    // Pipeline-stage accounting: per-stage event counters, epoch and
+    // status-field tracking. This is the m88ksim-style bookkeeping
+    // that makes the benchmark so value-predictable: counters stride,
+    // status fields repeat. (None of it reaches the checksum.)
+    b.ld(R(14), R(0), kMachineState + 3);   // fetch-stage events
+    b.addi(R(14), R(14), 1);
+    b.st(R(0), R(14), kMachineState + 3);
+    b.ld(R(15), R(0), kMachineState + 4);   // decode-stage events
+    b.addi(R(15), R(15), 2);
+    b.st(R(0), R(15), kMachineState + 4);
+    b.ld(R(16), R(0), kMachineState + 5);   // execute-stage events
+    b.addi(R(16), R(16), 1);
+    b.st(R(0), R(16), kMachineState + 5);
+    b.ld(R(17), R(0), kMachineState + 6);   // retire-stage events
+    b.addi(R(17), R(17), 3);
+    b.st(R(0), R(17), kMachineState + 6);
+    b.ld(R(18), R(0), kMachineState + 7);   // memory-port events
+    b.addi(R(18), R(18), 1);
+    b.st(R(0), R(18), kMachineState + 7);
+    b.ld(R(19), R(0), kMachineState + 8);   // writeback events
+    b.addi(R(19), R(19), 2);
+    b.st(R(0), R(19), kMachineState + 8);
+    b.shri(R(20), R(10), 6);                // simulation epoch
+    b.st(R(0), R(20), kMachineState + 9);
+    b.andi(R(21), R(8), 0xf0);              // constant status field
+    b.add(R(22), R(14), R(16));             // combined event count
+    b.sub(R(23), R(17), R(15));             // stage skew (stride 1)
+    b.add(R(24), R(22), R(19));             // total pipeline events
+    b.andi(R(25), R(8), 0x0f);              // constant mode bits
+    b.slti(R(26), R(10), 1 << 30);          // overflow guard (const 1)
+    b.add(R(27), R(24), R(18));             // utilisation numerator
+
+    // Dispatch chain.
+    b.beq(R(3), R(0), "done");          // GHalt
+    b.subi(R(9), R(3), GAddi);
+    b.beq(R(9), R(0), "h_addi");
+    b.subi(R(9), R(3), GAdd);
+    b.beq(R(9), R(0), "h_add");
+    b.subi(R(9), R(3), GSub);
+    b.beq(R(9), R(0), "h_sub");
+    b.subi(R(9), R(3), GXor);
+    b.beq(R(9), R(0), "h_xor");
+    b.subi(R(9), R(3), GLd);
+    b.beq(R(9), R(0), "h_ld");
+    b.subi(R(9), R(3), GSt);
+    b.beq(R(9), R(0), "h_st");
+    b.subi(R(9), R(3), GBlt);
+    b.beq(R(9), R(0), "h_blt");
+    b.subi(R(9), R(3), GMovi);
+    b.beq(R(9), R(0), "h_movi");
+    b.subi(R(9), R(3), GMuli);
+    b.beq(R(9), R(0), "h_muli");
+    b.addi(R(1), R(1), 1);              // unknown op: guest nop
+    b.jmp("fetch");
+
+    b.label("h_addi");                  // gr[rd] = gr[rs1] + imm
+    b.ld(R(8), R(5), kGuestRegs);
+    b.add(R(8), R(8), R(7));
+    b.st(R(4), R(8), kGuestRegs);
+    b.addi(R(1), R(1), 1);
+    b.jmp("fetch");
+
+    b.label("h_add");                   // gr[rd] = gr[rs1] + gr[rs2]
+    b.ld(R(8), R(5), kGuestRegs);
+    b.ld(R(9), R(6), kGuestRegs);
+    b.add(R(8), R(8), R(9));
+    b.st(R(4), R(8), kGuestRegs);
+    b.addi(R(1), R(1), 1);
+    b.jmp("fetch");
+
+    b.label("h_sub");
+    b.ld(R(8), R(5), kGuestRegs);
+    b.ld(R(9), R(6), kGuestRegs);
+    b.sub(R(8), R(8), R(9));
+    b.st(R(4), R(8), kGuestRegs);
+    b.addi(R(1), R(1), 1);
+    b.jmp("fetch");
+
+    b.label("h_xor");
+    b.ld(R(8), R(5), kGuestRegs);
+    b.ld(R(9), R(6), kGuestRegs);
+    b.xor_(R(8), R(8), R(9));
+    b.st(R(4), R(8), kGuestRegs);
+    b.addi(R(1), R(1), 1);
+    b.jmp("fetch");
+
+    b.label("h_ld");                    // gr[rd] = gmem[gr[rs1] + imm]
+    b.ld(R(8), R(5), kGuestRegs);
+    b.add(R(8), R(8), R(7));
+    b.ld(R(9), R(8), kGuestMem);
+    b.st(R(4), R(9), kGuestRegs);
+    b.addi(R(1), R(1), 1);
+    b.jmp("fetch");
+
+    b.label("h_st");                    // gmem[gr[rs1] + imm] = gr[rs2]
+    b.ld(R(8), R(5), kGuestRegs);
+    b.add(R(8), R(8), R(7));
+    b.ld(R(9), R(6), kGuestRegs);
+    b.st(R(8), R(9), kGuestMem);
+    b.addi(R(1), R(1), 1);
+    b.jmp("fetch");
+
+    b.label("h_blt");                   // if gr[rs1] < gr[rs2] gpc = imm
+    b.ld(R(8), R(5), kGuestRegs);
+    b.ld(R(9), R(6), kGuestRegs);
+    b.slt(R(8), R(8), R(9));
+    b.beq(R(8), R(0), "blt_nt");
+    b.mov(R(1), R(7));
+    b.jmp("fetch");
+    b.label("blt_nt");
+    b.addi(R(1), R(1), 1);
+    b.jmp("fetch");
+
+    b.label("h_movi");                  // gr[rd] = imm
+    b.st(R(4), R(7), kGuestRegs);
+    b.addi(R(1), R(1), 1);
+    b.jmp("fetch");
+
+    b.label("h_muli");                  // gr[rd] = gr[rs1] * imm
+    b.ld(R(8), R(5), kGuestRegs);
+    b.mul(R(8), R(8), R(7));
+    b.st(R(4), R(8), kGuestRegs);
+    b.addi(R(1), R(1), 1);
+    b.jmp("fetch");
+
+    b.label("trap");                    // unreachable by construction
+    b.movi(R(13), -1);
+    b.st(R(0), R(13), kMachineState + 2);
+
+    b.label("done");
+    // checksum = gmem[99]*3 + cycle*7 + icount + gr[5]
+    b.ld(R(8), R(0), kGuestMem + 99);
+    b.muli(R(8), R(8), 3);
+    b.muli(R(9), R(10), 7);
+    b.add(R(8), R(8), R(9));
+    b.add(R(8), R(8), R(11));
+    b.ld(R(9), R(0), kGuestRegs + 5);
+    b.add(R(8), R(8), R(9));
+    b.st(R(0), R(8), kChecksumAddr);
+    b.halt();
+
+    return b.build();
+}
+
+class M88ksimWorkload : public Workload
+{
+  public:
+    M88ksimWorkload() : program_(buildM88ksimProgram()) {}
+
+    std::string_view name() const override { return "m88ksim"; }
+
+    std::string_view
+    description() const override
+    {
+        return "guest-CPU interpreter with cycle accounting (124.m88ksim)";
+    }
+
+    const Program &program() const override { return program_; }
+
+    size_t numInputSets() const override { return kInputs.size(); }
+
+    MemoryImage
+    input(size_t idx) const override
+    {
+        const M88kInput &in = kInputs.at(idx);
+        MemoryImage image;
+        image.store(kParamMaxSteps, 1'000'000);
+        image.store(kMachineStatus, 0x11);
+        std::vector<int64_t> code = guestProgram(in.n);
+        image.storeBlock(kGuestCode, code);
+        Rng rng(in.seed);
+        for (int64_t i = 0; i < in.n; ++i) {
+            image.store(kGuestMem + 100 + i,
+                        rng.nextInRange(-500, 500));
+        }
+        return image;
+    }
+
+    int64_t referenceChecksum(size_t idx) const override;
+
+  private:
+    Program program_;
+};
+
+} // namespace
+
+int64_t
+M88ksimWorkload::referenceChecksum(size_t idx) const
+{
+    const M88kInput &in = kInputs.at(idx);
+
+    // Native simulation of the guest machine, counting interpreter
+    // steps exactly as the host bookkeeping does (the halt step and
+    // every branch step are counted, since bookkeeping precedes
+    // dispatch).
+    std::vector<int64_t> code = guestProgram(in.n);
+    std::array<int64_t, 16> gr{};
+    std::unordered_map<int64_t, int64_t> gmem;
+    Rng rng(in.seed);
+    for (int64_t i = 0; i < in.n; ++i)
+        gmem[100 + i] = rng.nextInRange(-500, 500);
+
+    const int64_t max_steps = 1'000'000;
+    int64_t gpc = 0;
+    uint64_t cycle = 0;
+    int64_t icount = 0;
+    while (icount < max_steps) {
+        int64_t word = code.at(static_cast<size_t>(gpc));
+        int64_t op = word & 15;
+        int64_t rd = (word >> 4) & 15;
+        int64_t rs1 = (word >> 8) & 15;
+        int64_t rs2 = (word >> 12) & 15;
+        int64_t imm = (word >> 16) & 0xffffffffffff;
+        ++cycle;
+        ++icount;
+        if (op == GHalt)
+            break;
+        switch (op) {
+          case GAddi: gr[rd] = gr[rs1] + imm; ++gpc; break;
+          case GAdd: gr[rd] = gr[rs1] + gr[rs2]; ++gpc; break;
+          case GSub: gr[rd] = gr[rs1] - gr[rs2]; ++gpc; break;
+          case GXor: gr[rd] = gr[rs1] ^ gr[rs2]; ++gpc; break;
+          case GLd: gr[rd] = gmem[gr[rs1] + imm]; ++gpc; break;
+          case GSt: gmem[gr[rs1] + imm] = gr[rs2]; ++gpc; break;
+          case GBlt: gpc = gr[rs1] < gr[rs2] ? imm : gpc + 1; break;
+          case GMovi: gr[rd] = imm; ++gpc; break;
+          case GMuli: gr[rd] = gr[rs1] * imm; ++gpc; break;
+          default: ++gpc; break;
+        }
+    }
+
+    uint64_t checksum = static_cast<uint64_t>(gmem[99]) * 3 +
+                        cycle * 7 + static_cast<uint64_t>(icount) +
+                        static_cast<uint64_t>(gr[5]);
+    return static_cast<int64_t>(checksum);
+}
+
+std::unique_ptr<Workload>
+makeM88ksim()
+{
+    return std::make_unique<M88ksimWorkload>();
+}
+
+} // namespace vpprof

@@ -1,0 +1,296 @@
+/**
+ * @file
+ * The "mgrid" workload: a 3-D stencil relaxation kernel standing in
+ * for SPEC95 107.mgrid, the paper's floating-point benchmark.
+ *
+ * Two phases, matching the paper's treatment of Spec-fp95:
+ *  - init: read the 16^3 input field from the input stream into both
+ *    ping-pong grids (the "initialization phase" where the program
+ *    reads its input data);
+ *  - compute: Jacobi sweeps of a 7-point stencil
+ *    (w = 0.5*c + (sum of 6 neighbours)/12) ping-ponging between the
+ *    grids while accumulating the residual norm; the phase boundary is
+ *    exposed through phaseSplitPc().
+ *
+ * Value-predictability character: the init phase's FP loads walk an
+ * arithmetic ramp inside one binade, so even their bit patterns stride
+ * (the paper's high stride accuracy for FP loads in the init phase);
+ * compute-phase addresses stride while the smoothed values drift —
+ * FP-typical behaviour.
+ */
+
+#include "workloads/workload.hh"
+
+#include <array>
+#include <cmath>
+
+#include "isa/program_builder.hh"
+
+namespace vpprof
+{
+
+namespace
+{
+
+constexpr int64_t kInput = 100000;
+constexpr int64_t kGridA = 200000;
+constexpr int64_t kGridB = 300000;
+constexpr int64_t kConsts = 701;       // FP constants
+constexpr int64_t kN = 16;             // grid edge
+constexpr int64_t kWords = kN * kN * kN;
+constexpr uint64_t kParamSweeps = kParamBase + 0;
+
+constexpr double kHalf = 0.5;
+constexpr double kTwelfth = 1.0 / 12.0;
+constexpr double kNormScale = 1048576.0;  // 2^20
+constexpr double kSampleScale = 1024.0;   // 2^10
+
+struct MgridInput
+{
+    int64_t sweeps;
+    double base;
+    int64_t deltaSteps;  ///< input ramp slope, in units of 2^-22
+    int64_t jumpSteps;   ///< per-256-word jump, in units of 2^-12
+};
+
+constexpr std::array<MgridInput, 5> kInputs = {{
+    {10, 1.0, 3, 1},
+    {8, 1.25, 5, 2},
+    {12, 1.125, 2, 3},
+    {9, 1.5, 4, 1},
+    {11, 1.0625, 6, 2},
+}};
+
+/** The input field: a ramp within one binade plus coarse jumps. */
+std::vector<double>
+makeField(const MgridInput &in)
+{
+    const double delta = static_cast<double>(in.deltaSteps) *
+                         0x1.0p-22;
+    const double jump = static_cast<double>(in.jumpSteps) * 0x1.0p-12;
+    std::vector<double> field;
+    field.reserve(kWords);
+    for (int64_t i = 0; i < kWords; ++i) {
+        field.push_back(in.base + static_cast<double>(i) * delta +
+                        static_cast<double>(i >> 8) * jump);
+    }
+    return field;
+}
+
+/** Truncating conversion mirroring the VM's Ftoi semantics. */
+int64_t
+refFtoi(double d)
+{
+    if (std::isnan(d) || d >= 9.223372036854776e18 ||
+        d <= -9.223372036854776e18) {
+        return 0;
+    }
+    return static_cast<int64_t>(d);
+}
+
+Program
+buildMgridProgram()
+{
+    ProgramBuilder b("mgrid");
+
+    // ---- init phase: input -> grid A and grid B, through the unit
+    // scale factor (exact, so the checksum is unaffected; it gives the
+    // init phase the FP computation the paper's phase split observes).
+    b.ld(R(2), R(0), kParamSweeps);
+    b.fld(F(24), R(0), kConsts + 4);    // 1.0
+    b.movi(R(1), 0);
+    b.label("init_loop");
+    b.slti(R(9), R(1), kWords);
+    b.beq(R(9), R(0), "init_done");
+    b.fld(F(1), R(1), kInput);
+    b.fmul(F(2), F(1), F(24));          // exact: v * 1.0 == v
+    b.fst(R(1), F(2), kGridA);
+    b.fst(R(1), F(2), kGridB);
+    b.addi(R(1), R(1), 1);
+    b.jmp("init_loop");
+    b.label("init_done");
+
+    b.fld(F(20), R(0), kConsts + 0);    // 0.5
+    b.fld(F(21), R(0), kConsts + 1);    // 1/12
+    b.fld(F(22), R(0), kConsts + 2);    // 2^20
+    b.fld(F(23), R(0), kConsts + 3);    // 2^10
+
+    // ---- compute phase ----
+    b.label("compute");
+    b.movi(R(20), kGridA);              // src base
+    b.movi(R(21), kGridB);              // dst base
+    b.movi(R(3), 0);                    // sweep counter
+    b.label("sweep_loop");
+    b.bge(R(3), R(2), "compute_done");
+    b.movi(R(4), 1);                    // i
+    b.label("i_loop");
+    b.slti(R(9), R(4), kN - 1);
+    b.beq(R(9), R(0), "i_done");
+    b.movi(R(5), 1);                    // j
+    b.label("j_loop");
+    b.slti(R(9), R(5), kN - 1);
+    b.beq(R(9), R(0), "j_done");
+    b.movi(R(6), 1);                    // k
+    b.label("k_loop");
+    b.slti(R(9), R(6), kN - 1);
+    b.beq(R(9), R(0), "k_done");
+    // idx = (i*16 + j)*16 + k
+    b.shli(R(7), R(4), 4);
+    b.add(R(7), R(7), R(5));
+    b.shli(R(7), R(7), 4);
+    b.add(R(7), R(7), R(6));
+    b.add(R(8), R(7), R(20));           // &src[idx]
+    b.fld(F(1), R(8), 0);               // centre
+    b.fld(F(2), R(8), 1);
+    b.fld(F(3), R(8), -1);
+    b.fld(F(4), R(8), kN);
+    b.fld(F(5), R(8), -kN);
+    b.fld(F(6), R(8), kN * kN);
+    b.fld(F(7), R(8), -kN * kN);
+    b.fadd(F(8), F(2), F(3));
+    b.fadd(F(8), F(8), F(4));
+    b.fadd(F(8), F(8), F(5));
+    b.fadd(F(8), F(8), F(6));
+    b.fadd(F(8), F(8), F(7));           // neighbour sum
+    b.fmul(F(9), F(1), F(20));          // 0.5 * c
+    b.fmul(F(8), F(8), F(21));          // sum / 12
+    b.fadd(F(9), F(9), F(8));           // w
+    b.add(R(8), R(7), R(21));           // &dst[idx]
+    b.fst(R(8), F(9), 0);
+    b.fmul(F(11), F(9), F(9));
+    b.fadd(F(10), F(10), F(11));        // residual norm accumulator
+    b.addi(R(6), R(6), 1);
+    b.jmp("k_loop");
+    b.label("k_done");
+    b.addi(R(5), R(5), 1);
+    b.jmp("j_loop");
+    b.label("j_done");
+    b.addi(R(4), R(4), 1);
+    b.jmp("i_loop");
+    b.label("i_done");
+    b.mov(R(9), R(20));                 // ping-pong swap
+    b.mov(R(20), R(21));
+    b.mov(R(21), R(9));
+    b.addi(R(3), R(3), 1);
+    b.jmp("sweep_loop");
+    b.label("compute_done");
+
+    // checksum = trunc(sqrt(norm) * 2^20) + trunc(centre * 2^10) + S
+    b.fsqrt(F(11), F(10));
+    b.fmul(F(11), F(11), F(22));
+    b.ftoi(R(10), F(11));
+    b.movi(R(7), (8 * kN + 8) * kN + 8);
+    b.add(R(8), R(7), R(20));           // last-written grid
+    b.fld(F(12), R(8), 0);
+    b.fmul(F(12), F(12), F(23));
+    b.ftoi(R(11), F(12));
+    b.add(R(10), R(10), R(11));
+    b.add(R(10), R(10), R(2));
+    b.st(R(0), R(10), kChecksumAddr);
+    b.halt();
+
+    return b.build();
+}
+
+class MgridWorkload : public Workload
+{
+  public:
+    MgridWorkload()
+        : program_(buildMgridProgram())
+    {
+        for (const auto &[addr, name] : program_.labels()) {
+            if (name == "compute")
+                computePc_ = addr;
+        }
+    }
+
+    std::string_view name() const override { return "mgrid"; }
+
+    std::string_view
+    description() const override
+    {
+        return "3-D Jacobi stencil with init/compute phases (107.mgrid)";
+    }
+
+    bool isFloatingPoint() const override { return true; }
+
+    const Program &program() const override { return program_; }
+
+    size_t numInputSets() const override { return kInputs.size(); }
+
+    std::optional<uint64_t>
+    phaseSplitPc() const override
+    {
+        return computePc_;
+    }
+
+    MemoryImage
+    input(size_t idx) const override
+    {
+        const MgridInput &in = kInputs.at(idx);
+        MemoryImage image;
+        image.store(kParamSweeps, in.sweeps);
+        image.storeDouble(kConsts + 0, kHalf);
+        image.storeDouble(kConsts + 1, kTwelfth);
+        image.storeDouble(kConsts + 2, kNormScale);
+        image.storeDouble(kConsts + 3, kSampleScale);
+        image.storeDouble(kConsts + 4, 1.0);
+        std::vector<double> field = makeField(in);
+        for (int64_t i = 0; i < kWords; ++i)
+            image.storeDouble(kInput + i, field[static_cast<size_t>(i)]);
+        return image;
+    }
+
+    int64_t referenceChecksum(size_t idx) const override;
+
+  private:
+    Program program_;
+    uint64_t computePc_ = 0;
+};
+
+} // namespace
+
+int64_t
+MgridWorkload::referenceChecksum(size_t idx) const
+{
+    const MgridInput &in = kInputs.at(idx);
+    std::vector<double> a = makeField(in);
+    std::vector<double> b2 = a;
+
+    double *src = a.data();
+    double *dst = b2.data();
+    double norm = 0.0;
+    for (int64_t s = 0; s < in.sweeps; ++s) {
+        for (int64_t i = 1; i < kN - 1; ++i) {
+            for (int64_t j = 1; j < kN - 1; ++j) {
+                for (int64_t k = 1; k < kN - 1; ++k) {
+                    size_t idx = static_cast<size_t>(
+                        (i * kN + j) * kN + k);
+                    double sum = src[idx + 1] + src[idx - 1];
+                    sum += src[idx + kN];
+                    sum += src[idx - kN];
+                    sum += src[idx + kN * kN];
+                    sum += src[idx - kN * kN];
+                    double w = src[idx] * kHalf + sum * kTwelfth;
+                    dst[idx] = w;
+                    norm += w * w;
+                }
+            }
+        }
+        std::swap(src, dst);
+    }
+
+    int64_t check = refFtoi(std::sqrt(norm) * kNormScale);
+    size_t centre = static_cast<size_t>((8 * kN + 8) * kN + 8);
+    check += refFtoi(src[centre] * kSampleScale);
+    check += in.sweeps;
+    return check;
+}
+
+std::unique_ptr<Workload>
+makeMgrid()
+{
+    return std::make_unique<MgridWorkload>();
+}
+
+} // namespace vpprof

@@ -1,0 +1,404 @@
+/**
+ * @file
+ * The "vortex" workload: an object-oriented database transaction
+ * kernel standing in for SPEC95 147.vortex.
+ *
+ * A table of fixed-layout records (key, type, balance, count, four
+ * payload words) sorted by key is driven by a transaction stream.
+ * Each transaction binary-searches for its key and then performs a
+ * lookup (read balance, bump a per-type statistic), an update
+ * (read-modify-write balance and count) or a range scan (sum payloads
+ * of the following records). A final audit pass folds every 97th
+ * record into the checksum.
+ *
+ * Value-predictability character: record-type loads and per-type
+ * statistics repeat strongly, scan offsets stride, while binary-search
+ * midpoints and balances are data-dependent — with a large data
+ * working set, matching vortex's profile in the paper.
+ */
+
+#include "workloads/workload.hh"
+
+#include <array>
+#include <string>
+
+#include "common/random.hh"
+#include "isa/program_builder.hh"
+
+namespace vpprof
+{
+
+namespace
+{
+
+constexpr int64_t kDb = 100000;        // records, 8 words each
+constexpr int64_t kTxn = 600000;       // transactions, 3 words each
+constexpr int64_t kTypeTab = 800;      // 8-entry per-type statistics
+constexpr int64_t kRecWords = 8;
+constexpr int64_t kNumRec = 4096;
+constexpr int64_t kKeyBase = 3;
+constexpr int64_t kKeyGap = 7;
+constexpr uint64_t kParamTxns = kParamBase + 0;
+
+struct VortexInput
+{
+    int64_t txns;
+    uint64_t seed;
+};
+
+constexpr std::array<VortexInput, 5> kInputs = {{
+    {9000, 0x4041, },
+    {7000, 0x4042, },
+    {11000, 0x4043, },
+    {8000, 0x4044, },
+    {10000, 0x4045, },
+}};
+
+/** (op, key, delta) triples; ~60% of keys exist in the table. */
+std::vector<int64_t>
+makeTxns(const VortexInput &in)
+{
+    std::vector<int64_t> txns;
+    txns.reserve(static_cast<size_t>(in.txns) * 3);
+    Rng rng(in.seed);
+    for (int64_t t = 0; t < in.txns; ++t) {
+        int64_t op = static_cast<int64_t>(rng.nextBelow(3));
+        int64_t key;
+        if (rng.nextBelow(5) < 3) {
+            key = kKeyBase + kKeyGap * static_cast<int64_t>(
+                rng.nextBelow(kNumRec));
+        } else {
+            key = static_cast<int64_t>(
+                rng.nextBelow(kNumRec * kKeyGap + 10));
+        }
+        int64_t delta = rng.nextInRange(-100, 100);
+        txns.push_back(op);
+        txns.push_back(key);
+        txns.push_back(delta);
+    }
+    return txns;
+}
+
+/** Initial record fields for record i, via a dedicated stream. */
+std::vector<int64_t>
+makeDb(const VortexInput &in)
+{
+    std::vector<int64_t> db;
+    db.reserve(kNumRec * kRecWords);
+    Rng rng(in.seed ^ 0xd1);
+    for (int64_t i = 0; i < kNumRec; ++i) {
+        db.push_back(kKeyBase + kKeyGap * i);       // key
+        db.push_back(i % 5);                        // type
+        db.push_back(rng.nextInRange(0, 10000));    // balance
+        db.push_back(0);                            // count
+        for (int f = 0; f < 4; ++f)
+            db.push_back(rng.nextInRange(-50, 50)); // payload
+    }
+    return db;
+}
+
+Program
+buildVortexProgram()
+{
+    ProgramBuilder b("vortex");
+
+    // r1=txn idx r2=T r3=op r4=key r5=delta
+    // r6=lo r7=hi r8=mid r9=found r10..r13 scratch
+    // r16=acc (lookups) r17=acc2 (scans) r18=checksum
+    //
+    // Each transaction type runs its own copy of the record-lookup
+    // path (with the binary search fully unrolled to the table's
+    // maximum depth), the way a code-generated OO database layers its
+    // per-method accessors — giving vortex the large hot instruction
+    // working set of its SPEC namesake. Semantics are identical to the
+    // rolled form.
+    b.ld(R(2), R(0), kParamTxns);
+    b.movi(R(1), 0);
+    b.movi(R(16), 0);
+    b.movi(R(17), 0);
+
+    // Unrolled binary search over record field 0: at most 13 probes
+    // for 4096 records. Leaves `found` in r9.
+    auto bsearch = [&](const std::string &tag) {
+        b.movi(R(6), 0);                    // lo
+        b.movi(R(7), kNumRec - 1);          // hi
+        b.movi(R(9), -1);                   // found
+        for (int probe = 0; probe < 13; ++probe) {
+            std::string ptag = tag + "_" + std::to_string(probe);
+            b.slt(R(10), R(7), R(6));       // hi < lo ?
+            b.bne(R(10), R(0), "bs_done_" + tag);
+            b.add(R(8), R(6), R(7));
+            b.sari(R(8), R(8), 1);          // mid
+            b.muli(R(11), R(8), kRecWords);
+            b.ld(R(12), R(11), kDb);        // db[mid].key
+            b.beq(R(12), R(4), "bs_found_" + tag);
+            b.slt(R(10), R(12), R(4));
+            b.beq(R(10), R(0), "bs_upper_" + ptag);
+            b.addi(R(6), R(8), 1);          // lo = mid + 1
+            b.jmp("bs_next_" + ptag);
+            b.label("bs_upper_" + ptag);
+            b.subi(R(7), R(8), 1);          // hi = mid - 1
+            b.label("bs_next_" + ptag);
+        }
+        b.jmp("bs_done_" + tag);            // exhausted (cannot happen)
+        b.label("bs_found_" + tag);
+        b.mov(R(9), R(8));
+        b.label("bs_done_" + tag);
+        b.slti(R(10), R(9), 0);
+        b.bne(R(10), R(0), "txn_next");     // key not present
+        b.muli(R(11), R(9), kRecWords);     // record base offset
+    };
+
+    b.label("txn_loop");
+    b.bge(R(1), R(2), "audit");
+    b.muli(R(10), R(1), 3);
+    b.ld(R(3), R(10), kTxn);            // op
+    b.ld(R(4), R(10), kTxn + 1);        // key
+    b.ld(R(5), R(10), kTxn + 2);        // delta
+
+    // Even and odd transactions run separate copies of the whole
+    // per-op path (the inlined per-class accessors of a code-generated
+    // OO database), doubling the hot instruction working set without
+    // changing semantics.
+    b.andi(R(10), R(1), 1);
+    b.bne(R(10), R(0), "txn_odd");
+    b.bne(R(3), R(0), "not_lookup_e");
+    // ---- op 0: lookup — read balance, bump per-type statistic,
+    // with the statistic update specialized per record type ----
+    bsearch("lk_e");
+    b.ld(R(12), R(11), kDb + 2);        // balance
+    b.add(R(16), R(16), R(12));
+    b.ld(R(13), R(11), kDb + 1);        // type (0..4)
+    for (int t = 0; t < 5; ++t) {
+        std::string tag = std::to_string(t);
+        if (t < 4) {
+            b.subi(R(10), R(13), t);
+            b.bne(R(10), R(0), "lk_type_e_" + std::to_string(t + 1));
+        }
+        b.ld(R(12), R(13), kTypeTab);
+        b.addi(R(12), R(12), 1);
+        b.st(R(13), R(12), kTypeTab);
+        b.jmp("txn_next");
+        if (t < 4)
+            b.label("lk_type_e_" + std::to_string(t + 1));
+    }
+
+    b.label("not_lookup_e");
+    b.movi(R(10), 1);
+    b.bne(R(3), R(10), "not_update_e");
+    // ---- op 1: update — balance += delta, count++ ----
+    bsearch("up_e");
+    b.ld(R(12), R(11), kDb + 2);
+    b.add(R(12), R(12), R(5));
+    b.st(R(11), R(12), kDb + 2);
+    b.ld(R(12), R(11), kDb + 3);
+    b.addi(R(12), R(12), 1);
+    b.st(R(11), R(12), kDb + 3);
+    b.jmp("txn_next");
+
+    b.label("not_update_e");
+    // ---- op 2: range scan — sum payload[0] of the next 8 records,
+    // fully unrolled ----
+    bsearch("sc_e");
+    for (int j = 0; j < 8; ++j) {
+        std::string tag = std::to_string(j);
+        b.addi(R(12), R(9), j);         // found + j
+        b.movi(R(10), kNumRec);
+        b.bge(R(12), R(10), "txn_next");    // off the table end
+        b.muli(R(12), R(12), kRecWords);
+        b.ld(R(10), R(12), kDb + 4);    // payload[0]
+        b.add(R(17), R(17), R(10));
+        (void)tag;
+    }
+
+    b.jmp("txn_next");
+    b.label("txn_odd");
+    b.bne(R(3), R(0), "not_lookup_o");
+    // ---- op 0: lookup — read balance, bump per-type statistic,
+    // with the statistic update specialized per record type ----
+    bsearch("lk_o");
+    b.ld(R(12), R(11), kDb + 2);        // balance
+    b.add(R(16), R(16), R(12));
+    b.ld(R(13), R(11), kDb + 1);        // type (0..4)
+    for (int t = 0; t < 5; ++t) {
+        std::string tag = std::to_string(t);
+        if (t < 4) {
+            b.subi(R(10), R(13), t);
+            b.bne(R(10), R(0), "lk_type_o_" + std::to_string(t + 1));
+        }
+        b.ld(R(12), R(13), kTypeTab);
+        b.addi(R(12), R(12), 1);
+        b.st(R(13), R(12), kTypeTab);
+        b.jmp("txn_next");
+        if (t < 4)
+            b.label("lk_type_o_" + std::to_string(t + 1));
+    }
+
+    b.label("not_lookup_o");
+    b.movi(R(10), 1);
+    b.bne(R(3), R(10), "not_update_o");
+    // ---- op 1: update — balance += delta, count++ ----
+    bsearch("up_o");
+    b.ld(R(12), R(11), kDb + 2);
+    b.add(R(12), R(12), R(5));
+    b.st(R(11), R(12), kDb + 2);
+    b.ld(R(12), R(11), kDb + 3);
+    b.addi(R(12), R(12), 1);
+    b.st(R(11), R(12), kDb + 3);
+    b.jmp("txn_next");
+
+    b.label("not_update_o");
+    // ---- op 2: range scan — sum payload[0] of the next 8 records,
+    // fully unrolled ----
+    bsearch("sc_o");
+    for (int j = 0; j < 8; ++j) {
+        std::string tag = std::to_string(j);
+        b.addi(R(12), R(9), j);         // found + j
+        b.movi(R(10), kNumRec);
+        b.bge(R(12), R(10), "txn_next");    // off the table end
+        b.muli(R(12), R(12), kRecWords);
+        b.ld(R(10), R(12), kDb + 4);    // payload[0]
+        b.add(R(17), R(17), R(10));
+        (void)tag;
+    }
+
+    b.label("txn_next");
+    b.addi(R(1), R(1), 1);
+    b.jmp("txn_loop");
+
+    // ---- audit: fold every 97th record, stats and accumulators ----
+    b.label("audit");
+    b.movi(R(18), 0);
+    b.movi(R(1), 0);
+    b.label("audit_loop");
+    for (int u = 0; u < 4; ++u) {
+        b.movi(R(10), kNumRec);
+        b.bge(R(1), R(10), "audit_end");
+        b.muli(R(11), R(1), kRecWords);
+        b.ld(R(12), R(11), kDb + 2);    // balance
+        b.muli(R(18), R(18), 19);
+        b.add(R(18), R(18), R(12));
+        b.ld(R(12), R(11), kDb + 3);    // count
+        b.add(R(18), R(18), R(12));
+        b.addi(R(1), R(1), 97);
+    }
+    b.jmp("audit_loop");
+    b.label("audit_end");
+    for (int i = 0; i < 8; ++i) {
+        b.ld(R(12), R(0), kTypeTab + i);
+        b.muli(R(18), R(18), 11);
+        b.add(R(18), R(18), R(12));
+    }
+    b.muli(R(16), R(16), 3);
+    b.add(R(18), R(18), R(16));
+    b.add(R(18), R(18), R(17));
+    b.st(R(0), R(18), kChecksumAddr);
+    b.halt();
+
+    return b.build();
+}
+
+class VortexWorkload : public Workload
+{
+  public:
+    VortexWorkload() : program_(buildVortexProgram()) {}
+
+    std::string_view name() const override { return "vortex"; }
+
+    std::string_view
+    description() const override
+    {
+        return "record database with transaction stream (147.vortex)";
+    }
+
+    const Program &program() const override { return program_; }
+
+    size_t numInputSets() const override { return kInputs.size(); }
+
+    MemoryImage
+    input(size_t idx) const override
+    {
+        const VortexInput &in = kInputs.at(idx);
+        MemoryImage image;
+        image.store(kParamTxns, in.txns);
+        image.storeBlock(kDb, makeDb(in));
+        image.storeBlock(kTxn, makeTxns(in));
+        return image;
+    }
+
+    int64_t referenceChecksum(size_t idx) const override;
+
+  private:
+    Program program_;
+};
+
+} // namespace
+
+int64_t
+VortexWorkload::referenceChecksum(size_t idx) const
+{
+    const VortexInput &in = kInputs.at(idx);
+    std::vector<int64_t> db = makeDb(in);
+    std::vector<int64_t> txns = makeTxns(in);
+    std::vector<int64_t> type_tab(8, 0);
+
+    uint64_t acc = 0, acc2 = 0;
+    for (int64_t t = 0; t < in.txns; ++t) {
+        int64_t op = txns[static_cast<size_t>(t * 3)];
+        int64_t key = txns[static_cast<size_t>(t * 3 + 1)];
+        int64_t delta = txns[static_cast<size_t>(t * 3 + 2)];
+
+        int64_t lo = 0, hi = kNumRec - 1, found = -1;
+        while (lo <= hi) {
+            int64_t mid = (lo + hi) >> 1;
+            int64_t k = db[static_cast<size_t>(mid * kRecWords)];
+            if (k == key) {
+                found = mid;
+                break;
+            }
+            if (k < key)
+                lo = mid + 1;
+            else
+                hi = mid - 1;
+        }
+        if (found < 0)
+            continue;
+
+        size_t base = static_cast<size_t>(found * kRecWords);
+        if (op == 0) {
+            acc += static_cast<uint64_t>(db[base + 2]);
+            ++type_tab[static_cast<size_t>(db[base + 1])];
+        } else if (op == 1) {
+            db[base + 2] += delta;
+            db[base + 3] += 1;
+        } else {
+            for (int64_t j = 0; j < 8; ++j) {
+                if (found + j >= kNumRec)
+                    break;
+                acc2 += static_cast<uint64_t>(
+                    db[static_cast<size_t>((found + j) * kRecWords) + 4]);
+            }
+        }
+    }
+
+    uint64_t checksum = 0;
+    for (int64_t i = 0; i < kNumRec; i += 97) {
+        size_t base = static_cast<size_t>(i * kRecWords);
+        checksum = checksum * 19 + static_cast<uint64_t>(db[base + 2]);
+        checksum += static_cast<uint64_t>(db[base + 3]);
+    }
+    for (int i = 0; i < 8; ++i) {
+        checksum = checksum * 11 +
+                   static_cast<uint64_t>(type_tab[static_cast<size_t>(i)]);
+    }
+    checksum += acc * 3 + acc2;
+    return static_cast<int64_t>(checksum);
+}
+
+std::unique_ptr<Workload>
+makeVortex()
+{
+    return std::make_unique<VortexWorkload>();
+}
+
+} // namespace vpprof

@@ -1,0 +1,29 @@
+#include "workloads/workload.hh"
+
+namespace vpprof
+{
+
+WorkloadSuite::WorkloadSuite()
+{
+    workloads_.push_back(makeGo());
+    workloads_.push_back(makeM88ksim());
+    workloads_.push_back(makeGcc());
+    workloads_.push_back(makeCompress());
+    workloads_.push_back(makeLi());
+    workloads_.push_back(makeIjpeg());
+    workloads_.push_back(makePerl());
+    workloads_.push_back(makeVortex());
+    workloads_.push_back(makeMgrid());
+}
+
+const Workload *
+WorkloadSuite::find(std::string_view name) const
+{
+    for (const auto &w : workloads_) {
+        if (w->name() == name)
+            return w.get();
+    }
+    return nullptr;
+}
+
+} // namespace vpprof

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The workload interface and registry.
+ *
+ * Each workload is a synthetic stand-in for one SPEC95 benchmark from
+ * Table 4.1 of the paper, written directly in the vpprof mini-ISA. The
+ * static program is fixed; only the input set (initial memory image)
+ * varies, so instruction addresses are directly comparable across runs
+ * — the property Section 4's cross-run correlation study requires.
+ *
+ * Every workload also embeds a C++ reference implementation of its
+ * algorithm. The assembly program deposits a checksum at
+ * kChecksumAddr when it halts, and referenceChecksum() computes the
+ * same value natively, giving the test suite an end-to-end semantic
+ * check of both the workload program and the VM.
+ */
+
+#ifndef VPPROF_WORKLOADS_WORKLOAD_HH
+#define VPPROF_WORKLOADS_WORKLOAD_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "isa/program.hh"
+#include "vm/memory.hh"
+
+namespace vpprof
+{
+
+/** Memory word where every workload stores its final checksum. */
+constexpr uint64_t kChecksumAddr = 80;
+
+/** Base address of the per-run scalar parameters (sizes, seeds). */
+constexpr uint64_t kParamBase = 90;
+
+/** A SPEC95-like synthetic benchmark. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Benchmark name, e.g. "go". */
+    virtual std::string_view name() const = 0;
+
+    /** One-line description of what the program computes. */
+    virtual std::string_view description() const = 0;
+
+    /** True for the FP benchmark(s) (mgrid). */
+    virtual bool isFloatingPoint() const { return false; }
+
+    /** The static program (built once; identical for every input). */
+    virtual const Program &program() const = 0;
+
+    /** Number of available input sets (>= 5 for the Section 4 study). */
+    virtual size_t numInputSets() const { return 5; }
+
+    /** Initial memory image for input set idx (0-based). */
+    virtual MemoryImage input(size_t idx) const = 0;
+
+    /**
+     * For phase-split benchmarks (mgrid): the static address whose
+     * first execution marks the start of the computation phase.
+     */
+    virtual std::optional<uint64_t> phaseSplitPc() const { return {}; }
+
+    /** Safety cap on dynamic instructions for one run. */
+    virtual uint64_t maxInstructions() const { return 80'000'000; }
+
+    /** Checksum the reference implementation computes for input idx. */
+    virtual int64_t referenceChecksum(size_t idx) const = 0;
+};
+
+/** Factories, one per benchmark of Table 4.1. */
+std::unique_ptr<Workload> makeGo();
+std::unique_ptr<Workload> makeM88ksim();
+std::unique_ptr<Workload> makeGcc();
+std::unique_ptr<Workload> makeCompress();
+std::unique_ptr<Workload> makeLi();
+std::unique_ptr<Workload> makeIjpeg();
+std::unique_ptr<Workload> makePerl();
+std::unique_ptr<Workload> makeVortex();
+std::unique_ptr<Workload> makeMgrid();
+
+/** The full benchmark suite in the paper's order. */
+class WorkloadSuite
+{
+  public:
+    /** Build the nine-benchmark suite. */
+    WorkloadSuite();
+
+    const std::vector<std::unique_ptr<Workload>> &all() const
+    {
+        return workloads_;
+    }
+
+    /** Find by name; nullptr when unknown. */
+    const Workload *find(std::string_view name) const;
+
+  private:
+    std::vector<std::unique_ptr<Workload>> workloads_;
+};
+
+} // namespace vpprof
+
+#endif // VPPROF_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Unit tests for the set-associative LRU table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/assoc_table.hh"
+
+namespace vpprof
+{
+namespace
+{
+
+struct Payload
+{
+    int value = 0;
+};
+
+TEST(AssocTable, MissesWhenEmpty)
+{
+    AssocTable<Payload> t(8, 2);
+    EXPECT_EQ(t.lookup(42), nullptr);
+    EXPECT_EQ(t.peek(42), nullptr);
+    EXPECT_EQ(t.occupancy(), 0u);
+}
+
+TEST(AssocTable, AllocateThenHit)
+{
+    AssocTable<Payload> t(8, 2);
+    t.allocate(42).value = 7;
+    Payload *p = t.lookup(42);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->value, 7);
+    EXPECT_EQ(t.occupancy(), 1u);
+}
+
+TEST(AssocTable, AllocateExistingReturnsSameEntry)
+{
+    AssocTable<Payload> t(8, 2);
+    t.allocate(42).value = 7;
+    bool evicted = true;
+    Payload &again = t.allocate(42, &evicted);
+    EXPECT_FALSE(evicted);
+    EXPECT_EQ(again.value, 7);
+    EXPECT_EQ(t.occupancy(), 1u);
+    EXPECT_EQ(t.allocations(), 1u);
+}
+
+TEST(AssocTable, GeometryAccessors)
+{
+    AssocTable<Payload> t(512, 2);
+    EXPECT_EQ(t.numEntries(), 512u);
+    EXPECT_EQ(t.associativity(), 2u);
+    EXPECT_EQ(t.numSets(), 256u);
+}
+
+TEST(AssocTable, BadGeometryPanics)
+{
+    EXPECT_DEATH((AssocTable<Payload>(7, 2)), "geometry");
+    EXPECT_DEATH((AssocTable<Payload>(8, 0)), "geometry");
+    EXPECT_DEATH((AssocTable<Payload>(0, 2)), "geometry");
+}
+
+TEST(AssocTable, ConflictingKeysEvictLru)
+{
+    // 4 entries, 2-way => 2 sets. Keys 0, 2, 4 all map to set 0.
+    AssocTable<Payload> t(4, 2);
+    t.allocate(0).value = 10;
+    t.allocate(2).value = 20;
+    bool evicted = false;
+    t.allocate(4, &evicted).value = 30;
+    EXPECT_TRUE(evicted);
+    // Key 0 was LRU, so it is gone; 2 and 4 remain.
+    EXPECT_EQ(t.lookup(0), nullptr);
+    ASSERT_NE(t.peek(2), nullptr);
+    ASSERT_NE(t.peek(4), nullptr);
+    EXPECT_EQ(t.evictions(), 1u);
+}
+
+TEST(AssocTable, LookupRefreshesLru)
+{
+    AssocTable<Payload> t(4, 2);
+    t.allocate(0).value = 10;
+    t.allocate(2).value = 20;
+    // Touch key 0 so key 2 becomes LRU.
+    EXPECT_NE(t.lookup(0), nullptr);
+    t.allocate(4);
+    EXPECT_NE(t.peek(0), nullptr);
+    EXPECT_EQ(t.peek(2), nullptr);
+}
+
+TEST(AssocTable, PeekDoesNotRefreshLru)
+{
+    AssocTable<Payload> t(4, 2);
+    t.allocate(0).value = 10;
+    t.allocate(2).value = 20;
+    // Peek key 0: must NOT protect it from eviction.
+    EXPECT_NE(t.peek(0), nullptr);
+    t.allocate(4);
+    EXPECT_EQ(t.peek(0), nullptr);
+    EXPECT_NE(t.peek(2), nullptr);
+}
+
+TEST(AssocTable, EvictedEntryIsDefaultConstructedOnRealloc)
+{
+    AssocTable<Payload> t(2, 2);
+    t.allocate(0).value = 10;
+    t.allocate(2).value = 20;
+    t.allocate(4).value = 30;  // evicts key 0
+    Payload &back = t.allocate(0);
+    EXPECT_EQ(back.value, 0);
+}
+
+TEST(AssocTable, InvalidateRemovesEntry)
+{
+    AssocTable<Payload> t(8, 2);
+    t.allocate(42).value = 7;
+    t.invalidate(42);
+    EXPECT_EQ(t.lookup(42), nullptr);
+    EXPECT_EQ(t.occupancy(), 0u);
+}
+
+TEST(AssocTable, InvalidateMissIsNoop)
+{
+    AssocTable<Payload> t(8, 2);
+    t.allocate(1).value = 1;
+    t.invalidate(999);
+    EXPECT_EQ(t.occupancy(), 1u);
+}
+
+TEST(AssocTable, ClearResetsEverything)
+{
+    AssocTable<Payload> t(4, 2);
+    t.allocate(0);
+    t.allocate(2);
+    t.allocate(4);
+    t.clear();
+    EXPECT_EQ(t.occupancy(), 0u);
+    EXPECT_EQ(t.allocations(), 0u);
+    EXPECT_EQ(t.evictions(), 0u);
+}
+
+TEST(AssocTable, DirectMappedBehaves)
+{
+    AssocTable<Payload> t(4, 1);
+    t.allocate(1).value = 1;
+    bool evicted = false;
+    t.allocate(5, &evicted).value = 5;  // same set (5 % 4 == 1)
+    EXPECT_TRUE(evicted);
+    EXPECT_EQ(t.lookup(1), nullptr);
+}
+
+TEST(AssocTable, FullyAssociativeBehaves)
+{
+    AssocTable<Payload> t(4, 4);
+    for (uint64_t k = 0; k < 4; ++k)
+        t.allocate(k * 100);
+    EXPECT_EQ(t.occupancy(), 4u);
+    EXPECT_EQ(t.evictions(), 0u);
+    t.allocate(999);
+    EXPECT_EQ(t.occupancy(), 4u);
+    EXPECT_EQ(t.evictions(), 1u);
+}
+
+/** Property sweep over geometries: capacity is never exceeded. */
+class AssocTableGeometry
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>>
+{
+};
+
+TEST_P(AssocTableGeometry, OccupancyNeverExceedsCapacity)
+{
+    auto [entries, assoc] = GetParam();
+    AssocTable<Payload> t(entries, assoc);
+    for (uint64_t k = 0; k < 10 * entries; ++k)
+        t.allocate(k * 7 + 1);
+    EXPECT_LE(t.occupancy(), entries);
+    EXPECT_EQ(t.allocations(), 10 * entries);
+}
+
+TEST_P(AssocTableGeometry, RecentKeysSurvive)
+{
+    auto [entries, assoc] = GetParam();
+    AssocTable<Payload> t(entries, assoc);
+    // Fill far beyond capacity, then re-touch one key per set; it must
+    // hit immediately afterwards.
+    for (uint64_t k = 0; k < 4 * entries; ++k)
+        t.allocate(k);
+    uint64_t probe = 4 * entries - 1;
+    t.allocate(probe);
+    EXPECT_NE(t.lookup(probe), nullptr);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, AssocTableGeometry,
+    ::testing::Values(std::make_pair<size_t, size_t>(4, 1),
+                      std::make_pair<size_t, size_t>(8, 2),
+                      std::make_pair<size_t, size_t>(64, 4),
+                      std::make_pair<size_t, size_t>(512, 2),
+                      std::make_pair<size_t, size_t>(16, 16)));
+
+} // namespace
+} // namespace vpprof

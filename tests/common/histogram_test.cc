@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Unit tests for Histogram and the paper's decile bucketing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/histogram.hh"
+
+namespace vpprof
+{
+namespace
+{
+
+TEST(Histogram, DecileHistogramHasTenBuckets)
+{
+    Histogram h = makeDecileHistogram();
+    EXPECT_EQ(h.numBuckets(), 10u);
+    EXPECT_EQ(h.totalSamples(), 0u);
+}
+
+TEST(Histogram, FirstBucketIsClosedOnBothSides)
+{
+    Histogram h = makeDecileHistogram();
+    h.addSample(0.0);
+    h.addSample(10.0);
+    EXPECT_EQ(h.count(0), 2u);
+}
+
+TEST(Histogram, LaterBucketsAreLeftOpen)
+{
+    Histogram h = makeDecileHistogram();
+    h.addSample(10.0);   // [0,10]
+    h.addSample(10.001); // (10,20]
+    h.addSample(20.0);   // (10,20]
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(1), 2u);
+}
+
+TEST(Histogram, TopEdgeLandsInLastBucket)
+{
+    Histogram h = makeDecileHistogram();
+    h.addSample(100.0);
+    EXPECT_EQ(h.count(9), 1u);
+    EXPECT_EQ(h.clampedSamples(), 0u);
+}
+
+TEST(Histogram, OutOfRangeSamplesAreClampedAndCounted)
+{
+    Histogram h = makeDecileHistogram();
+    h.addSample(-5.0);
+    h.addSample(105.0);
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(9), 1u);
+    EXPECT_EQ(h.clampedSamples(), 2u);
+}
+
+TEST(Histogram, WeightedSamples)
+{
+    Histogram h = makeDecileHistogram();
+    h.addSample(5.0, 7);
+    EXPECT_EQ(h.count(0), 7u);
+    EXPECT_EQ(h.totalSamples(), 7u);
+}
+
+TEST(Histogram, FractionsSumToOne)
+{
+    Histogram h = makeDecileHistogram();
+    for (int i = 0; i <= 100; ++i)
+        h.addSample(static_cast<double>(i));
+    double total = 0.0;
+    for (size_t b = 0; b < h.numBuckets(); ++b)
+        total += h.fraction(b);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Histogram, FractionOfEmptyHistogramIsZero)
+{
+    Histogram h = makeDecileHistogram();
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
+}
+
+TEST(Histogram, BucketLabels)
+{
+    Histogram h = makeDecileHistogram();
+    EXPECT_EQ(h.bucketLabel(0), "[0,10]");
+    EXPECT_EQ(h.bucketLabel(1), "(10,20]");
+    EXPECT_EQ(h.bucketLabel(9), "(90,100]");
+}
+
+TEST(Histogram, MergeAddsCounts)
+{
+    Histogram a = makeDecileHistogram();
+    Histogram b = makeDecileHistogram();
+    a.addSample(5.0);
+    b.addSample(5.0);
+    b.addSample(95.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(0), 2u);
+    EXPECT_EQ(a.count(9), 1u);
+    EXPECT_EQ(a.totalSamples(), 3u);
+}
+
+TEST(Histogram, MergeMismatchedEdgesPanics)
+{
+    Histogram a({0, 1, 2});
+    Histogram b({0, 1, 3});
+    EXPECT_DEATH(a.merge(b), "mismatched");
+}
+
+TEST(Histogram, NonDecileEdges)
+{
+    Histogram h({0.0, 0.5, 1.0});
+    h.addSample(0.25);
+    h.addSample(0.75);
+    h.addSample(0.5);
+    EXPECT_EQ(h.count(0), 2u);
+    EXPECT_EQ(h.count(1), 1u);
+}
+
+TEST(Histogram, TooFewEdgesPanics)
+{
+    EXPECT_DEATH(Histogram({1.0}), "two edges");
+}
+
+TEST(Histogram, NonMonotonicEdgesPanics)
+{
+    EXPECT_DEATH(Histogram({0.0, 2.0, 1.0}), "increasing");
+}
+
+/** Property: every sample in [lo, hi] lands in exactly one bucket. */
+class HistogramSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(HistogramSweep, EverySampleCounted)
+{
+    Histogram h = makeDecileHistogram();
+    double x = GetParam();
+    h.addSample(x);
+    uint64_t total = 0;
+    for (size_t b = 0; b < h.numBuckets(); ++b)
+        total += h.count(b);
+    EXPECT_EQ(total, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, HistogramSweep,
+                         ::testing::Values(0.0, 0.1, 9.999, 10.0, 10.5,
+                                           33.3, 50.0, 89.9, 90.0, 99.9,
+                                           100.0));
+
+} // namespace
+} // namespace vpprof

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for SaturatingCounter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/saturating_counter.hh"
+
+namespace vpprof
+{
+namespace
+{
+
+TEST(SaturatingCounter, DefaultIsTwoBitNotTaken)
+{
+    SaturatingCounter c;
+    EXPECT_EQ(c.maxValue(), 3u);
+    EXPECT_EQ(c.threshold(), 2u);
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_FALSE(c.predictTaken());
+}
+
+TEST(SaturatingCounter, IncrementsToTakenAtThreshold)
+{
+    SaturatingCounter c(2, 0);
+    c.increment();
+    EXPECT_FALSE(c.predictTaken());
+    c.increment();
+    EXPECT_TRUE(c.predictTaken());
+}
+
+TEST(SaturatingCounter, SaturatesAtMaximum)
+{
+    SaturatingCounter c(2, 3);
+    c.increment();
+    c.increment();
+    EXPECT_EQ(c.value(), 3u);
+}
+
+TEST(SaturatingCounter, SaturatesAtZero)
+{
+    SaturatingCounter c(2, 0);
+    c.decrement();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(SaturatingCounter, InitialValueClamped)
+{
+    SaturatingCounter c(2, 100);
+    EXPECT_EQ(c.value(), 3u);
+}
+
+TEST(SaturatingCounter, OneBitBehavesAsLastOutcome)
+{
+    SaturatingCounter c(1, 0);
+    EXPECT_FALSE(c.predictTaken());
+    c.increment();
+    EXPECT_TRUE(c.predictTaken());
+    c.decrement();
+    EXPECT_FALSE(c.predictTaken());
+}
+
+TEST(SaturatingCounter, ResetClampsAndApplies)
+{
+    SaturatingCounter c(3, 0);
+    c.reset(5);
+    EXPECT_EQ(c.value(), 5u);
+    EXPECT_TRUE(c.predictTaken());
+    c.reset(100);
+    EXPECT_EQ(c.value(), 7u);
+}
+
+/** Hysteresis: one bad outcome must not flip a strongly-taken counter. */
+TEST(SaturatingCounter, TwoBitHysteresis)
+{
+    SaturatingCounter c(2, 3);
+    c.decrement();
+    EXPECT_TRUE(c.predictTaken());
+    c.decrement();
+    EXPECT_FALSE(c.predictTaken());
+}
+
+/** Property sweep: for every width, threshold = half the range. */
+class SaturatingCounterWidth : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SaturatingCounterWidth, ThresholdIsHalfRange)
+{
+    unsigned bits = GetParam();
+    SaturatingCounter c(bits, 0);
+    EXPECT_EQ(c.maxValue(), (1u << bits) - 1);
+    EXPECT_EQ(c.threshold(), 1u << (bits - 1));
+}
+
+TEST_P(SaturatingCounterWidth, FullUpDownCycleIsSymmetric)
+{
+    unsigned bits = GetParam();
+    SaturatingCounter c(bits, 0);
+    for (unsigned i = 0; i <= c.maxValue() + 2; ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), c.maxValue());
+    EXPECT_TRUE(c.predictTaken());
+    for (unsigned i = 0; i <= c.maxValue() + 2; ++i)
+        c.decrement();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_FALSE(c.predictTaken());
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SaturatingCounterWidth,
+                         ::testing::Values(1u, 2u, 3u, 4u, 8u));
+
+} // namespace
+} // namespace vpprof

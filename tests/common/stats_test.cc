@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Unit tests for the statistics helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace vpprof
+{
+namespace
+{
+
+TEST(RatioStat, EmptyIsZero)
+{
+    RatioStat r;
+    EXPECT_EQ(r.total(), 0u);
+    EXPECT_DOUBLE_EQ(r.fraction(), 0.0);
+    EXPECT_DOUBLE_EQ(r.percent(), 0.0);
+}
+
+TEST(RatioStat, CountsHitsAndMisses)
+{
+    RatioStat r;
+    r.sample(true);
+    r.sample(true);
+    r.sample(false);
+    EXPECT_EQ(r.hits(), 2u);
+    EXPECT_EQ(r.misses(), 1u);
+    EXPECT_EQ(r.total(), 3u);
+    EXPECT_NEAR(r.fraction(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(RatioStat, SampleManyAccumulates)
+{
+    RatioStat r;
+    r.sampleMany(30, 100);
+    r.sampleMany(20, 100);
+    EXPECT_EQ(r.hits(), 50u);
+    EXPECT_EQ(r.total(), 200u);
+    EXPECT_DOUBLE_EQ(r.percent(), 25.0);
+}
+
+TEST(RatioStat, ResetClears)
+{
+    RatioStat r;
+    r.sample(true);
+    r.reset();
+    EXPECT_EQ(r.total(), 0u);
+}
+
+TEST(MeanStat, EmptyIsZero)
+{
+    MeanStat m;
+    EXPECT_DOUBLE_EQ(m.mean(), 0.0);
+    EXPECT_EQ(m.count(), 0u);
+}
+
+TEST(MeanStat, ComputesArithmeticMean)
+{
+    MeanStat m;
+    m.sample(1.0);
+    m.sample(2.0);
+    m.sample(6.0);
+    EXPECT_NEAR(m.mean(), 3.0, 1e-12);
+    EXPECT_EQ(m.count(), 3u);
+}
+
+TEST(VectorStats, MeanOf)
+{
+    EXPECT_DOUBLE_EQ(meanOf({}), 0.0);
+    EXPECT_DOUBLE_EQ(meanOf({4.0}), 4.0);
+    EXPECT_NEAR(meanOf({1.0, 2.0, 3.0}), 2.0, 1e-12);
+}
+
+TEST(VectorStats, MaxOf)
+{
+    EXPECT_DOUBLE_EQ(maxOf({}), 0.0);
+    EXPECT_DOUBLE_EQ(maxOf({-3.0, -1.0, -2.0}), -1.0);
+}
+
+TEST(VectorStats, GeomeanOf)
+{
+    EXPECT_DOUBLE_EQ(geomeanOf({}), 0.0);
+    EXPECT_NEAR(geomeanOf({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geomeanOf({1.0, 1.0, 1.0}), 1.0, 1e-12);
+}
+
+} // namespace
+} // namespace vpprof

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Unit tests for the text renderers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/histogram.hh"
+#include "common/text_table.hh"
+
+namespace vpprof
+{
+namespace
+{
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable t;
+    t.setHeader({"name", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer", "22"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(out.find("===="), std::string::npos);
+}
+
+TEST(TextTable, RuleRendersDashes)
+{
+    TextTable t;
+    t.addRow({"a"});
+    t.addRule();
+    t.addRow({"b"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, HandlesRaggedRows)
+{
+    TextTable t;
+    t.addRow({"a", "b", "c"});
+    t.addRow({"only-one"});
+    EXPECT_FALSE(t.render().empty());
+}
+
+TEST(TextTable, SetHeaderTwiceReplaces)
+{
+    TextTable t;
+    t.setHeader({"old"});
+    t.setHeader({"new"});
+    std::string out = t.render();
+    EXPECT_EQ(out.find("old"), std::string::npos);
+    EXPECT_NE(out.find("new"), std::string::npos);
+}
+
+TEST(Format, FormatDouble)
+{
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(formatDouble(2.0, 0), "2");
+}
+
+TEST(Format, FormatPercent)
+{
+    EXPECT_EQ(formatPercent(0.4275, 1), "42.8%");
+    EXPECT_EQ(formatPercent(1.0, 0), "100%");
+}
+
+TEST(RenderHistogram, ShowsEveryBucketLabel)
+{
+    Histogram h = makeDecileHistogram();
+    h.addSample(5.0);
+    h.addSample(95.0);
+    std::string out = renderHistogram(h, "test chart");
+    EXPECT_NE(out.find("test chart"), std::string::npos);
+    for (size_t b = 0; b < h.numBuckets(); ++b)
+        EXPECT_NE(out.find(h.bucketLabel(b)), std::string::npos);
+}
+
+TEST(RenderHistogram, BarLengthTracksFraction)
+{
+    Histogram h = makeDecileHistogram();
+    for (int i = 0; i < 50; ++i)
+        h.addSample(5.0);
+    std::string out = renderHistogram(h, "t", 10);
+    // 100% of samples in bucket 0 -> a 10-char bar somewhere.
+    EXPECT_NE(out.find("##########"), std::string::npos);
+}
+
+} // namespace
+} // namespace vpprof

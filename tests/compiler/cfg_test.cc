@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Unit tests for CFG construction and basic-block schedule analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/cfg.hh"
+#include "compiler/directive_inserter.hh"
+#include "isa/program_builder.hh"
+#include "workloads/workload.hh"
+
+namespace vpprof
+{
+namespace
+{
+
+TEST(Cfg, StraightLineProgramIsOneBlock)
+{
+    ProgramBuilder b("line");
+    b.movi(R(1), 1);
+    b.addi(R(2), R(1), 1);
+    b.halt();
+    Program p = b.build();
+    ControlFlowGraph cfg(p);
+    ASSERT_EQ(cfg.blocks().size(), 1u);
+    EXPECT_EQ(cfg.blocks()[0].first, 0u);
+    EXPECT_EQ(cfg.blocks()[0].last, 2u);
+    EXPECT_TRUE(cfg.blocks()[0].successors.empty());
+}
+
+TEST(Cfg, LoopSplitsAtTargetAndFallThrough)
+{
+    ProgramBuilder b("loop");
+    b.movi(R(1), 0);           // block 0: [0,1]
+    b.movi(R(2), 10);
+    b.label("top");            // block 1: [2,3]
+    b.addi(R(1), R(1), 1);
+    b.blt(R(1), R(2), "top");
+    b.halt();                  // block 2: [4,4]
+    Program p = b.build();
+    ControlFlowGraph cfg(p);
+    ASSERT_EQ(cfg.blocks().size(), 3u);
+    EXPECT_EQ(cfg.blocks()[1].first, 2u);
+    // The branch block's successors: the target and the fall-through.
+    ASSERT_EQ(cfg.blocks()[1].successors.size(), 2u);
+    EXPECT_EQ(cfg.blocks()[1].successors[0], 2u);
+    EXPECT_EQ(cfg.blocks()[1].successors[1], 4u);
+    // Fall-through edge from block 0 into the loop header.
+    ASSERT_EQ(cfg.blocks()[0].successors.size(), 1u);
+    EXPECT_EQ(cfg.blocks()[0].successors[0], 2u);
+}
+
+TEST(Cfg, BlockOfMapsEveryPc)
+{
+    ProgramBuilder b("map");
+    b.movi(R(1), 0);
+    b.jmp("end");
+    b.movi(R(2), 1);
+    b.label("end");
+    b.halt();
+    Program p = b.build();
+    ControlFlowGraph cfg(p);
+    for (uint64_t pc = 0; pc < p.size(); ++pc) {
+        size_t idx = cfg.blockOf(pc);
+        EXPECT_GE(pc, cfg.blocks()[idx].first);
+        EXPECT_LE(pc, cfg.blocks()[idx].last);
+    }
+    EXPECT_DEATH(cfg.blockOf(99), "out of range");
+}
+
+TEST(Cfg, IndirectExitFlagged)
+{
+    ProgramBuilder b("jr");
+    b.movi(R(1), 2);
+    b.ret(R(1));
+    b.halt();
+    Program p = b.build();
+    ControlFlowGraph cfg(p);
+    ASSERT_GE(cfg.blocks().size(), 2u);
+    EXPECT_TRUE(cfg.blocks()[0].indirectExit);
+    EXPECT_TRUE(cfg.blocks()[0].successors.empty());
+}
+
+TEST(Cfg, CallCreatesTargetEdge)
+{
+    ProgramBuilder b("call");
+    b.call("sub");
+    b.halt();
+    b.label("sub");
+    b.movi(R(1), 1);
+    b.ret();
+    Program p = b.build();
+    ControlFlowGraph cfg(p);
+    // Blocks: [0,0] call, [1,1] halt, [2,3] sub.
+    ASSERT_EQ(cfg.blocks().size(), 3u);
+    ASSERT_EQ(cfg.blocks()[0].successors.size(), 1u);
+    EXPECT_EQ(cfg.blocks()[0].successors[0], 2u);
+}
+
+TEST(Cfg, BlocksPartitionTheProgram)
+{
+    // CFG blocks must tile [0, size) without gaps or overlaps, on a
+    // real workload-sized program.
+    WorkloadSuite suite;
+    const Program &p = suite.find("gcc")->program();
+    ControlFlowGraph cfg(p);
+    uint64_t expected = 0;
+    for (const BasicBlock &block : cfg.blocks()) {
+        EXPECT_EQ(block.first, expected);
+        EXPECT_GE(block.last, block.first);
+        expected = block.last + 1;
+    }
+    EXPECT_EQ(expected, p.size());
+}
+
+TEST(BlockSchedule, IndependentOpsHaveChainOne)
+{
+    ProgramBuilder b("indep");
+    b.movi(R(1), 1);
+    b.movi(R(2), 2);
+    b.movi(R(3), 3);
+    b.halt();
+    Program p = b.build();
+    BlockSchedule s = analyzeSchedules(p)[0];
+    EXPECT_EQ(s.chainLength, 1u);
+    EXPECT_EQ(s.producers, 3u);
+}
+
+TEST(BlockSchedule, DependentChainCounted)
+{
+    ProgramBuilder b("chain");
+    b.movi(R(1), 1);
+    b.addi(R(1), R(1), 1);
+    b.addi(R(1), R(1), 1);
+    b.addi(R(1), R(1), 1);
+    b.halt();
+    Program p = b.build();
+    BlockSchedule s = analyzeSchedules(p)[0];
+    EXPECT_EQ(s.chainLength, 4u);
+    EXPECT_EQ(s.collapsedChainLength, 4u);  // nothing tagged
+}
+
+TEST(BlockSchedule, TaggedProducerCollapsesChain)
+{
+    ProgramBuilder b("collapse");
+    b.movi(R(1), 1);
+    b.addi(R(1), R(1), 1);
+    b.addi(R(1), R(1), 1);
+    b.addi(R(1), R(1), 1);
+    b.halt();
+    Program p = b.build();
+    // Tag the middle producer: consumers of pc 1 become free.
+    p.at(1).directive = Directive::Stride;
+    BlockSchedule s = analyzeSchedules(p)[0];
+    EXPECT_EQ(s.chainLength, 4u);
+    EXPECT_EQ(s.collapsedChainLength, 2u);  // pc2 restarts a chain
+    EXPECT_EQ(s.tagged, 1u);
+}
+
+TEST(BlockSchedule, StoreLoadOrderingRespected)
+{
+    ProgramBuilder b("mem");
+    b.movi(R(1), 1);          // depth 1
+    b.st(R(0), R(1), 50);     // depth 2
+    b.ld(R(2), R(0), 60);     // depends on the store -> depth 3
+    b.halt();
+    Program p = b.build();
+    BlockSchedule s = analyzeSchedules(p)[0];
+    EXPECT_EQ(s.chainLength, 3u);
+}
+
+TEST(BlockSchedule, ZeroRegisterBreaksChains)
+{
+    ProgramBuilder b("zero");
+    b.movi(R(0), 7);          // dropped write
+    b.addi(R(1), R(0), 1);    // reads constant zero
+    b.halt();
+    Program p = b.build();
+    BlockSchedule s = analyzeSchedules(p)[0];
+    EXPECT_EQ(s.chainLength, 1u);
+}
+
+TEST(BlockSchedule, WorkloadBlocksShortenUnderAnnotation)
+{
+    // On a real benchmark: after annotation, the aggregate collapsed
+    // chain length must be strictly shorter than the plain one.
+    WorkloadSuite suite;
+    const Workload *li = suite.find("li");
+    Program annotated = li->program();
+    // Annotate from a synthetic always-predictable image covering
+    // every producer pc (keeps the test independent of profiling).
+    ProfileImage img("li");
+    for (uint64_t pc = 0; pc < annotated.size(); ++pc) {
+        if (!writesRegister(annotated.at(pc).op))
+            continue;
+        PcProfile &prof = img.at(pc);
+        prof.executions = 100;
+        prof.attempts = 99;
+        prof.correct = 99;
+        prof.correctNonZeroStride = 99;
+    }
+    insertDirectives(annotated, img, InserterConfig{});
+
+    uint64_t plain_total = 0, collapsed_total = 0;
+    for (const BlockSchedule &s : analyzeSchedules(li->program()))
+        plain_total += s.chainLength;
+    for (const BlockSchedule &s : analyzeSchedules(annotated))
+        collapsed_total += s.collapsedChainLength;
+    EXPECT_LT(collapsed_total, plain_total);
+}
+
+} // namespace
+} // namespace vpprof

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Unit tests for the directive-insertion compiler pass (Section 3.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/directive_inserter.hh"
+#include "isa/program_builder.hh"
+
+namespace vpprof
+{
+namespace
+{
+
+/** movi/addi/ld producers plus a store and a halt. */
+Program
+fourProducerProgram()
+{
+    ProgramBuilder b("p");
+    b.movi(R(1), 1);        // pc 0
+    b.addi(R(2), R(1), 1);  // pc 1
+    b.ld(R(3), R(1), 10);   // pc 2
+    b.add(R(4), R(2), R(3)); // pc 3
+    b.st(R(1), R(4), 20);   // pc 4 (not a producer)
+    b.halt();               // pc 5
+    return b.build();
+}
+
+/** Profile entry helper. */
+void
+setProfile(ProfileImage &img, uint64_t pc, uint64_t attempts,
+           double accuracy_pct, double stride_pct)
+{
+    PcProfile &p = img.at(pc);
+    p.executions = attempts + 1;
+    p.attempts = attempts;
+    p.correct = static_cast<uint64_t>(attempts * accuracy_pct / 100.0);
+    p.correctNonZeroStride =
+        static_cast<uint64_t>(p.correct * stride_pct / 100.0);
+}
+
+TEST(DirectiveInserter, TagsAboveThresholdOnly)
+{
+    Program p = fourProducerProgram();
+    ProfileImage img("p");
+    setProfile(img, 0, 100, 95.0, 0.0);   // high accuracy, last-value
+    setProfile(img, 1, 100, 99.0, 100.0); // high accuracy, stride
+    setProfile(img, 2, 100, 50.0, 0.0);   // below threshold
+    setProfile(img, 3, 100, 10.0, 0.0);   // below threshold
+
+    InserterConfig cfg;
+    cfg.accuracyThresholdPercent = 90.0;
+    InsertionStats stats = insertDirectives(p, img, cfg);
+
+    EXPECT_EQ(p.at(0).directive, Directive::LastValue);
+    EXPECT_EQ(p.at(1).directive, Directive::Stride);
+    EXPECT_EQ(p.at(2).directive, Directive::None);
+    EXPECT_EQ(p.at(3).directive, Directive::None);
+    EXPECT_EQ(stats.producers, 4u);
+    EXPECT_EQ(stats.profiled, 4u);
+    EXPECT_EQ(stats.taggedStride, 1u);
+    EXPECT_EQ(stats.taggedLastValue, 1u);
+    EXPECT_EQ(stats.tagged(), 2u);
+}
+
+TEST(DirectiveInserter, ThresholdIsInclusive)
+{
+    Program p = fourProducerProgram();
+    ProfileImage img("p");
+    setProfile(img, 0, 100, 90.0, 0.0);  // exactly at threshold
+    InserterConfig cfg;
+    cfg.accuracyThresholdPercent = 90.0;
+    insertDirectives(p, img, cfg);
+    EXPECT_EQ(p.at(0).directive, Directive::LastValue);
+}
+
+TEST(DirectiveInserter, LowerThresholdTagsMore)
+{
+    ProfileImage img("p");
+    setProfile(img, 0, 100, 95.0, 0.0);
+    setProfile(img, 1, 100, 75.0, 0.0);
+    setProfile(img, 2, 100, 55.0, 0.0);
+    setProfile(img, 3, 100, 35.0, 0.0);
+
+    size_t prev = 0;
+    for (double threshold : {90.0, 70.0, 50.0, 30.0}) {
+        Program p = fourProducerProgram();
+        InserterConfig cfg;
+        cfg.accuracyThresholdPercent = threshold;
+        InsertionStats stats = insertDirectives(p, img, cfg);
+        EXPECT_GT(stats.tagged(), prev);
+        prev = stats.tagged();
+    }
+    EXPECT_EQ(prev, 4u);
+}
+
+TEST(DirectiveInserter, StrideHeuristicUsesStrideThreshold)
+{
+    Program p = fourProducerProgram();
+    ProfileImage img("p");
+    setProfile(img, 0, 100, 100.0, 51.0);
+    setProfile(img, 1, 100, 100.0, 50.0);  // not strictly greater
+    insertDirectives(p, img, InserterConfig{});
+    EXPECT_EQ(p.at(0).directive, Directive::Stride);
+    EXPECT_EQ(p.at(1).directive, Directive::LastValue);
+}
+
+TEST(DirectiveInserter, CustomStrideThreshold)
+{
+    Program p = fourProducerProgram();
+    ProfileImage img("p");
+    setProfile(img, 0, 100, 100.0, 30.0);
+    InserterConfig cfg;
+    cfg.strideThresholdPercent = 20.0;
+    insertDirectives(p, img, cfg);
+    EXPECT_EQ(p.at(0).directive, Directive::Stride);
+}
+
+TEST(DirectiveInserter, MinAttemptsGuards)
+{
+    Program p = fourProducerProgram();
+    ProfileImage img("p");
+    setProfile(img, 0, 2, 100.0, 0.0);  // too few observations
+    InserterConfig cfg;
+    cfg.minAttempts = 4;
+    InsertionStats stats = insertDirectives(p, img, cfg);
+    EXPECT_EQ(p.at(0).directive, Directive::None);
+    EXPECT_EQ(stats.tagged(), 0u);
+}
+
+TEST(DirectiveInserter, UnprofiledInstructionsStayUntagged)
+{
+    Program p = fourProducerProgram();
+    ProfileImage img("p");  // empty image
+    InsertionStats stats = insertDirectives(p, img, InserterConfig{});
+    EXPECT_EQ(stats.profiled, 0u);
+    EXPECT_EQ(p.countTagged(), 0u);
+}
+
+TEST(DirectiveInserter, NonProducersNeverTagged)
+{
+    Program p = fourProducerProgram();
+    ProfileImage img("p");
+    setProfile(img, 4, 100, 100.0, 100.0);  // the store's address
+    setProfile(img, 5, 100, 100.0, 100.0);  // the halt's address
+    insertDirectives(p, img, InserterConfig{});
+    EXPECT_EQ(p.at(4).directive, Directive::None);
+    EXPECT_EQ(p.at(5).directive, Directive::None);
+}
+
+TEST(DirectiveInserter, PassIsIdempotentAndOverwrites)
+{
+    Program p = fourProducerProgram();
+    ProfileImage img("p");
+    setProfile(img, 0, 100, 95.0, 100.0);
+    insertDirectives(p, img, InserterConfig{});
+    EXPECT_EQ(p.at(0).directive, Directive::Stride);
+
+    // Re-annotate with a stricter threshold: the old tag must go.
+    InserterConfig strict;
+    strict.accuracyThresholdPercent = 99.0;
+    insertDirectives(p, img, strict);
+    EXPECT_EQ(p.at(0).directive, Directive::None);
+}
+
+} // namespace
+} // namespace vpprof

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for the experiment-layer helpers that the integration
+ * tests exercise only indirectly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "isa/program_builder.hh"
+
+namespace vpprof
+{
+namespace
+{
+
+TEST(ExperimentHelpers, PaperFiniteConfigMatchesThePaper)
+{
+    PredictorConfig with = paperFiniteConfig(true);
+    EXPECT_EQ(with.numEntries, 512u);
+    EXPECT_EQ(with.associativity, 2u);
+    EXPECT_EQ(with.counterBits, 2u);
+
+    PredictorConfig without = paperFiniteConfig(false);
+    EXPECT_EQ(without.numEntries, 512u);
+    EXPECT_EQ(without.counterBits, 0u);
+}
+
+TEST(ExperimentHelpers, InfiniteConfigIsInfiniteAndCounterless)
+{
+    PredictorConfig cfg = infiniteConfig();
+    EXPECT_EQ(cfg.numEntries, 0u);
+    EXPECT_EQ(cfg.counterBits, 0u);
+}
+
+TEST(ExperimentHelpers, RunProgramFatalOnInstructionLimit)
+{
+    ProgramBuilder b("spin");
+    b.label("top");
+    b.jmp("top");
+    b.halt();
+    Program p = b.build();
+    EXPECT_DEATH(runProgram(p, MemoryImage{}, nullptr, 100),
+                 "instruction limit");
+}
+
+TEST(ExperimentHelpers, EvaluateFiniteTableRejectsWrongPolicies)
+{
+    ProgramBuilder b("p");
+    b.halt();
+    Program p = b.build();
+    EXPECT_DEATH(evaluateFiniteTable(p, MemoryImage{}, VpPolicy::None,
+                                     paperFiniteConfig(true)),
+                 "Fsm or");
+    EXPECT_DEATH(evaluateFiniteTable(p, MemoryImage{},
+                                     VpPolicy::TakeAll,
+                                     paperFiniteConfig(true)),
+                 "Fsm or");
+}
+
+TEST(ExperimentHelpers, CollectMergedProfileRejectsEmptyTraining)
+{
+    WorkloadSuite suite;
+    const Workload *go = suite.find("go");
+    EXPECT_DEATH(collectMergedProfile(*go, {}), "no training inputs");
+}
+
+TEST(ExperimentHelpers, PhasedProfileRequiresSplitPc)
+{
+    WorkloadSuite suite;
+    const Workload *go = suite.find("go");
+    EXPECT_DEATH(collectPhasedProfile(*go, 0), "no phase split");
+}
+
+TEST(ExperimentHelpers, ClassificationAccuracyRatiosAreSafe)
+{
+    ClassificationAccuracy acc;
+    EXPECT_DOUBLE_EQ(acc.mispredictionAccuracy(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.correctAccuracy(), 0.0);
+    acc.mispredictions = 4;
+    acc.mispredictionsCaught = 3;
+    acc.corrects = 10;
+    acc.correctsAccepted = 9;
+    EXPECT_DOUBLE_EQ(acc.mispredictionAccuracy(), 75.0);
+    EXPECT_DOUBLE_EQ(acc.correctAccuracy(), 90.0);
+}
+
+TEST(ExperimentHelpers, EvaluateClassificationOnTinyProgram)
+{
+    // A two-producer loop: r1 strides (predictable), r2 toggles
+    // between two values (stride predictor mispredicts).
+    ProgramBuilder b("tiny");
+    b.movi(R(1), 0);
+    b.movi(R(2), 100);
+    b.label("loop");
+    b.addi(R(1), R(1), 1);        // stride 1
+    b.subi(R(3), R(0), 0);        // constant 0
+    b.xori(R(4), R(4), 1);        // toggles 0/1 -> stride breaks
+    b.blt(R(1), R(2), "loop");
+    b.halt();
+    Program p = b.build();
+
+    // An always-predict classifier: accuracy of corrects = 100%,
+    // of mispredictions = 0%.
+    class TakeAll : public Classifier
+    {
+      public:
+        std::string_view name() const override { return "take-all"; }
+        bool shouldPredict(uint64_t, Directive) override
+        {
+            return true;
+        }
+        bool shouldAllocate(uint64_t, Directive) override
+        {
+            return true;
+        }
+        void train(uint64_t, bool) override {}
+        void reset() override {}
+    };
+
+    TakeAll cls;
+    ClassificationAccuracy acc =
+        evaluateClassification(p, MemoryImage{}, cls);
+    EXPECT_GT(acc.corrects, 150u);       // stride + constant chains
+    EXPECT_GT(acc.mispredictions, 50u);  // the toggling xor
+    EXPECT_DOUBLE_EQ(acc.correctAccuracy(), 100.0);
+    EXPECT_DOUBLE_EQ(acc.mispredictionAccuracy(), 0.0);
+}
+
+TEST(ExperimentHelpers, EvaluateIlpBaselineHasNoPredictions)
+{
+    WorkloadSuite suite;
+    const Workload *compress = suite.find("compress");
+    IlpResult r = evaluateIlp(compress->program(), compress->input(0),
+                              IlpConfig{}, VpPolicy::None,
+                              infiniteConfig());
+    EXPECT_EQ(r.predictionsUsed, 0u);
+    EXPECT_GT(r.instructions, 0u);
+    EXPECT_GT(r.ilp(), 1.0);
+}
+
+} // namespace
+} // namespace vpprof

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Unit tests for the critical-path analyzer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ilp/critical_path.hh"
+#include "isa/program_builder.hh"
+
+namespace vpprof
+{
+namespace
+{
+
+TraceRecord
+alu(uint64_t pc, RegId dest, RegId s1, RegId s2, int64_t value)
+{
+    TraceRecord rec;
+    rec.pc = pc;
+    rec.op = Opcode::Add;
+    rec.writesReg = true;
+    rec.dest = dest;
+    rec.numSrcs = 2;
+    rec.srcs = {s1, s2};
+    rec.value = value;
+    return rec;
+}
+
+TraceRecord
+loadRec(uint64_t pc, RegId dest, uint64_t addr, int64_t value)
+{
+    TraceRecord rec;
+    rec.pc = pc;
+    rec.op = Opcode::Ld;
+    rec.writesReg = true;
+    rec.dest = dest;
+    rec.numSrcs = 1;
+    rec.srcs = {0, 0};
+    rec.value = value;
+    rec.isMem = true;
+    rec.memAddr = addr;
+    return rec;
+}
+
+TraceRecord
+storeRec(uint64_t pc, uint64_t addr)
+{
+    TraceRecord rec;
+    rec.pc = pc;
+    rec.op = Opcode::St;
+    rec.writesReg = false;
+    rec.numSrcs = 2;
+    rec.srcs = {0, 0};
+    rec.isMem = true;
+    rec.memAddr = addr;
+    return rec;
+}
+
+TEST(CriticalPath, EmptyTrace)
+{
+    CriticalPathAnalyzer a;
+    CriticalPathResult r = a.finish();
+    EXPECT_EQ(r.instructions, 0u);
+    EXPECT_EQ(r.pathLength, 0u);
+    EXPECT_DOUBLE_EQ(r.dataflowIlp(), 0.0);
+}
+
+TEST(CriticalPath, IndependentInstructionsHaveDepthOne)
+{
+    CriticalPathAnalyzer a;
+    for (int i = 0; i < 10; ++i)
+        a.record(alu(static_cast<uint64_t>(i),
+                     static_cast<RegId>(i + 1), 0, 0, i));
+    CriticalPathResult r = a.finish();
+    EXPECT_EQ(r.pathLength, 1u);
+    EXPECT_DOUBLE_EQ(r.dataflowIlp(), 10.0);
+    ASSERT_EQ(r.members.size(), 1u);
+    EXPECT_EQ(r.members[0].occurrences, 1u);
+}
+
+TEST(CriticalPath, DependentChainHasFullDepth)
+{
+    CriticalPathAnalyzer a;
+    for (int i = 0; i < 25; ++i)
+        a.record(alu(7, R(1), R(1), 0, i));
+    CriticalPathResult r = a.finish();
+    EXPECT_EQ(r.pathLength, 25u);
+    EXPECT_DOUBLE_EQ(r.dataflowIlp(), 1.0);
+    // Every link of the path is the same static instruction.
+    ASSERT_EQ(r.members.size(), 1u);
+    EXPECT_EQ(r.members[0].pc, 7u);
+    EXPECT_EQ(r.members[0].occurrences, 25u);
+}
+
+TEST(CriticalPath, MixedChainsReportTheLongest)
+{
+    CriticalPathAnalyzer a;
+    // Chain through r1 of length 5, chain through r2 of length 3.
+    for (int i = 0; i < 5; ++i)
+        a.record(alu(1, R(1), R(1), 0, i));
+    for (int i = 0; i < 3; ++i)
+        a.record(alu(2, R(2), R(2), 0, i));
+    CriticalPathResult r = a.finish();
+    EXPECT_EQ(r.pathLength, 5u);
+    EXPECT_EQ(r.members[0].pc, 1u);
+}
+
+TEST(CriticalPath, MemoryEdgeExtendsPath)
+{
+    CriticalPathAnalyzer a;
+    a.record(alu(0, R(1), R(1), 0, 1));   // depth 1
+    a.record(storeRec(1, 100));           // depth 1 (srcs are r0)
+    a.record(loadRec(2, R(2), 100, 1));   // depth 2 via memory
+    a.record(alu(3, R(3), R(2), 0, 2));   // depth 3
+    CriticalPathResult r = a.finish();
+    EXPECT_EQ(r.pathLength, 3u);
+}
+
+TEST(CriticalPath, MemoryEdgesCanBeDisabled)
+{
+    CriticalPathConfig cfg;
+    cfg.trackMemoryDeps = false;
+    CriticalPathAnalyzer a(cfg);
+    a.record(storeRec(1, 100));
+    a.record(loadRec(2, R(2), 100, 1));
+    a.record(alu(3, R(3), R(2), 0, 2));
+    CriticalPathResult r = a.finish();
+    EXPECT_EQ(r.pathLength, 2u);  // load(1) -> alu(2)
+}
+
+TEST(CriticalPath, ZeroRegisterCarriesNoDependency)
+{
+    CriticalPathAnalyzer a;
+    a.record(alu(0, R(0), R(5), 0, 1));
+    a.record(alu(1, R(1), R(0), 0, 2));
+    CriticalPathResult r = a.finish();
+    EXPECT_EQ(r.pathLength, 1u);
+}
+
+TEST(CriticalPath, OracleCollapsesPredictableChain)
+{
+    // A stride-1 chain: once the oracle predictor warms up, the chain
+    // stops growing.
+    CriticalPathConfig cfg;
+    cfg.collapseCorrectPredictions = true;
+    CriticalPathAnalyzer collapsed(cfg);
+    CriticalPathAnalyzer plain;
+    for (int i = 0; i < 50; ++i) {
+        collapsed.record(alu(7, R(1), R(1), 0, i));
+        plain.record(alu(7, R(1), R(1), 0, i));
+    }
+    CriticalPathResult with_vp = collapsed.finish();
+    CriticalPathResult without = plain.finish();
+    EXPECT_EQ(without.pathLength, 50u);
+    EXPECT_LE(with_vp.pathLength, 4u);  // only the warmup steps chain
+}
+
+TEST(CriticalPath, OracleDoesNotCollapseRandomChain)
+{
+    CriticalPathConfig cfg;
+    cfg.collapseCorrectPredictions = true;
+    CriticalPathAnalyzer a(cfg);
+    uint64_t state = 9;
+    for (int i = 0; i < 50; ++i) {
+        state = state * 6364136223846793005ull + 999;
+        a.record(alu(7, R(1), R(1), 0,
+                     static_cast<int64_t>(state >> 8)));
+    }
+    CriticalPathResult r = a.finish();
+    EXPECT_GE(r.pathLength, 45u);
+}
+
+TEST(CriticalPath, MembersSortedByOccurrenceDescending)
+{
+    CriticalPathAnalyzer a;
+    // Alternate two pcs along one chain: pc 1 twice as often.
+    for (int i = 0; i < 30; ++i) {
+        uint64_t pc = (i % 3 == 2) ? 2 : 1;
+        a.record(alu(pc, R(1), R(1), 0, i));
+    }
+    CriticalPathResult r = a.finish();
+    ASSERT_EQ(r.members.size(), 2u);
+    EXPECT_EQ(r.members[0].pc, 1u);
+    EXPECT_GT(r.members[0].occurrences, r.members[1].occurrences);
+}
+
+TEST(CriticalPath, FinishTwicePanics)
+{
+    CriticalPathAnalyzer a;
+    a.record(alu(0, R(1), 0, 0, 1));
+    a.finish();
+    EXPECT_DEATH(a.finish(), "twice");
+}
+
+TEST(CriticalPath, RecordAfterFinishPanics)
+{
+    CriticalPathAnalyzer a;
+    a.finish();
+    EXPECT_DEATH(a.record(alu(0, R(1), 0, 0, 1)), "after finish");
+}
+
+} // namespace
+} // namespace vpprof

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Unit tests for the abstract-machine dataflow engine (Subsection 5.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ilp/dataflow_engine.hh"
+#include "isa/program_builder.hh"
+#include "predictors/stride_predictor.hh"
+
+namespace vpprof
+{
+namespace
+{
+
+IlpConfig
+config(size_t window = 40, unsigned penalty = 1)
+{
+    IlpConfig c;
+    c.windowSize = window;
+    c.mispredictPenalty = penalty;
+    return c;
+}
+
+/** A register-writing ALU record. */
+TraceRecord
+alu(uint64_t pc, RegId dest, RegId s1, RegId s2, int64_t value)
+{
+    TraceRecord rec;
+    rec.pc = pc;
+    rec.op = Opcode::Add;
+    rec.writesReg = true;
+    rec.dest = dest;
+    rec.numSrcs = 2;
+    rec.srcs = {s1, s2};
+    rec.value = value;
+    return rec;
+}
+
+TraceRecord
+loadRec(uint64_t pc, RegId dest, uint64_t addr, int64_t value)
+{
+    TraceRecord rec;
+    rec.pc = pc;
+    rec.op = Opcode::Ld;
+    rec.writesReg = true;
+    rec.dest = dest;
+    rec.numSrcs = 1;
+    rec.srcs = {0, 0};
+    rec.value = value;
+    rec.isMem = true;
+    rec.memAddr = addr;
+    return rec;
+}
+
+TraceRecord
+storeRec(uint64_t pc, uint64_t addr)
+{
+    TraceRecord rec;
+    rec.pc = pc;
+    rec.op = Opcode::St;
+    rec.writesReg = false;
+    rec.numSrcs = 2;
+    rec.srcs = {0, 0};
+    rec.isMem = true;
+    rec.memAddr = addr;
+    return rec;
+}
+
+TEST(DataflowEngine, IndependentInstructionsRunInOneCycle)
+{
+    DataflowEngine e(config(), VpPolicy::None, nullptr);
+    for (int i = 0; i < 10; ++i)
+        e.record(alu(static_cast<uint64_t>(i),
+                     static_cast<RegId>(i + 1), 0, 0, i));
+    IlpResult r = e.result();
+    EXPECT_EQ(r.instructions, 10u);
+    EXPECT_EQ(r.cycles, 1u);
+    EXPECT_DOUBLE_EQ(r.ilp(), 10.0);
+}
+
+TEST(DataflowEngine, DependentChainIsSerial)
+{
+    DataflowEngine e(config(), VpPolicy::None, nullptr);
+    for (int i = 0; i < 10; ++i)
+        e.record(alu(static_cast<uint64_t>(i), R(1), R(1), 0, i));
+    IlpResult r = e.result();
+    EXPECT_EQ(r.cycles, 10u);
+    EXPECT_DOUBLE_EQ(r.ilp(), 1.0);
+}
+
+TEST(DataflowEngine, WindowLimitsParallelism)
+{
+    // 100 independent instructions with a 10-entry window need at
+    // least 10 cycles (each slot reused serially).
+    DataflowEngine e(config(10), VpPolicy::None, nullptr);
+    for (int i = 0; i < 100; ++i)
+        e.record(alu(static_cast<uint64_t>(i % 7),
+                     static_cast<RegId>(1 + (i % 20)), 0, 0, i));
+    IlpResult r = e.result();
+    EXPECT_EQ(r.cycles, 10u);
+    EXPECT_DOUBLE_EQ(r.ilp(), 10.0);
+}
+
+TEST(DataflowEngine, WindowOfOneIsFullySerial)
+{
+    DataflowEngine e(config(1), VpPolicy::None, nullptr);
+    for (int i = 0; i < 10; ++i)
+        e.record(alu(static_cast<uint64_t>(i),
+                     static_cast<RegId>(i + 1), 0, 0, i));
+    EXPECT_EQ(e.result().cycles, 10u);
+}
+
+TEST(DataflowEngine, StoreLoadDependencyHonoured)
+{
+    DataflowEngine e(config(), VpPolicy::None, nullptr);
+    e.record(alu(0, R(1), R(1), 0, 0));   // cycle 1
+    e.record(storeRec(1, 100));           // independent -> cycle 1
+    e.record(loadRec(2, R(2), 100, 0));   // must wait for the store
+    IlpResult r = e.result();
+    EXPECT_EQ(r.cycles, 2u);
+}
+
+TEST(DataflowEngine, LoadsFromUntouchedAddressesAreFree)
+{
+    DataflowEngine e(config(), VpPolicy::None, nullptr);
+    e.record(storeRec(0, 100));
+    e.record(loadRec(1, R(1), 200, 0));   // different address
+    EXPECT_EQ(e.result().cycles, 1u);
+}
+
+TEST(DataflowEngine, MemoryDepsCanBeDisabled)
+{
+    IlpConfig c = config();
+    c.trackMemoryDeps = false;
+    DataflowEngine e(c, VpPolicy::None, nullptr);
+    e.record(storeRec(0, 100));
+    e.record(loadRec(1, R(1), 100, 0));
+    EXPECT_EQ(e.result().cycles, 1u);
+}
+
+TEST(DataflowEngine, ZeroRegisterNeverCreatesDependency)
+{
+    DataflowEngine e(config(), VpPolicy::None, nullptr);
+    // Write r0 (architecturally dropped), then "read" it.
+    e.record(alu(0, R(0), R(5), 0, 1));
+    e.record(alu(1, R(1), R(0), 0, 2));
+    EXPECT_EQ(e.result().cycles, 1u);
+}
+
+TEST(DataflowEngine, CorrectPredictionCollapsesChain)
+{
+    // A stride-1 chain through r1: with TakeAll value prediction and a
+    // warm predictor, consumers issue in parallel with producers.
+    StridePredictor warm(PredictorConfig{.numEntries = 0,
+                                         .counterBits = 0});
+    // Warm the single static pc with two training updates.
+    warm.update(5, 0, false);
+    warm.update(5, 1, false);
+
+    DataflowEngine vp(config(), VpPolicy::TakeAll, &warm);
+    for (int i = 2; i < 42; ++i)
+        vp.record(alu(5, R(1), R(1), 0, i));
+    IlpResult with_vp = vp.result();
+
+    DataflowEngine base(config(), VpPolicy::None, nullptr);
+    for (int i = 2; i < 42; ++i)
+        base.record(alu(5, R(1), R(1), 0, i));
+    IlpResult without = base.result();
+
+    EXPECT_EQ(with_vp.correctUsed, 40u);
+    EXPECT_EQ(with_vp.incorrectUsed, 0u);
+    EXPECT_GT(with_vp.ilp(), without.ilp());
+    EXPECT_EQ(without.cycles, 40u);
+    // Dependency fully collapsed: only the window bounds the rate.
+    EXPECT_LE(with_vp.cycles, 2u);
+}
+
+TEST(DataflowEngine, MispredictionAddsPenalty)
+{
+    // Last value repeats then breaks: the consumer of a mispredicted
+    // value waits complete + penalty.
+    StridePredictor p(PredictorConfig{.numEntries = 0,
+                                      .counterBits = 0});
+    p.update(5, 7, false);
+    p.update(5, 7, false);
+
+    DataflowEngine e(config(40, 3), VpPolicy::TakeAll, &p);
+    e.record(alu(5, R(1), R(1), 0, 999));  // predicted 7 -> wrong
+    e.record(alu(6, R(2), R(1), 0, 1));    // depends on r1
+    IlpResult r = e.result();
+    EXPECT_EQ(r.incorrectUsed, 1u);
+    // Producer completes at 1; consumer sees value at 1+3, completes 5.
+    EXPECT_EQ(r.cycles, 5u);
+}
+
+TEST(DataflowEngine, UnusedPredictionHasNoPenalty)
+{
+    // FSM policy with a low counter: prediction available but not
+    // consumed, so a wrong value costs nothing extra.
+    PredictorConfig cfg;
+    cfg.numEntries = 0;
+    cfg.counterBits = 2;
+    cfg.counterInit = 0;  // never approves initially
+    StridePredictor p(cfg);
+    p.update(5, 7, false);
+
+    DataflowEngine e(config(40, 5), VpPolicy::Fsm, &p);
+    e.record(alu(5, R(1), R(1), 0, 999));
+    e.record(alu(6, R(2), R(1), 0, 1));
+    IlpResult r = e.result();
+    EXPECT_EQ(r.predictionsUsed, 0u);
+    EXPECT_EQ(r.cycles, 2u);
+}
+
+TEST(DataflowEngine, ProfilePolicyIgnoresUntaggedInstructions)
+{
+    StridePredictor p(PredictorConfig{.numEntries = 512,
+                                      .associativity = 2,
+                                      .counterBits = 0});
+    DataflowEngine e(config(), VpPolicy::Profile, &p);
+    for (int i = 0; i < 10; ++i)
+        e.record(alu(5, R(1), R(1), 0, i));  // untagged
+    IlpResult r = e.result();
+    EXPECT_EQ(r.predictionsUsed, 0u);
+    EXPECT_EQ(p.occupancy(), 0u);  // never allocated either
+    EXPECT_EQ(r.cycles, 10u);
+}
+
+TEST(DataflowEngine, ProfilePolicyUsesTaggedInstructions)
+{
+    StridePredictor p(PredictorConfig{.numEntries = 512,
+                                      .associativity = 2,
+                                      .counterBits = 0});
+    DataflowEngine e(config(), VpPolicy::Profile, &p);
+    for (int i = 0; i < 10; ++i) {
+        TraceRecord rec = alu(5, R(1), R(1), 0, i);
+        rec.directive = Directive::Stride;
+        e.record(rec);
+    }
+    IlpResult r = e.result();
+    EXPECT_GT(r.predictionsUsed, 0u);
+    EXPECT_GT(r.correctUsed, 0u);
+    EXPECT_LT(r.cycles, 10u);
+}
+
+TEST(DataflowEngine, PolicyWithoutPredictorPanics)
+{
+    EXPECT_DEATH(DataflowEngine(config(), VpPolicy::Fsm, nullptr),
+                 "needs a predictor");
+}
+
+TEST(DataflowEngine, ZeroWindowPanics)
+{
+    EXPECT_DEATH(DataflowEngine(config(0), VpPolicy::None, nullptr),
+                 "positive");
+}
+
+TEST(DataflowEngine, IlpOfEmptyTraceIsZero)
+{
+    DataflowEngine e(config(), VpPolicy::None, nullptr);
+    EXPECT_DOUBLE_EQ(e.result().ilp(), 0.0);
+}
+
+} // namespace
+} // namespace vpprof

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Parameterized sweep: annotating any workload at any threshold is a
+ * pure metadata transformation — every annotated program must still
+ * reproduce its reference checksum on an unseen input, and the tag
+ * counts must shrink monotonically with the threshold.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+
+namespace vpprof
+{
+namespace
+{
+
+struct AnnotationCase
+{
+    std::string workload;
+    double threshold;
+};
+
+class AnnotationSemantics
+    : public ::testing::TestWithParam<AnnotationCase>
+{
+  protected:
+    static const WorkloadSuite &
+    suite()
+    {
+        static WorkloadSuite s;
+        return s;
+    }
+};
+
+TEST_P(AnnotationSemantics, AnnotatedRunMatchesReference)
+{
+    const AnnotationCase &c = GetParam();
+    const Workload *w = suite().find(c.workload);
+    ASSERT_NE(w, nullptr);
+
+    InserterConfig cfg;
+    cfg.accuracyThresholdPercent = c.threshold;
+    Program annotated = annotatedProgram(*w, {1}, cfg);
+
+    Machine m(annotated, w->input(0));
+    RunResult r = m.run(nullptr, w->maxInstructions());
+    ASSERT_TRUE(r.halted);
+    EXPECT_EQ(m.memory().load(kChecksumAddr),
+              w->referenceChecksum(0));
+}
+
+std::vector<AnnotationCase>
+annotationCases()
+{
+    std::vector<AnnotationCase> cases;
+    WorkloadSuite suite;
+    for (const auto &w : suite.all()) {
+        cases.push_back({std::string(w->name()), 90.0});
+        cases.push_back({std::string(w->name()), 50.0});
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, AnnotationSemantics,
+    ::testing::ValuesIn(annotationCases()),
+    [](const ::testing::TestParamInfo<AnnotationCase> &info) {
+        return info.param.workload + "_t" +
+               std::to_string(static_cast<int>(info.param.threshold));
+    });
+
+TEST(AnnotationMonotonicity, TighterThresholdNeverTagsMore)
+{
+    WorkloadSuite suite;
+    for (const auto &w : suite.all()) {
+        ProfileImage image = collectProfile(*w, 1);
+        size_t prev = SIZE_MAX;
+        for (double threshold : {50.0, 60.0, 70.0, 80.0, 90.0}) {
+            Program p = w->program();
+            InserterConfig cfg;
+            cfg.accuracyThresholdPercent = threshold;
+            InsertionStats stats = insertDirectives(p, image, cfg);
+            EXPECT_LE(stats.tagged(), prev)
+                << w->name() << " at " << threshold;
+            prev = stats.tagged();
+        }
+    }
+}
+
+TEST(AnnotationMonotonicity, EveryWorkloadHasTaggableInstructions)
+{
+    // At 50% every benchmark must have something worth predicting —
+    // otherwise the whole study degenerates for it.
+    WorkloadSuite suite;
+    for (const auto &w : suite.all()) {
+        InserterConfig cfg;
+        cfg.accuracyThresholdPercent = 50.0;
+        Program annotated = annotatedProgram(*w, {1}, cfg);
+        EXPECT_GT(annotated.countTagged(), 3u) << w->name();
+    }
+}
+
+} // namespace
+} // namespace vpprof

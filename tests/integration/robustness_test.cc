@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Robustness / failure-injection tests: wrong profiles, adversarial
+ * traces and hostile configurations must degrade gracefully — hints
+ * are hints, never correctness hazards.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "isa/program_builder.hh"
+#include "predictors/profile_classifier.hh"
+
+namespace vpprof
+{
+namespace
+{
+
+class Robustness : public ::testing::Test
+{
+  protected:
+    static const WorkloadSuite &
+    suite()
+    {
+        static WorkloadSuite s;
+        return s;
+    }
+};
+
+TEST_F(Robustness, ProfileFromWrongWorkloadIsHarmless)
+{
+    // Annotate go with compress's profile image: pcs only accidentally
+    // overlap, so tagging is nonsense — but the run must still be
+    // semantically identical and the machinery must not crash.
+    const Workload *go = suite().find("go");
+    const Workload *compress = suite().find("compress");
+    ProfileImage wrong = collectProfile(*compress, 0);
+
+    Program program = go->program();
+    InsertionStats stats = insertDirectives(program, wrong,
+                                            InserterConfig{});
+    // compress has ~30 static producers; go has hundreds of others.
+    EXPECT_LT(stats.profiled, 60u);
+
+    Machine m(program, go->input(0));
+    RunResult r = m.run(nullptr, go->maxInstructions());
+    ASSERT_TRUE(r.halted);
+    EXPECT_EQ(m.memory().load(kChecksumAddr),
+              go->referenceChecksum(0));
+
+    FiniteTableStats eval = evaluateFiniteTable(
+        program, go->input(0), VpPolicy::Profile,
+        paperFiniteConfig(false));
+    // Garbage tags mean very few (possibly zero) predictions — but
+    // never a crash, and candidates stay bounded by producers.
+    EXPECT_LE(eval.candidates, eval.producers);
+}
+
+TEST_F(Robustness, EmptyProfileDisablesValuePredictionCleanly)
+{
+    const Workload *li = suite().find("li");
+    Program program = li->program();
+    ProfileImage empty("li");
+    insertDirectives(program, empty, InserterConfig{});
+    EXPECT_EQ(program.countTagged(), 0u);
+
+    IlpResult prof = evaluateIlp(program, li->input(0), IlpConfig{},
+                                 VpPolicy::Profile,
+                                 paperFiniteConfig(false));
+    IlpResult base = evaluateIlp(li->program(), li->input(0),
+                                 IlpConfig{}, VpPolicy::None,
+                                 infiniteConfig());
+    // No tags -> no predictions -> exactly the baseline ILP.
+    EXPECT_EQ(prof.predictionsUsed, 0u);
+    EXPECT_DOUBLE_EQ(prof.ilp(), base.ilp());
+}
+
+TEST_F(Robustness, EverythingTaggedIsWorseButSafe)
+{
+    // Threshold 0 with minAttempts 0 tags every profiled producer,
+    // including the hopeless ones — the degenerate configuration the
+    // classification exists to avoid.
+    const Workload *compress = suite().find("compress");
+    InserterConfig cfg;
+    cfg.accuracyThresholdPercent = 0.0;
+    cfg.minAttempts = 0;
+    Program annotated =
+        annotatedProgram(*compress, {1}, cfg);
+    EXPECT_GT(annotated.countTagged(), 25u);
+
+    FiniteTableStats all = evaluateFiniteTable(
+        annotated, compress->input(0), VpPolicy::Profile,
+        paperFiniteConfig(false));
+    // compress is hostile: most consumed predictions are wrong.
+    EXPECT_GT(all.incorrectTaken, all.correctTaken);
+
+    // Semantics still intact.
+    Machine m(annotated, compress->input(0));
+    m.run(nullptr, compress->maxInstructions());
+    EXPECT_EQ(m.memory().load(kChecksumAddr),
+              compress->referenceChecksum(0));
+}
+
+TEST_F(Robustness, ThresholdAboveHundredTagsNothing)
+{
+    const Workload *m88k = suite().find("m88ksim");
+    InserterConfig cfg;
+    cfg.accuracyThresholdPercent = 100.5;
+    Program annotated = annotatedProgram(*m88k, {1}, cfg);
+    // Even perfectly-predicted instructions have accuracy <= 100%.
+    EXPECT_EQ(annotated.countTagged(), 0u);
+}
+
+TEST_F(Robustness, ClassifierSurvivesPcAliasing)
+{
+    // Two different instruction streams mapped onto the same pc: the
+    // collector must simply accumulate (the paper's multi-run merge
+    // does exactly this), and derived ratios stay within [0,100].
+    ProfileImage a("x"), b("x");
+    a.at(1).attempts = 100;
+    a.at(1).correct = 100;
+    b.at(1).attempts = 100;
+    b.at(1).correct = 0;
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.find(1)->accuracyPercent(), 50.0);
+}
+
+TEST_F(Robustness, DataflowEngineHandlesDegenerateWindowSizes)
+{
+    const Workload *perl = suite().find("perl");
+    // Window of 1 serializes everything; a giant window approaches
+    // the dataflow limit; both must run to completion and order
+    // correctly.
+    IlpConfig tiny;
+    tiny.windowSize = 1;
+    IlpConfig huge;
+    huge.windowSize = 1 << 20;
+    IlpResult t = evaluateIlp(perl->program(), perl->input(0), tiny,
+                              VpPolicy::None, infiniteConfig());
+    IlpResult h = evaluateIlp(perl->program(), perl->input(0), huge,
+                              VpPolicy::None, infiniteConfig());
+    EXPECT_DOUBLE_EQ(t.ilp(), 1.0);
+    EXPECT_GT(h.ilp(), t.ilp());
+}
+
+TEST_F(Robustness, ZeroPenaltyMakesValuePredictionFree)
+{
+    // With a 0-cycle penalty even the hostile compress cannot lose
+    // from value prediction (used mispredictions cost nothing beyond
+    // the normal completion time).
+    const Workload *compress = suite().find("compress");
+    IlpConfig mc;
+    mc.mispredictPenalty = 0;
+    IlpResult base = evaluateIlp(compress->program(),
+                                 compress->input(0), mc,
+                                 VpPolicy::None, infiniteConfig());
+    IlpResult vp = evaluateIlp(compress->program(), compress->input(0),
+                               mc, VpPolicy::TakeAll,
+                               paperFiniteConfig(false));
+    EXPECT_GE(vp.ilp(), base.ilp() * 0.999);
+}
+
+TEST_F(Robustness, MinAttemptsShieldsAgainstTinyTrainingRuns)
+{
+    // A profile with a single observation per pc must not produce
+    // tags when minAttempts demands more evidence.
+    ProfileImage thin("t");
+    thin.at(0).executions = 2;
+    thin.at(0).attempts = 1;
+    thin.at(0).correct = 1;
+
+    ProgramBuilder b("t");
+    b.movi(R(1), 5);
+    b.halt();
+    Program p = b.build();
+    InserterConfig cfg;
+    cfg.minAttempts = 4;
+    InsertionStats stats = insertDirectives(p, thin, cfg);
+    EXPECT_EQ(stats.tagged(), 0u);
+}
+
+} // namespace
+} // namespace vpprof

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for opcode traits; the trait table is load-bearing for the
+ * profiler (which instructions are observed) and the ILP engine (which
+ * operands create dependencies).
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/opcode.hh"
+
+namespace vpprof
+{
+namespace
+{
+
+/** Every opcode, for exhaustive trait sweeps. */
+std::vector<Opcode>
+allOpcodes()
+{
+    std::vector<Opcode> ops;
+    for (unsigned i = 0; i < static_cast<unsigned>(Opcode::NumOpcodes);
+         ++i) {
+        ops.push_back(static_cast<Opcode>(i));
+    }
+    return ops;
+}
+
+TEST(OpcodeTraits, LoadsAndStores)
+{
+    EXPECT_TRUE(isLoad(Opcode::Ld));
+    EXPECT_TRUE(isLoad(Opcode::Fld));
+    EXPECT_FALSE(isLoad(Opcode::St));
+    EXPECT_TRUE(isStore(Opcode::St));
+    EXPECT_TRUE(isStore(Opcode::Fst));
+    EXPECT_FALSE(isStore(Opcode::Ld));
+}
+
+TEST(OpcodeTraits, StoresAndBranchesWriteNoRegister)
+{
+    EXPECT_FALSE(writesRegister(Opcode::St));
+    EXPECT_FALSE(writesRegister(Opcode::Fst));
+    EXPECT_FALSE(writesRegister(Opcode::Beq));
+    EXPECT_FALSE(writesRegister(Opcode::Jmp));
+    EXPECT_FALSE(writesRegister(Opcode::Halt));
+}
+
+TEST(OpcodeTraits, CallWritesLinkRegister)
+{
+    EXPECT_TRUE(writesRegister(Opcode::Call));
+    EXPECT_TRUE(isControl(Opcode::Call));
+}
+
+TEST(OpcodeTraits, ConditionalBranchSubset)
+{
+    EXPECT_TRUE(isConditionalBranch(Opcode::Beq));
+    EXPECT_TRUE(isConditionalBranch(Opcode::Fblt));
+    EXPECT_FALSE(isConditionalBranch(Opcode::Jmp));
+    EXPECT_FALSE(isConditionalBranch(Opcode::Call));
+    EXPECT_FALSE(isConditionalBranch(Opcode::JmpR));
+}
+
+TEST(OpcodeTraits, Table21Categories)
+{
+    EXPECT_EQ(classOf(Opcode::Add), OpClass::IntAlu);
+    EXPECT_EQ(classOf(Opcode::Movi), OpClass::IntAlu);
+    EXPECT_EQ(classOf(Opcode::Ld), OpClass::IntLoad);
+    EXPECT_EQ(classOf(Opcode::Fadd), OpClass::FpAlu);
+    EXPECT_EQ(classOf(Opcode::Itof), OpClass::FpAlu);
+    EXPECT_EQ(classOf(Opcode::Fld), OpClass::FpLoad);
+    EXPECT_EQ(classOf(Opcode::St), OpClass::Store);
+    EXPECT_EQ(classOf(Opcode::Beq), OpClass::Control);
+    EXPECT_EQ(classOf(Opcode::Nop), OpClass::Other);
+}
+
+TEST(OpcodeTraits, FpOps)
+{
+    EXPECT_TRUE(isFp(Opcode::Fadd));
+    EXPECT_TRUE(isFp(Opcode::Fld));
+    EXPECT_TRUE(isFp(Opcode::Itof));
+    EXPECT_FALSE(isFp(Opcode::Ftoi));  // writes an integer register
+    EXPECT_FALSE(isFp(Opcode::Add));
+}
+
+TEST(OpcodeTraits, EveryOpcodeHasMnemonicAndSourceCount)
+{
+    for (Opcode op : allOpcodes()) {
+        EXPECT_FALSE(mnemonic(op).empty());
+        EXPECT_LE(numSources(op), 2u);
+    }
+}
+
+TEST(OpcodeTraits, MnemonicsAreUnique)
+{
+    std::vector<std::string_view> seen;
+    for (Opcode op : allOpcodes()) {
+        std::string_view m = mnemonic(op);
+        for (std::string_view other : seen)
+            EXPECT_NE(m, other);
+        seen.push_back(m);
+    }
+}
+
+TEST(OpcodeTraits, ClassPartitionIsConsistent)
+{
+    // Every opcode lands in exactly one class, and classes agree with
+    // the primitive traits.
+    for (Opcode op : allOpcodes()) {
+        OpClass cls = classOf(op);
+        if (cls == OpClass::IntLoad || cls == OpClass::FpLoad) {
+            EXPECT_TRUE(isLoad(op));
+        }
+        if (cls == OpClass::Store) {
+            EXPECT_TRUE(isStore(op));
+        }
+        if (cls == OpClass::Control) {
+            EXPECT_TRUE(isControl(op));
+        }
+        if (cls == OpClass::IntAlu || cls == OpClass::FpAlu) {
+            EXPECT_TRUE(writesRegister(op));
+        }
+    }
+}
+
+} // namespace
+} // namespace vpprof

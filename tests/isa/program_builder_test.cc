@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Unit tests for ProgramBuilder: label fixups, encodings, errors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/program_builder.hh"
+
+namespace vpprof
+{
+namespace
+{
+
+TEST(ProgramBuilder, ForwardLabelResolved)
+{
+    ProgramBuilder b("fwd");
+    b.jmp("end");       // forward reference
+    b.movi(R(1), 1);
+    b.label("end");
+    b.halt();
+    Program p = b.build();
+    EXPECT_EQ(p.at(0).imm, 2);
+}
+
+TEST(ProgramBuilder, BackwardLabelResolved)
+{
+    ProgramBuilder b("bwd");
+    b.label("top");
+    b.movi(R(1), 1);
+    b.beq(R(1), R(0), "top");
+    b.halt();
+    Program p = b.build();
+    EXPECT_EQ(p.at(1).imm, 0);
+}
+
+TEST(ProgramBuilder, UndefinedLabelIsFatal)
+{
+    ProgramBuilder b("undef");
+    b.jmp("nowhere");
+    b.halt();
+    EXPECT_DEATH(b.build(), "undefined label");
+}
+
+TEST(ProgramBuilder, DuplicateLabelIsFatal)
+{
+    ProgramBuilder b("dup");
+    b.label("x");
+    b.movi(R(1), 1);
+    EXPECT_DEATH(b.label("x"), "duplicate label");
+}
+
+TEST(ProgramBuilder, BuildTwicePanics)
+{
+    ProgramBuilder b("twice");
+    b.halt();
+    b.build();
+    EXPECT_DEATH(b.build(), "twice");
+}
+
+TEST(ProgramBuilder, RegisterHelpers)
+{
+    EXPECT_EQ(R(5), 5);
+    EXPECT_EQ(F(0), kFpBase);
+    EXPECT_EQ(F(31), kNumRegs - 1);
+}
+
+TEST(ProgramBuilder, EncodesAluRegReg)
+{
+    ProgramBuilder b("alu");
+    b.add(R(3), R(1), R(2));
+    b.halt();
+    Program p = b.build();
+    const Instruction &inst = p.at(0);
+    EXPECT_EQ(inst.op, Opcode::Add);
+    EXPECT_EQ(inst.dest, R(3));
+    EXPECT_EQ(inst.src1, R(1));
+    EXPECT_EQ(inst.src2, R(2));
+}
+
+TEST(ProgramBuilder, EncodesImmediateForm)
+{
+    ProgramBuilder b("imm");
+    b.addi(R(3), R(1), -42);
+    b.halt();
+    Program p = b.build();
+    EXPECT_EQ(p.at(0).op, Opcode::Addi);
+    EXPECT_EQ(p.at(0).imm, -42);
+}
+
+TEST(ProgramBuilder, EncodesLoadStore)
+{
+    ProgramBuilder b("mem");
+    b.ld(R(1), R(2), 100);
+    b.st(R(2), R(3), 200);
+    b.halt();
+    Program p = b.build();
+    EXPECT_EQ(p.at(0).op, Opcode::Ld);
+    EXPECT_EQ(p.at(0).dest, R(1));
+    EXPECT_EQ(p.at(0).src1, R(2));
+    EXPECT_EQ(p.at(0).imm, 100);
+    EXPECT_EQ(p.at(1).op, Opcode::St);
+    EXPECT_EQ(p.at(1).src1, R(2));  // base
+    EXPECT_EQ(p.at(1).src2, R(3));  // value
+    EXPECT_EQ(p.at(1).imm, 200);
+}
+
+TEST(ProgramBuilder, CallUsesLinkRegisterByDefault)
+{
+    ProgramBuilder b("call");
+    b.call("sub");
+    b.halt();
+    b.label("sub");
+    b.ret();
+    Program p = b.build();
+    EXPECT_EQ(p.at(0).op, Opcode::Call);
+    EXPECT_EQ(p.at(0).dest, kLinkReg);
+    EXPECT_EQ(p.at(0).imm, 2);
+    EXPECT_EQ(p.at(2).op, Opcode::JmpR);
+    EXPECT_EQ(p.at(2).src1, kLinkReg);
+}
+
+TEST(ProgramBuilder, HereReportsNextAddress)
+{
+    ProgramBuilder b("here");
+    EXPECT_EQ(b.here(), 0u);
+    b.movi(R(1), 1);
+    EXPECT_EQ(b.here(), 1u);
+    b.halt();
+    b.build();
+}
+
+TEST(ProgramBuilder, FpEncodings)
+{
+    ProgramBuilder b("fp");
+    b.fadd(F(3), F(1), F(2));
+    b.fld(F(1), R(4), 10);
+    b.fst(R(4), F(2), 20);
+    b.itof(F(0), R(5));
+    b.ftoi(R(5), F(0));
+    b.halt();
+    Program p = b.build();
+    EXPECT_EQ(p.at(0).op, Opcode::Fadd);
+    EXPECT_EQ(p.at(0).dest, F(3));
+    EXPECT_EQ(p.at(1).dest, F(1));
+    EXPECT_EQ(p.at(1).src1, R(4));
+    EXPECT_EQ(p.at(2).src2, F(2));
+    EXPECT_EQ(p.at(3).dest, F(0));
+    EXPECT_EQ(p.at(3).src1, R(5));
+    EXPECT_EQ(p.at(4).dest, R(5));
+    EXPECT_EQ(p.at(4).src1, F(0));
+}
+
+} // namespace
+} // namespace vpprof

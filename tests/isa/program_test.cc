@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit tests for Program: structure, validation, directives.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/program.hh"
+#include "isa/program_builder.hh"
+
+namespace vpprof
+{
+namespace
+{
+
+Program
+tinyProgram()
+{
+    ProgramBuilder b("tiny");
+    b.movi(R(1), 5);
+    b.addi(R(1), R(1), 1);
+    b.halt();
+    return b.build();
+}
+
+TEST(Program, AppendAssignsSequentialAddresses)
+{
+    Program p("p");
+    Instruction inst;
+    inst.op = Opcode::Nop;
+    EXPECT_EQ(p.append(inst), 0u);
+    EXPECT_EQ(p.append(inst), 1u);
+    EXPECT_EQ(p.size(), 2u);
+}
+
+TEST(Program, AtOutOfRangePanics)
+{
+    Program p = tinyProgram();
+    EXPECT_DEATH(p.at(99), "out of range");
+}
+
+TEST(Program, ValidateRejectsEmpty)
+{
+    Program p("empty");
+    EXPECT_DEATH(p.validate(), "empty");
+}
+
+TEST(Program, ValidateRejectsMissingHalt)
+{
+    Program p("nohalt");
+    Instruction inst;
+    inst.op = Opcode::Nop;
+    p.append(inst);
+    EXPECT_DEATH(p.validate(), "halt");
+}
+
+TEST(Program, ValidateRejectsBadBranchTarget)
+{
+    Program p("badbr");
+    Instruction br;
+    br.op = Opcode::Beq;
+    br.imm = 99;
+    p.append(br);
+    Instruction h;
+    h.op = Opcode::Halt;
+    p.append(h);
+    EXPECT_DEATH(p.validate(), "target");
+}
+
+TEST(Program, CountValueProducers)
+{
+    Program p = tinyProgram();
+    // movi and addi write registers; halt does not.
+    EXPECT_EQ(p.countValueProducers(), 2u);
+}
+
+TEST(Program, DirectivesDefaultNoneAndClear)
+{
+    Program p = tinyProgram();
+    EXPECT_EQ(p.countTagged(), 0u);
+    p.at(0).directive = Directive::Stride;
+    p.at(1).directive = Directive::LastValue;
+    EXPECT_EQ(p.countTagged(), 2u);
+    p.clearDirectives();
+    EXPECT_EQ(p.countTagged(), 0u);
+}
+
+TEST(Program, DisassembleShowsMnemonicsAndDirectives)
+{
+    Program p = tinyProgram();
+    p.at(0).directive = Directive::Stride;
+    std::string out = p.disassemble();
+    EXPECT_NE(out.find("movi"), std::string::npos);
+    EXPECT_NE(out.find("addi"), std::string::npos);
+    EXPECT_NE(out.find("halt"), std::string::npos);
+    EXPECT_NE(out.find("!stride"), std::string::npos);
+}
+
+TEST(Program, DisassembleShowsLabels)
+{
+    ProgramBuilder b("lbl");
+    b.label("start");
+    b.movi(R(1), 1);
+    b.halt();
+    Program p = b.build();
+    EXPECT_NE(p.disassemble().find("start:"), std::string::npos);
+}
+
+TEST(Directive, Names)
+{
+    EXPECT_EQ(directiveName(Directive::None), "none");
+    EXPECT_EQ(directiveName(Directive::LastValue), "last-value");
+    EXPECT_EQ(directiveName(Directive::Stride), "stride");
+}
+
+} // namespace
+} // namespace vpprof

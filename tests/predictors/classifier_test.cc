@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unit tests for the FSM and profile classifiers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "predictors/profile_classifier.hh"
+#include "predictors/saturating_classifier.hh"
+
+namespace vpprof
+{
+namespace
+{
+
+TEST(SaturatingClassifier, FreshPcUsesInitialCounter)
+{
+    SaturatingClassifier weak(2, 1);
+    EXPECT_FALSE(weak.shouldPredict(10, Directive::None));
+    SaturatingClassifier strong(2, 2);
+    EXPECT_TRUE(strong.shouldPredict(10, Directive::None));
+}
+
+TEST(SaturatingClassifier, LearnsToPredictAfterSuccesses)
+{
+    SaturatingClassifier c(2, 0);
+    c.train(10, true);
+    c.train(10, true);
+    EXPECT_TRUE(c.shouldPredict(10, Directive::None));
+}
+
+TEST(SaturatingClassifier, LearnsToAvoidAfterFailures)
+{
+    SaturatingClassifier c(2, 3);
+    c.train(10, false);
+    c.train(10, false);
+    EXPECT_FALSE(c.shouldPredict(10, Directive::None));
+}
+
+TEST(SaturatingClassifier, CountersArePerPc)
+{
+    SaturatingClassifier c(2, 0);
+    c.train(10, true);
+    c.train(10, true);
+    EXPECT_TRUE(c.shouldPredict(10, Directive::None));
+    EXPECT_FALSE(c.shouldPredict(20, Directive::None));
+    EXPECT_EQ(c.trackedInstructions(), 2u);
+}
+
+TEST(SaturatingClassifier, AlwaysAllocates)
+{
+    SaturatingClassifier c;
+    EXPECT_TRUE(c.shouldAllocate(10, Directive::None));
+    EXPECT_TRUE(c.shouldAllocate(10, Directive::Stride));
+}
+
+TEST(SaturatingClassifier, IgnoresDirectives)
+{
+    SaturatingClassifier c(2, 0);
+    EXPECT_FALSE(c.shouldPredict(10, Directive::Stride));
+}
+
+TEST(SaturatingClassifier, ResetForgetsEverything)
+{
+    SaturatingClassifier c(2, 0);
+    c.train(10, true);
+    c.train(10, true);
+    c.reset();
+    EXPECT_FALSE(c.shouldPredict(10, Directive::None));
+    // trackedInstructions counts the probe above.
+    EXPECT_EQ(c.trackedInstructions(), 1u);
+}
+
+TEST(SaturatingClassifier, HysteresisMatchesCounterWidth)
+{
+    SaturatingClassifier c(3, 7);
+    // 3-bit counter: threshold 4; three failures still predicting.
+    c.train(10, false);
+    c.train(10, false);
+    c.train(10, false);
+    EXPECT_TRUE(c.shouldPredict(10, Directive::None));
+    c.train(10, false);
+    EXPECT_FALSE(c.shouldPredict(10, Directive::None));
+}
+
+TEST(ProfileClassifier, FollowsDirectivesExactly)
+{
+    ProfileClassifier c;
+    EXPECT_FALSE(c.shouldPredict(10, Directive::None));
+    EXPECT_TRUE(c.shouldPredict(10, Directive::Stride));
+    EXPECT_TRUE(c.shouldPredict(10, Directive::LastValue));
+    EXPECT_FALSE(c.shouldAllocate(10, Directive::None));
+    EXPECT_TRUE(c.shouldAllocate(10, Directive::Stride));
+}
+
+TEST(ProfileClassifier, TrainingIsIgnored)
+{
+    ProfileClassifier c;
+    for (int i = 0; i < 100; ++i)
+        c.train(10, false);
+    EXPECT_TRUE(c.shouldPredict(10, Directive::Stride));
+    EXPECT_FALSE(c.shouldPredict(10, Directive::None));
+}
+
+TEST(Classifiers, NamesAreStable)
+{
+    SaturatingClassifier fsm;
+    ProfileClassifier prof;
+    EXPECT_EQ(fsm.name(), "saturating-fsm");
+    EXPECT_EQ(prof.name(), "profile");
+}
+
+} // namespace
+} // namespace vpprof

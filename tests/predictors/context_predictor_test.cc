@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Unit tests for the order-2 FCM context predictor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "predictors/context_predictor.hh"
+
+namespace vpprof
+{
+namespace
+{
+
+ContextConfig
+small()
+{
+    ContextConfig cfg;
+    cfg.level1.numEntries = 0;  // infinite level 1
+    cfg.level1.counterBits = 0;
+    cfg.level2Entries = 1 << 12;
+    return cfg;
+}
+
+TEST(ContextPredictor, NeedsContextBeforePredicting)
+{
+    ContextPredictor p(small());
+    EXPECT_FALSE(p.predict(10).hit);
+    p.update(10, 1, false);
+    EXPECT_FALSE(p.predict(10).hit);   // one value is not a context
+    p.update(10, 2, false);
+    // Context (2,1) exists but has no successor recorded yet.
+    EXPECT_FALSE(p.predict(10).hit);
+}
+
+TEST(ContextPredictor, LearnsRepeatingSequence)
+{
+    // Period-3 sequence 5,9,2,5,9,2,... is invisible to stride
+    // prediction but trivial for an order-2 FCM.
+    ContextPredictor p(small());
+    const int64_t seq[3] = {5, 9, 2};
+    // One warmup period plus one to fill the successor table.
+    for (int i = 0; i < 6; ++i)
+        p.update(10, seq[i % 3], false);
+    int correct = 0;
+    for (int i = 6; i < 36; ++i) {
+        Prediction pred = p.predict(10);
+        int64_t actual = seq[i % 3];
+        bool ok = pred.hit && pred.value == actual;
+        correct += ok ? 1 : 0;
+        p.update(10, actual, ok);
+    }
+    EXPECT_EQ(correct, 30);
+}
+
+TEST(ContextPredictor, RepeatingValueIsAlsoLearned)
+{
+    ContextPredictor p(small());
+    for (int i = 0; i < 4; ++i)
+        p.update(10, 7, false);
+    Prediction pred = p.predict(10);
+    EXPECT_TRUE(pred.hit);
+    EXPECT_EQ(pred.value, 7);
+}
+
+TEST(ContextPredictor, StrideSequenceNotCapturedWithoutRepetition)
+{
+    // A pure counter never revisits a context, so FCM cannot predict
+    // it — the complementary weakness to the stride predictor.
+    ContextPredictor p(small());
+    int correct = 0;
+    for (int i = 0; i < 50; ++i) {
+        Prediction pred = p.predict(10);
+        correct += pred.hit && pred.value == i ? 1 : 0;
+        p.update(10, i, false);
+    }
+    EXPECT_EQ(correct, 0);
+}
+
+TEST(ContextPredictor, PcsShareLevel2ButNotContexts)
+{
+    ContextPredictor p(small());
+    for (int i = 0; i < 6; ++i) {
+        p.update(10, 1, false);
+        p.update(20, 2, false);
+    }
+    EXPECT_EQ(p.predict(10).value, 1);
+    EXPECT_EQ(p.predict(20).value, 2);
+}
+
+TEST(ContextPredictor, NoAllocateLeavesStateEmpty)
+{
+    ContextPredictor p(small());
+    p.update(10, 1, false, Directive::None, /*allocate=*/false);
+    EXPECT_EQ(p.occupancy(), 0u);
+    EXPECT_FALSE(p.predict(10).hit);
+}
+
+TEST(ContextPredictor, ResetForgets)
+{
+    ContextPredictor p(small());
+    for (int i = 0; i < 4; ++i)
+        p.update(10, 7, false);
+    p.reset();
+    EXPECT_FALSE(p.predict(10).hit);
+    EXPECT_EQ(p.occupancy(), 0u);
+}
+
+TEST(ContextPredictor, CounterGatesConfidence)
+{
+    ContextConfig cfg = small();
+    cfg.level1.counterBits = 2;
+    cfg.level1.counterInit = 0;
+    ContextPredictor p(cfg);
+    for (int i = 0; i < 4; ++i)
+        p.update(10, 7, false);
+    EXPECT_FALSE(p.predict(10).counterApproves);
+    p.update(10, 7, true);
+    p.update(10, 7, true);
+    EXPECT_TRUE(p.predict(10).counterApproves);
+}
+
+TEST(ContextPredictor, ChangedSequenceRetrains)
+{
+    ContextPredictor p(small());
+    const int64_t first[2] = {3, 4};
+    for (int i = 0; i < 8; ++i)
+        p.update(10, first[i % 2], false);
+    // Switch the successor of context (4,3): 3,4,3,4 -> 3,4,9 loop.
+    const int64_t second[3] = {3, 4, 9};
+    for (int i = 0; i < 9; ++i)
+        p.update(10, second[i % 3], false);
+    int correct = 0;
+    for (int i = 9; i < 30; ++i) {
+        Prediction pred = p.predict(10);
+        int64_t actual = second[i % 3];
+        bool ok = pred.hit && pred.value == actual;
+        correct += ok ? 1 : 0;
+        p.update(10, actual, ok);
+    }
+    EXPECT_EQ(correct, 21);
+}
+
+TEST(ContextPredictor, NonPowerOfTwoLevel2Panics)
+{
+    ContextConfig cfg = small();
+    cfg.level2Entries = 1000;
+    EXPECT_DEATH(ContextPredictor p(cfg), "power");
+}
+
+TEST(ContextPredictor, FiniteLevel1Evicts)
+{
+    ContextConfig cfg = small();
+    cfg.level1.numEntries = 2;
+    cfg.level1.associativity = 1;
+    ContextPredictor p(cfg);
+    for (int i = 0; i < 4; ++i)
+        p.update(0, 7, false);
+    EXPECT_TRUE(p.predict(0).hit);
+    p.update(2, 1, false);   // same set, evicts pc 0's history
+    EXPECT_FALSE(p.predict(0).hit);
+    EXPECT_EQ(p.evictions(), 1u);
+}
+
+TEST(ContextPredictor, NameIsStable)
+{
+    ContextPredictor p;
+    EXPECT_EQ(p.name(), "context-fcm");
+}
+
+} // namespace
+} // namespace vpprof

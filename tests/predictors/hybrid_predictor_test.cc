@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit tests for the hybrid two-table predictor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "predictors/hybrid_predictor.hh"
+
+namespace vpprof
+{
+namespace
+{
+
+HybridConfig
+smallConfig()
+{
+    HybridConfig c;
+    c.stride.numEntries = 4;
+    c.stride.associativity = 2;
+    c.stride.counterBits = 0;
+    c.lastValue.numEntries = 8;
+    c.lastValue.associativity = 2;
+    c.lastValue.counterBits = 0;
+    return c;
+}
+
+TEST(HybridPredictor, StrideDirectiveUsesStrideTable)
+{
+    HybridPredictor p(smallConfig());
+    p.update(10, 100, false, Directive::Stride);
+    p.update(10, 110, false, Directive::Stride);
+    Prediction pred = p.predict(10, Directive::Stride);
+    EXPECT_TRUE(pred.hit);
+    EXPECT_EQ(pred.value, 120);
+    EXPECT_TRUE(pred.usedNonZeroStride);
+    EXPECT_EQ(p.strideTable().occupancy(), 1u);
+    EXPECT_EQ(p.lastValueTable().occupancy(), 0u);
+}
+
+TEST(HybridPredictor, LastValueDirectiveUsesLastValueTable)
+{
+    HybridPredictor p(smallConfig());
+    p.update(10, 100, false, Directive::LastValue);
+    p.update(10, 110, false, Directive::LastValue);
+    Prediction pred = p.predict(10, Directive::LastValue);
+    EXPECT_TRUE(pred.hit);
+    EXPECT_EQ(pred.value, 110);   // no stride field in this table
+    EXPECT_FALSE(pred.usedNonZeroStride);
+    EXPECT_EQ(p.strideTable().occupancy(), 0u);
+    EXPECT_EQ(p.lastValueTable().occupancy(), 1u);
+}
+
+TEST(HybridPredictor, UntaggedInstructionsAreNeverAllocated)
+{
+    HybridPredictor p(smallConfig());
+    p.update(10, 100, false, Directive::None);
+    EXPECT_EQ(p.occupancy(), 0u);
+    EXPECT_FALSE(p.predict(10, Directive::None).hit);
+}
+
+TEST(HybridPredictor, SamePcCanLiveInEitherTableIndependently)
+{
+    HybridPredictor p(smallConfig());
+    p.update(10, 1, false, Directive::Stride);
+    p.update(12, 2, false, Directive::LastValue);
+    EXPECT_EQ(p.predict(10, Directive::Stride).value, 1);
+    EXPECT_EQ(p.predict(12, Directive::LastValue).value, 2);
+    EXPECT_EQ(p.occupancy(), 2u);
+}
+
+TEST(HybridPredictor, UntaggedLookupFallsBackAcrossTables)
+{
+    HybridPredictor p(smallConfig());
+    p.update(10, 7, false, Directive::LastValue);
+    // A caller probing without a hint still finds the entry.
+    Prediction pred = p.predict(10, Directive::None);
+    EXPECT_TRUE(pred.hit);
+    EXPECT_EQ(pred.value, 7);
+}
+
+TEST(HybridPredictor, SmallStrideTableEvictsIndependently)
+{
+    HybridConfig cfg = smallConfig();
+    cfg.stride.numEntries = 2;
+    cfg.stride.associativity = 1;
+    HybridPredictor p(cfg);
+    p.update(0, 1, false, Directive::Stride);
+    p.update(2, 2, false, Directive::Stride);  // same set -> evict pc 0
+    EXPECT_FALSE(p.predict(0, Directive::Stride).hit);
+    EXPECT_TRUE(p.predict(2, Directive::Stride).hit);
+    EXPECT_EQ(p.evictions(), 1u);
+}
+
+TEST(HybridPredictor, ResetClearsBothTables)
+{
+    HybridPredictor p(smallConfig());
+    p.update(10, 1, false, Directive::Stride);
+    p.update(12, 2, false, Directive::LastValue);
+    p.reset();
+    EXPECT_EQ(p.occupancy(), 0u);
+}
+
+TEST(HybridPredictor, StridePatternThroughLastValueTableMispredicts)
+{
+    // The point of the hybrid split: a striding instruction steered to
+    // the last-value table cannot be captured.
+    HybridPredictor p(smallConfig());
+    int correct_lv = 0, correct_st = 0;
+    for (int i = 0; i < 50; ++i) {
+        Prediction a = p.predict(10, Directive::LastValue);
+        correct_lv += a.hit && a.value == i * 4 ? 1 : 0;
+        p.update(10, i * 4, false, Directive::LastValue);
+
+        Prediction s = p.predict(12, Directive::Stride);
+        correct_st += s.hit && s.value == i * 4 ? 1 : 0;
+        p.update(12, i * 4, false, Directive::Stride);
+    }
+    EXPECT_EQ(correct_lv, 0);
+    EXPECT_EQ(correct_st, 48);  // misses first two while training
+}
+
+TEST(HybridPredictor, NameIsStable)
+{
+    HybridPredictor p;
+    EXPECT_EQ(p.name(), "hybrid");
+}
+
+} // namespace
+} // namespace vpprof

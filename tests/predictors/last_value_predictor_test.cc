@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit tests for the last-value predictor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "predictors/last_value_predictor.hh"
+
+namespace vpprof
+{
+namespace
+{
+
+PredictorConfig
+infinite()
+{
+    PredictorConfig c;
+    c.numEntries = 0;
+    c.counterBits = 0;
+    return c;
+}
+
+TEST(LastValuePredictor, MissesBeforeFirstUpdate)
+{
+    LastValuePredictor p(infinite());
+    EXPECT_FALSE(p.predict(10).hit);
+}
+
+TEST(LastValuePredictor, PredictsLastSeenValue)
+{
+    LastValuePredictor p(infinite());
+    p.update(10, 42, false);
+    Prediction pred = p.predict(10);
+    EXPECT_TRUE(pred.hit);
+    EXPECT_EQ(pred.value, 42);
+    EXPECT_FALSE(pred.usedNonZeroStride);
+}
+
+TEST(LastValuePredictor, TracksChangingValues)
+{
+    LastValuePredictor p(infinite());
+    p.update(10, 1, false);
+    p.update(10, 2, false);
+    EXPECT_EQ(p.predict(10).value, 2);
+}
+
+TEST(LastValuePredictor, EntriesAreIndependentPerPc)
+{
+    LastValuePredictor p(infinite());
+    p.update(10, 1, false);
+    p.update(20, 2, false);
+    EXPECT_EQ(p.predict(10).value, 1);
+    EXPECT_EQ(p.predict(20).value, 2);
+}
+
+TEST(LastValuePredictor, NoAllocateLeavesTableEmpty)
+{
+    LastValuePredictor p(infinite());
+    p.update(10, 42, false, Directive::None, /*allocate=*/false);
+    EXPECT_FALSE(p.predict(10).hit);
+    EXPECT_EQ(p.occupancy(), 0u);
+}
+
+TEST(LastValuePredictor, NoAllocateStillTrainsExistingEntry)
+{
+    LastValuePredictor p(infinite());
+    p.update(10, 1, false, Directive::None, true);
+    p.update(10, 2, true, Directive::None, /*allocate=*/false);
+    EXPECT_EQ(p.predict(10).value, 2);
+}
+
+TEST(LastValuePredictor, ResetDropsState)
+{
+    LastValuePredictor p(infinite());
+    p.update(10, 1, false);
+    p.reset();
+    EXPECT_FALSE(p.predict(10).hit);
+}
+
+TEST(LastValuePredictor, PerfectAccuracyOnRepeatingValue)
+{
+    LastValuePredictor p(infinite());
+    int correct = 0;
+    p.update(10, 7, false);
+    for (int i = 0; i < 100; ++i) {
+        Prediction pred = p.predict(10);
+        bool ok = pred.hit && pred.value == 7;
+        correct += ok ? 1 : 0;
+        p.update(10, 7, ok);
+    }
+    EXPECT_EQ(correct, 100);
+}
+
+TEST(LastValuePredictor, ZeroAccuracyOnStridingValue)
+{
+    LastValuePredictor p(infinite());
+    int correct = 0;
+    for (int i = 0; i < 100; ++i) {
+        Prediction pred = p.predict(10);
+        bool ok = pred.hit && pred.value == i;
+        correct += ok ? 1 : 0;
+        p.update(10, i, ok);
+    }
+    EXPECT_EQ(correct, 0);  // always predicts the previous value
+}
+
+TEST(LastValuePredictor, CounterApprovesAfterRepeats)
+{
+    PredictorConfig cfg;
+    cfg.numEntries = 0;
+    cfg.counterBits = 2;
+    cfg.counterInit = 1;
+    LastValuePredictor p(cfg);
+    p.update(10, 7, false);
+    // First trained comparison: correct -> counter 1->2 (approve).
+    Prediction pred = p.predict(10);
+    EXPECT_FALSE(pred.counterApproves);  // counter still at init 1
+    p.update(10, 7, true);
+    EXPECT_TRUE(p.predict(10).counterApproves);
+}
+
+TEST(LastValuePredictor, CounterBacksOffAfterMisses)
+{
+    PredictorConfig cfg;
+    cfg.numEntries = 0;
+    cfg.counterBits = 2;
+    cfg.counterInit = 3;
+    LastValuePredictor p(cfg);
+    p.update(10, 0, false);
+    EXPECT_TRUE(p.predict(10).counterApproves);
+    p.update(10, 1, false);  // wrong prediction
+    p.update(10, 2, false);
+    EXPECT_FALSE(p.predict(10).counterApproves);
+}
+
+TEST(LastValuePredictor, FiniteTableEvicts)
+{
+    PredictorConfig cfg;
+    cfg.numEntries = 4;
+    cfg.associativity = 2;
+    cfg.counterBits = 0;
+    LastValuePredictor p(cfg);
+    // Fill set 0 (even keys map to set 0 with 2 sets).
+    p.update(0, 1, false);
+    p.update(4, 2, false);
+    p.update(8, 3, false);   // evicts pc 0
+    EXPECT_FALSE(p.predict(0).hit);
+    EXPECT_TRUE(p.predict(4).hit);
+    EXPECT_TRUE(p.predict(8).hit);
+    EXPECT_EQ(p.evictions(), 1u);
+}
+
+TEST(LastValuePredictor, NameIsStable)
+{
+    LastValuePredictor p(infinite());
+    EXPECT_EQ(p.name(), "last-value");
+}
+
+} // namespace
+} // namespace vpprof

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Property-style sweeps across all predictor families: every
+ * (predictor, value pattern) pair is checked against the analytically
+ * expected steady-state accuracy. These encode the predictability
+ * folklore the paper builds on — who captures strides, who captures
+ * repeats, who captures periodic sequences.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "common/random.hh"
+#include "predictors/context_predictor.hh"
+#include "predictors/hybrid_predictor.hh"
+#include "predictors/last_value_predictor.hh"
+#include "predictors/stride_predictor.hh"
+
+namespace vpprof
+{
+namespace
+{
+
+enum class Family
+{
+    LastValue,
+    Stride,
+    Context
+};
+
+enum class Pattern
+{
+    Constant,     ///< 7, 7, 7, ...
+    Stride,       ///< 0, 3, 6, 9, ...
+    Periodic3,    ///< 5, 9, 2, 5, 9, 2, ...
+    Random        ///< splitmix64 stream
+};
+
+struct PropertyCase
+{
+    Family family;
+    Pattern pattern;
+    double min_accuracy;  ///< steady-state lower bound [0,1]
+    double max_accuracy;  ///< steady-state upper bound [0,1]
+};
+
+std::string
+caseName(const ::testing::TestParamInfo<PropertyCase> &info)
+{
+    auto family = [&] {
+        switch (info.param.family) {
+          case Family::LastValue: return "LastValue";
+          case Family::Stride: return "Stride";
+          case Family::Context: return "Context";
+        }
+        return "?";
+    }();
+    auto pattern = [&] {
+        switch (info.param.pattern) {
+          case Pattern::Constant: return "Constant";
+          case Pattern::Stride: return "Stride";
+          case Pattern::Periodic3: return "Periodic3";
+          case Pattern::Random: return "Random";
+        }
+        return "?";
+    }();
+    return std::string(family) + "_" + pattern;
+}
+
+std::unique_ptr<ValuePredictor>
+makePredictor(Family family)
+{
+    PredictorConfig inf;
+    inf.numEntries = 0;
+    inf.counterBits = 0;
+    switch (family) {
+      case Family::LastValue:
+        return std::make_unique<LastValuePredictor>(inf);
+      case Family::Stride:
+        return std::make_unique<StridePredictor>(inf);
+      case Family::Context: {
+        ContextConfig cfg;
+        cfg.level1 = inf;
+        return std::make_unique<ContextPredictor>(cfg);
+      }
+    }
+    return nullptr;
+}
+
+std::function<int64_t(int)>
+makeSequence(Pattern pattern)
+{
+    switch (pattern) {
+      case Pattern::Constant:
+        return [](int) { return int64_t{7}; };
+      case Pattern::Stride:
+        return [](int i) { return int64_t{3} * i; };
+      case Pattern::Periodic3:
+        return [](int i) {
+            static const int64_t seq[3] = {5, 9, 2};
+            return seq[i % 3];
+        };
+      case Pattern::Random:
+        return [state = uint64_t{42}](int) mutable {
+            return static_cast<int64_t>(splitmix64(state));
+        };
+    }
+    return nullptr;
+}
+
+class PredictorProperty : public ::testing::TestWithParam<PropertyCase>
+{
+};
+
+TEST_P(PredictorProperty, SteadyStateAccuracyInExpectedBand)
+{
+    const PropertyCase &c = GetParam();
+    auto predictor = makePredictor(c.family);
+    auto sequence = makeSequence(c.pattern);
+
+    // Warm up for 10 values, then measure 300.
+    for (int i = 0; i < 10; ++i)
+        predictor->update(1, sequence(i), false);
+    int correct = 0;
+    const int n = 300;
+    for (int i = 10; i < 10 + n; ++i) {
+        int64_t actual = sequence(i);
+        Prediction pred = predictor->predict(1);
+        bool ok = pred.hit && pred.value == actual;
+        correct += ok ? 1 : 0;
+        predictor->update(1, actual, ok);
+    }
+    double accuracy = static_cast<double>(correct) / n;
+    EXPECT_GE(accuracy, c.min_accuracy);
+    EXPECT_LE(accuracy, c.max_accuracy);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, PredictorProperty,
+    ::testing::Values(
+        // Constant streams: everyone predicts them.
+        PropertyCase{Family::LastValue, Pattern::Constant, 1.0, 1.0},
+        PropertyCase{Family::Stride, Pattern::Constant, 1.0, 1.0},
+        PropertyCase{Family::Context, Pattern::Constant, 1.0, 1.0},
+        // Strides: only the stride predictor.
+        PropertyCase{Family::LastValue, Pattern::Stride, 0.0, 0.0},
+        PropertyCase{Family::Stride, Pattern::Stride, 1.0, 1.0},
+        PropertyCase{Family::Context, Pattern::Stride, 0.0, 0.0},
+        // Period-3 loops: only the context predictor.
+        PropertyCase{Family::LastValue, Pattern::Periodic3, 0.0, 0.0},
+        PropertyCase{Family::Stride, Pattern::Periodic3, 0.0, 0.40},
+        PropertyCase{Family::Context, Pattern::Periodic3, 1.0, 1.0},
+        // Random streams: nobody.
+        PropertyCase{Family::LastValue, Pattern::Random, 0.0, 0.02},
+        PropertyCase{Family::Stride, Pattern::Random, 0.0, 0.02},
+        PropertyCase{Family::Context, Pattern::Random, 0.0, 0.02}),
+    caseName);
+
+/** Finite-geometry sweep: behaviour must be stable across shapes. */
+class PredictorGeometry
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>>
+{
+};
+
+TEST_P(PredictorGeometry, StrideAccuracyUnaffectedWhenSetFits)
+{
+    auto [entries, assoc] = GetParam();
+    PredictorConfig cfg;
+    cfg.numEntries = entries;
+    cfg.associativity = assoc;
+    cfg.counterBits = 0;
+    StridePredictor p(cfg);
+    // Four pcs, all striding; they fit in any tested geometry.
+    int correct = 0, attempts = 0;
+    for (int i = 0; i < 200; ++i) {
+        for (uint64_t pc = 0; pc < 4; ++pc) {
+            int64_t actual = i * 5 + static_cast<int64_t>(pc);
+            Prediction pred = p.predict(pc);
+            if (i >= 3) {
+                ++attempts;
+                correct += pred.hit && pred.value == actual ? 1 : 0;
+            }
+            p.update(pc, actual, pred.hit && pred.value == actual);
+        }
+    }
+    EXPECT_EQ(correct, attempts);
+}
+
+TEST_P(PredictorGeometry, OccupancyBounded)
+{
+    auto [entries, assoc] = GetParam();
+    PredictorConfig cfg;
+    cfg.numEntries = entries;
+    cfg.associativity = assoc;
+    cfg.counterBits = 2;
+    LastValuePredictor p(cfg);
+    for (uint64_t pc = 0; pc < 10 * entries; ++pc)
+        p.update(pc, 1, false);
+    EXPECT_LE(p.occupancy(), entries);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, PredictorGeometry,
+    ::testing::Values(std::make_pair<size_t, size_t>(8, 1),
+                      std::make_pair<size_t, size_t>(8, 2),
+                      std::make_pair<size_t, size_t>(64, 4),
+                      std::make_pair<size_t, size_t>(512, 2)));
+
+/** Cross-family invariant: a prediction hit never changes state. */
+TEST(PredictorInvariants, PredictIsStateObservationOnly)
+{
+    for (Family family :
+         {Family::LastValue, Family::Stride, Family::Context}) {
+        auto p = makePredictor(family);
+        for (int i = 0; i < 6; ++i)
+            p->update(1, 7, false);
+        Prediction first = p->predict(1);
+        for (int i = 0; i < 10; ++i) {
+            Prediction again = p->predict(1);
+            EXPECT_EQ(again.hit, first.hit);
+            EXPECT_EQ(again.value, first.value);
+        }
+    }
+}
+
+/** Cross-family invariant: reset is equivalent to a fresh predictor. */
+TEST(PredictorInvariants, ResetMatchesFreshPredictor)
+{
+    for (Family family :
+         {Family::LastValue, Family::Stride, Family::Context}) {
+        auto used = makePredictor(family);
+        for (int i = 0; i < 20; ++i)
+            used->update(1, i * 3, false);
+        used->reset();
+        auto fresh = makePredictor(family);
+        for (int i = 0; i < 5; ++i) {
+            Prediction a = used->predict(1);
+            Prediction b = fresh->predict(1);
+            EXPECT_EQ(a.hit, b.hit);
+            used->update(1, i, false);
+            fresh->update(1, i, false);
+        }
+        EXPECT_EQ(used->predict(1).value, fresh->predict(1).value);
+    }
+}
+
+} // namespace
+} // namespace vpprof

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Unit tests for the stride predictor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "predictors/stride_predictor.hh"
+
+namespace vpprof
+{
+namespace
+{
+
+PredictorConfig
+infinite()
+{
+    PredictorConfig c;
+    c.numEntries = 0;
+    c.counterBits = 0;
+    return c;
+}
+
+TEST(StridePredictor, MissesBeforeFirstUpdate)
+{
+    StridePredictor p(infinite());
+    EXPECT_FALSE(p.predict(10).hit);
+}
+
+TEST(StridePredictor, DegeneratesToLastValueAfterOneObservation)
+{
+    StridePredictor p(infinite());
+    p.update(10, 42, false);
+    Prediction pred = p.predict(10);
+    EXPECT_TRUE(pred.hit);
+    EXPECT_EQ(pred.value, 42);      // stride still 0
+    EXPECT_FALSE(pred.usedNonZeroStride);
+}
+
+TEST(StridePredictor, LearnsStrideFromTwoObservations)
+{
+    StridePredictor p(infinite());
+    p.update(10, 100, false);
+    p.update(10, 103, false);
+    Prediction pred = p.predict(10);
+    EXPECT_TRUE(pred.hit);
+    EXPECT_EQ(pred.value, 106);
+    EXPECT_TRUE(pred.usedNonZeroStride);
+}
+
+TEST(StridePredictor, ZeroStrideIsNotFlaggedNonZero)
+{
+    StridePredictor p(infinite());
+    p.update(10, 5, false);
+    p.update(10, 5, false);
+    Prediction pred = p.predict(10);
+    EXPECT_EQ(pred.value, 5);
+    EXPECT_FALSE(pred.usedNonZeroStride);
+}
+
+TEST(StridePredictor, NegativeStride)
+{
+    StridePredictor p(infinite());
+    p.update(10, 100, false);
+    p.update(10, 90, false);
+    EXPECT_EQ(p.predict(10).value, 80);
+}
+
+TEST(StridePredictor, StrideRetrainsOnChange)
+{
+    StridePredictor p(infinite());
+    p.update(10, 0, false);
+    p.update(10, 1, false);   // stride 1
+    p.update(10, 10, false);  // stride 9
+    EXPECT_EQ(p.predict(10).value, 19);
+}
+
+TEST(StridePredictor, PerfectAccuracyOnInductionVariable)
+{
+    StridePredictor p(infinite());
+    int correct = 0;
+    p.update(10, 0, false);
+    p.update(10, 3, false);
+    for (int i = 2; i < 102; ++i) {
+        Prediction pred = p.predict(10);
+        int64_t actual = i * 3;
+        bool ok = pred.hit && pred.value == actual;
+        correct += ok ? 1 : 0;
+        p.update(10, actual, ok);
+    }
+    EXPECT_EQ(correct, 100);
+}
+
+TEST(StridePredictor, StrideBreaksAtLoopRestart)
+{
+    // Values 0,1,2,3,0,1,2,3: the wrap mispredicts and so does the
+    // first step after the wrap (stride becomes -3).
+    StridePredictor p(infinite());
+    int correct = 0;
+    for (int rep = 0; rep < 2; ++rep) {
+        for (int i = 0; i < 4; ++i) {
+            Prediction pred = p.predict(10);
+            bool ok = pred.hit && pred.value == i;
+            correct += ok ? 1 : 0;
+            p.update(10, i, ok);
+        }
+    }
+    EXPECT_EQ(correct, 4);  // predictions 3..8, right on 1,2,3 and 1(2nd)
+}
+
+TEST(StridePredictor, NoAllocateLeavesTableEmpty)
+{
+    StridePredictor p(infinite());
+    p.update(10, 42, false, Directive::None, /*allocate=*/false);
+    EXPECT_FALSE(p.predict(10).hit);
+    EXPECT_EQ(p.occupancy(), 0u);
+}
+
+TEST(StridePredictor, FiniteEvictionForgetsStride)
+{
+    PredictorConfig cfg;
+    cfg.numEntries = 2;
+    cfg.associativity = 1;
+    cfg.counterBits = 0;
+    StridePredictor p(cfg);
+    p.update(0, 10, false);
+    p.update(0, 20, false);
+    EXPECT_EQ(p.predict(0).value, 30);
+    p.update(2, 5, false);   // same set, evicts pc 0
+    EXPECT_FALSE(p.predict(0).hit);
+    // Re-allocation restarts training from scratch.
+    p.update(0, 100, false);
+    EXPECT_EQ(p.predict(0).value, 100);
+}
+
+TEST(StridePredictor, CounterTrainsOnOutcomes)
+{
+    PredictorConfig cfg;
+    cfg.numEntries = 0;
+    cfg.counterBits = 2;
+    cfg.counterInit = 1;
+    StridePredictor p(cfg);
+    p.update(10, 0, false);
+    p.update(10, 1, true);
+    EXPECT_TRUE(p.predict(10).counterApproves);
+    p.update(10, 100, false);
+    p.update(10, 0, false);
+    EXPECT_FALSE(p.predict(10).counterApproves);
+}
+
+TEST(StridePredictor, WrapAroundStrideArithmetic)
+{
+    StridePredictor p(infinite());
+    p.update(10, INT64_MAX - 1, false);
+    p.update(10, INT64_MAX, false);
+    // Prediction wraps without UB.
+    EXPECT_EQ(p.predict(10).value, INT64_MIN);
+}
+
+TEST(StridePredictor, NameIsStable)
+{
+    StridePredictor p(infinite());
+    EXPECT_EQ(p.name(), "stride");
+}
+
+} // namespace
+} // namespace vpprof

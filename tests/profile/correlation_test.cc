@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Unit tests for the Section 4 correlation metrics (Eq. 4.1, 4.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "profile/correlation.hh"
+
+namespace vpprof
+{
+namespace
+{
+
+/** Image with given per-pc (attempts, correct, nonzero) counters. */
+ProfileImage
+imageOf(std::vector<std::tuple<uint64_t, uint64_t, uint64_t, uint64_t>>
+            rows)
+{
+    ProfileImage img("p");
+    for (auto [pc, attempts, correct, nonzero] : rows) {
+        PcProfile &p = img.at(pc);
+        p.executions = attempts + 1;
+        p.attempts = attempts;
+        p.correct = correct;
+        p.correctNonZeroStride = nonzero;
+    }
+    return img;
+}
+
+TEST(Alignment, UsesOnlyCommonPcs)
+{
+    ProfileImage a = imageOf({{1, 10, 5, 0}, {2, 10, 10, 0}});
+    ProfileImage b = imageOf({{1, 10, 7, 0}, {3, 10, 1, 0}});
+    AlignedProfileVectors v = alignAccuracy({a, b});
+    ASSERT_EQ(v.dimension(), 1u);
+    EXPECT_EQ(v.pcs[0], 1u);
+    ASSERT_EQ(v.numRuns(), 2u);
+    EXPECT_DOUBLE_EQ(v.runs[0][0], 50.0);
+    EXPECT_DOUBLE_EQ(v.runs[1][0], 70.0);
+}
+
+TEST(Alignment, StrideEfficiencyVectors)
+{
+    ProfileImage a = imageOf({{1, 10, 10, 4}});
+    ProfileImage b = imageOf({{1, 10, 5, 5}});
+    AlignedProfileVectors v = alignStrideEfficiency({a, b});
+    ASSERT_EQ(v.dimension(), 1u);
+    EXPECT_DOUBLE_EQ(v.runs[0][0], 40.0);
+    EXPECT_DOUBLE_EQ(v.runs[1][0], 100.0);
+}
+
+TEST(MaxDistance, TwoRunsIsAbsoluteDifference)
+{
+    AlignedProfileVectors v;
+    v.pcs = {1, 2};
+    v.runs = {{10.0, 80.0}, {30.0, 75.0}};
+    std::vector<double> m = maxDistance(v);
+    ASSERT_EQ(m.size(), 2u);
+    EXPECT_DOUBLE_EQ(m[0], 20.0);
+    EXPECT_DOUBLE_EQ(m[1], 5.0);
+}
+
+TEST(MaxDistance, TakesWorstPairAcrossRuns)
+{
+    AlignedProfileVectors v;
+    v.pcs = {1};
+    v.runs = {{10.0}, {50.0}, {30.0}};
+    // Pairs: |10-50|=40, |10-30|=20, |50-30|=20 -> 40.
+    EXPECT_DOUBLE_EQ(maxDistance(v)[0], 40.0);
+}
+
+TEST(AverageDistance, AveragesAllPairs)
+{
+    AlignedProfileVectors v;
+    v.pcs = {1};
+    v.runs = {{10.0}, {50.0}, {30.0}};
+    // (40 + 20 + 20) / 3 pairs.
+    EXPECT_NEAR(averageDistance(v)[0], 80.0 / 3.0, 1e-12);
+}
+
+TEST(Metrics, AverageNeverExceedsMax)
+{
+    AlignedProfileVectors v;
+    v.pcs = {1, 2, 3};
+    v.runs = {{10, 20, 90}, {15, 60, 85}, {5, 40, 99}, {12, 33, 70}};
+    std::vector<double> mx = maxDistance(v);
+    std::vector<double> av = averageDistance(v);
+    for (size_t i = 0; i < v.dimension(); ++i)
+        EXPECT_LE(av[i], mx[i] + 1e-12);
+}
+
+TEST(Metrics, IdenticalRunsGiveZeroDistance)
+{
+    AlignedProfileVectors v;
+    v.pcs = {1, 2};
+    v.runs = {{25.0, 75.0}, {25.0, 75.0}, {25.0, 75.0}};
+    for (double m : maxDistance(v))
+        EXPECT_DOUBLE_EQ(m, 0.0);
+    for (double m : averageDistance(v))
+        EXPECT_DOUBLE_EQ(m, 0.0);
+}
+
+TEST(Metrics, MetricIsSymmetricInRunOrder)
+{
+    AlignedProfileVectors v1, v2;
+    v1.pcs = v2.pcs = {1};
+    v1.runs = {{10.0}, {90.0}, {40.0}};
+    v2.runs = {{40.0}, {10.0}, {90.0}};
+    EXPECT_DOUBLE_EQ(maxDistance(v1)[0], maxDistance(v2)[0]);
+    EXPECT_DOUBLE_EQ(averageDistance(v1)[0], averageDistance(v2)[0]);
+}
+
+TEST(Metrics, FewerThanTwoRunsPanics)
+{
+    AlignedProfileVectors v;
+    v.pcs = {1};
+    v.runs = {{10.0}};
+    EXPECT_DEATH(maxDistance(v), "two runs");
+    EXPECT_DEATH(averageDistance(v), "two runs");
+}
+
+TEST(DecileSpread, BucketsCoordinates)
+{
+    Histogram h = decileSpread({0.0, 5.0, 15.0, 95.0});
+    EXPECT_EQ(h.count(0), 2u);
+    EXPECT_EQ(h.count(1), 1u);
+    EXPECT_EQ(h.count(9), 1u);
+    EXPECT_EQ(h.totalSamples(), 4u);
+}
+
+TEST(EndToEnd, CorrelatedImagesConcentrateInLowDeciles)
+{
+    // Three "runs" whose per-pc accuracies differ by < 10 points.
+    std::vector<ProfileImage> images;
+    for (uint64_t run = 0; run < 3; ++run) {
+        ProfileImage img("p");
+        for (uint64_t pc = 0; pc < 50; ++pc) {
+            PcProfile &p = img.at(pc);
+            p.attempts = 100;
+            // Accuracies differ across runs by at most 6 points.
+            p.correct = (pc % 30) * 3 + run * 3;
+            p.executions = 101;
+        }
+        images.push_back(std::move(img));
+    }
+    AlignedProfileVectors v = alignAccuracy(images);
+    Histogram h = decileSpread(maxDistance(v));
+    // Max pairwise difference is 6 points -> all in [0,10].
+    EXPECT_EQ(h.count(0), h.totalSamples());
+}
+
+} // namespace
+} // namespace vpprof

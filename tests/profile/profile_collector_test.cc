@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit tests for the profile collector against hand-built traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "profile/profile_collector.hh"
+
+namespace vpprof
+{
+namespace
+{
+
+/** Feed one value-producing record to the collector. */
+void
+feed(ProfileCollector &collector, uint64_t pc, int64_t value,
+     Opcode op = Opcode::Add)
+{
+    TraceRecord rec;
+    rec.pc = pc;
+    rec.op = op;
+    rec.writesReg = true;
+    rec.dest = 1;
+    rec.value = value;
+    collector.record(rec);
+}
+
+TEST(ProfileCollector, IgnoresNonProducers)
+{
+    ProfileCollector c("p");
+    TraceRecord rec;
+    rec.pc = 1;
+    rec.op = Opcode::St;
+    rec.writesReg = false;
+    c.record(rec);
+    EXPECT_EQ(c.producersSeen(), 0u);
+    EXPECT_TRUE(c.image().empty());
+}
+
+TEST(ProfileCollector, FirstExecutionIsNotAnAttempt)
+{
+    ProfileCollector c("p");
+    feed(c, 1, 42);
+    const PcProfile *p = c.image().find(1);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->executions, 1u);
+    EXPECT_EQ(p->attempts, 0u);
+}
+
+TEST(ProfileCollector, RepeatingValueIsFullyPredictable)
+{
+    ProfileCollector c("p");
+    for (int i = 0; i < 11; ++i)
+        feed(c, 1, 7);
+    const PcProfile *p = c.image().find(1);
+    EXPECT_EQ(p->executions, 11u);
+    EXPECT_EQ(p->attempts, 10u);
+    EXPECT_EQ(p->correct, 10u);
+    EXPECT_DOUBLE_EQ(p->accuracyPercent(), 100.0);
+    EXPECT_DOUBLE_EQ(p->strideEfficiencyPercent(), 0.0);
+    EXPECT_EQ(p->lastValueCorrect, 10u);
+}
+
+TEST(ProfileCollector, StridingValueHasFullStrideEfficiency)
+{
+    ProfileCollector c("p");
+    for (int i = 0; i < 12; ++i)
+        feed(c, 1, i * 5);
+    const PcProfile *p = c.image().find(1);
+    // Attempts from the 2nd execution; correct from the 3rd.
+    EXPECT_EQ(p->attempts, 11u);
+    EXPECT_EQ(p->correct, 10u);
+    EXPECT_EQ(p->correctNonZeroStride, 10u);
+    EXPECT_DOUBLE_EQ(p->strideEfficiencyPercent(), 100.0);
+    // The companion last-value predictor never gets one right.
+    EXPECT_EQ(p->lastValueCorrect, 0u);
+}
+
+TEST(ProfileCollector, RandomlikeValuesAreUnpredictable)
+{
+    ProfileCollector c("p");
+    uint64_t state = 1;
+    for (int i = 0; i < 50; ++i)
+        feed(c, 1, static_cast<int64_t>(splitmix64(state)));
+    const PcProfile *p = c.image().find(1);
+    EXPECT_LT(p->accuracyPercent(), 10.0);
+}
+
+TEST(ProfileCollector, PcsAreIndependent)
+{
+    ProfileCollector c("p");
+    for (int i = 0; i < 10; ++i) {
+        feed(c, 1, 7);
+        feed(c, 2, i);
+    }
+    EXPECT_DOUBLE_EQ(c.image().find(1)->accuracyPercent(), 100.0 * 9 / 9);
+    // pc 2 strides: correct from 3rd execution on.
+    EXPECT_EQ(c.image().find(2)->correct, 8u);
+}
+
+TEST(ProfileCollector, RecordsOpClass)
+{
+    ProfileCollector c("p");
+    feed(c, 1, 5, Opcode::Ld);
+    feed(c, 2, 5, Opcode::Fadd);
+    EXPECT_EQ(c.image().find(1)->opClass, OpClass::IntLoad);
+    EXPECT_EQ(c.image().find(2)->opClass, OpClass::FpAlu);
+}
+
+TEST(ProfileCollector, TakeImageMovesAndNames)
+{
+    ProfileCollector c("myprog");
+    feed(c, 1, 1);
+    ProfileImage img = c.takeImage();
+    EXPECT_EQ(img.programName(), "myprog");
+    EXPECT_EQ(img.size(), 1u);
+}
+
+TEST(ProfileCollector, CountsProducersSeen)
+{
+    ProfileCollector c("p");
+    for (int i = 0; i < 5; ++i)
+        feed(c, 1, i);
+    EXPECT_EQ(c.producersSeen(), 5u);
+}
+
+} // namespace
+} // namespace vpprof

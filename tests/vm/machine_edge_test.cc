@@ -1,0 +1,251 @@
+/**
+ * @file
+ * VM edge cases: FP specials, conversion saturation, nested calls
+ * with an explicit stack, address wrapping and register-file limits.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "isa/program_builder.hh"
+#include "vm/machine.hh"
+
+namespace vpprof
+{
+namespace
+{
+
+Machine
+runProgram(Program p, MemoryImage image = {})
+{
+    Machine m(std::move(p), image);
+    m.run(nullptr);
+    return m;
+}
+
+TEST(MachineEdge, DivisionTruncatesTowardZeroBothSigns)
+{
+    ProgramBuilder b("div");
+    b.movi(R(1), -7);
+    b.movi(R(2), 2);
+    b.div(R(3), R(1), R(2));
+    b.movi(R(4), 7);
+    b.movi(R(5), -2);
+    b.div(R(6), R(4), R(5));
+    b.rem(R(7), R(1), R(2));
+    b.halt();
+    Machine m = runProgram(b.build());
+    EXPECT_EQ(m.reg(R(3)), -3);
+    EXPECT_EQ(m.reg(R(6)), -3);
+    EXPECT_EQ(m.reg(R(7)), -1);
+}
+
+TEST(MachineEdge, FpInfinityPropagates)
+{
+    ProgramBuilder b("inf");
+    b.fld(F(1), R(0), 10);    // 1.0
+    b.fld(F(2), R(0), 11);    // 0.0
+    b.fdiv(F(3), F(1), F(2)); // +inf
+    b.fadd(F(4), F(3), F(1)); // still +inf
+    b.halt();
+    MemoryImage image;
+    image.storeDouble(10, 1.0);
+    image.storeDouble(11, 0.0);
+    Machine m = runProgram(b.build(), image);
+    EXPECT_TRUE(std::isinf(m.regDouble(F(3))));
+    EXPECT_TRUE(std::isinf(m.regDouble(F(4))));
+}
+
+TEST(MachineEdge, FpNanIsNotLessThanAnything)
+{
+    ProgramBuilder b("nan");
+    b.fld(F(1), R(0), 10);    // NaN
+    b.fld(F(2), R(0), 11);    // 1.0
+    b.fblt(F(1), F(2), "taken");
+    b.movi(R(1), 1);          // expected path
+    b.halt();
+    b.label("taken");
+    b.movi(R(1), 2);
+    b.halt();
+    MemoryImage image;
+    image.storeDouble(10, std::nan(""));
+    image.storeDouble(11, 1.0);
+    Machine m = runProgram(b.build(), image);
+    EXPECT_EQ(m.reg(R(1)), 1);
+}
+
+TEST(MachineEdge, FsqrtOfNegativeIsNan)
+{
+    ProgramBuilder b("sqrt");
+    b.fld(F(1), R(0), 10);
+    b.fsqrt(F(2), F(1));
+    b.halt();
+    MemoryImage image;
+    image.storeDouble(10, -4.0);
+    Machine m = runProgram(b.build(), image);
+    EXPECT_TRUE(std::isnan(m.regDouble(F(2))));
+}
+
+TEST(MachineEdge, FtoiSaturatesOutOfRangeToZero)
+{
+    ProgramBuilder b("big");
+    b.fld(F(1), R(0), 10);
+    b.ftoi(R(1), F(1));
+    b.fld(F(2), R(0), 11);
+    b.ftoi(R(2), F(2));
+    b.halt();
+    MemoryImage image;
+    image.storeDouble(10, 1e30);
+    image.storeDouble(11, -1e30);
+    Machine m = runProgram(b.build(), image);
+    EXPECT_EQ(m.reg(R(1)), 0);
+    EXPECT_EQ(m.reg(R(2)), 0);
+}
+
+TEST(MachineEdge, ItofRoundTripLargeValue)
+{
+    ProgramBuilder b("itof");
+    b.movi(R(1), 1234567890);
+    b.itof(F(1), R(1));
+    b.ftoi(R(2), F(1));
+    b.halt();
+    Machine m = runProgram(b.build());
+    EXPECT_EQ(m.reg(R(2)), 1234567890);
+}
+
+TEST(MachineEdge, NegativeZeroBitsSurviveFpMoves)
+{
+    ProgramBuilder b("negzero");
+    b.fld(F(1), R(0), 10);
+    b.fmov(F(2), F(1));
+    b.fst(R(0), F(2), 20);
+    b.halt();
+    MemoryImage image;
+    image.storeDouble(10, -0.0);
+    Machine m = runProgram(b.build(), image);
+    EXPECT_EQ(std::bit_cast<uint64_t>(m.memory().loadDouble(20)),
+              std::bit_cast<uint64_t>(-0.0));
+}
+
+TEST(MachineEdge, NestedCallsWithExplicitStack)
+{
+    // fact(5) with the link register saved on a software stack at
+    // r30, the kStackReg convention.
+    ProgramBuilder b("fact");
+    b.movi(kStackReg, 90000);
+    b.movi(R(1), 5);           // n
+    b.movi(R(2), 1);           // acc
+    b.call("fact");
+    b.halt();
+
+    b.label("fact");
+    // push link
+    b.st(kStackReg, kLinkReg, 0);
+    b.addi(kStackReg, kStackReg, 1);
+    b.movi(R(3), 2);
+    b.blt(R(1), R(3), "base");
+    b.mul(R(2), R(2), R(1));   // acc *= n
+    b.subi(R(1), R(1), 1);
+    b.call("fact");
+    b.label("base");
+    // pop link and return
+    b.subi(kStackReg, kStackReg, 1);
+    b.ld(kLinkReg, kStackReg, 0);
+    b.ret();
+
+    Machine m = runProgram(b.build());
+    EXPECT_EQ(m.reg(R(2)), 120);
+}
+
+TEST(MachineEdge, HighestRegistersWork)
+{
+    ProgramBuilder b("regs");
+    b.movi(R(kNumIntRegs - 1), 11);          // r31
+    b.fld(F(kNumFpRegs - 1), R(0), 10);      // f31
+    b.ftoi(R(1), F(kNumFpRegs - 1));
+    b.halt();
+    MemoryImage image;
+    image.storeDouble(10, 6.0);
+    Machine m = runProgram(b.build(), image);
+    EXPECT_EQ(m.reg(R(31)), 11);
+    EXPECT_EQ(m.reg(R(1)), 6);
+}
+
+TEST(MachineEdge, JmpRTargetsComputedAddress)
+{
+    ProgramBuilder b("jmpr");
+    b.movi(R(1), 5);
+    b.ret(R(1));               // jumps to the index held in r1
+    b.movi(R(2), 111);         // skipped
+    b.movi(R(2), 222);         // skipped
+    b.halt();                  // skipped (index 4)
+    b.label("target");
+    b.movi(R(2), 333);         // index 5
+    b.halt();
+    Machine m = runProgram(b.build());
+    EXPECT_EQ(m.reg(R(2)), 333);
+}
+
+TEST(MachineEdge, ShiftByRegisterCountMasks)
+{
+    ProgramBuilder b("shift");
+    b.movi(R(1), 1);
+    b.movi(R(2), 65);          // masked to 1
+    b.shl(R(3), R(1), R(2));
+    b.movi(R(4), -8);
+    b.sar(R(5), R(4), R(1));   // -8 >> 1 = -4
+    b.halt();
+    Machine m = runProgram(b.build());
+    EXPECT_EQ(m.reg(R(3)), 2);
+    EXPECT_EQ(m.reg(R(5)), -4);
+}
+
+TEST(MachineEdge, BgeTakenOnEquality)
+{
+    ProgramBuilder b("bge");
+    b.movi(R(1), 5);
+    b.movi(R(2), 5);
+    b.bge(R(1), R(2), "taken");
+    b.movi(R(3), 0);
+    b.halt();
+    b.label("taken");
+    b.movi(R(3), 1);
+    b.halt();
+    Machine m = runProgram(b.build());
+    EXPECT_EQ(m.reg(R(3)), 1);
+}
+
+TEST(MachineEdge, StoreToNegativeOffsetAddress)
+{
+    ProgramBuilder b("negoff");
+    b.movi(R(1), 100);
+    b.movi(R(2), 42);
+    b.st(R(1), R(2), -30);     // address 70
+    b.ld(R(3), R(1), -30);
+    b.halt();
+    Machine m = runProgram(b.build());
+    EXPECT_EQ(m.reg(R(3)), 42);
+    EXPECT_EQ(m.memory().load(70), 42);
+}
+
+TEST(MachineEdge, FminFmaxFollowIeee)
+{
+    ProgramBuilder b("minmax");
+    b.fld(F(1), R(0), 10);
+    b.fld(F(2), R(0), 11);
+    b.fmin(F(3), F(1), F(2));
+    b.fmax(F(4), F(1), F(2));
+    b.halt();
+    MemoryImage image;
+    image.storeDouble(10, -1.5);
+    image.storeDouble(11, 2.5);
+    Machine m = runProgram(b.build(), image);
+    EXPECT_DOUBLE_EQ(m.regDouble(F(3)), -1.5);
+    EXPECT_DOUBLE_EQ(m.regDouble(F(4)), 2.5);
+}
+
+} // namespace
+} // namespace vpprof

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Unit tests for the sparse memory and memory images.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm/memory.hh"
+
+namespace vpprof
+{
+namespace
+{
+
+TEST(Memory, UnwrittenWordsReadZero)
+{
+    Memory m;
+    EXPECT_EQ(m.load(0), 0);
+    EXPECT_EQ(m.load(1ull << 40), 0);
+    EXPECT_EQ(m.footprint(), 0u);
+}
+
+TEST(Memory, StoreLoadRoundTrip)
+{
+    Memory m;
+    m.store(100, -42);
+    EXPECT_EQ(m.load(100), -42);
+    EXPECT_EQ(m.footprint(), 1u);
+}
+
+TEST(Memory, OverwriteKeepsFootprint)
+{
+    Memory m;
+    m.store(7, 1);
+    m.store(7, 2);
+    EXPECT_EQ(m.load(7), 2);
+    EXPECT_EQ(m.footprint(), 1u);
+}
+
+TEST(Memory, DoubleRoundTripIsBitExact)
+{
+    Memory m;
+    m.storeDouble(5, 3.14159265358979);
+    EXPECT_EQ(m.loadDouble(5), 3.14159265358979);
+    m.storeDouble(6, -0.0);
+    EXPECT_EQ(std::bit_cast<uint64_t>(m.loadDouble(6)),
+              std::bit_cast<uint64_t>(-0.0));
+}
+
+TEST(Memory, ClearEmptiesEverything)
+{
+    Memory m;
+    m.store(1, 1);
+    m.clear();
+    EXPECT_EQ(m.load(1), 0);
+    EXPECT_EQ(m.footprint(), 0u);
+}
+
+TEST(MemoryImage, StoreBlockIsContiguous)
+{
+    MemoryImage image;
+    image.storeBlock(10, {1, 2, 3});
+    EXPECT_EQ(image.words().at(10), 1);
+    EXPECT_EQ(image.words().at(11), 2);
+    EXPECT_EQ(image.words().at(12), 3);
+}
+
+TEST(MemoryImage, RegistersRecorded)
+{
+    MemoryImage image;
+    image.setRegister(5, 99);
+    EXPECT_EQ(image.registers().at(5), 99);
+}
+
+TEST(MemoryImage, StoreDoubleBits)
+{
+    MemoryImage image;
+    image.storeDouble(3, 1.5);
+    EXPECT_EQ(image.words().at(3), std::bit_cast<int64_t>(1.5));
+}
+
+} // namespace
+} // namespace vpprof

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Unit tests for binary trace file I/O.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "isa/program_builder.hh"
+#include "vm/machine.hh"
+#include "vm/trace_io.hh"
+
+namespace vpprof
+{
+namespace
+{
+
+std::string
+tempPath(const char *name)
+{
+    return ::testing::TempDir() + "/" + name;
+}
+
+Program
+smallProgram()
+{
+    ProgramBuilder b("small");
+    b.movi(R(1), 0);
+    b.movi(R(2), 20);
+    b.label("loop");
+    b.st(R(1), R(1), 100);
+    b.ld(R(3), R(1), 100);
+    b.addi(R(1), R(1), 1);
+    b.blt(R(1), R(2), "loop");
+    b.halt();
+    return b.build();
+}
+
+TEST(TraceIo, RoundTripPreservesEveryField)
+{
+    std::string path = tempPath("roundtrip.trace");
+    VectorTraceSink captured;
+    {
+        TraceFileWriter writer(path);
+        MultiTraceSink fan;
+        fan.addSink(&writer);
+        fan.addSink(&captured);
+        Machine m(smallProgram(), MemoryImage{});
+        m.run(&fan);
+        writer.close();
+        EXPECT_EQ(writer.recordsWritten(), captured.trace().size());
+    }
+
+    TraceFileReader reader(path);
+    EXPECT_EQ(reader.recordCount(), captured.trace().size());
+    size_t i = 0;
+    TraceRecord rec;
+    while (reader.next(rec)) {
+        const TraceRecord &want = captured.trace()[i++];
+        EXPECT_EQ(rec.seq, want.seq);
+        EXPECT_EQ(rec.pc, want.pc);
+        EXPECT_EQ(rec.op, want.op);
+        EXPECT_EQ(rec.directive, want.directive);
+        EXPECT_EQ(rec.writesReg, want.writesReg);
+        EXPECT_EQ(rec.dest, want.dest);
+        EXPECT_EQ(rec.value, want.value);
+        EXPECT_EQ(rec.numSrcs, want.numSrcs);
+        EXPECT_EQ(rec.srcs, want.srcs);
+        EXPECT_EQ(rec.isMem, want.isMem);
+        EXPECT_EQ(rec.memAddr, want.memAddr);
+    }
+    EXPECT_EQ(i, captured.trace().size());
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, ReplayStreamsIntoSink)
+{
+    std::string path = tempPath("replay.trace");
+    uint64_t written = 0;
+    {
+        TraceFileWriter writer(path);
+        Machine m(smallProgram(), MemoryImage{});
+        m.run(&writer);
+        writer.close();
+        written = writer.recordsWritten();
+    }
+    TraceFileReader reader(path);
+    CountingTraceSink counts;
+    EXPECT_EQ(reader.replay(&counts), written);
+    EXPECT_EQ(counts.total(), written);
+    EXPECT_EQ(counts.loads(), 20u);
+    EXPECT_EQ(counts.stores(), 20u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, EmptyTraceIsValid)
+{
+    std::string path = tempPath("empty.trace");
+    {
+        TraceFileWriter writer(path);
+        writer.close();
+    }
+    TraceFileReader reader(path);
+    EXPECT_EQ(reader.recordCount(), 0u);
+    TraceRecord rec;
+    EXPECT_FALSE(reader.next(rec));
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, DestructorFinalizesHeader)
+{
+    std::string path = tempPath("dtor.trace");
+    {
+        TraceFileWriter writer(path);
+        TraceRecord rec;
+        rec.pc = 5;
+        writer.record(rec);
+        // No explicit close: the destructor must fix up the count.
+    }
+    TraceFileReader reader(path);
+    EXPECT_EQ(reader.recordCount(), 1u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsForeignFile)
+{
+    std::string path = tempPath("bogus.trace");
+    {
+        std::ofstream os(path);
+        os << "this is not a trace";
+    }
+    EXPECT_DEATH(TraceFileReader reader(path), "not a vpprof trace");
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsMissingFile)
+{
+    EXPECT_DEATH(TraceFileReader reader("/nonexistent/nope.trace"),
+                 "cannot open");
+}
+
+TEST(TraceIo, DetectsTruncation)
+{
+    std::string path = tempPath("trunc.trace");
+    {
+        TraceFileWriter writer(path);
+        TraceRecord rec;
+        writer.record(rec);
+        writer.record(rec);
+        writer.close();
+    }
+    // Chop off the final record's bytes.
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::string data((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(data.data(),
+                  static_cast<std::streamsize>(data.size() - 10));
+    }
+    TraceFileReader reader(path);
+    TraceRecord rec;
+    EXPECT_TRUE(reader.next(rec));
+    EXPECT_DEATH(reader.next(rec), "truncated");
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, RecordAfterClosePanics)
+{
+    std::string path = tempPath("closed.trace");
+    TraceFileWriter writer(path);
+    writer.close();
+    TraceRecord rec;
+    EXPECT_DEATH(writer.record(rec), "after close");
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace vpprof

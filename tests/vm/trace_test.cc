@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Unit tests for trace sinks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/program_builder.hh"
+#include "vm/machine.hh"
+#include "vm/trace.hh"
+
+namespace vpprof
+{
+namespace
+{
+
+Program
+mixedProgram()
+{
+    ProgramBuilder b("mixed");
+    b.movi(R(1), 3);           // producer
+    b.st(R(1), R(1), 0);       // store
+    b.ld(R(2), R(1), 0);       // load + producer
+    b.fadd(F(1), F(2), F(3));  // fp producer
+    b.beq(R(0), R(0), "end");  // branch (taken)
+    b.nop();
+    b.label("end");
+    b.halt();
+    return b.build();
+}
+
+TEST(VectorTraceSink, CapturesAllRecordsInOrder)
+{
+    VectorTraceSink sink;
+    Machine m(mixedProgram(), MemoryImage{});
+    m.run(&sink);
+    ASSERT_EQ(sink.trace().size(), 6u);  // nop skipped by the branch
+    for (size_t i = 0; i < sink.trace().size(); ++i)
+        EXPECT_EQ(sink.trace()[i].seq, i);
+}
+
+TEST(VectorTraceSink, TakeTraceMoves)
+{
+    VectorTraceSink sink;
+    Machine m(mixedProgram(), MemoryImage{});
+    m.run(&sink);
+    auto trace = sink.takeTrace();
+    EXPECT_EQ(trace.size(), 6u);
+    EXPECT_TRUE(sink.trace().empty());
+}
+
+TEST(CallbackTraceSink, ForwardsEveryRecord)
+{
+    int count = 0;
+    CallbackTraceSink sink([&](const TraceRecord &) { ++count; });
+    Machine m(mixedProgram(), MemoryImage{});
+    m.run(&sink);
+    EXPECT_EQ(count, 6);
+}
+
+TEST(MultiTraceSink, FansOut)
+{
+    VectorTraceSink a;
+    CountingTraceSink b2;
+    MultiTraceSink multi;
+    multi.addSink(&a);
+    multi.addSink(&b2);
+    Machine m(mixedProgram(), MemoryImage{});
+    m.run(&multi);
+    EXPECT_EQ(a.trace().size(), b2.total());
+}
+
+TEST(CountingTraceSink, CategorizesRecords)
+{
+    CountingTraceSink sink;
+    Machine m(mixedProgram(), MemoryImage{});
+    m.run(&sink);
+    EXPECT_EQ(sink.total(), 6u);
+    EXPECT_EQ(sink.producers(), 3u);  // movi, ld, fadd
+    EXPECT_EQ(sink.loads(), 1u);
+    EXPECT_EQ(sink.stores(), 1u);
+    EXPECT_EQ(sink.branches(), 1u);
+    EXPECT_EQ(sink.fpOps(), 1u);
+}
+
+TEST(CountingTraceSink, NullSinkRunsFine)
+{
+    Machine m(mixedProgram(), MemoryImage{});
+    RunResult r = m.run(nullptr);
+    EXPECT_TRUE(r.halted);
+}
+
+} // namespace
+} // namespace vpprof

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Characterization tests: the workloads must exhibit the
+ * value-predictability *shapes* the paper's phenomena rest on —
+ * m88ksim highly predictable, compress poorly predictable, mgrid's
+ * init phase stride-friendly, and every benchmark bimodal enough for
+ * classification to matter. These guard the scientific validity of the
+ * bench results, not just code correctness.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "core/experiment.hh"
+
+namespace vpprof
+{
+namespace
+{
+
+class Characteristics : public ::testing::Test
+{
+  protected:
+    static const WorkloadSuite &
+    suite()
+    {
+        static WorkloadSuite s;
+        return s;
+    }
+
+    /** Cached profile of input 0 per workload (profiling is slow). */
+    static const ProfileImage &
+    profileOf(const std::string &name)
+    {
+        static std::map<std::string, ProfileImage> cache;
+        auto it = cache.find(name);
+        if (it == cache.end()) {
+            const Workload *w = suite().find(name);
+            it = cache.emplace(name, collectProfile(*w, 0)).first;
+        }
+        return it->second;
+    }
+
+    /** Overall dynamic stride-predictor accuracy in percent. */
+    static double
+    overallAccuracy(const ProfileImage &img)
+    {
+        uint64_t attempts = 0, correct = 0;
+        for (const auto &[pc, p] : img.entries()) {
+            attempts += p.attempts;
+            correct += p.correct;
+        }
+        return attempts == 0
+            ? 0.0 : 100.0 * static_cast<double>(correct)
+                        / static_cast<double>(attempts);
+    }
+};
+
+TEST_F(Characteristics, M88ksimIsHighlyPredictable)
+{
+    EXPECT_GT(overallAccuracy(profileOf("m88ksim")), 65.0);
+}
+
+TEST_F(Characteristics, CompressIsPoorlyPredictable)
+{
+    EXPECT_LT(overallAccuracy(profileOf("compress")), 45.0);
+}
+
+TEST_F(Characteristics, CompressLessPredictableThanM88ksim)
+{
+    EXPECT_LT(overallAccuracy(profileOf("compress")) + 20.0,
+              overallAccuracy(profileOf("m88ksim")));
+}
+
+TEST_F(Characteristics, EveryWorkloadHasModerateOverallAccuracy)
+{
+    // The paper's Table 2.1 sits broadly in the 20-90% band.
+    for (const auto &w : suite().all()) {
+        double acc = overallAccuracy(profileOf(std::string(w->name())));
+        EXPECT_GT(acc, 10.0) << w->name();
+        EXPECT_LT(acc, 98.0) << w->name();
+    }
+}
+
+TEST_F(Characteristics, AccuracyDistributionIsBimodal)
+{
+    // Figure 2.2: a substantial set of instructions above 90% accuracy
+    // and a substantial set below 10%, in the static (per-instruction)
+    // distribution aggregated over the suite.
+    uint64_t high = 0, low = 0, total = 0;
+    for (const auto &w : suite().all()) {
+        const ProfileImage &img = profileOf(std::string(w->name()));
+        for (const auto &[pc, p] : img.entries()) {
+            if (p.attempts < 4)
+                continue;
+            ++total;
+            double acc = p.accuracyPercent();
+            high += acc > 90.0 ? 1 : 0;
+            low += acc < 10.0 ? 1 : 0;
+        }
+    }
+    ASSERT_GT(total, 100u);
+    EXPECT_GT(static_cast<double>(high) / total, 0.15);
+    EXPECT_GT(static_cast<double>(low) / total, 0.10);
+}
+
+TEST_F(Characteristics, StrideEfficiencyIsBimodalToo)
+{
+    // Figure 2.3: most instructions are either clearly stride-patterned
+    // or clearly last-value-patterned.
+    uint64_t extreme = 0, total = 0;
+    for (const auto &w : suite().all()) {
+        const ProfileImage &img = profileOf(std::string(w->name()));
+        for (const auto &[pc, p] : img.entries()) {
+            if (p.correct < 4)
+                continue;
+            ++total;
+            double eff = p.strideEfficiencyPercent();
+            extreme += eff < 20.0 || eff > 80.0 ? 1 : 0;
+        }
+    }
+    ASSERT_GT(total, 100u);
+    EXPECT_GT(static_cast<double>(extreme) / total, 0.6);
+}
+
+TEST_F(Characteristics, SomeInstructionsAreStrideOnly)
+{
+    // Subsection 2.5 / motivation point 4: a subset is predictable by
+    // the stride predictor but not by last-value.
+    uint64_t stride_only = 0;
+    for (const auto &w : suite().all()) {
+        const ProfileImage &img = profileOf(std::string(w->name()));
+        for (const auto &[pc, p] : img.entries()) {
+            if (p.attempts < 10)
+                continue;
+            if (p.accuracyPercent() > 80.0 &&
+                p.lastValueAccuracyPercent() < 20.0) {
+                ++stride_only;
+            }
+        }
+    }
+    EXPECT_GT(stride_only, 20u);
+}
+
+TEST_F(Characteristics, MgridInitPhaseFpLoadsStride)
+{
+    const Workload *mgrid = suite().find("mgrid");
+    PhasedProfiles phases = collectPhasedProfile(*mgrid, 0);
+
+    // In the init phase, FP loads read the binade-confined ramp: the
+    // stride predictor must do well on them and far better than
+    // last-value (the paper's init-phase S >> L for FP loads).
+    uint64_t s_correct = 0, attempts = 0, l_correct = 0;
+    for (const auto &[pc, p] : phases.init.entries()) {
+        if (p.opClass != OpClass::FpLoad)
+            continue;
+        attempts += p.attempts;
+        s_correct += p.correct;
+        l_correct += p.lastValueCorrect;
+    }
+    ASSERT_GT(attempts, 100u);
+    double s_acc = 100.0 * static_cast<double>(s_correct) / attempts;
+    double l_acc = 100.0 * static_cast<double>(l_correct) / attempts;
+    EXPECT_GT(s_acc, 60.0);
+    EXPECT_GT(s_acc, l_acc + 30.0);
+}
+
+TEST_F(Characteristics, MgridPhasesAreBothSubstantial)
+{
+    const Workload *mgrid = suite().find("mgrid");
+    PhasedProfiles phases = collectPhasedProfile(*mgrid, 0);
+    uint64_t init_exec = 0, comp_exec = 0;
+    for (const auto &[pc, p] : phases.init.entries())
+        init_exec += p.executions;
+    for (const auto &[pc, p] : phases.compute.entries())
+        comp_exec += p.executions;
+    EXPECT_GT(init_exec, 10'000u);
+    EXPECT_GT(comp_exec, 100'000u);
+}
+
+TEST_F(Characteristics, GccHasTheLargestStaticFootprintPressure)
+{
+    // gcc's signature in the paper: a large static instruction working
+    // set. Its profiled-instruction count must be near the top of the
+    // suite (within the top three).
+    std::vector<std::pair<size_t, std::string>> sizes;
+    for (const auto &w : suite().all()) {
+        const ProfileImage &img = profileOf(std::string(w->name()));
+        sizes.emplace_back(img.size(), std::string(w->name()));
+    }
+    std::sort(sizes.rbegin(), sizes.rend());
+    bool gcc_in_top3 = false;
+    for (size_t i = 0; i < 3; ++i)
+        gcc_in_top3 |= sizes[i].second == "gcc";
+    EXPECT_TRUE(gcc_in_top3);
+}
+
+} // namespace
+} // namespace vpprof

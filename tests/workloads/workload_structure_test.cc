@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Structural tests per workload: beyond the end-to-end checksum,
+ * these inspect the VM's final memory to confirm each benchmark did
+ * the algorithmic work its SPEC namesake stands for — dictionary
+ * growth in compress, board population in go, token production in
+ * gcc, database mutation in vortex, grid smoothing in mgrid, etc.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm/machine.hh"
+#include "workloads/workload.hh"
+
+namespace vpprof
+{
+namespace
+{
+
+class Structure : public ::testing::Test
+{
+  protected:
+    static const WorkloadSuite &
+    suite()
+    {
+        static WorkloadSuite s;
+        return s;
+    }
+
+    /** Run a workload input to completion and return the machine. */
+    static Machine
+    run(const char *name, size_t input = 0)
+    {
+        const Workload *w = suite().find(name);
+        Machine m(w->program(), w->input(input));
+        RunResult r = m.run(nullptr, w->maxInstructions());
+        EXPECT_TRUE(r.halted);
+        return m;
+    }
+};
+
+TEST_F(Structure, GoFillsBoardWithAlternatingColours)
+{
+    Machine m = run("go");
+    // Board at 1000..1360: stones are 0/1/2; the game placed 70 moves
+    // on top of 40 initial stones, so at least 80 cells are occupied
+    // (some initial placements collide).
+    int64_t occupied = 0, black = 0, white = 0;
+    for (uint64_t i = 0; i < 361; ++i) {
+        int64_t v = m.memory().load(1000 + i);
+        ASSERT_GE(v, 0);
+        ASSERT_LE(v, 2);
+        occupied += v != 0 ? 1 : 0;
+        black += v == 1 ? 1 : 0;
+        white += v == 2 ? 1 : 0;
+    }
+    EXPECT_GE(occupied, 80);
+    // Alternating move colours keep the counts close.
+    EXPECT_LT(std::abs(black - white), 20);
+}
+
+TEST_F(Structure, M88ksimGuestComputedTheVectorSum)
+{
+    Machine m = run("m88ksim");
+    // Guest memory lives at 5000+; gmem[99] holds the vector sum and
+    // gmem[8000+i] the scaled elements.
+    int64_t sum = m.memory().load(5000 + 99);
+    int64_t recomputed = 0;
+    for (int64_t i = 0; i < 2200; ++i)
+        recomputed += m.memory().load(5000 + 100 + i);
+    EXPECT_EQ(sum, recomputed);
+    EXPECT_EQ(m.memory().load(5000 + 8000),
+              m.memory().load(5000 + 100) * 3);
+}
+
+TEST_F(Structure, GccProducesTokensAndResults)
+{
+    Machine m = run("gcc");
+    // Token stream at 300000 (type,value pairs): the first token of a
+    // generated source is a number or variable, and every type is in
+    // range.
+    int64_t first_type = m.memory().load(300000);
+    EXPECT_TRUE(first_type == 0 || first_type == 1);
+    for (uint64_t t = 0; t < 100; ++t) {
+        int64_t type = m.memory().load(300000 + 2 * t);
+        EXPECT_GE(type, 0);
+        EXPECT_LE(type, 3);
+    }
+    // 2000 expressions -> 2000 IR entries, folded into OUT.
+    int64_t nonzero_out = 0;
+    for (uint64_t e = 0; e < 2000; ++e)
+        nonzero_out += m.memory().load(550000 + e) != 0 ? 1 : 0;
+    EXPECT_GT(nonzero_out, 1500);
+}
+
+TEST_F(Structure, CompressGrowsDictionaryAndEmitsFewerCodes)
+{
+    Machine m = run("compress");
+    // Dictionary entries live in the hash table at 20000..28191.
+    int64_t entries = 0;
+    for (uint64_t h = 0; h < 8192; ++h)
+        entries += m.memory().load(20000 + h) != 0 ? 1 : 0;
+    EXPECT_GT(entries, 500);          // dictionary actually grew
+    EXPECT_LE(entries, 4096 - 256);   // never beyond the code space
+    // Compression: emitted codes (output) fewer than input chars.
+    int64_t emitted = 0;
+    for (uint64_t i = 0; i < 70000; ++i)
+        emitted += m.memory().load(1000000 + i) != 0 ? 1 : 0;
+    EXPECT_LT(emitted, 70000 / 2);
+    EXPECT_GT(emitted, 1000);
+}
+
+TEST_F(Structure, LiArenaHoldsMappedValues)
+{
+    const Workload *w = suite().find("li");
+    Machine m(w->program(), w->input(0));
+    m.run(nullptr, w->maxInstructions());
+    // After the map pass every list was rebuilt with 2*car+1 (odd
+    // values). Walk the first list from its head.
+    int64_t head = m.memory().load(45000);
+    ASSERT_GE(head, 0);
+    int64_t node = head;
+    int seen = 0;
+    while (node >= 0 && seen < 10) {
+        int64_t car = m.memory().load(
+            200000 + 2 * static_cast<uint64_t>(node));
+        EXPECT_EQ(car & 1, 1) << "mapped car must be odd";
+        node = m.memory().load(200000 +
+                               2 * static_cast<uint64_t>(node) + 1);
+        ++seen;
+    }
+    EXPECT_GT(seen, 0);
+}
+
+TEST_F(Structure, IjpegQuantizedOutputIsSmallerThanInput)
+{
+    Machine m = run("ijpeg");
+    // Quantized coefficients at 500000: the DC terms dominate and the
+    // high-frequency terms mostly quantize to zero.
+    int64_t zeros = 0, total = 768 * 64;  // 256x192 image
+    for (int64_t k = 0; k < total; ++k)
+        zeros += m.memory().load(500000 + static_cast<uint64_t>(k)) == 0
+            ? 1 : 0;
+    EXPECT_GT(zeros, total / 3);
+}
+
+TEST_F(Structure, PerlLengthHistogramIsSorted)
+{
+    Machine m = run("perl");
+    // Phase 2b insertion sort leaves the 16-entry histogram ascending.
+    int64_t prev = m.memory().load(14000);
+    int64_t total_words = prev;
+    for (uint64_t i = 1; i < 16; ++i) {
+        int64_t v = m.memory().load(14000 + i);
+        EXPECT_GE(v, prev);
+        prev = v;
+        total_words += v;
+    }
+    EXPECT_EQ(total_words, 11000);  // one histogram hit per word
+}
+
+TEST_F(Structure, VortexUpdatesBalancesAndCounts)
+{
+    Machine m = run("vortex");
+    // Updates bumped per-record counts; with 9000 transactions and a
+    // third being updates on present keys, hundreds of records must
+    // carry non-zero counts.
+    int64_t updated = 0, count_sum = 0;
+    for (int64_t i = 0; i < 4096; ++i) {
+        int64_t c = m.memory().load(
+            static_cast<uint64_t>(100000 + i * 8 + 3));
+        EXPECT_GE(c, 0);
+        updated += c > 0 ? 1 : 0;
+        count_sum += c;
+    }
+    EXPECT_GT(updated, 300);
+    // Per-type lookup statistics only ever touch types 0..4.
+    for (uint64_t t = 5; t < 8; ++t)
+        EXPECT_EQ(m.memory().load(800 + t), 0);
+}
+
+TEST_F(Structure, MgridSmoothsTheGrid)
+{
+    Machine m = run("mgrid");
+    // After 10 sweeps the interior is a smoothed version of the ramp:
+    // every interior point lies within the global input range.
+    double lo = 1e300, hi = -1e300;
+    for (uint64_t i = 0; i < 4096; ++i) {
+        double v = m.memory().loadDouble(100000 + i);
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    for (int64_t x = 1; x < 15; ++x) {
+        for (int64_t y = 1; y < 15; ++y) {
+            for (int64_t z = 1; z < 15; ++z) {
+                uint64_t idx = static_cast<uint64_t>(
+                    (x * 16 + y) * 16 + z);
+                double v = m.memory().loadDouble(200000 + idx);
+                EXPECT_GE(v, lo - 1e-9);
+                EXPECT_LE(v, hi + 1e-9);
+            }
+        }
+    }
+}
+
+TEST_F(Structure, ChecksumWrittenExactlyOnceAtChecksumAddr)
+{
+    for (const auto &w : suite().all()) {
+        Machine m(w->program(), w->input(0));
+        uint64_t checksum_stores = 0;
+        CallbackTraceSink sink([&](const TraceRecord &rec) {
+            if (rec.isMem && isStore(rec.op) &&
+                rec.memAddr == kChecksumAddr) {
+                ++checksum_stores;
+            }
+        });
+        m.run(&sink, w->maxInstructions());
+        EXPECT_EQ(checksum_stores, 1u) << w->name();
+    }
+}
+
+} // namespace
+} // namespace vpprof

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * End-to-end semantic checks of every workload: each assembly program,
+ * run on each input set, must halt and reproduce the checksum computed
+ * by its native C++ reference implementation. This simultaneously
+ * validates the workload programs and the VM.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm/machine.hh"
+#include "workloads/workload.hh"
+
+namespace vpprof
+{
+namespace
+{
+
+struct RunCase
+{
+    std::string workload;
+    size_t input;
+};
+
+void
+PrintTo(const RunCase &c, std::ostream *os)
+{
+    *os << c.workload << "/input" << c.input;
+}
+
+class WorkloadChecksum : public ::testing::TestWithParam<RunCase>
+{
+  protected:
+    static const WorkloadSuite &
+    suite()
+    {
+        static WorkloadSuite s;
+        return s;
+    }
+};
+
+TEST_P(WorkloadChecksum, MatchesReferenceImplementation)
+{
+    const RunCase &c = GetParam();
+    const Workload *w = suite().find(c.workload);
+    ASSERT_NE(w, nullptr);
+    Machine m(w->program(), w->input(c.input));
+    RunResult r = m.run(nullptr, w->maxInstructions());
+    ASSERT_TRUE(r.halted) << "hit the instruction limit";
+    EXPECT_EQ(m.memory().load(kChecksumAddr),
+              w->referenceChecksum(c.input));
+}
+
+std::vector<RunCase>
+allRunCases()
+{
+    std::vector<RunCase> cases;
+    WorkloadSuite suite;
+    for (const auto &w : suite.all()) {
+        for (size_t i = 0; i < w->numInputSets(); ++i)
+            cases.push_back({std::string(w->name()), i});
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadChecksum, ::testing::ValuesIn(allRunCases()),
+    [](const ::testing::TestParamInfo<RunCase> &info) {
+        return info.param.workload + "_input" +
+               std::to_string(info.param.input);
+    });
+
+TEST(WorkloadSuite, HasTheNinePaperBenchmarks)
+{
+    WorkloadSuite suite;
+    ASSERT_EQ(suite.all().size(), 9u);
+    for (const char *name :
+         {"go", "m88ksim", "gcc", "compress", "li", "ijpeg", "perl",
+          "vortex", "mgrid"}) {
+        EXPECT_NE(suite.find(name), nullptr) << name;
+    }
+    EXPECT_EQ(suite.find("bogus"), nullptr);
+}
+
+TEST(WorkloadSuite, EveryWorkloadHasAtLeastFiveInputs)
+{
+    WorkloadSuite suite;
+    for (const auto &w : suite.all())
+        EXPECT_GE(w->numInputSets(), 5u) << w->name();
+}
+
+TEST(WorkloadSuite, ProgramsValidateAndHaveProducers)
+{
+    WorkloadSuite suite;
+    for (const auto &w : suite.all()) {
+        const Program &p = w->program();
+        EXPECT_GT(p.size(), 10u) << w->name();
+        EXPECT_GT(p.countValueProducers(), 5u) << w->name();
+        EXPECT_EQ(p.countTagged(), 0u) << w->name()
+            << ": phase-1 programs must carry no directives";
+    }
+}
+
+TEST(WorkloadSuite, OnlyMgridIsFloatingPointAndPhased)
+{
+    WorkloadSuite suite;
+    for (const auto &w : suite.all()) {
+        if (w->name() == "mgrid") {
+            EXPECT_TRUE(w->isFloatingPoint());
+            ASSERT_TRUE(w->phaseSplitPc().has_value());
+            EXPECT_LT(*w->phaseSplitPc(), w->program().size());
+        } else {
+            EXPECT_FALSE(w->isFloatingPoint()) << w->name();
+            EXPECT_FALSE(w->phaseSplitPc().has_value()) << w->name();
+        }
+    }
+}
+
+TEST(WorkloadSuite, DifferentInputsGiveDifferentChecksums)
+{
+    // Input sets must actually differ, or the Section 4 cross-input
+    // study is vacuous.
+    WorkloadSuite suite;
+    for (const auto &w : suite.all()) {
+        EXPECT_NE(w->referenceChecksum(0), w->referenceChecksum(1))
+            << w->name();
+    }
+}
+
+TEST(WorkloadSuite, InputsAreDeterministic)
+{
+    WorkloadSuite suite;
+    const Workload *go = suite.find("go");
+    MemoryImage a = go->input(0);
+    MemoryImage b = go->input(0);
+    EXPECT_EQ(a.words().size(), b.words().size());
+    for (const auto &[addr, value] : a.words())
+        EXPECT_EQ(b.words().at(addr), value);
+}
+
+TEST(WorkloadSuite, ProgramIsSharedAcrossInputs)
+{
+    // The static program object must be the same for every input set
+    // (stable instruction addresses across runs).
+    WorkloadSuite suite;
+    for (const auto &w : suite.all())
+        EXPECT_EQ(&w->program(), &w->program());
+}
+
+} // namespace
+} // namespace vpprof

@@ -1,0 +1,376 @@
+/**
+ * @file
+ * vpprof_cli — command-line driver for the library.
+ *
+ *   vpprof_cli list
+ *   vpprof_cli disasm   <workload>
+ *   vpprof_cli run      <workload> [input]
+ *   vpprof_cli trace    <workload> <input> <out.trace>
+ *   vpprof_cli replay   <trace-file>
+ *   vpprof_cli profile  <workload> <input> <out.profile>
+ *   vpprof_cli annotate <workload> <profile-file> [threshold]
+ *   vpprof_cli classify <workload> [threshold]
+ *   vpprof_cli ilp      <workload> [window] [penalty]
+ *   vpprof_cli critpath <workload> [input]
+ *   vpprof_cli blocks   <workload> [threshold]
+ *   vpprof_cli correlate <workload>
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "compiler/cfg.hh"
+#include "core/experiment.hh"
+#include "ilp/critical_path.hh"
+#include "predictors/profile_classifier.hh"
+#include "predictors/saturating_classifier.hh"
+#include "profile/correlation.hh"
+#include "vm/trace_io.hh"
+
+using namespace vpprof;
+
+namespace
+{
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: vpprof_cli <command> [args]\n"
+                 "  list                                 workloads\n"
+                 "  disasm   <workload>                  disassembly\n"
+                 "  run      <workload> [input]          execute + "
+                 "verify\n"
+                 "  trace    <workload> <input> <file>   capture a "
+                 "trace\n"
+                 "  replay   <file>                      trace stats\n"
+                 "  profile  <workload> <input> <file>   profile "
+                 "image\n"
+                 "  annotate <workload> <file> [thresh]  phase-3 "
+                 "pass\n"
+                 "  classify <workload> [thresh]         FSM vs "
+                 "profile\n"
+                 "  ilp      <workload> [window] [pen]   abstract "
+                 "machine\n"
+                 "  critpath <workload> [input]          critical "
+                 "path\n"
+                 "  correlate <workload>                 Section 4 "
+                 "metrics\n"
+                 "  blocks   <workload> [thresh]         basic-block "
+                 "schedule\n");
+    return 2;
+}
+
+const Workload *
+findOrDie(const WorkloadSuite &suite, const char *name)
+{
+    const Workload *w = suite.find(name);
+    if (!w)
+        vpprof_fatal("unknown workload '", name,
+                     "' (try: vpprof_cli list)");
+    return w;
+}
+
+size_t
+inputIndex(const Workload &w, const char *arg)
+{
+    size_t idx = arg ? static_cast<size_t>(std::atoi(arg)) : 0;
+    if (idx >= w.numInputSets())
+        vpprof_fatal("input index ", idx, " out of range (workload "
+                     "has ", w.numInputSets(), " input sets)");
+    return idx;
+}
+
+int
+cmdList(const WorkloadSuite &suite)
+{
+    std::printf("%-10s %7s %9s %7s  %s\n", "name", "static",
+                "producers", "inputs", "description");
+    for (const auto &w : suite.all()) {
+        std::printf("%-10s %7zu %9zu %7zu  %s\n",
+                    std::string(w->name()).c_str(), w->program().size(),
+                    w->program().countValueProducers(),
+                    w->numInputSets(),
+                    std::string(w->description()).c_str());
+    }
+    return 0;
+}
+
+int
+cmdRun(const Workload &w, size_t input)
+{
+    Machine machine(w.program(), w.input(input));
+    CountingTraceSink counts;
+    RunResult result = machine.run(&counts, w.maxInstructions());
+    int64_t checksum = machine.memory().load(kChecksumAddr);
+    int64_t expected = w.referenceChecksum(input);
+    std::printf("instructions : %llu\n",
+                static_cast<unsigned long long>(
+                    result.instructionsExecuted));
+    std::printf("  producers  : %llu\n",
+                static_cast<unsigned long long>(counts.producers()));
+    std::printf("  loads      : %llu\n",
+                static_cast<unsigned long long>(counts.loads()));
+    std::printf("  stores     : %llu\n",
+                static_cast<unsigned long long>(counts.stores()));
+    std::printf("  branches   : %llu\n",
+                static_cast<unsigned long long>(counts.branches()));
+    std::printf("checksum     : %lld (%s)\n",
+                static_cast<long long>(checksum),
+                checksum == expected ? "matches reference"
+                                     : "MISMATCH");
+    return checksum == expected ? 0 : 1;
+}
+
+int
+cmdTrace(const Workload &w, size_t input, const char *path)
+{
+    TraceFileWriter writer(path);
+    Machine machine(w.program(), w.input(input));
+    machine.run(&writer, w.maxInstructions());
+    writer.close();
+    std::printf("wrote %llu records to %s\n",
+                static_cast<unsigned long long>(
+                    writer.recordsWritten()),
+                path);
+    return 0;
+}
+
+int
+cmdReplay(const char *path)
+{
+    TraceFileReader reader(path);
+    CountingTraceSink counts;
+    uint64_t n = reader.replay(&counts);
+    std::printf("replayed %llu records: %llu producers, %llu loads, "
+                "%llu stores, %llu branches\n",
+                static_cast<unsigned long long>(n),
+                static_cast<unsigned long long>(counts.producers()),
+                static_cast<unsigned long long>(counts.loads()),
+                static_cast<unsigned long long>(counts.stores()),
+                static_cast<unsigned long long>(counts.branches()));
+    return 0;
+}
+
+int
+cmdProfile(const Workload &w, size_t input, const char *path)
+{
+    ProfileImage image = collectProfile(w, input);
+    image.saveFile(path);
+    std::printf("profiled %zu instructions -> %s\n", image.size(),
+                path);
+    return 0;
+}
+
+int
+cmdAnnotate(const Workload &w, const char *profile_path,
+            const char *threshold_arg)
+{
+    ProfileImage image = ProfileImage::loadFile(profile_path);
+    InserterConfig cfg;
+    if (threshold_arg)
+        cfg.accuracyThresholdPercent = std::atof(threshold_arg);
+    Program program = w.program();
+    InsertionStats stats = insertDirectives(program, image, cfg);
+    std::printf("threshold %.0f%%: tagged %zu of %zu producers "
+                "(%zu stride, %zu last-value)\n",
+                cfg.accuracyThresholdPercent, stats.tagged(),
+                stats.producers, stats.taggedStride,
+                stats.taggedLastValue);
+    std::printf("%s", program.disassemble().c_str());
+    return 0;
+}
+
+int
+cmdClassify(const Workload &w, const char *threshold_arg)
+{
+    InserterConfig cfg;
+    if (threshold_arg)
+        cfg.accuracyThresholdPercent = std::atof(threshold_arg);
+    Program annotated =
+        annotatedProgram(w, trainingInputsFor(w, 0), cfg);
+
+    SaturatingClassifier fsm;
+    ClassificationAccuracy fsm_acc =
+        evaluateClassification(w.program(), w.input(0), fsm);
+    ProfileClassifier prof;
+    ClassificationAccuracy prof_acc =
+        evaluateClassification(annotated, w.input(0), prof);
+
+    std::printf("%-32s %10s %12s\n", "", "FSM",
+                "profile");
+    std::printf("%-32s %9.1f%% %11.1f%%\n", "mispredictions caught",
+                fsm_acc.mispredictionAccuracy(),
+                prof_acc.mispredictionAccuracy());
+    std::printf("%-32s %9.1f%% %11.1f%%\n", "corrects accepted",
+                fsm_acc.correctAccuracy(), prof_acc.correctAccuracy());
+    return 0;
+}
+
+int
+cmdIlp(const Workload &w, const char *window_arg, const char *pen_arg)
+{
+    IlpConfig mc;
+    if (window_arg)
+        mc.windowSize = static_cast<size_t>(std::atoi(window_arg));
+    if (pen_arg)
+        mc.mispredictPenalty =
+            static_cast<unsigned>(std::atoi(pen_arg));
+
+    InserterConfig cfg;
+    Program annotated =
+        annotatedProgram(w, trainingInputsFor(w, 0), cfg);
+
+    IlpResult base = evaluateIlp(w.program(), w.input(0), mc,
+                                 VpPolicy::None, infiniteConfig());
+    IlpResult fsm = evaluateIlp(w.program(), w.input(0), mc,
+                                VpPolicy::Fsm, paperFiniteConfig(true));
+    IlpResult prof = evaluateIlp(annotated, w.input(0), mc,
+                                 VpPolicy::Profile,
+                                 paperFiniteConfig(false));
+    std::printf("window=%zu penalty=%u\n", mc.windowSize,
+                mc.mispredictPenalty);
+    std::printf("  no VP        : %.3f\n", base.ilp());
+    std::printf("  VP + FSM     : %.3f (%+.1f%%)\n", fsm.ilp(),
+                100.0 * (fsm.ilp() / base.ilp() - 1.0));
+    std::printf("  VP + profile : %.3f (%+.1f%%)\n", prof.ilp(),
+                100.0 * (prof.ilp() / base.ilp() - 1.0));
+    return 0;
+}
+
+int
+cmdCritpath(const Workload &w, size_t input)
+{
+    CriticalPathConfig plain;
+    CriticalPathAnalyzer base(plain);
+    runProgram(w.program(), w.input(input), &base,
+               w.maxInstructions());
+    CriticalPathResult r1 = base.finish();
+
+    CriticalPathConfig collapsed;
+    collapsed.collapseCorrectPredictions = true;
+    CriticalPathAnalyzer vp(collapsed);
+    runProgram(w.program(), w.input(input), &vp, w.maxInstructions());
+    CriticalPathResult r2 = vp.finish();
+
+    std::printf("instructions        : %llu\n",
+                static_cast<unsigned long long>(r1.instructions));
+    std::printf("critical path       : %llu (dataflow ILP %.2f)\n",
+                static_cast<unsigned long long>(r1.pathLength),
+                r1.dataflowIlp());
+    std::printf("with VP oracle      : %llu (dataflow ILP %.2f, "
+                "%.1fx shorter)\n",
+                static_cast<unsigned long long>(r2.pathLength),
+                r2.dataflowIlp(),
+                static_cast<double>(r1.pathLength) /
+                    static_cast<double>(r2.pathLength));
+    std::printf("hottest path pcs    :");
+    for (size_t i = 0; i < r1.members.size() && i < 8; ++i) {
+        std::printf(" %llu(x%llu)",
+                    static_cast<unsigned long long>(r1.members[i].pc),
+                    static_cast<unsigned long long>(
+                        r1.members[i].occurrences));
+    }
+    std::printf("\n");
+    return 0;
+}
+
+int
+cmdBlocks(const Workload &w, const char *threshold_arg)
+{
+    InserterConfig cfg;
+    cfg.accuracyThresholdPercent =
+        threshold_arg ? std::atof(threshold_arg) : 70.0;
+    Program annotated =
+        annotatedProgram(w, trainingInputsFor(w, 0), cfg);
+
+    uint64_t plain = 0, collapsed = 0;
+    size_t blocks = 0, tagged_blocks = 0;
+    for (const BlockSchedule &s : analyzeSchedules(annotated)) {
+        plain += s.chainLength;
+        collapsed += s.collapsedChainLength;
+        ++blocks;
+        tagged_blocks += s.tagged > 0 ? 1 : 0;
+    }
+    std::printf("basic blocks          : %zu (%zu contain tagged "
+                "instructions)\n",
+                blocks, tagged_blocks);
+    std::printf("aggregate chain length: %llu\n",
+                static_cast<unsigned long long>(plain));
+    std::printf("with VP-aware schedule: %llu (%.1f%% slack)\n",
+                static_cast<unsigned long long>(collapsed),
+                100.0 * (1.0 - static_cast<double>(collapsed) /
+                                   static_cast<double>(plain)));
+    return 0;
+}
+
+int
+cmdCorrelate(const Workload &w)
+{
+    std::vector<ProfileImage> images;
+    for (size_t i = 0; i < w.numInputSets(); ++i)
+        images.push_back(collectProfile(w, i));
+    AlignedProfileVectors v = alignAccuracy(images);
+    Histogram mmax = decileSpread(maxDistance(v));
+    Histogram mavg = decileSpread(averageDistance(v));
+    AlignedProfileVectors sv = alignStrideEfficiency(images);
+    Histogram savg = decileSpread(averageDistance(sv));
+
+    std::printf("%zu runs, %zu common instructions\n", v.numRuns(),
+                v.dimension());
+    auto low = [](const Histogram &h) {
+        return 100.0 * (h.fraction(0) + h.fraction(1));
+    };
+    std::printf("M(V)max     low-interval mass: %5.1f%%\n", low(mmax));
+    std::printf("M(V)average low-interval mass: %5.1f%%\n", low(mavg));
+    std::printf("M(S)average low-interval mass: %5.1f%%\n", low(savg));
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    std::string cmd = argv[1];
+    WorkloadSuite suite;
+
+    if (cmd == "list")
+        return cmdList(suite);
+    if (argc < 3)
+        return usage();
+
+    if (cmd == "replay")
+        return cmdReplay(argv[2]);
+
+    const Workload *w = findOrDie(suite, argv[2]);
+    if (cmd == "disasm") {
+        std::printf("%s", w->program().disassemble().c_str());
+        return 0;
+    }
+    if (cmd == "run")
+        return cmdRun(*w, inputIndex(*w, argc > 3 ? argv[3] : nullptr));
+    if (cmd == "trace" && argc >= 5)
+        return cmdTrace(*w, inputIndex(*w, argv[3]), argv[4]);
+    if (cmd == "profile" && argc >= 5)
+        return cmdProfile(*w, inputIndex(*w, argv[3]), argv[4]);
+    if (cmd == "annotate" && argc >= 4)
+        return cmdAnnotate(*w, argv[3], argc > 4 ? argv[4] : nullptr);
+    if (cmd == "classify")
+        return cmdClassify(*w, argc > 3 ? argv[3] : nullptr);
+    if (cmd == "ilp")
+        return cmdIlp(*w, argc > 3 ? argv[3] : nullptr,
+                      argc > 4 ? argv[4] : nullptr);
+    if (cmd == "critpath")
+        return cmdCritpath(*w,
+                           inputIndex(*w, argc > 3 ? argv[3] : nullptr));
+    if (cmd == "correlate")
+        return cmdCorrelate(*w);
+    if (cmd == "blocks")
+        return cmdBlocks(*w, argc > 3 ? argv[3] : nullptr);
+    return usage();
+}
