@@ -16,40 +16,51 @@ using namespace vpprof::bench;
 namespace
 {
 
-struct Score
+/** Hybrid accuracy on tagged instructions, as a replayable sink. */
+class HybridScore : public TraceSink
 {
-    uint64_t attempts = 0;
-    uint64_t correct = 0;
-};
+  public:
+    HybridScore()
+        : predictor_([] {
+              HybridConfig cfg;
+              cfg.stride.numEntries = 128;
+              cfg.stride.counterBits = 0;
+              cfg.lastValue.numEntries = 512;
+              cfg.lastValue.counterBits = 0;
+              return cfg;
+          }())
+    {
+    }
 
-Score
-scoreHybrid(const Program &program, const MemoryImage &input)
-{
-    HybridConfig cfg;
-    cfg.stride.numEntries = 128;
-    cfg.stride.counterBits = 0;
-    cfg.lastValue.numEntries = 512;
-    cfg.lastValue.counterBits = 0;
-    HybridPredictor predictor(cfg);
-
-    Score s;
-    CallbackTraceSink sink([&](const TraceRecord &rec) {
+    void
+    record(const TraceRecord &rec) override
+    {
         if (!rec.writesReg)
             return;
         bool tagged = rec.directive != Directive::None;
-        Prediction pred = predictor.predict(rec.pc, rec.directive);
+        Prediction pred = predictor_.predict(rec.pc, rec.directive);
         bool correct = pred.hit && pred.value == rec.value;
         if (tagged && pred.hit) {
-            ++s.attempts;
-            s.correct += correct ? 1 : 0;
+            ++attempts_;
+            correct_ += correct ? 1 : 0;
         }
-        predictor.update(rec.pc, rec.value, correct, rec.directive,
-                         tagged);
-    });
-    Machine machine(program, input);
-    machine.run(&sink);
-    return s;
-}
+        predictor_.update(rec.pc, rec.value, correct, rec.directive,
+                          tagged);
+    }
+
+    double
+    pct() const
+    {
+        return attempts_ == 0
+            ? 0.0 : 100.0 * static_cast<double>(correct_)
+                        / static_cast<double>(attempts_);
+    }
+
+  private:
+    HybridPredictor predictor_;
+    uint64_t attempts_ = 0;
+    uint64_t correct_ = 0;
+};
 
 } // namespace
 
@@ -67,30 +78,51 @@ main()
         std::printf("   cut=%2.0f%%", c);
     std::printf("   (hybrid accuracy on tagged instructions)\n");
 
-    std::vector<double> sums(cuts.size(), 0.0);
-    for (const auto &w : suite().all()) {
-        std::string name(w->name());
-        MemoryImage input = w->input(0);
+    const auto &workloads = suite().all();
+    std::vector<std::vector<double>> rows(workloads.size());
+
+    // Every stride-threshold cut scores one fused replay per workload,
+    // each behind a directive-override view of its own annotation.
+    session().runner().forEach(workloads.size(), [&](size_t i) {
+        const Workload &w = *workloads[i];
+        std::string name(w.name());
         ProfileImage training = trainingProfile(name);
 
-        std::printf("%-10s", name.c_str());
-        for (size_t c = 0; c < cuts.size(); ++c) {
-            Program program = w->program();
+        std::vector<Program> annotated;
+        for (double cut : cuts) {
+            Program program = w.program();
             InserterConfig cfg;
             cfg.accuracyThresholdPercent = 70.0;
-            cfg.strideThresholdPercent = cuts[c];
+            cfg.strideThresholdPercent = cut;
             insertDirectives(program, training, cfg);
-            Score s = scoreHybrid(program, input);
-            double pct = s.attempts == 0
-                ? 0.0 : 100.0 * static_cast<double>(s.correct) /
-                            static_cast<double>(s.attempts);
-            sums[c] += pct;
-            std::printf("    %6.1f", pct);
+            annotated.push_back(std::move(program));
+        }
+
+        std::vector<HybridScore> scores(cuts.size());
+        std::vector<DirectiveOverrideSink> views;
+        views.reserve(cuts.size());
+        std::vector<TraceSink *> sinks;
+        for (size_t c = 0; c < cuts.size(); ++c) {
+            views.emplace_back(annotated[c], &scores[c]);
+            sinks.push_back(&views[c]);
+        }
+        session().replayInto(w, 0, sinks);
+
+        for (const HybridScore &score : scores)
+            rows[i].push_back(score.pct());
+    });
+
+    std::vector<double> sums(cuts.size(), 0.0);
+    for (size_t i = 0; i < workloads.size(); ++i) {
+        std::printf("%-10s", std::string(workloads[i]->name()).c_str());
+        for (size_t c = 0; c < cuts.size(); ++c) {
+            sums[c] += rows[i][c];
+            std::printf("    %6.1f", rows[i][c]);
         }
         std::printf("\n");
     }
     std::printf("%-10s", "average");
-    size_t n = suite().all().size();
+    size_t n = workloads.size();
     for (size_t c = 0; c < cuts.size(); ++c)
         std::printf("    %6.1f", sums[c] / static_cast<double>(n));
     std::printf("\n");
@@ -100,5 +132,6 @@ main()
                 "bimodal (Figure 2.3), so any cut\nbetween the modes "
                 "steers instructions the same way; the paper's 50%% "
                 "is\na robust choice rather than a tuned one.\n");
+    finishBench("bench_ablation_stride_threshold");
     return 0;
 }

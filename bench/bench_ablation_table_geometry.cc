@@ -24,29 +24,54 @@ main()
         std::printf("     %6zu", s);
     std::printf("   (d correct %% at each size)\n");
 
-    for (const auto &w : suite().all()) {
-        std::string name(w->name());
-        MemoryImage input = w->input(0);
+    const auto &workloads = suite().all();
+    std::vector<std::vector<double>> deltas(workloads.size());
+
+    // Every geometry (FSM and profile flavors) consumes one fused
+    // replay per workload.
+    session().runner().forEach(workloads.size(), [&](size_t i) {
+        const Workload &w = *workloads[i];
+        std::string name(w.name());
+        Program base = w.program();
         Program annotated = annotatedAt(name, 90.0);
 
-        std::printf("%-10s", name.c_str());
+        std::vector<FiniteTableEvaluator> evals;
+        std::vector<DirectiveOverrideSink> views;
+        evals.reserve(2 * sizes.size());
+        views.reserve(2 * sizes.size());
+        std::vector<TraceSink *> sinks;
         for (size_t entries : sizes) {
             PredictorConfig fsm_cfg = paperFiniteConfig(true);
             fsm_cfg.numEntries = entries;
             PredictorConfig prof_cfg = paperFiniteConfig(false);
             prof_cfg.numEntries = entries;
 
-            FiniteTableStats fsm = evaluateFiniteTable(
-                w->program(), input, VpPolicy::Fsm, fsm_cfg);
-            FiniteTableStats prof = evaluateFiniteTable(
-                annotated, input, VpPolicy::Profile, prof_cfg);
-            double d = fsm.correctTaken == 0
-                ? 0.0
-                : 100.0 * (static_cast<double>(prof.correctTaken) /
-                               static_cast<double>(fsm.correctTaken) -
-                           1.0);
-            std::printf("    %+6.1f%%", d);
+            evals.emplace_back(VpPolicy::Fsm, fsm_cfg);
+            views.emplace_back(base, &evals.back());
+            sinks.push_back(&views.back());
+            evals.emplace_back(VpPolicy::Profile, prof_cfg);
+            views.emplace_back(annotated, &evals.back());
+            sinks.push_back(&views.back());
         }
+        session().replayInto(w, 0, sinks);
+
+        for (size_t s = 0; s < sizes.size(); ++s) {
+            FiniteTableStats fsm = evals[2 * s].result();
+            FiniteTableStats prof = evals[2 * s + 1].result();
+            deltas[i].push_back(
+                fsm.correctTaken == 0
+                    ? 0.0
+                    : 100.0 *
+                          (static_cast<double>(prof.correctTaken) /
+                               static_cast<double>(fsm.correctTaken) -
+                           1.0));
+        }
+    });
+
+    for (size_t i = 0; i < workloads.size(); ++i) {
+        std::printf("%-10s", std::string(workloads[i]->name()).c_str());
+        for (double d : deltas[i])
+            std::printf("    %+6.1f%%", d);
         std::printf("\n");
     }
 
@@ -56,5 +81,6 @@ main()
                 "grows; with 4096 entries nearly every working set "
                 "fits and\nthe FSM's broader coverage wins back "
                 "ground.\n");
+    finishBench("bench_ablation_table_geometry");
     return 0;
 }

@@ -51,5 +51,6 @@ main()
         "li, mgrid) gain the\nmost, the hash-bound compress the "
         "least — mirroring Table 5.2's ILP\nordering at the "
         "basic-block granularity.\n");
+    finishBench("bench_block_schedule");
     return 0;
 }

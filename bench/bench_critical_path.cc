@@ -27,21 +27,30 @@ main()
     std::printf("%-10s %12s %10s %12s %10s %9s\n", "benchmark",
                 "path", "df-ILP", "path w/ VP", "df-ILP", "shorter");
 
-    for (const auto &w : suite().all()) {
-        CriticalPathAnalyzer plain;
-        runProgram(w->program(), w->input(0), &plain,
-                   w->maxInstructions());
-        CriticalPathResult base = plain.finish();
+    const auto &workloads = suite().all();
+    struct Row
+    {
+        CriticalPathResult base, vp;
+    };
+    std::vector<Row> rows(workloads.size());
 
+    // Plain and oracle analyzers consume one fused replay of the
+    // cached trace per workload.
+    session().runner().forEach(workloads.size(), [&](size_t i) {
+        const Workload &w = *workloads[i];
+        CriticalPathAnalyzer plain;
         CriticalPathConfig cfg;
         cfg.collapseCorrectPredictions = true;
         CriticalPathAnalyzer oracle(cfg);
-        runProgram(w->program(), w->input(0), &oracle,
-                   w->maxInstructions());
-        CriticalPathResult vp = oracle.finish();
+        session().replayInto(w, 0, {&plain, &oracle});
+        rows[i] = {plain.finish(), oracle.finish()};
+    });
 
+    for (size_t i = 0; i < workloads.size(); ++i) {
+        const CriticalPathResult &base = rows[i].base;
+        const CriticalPathResult &vp = rows[i].vp;
         std::printf("%-10s %12llu %10.2f %12llu %10.2f %8.1fx\n",
-                    std::string(w->name()).c_str(),
+                    std::string(workloads[i]->name()).c_str(),
                     static_cast<unsigned long long>(base.pathLength),
                     base.dataflowIlp(),
                     static_cast<unsigned long long>(vp.pathLength),
@@ -54,8 +63,7 @@ main()
     {
         const Workload *go = suite().find("go");
         CriticalPathAnalyzer plain;
-        runProgram(go->program(), go->input(0), &plain,
-                   go->maxInstructions());
+        session().runTrace(*go, 0, &plain);
         CriticalPathResult base = plain.finish();
         for (size_t i = 0; i < base.members.size() && i < 6; ++i) {
             std::printf("  pc %-6llu x%llu\n",
@@ -71,5 +79,6 @@ main()
         "every critical\npath — dramatically for the predictable "
         "benchmarks (m88ksim, li, mgrid),\nmodestly for compress. "
         "This is the mechanism behind every ILP gain in\nTable 5.2.\n");
+    finishBench("bench_critical_path");
     return 0;
 }

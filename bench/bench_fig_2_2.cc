@@ -49,5 +49,6 @@ main()
     std::printf("\npaper: ~30%% of instructions above 90%% accuracy, "
                 "~40%% below 10%%.\nexpected shape: mass concentrated "
                 "in the two extreme deciles.\n");
+    finishBench("bench_fig_2_2");
     return 0;
 }

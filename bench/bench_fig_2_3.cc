@@ -53,5 +53,6 @@ main()
     std::printf("\npaper: most instructions sit at the extremes - a "
                 "small stride-patterned\nsubset near 100%% and a large "
                 "last-value subset near 0%%.\n");
+    finishBench("bench_fig_2_3");
     return 0;
 }

@@ -47,5 +47,6 @@ main()
     std::printf("\npaper: \"in all the benchmarks most of the "
                 "coordinates are spread across\nthe lower intervals\" - "
                 "expect the same concentration here.\n");
+    finishBench("bench_fig_4_1");
     return 0;
 }

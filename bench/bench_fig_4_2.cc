@@ -40,5 +40,6 @@ main()
     std::printf("\npaper: same concentration as Figure 4.1 but "
                 "stronger, since the average\nmetric is less strict "
                 "than the max metric.\n");
+    finishBench("bench_fig_4_2");
     return 0;
 }

@@ -41,5 +41,6 @@ main()
     std::printf("\npaper: the set of stride-patterned instructions is "
                 "independent of the\nprogram's inputs, so profiling "
                 "detects it reliably.\n");
+    finishBench("bench_fig_4_3");
     return 0;
 }

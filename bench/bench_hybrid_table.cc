@@ -28,20 +28,31 @@ main()
                 "fsm corr", "wrong", "mono corr", "wrong", "hyb corr",
                 "wrong");
 
-    for (const auto &w : suite().all()) {
-        std::string name(w->name());
-        MemoryImage input = w->input(0);
+    const auto &workloads = suite().all();
+    struct Row
+    {
+        FiniteTableStats fsm, single, hyb;
+    };
+    std::vector<Row> rows(workloads.size());
+
+    // All three table organizations consume one fused replay per
+    // workload.
+    session().runner().forEach(workloads.size(), [&](size_t i) {
+        const Workload &w = *workloads[i];
+        std::string name(w.name());
+        Program base = w.program();
         Program annotated = annotatedAt(name, 70.0);
 
         // Baseline: the paper's 512x2 stride table with FSM counters.
-        FiniteTableStats fsm = evaluateFiniteTable(
-            w->program(), input, VpPolicy::Fsm, paperFiniteConfig(true));
+        FiniteTableEvaluator fsm_eval(VpPolicy::Fsm,
+                                      paperFiniteConfig(true));
+        DirectiveOverrideSink fsm_view(base, &fsm_eval);
 
         // Equal-budget single stride table, profile-steered.
         PredictorConfig mono = paperFiniteConfig(false);
         mono.numEntries = 640;
-        FiniteTableStats single = evaluateFiniteTable(
-            annotated, input, VpPolicy::Profile, mono);
+        FiniteTableEvaluator single_eval(VpPolicy::Profile, mono);
+        DirectiveOverrideSink single_view(annotated, &single_eval);
 
         // Hybrid: 128 stride fields + 512 last-value entries.
         HybridConfig hybrid;
@@ -51,8 +62,20 @@ main()
         hybrid.lastValue.numEntries = 512;
         hybrid.lastValue.associativity = 2;
         hybrid.lastValue.counterBits = 0;
-        FiniteTableStats hyb =
-            evaluateHybridTable(annotated, input, hybrid);
+        HybridTableEvaluator hyb_eval(hybrid);
+        DirectiveOverrideSink hyb_view(annotated, &hyb_eval);
+
+        session().replayInto(w, 0,
+                             {&fsm_view, &single_view, &hyb_view});
+        rows[i] = {fsm_eval.result(), single_eval.result(),
+                   hyb_eval.result()};
+    });
+
+    for (size_t i = 0; i < workloads.size(); ++i) {
+        std::string name(workloads[i]->name());
+        const FiniteTableStats &fsm = rows[i].fsm;
+        const FiniteTableStats &single = rows[i].single;
+        const FiniteTableStats &hyb = rows[i].hyb;
 
         std::printf("%-10s | %9llu %9llu | %9llu %9llu | %9llu "
                     "%9llu\n",
@@ -75,5 +98,6 @@ main()
         "spending a quarter of the stride\nfields — the paper's "
         "utilization argument. Both profile-steered designs\nmake far "
         "fewer wrong predictions than the FSM baseline.\n");
+    finishBench("bench_hybrid_table");
     return 0;
 }

@@ -62,9 +62,10 @@ main()
 
     // FP benchmark split into init/computation phases.
     const Workload *mgrid = suite().find("mgrid");
-    std::vector<PhasedProfiles> phased;
-    for (size_t i = 0; i < mgrid->numInputSets(); ++i)
-        phased.push_back(collectPhasedProfile(*mgrid, i));
+    std::vector<PhasedProfiles> phased(mgrid->numInputSets());
+    session().runner().forEach(phased.size(), [&](size_t i) {
+        phased[i] = session().collectPhasedProfile(*mgrid, i);
+    });
     std::vector<const ProfileImage *> fp_init, fp_comp;
     for (const PhasedProfiles &p : phased) {
         fp_init.push_back(&p.init);
@@ -95,5 +96,6 @@ main()
         "integer code with S >= L overall; the FP init phase is highly\n"
         "stride-predictable for FP loads (S >> L); the FP compute phase\n"
         "is harder for both.\n");
+    finishBench("bench_table_2_1");
     return 0;
 }

@@ -38,26 +38,60 @@ main()
         std::printf(" %8.0f%%", t);
     std::printf("   (measured, %% increase over no-VP)\n");
 
-    for (const auto &w : suite().all()) {
-        std::string name(w->name());
-        MemoryImage input = w->input(0);
+    struct Row
+    {
+        IlpResult base;
+        IlpResult fsm;
+        std::vector<IlpResult> prof;  // per threshold
+    };
+    const auto &workloads = suite().all();
+    std::vector<Row> rows(workloads.size());
 
-        IlpResult base = evaluateIlp(w->program(), input, machine_cfg,
-                                     VpPolicy::None, infiniteConfig());
-        IlpResult fsm = evaluateIlp(w->program(), input, machine_cfg,
-                                    VpPolicy::Fsm,
-                                    paperFiniteConfig(true));
+    // One cell per workload; the no-VP baseline, the FSM machine and
+    // all five profile-guided machines consume one fused replay.
+    session().runner().forEach(workloads.size(), [&](size_t i) {
+        const Workload &w = *workloads[i];
+        std::string name(w.name());
 
-        std::printf("%-10s %8.2f | %+7.1f%%", name.c_str(), base.ilp(),
-                    100.0 * (fsm.ilp() / base.ilp() - 1.0));
-        for (double threshold : kThresholds) {
-            Program annotated = annotatedAt(name, threshold);
-            IlpResult prof = evaluateIlp(annotated, input, machine_cfg,
-                                         VpPolicy::Profile,
-                                         paperFiniteConfig(false));
-            std::printf(" %+8.1f",
-                        100.0 * (prof.ilp() / base.ilp() - 1.0));
+        std::vector<Program> annotated;
+        for (double threshold : kThresholds)
+            annotated.push_back(annotatedAt(name, threshold));
+
+        DataflowEngine base_engine(machine_cfg, VpPolicy::None, nullptr);
+        StridePredictor fsm_pred(paperFiniteConfig(true));
+        DataflowEngine fsm_engine(machine_cfg, VpPolicy::Fsm, &fsm_pred);
+
+        std::vector<StridePredictor> prof_preds;
+        std::vector<DataflowEngine> prof_engines;
+        std::vector<DirectiveOverrideSink> prof_views;
+        prof_preds.reserve(kThresholds.size());
+        prof_engines.reserve(kThresholds.size());
+        prof_views.reserve(kThresholds.size());
+        std::vector<TraceSink *> sinks = {&base_engine, &fsm_engine};
+        for (size_t t = 0; t < kThresholds.size(); ++t) {
+            prof_preds.emplace_back(paperFiniteConfig(false));
+            prof_engines.emplace_back(machine_cfg, VpPolicy::Profile,
+                                      &prof_preds[t]);
+            prof_views.emplace_back(annotated[t], &prof_engines[t]);
+            sinks.push_back(&prof_views[t]);
         }
+        session().replayInto(w, 0, sinks);
+
+        rows[i].base = base_engine.result();
+        rows[i].fsm = fsm_engine.result();
+        for (const DataflowEngine &engine : prof_engines)
+            rows[i].prof.push_back(engine.result());
+    });
+
+    for (size_t i = 0; i < workloads.size(); ++i) {
+        std::string name(workloads[i]->name());
+        const Row &row = rows[i];
+        std::printf("%-10s %8.2f | %+7.1f%%", name.c_str(),
+                    row.base.ilp(),
+                    100.0 * (row.fsm.ilp() / row.base.ilp() - 1.0));
+        for (const IlpResult &prof : row.prof)
+            std::printf(" %+8.1f",
+                        100.0 * (prof.ilp() / row.base.ilp() - 1.0));
         auto it = paper.find(name);
         std::printf("   paper:");
         for (int v : it->second)
@@ -71,5 +105,6 @@ main()
         "VP+SC, and the\nprofile-guided gain tends to GROW as the "
         "threshold drops 90%% -> 50%%\n(more correct predictions "
         "outweigh the extra mispredictions at a\n1-cycle penalty).\n");
+    finishBench("bench_table_5_2");
     return 0;
 }

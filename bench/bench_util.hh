@@ -1,24 +1,40 @@
 /**
  * @file
- * Shared helpers for the reproduction benches: cached profile
- * collection (several benches profile the same runs), aggregate
- * accuracy math, and output conventions.
+ * Shared helpers for the reproduction benches: the bench-wide Session
+ * (trace-once VM execution, cached profiles, optional parallel sweep
+ * cells), aggregate accuracy math, and output conventions.
  *
  * Every bench prints the paper's reported numbers (where the text
  * gives them) next to our measured values. Absolute agreement is not
  * expected — the workloads are synthetic stand-ins — but the *shape*
  * (who wins, orderings, trends across thresholds) should match.
+ *
+ * Environment knobs (read once, at first session() use):
+ *  - VPPROF_JOBS: sweep-cell parallelism (0 = all cores; default 1).
+ *  - VPPROF_TRACE_CACHE: directory of persistent trace files reused
+ *    across bench processes (captured on first use).
+ *
+ * finishBench(name) closes a bench: it asserts the trace-once
+ * invariant (no (workload, input) pair was interpreted more than
+ * once), and records wall time plus session counters into
+ * BENCH_session.json in the working directory.
  */
 
 #ifndef VPPROF_BENCH_BENCH_UTIL_HH
 #define VPPROF_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "core/evaluators.hh"
 #include "core/experiment.hh"
+#include "core/session.hh"
 #include "profile/correlation.hh"
 
 namespace vpprof
@@ -37,18 +53,31 @@ suite()
     return s;
 }
 
+inline SessionConfig
+sessionConfigFromEnv()
+{
+    SessionConfig cfg;
+    cfg.jobs = 1;
+    if (const char *jobs = std::getenv("VPPROF_JOBS"))
+        cfg.jobs = static_cast<unsigned>(std::strtoul(jobs, nullptr, 10));
+    if (const char *dir = std::getenv("VPPROF_TRACE_CACHE"))
+        cfg.traceCacheDir = dir;
+    return cfg;
+}
+
+/** The bench-wide Session: every VM pass in a bench goes through it. */
+inline Session &
+session()
+{
+    static Session s(sessionConfigFromEnv());
+    return s;
+}
+
 /** Cached per-(workload, input) profile image. */
 inline const ProfileImage &
 cachedProfile(const std::string &name, size_t input)
 {
-    static std::map<std::pair<std::string, size_t>, ProfileImage> cache;
-    auto key = std::make_pair(name, input);
-    auto it = cache.find(key);
-    if (it == cache.end()) {
-        const Workload *w = suite().find(name);
-        it = cache.emplace(key, collectProfile(*w, input)).first;
-    }
-    return it->second;
+    return session().collectProfile(*suite().find(name), input);
 }
 
 /** Merged profile over the training inputs for evaluation input 0. */
@@ -56,23 +85,19 @@ inline ProfileImage
 trainingProfile(const std::string &name)
 {
     const Workload *w = suite().find(name);
-    ProfileImage merged(name);
-    for (size_t idx : trainingInputsFor(*w, 0))
-        merged.merge(cachedProfile(name, idx));
-    return merged;
+    return session().collectMergedProfile(*w, trainingInputsFor(*w, 0));
 }
 
 /** Annotated copy of a workload program at a threshold (trains on
- *  inputs 1..n-1, reusing the cached profiles). */
+ *  inputs 1..n-1; the merged training profile is memoized in the
+ *  session, so threshold sweeps re-annotate without re-profiling). */
 inline Program
 annotatedAt(const std::string &name, double threshold_pct)
 {
     const Workload *w = suite().find(name);
-    Program program = w->program();
     InserterConfig cfg;
     cfg.accuracyThresholdPercent = threshold_pct;
-    insertDirectives(program, trainingProfile(name), cfg);
-    return program;
+    return session().annotatedProgram(*w, trainingInputsFor(*w, 0), cfg);
 }
 
 /** Aggregate dynamic accuracy (percent) over an image, one OpClass. */
@@ -113,16 +138,87 @@ accuracyOfClass(const ProfileImage &image, OpClass cls)
     return acc;
 }
 
-/** Banner printed at the top of every bench. */
+inline std::chrono::steady_clock::time_point &
+benchStartTime()
+{
+    static std::chrono::steady_clock::time_point t =
+        std::chrono::steady_clock::now();
+    return t;
+}
+
+/** Banner printed at the top of every bench; starts the wall clock. */
 inline void
 banner(const char *title, const char *paper_ref)
 {
+    benchStartTime() = std::chrono::steady_clock::now();
     std::printf("==============================================="
                 "=============\n");
     std::printf("%s\n", title);
     std::printf("reproduces: %s\n", paper_ref);
     std::printf("==============================================="
                 "=============\n\n");
+}
+
+/**
+ * Close a bench: assert the trace-once invariant, print the session
+ * counters, and merge this bench's wall time into BENCH_session.json
+ * (one self-produced entry per line, so concurrent benches of the
+ * suite runner can each rewrite their own line).
+ */
+inline void
+finishBench(const char *bench_name)
+{
+    using namespace std::chrono;
+    double wall_ms = duration_cast<duration<double, std::milli>>(
+                         steady_clock::now() - benchStartTime())
+                         .count();
+
+    TraceRepoStats st = session().traces().stats();
+    if (st.vmRuns > st.uniqueTraces)
+        vpprof_panic("trace-once violated in ", bench_name, ": ",
+                     st.vmRuns, " VM runs for ", st.uniqueTraces,
+                     " unique (workload, input) traces");
+
+    std::ostringstream entry;
+    entry << "  \"" << bench_name << "\": {\"wall_ms\": " << wall_ms
+          << ", \"jobs\": " << session().runner().jobs()
+          << ", \"vm_runs\": " << st.vmRuns
+          << ", \"disk_loads\": " << st.diskLoads
+          << ", \"replays\": " << st.replays
+          << ", \"unique_traces\": " << st.uniqueTraces
+          << ", \"spilled_traces\": " << st.spilledTraces << "}";
+
+    const std::string path = "BENCH_session.json";
+    const std::string key = std::string("  \"") + bench_name + "\":";
+    std::vector<std::string> entries;
+    {
+        std::ifstream in(path);
+        std::string line;
+        while (std::getline(in, line)) {
+            if (line.empty() || line == "{" || line == "}")
+                continue;
+            if (line.size() >= 2 && line.substr(line.size() - 1) == ",")
+                line.pop_back();
+            if (line.rfind(key, 0) == 0)
+                continue;  // replaced below
+            entries.push_back(line);
+        }
+    }
+    entries.push_back(entry.str());
+
+    std::ofstream out(path, std::ios::trunc);
+    out << "{\n";
+    for (size_t i = 0; i < entries.size(); ++i)
+        out << entries[i] << (i + 1 < entries.size() ? "," : "") << "\n";
+    out << "}\n";
+
+    std::printf("\n[session] jobs=%u vm_runs=%llu disk_loads=%llu "
+                "replays=%llu wall=%.1fms -> %s\n",
+                session().runner().jobs(),
+                static_cast<unsigned long long>(st.vmRuns),
+                static_cast<unsigned long long>(st.diskLoads),
+                static_cast<unsigned long long>(st.replays), wall_ms,
+                path.c_str());
 }
 
 } // namespace bench

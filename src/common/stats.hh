@@ -53,6 +53,14 @@ class RatioStat
     /** hits / total as a percentage. */
     double percent() const { return fraction() * 100.0; }
 
+    /** Fold another accumulator in (parallel per-shard collection). */
+    void
+    merge(const RatioStat &other)
+    {
+        hits_ += other.hits_;
+        total_ += other.total_;
+    }
+
     void
     reset()
     {
@@ -79,6 +87,14 @@ class MeanStat
     uint64_t count() const { return count_; }
     double sum() const { return sum_; }
     double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+
+    /** Fold another accumulator in (parallel per-shard collection). */
+    void
+    merge(const MeanStat &other)
+    {
+        sum_ += other.sum_;
+        count_ += other.count_;
+    }
 
     void
     reset()

@@ -1,0 +1,116 @@
+#include "core/evaluators.hh"
+
+#include "common/logging.hh"
+
+namespace vpprof
+{
+
+ClassificationEvaluator::ClassificationEvaluator(Classifier &classifier)
+    : classifier_(classifier),
+      predictor_(infiniteConfig())
+{
+}
+
+void
+ClassificationEvaluator::record(const TraceRecord &rec)
+{
+    if (!rec.writesReg)
+        return;
+    Prediction pred = predictor_.predict(rec.pc, rec.directive);
+    bool correct = pred.hit && pred.value == rec.value;
+    if (pred.hit) {
+        bool take = classifier_.shouldPredict(rec.pc, rec.directive);
+        if (correct) {
+            ++acc_.corrects;
+            if (take)
+                ++acc_.correctsAccepted;
+        } else {
+            ++acc_.mispredictions;
+            if (!take)
+                ++acc_.mispredictionsCaught;
+        }
+        classifier_.train(rec.pc, correct);
+    }
+    predictor_.update(rec.pc, rec.value, correct, rec.directive, true);
+}
+
+FiniteTableEvaluator::FiniteTableEvaluator(VpPolicy policy,
+                                           const PredictorConfig &config)
+    : policy_(policy),
+      predictor_(config)
+{
+    if (policy != VpPolicy::Fsm && policy != VpPolicy::Profile)
+        vpprof_panic("evaluateFiniteTable: policy must be Fsm or "
+                     "Profile");
+}
+
+void
+FiniteTableEvaluator::record(const TraceRecord &rec)
+{
+    if (!rec.writesReg)
+        return;
+    ++stats_.producers;
+    bool tagged = rec.directive != Directive::None;
+    bool candidate = policy_ == VpPolicy::Profile ? tagged : true;
+    if (candidate)
+        ++stats_.candidates;
+
+    Prediction pred = predictor_.predict(rec.pc, rec.directive);
+    bool use = policy_ == VpPolicy::Fsm
+        ? pred.hit && pred.counterApproves
+        : pred.hit && tagged;
+    bool correct = pred.hit && pred.value == rec.value;
+    if (use) {
+        if (correct)
+            ++stats_.correctTaken;
+        else
+            ++stats_.incorrectTaken;
+    }
+    predictor_.update(rec.pc, rec.value, correct, rec.directive,
+                      candidate);
+}
+
+FiniteTableStats
+FiniteTableEvaluator::result() const
+{
+    FiniteTableStats stats = stats_;
+    stats.evictions = predictor_.evictions();
+    return stats;
+}
+
+HybridTableEvaluator::HybridTableEvaluator(const HybridConfig &config)
+    : predictor_(config)
+{
+}
+
+void
+HybridTableEvaluator::record(const TraceRecord &rec)
+{
+    if (!rec.writesReg)
+        return;
+    ++stats_.producers;
+    bool tagged = rec.directive != Directive::None;
+    if (tagged)
+        ++stats_.candidates;
+
+    Prediction pred = predictor_.predict(rec.pc, rec.directive);
+    bool correct = pred.hit && pred.value == rec.value;
+    if (pred.hit && tagged) {
+        if (correct)
+            ++stats_.correctTaken;
+        else
+            ++stats_.incorrectTaken;
+    }
+    predictor_.update(rec.pc, rec.value, correct, rec.directive,
+                      tagged);
+}
+
+FiniteTableStats
+HybridTableEvaluator::result() const
+{
+    FiniteTableStats stats = stats_;
+    stats.evictions = predictor_.evictions();
+    return stats;
+}
+
+} // namespace vpprof

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Streaming evaluators: the per-record measurement loops of Section 5,
+ * factored out of the experiment free functions into reusable
+ * TraceSinks so the same code runs attached directly to a Machine
+ * (one-shot evaluation) or replayed from a Session's cached trace
+ * (trace-once, evaluate-many). Several evaluators can share one pass
+ * over a trace via MultiTraceSink.
+ *
+ * Re-entrancy contract: every evaluator owns its predictor tables and
+ * counters; nothing here touches global state, so concurrent
+ * evaluations are safe as long as each thread drives its own evaluator
+ * instances (and its own Classifier — classifiers hold run-time
+ * counters too).
+ */
+
+#ifndef VPPROF_CORE_EVALUATORS_HH
+#define VPPROF_CORE_EVALUATORS_HH
+
+#include "core/experiment.hh"
+#include "predictors/hybrid_predictor.hh"
+#include "predictors/stride_predictor.hh"
+#include "vm/trace.hh"
+
+namespace vpprof
+{
+
+/**
+ * Rewrites each record's directive from a (possibly annotated) static
+ * program before forwarding to an inner sink.
+ *
+ * Directives are pure metadata: they never change control flow or
+ * computed values, only the `directive` field the Machine copies into
+ * each record. One raw trace captured from the un-annotated program
+ * therefore replays for *any* annotation of the same program — the
+ * observation the trace-once Session architecture rests on.
+ */
+class DirectiveOverrideSink : public TraceSink
+{
+  public:
+    /** @param program Annotation source; held by reference, not owned. */
+    DirectiveOverrideSink(const Program &program, TraceSink *inner)
+        : program_(program), inner_(inner)
+    {
+    }
+
+    void
+    record(const TraceRecord &rec) override
+    {
+        TraceRecord out = rec;
+        out.directive = program_.at(rec.pc).directive;
+        inner_->record(out);
+    }
+
+  private:
+    const Program &program_;
+    TraceSink *inner_;
+};
+
+/**
+ * The classification-accuracy loop of Subsection 5.1: an infinite
+ * stride predictor attempts every value-producing instruction; the
+ * classifier rules each attempt in or out.
+ */
+class ClassificationEvaluator : public TraceSink
+{
+  public:
+    /** @param classifier Ruled-in/out decisions; held by reference. */
+    explicit ClassificationEvaluator(Classifier &classifier);
+
+    void record(const TraceRecord &rec) override;
+
+    const ClassificationAccuracy &result() const { return acc_; }
+
+  private:
+    Classifier &classifier_;
+    StridePredictor predictor_;
+    ClassificationAccuracy acc_;
+};
+
+/**
+ * The finite-table loop of Subsection 5.2: a finite stride predictor
+ * driven either by per-entry saturating counters (VpPolicy::Fsm) or by
+ * opcode directives with allocate-tagged-only (VpPolicy::Profile).
+ */
+class FiniteTableEvaluator : public TraceSink
+{
+  public:
+    FiniteTableEvaluator(VpPolicy policy, const PredictorConfig &config);
+
+    void record(const TraceRecord &rec) override;
+
+    /** Stats so far (evictions included). */
+    FiniteTableStats result() const;
+
+  private:
+    VpPolicy policy_;
+    StridePredictor predictor_;
+    FiniteTableStats stats_;
+};
+
+/**
+ * The hybrid two-table loop (Section 3.2's proposal): stride plus
+ * last-value sub-tables, steered and allocated purely by directives.
+ */
+class HybridTableEvaluator : public TraceSink
+{
+  public:
+    explicit HybridTableEvaluator(const HybridConfig &config);
+
+    void record(const TraceRecord &rec) override;
+
+    FiniteTableStats result() const;
+
+  private:
+    HybridPredictor predictor_;
+    FiniteTableStats stats_;
+};
+
+} // namespace vpprof
+
+#endif // VPPROF_CORE_EVALUATORS_HH

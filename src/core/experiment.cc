@@ -1,17 +1,25 @@
 #include "core/experiment.hh"
 
 #include "common/logging.hh"
+#include "core/evaluators.hh"
+#include "core/session.hh"
 #include "predictors/stride_predictor.hh"
 #include "profile/profile_collector.hh"
 
 namespace vpprof
 {
 
+// The workload-keyed pipelines delegate to the process-wide Session:
+// each (workload, input) pair is interpreted at most once per process
+// and replayed from the cached trace thereafter. The raw
+// (Program, MemoryImage) evaluators below cannot be keyed, so they
+// drive the Machine directly — through the same evaluator sinks the
+// Session uses, so both paths share one measurement loop.
+
 RunResult
 runTrace(const Workload &workload, size_t input_idx, TraceSink *sink)
 {
-    return runProgram(workload.program(), workload.input(input_idx),
-                      sink, workload.maxInstructions());
+    return defaultSession().runTrace(workload, input_idx, sink);
 }
 
 RunResult
@@ -29,38 +37,13 @@ runProgram(const Program &program, const MemoryImage &image,
 ProfileImage
 collectProfile(const Workload &workload, size_t input_idx)
 {
-    ProfileCollector collector(std::string(workload.name()));
-    runTrace(workload, input_idx, &collector);
-    return collector.takeImage();
+    return defaultSession().collectProfile(workload, input_idx);
 }
 
 PhasedProfiles
 collectPhasedProfile(const Workload &workload, size_t input_idx)
 {
-    auto split = workload.phaseSplitPc();
-    if (!split)
-        vpprof_fatal("workload '", workload.name(),
-                     "' has no phase split pc");
-
-    ProfileCollector init_collector(std::string(workload.name()) +
-                                    ".init");
-    ProfileCollector comp_collector(std::string(workload.name()) +
-                                    ".comp");
-    bool in_compute = false;
-    CallbackTraceSink sink([&](const TraceRecord &rec) {
-        if (!in_compute && rec.pc == *split)
-            in_compute = true;
-        if (in_compute)
-            comp_collector.record(rec);
-        else
-            init_collector.record(rec);
-    });
-    runTrace(workload, input_idx, &sink);
-
-    PhasedProfiles phases;
-    phases.init = init_collector.takeImage();
-    phases.compute = comp_collector.takeImage();
-    return phases;
+    return defaultSession().collectPhasedProfile(workload, input_idx);
 }
 
 std::vector<size_t>
@@ -78,12 +61,7 @@ ProfileImage
 collectMergedProfile(const Workload &workload,
                      const std::vector<size_t> &inputs)
 {
-    if (inputs.empty())
-        vpprof_fatal("collectMergedProfile: no training inputs");
-    ProfileImage merged(std::string(workload.name()));
-    for (size_t idx : inputs)
-        merged.merge(collectProfile(workload, idx));
-    return merged;
+    return defaultSession().collectMergedProfile(workload, inputs);
 }
 
 Program
@@ -91,80 +69,26 @@ annotatedProgram(const Workload &workload,
                  const std::vector<size_t> &train_inputs,
                  const InserterConfig &config)
 {
-    ProfileImage image = collectMergedProfile(workload, train_inputs);
-    Program program = workload.program();  // copy
-    insertDirectives(program, image, config);
-    return program;
+    return defaultSession().annotatedProgram(workload, train_inputs,
+                                             config);
 }
 
 ClassificationAccuracy
 evaluateClassification(const Program &program, const MemoryImage &image,
                        Classifier &classifier)
 {
-    StridePredictor predictor(infiniteConfig());
-    ClassificationAccuracy acc;
-
-    CallbackTraceSink sink([&](const TraceRecord &rec) {
-        if (!rec.writesReg)
-            return;
-        Prediction pred = predictor.predict(rec.pc, rec.directive);
-        bool correct = pred.hit && pred.value == rec.value;
-        if (pred.hit) {
-            bool take = classifier.shouldPredict(rec.pc, rec.directive);
-            if (correct) {
-                ++acc.corrects;
-                if (take)
-                    ++acc.correctsAccepted;
-            } else {
-                ++acc.mispredictions;
-                if (!take)
-                    ++acc.mispredictionsCaught;
-            }
-            classifier.train(rec.pc, correct);
-        }
-        predictor.update(rec.pc, rec.value, correct, rec.directive,
-                         true);
-    });
-    runProgram(program, image, &sink);
-    return acc;
+    ClassificationEvaluator evaluator(classifier);
+    runProgram(program, image, &evaluator);
+    return evaluator.result();
 }
 
 FiniteTableStats
 evaluateFiniteTable(const Program &program, const MemoryImage &image,
                     VpPolicy policy, const PredictorConfig &config)
 {
-    if (policy != VpPolicy::Fsm && policy != VpPolicy::Profile)
-        vpprof_panic("evaluateFiniteTable: policy must be Fsm or "
-                     "Profile");
-    StridePredictor predictor(config);
-    FiniteTableStats stats;
-
-    CallbackTraceSink sink([&](const TraceRecord &rec) {
-        if (!rec.writesReg)
-            return;
-        ++stats.producers;
-        bool tagged = rec.directive != Directive::None;
-        bool candidate = policy == VpPolicy::Profile ? tagged : true;
-        if (candidate)
-            ++stats.candidates;
-
-        Prediction pred = predictor.predict(rec.pc, rec.directive);
-        bool use = policy == VpPolicy::Fsm
-            ? pred.hit && pred.counterApproves
-            : pred.hit && tagged;
-        bool correct = pred.hit && pred.value == rec.value;
-        if (use) {
-            if (correct)
-                ++stats.correctTaken;
-            else
-                ++stats.incorrectTaken;
-        }
-        predictor.update(rec.pc, rec.value, correct, rec.directive,
-                         candidate);
-    });
-    runProgram(program, image, &sink);
-    stats.evictions = predictor.evictions();
-    return stats;
+    FiniteTableEvaluator evaluator(policy, config);
+    runProgram(program, image, &evaluator);
+    return evaluator.result();
 }
 
 IlpResult
@@ -184,31 +108,9 @@ FiniteTableStats
 evaluateHybridTable(const Program &program, const MemoryImage &image,
                     const HybridConfig &config)
 {
-    HybridPredictor predictor(config);
-    FiniteTableStats stats;
-
-    CallbackTraceSink sink([&](const TraceRecord &rec) {
-        if (!rec.writesReg)
-            return;
-        ++stats.producers;
-        bool tagged = rec.directive != Directive::None;
-        if (tagged)
-            ++stats.candidates;
-
-        Prediction pred = predictor.predict(rec.pc, rec.directive);
-        bool correct = pred.hit && pred.value == rec.value;
-        if (pred.hit && tagged) {
-            if (correct)
-                ++stats.correctTaken;
-            else
-                ++stats.incorrectTaken;
-        }
-        predictor.update(rec.pc, rec.value, correct, rec.directive,
-                         tagged);
-    });
-    runProgram(program, image, &sink);
-    stats.evictions = predictor.evictions();
-    return stats;
+    HybridTableEvaluator evaluator(config);
+    runProgram(program, image, &evaluator);
+    return evaluator.result();
 }
 
 PredictorConfig

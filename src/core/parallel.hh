@@ -1,0 +1,104 @@
+/**
+ * @file
+ * ExperimentRunner: a small fixed-size thread pool that fans
+ * independent experiment cells — (workload × input × threshold) sweep
+ * points — out across cores with deterministic, index-ordered result
+ * collection.
+ *
+ * Determinism contract: forEach(n, fn) calls fn(i) exactly once for
+ * every i in [0, n), in an unspecified order and possibly concurrently.
+ * Callers write results into a pre-sized vector at index i and perform
+ * any cross-cell reduction *after* forEach returns, in index order, so
+ * the outcome is bit-identical for every jobs count (the determinism
+ * test pins jobs=1 against jobs=8 across the whole suite).
+ *
+ * Re-entrancy audit (what a cell body may touch):
+ *  - Value predictors, classifiers, ProfileCollector and the dataflow
+ *    engines keep all state in instance members — no mutable statics —
+ *    but predict()/lookup() update LRU clocks and classifier counters
+ *    train, so every cell must construct its OWN instances; instances
+ *    are never shared across threads.
+ *  - Session/TraceRepository calls are internally synchronized and may
+ *    be shared freely across cells.
+ *  - Stats accumulators (RatioStat, MeanStat, Histogram,
+ *    CountingTraceSink, ProfileImage) are mergeable: accumulate
+ *    per-cell, then merge(…) in index order after the barrier.
+ */
+
+#ifndef VPPROF_CORE_PARALLEL_HH
+#define VPPROF_CORE_PARALLEL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vpprof
+{
+
+/** Fixed-size worker pool for embarrassingly parallel sweep cells. */
+class ExperimentRunner
+{
+  public:
+    /**
+     * @param jobs Worker count; 0 picks the hardware concurrency.
+     *        jobs == 1 never spawns threads — every cell runs inline
+     *        on the calling thread (the determinism baseline).
+     */
+    explicit ExperimentRunner(unsigned jobs = 0);
+
+    ~ExperimentRunner();
+
+    ExperimentRunner(const ExperimentRunner &) = delete;
+    ExperimentRunner &operator=(const ExperimentRunner &) = delete;
+
+    unsigned jobs() const { return jobs_; }
+
+    /**
+     * Run fn(i) for every i in [0, n); blocks until all cells finish.
+     * The calling thread participates, so the pool is never idle while
+     * the caller waits. Nested calls from inside a cell run inline
+     * (no deadlock), as do calls when jobs() == 1.
+     */
+    void forEach(size_t n, const std::function<void(size_t)> &fn);
+
+    /**
+     * forEach with index-ordered result collection: out[i] = fn(i).
+     */
+    template <typename R>
+    std::vector<R>
+    map(size_t n, const std::function<R(size_t)> &fn)
+    {
+        std::vector<R> out(n);
+        forEach(n, [&](size_t i) { out[i] = fn(i); });
+        return out;
+    }
+
+  private:
+    void workerLoop();
+
+    /** Pull and run cells of the current batch until it is drained. */
+    void drainBatch();
+
+    unsigned jobs_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable wake_;   ///< workers wait for a batch
+    std::condition_variable done_;   ///< forEach waits for completion
+
+    // Current batch, guarded by mutex_ (cells pull the next index under
+    // the lock; cells themselves run unlocked).
+    const std::function<void(size_t)> *fn_ = nullptr;
+    size_t n_ = 0;
+    size_t next_ = 0;
+    size_t completed_ = 0;
+    uint64_t generation_ = 0;
+    bool shutdown_ = false;
+};
+
+} // namespace vpprof
+
+#endif // VPPROF_CORE_PARALLEL_HH

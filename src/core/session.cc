@@ -1,0 +1,410 @@
+#include "core/session.hh"
+
+#include <filesystem>
+#include <sstream>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "core/evaluators.hh"
+#include "ilp/dataflow_engine.hh"
+#include "predictors/stride_predictor.hh"
+#include "profile/profile_collector.hh"
+#include "vm/trace_io.hh"
+
+namespace vpprof
+{
+
+namespace fs = std::filesystem;
+
+struct TraceRepository::Entry
+{
+    std::mutex produceMutex;
+    std::atomic<bool> produced{false};
+
+    // Immutable once `produced` is set (release-published): replays
+    // read these concurrently without locks.
+    std::vector<TraceRecord> records;  ///< resident form (may be empty)
+    bool onDisk = false;
+    bool tempFile = false;  ///< spill file we own (delete at teardown)
+    std::string path;
+    RunResult result;
+};
+
+namespace
+{
+
+/** Persistent cache-file name for a (workload, input) pair. */
+std::string
+traceFileName(const std::string &workload, size_t input_idx)
+{
+    std::ostringstream os;
+    os << workload << ".in" << input_idx << ".trace";
+    return os.str();
+}
+
+} // namespace
+
+TraceRepository::TraceRepository(const SessionConfig &config)
+    : config_(config)
+{
+    if (!config_.traceCacheDir.empty()) {
+        std::error_code ec;
+        fs::create_directories(config_.traceCacheDir, ec);
+        if (ec)
+            vpprof_fatal("cannot create trace cache directory '",
+                         config_.traceCacheDir, "': ", ec.message());
+    }
+}
+
+TraceRepository::~TraceRepository()
+{
+    if (!tempDir_.empty()) {
+        std::error_code ec;
+        fs::remove_all(tempDir_, ec);  // best-effort temp cleanup
+    }
+}
+
+TraceRepository::Entry &
+TraceRepository::entryFor(const Workload &workload, size_t input_idx)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto key = std::make_pair(std::string(workload.name()), input_idx);
+    auto [it, inserted] = entries_.try_emplace(key);
+    if (inserted) {
+        it->second = std::make_unique<Entry>();
+        ++stats_.uniqueTraces;
+    }
+    return *it->second;
+}
+
+void
+TraceRepository::produce(Entry &entry, const Workload &workload,
+                         size_t input_idx)
+{
+    std::string name(workload.name());
+    std::string cachePath;
+    if (!config_.traceCacheDir.empty()) {
+        cachePath = config_.traceCacheDir + "/" +
+                    traceFileName(name, input_idx);
+        // Adopt a valid file captured by an earlier process; any
+        // malformed file (truncated writer, foreign bytes, old format
+        // version) is a structured miss, never a crash or a short
+        // replay — we just re-capture over it.
+        TraceIoStatus status = TraceIoStatus::Ok;
+        auto reader = TraceFileReader::tryOpen(cachePath, &status);
+        if (reader) {
+            uint64_t count = reader->recordCount();
+            entry.result.instructionsExecuted = count;
+            entry.result.halted = true;
+            entry.path = cachePath;
+
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.diskLoads;
+            if (stats_.residentRecords + count <=
+                config_.residentRecordBudget) {
+                entry.records.reserve(count);
+                TraceRecord rec;
+                while (reader->next(rec))
+                    entry.records.push_back(rec);
+                stats_.residentRecords += entry.records.size();
+            } else {
+                entry.onDisk = true;
+                ++stats_.spilledTraces;
+            }
+            entry.produced.store(true, std::memory_order_release);
+            return;
+        }
+        if (status != TraceIoStatus::IoError)
+            vpprof_warn("ignoring unusable trace cache file ",
+                        cachePath, " (", traceIoStatusName(status),
+                        "); re-capturing");
+    }
+
+    // First use in any process: interpret the workload once.
+    VectorTraceSink captured;
+    entry.result = runProgram(workload.program(),
+                              workload.input(input_idx), &captured,
+                              workload.maxInstructions());
+    std::vector<TraceRecord> records = captured.takeTrace();
+
+    if (!cachePath.empty()) {
+        TraceFileWriter writer(cachePath);
+        for (const TraceRecord &rec : records)
+            writer.record(rec);
+        writer.close();
+        entry.path = cachePath;
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.vmRuns;
+    if (stats_.residentRecords + records.size() <=
+        config_.residentRecordBudget) {
+        stats_.residentRecords += records.size();
+        entry.records = std::move(records);
+    } else {
+        // Over budget: this trace lives on disk. Reuse the persistent
+        // cache file when we just wrote one; otherwise spill into a
+        // private temp directory.
+        if (entry.path.empty()) {
+            if (tempDir_.empty()) {
+                tempDir_ = (fs::temp_directory_path() /
+                            ("vpprof-traces-" +
+                             std::to_string(::getpid())))
+                               .string();
+                std::error_code ec;
+                fs::create_directories(tempDir_, ec);
+                if (ec)
+                    vpprof_fatal("cannot create trace spill "
+                                 "directory '", tempDir_, "': ",
+                                 ec.message());
+            }
+            entry.path = tempDir_ + "/" +
+                         traceFileName(name, input_idx);
+            entry.tempFile = true;
+            TraceFileWriter writer(entry.path);
+            for (const TraceRecord &rec : records)
+                writer.record(rec);
+            writer.close();
+        }
+        entry.onDisk = true;
+        ++stats_.spilledTraces;
+    }
+    entry.produced.store(true, std::memory_order_release);
+}
+
+RunResult
+TraceRepository::replay(const Workload &workload, size_t input_idx,
+                        TraceSink *sink)
+{
+    Entry &entry = entryFor(workload, input_idx);
+    if (!entry.produced.load(std::memory_order_acquire)) {
+        std::lock_guard<std::mutex> lock(entry.produceMutex);
+        if (!entry.produced.load(std::memory_order_relaxed))
+            produce(entry, workload, input_idx);
+    }
+
+    if (sink) {
+        if (entry.onDisk) {
+            // Strict reader: the repository wrote this file itself,
+            // so corruption here is an environment failure worth a
+            // loud fatal, not a silent re-run.
+            TraceFileReader reader(entry.path);
+            reader.replay(sink);
+        } else {
+            for (const TraceRecord &rec : entry.records)
+                sink->record(rec);
+        }
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.replays;
+    return entry.result;
+}
+
+RunResult
+TraceRepository::replayInto(const Workload &workload, size_t input_idx,
+                            const std::vector<TraceSink *> &sinks)
+{
+    MultiTraceSink fan;
+    for (TraceSink *sink : sinks)
+        fan.addSink(sink);
+    return replay(workload, input_idx, &fan);
+}
+
+TraceRepoStats
+TraceRepository::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+uint64_t
+TraceRepository::vmRuns() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_.vmRuns;
+}
+
+Session::Session(SessionConfig config)
+    : config_(config),
+      traces_(config),
+      runner_(config.jobs)
+{
+}
+
+Session::~Session() = default;
+
+RunResult
+Session::runTrace(const Workload &workload, size_t input_idx,
+                  TraceSink *sink)
+{
+    return traces_.replay(workload, input_idx, sink);
+}
+
+RunResult
+Session::replayInto(const Workload &workload, size_t input_idx,
+                    const std::vector<TraceSink *> &sinks)
+{
+    return traces_.replayInto(workload, input_idx, sinks);
+}
+
+const ProfileImage &
+Session::collectProfile(const Workload &workload, size_t input_idx)
+{
+    auto key = std::make_pair(std::string(workload.name()), input_idx);
+    {
+        std::lock_guard<std::mutex> lock(profileMutex_);
+        auto it = profiles_.find(key);
+        if (it != profiles_.end())
+            return it->second;
+    }
+
+    ProfileCollector collector(std::string(workload.name()));
+    traces_.replay(workload, input_idx, &collector);
+    ProfileImage image = collector.takeImage();
+
+    std::lock_guard<std::mutex> lock(profileMutex_);
+    // try_emplace: under a race the first insertion wins; both
+    // computed images are identical (replay is deterministic).
+    auto [it, inserted] = profiles_.try_emplace(key, std::move(image));
+    (void)inserted;
+    return it->second;
+}
+
+PhasedProfiles
+Session::collectPhasedProfile(const Workload &workload,
+                              size_t input_idx)
+{
+    auto split = workload.phaseSplitPc();
+    if (!split)
+        vpprof_fatal("workload '", workload.name(),
+                     "' has no phase split pc");
+
+    ProfileCollector init_collector(std::string(workload.name()) +
+                                    ".init");
+    ProfileCollector comp_collector(std::string(workload.name()) +
+                                    ".comp");
+    bool in_compute = false;
+    CallbackTraceSink sink([&](const TraceRecord &rec) {
+        if (!in_compute && rec.pc == *split)
+            in_compute = true;
+        if (in_compute)
+            comp_collector.record(rec);
+        else
+            init_collector.record(rec);
+    });
+    traces_.replay(workload, input_idx, &sink);
+
+    PhasedProfiles phases;
+    phases.init = init_collector.takeImage();
+    phases.compute = comp_collector.takeImage();
+    return phases;
+}
+
+ProfileImage
+Session::collectMergedProfile(const Workload &workload,
+                              const std::vector<size_t> &inputs)
+{
+    if (inputs.empty())
+        vpprof_fatal("collectMergedProfile: no training inputs");
+
+    // Warm the per-input caches in parallel, then merge in index
+    // order so the result is bit-identical for every jobs count.
+    runner_.forEach(inputs.size(), [&](size_t i) {
+        collectProfile(workload, inputs[i]);
+    });
+    ProfileImage merged(std::string(workload.name()));
+    for (size_t idx : inputs)
+        merged.merge(collectProfile(workload, idx));
+    return merged;
+}
+
+Program
+Session::annotatedProgram(const Workload &workload,
+                          const std::vector<size_t> &train_inputs,
+                          const InserterConfig &config)
+{
+    std::ostringstream key;
+    key << workload.name();
+    for (size_t idx : train_inputs)
+        key << '|' << idx;
+
+    const ProfileImage *image = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(profileMutex_);
+        auto it = mergedProfiles_.find(key.str());
+        if (it != mergedProfiles_.end())
+            image = &it->second;
+    }
+    if (!image) {
+        ProfileImage merged = collectMergedProfile(workload,
+                                                   train_inputs);
+        std::lock_guard<std::mutex> lock(profileMutex_);
+        auto [it, inserted] =
+            mergedProfiles_.try_emplace(key.str(), std::move(merged));
+        (void)inserted;
+        image = &it->second;
+    }
+
+    Program program = workload.program();  // copy
+    insertDirectives(program, *image, config);
+    return program;
+}
+
+ClassificationAccuracy
+Session::evaluateClassification(const Workload &workload,
+                                size_t input_idx,
+                                const Program &program,
+                                Classifier &classifier)
+{
+    ClassificationEvaluator evaluator(classifier);
+    DirectiveOverrideSink annotated(program, &evaluator);
+    traces_.replay(workload, input_idx, &annotated);
+    return evaluator.result();
+}
+
+FiniteTableStats
+Session::evaluateFiniteTable(const Workload &workload, size_t input_idx,
+                             const Program &program, VpPolicy policy,
+                             const PredictorConfig &config)
+{
+    FiniteTableEvaluator evaluator(policy, config);
+    DirectiveOverrideSink annotated(program, &evaluator);
+    traces_.replay(workload, input_idx, &annotated);
+    return evaluator.result();
+}
+
+IlpResult
+Session::evaluateIlp(const Workload &workload, size_t input_idx,
+                     const Program &program, const IlpConfig &ilp_config,
+                     VpPolicy policy,
+                     const PredictorConfig &predictor_config)
+{
+    StridePredictor predictor(predictor_config);
+    DataflowEngine engine(ilp_config, policy,
+                          policy == VpPolicy::None ? nullptr
+                                                   : &predictor);
+    DirectiveOverrideSink annotated(program, &engine);
+    traces_.replay(workload, input_idx, &annotated);
+    return engine.result();
+}
+
+FiniteTableStats
+Session::evaluateHybridTable(const Workload &workload, size_t input_idx,
+                             const Program &program,
+                             const HybridConfig &config)
+{
+    HybridTableEvaluator evaluator(config);
+    DirectiveOverrideSink annotated(program, &evaluator);
+    traces_.replay(workload, input_idx, &annotated);
+    return evaluator.result();
+}
+
+Session &
+defaultSession()
+{
+    static Session session{SessionConfig{}};
+    return session;
+}
+
+} // namespace vpprof

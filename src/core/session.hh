@@ -1,0 +1,221 @@
+/**
+ * @file
+ * The trace-once, evaluate-many Session (the SHADE workflow, in
+ * process form): a TraceRepository runs the VM exactly once per
+ * (workload, input), streaming the dynamic trace into a cached buffer
+ * — spilling to binary trace_io files above a resident-size cap — and
+ * then replays the cached trace into any number of consumers: profile
+ * collectors, classifiers, finite/hybrid table evaluations and the ILP
+ * engine.
+ *
+ * Directives are pure metadata (they never change control flow or
+ * values), so ONE raw trace serves every annotation threshold: replays
+ * rewrite the per-record directive from the consumer's annotated
+ * program via DirectiveOverrideSink. A threshold sweep that used to
+ * re-interpret the workload dozens of times now interprets it once.
+ *
+ * All Session entry points are thread-safe; sweep cells running under
+ * the ExperimentRunner share one Session freely.
+ */
+
+#ifndef VPPROF_CORE_SESSION_HH
+#define VPPROF_CORE_SESSION_HH
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/parallel.hh"
+
+namespace vpprof
+{
+
+/** Tunables for a Session. */
+struct SessionConfig
+{
+    /** Sweep-cell parallelism (ExperimentRunner width); 0 = #cores. */
+    unsigned jobs = 1;
+
+    /**
+     * Directory holding persistent trace files for cross-process
+     * reuse (the CLI's --trace-cache). Empty: traces live only for
+     * this process, spilling to a private temp directory when the
+     * resident budget overflows.
+     */
+    std::string traceCacheDir;
+
+    /**
+     * Aggregate in-memory trace budget, in records (~56 bytes each).
+     * Traces that would push the total past the budget are kept on
+     * disk and replayed through trace_io instead. 0 forces every
+     * trace to disk (exercises the spill path).
+     */
+    uint64_t residentRecordBudget = 24'000'000;
+};
+
+/** Counters describing how a repository served its consumers. */
+struct TraceRepoStats
+{
+    uint64_t vmRuns = 0;        ///< full VM interpretations performed
+    uint64_t diskLoads = 0;     ///< traces adopted from the cache dir
+    uint64_t replays = 0;       ///< replays served to consumers
+    uint64_t uniqueTraces = 0;  ///< distinct (workload, input) keys
+    uint64_t residentRecords = 0;  ///< records currently held in memory
+    uint64_t spilledTraces = 0;    ///< traces living on disk
+};
+
+/**
+ * Owns one cached dynamic trace per (workload, input): produced at
+ * most once per process — by the VM, or adopted from a valid file in
+ * the persistent cache directory — and replayed read-only thereafter.
+ * Thread-safe; concurrent replays of one trace are lock-free.
+ */
+class TraceRepository
+{
+  public:
+    explicit TraceRepository(const SessionConfig &config);
+
+    /** Removes private temp spill files (not the persistent cache). */
+    ~TraceRepository();
+
+    TraceRepository(const TraceRepository &) = delete;
+    TraceRepository &operator=(const TraceRepository &) = delete;
+
+    /**
+     * Replay (workload, input)'s trace into `sink`, producing it first
+     * if this is the key's first use. Returns the original run result.
+     */
+    RunResult replay(const Workload &workload, size_t input_idx,
+                     TraceSink *sink);
+
+    /** One shared pass fanned out to several consumers. */
+    RunResult replayInto(const Workload &workload, size_t input_idx,
+                         const std::vector<TraceSink *> &sinks);
+
+    TraceRepoStats stats() const;
+
+    /** VM interpretations performed (the trace-once assertion hook). */
+    uint64_t vmRuns() const;
+
+  private:
+    struct Entry;
+
+    Entry &entryFor(const Workload &workload, size_t input_idx);
+    void produce(Entry &entry, const Workload &workload,
+                 size_t input_idx);
+
+    SessionConfig config_;
+
+    mutable std::mutex mutex_;  ///< guards entries_, stats_, tempDir_
+    std::map<std::pair<std::string, size_t>, std::unique_ptr<Entry>>
+        entries_;
+    TraceRepoStats stats_;
+    std::string tempDir_;  ///< created lazily on first spill
+};
+
+/**
+ * One experiment session: a TraceRepository, an ExperimentRunner, and
+ * memoized profile images / merged training profiles on top, exposing
+ * replay-backed versions of the experiment pipelines. The free
+ * functions in experiment.hh are thin wrappers over a process-wide
+ * default Session.
+ */
+class Session
+{
+  public:
+    explicit Session(SessionConfig config = {});
+    ~Session();
+
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
+
+    const SessionConfig &config() const { return config_; }
+    TraceRepository &traces() { return traces_; }
+    ExperimentRunner &runner() { return runner_; }
+
+    /** Replay the (workload, input) trace into an arbitrary sink. */
+    RunResult runTrace(const Workload &workload, size_t input_idx,
+                       TraceSink *sink);
+
+    /** One shared replay pass fanned out to several consumers. */
+    RunResult replayInto(const Workload &workload, size_t input_idx,
+                         const std::vector<TraceSink *> &sinks);
+
+    /** Phase-2 profile of one run; memoized per (workload, input). */
+    const ProfileImage &collectProfile(const Workload &workload,
+                                       size_t input_idx);
+
+    /** Phase-2 profile split at the workload's phaseSplitPc(). */
+    PhasedProfiles collectPhasedProfile(const Workload &workload,
+                                        size_t input_idx);
+
+    /**
+     * Merged profile over several inputs: one VM pass per input (each
+     * memoized), merged in index order. Inputs are profiled in
+     * parallel across the runner when jobs > 1; the merge order makes
+     * the result independent of the jobs count.
+     */
+    ProfileImage collectMergedProfile(const Workload &workload,
+                                      const std::vector<size_t> &inputs);
+
+    /**
+     * The full three-phase methodology against cached traces; the
+     * merged training profile is memoized per (workload, inputs) so a
+     * threshold sweep re-annotates without re-profiling.
+     */
+    Program annotatedProgram(const Workload &workload,
+                             const std::vector<size_t> &train_inputs,
+                             const InserterConfig &config);
+
+    /**
+     * Subsection 5.1 classification accuracy over the cached trace,
+     * with directives taken from `program` (pass workload.program()
+     * for the un-annotated FSM baseline).
+     */
+    ClassificationAccuracy evaluateClassification(
+        const Workload &workload, size_t input_idx,
+        const Program &program, Classifier &classifier);
+
+    /** Subsection 5.2 finite-table evaluation over the cached trace. */
+    FiniteTableStats evaluateFiniteTable(const Workload &workload,
+                                         size_t input_idx,
+                                         const Program &program,
+                                         VpPolicy policy,
+                                         const PredictorConfig &config);
+
+    /** Subsection 5.3 abstract-machine ILP over the cached trace. */
+    IlpResult evaluateIlp(const Workload &workload, size_t input_idx,
+                          const Program &program,
+                          const IlpConfig &ilp_config, VpPolicy policy,
+                          const PredictorConfig &predictor_config);
+
+    /** Section 3.2 hybrid two-table evaluation over the cached trace. */
+    FiniteTableStats evaluateHybridTable(const Workload &workload,
+                                         size_t input_idx,
+                                         const Program &program,
+                                         const HybridConfig &config);
+
+  private:
+    SessionConfig config_;
+    TraceRepository traces_;
+    ExperimentRunner runner_;
+
+    std::mutex profileMutex_;
+    std::map<std::pair<std::string, size_t>, ProfileImage> profiles_;
+    std::map<std::string, ProfileImage> mergedProfiles_;
+};
+
+/**
+ * The process-wide Session backing the experiment.hh free functions
+ * (jobs=1: parallelism is opted into by constructing an explicit
+ * Session). Repeated profile/annotation requests across a test or
+ * bench process hit its caches instead of re-interpreting workloads.
+ */
+Session &defaultSession();
+
+} // namespace vpprof
+
+#endif // VPPROF_CORE_SESSION_HH

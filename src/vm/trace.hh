@@ -99,6 +99,18 @@ class CountingTraceSink : public TraceSink
   public:
     void record(const TraceRecord &rec) override;
 
+    /** Fold another counter in (parallel per-shard collection). */
+    void
+    merge(const CountingTraceSink &other)
+    {
+        total_ += other.total_;
+        producers_ += other.producers_;
+        loads_ += other.loads_;
+        stores_ += other.stores_;
+        branches_ += other.branches_;
+        fpOps_ += other.fpOps_;
+    }
+
     uint64_t total() const { return total_; }
     uint64_t producers() const { return producers_; }
     uint64_t loads() const { return loads_; }

@@ -10,7 +10,9 @@ namespace vpprof
 namespace
 {
 
-constexpr char kMagic[8] = {'V', 'P', 'T', 'R', 'A', 'C', 'E', '1'};
+constexpr char kMagicPrefix[7] = {'V', 'P', 'T', 'R', 'A', 'C', 'E'};
+constexpr char kVersion = '1';
+constexpr size_t kHeaderBytes = 16;
 constexpr size_t kRecordBytes = 8 + 8 + 1 + 1 + 1 + 1 + 8 + 1 + 2 + 8;
 
 /** Serialize one record into a fixed-width buffer. */
@@ -67,13 +69,28 @@ decode(const char *buf, TraceRecord &rec)
 
 } // namespace
 
+const char *
+traceIoStatusName(TraceIoStatus status)
+{
+    switch (status) {
+      case TraceIoStatus::Ok: return "ok";
+      case TraceIoStatus::IoError: return "io-error";
+      case TraceIoStatus::ShortHeader: return "short-header";
+      case TraceIoStatus::BadMagic: return "bad-magic";
+      case TraceIoStatus::VersionMismatch: return "version-mismatch";
+      case TraceIoStatus::Truncated: return "truncated";
+    }
+    return "unknown";
+}
+
 TraceFileWriter::TraceFileWriter(const std::string &path)
     : path_(path),
       out_(path, std::ios::binary | std::ios::trunc)
 {
     if (!out_)
         vpprof_fatal("cannot create trace file: ", path);
-    out_.write(kMagic, sizeof(kMagic));
+    out_.write(kMagicPrefix, sizeof(kMagicPrefix));
+    out_.write(&kVersion, 1);
     uint64_t placeholder = 0;
     out_.write(reinterpret_cast<const char *>(&placeholder), 8);
 }
@@ -101,37 +118,102 @@ TraceFileWriter::close()
     if (closed_)
         return;
     closed_ = true;
-    out_.seekp(sizeof(kMagic));
+    out_.seekp(sizeof(kMagicPrefix) + 1);
     out_.write(reinterpret_cast<const char *>(&count_), 8);
     out_.close();
     if (!out_)
         vpprof_fatal("error finalizing trace file: ", path_);
 }
 
-TraceFileReader::TraceFileReader(const std::string &path)
+TraceFileReader::TraceFileReader(const std::string &path, Unchecked)
     : in_(path, std::ios::binary)
 {
+}
+
+TraceIoStatus
+TraceFileReader::validate(const std::string &path)
+{
     if (!in_)
-        vpprof_fatal("cannot open trace file: ", path);
-    char magic[sizeof(kMagic)];
+        return TraceIoStatus::IoError;
+    char magic[sizeof(kMagicPrefix)];
     in_.read(magic, sizeof(magic));
-    if (!in_ || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
-        vpprof_fatal("not a vpprof trace file: ", path);
+    char version = 0;
+    in_.read(&version, 1);
+    if (!in_)
+        return TraceIoStatus::ShortHeader;
+    if (std::memcmp(magic, kMagicPrefix, sizeof(kMagicPrefix)) != 0)
+        return TraceIoStatus::BadMagic;
+    if (version != kVersion)
+        return TraceIoStatus::VersionMismatch;
     in_.read(reinterpret_cast<char *>(&count_), 8);
     if (!in_)
+        return TraceIoStatus::ShortHeader;
+
+    // The payload must hold exactly the records the header promises:
+    // fewer means a truncated capture (e.g. a writer that died before
+    // close()), more means trailing garbage. Both are data loss if
+    // ignored, so both are errors, never a silent short replay.
+    std::streampos pos = in_.tellg();
+    in_.seekg(0, std::ios::end);
+    std::streampos end = in_.tellg();
+    in_.seekg(pos);
+    if (!in_)
+        return TraceIoStatus::IoError;
+    uint64_t payload = static_cast<uint64_t>(end) - kHeaderBytes;
+    if (payload != count_ * kRecordBytes)
+        return TraceIoStatus::Truncated;
+    return TraceIoStatus::Ok;
+}
+
+TraceFileReader::TraceFileReader(const std::string &path)
+    : TraceFileReader(path, Unchecked{})
+{
+    switch (validate(path)) {
+      case TraceIoStatus::Ok:
+        return;
+      case TraceIoStatus::IoError:
+        vpprof_fatal("cannot open trace file: ", path);
+      case TraceIoStatus::ShortHeader:
         vpprof_fatal("truncated trace header: ", path);
+      case TraceIoStatus::BadMagic:
+        vpprof_fatal("not a vpprof trace file: ", path);
+      case TraceIoStatus::VersionMismatch:
+        vpprof_fatal("unsupported trace file version: ", path);
+      case TraceIoStatus::Truncated:
+        vpprof_fatal("truncated trace file: ", path);
+    }
+}
+
+std::unique_ptr<TraceFileReader>
+TraceFileReader::tryOpen(const std::string &path, TraceIoStatus *status)
+{
+    std::unique_ptr<TraceFileReader> reader(
+        new TraceFileReader(path, Unchecked{}));
+    reader->strict_ = false;
+    TraceIoStatus st = reader->validate(path);
+    if (status)
+        *status = st;
+    if (st != TraceIoStatus::Ok)
+        return nullptr;
+    return reader;
 }
 
 bool
 TraceFileReader::next(TraceRecord &rec)
 {
-    if (read_ >= count_)
+    if (status_ != TraceIoStatus::Ok || read_ >= count_)
         return false;
     char buf[kRecordBytes];
     in_.read(buf, sizeof(buf));
-    if (!in_)
-        vpprof_fatal("truncated trace file (expected ", count_,
-                     " records, got ", read_, ")");
+    if (!in_) {
+        // validate() checked the size at open, so this only happens
+        // when the file shrank underneath us mid-read.
+        status_ = TraceIoStatus::Truncated;
+        if (strict_)
+            vpprof_fatal("truncated trace file (expected ", count_,
+                         " records, got ", read_, ")");
+        return false;
+    }
     decode(buf, rec);
     ++read_;
     return true;

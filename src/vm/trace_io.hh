@@ -4,9 +4,11 @@
  * later, so expensive workload runs can be captured once and analyzed
  * many times — the role SHADE's trace files played for the paper.
  *
- * Format: an 16-byte header ("VPTRACE1", record count) followed by
- * fixed-width little-endian records. The format is versioned by the
- * magic string; readers reject anything they do not understand.
+ * Format: a 16-byte header ("VPTRACE" + version byte, record count)
+ * followed by fixed-width little-endian records. Readers validate the
+ * magic, the format version, and that the payload size matches the
+ * record count the header promises, and report structured
+ * TraceIoStatus errors instead of silently truncating.
  */
 
 #ifndef VPPROF_VM_TRACE_IO_HH
@@ -14,12 +16,27 @@
 
 #include <cstdint>
 #include <fstream>
+#include <memory>
 #include <string>
 
 #include "vm/trace.hh"
 
 namespace vpprof
 {
+
+/** Structured outcome of trace-file validation and reads. */
+enum class TraceIoStatus
+{
+    Ok,              ///< file healthy / operation succeeded
+    IoError,         ///< file cannot be opened or read at all
+    ShortHeader,     ///< fewer bytes than the fixed header
+    BadMagic,        ///< not a vpprof trace file at all
+    VersionMismatch, ///< vpprof trace, but an unsupported version
+    Truncated,       ///< payload size disagrees with the header count
+};
+
+/** Human-readable name of a TraceIoStatus (for messages and tests). */
+const char *traceIoStatusName(TraceIoStatus status);
 
 /**
  * A trace sink that streams records into a binary trace file. The
@@ -50,26 +67,60 @@ class TraceFileWriter : public TraceSink
 /**
  * Reads a binary trace file. Records can be streamed into any
  * TraceSink (replay) or pulled one at a time.
+ *
+ * Two opening modes:
+ *  - The constructor is strict: any malformed file is fatal (a user
+ *    handed us a broken file; the CLI wants the loud diagnostic).
+ *  - tryOpen() is recoverable: it validates the header, the version,
+ *    and the payload size, and returns nullptr plus a TraceIoStatus so
+ *    callers (e.g. a trace cache probing for reusable files) can fall
+ *    back to regenerating the trace.
  */
 class TraceFileReader
 {
   public:
-    /** Open and validate the header; fatal on a malformed file. */
+    /** Open and validate; fatal on a malformed file. */
     explicit TraceFileReader(const std::string &path);
+
+    /**
+     * Open and fully validate a trace file without ever exiting.
+     * @param[out] status Why the open failed (Ok on success).
+     * @return The reader, or nullptr when the file is unusable.
+     */
+    static std::unique_ptr<TraceFileReader>
+    tryOpen(const std::string &path, TraceIoStatus *status = nullptr);
 
     /** Records the header promises. */
     uint64_t recordCount() const { return count_; }
 
-    /** Read the next record; false at end of trace. */
+    /**
+     * Read the next record; false at end of trace. On an unexpected
+     * short read the reader is fatal in strict mode and otherwise
+     * stops, recording the error in status().
+     */
     bool next(TraceRecord &rec);
 
     /** Stream every remaining record into a sink; returns how many. */
     uint64_t replay(TraceSink *sink);
 
+    /** Error state of the last operation (Ok while healthy). */
+    TraceIoStatus status() const { return status_; }
+
   private:
+    struct Unchecked
+    {
+    };
+
+    TraceFileReader(const std::string &path, Unchecked);
+
+    /** Validate header/version/size; returns the failure reason. */
+    TraceIoStatus validate(const std::string &path);
+
     std::ifstream in_;
     uint64_t count_ = 0;
     uint64_t read_ = 0;
+    bool strict_ = true;
+    TraceIoStatus status_ = TraceIoStatus::Ok;
 };
 
 } // namespace vpprof

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Determinism tests: every Session result must be bit-identical
+ * whether the sweep runs serially (jobs=1) or on a thread pool
+ * (jobs=8). This is the contract that lets benches default to
+ * parallel execution without perturbing the paper's numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "core/session.hh"
+#include "predictors/profile_classifier.hh"
+
+namespace vpprof
+{
+namespace
+{
+
+/**
+ * Two long-lived sessions over the same suite: the serial baseline and
+ * the parallel candidate. Shared across tests so each workload is
+ * interpreted at most once per session for the whole binary.
+ */
+class Determinism : public ::testing::Test
+{
+  protected:
+    static const WorkloadSuite &
+    suite()
+    {
+        static WorkloadSuite s;
+        return s;
+    }
+
+    static Session &
+    serial()
+    {
+        static Session s{[] {
+            SessionConfig cfg;
+            cfg.jobs = 1;
+            return cfg;
+        }()};
+        return s;
+    }
+
+    static Session &
+    parallel()
+    {
+        static Session s{[] {
+            SessionConfig cfg;
+            cfg.jobs = 8;
+            return cfg;
+        }()};
+        return s;
+    }
+
+    static void
+    expectImagesIdentical(const ProfileImage &a, const ProfileImage &b,
+                          const char *what)
+    {
+        ASSERT_EQ(a.size(), b.size()) << what;
+        for (const auto &[pc, p] : a.entries()) {
+            const PcProfile *q = b.find(pc);
+            ASSERT_NE(q, nullptr) << what << " pc " << pc;
+            EXPECT_EQ(p.executions, q->executions) << what;
+            EXPECT_EQ(p.attempts, q->attempts) << what;
+            EXPECT_EQ(p.correct, q->correct) << what;
+            EXPECT_EQ(p.correctNonZeroStride, q->correctNonZeroStride)
+                << what;
+            EXPECT_EQ(p.lastValueAttempts, q->lastValueAttempts)
+                << what;
+            EXPECT_EQ(p.lastValueCorrect, q->lastValueCorrect) << what;
+            EXPECT_EQ(p.opClass, q->opClass) << what;
+        }
+    }
+};
+
+TEST_F(Determinism, ProfilesIdenticalAcrossJobCounts)
+{
+    const auto &all = suite().all();
+    // Warm the parallel session the way benches do: all workloads as
+    // concurrent sweep cells sharing one repository.
+    parallel().runner().forEach(all.size(), [&](size_t i) {
+        parallel().collectProfile(*all[i], 0);
+    });
+    for (const auto &w : all) {
+        expectImagesIdentical(serial().collectProfile(*w, 0),
+                              parallel().collectProfile(*w, 0),
+                              std::string(w->name()).c_str());
+    }
+}
+
+TEST_F(Determinism, MergedTrainingProfileIndependentOfJobs)
+{
+    const Workload *perl = suite().find("perl");
+    std::vector<size_t> train = trainingInputsFor(*perl, 0);
+    expectImagesIdentical(serial().collectMergedProfile(*perl, train),
+                          parallel().collectMergedProfile(*perl, train),
+                          "perl merged");
+}
+
+TEST_F(Determinism, ThresholdSweepIdenticalAcrossJobCounts)
+{
+    // The bench shape: five threshold cells per workload, evaluated as
+    // parallel sweep cells, against a serial reference.
+    const Workload *go = suite().find("go");
+    const std::array<double, 5> thresholds = {90, 80, 70, 60, 50};
+
+    auto sweep = [&](Session &session) {
+        std::vector<ClassificationAccuracy> acc(thresholds.size());
+        session.runner().forEach(thresholds.size(), [&](size_t t) {
+            InserterConfig cfg;
+            cfg.accuracyThresholdPercent = thresholds[t];
+            Program annotated = session.annotatedProgram(
+                *go, trainingInputsFor(*go, 0), cfg);
+            ProfileClassifier cls;
+            acc[t] =
+                session.evaluateClassification(*go, 0, annotated, cls);
+        });
+        return acc;
+    };
+
+    std::vector<ClassificationAccuracy> ser = sweep(serial());
+    std::vector<ClassificationAccuracy> par = sweep(parallel());
+    for (size_t t = 0; t < thresholds.size(); ++t) {
+        EXPECT_EQ(ser[t].corrects, par[t].corrects) << t;
+        EXPECT_EQ(ser[t].correctsAccepted, par[t].correctsAccepted)
+            << t;
+        EXPECT_EQ(ser[t].mispredictions, par[t].mispredictions) << t;
+        EXPECT_EQ(ser[t].mispredictionsCaught,
+                  par[t].mispredictionsCaught)
+            << t;
+    }
+}
+
+TEST_F(Determinism, IlpIdenticalAcrossJobCounts)
+{
+    const Workload *m88k = suite().find("m88ksim");
+    IlpResult a = serial().evaluateIlp(*m88k, 0, m88k->program(),
+                                       IlpConfig{}, VpPolicy::Fsm,
+                                       paperFiniteConfig(true));
+    IlpResult b = parallel().evaluateIlp(*m88k, 0, m88k->program(),
+                                         IlpConfig{}, VpPolicy::Fsm,
+                                         paperFiniteConfig(true));
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.predictionsUsed, b.predictionsUsed);
+    EXPECT_EQ(a.correctUsed, b.correctUsed);
+    EXPECT_EQ(a.incorrectUsed, b.incorrectUsed);
+}
+
+TEST_F(Determinism, TraceOnceHeldInBothSessions)
+{
+    // ctest runs each TEST in its own process, so drive both sessions
+    // here: repeated profile + classification work on one workload
+    // must cost exactly one interpretation per session.
+    const Workload *li = suite().find("li");
+    for (Session *s : {&serial(), &parallel()}) {
+        s->collectProfile(*li, 0);
+        ProfileClassifier cls;
+        s->evaluateClassification(*li, 0, li->program(), cls);
+        s->collectProfile(*li, 0);
+        TraceRepoStats st = s->traces().stats();
+        EXPECT_LE(st.vmRuns, st.uniqueTraces);
+        EXPECT_EQ(st.uniqueTraces, 1u);
+        EXPECT_GT(st.replays, 0u);
+    }
+}
+
+} // namespace
+} // namespace vpprof

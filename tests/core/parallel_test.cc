@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Unit tests for the ExperimentRunner sweep-cell pool: every index
+ * visited exactly once, index-ordered map collection, inline execution
+ * for jobs=1 and for nested calls.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/parallel.hh"
+
+namespace vpprof
+{
+namespace
+{
+
+TEST(ExperimentRunner, VisitsEveryIndexExactlyOnce)
+{
+    ExperimentRunner runner(4);
+    constexpr size_t kCells = 257;
+    std::vector<std::atomic<int>> hits(kCells);
+    runner.forEach(kCells, [&](size_t i) { ++hits[i]; });
+    for (size_t i = 0; i < kCells; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ExperimentRunner, MapCollectsInIndexOrder)
+{
+    ExperimentRunner runner(8);
+    std::vector<size_t> out = runner.map<size_t>(
+        100, [](size_t i) { return i * i; });
+    ASSERT_EQ(out.size(), 100u);
+    for (size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ExperimentRunner, SingleJobRunsInlineOnCallerThread)
+{
+    ExperimentRunner runner(1);
+    EXPECT_EQ(runner.jobs(), 1u);
+    std::thread::id caller = std::this_thread::get_id();
+    std::vector<std::thread::id> seen(16);
+    runner.forEach(seen.size(),
+                   [&](size_t i) { seen[i] = std::this_thread::get_id(); });
+    for (std::thread::id id : seen)
+        EXPECT_EQ(id, caller);
+}
+
+TEST(ExperimentRunner, SingleCellRunsInlineEvenWithWorkers)
+{
+    ExperimentRunner runner(4);
+    std::thread::id caller = std::this_thread::get_id();
+    std::thread::id seen{};
+    runner.forEach(1, [&](size_t) { seen = std::this_thread::get_id(); });
+    EXPECT_EQ(seen, caller);
+}
+
+TEST(ExperimentRunner, NestedForEachRunsInlineWithoutDeadlock)
+{
+    ExperimentRunner runner(4);
+    constexpr size_t kOuter = 8, kInner = 8;
+    std::vector<std::atomic<int>> hits(kOuter * kInner);
+    runner.forEach(kOuter, [&](size_t i) {
+        // The nested call must not wait on the (busy) pool.
+        runner.forEach(kInner,
+                       [&](size_t j) { ++hits[i * kInner + j]; });
+    });
+    for (size_t k = 0; k < hits.size(); ++k)
+        EXPECT_EQ(hits[k].load(), 1) << "cell " << k;
+}
+
+TEST(ExperimentRunner, ZeroCellsReturnsImmediately)
+{
+    ExperimentRunner runner(4);
+    bool ran = false;
+    runner.forEach(0, [&](size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ExperimentRunner, ZeroJobsPicksHardwareConcurrency)
+{
+    ExperimentRunner runner(0);
+    EXPECT_GE(runner.jobs(), 1u);
+    std::atomic<size_t> sum{0};
+    runner.forEach(32, [&](size_t i) { sum += i; });
+    EXPECT_EQ(sum.load(), 32u * 31u / 2);
+}
+
+} // namespace
+} // namespace vpprof

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Unit tests for the Session / TraceRepository layer: the trace-once
+ * guarantee, fused multi-sink replays, profile memoization, the
+ * disk-spill path, and the persistent cross-process trace cache
+ * (including recovery from a corrupt cache file).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/session.hh"
+#include "predictors/profile_classifier.hh"
+#include "vm/trace.hh"
+
+namespace vpprof
+{
+namespace
+{
+
+const Workload &
+li()
+{
+    static WorkloadSuite suite;
+    return *suite.find("li");
+}
+
+TEST(Session, TraceOnceAcrossRepeatedReplays)
+{
+    Session session;
+    CountingTraceSink a, b, c;
+    session.runTrace(li(), 0, &a);
+    session.runTrace(li(), 0, &b);
+    session.runTrace(li(), 0, &c);
+
+    TraceRepoStats st = session.traces().stats();
+    EXPECT_EQ(st.vmRuns, 1u);
+    EXPECT_EQ(st.uniqueTraces, 1u);
+    EXPECT_EQ(st.replays, 3u);
+    EXPECT_EQ(a.producers(), b.producers());
+    EXPECT_EQ(b.producers(), c.producers());
+    EXPECT_GT(a.producers(), 0u);
+}
+
+TEST(Session, DistinctInputsAreDistinctTraces)
+{
+    Session session;
+    CountingTraceSink a, b;
+    session.runTrace(li(), 0, &a);
+    session.runTrace(li(), 1, &b);
+    EXPECT_EQ(session.traces().stats().vmRuns, 2u);
+    EXPECT_EQ(session.traces().stats().uniqueTraces, 2u);
+}
+
+TEST(Session, FusedReplayMatchesSeparateReplays)
+{
+    Session session;
+    CountingTraceSink separate;
+    session.runTrace(li(), 0, &separate);
+
+    CountingTraceSink f1, f2;
+    RunResult fused = session.replayInto(li(), 0, {&f1, &f2});
+    EXPECT_EQ(session.traces().stats().vmRuns, 1u);
+    EXPECT_GT(fused.instructionsExecuted, 0u);
+    for (const CountingTraceSink *s : {&f1, &f2}) {
+        EXPECT_EQ(s->producers(), separate.producers());
+        EXPECT_EQ(s->loads(), separate.loads());
+        EXPECT_EQ(s->stores(), separate.stores());
+        EXPECT_EQ(s->branches(), separate.branches());
+    }
+}
+
+TEST(Session, ProfileIsMemoizedPerInput)
+{
+    Session session;
+    const ProfileImage &first = session.collectProfile(li(), 0);
+    const ProfileImage &again = session.collectProfile(li(), 0);
+    EXPECT_EQ(&first, &again);
+    EXPECT_EQ(session.traces().stats().vmRuns, 1u);
+    EXPECT_GT(first.size(), 0u);
+}
+
+TEST(Session, ZeroBudgetSpillsToDiskAndRoundTrips)
+{
+    Session resident;
+    CountingTraceSink in_memory;
+    resident.runTrace(li(), 0, &in_memory);
+
+    SessionConfig cfg;
+    cfg.residentRecordBudget = 0;  // force every trace through trace_io
+    Session spilling(cfg);
+    CountingTraceSink from_disk_1, from_disk_2;
+    spilling.runTrace(li(), 0, &from_disk_1);
+    spilling.runTrace(li(), 0, &from_disk_2);
+
+    TraceRepoStats st = spilling.traces().stats();
+    EXPECT_EQ(st.vmRuns, 1u);
+    EXPECT_EQ(st.spilledTraces, 1u);
+    EXPECT_EQ(st.residentRecords, 0u);
+    EXPECT_EQ(from_disk_1.producers(), in_memory.producers());
+    EXPECT_EQ(from_disk_1.branches(), in_memory.branches());
+    EXPECT_EQ(from_disk_2.producers(), in_memory.producers());
+}
+
+TEST(Session, PersistentCacheIsAdoptedAcrossSessions)
+{
+    std::string dir = ::testing::TempDir() + "/vpprof_cache_adopt";
+    std::filesystem::remove_all(dir);
+
+    SessionConfig cfg;
+    cfg.traceCacheDir = dir;
+
+    ProfileImage first_image;
+    {
+        Session writer(cfg);
+        first_image = writer.collectProfile(li(), 0);
+        EXPECT_EQ(writer.traces().stats().vmRuns, 1u);
+    }
+    ASSERT_TRUE(std::filesystem::exists(dir + "/li.in0.trace"));
+
+    Session reader(cfg);
+    const ProfileImage &second_image = reader.collectProfile(li(), 0);
+    TraceRepoStats st = reader.traces().stats();
+    EXPECT_EQ(st.vmRuns, 0u) << "cache hit must not re-interpret";
+    EXPECT_EQ(st.diskLoads, 1u);
+
+    ASSERT_EQ(second_image.size(), first_image.size());
+    for (const auto &[pc, p] : first_image.entries()) {
+        const PcProfile *q = second_image.find(pc);
+        ASSERT_NE(q, nullptr);
+        EXPECT_EQ(q->attempts, p.attempts);
+        EXPECT_EQ(q->correct, p.correct);
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Session, CorruptCacheFileIsRecaptured)
+{
+    std::string dir = ::testing::TempDir() + "/vpprof_cache_corrupt";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    {
+        std::ofstream bad(dir + "/li.in0.trace", std::ios::binary);
+        bad << "not a trace at all";
+    }
+
+    SessionConfig cfg;
+    cfg.traceCacheDir = dir;
+    Session session(cfg);
+    CountingTraceSink counts;
+    session.runTrace(li(), 0, &counts);
+
+    TraceRepoStats st = session.traces().stats();
+    EXPECT_EQ(st.vmRuns, 1u) << "bad cache file must be re-captured";
+    EXPECT_EQ(st.diskLoads, 0u);
+    EXPECT_GT(counts.producers(), 0u);
+
+    // The re-captured trace replaced the corrupt file: a fresh session
+    // adopts it cleanly.
+    Session again(cfg);
+    CountingTraceSink counts2;
+    again.runTrace(li(), 0, &counts2);
+    EXPECT_EQ(again.traces().stats().vmRuns, 0u);
+    EXPECT_EQ(counts2.producers(), counts.producers());
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Session, EvaluateClassificationMatchesDirectExecution)
+{
+    // The replayed + directive-overridden evaluation must agree, count
+    // for count, with running the annotated program in the VM.
+    Session session;
+    InserterConfig cfg;
+    cfg.accuracyThresholdPercent = 70.0;
+    Program annotated =
+        session.annotatedProgram(li(), {1, 2}, cfg);
+
+    ProfileClassifier replayed_cls;
+    ClassificationAccuracy replayed = session.evaluateClassification(
+        li(), 0, annotated, replayed_cls);
+
+    ProfileClassifier direct_cls;
+    ClassificationAccuracy direct =
+        evaluateClassification(annotated, li().input(0), direct_cls);
+
+    EXPECT_EQ(replayed.corrects, direct.corrects);
+    EXPECT_EQ(replayed.correctsAccepted, direct.correctsAccepted);
+    EXPECT_EQ(replayed.mispredictions, direct.mispredictions);
+    EXPECT_EQ(replayed.mispredictionsCaught,
+              direct.mispredictionsCaught);
+    EXPECT_GT(replayed.corrects, 0u);
+}
+
+TEST(Session, EvaluateIlpMatchesDirectExecution)
+{
+    Session session;
+    IlpResult replayed = session.evaluateIlp(
+        li(), 0, li().program(), IlpConfig{}, VpPolicy::Fsm,
+        paperFiniteConfig(true));
+    IlpResult direct =
+        evaluateIlp(li().program(), li().input(0), IlpConfig{},
+                    VpPolicy::Fsm, paperFiniteConfig(true));
+    EXPECT_EQ(replayed.cycles, direct.cycles);
+    EXPECT_EQ(replayed.instructions, direct.instructions);
+    EXPECT_EQ(replayed.predictionsUsed, direct.predictionsUsed);
+    EXPECT_EQ(replayed.correctUsed, direct.correctUsed);
+}
+
+TEST(Session, MergedProfileRejectsEmptyTraining)
+{
+    Session session;
+    EXPECT_DEATH(session.collectMergedProfile(li(), {}),
+                 "no training inputs");
+}
+
+} // namespace
+} // namespace vpprof

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "core/experiment.hh"
+#include "core/session.hh"
 #include "ilp/critical_path.hh"
 #include "predictors/context_predictor.hh"
 #include "vm/trace_io.hh"
@@ -28,6 +29,13 @@ class Extensions : public ::testing::Test
         static WorkloadSuite s;
         return s;
     }
+
+    /** The shared Session backing the experiment.hh free functions. */
+    static Session &
+    session()
+    {
+        return defaultSession();
+    }
 };
 
 TEST_F(Extensions, HybridTableCompetitiveWithEqualBudgetStride)
@@ -44,8 +52,8 @@ TEST_F(Extensions, HybridTableCompetitiveWithEqualBudgetStride)
 
     PredictorConfig mono = paperFiniteConfig(false);
     mono.numEntries = 640;
-    FiniteTableStats single = evaluateFiniteTable(
-        annotated, m88k->input(0), VpPolicy::Profile, mono);
+    FiniteTableStats single = session().evaluateFiniteTable(
+        *m88k, 0, annotated, VpPolicy::Profile, mono);
 
     HybridConfig hybrid;
     hybrid.stride.numEntries = 128;
@@ -53,7 +61,7 @@ TEST_F(Extensions, HybridTableCompetitiveWithEqualBudgetStride)
     hybrid.lastValue.numEntries = 512;
     hybrid.lastValue.counterBits = 0;
     FiniteTableStats hyb =
-        evaluateHybridTable(annotated, m88k->input(0), hybrid);
+        session().evaluateHybridTable(*m88k, 0, annotated, hybrid);
 
     EXPECT_GT(hyb.correctTaken, single.correctTaken * 6 / 10);
     EXPECT_GT(hyb.correctTaken, hyb.incorrectTaken * 10);
@@ -64,11 +72,11 @@ TEST_F(Extensions, HybridTableCountsCandidatesLikeProfilePolicy)
     const Workload *li = suite().find("li");
     Program annotated =
         annotatedProgram(*li, {1, 2}, InserterConfig{});
-    FiniteTableStats prof = evaluateFiniteTable(
-        annotated, li->input(0), VpPolicy::Profile,
+    FiniteTableStats prof = session().evaluateFiniteTable(
+        *li, 0, annotated, VpPolicy::Profile,
         paperFiniteConfig(false));
-    FiniteTableStats hyb = evaluateHybridTable(
-        annotated, li->input(0), HybridConfig{});
+    FiniteTableStats hyb = session().evaluateHybridTable(
+        *li, 0, annotated, HybridConfig{});
     EXPECT_EQ(prof.candidates, hyb.candidates);
     EXPECT_EQ(prof.producers, hyb.producers);
 }
@@ -81,15 +89,14 @@ TEST_F(Extensions, CriticalPathMatchesDataflowBoundPerWorkload)
     for (const char *name : {"compress", "m88ksim"}) {
         const Workload *w = suite().find(name);
         CriticalPathAnalyzer analyzer;
-        runProgram(w->program(), w->input(0), &analyzer,
-                   w->maxInstructions());
+        session().runTrace(*w, 0, &analyzer);
         CriticalPathResult path = analyzer.finish();
 
         IlpConfig mc;
         mc.windowSize = 40;
-        IlpResult windowed = evaluateIlp(w->program(), w->input(0),
-                                         mc, VpPolicy::None,
-                                         infiniteConfig());
+        IlpResult windowed = session().evaluateIlp(
+            *w, 0, w->program(), mc, VpPolicy::None,
+            infiniteConfig());
         EXPECT_GT(path.dataflowIlp(), windowed.ilp()) << name;
         EXPECT_GT(path.pathLength, 0u) << name;
     }
@@ -100,15 +107,12 @@ TEST_F(Extensions, OracleCollapseShortensPredictableWorkloadsMost)
     auto path_ratio = [&](const char *name) {
         const Workload *w = suite().find(name);
         CriticalPathAnalyzer plain;
-        runProgram(w->program(), w->input(0), &plain,
-                   w->maxInstructions());
-        uint64_t base = plain.finish().pathLength;
-
         CriticalPathConfig cfg;
         cfg.collapseCorrectPredictions = true;
         CriticalPathAnalyzer oracle(cfg);
-        runProgram(w->program(), w->input(0), &oracle,
-                   w->maxInstructions());
+        // Both analyzers share one fused replay of the cached trace.
+        session().replayInto(*w, 0, {&plain, &oracle});
+        uint64_t base = plain.finish().pathLength;
         uint64_t vp = oracle.finish().pathLength;
         return static_cast<double>(base) / static_cast<double>(vp);
     };
@@ -170,8 +174,7 @@ TEST_F(Extensions, CriticalPathCensusCoversWholePath)
 {
     const Workload *li = suite().find("li");
     CriticalPathAnalyzer analyzer;
-    runProgram(li->program(), li->input(0), &analyzer,
-               li->maxInstructions());
+    session().runTrace(*li, 0, &analyzer);
     CriticalPathResult r = analyzer.finish();
     uint64_t census_total = 0;
     for (const PathMember &m : r.members)

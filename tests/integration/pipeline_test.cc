@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "core/experiment.hh"
+#include "core/session.hh"
 #include "profile/correlation.hh"
 #include "predictors/profile_classifier.hh"
 #include "predictors/saturating_classifier.hh"
@@ -28,6 +29,17 @@ class Pipeline : public ::testing::Test
     {
         static WorkloadSuite s;
         return s;
+    }
+
+    /**
+     * The shared process-wide Session: the same repository that backs
+     * the experiment.hh free functions, so every test in this binary
+     * replays cached traces instead of re-interpreting workloads.
+     */
+    static Session &
+    session()
+    {
+        return defaultSession();
     }
 };
 
@@ -82,10 +94,10 @@ TEST_F(Pipeline, ProfileClassifierCatchesMoreMispredictionsThanFsm)
 
     SaturatingClassifier fsm;
     ClassificationAccuracy fsm_acc =
-        evaluateClassification(go->program(), go->input(0), fsm);
+        session().evaluateClassification(*go, 0, go->program(), fsm);
     ProfileClassifier prof;
     ClassificationAccuracy prof_acc =
-        evaluateClassification(annotated, go->input(0), prof);
+        session().evaluateClassification(*go, 0, annotated, prof);
 
     EXPECT_GT(prof_acc.mispredictionAccuracy(),
               fsm_acc.mispredictionAccuracy());
@@ -102,10 +114,10 @@ TEST_F(Pipeline, LoweringThresholdTradesMispredictionsForCoverage)
     lo.accuracyThresholdPercent = 50.0;
 
     ProfileClassifier cls;
-    ClassificationAccuracy hi_acc = evaluateClassification(
-        annotatedProgram(*perl, train, hi), perl->input(0), cls);
-    ClassificationAccuracy lo_acc = evaluateClassification(
-        annotatedProgram(*perl, train, lo), perl->input(0), cls);
+    ClassificationAccuracy hi_acc = session().evaluateClassification(
+        *perl, 0, annotatedProgram(*perl, train, hi), cls);
+    ClassificationAccuracy lo_acc = session().evaluateClassification(
+        *perl, 0, annotatedProgram(*perl, train, lo), cls);
 
     EXPECT_GE(hi_acc.mispredictionAccuracy(),
               lo_acc.mispredictionAccuracy());
@@ -121,11 +133,11 @@ TEST_F(Pipeline, ProfilingReducesAllocationCandidates)
         annotatedProgram(*gcc, trainingInputsFor(*gcc, 0),
                          InserterConfig{});
 
-    FiniteTableStats fsm = evaluateFiniteTable(
-        gcc->program(), gcc->input(0), VpPolicy::Fsm,
+    FiniteTableStats fsm = session().evaluateFiniteTable(
+        *gcc, 0, gcc->program(), VpPolicy::Fsm,
         paperFiniteConfig(true));
-    FiniteTableStats prof = evaluateFiniteTable(
-        annotated, gcc->input(0), VpPolicy::Profile,
+    FiniteTableStats prof = session().evaluateFiniteTable(
+        *gcc, 0, annotated, VpPolicy::Profile,
         paperFiniteConfig(false));
 
     EXPECT_EQ(fsm.candidates, fsm.producers);
@@ -138,12 +150,12 @@ TEST_F(Pipeline, ValuePredictionImprovesIlp)
     const Workload *m88k = suite().find("m88ksim");
     IlpConfig machine_cfg;  // paper defaults: window 40, penalty 1
 
-    IlpResult base = evaluateIlp(m88k->program(), m88k->input(0),
-                                 machine_cfg, VpPolicy::None,
-                                 paperFiniteConfig(true));
-    IlpResult fsm = evaluateIlp(m88k->program(), m88k->input(0),
-                                machine_cfg, VpPolicy::Fsm,
-                                paperFiniteConfig(true));
+    IlpResult base = session().evaluateIlp(
+        *m88k, 0, m88k->program(), machine_cfg, VpPolicy::None,
+        paperFiniteConfig(true));
+    IlpResult fsm = session().evaluateIlp(
+        *m88k, 0, m88k->program(), machine_cfg, VpPolicy::Fsm,
+        paperFiniteConfig(true));
     EXPECT_GT(base.ilp(), 1.0);
     EXPECT_LT(base.ilp(), 40.0);
     EXPECT_GT(fsm.ilp(), base.ilp());
@@ -159,18 +171,18 @@ TEST_F(Pipeline, ProfileGuidedIlpBeatsFsmOnMostBenchmarks)
     int competitive = 0, total = 0;
     for (const char *name : {"m88ksim", "gcc", "li", "vortex", "perl"}) {
         const Workload *w = suite().find(name);
-        IlpResult fsm = evaluateIlp(w->program(), w->input(0),
-                                    machine_cfg, VpPolicy::Fsm,
-                                    paperFiniteConfig(true));
+        IlpResult fsm = session().evaluateIlp(
+            *w, 0, w->program(), machine_cfg, VpPolicy::Fsm,
+            paperFiniteConfig(true));
         double best_prof = 0.0;
         for (double threshold : {90.0, 70.0, 50.0}) {
             InserterConfig cfg;
             cfg.accuracyThresholdPercent = threshold;
             Program annotated =
                 annotatedProgram(*w, trainingInputsFor(*w, 0), cfg);
-            IlpResult prof = evaluateIlp(annotated, w->input(0),
-                                         machine_cfg, VpPolicy::Profile,
-                                         paperFiniteConfig(false));
+            IlpResult prof = session().evaluateIlp(
+                *w, 0, annotated, machine_cfg, VpPolicy::Profile,
+                paperFiniteConfig(false));
             best_prof = std::max(best_prof, prof.ilp());
         }
         ++total;
@@ -204,9 +216,10 @@ TEST_F(Pipeline, CrossInputProfilesAgree)
     // Section 4's claim, end to end, on one integer benchmark: the
     // average-distance metric concentrates in the lowest decile.
     const Workload *vortex = suite().find("vortex");
-    std::vector<ProfileImage> images;
-    for (size_t i = 0; i < 3; ++i)
-        images.push_back(collectProfile(*vortex, i));
+    std::vector<ProfileImage> images(3);
+    session().runner().forEach(images.size(), [&](size_t i) {
+        images[i] = session().collectProfile(*vortex, i);
+    });
     AlignedProfileVectors v = alignAccuracy(images);
     ASSERT_GT(v.dimension(), 20u);
     Histogram h = decileSpread(averageDistance(v));

@@ -141,30 +141,110 @@ TEST(TraceIo, RejectsMissingFile)
                  "cannot open");
 }
 
-TEST(TraceIo, DetectsTruncation)
+/** Write a valid two-record trace and return its raw bytes. */
+std::string
+validTraceBytes(const std::string &path)
+{
+    TraceFileWriter writer(path);
+    TraceRecord rec;
+    rec.pc = 7;
+    writer.record(rec);
+    rec.pc = 8;
+    writer.record(rec);
+    writer.close();
+    std::ifstream in(path, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+}
+
+void
+writeBytes(const std::string &path, const std::string &data)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+}
+
+TEST(TraceIo, DetectsTruncationAtOpen)
 {
     std::string path = tempPath("trunc.trace");
-    {
-        TraceFileWriter writer(path);
-        TraceRecord rec;
-        writer.record(rec);
-        writer.record(rec);
-        writer.close();
-    }
-    // Chop off the final record's bytes.
-    {
-        std::ifstream in(path, std::ios::binary);
-        std::string data((std::istreambuf_iterator<char>(in)),
-                         std::istreambuf_iterator<char>());
-        std::ofstream out(path, std::ios::binary | std::ios::trunc);
-        out.write(data.data(),
-                  static_cast<std::streamsize>(data.size() - 10));
-    }
-    TraceFileReader reader(path);
-    TraceRecord rec;
-    EXPECT_TRUE(reader.next(rec));
-    EXPECT_DEATH(reader.next(rec), "truncated");
+    std::string data = validTraceBytes(path);
+    // Chop off the final record's bytes: the payload no longer matches
+    // the header's record count, which must be loud, not a short read.
+    writeBytes(path, data.substr(0, data.size() - 10));
+    EXPECT_DEATH(TraceFileReader reader(path), "truncated trace file");
+
+    TraceIoStatus status = TraceIoStatus::Ok;
+    EXPECT_EQ(TraceFileReader::tryOpen(path, &status), nullptr);
+    EXPECT_EQ(status, TraceIoStatus::Truncated);
     std::remove(path.c_str());
+}
+
+TEST(TraceIo, DetectsTrailingGarbageAtOpen)
+{
+    std::string path = tempPath("garbage.trace");
+    std::string data = validTraceBytes(path);
+    writeBytes(path, data + "extra bytes");
+    TraceIoStatus status = TraceIoStatus::Ok;
+    EXPECT_EQ(TraceFileReader::tryOpen(path, &status), nullptr);
+    EXPECT_EQ(status, TraceIoStatus::Truncated);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, CorruptFileRoundTrip)
+{
+    // Round-trip a healthy file through every corruption the reader
+    // distinguishes, checking each is classified (not UB, not silently
+    // replayed short).
+    std::string path = tempPath("corrupt.trace");
+    std::string data = validTraceBytes(path);
+    TraceIoStatus status = TraceIoStatus::Ok;
+
+    // Healthy: opens, replays both records.
+    writeBytes(path, data);
+    auto reader = TraceFileReader::tryOpen(path, &status);
+    ASSERT_NE(reader, nullptr);
+    EXPECT_EQ(status, TraceIoStatus::Ok);
+    VectorTraceSink sink;
+    EXPECT_EQ(reader->replay(&sink), 2u);
+    EXPECT_EQ(reader->status(), TraceIoStatus::Ok);
+    EXPECT_EQ(sink.trace()[1].pc, 8u);
+
+    // Bad magic: a foreign file.
+    std::string bad = data;
+    bad[0] = 'X';
+    writeBytes(path, bad);
+    EXPECT_EQ(TraceFileReader::tryOpen(path, &status), nullptr);
+    EXPECT_EQ(status, TraceIoStatus::BadMagic);
+
+    // Version mismatch: right magic, future version byte.
+    std::string future = data;
+    future[7] = '9';
+    writeBytes(path, future);
+    EXPECT_EQ(TraceFileReader::tryOpen(path, &status), nullptr);
+    EXPECT_EQ(status, TraceIoStatus::VersionMismatch);
+    EXPECT_DEATH(TraceFileReader reader(path),
+                 "unsupported trace file version");
+
+    // Short header: fewer bytes than the fixed header.
+    writeBytes(path, data.substr(0, 11));
+    EXPECT_EQ(TraceFileReader::tryOpen(path, &status), nullptr);
+    EXPECT_EQ(status, TraceIoStatus::ShortHeader);
+
+    // Missing file.
+    std::remove(path.c_str());
+    EXPECT_EQ(TraceFileReader::tryOpen(path, &status), nullptr);
+    EXPECT_EQ(status, TraceIoStatus::IoError);
+}
+
+TEST(TraceIo, StatusNamesAreDistinct)
+{
+    EXPECT_STREQ(traceIoStatusName(TraceIoStatus::Ok), "ok");
+    EXPECT_STREQ(traceIoStatusName(TraceIoStatus::BadMagic),
+                 "bad-magic");
+    EXPECT_STREQ(traceIoStatusName(TraceIoStatus::VersionMismatch),
+                 "version-mismatch");
+    EXPECT_STREQ(traceIoStatusName(TraceIoStatus::Truncated),
+                 "truncated");
 }
 
 TEST(TraceIo, RecordAfterClosePanics)

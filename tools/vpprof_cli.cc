@@ -2,6 +2,8 @@
  * @file
  * vpprof_cli — command-line driver for the library.
  *
+ *   vpprof_cli [--jobs N] [--trace-cache DIR] <command> [args]
+ *
  *   vpprof_cli list
  *   vpprof_cli disasm   <workload>
  *   vpprof_cli run      <workload> [input]
@@ -14,6 +16,11 @@
  *   vpprof_cli critpath <workload> [input]
  *   vpprof_cli blocks   <workload> [threshold]
  *   vpprof_cli correlate <workload>
+ *
+ * Commands that analyze workload traces share one Session: the VM runs
+ * each (workload, input) at most once per invocation, and with
+ * --trace-cache DIR the captured traces persist, so repeated
+ * invocations replay from disk instead of re-interpreting.
  */
 
 #include <cstdio>
@@ -22,7 +29,9 @@
 #include <string>
 
 #include "compiler/cfg.hh"
+#include "core/evaluators.hh"
 #include "core/experiment.hh"
+#include "core/session.hh"
 #include "ilp/critical_path.hh"
 #include "predictors/profile_classifier.hh"
 #include "predictors/saturating_classifier.hh"
@@ -38,7 +47,12 @@ int
 usage()
 {
     std::fprintf(stderr,
-                 "usage: vpprof_cli <command> [args]\n"
+                 "usage: vpprof_cli [--jobs N] [--trace-cache DIR] "
+                 "<command> [args]\n"
+                 "  --jobs N          parallel sweep cells "
+                 "(0 = all cores)\n"
+                 "  --trace-cache DIR reuse captured traces across "
+                 "invocations\n"
                  "  list                                 workloads\n"
                  "  disasm   <workload>                  disassembly\n"
                  "  run      <workload> [input]          execute + "
@@ -125,11 +139,11 @@ cmdRun(const Workload &w, size_t input)
 }
 
 int
-cmdTrace(const Workload &w, size_t input, const char *path)
+cmdTrace(Session &session, const Workload &w, size_t input,
+         const char *path)
 {
     TraceFileWriter writer(path);
-    Machine machine(w.program(), w.input(input));
-    machine.run(&writer, w.maxInstructions());
+    session.runTrace(w, input, &writer);
     writer.close();
     std::printf("wrote %llu records to %s\n",
                 static_cast<unsigned long long>(
@@ -155,9 +169,10 @@ cmdReplay(const char *path)
 }
 
 int
-cmdProfile(const Workload &w, size_t input, const char *path)
+cmdProfile(Session &session, const Workload &w, size_t input,
+           const char *path)
 {
-    ProfileImage image = collectProfile(w, input);
+    const ProfileImage &image = session.collectProfile(w, input);
     image.saveFile(path);
     std::printf("profiled %zu instructions -> %s\n", image.size(),
                 path);
@@ -184,20 +199,21 @@ cmdAnnotate(const Workload &w, const char *profile_path,
 }
 
 int
-cmdClassify(const Workload &w, const char *threshold_arg)
+cmdClassify(Session &session, const Workload &w,
+            const char *threshold_arg)
 {
     InserterConfig cfg;
     if (threshold_arg)
         cfg.accuracyThresholdPercent = std::atof(threshold_arg);
     Program annotated =
-        annotatedProgram(w, trainingInputsFor(w, 0), cfg);
+        session.annotatedProgram(w, trainingInputsFor(w, 0), cfg);
 
     SaturatingClassifier fsm;
     ClassificationAccuracy fsm_acc =
-        evaluateClassification(w.program(), w.input(0), fsm);
+        session.evaluateClassification(w, 0, w.program(), fsm);
     ProfileClassifier prof;
     ClassificationAccuracy prof_acc =
-        evaluateClassification(annotated, w.input(0), prof);
+        session.evaluateClassification(w, 0, annotated, prof);
 
     std::printf("%-32s %10s %12s\n", "", "FSM",
                 "profile");
@@ -210,7 +226,8 @@ cmdClassify(const Workload &w, const char *threshold_arg)
 }
 
 int
-cmdIlp(const Workload &w, const char *window_arg, const char *pen_arg)
+cmdIlp(Session &session, const Workload &w, const char *window_arg,
+       const char *pen_arg)
 {
     IlpConfig mc;
     if (window_arg)
@@ -221,15 +238,17 @@ cmdIlp(const Workload &w, const char *window_arg, const char *pen_arg)
 
     InserterConfig cfg;
     Program annotated =
-        annotatedProgram(w, trainingInputsFor(w, 0), cfg);
+        session.annotatedProgram(w, trainingInputsFor(w, 0), cfg);
 
-    IlpResult base = evaluateIlp(w.program(), w.input(0), mc,
-                                 VpPolicy::None, infiniteConfig());
-    IlpResult fsm = evaluateIlp(w.program(), w.input(0), mc,
-                                VpPolicy::Fsm, paperFiniteConfig(true));
-    IlpResult prof = evaluateIlp(annotated, w.input(0), mc,
-                                 VpPolicy::Profile,
-                                 paperFiniteConfig(false));
+    IlpResult base = session.evaluateIlp(w, 0, w.program(), mc,
+                                         VpPolicy::None,
+                                         infiniteConfig());
+    IlpResult fsm = session.evaluateIlp(w, 0, w.program(), mc,
+                                        VpPolicy::Fsm,
+                                        paperFiniteConfig(true));
+    IlpResult prof = session.evaluateIlp(w, 0, annotated, mc,
+                                         VpPolicy::Profile,
+                                         paperFiniteConfig(false));
     std::printf("window=%zu penalty=%u\n", mc.windowSize,
                 mc.mispredictPenalty);
     std::printf("  no VP        : %.3f\n", base.ilp());
@@ -241,18 +260,16 @@ cmdIlp(const Workload &w, const char *window_arg, const char *pen_arg)
 }
 
 int
-cmdCritpath(const Workload &w, size_t input)
+cmdCritpath(Session &session, const Workload &w, size_t input)
 {
+    // Both analyzers consume one fused replay of the cached trace.
     CriticalPathConfig plain;
     CriticalPathAnalyzer base(plain);
-    runProgram(w.program(), w.input(input), &base,
-               w.maxInstructions());
-    CriticalPathResult r1 = base.finish();
-
     CriticalPathConfig collapsed;
     collapsed.collapseCorrectPredictions = true;
     CriticalPathAnalyzer vp(collapsed);
-    runProgram(w.program(), w.input(input), &vp, w.maxInstructions());
+    session.replayInto(w, input, {&base, &vp});
+    CriticalPathResult r1 = base.finish();
     CriticalPathResult r2 = vp.finish();
 
     std::printf("instructions        : %llu\n",
@@ -278,13 +295,14 @@ cmdCritpath(const Workload &w, size_t input)
 }
 
 int
-cmdBlocks(const Workload &w, const char *threshold_arg)
+cmdBlocks(Session &session, const Workload &w,
+          const char *threshold_arg)
 {
     InserterConfig cfg;
     cfg.accuracyThresholdPercent =
         threshold_arg ? std::atof(threshold_arg) : 70.0;
     Program annotated =
-        annotatedProgram(w, trainingInputsFor(w, 0), cfg);
+        session.annotatedProgram(w, trainingInputsFor(w, 0), cfg);
 
     uint64_t plain = 0, collapsed = 0;
     size_t blocks = 0, tagged_blocks = 0;
@@ -307,11 +325,12 @@ cmdBlocks(const Workload &w, const char *threshold_arg)
 }
 
 int
-cmdCorrelate(const Workload &w)
+cmdCorrelate(Session &session, const Workload &w)
 {
-    std::vector<ProfileImage> images;
-    for (size_t i = 0; i < w.numInputSets(); ++i)
-        images.push_back(collectProfile(w, i));
+    std::vector<ProfileImage> images(w.numInputSets());
+    session.runner().forEach(images.size(), [&](size_t i) {
+        images[i] = session.collectProfile(w, i);
+    });
     AlignedProfileVectors v = alignAccuracy(images);
     Histogram mmax = decileSpread(maxDistance(v));
     Histogram mavg = decileSpread(averageDistance(v));
@@ -334,43 +353,66 @@ cmdCorrelate(const Workload &w)
 int
 main(int argc, char **argv)
 {
-    if (argc < 2)
+    SessionConfig session_cfg;
+    int arg = 1;
+    while (arg < argc && argv[arg][0] == '-') {
+        std::string flag = argv[arg];
+        if (flag == "--jobs" && arg + 1 < argc) {
+            session_cfg.jobs = static_cast<unsigned>(
+                std::strtoul(argv[arg + 1], nullptr, 10));
+            arg += 2;
+        } else if (flag == "--trace-cache" && arg + 1 < argc) {
+            session_cfg.traceCacheDir = argv[arg + 1];
+            arg += 2;
+        } else {
+            return usage();
+        }
+    }
+    if (arg >= argc)
         return usage();
-    std::string cmd = argv[1];
+    std::string cmd = argv[arg];
+    char **rest = argv + arg;  // rest[1] = first command operand
+    int nrest = argc - arg;
+
     WorkloadSuite suite;
+    Session session(session_cfg);
 
     if (cmd == "list")
         return cmdList(suite);
-    if (argc < 3)
+    if (nrest < 2)
         return usage();
 
     if (cmd == "replay")
-        return cmdReplay(argv[2]);
+        return cmdReplay(rest[1]);
 
-    const Workload *w = findOrDie(suite, argv[2]);
+    const Workload *w = findOrDie(suite, rest[1]);
     if (cmd == "disasm") {
         std::printf("%s", w->program().disassemble().c_str());
         return 0;
     }
     if (cmd == "run")
-        return cmdRun(*w, inputIndex(*w, argc > 3 ? argv[3] : nullptr));
-    if (cmd == "trace" && argc >= 5)
-        return cmdTrace(*w, inputIndex(*w, argv[3]), argv[4]);
-    if (cmd == "profile" && argc >= 5)
-        return cmdProfile(*w, inputIndex(*w, argv[3]), argv[4]);
-    if (cmd == "annotate" && argc >= 4)
-        return cmdAnnotate(*w, argv[3], argc > 4 ? argv[4] : nullptr);
+        return cmdRun(*w,
+                      inputIndex(*w, nrest > 2 ? rest[2] : nullptr));
+    if (cmd == "trace" && nrest >= 4)
+        return cmdTrace(session, *w, inputIndex(*w, rest[2]), rest[3]);
+    if (cmd == "profile" && nrest >= 4)
+        return cmdProfile(session, *w, inputIndex(*w, rest[2]),
+                          rest[3]);
+    if (cmd == "annotate" && nrest >= 3)
+        return cmdAnnotate(*w, rest[2], nrest > 3 ? rest[3] : nullptr);
     if (cmd == "classify")
-        return cmdClassify(*w, argc > 3 ? argv[3] : nullptr);
+        return cmdClassify(session, *w,
+                           nrest > 2 ? rest[2] : nullptr);
     if (cmd == "ilp")
-        return cmdIlp(*w, argc > 3 ? argv[3] : nullptr,
-                      argc > 4 ? argv[4] : nullptr);
+        return cmdIlp(session, *w, nrest > 2 ? rest[2] : nullptr,
+                      nrest > 3 ? rest[3] : nullptr);
     if (cmd == "critpath")
-        return cmdCritpath(*w,
-                           inputIndex(*w, argc > 3 ? argv[3] : nullptr));
+        return cmdCritpath(session, *w,
+                           inputIndex(*w,
+                                      nrest > 2 ? rest[2] : nullptr));
     if (cmd == "correlate")
-        return cmdCorrelate(*w);
+        return cmdCorrelate(session, *w);
     if (cmd == "blocks")
-        return cmdBlocks(*w, argc > 3 ? argv[3] : nullptr);
+        return cmdBlocks(session, *w, nrest > 2 ? rest[2] : nullptr);
     return usage();
 }
