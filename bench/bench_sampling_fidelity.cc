@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Sampled-profiling fidelity sweep (beyond the paper): how much
+ * directive quality does a profile lose when it observes only 1-in-N
+ * trace records, and how much profiling time does it buy?
+ *
+ * For every workload and every (policy, rate) cell the bench collects
+ * a sampled profile of input 0's trace, compares it against the exact
+ * profile (directive agreement — static and execution-weighted —
+ * accuracy / stride-ratio error), and replays one fused pass where a
+ * finite predictor table runs under the exact-profile annotation and
+ * under every sampled-profile annotation, giving the downstream
+ * misprediction delta. A ConvergenceTracker run reports how early the
+ * exact directive assignment stabilizes (early-exit profiling).
+ *
+ * Results land in BENCH_sampling.json; the headline acceptance bar is
+ * >= 90% execution-weighted directive agreement at a sampling rate of
+ * 1/8 or sparser for at least one policy, with the measured wall-time
+ * reduction alongside.
+ */
+
+#include "bench_util.hh"
+
+#include "compiler/directive_inserter.hh"
+#include "profile/sampling/convergence.hh"
+#include "profile/sampling/fidelity.hh"
+#include "profile/sampling/sampling_policy.hh"
+
+using namespace vpprof;
+using namespace vpprof::bench;
+
+namespace
+{
+
+const std::vector<SamplingPolicy> kPolicies = {
+    SamplingPolicy::Periodic,
+    SamplingPolicy::Random,
+    SamplingPolicy::Burst,
+};
+
+const std::vector<uint64_t> kRates = {2, 4, 8, 16, 32};
+
+/**
+ * Burst window length. Long bursts are what make burst sampling
+ * fidelity-preserving: within a window every occurrence of a pc is
+ * consecutive, so stride chains are observed exactly, and the one
+ * stale-stride miss at each window boundary is amortized over the
+ * whole window's worth of good attempts.
+ */
+constexpr uint64_t kBurstLen = 1024;
+
+struct Cell
+{
+    SamplingPolicy policy;
+    uint64_t rate = 0;
+    double wallMs = 0.0;
+    uint64_t kept = 0;
+    uint64_t seen = 0;
+    ProfileFidelity fidelity;
+    DownstreamDelta downstream;
+};
+
+struct WorkloadResult
+{
+    std::string name;
+    double exactWallMs = 0.0;
+    size_t exactPcs = 0;
+    uint64_t producers = 0;
+    uint64_t convergenceProducers = 0;
+    uint64_t convergenceSkipped = 0;
+    std::vector<Cell> cells;
+};
+
+template <typename Fn>
+double
+wallOf(Fn &&fn)
+{
+    using namespace std::chrono;
+    auto t0 = steady_clock::now();
+    fn();
+    return duration_cast<duration<double, std::milli>>(
+               steady_clock::now() - t0)
+        .count();
+}
+
+DownstreamCounts
+countsOf(const FiniteTableStats &stats)
+{
+    return DownstreamCounts{stats.producers, stats.correctTaken,
+                            stats.incorrectTaken};
+}
+
+double
+keptFraction(const Cell &cell)
+{
+    return cell.seen == 0 ? 1.0
+                          : static_cast<double>(cell.kept) /
+                                static_cast<double>(cell.seen);
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Sampled profiling - fidelity vs profiling cost",
+           "beyond the paper: Section 3.2 profiles from 1-in-N "
+           "sampled traces");
+
+    const auto &workloads = suite().all();
+    std::vector<WorkloadResult> results(workloads.size());
+
+    session().runner().forEach(workloads.size(), [&](size_t wi) {
+        const Workload &w = *workloads[wi];
+        WorkloadResult &res = results[wi];
+        res.name = w.name();
+
+        // Capture the trace outside any timed region so every cell
+        // below times pure profiling (replay + collection) cost.
+        session().runTrace(w, 0, nullptr);
+
+        ProfileImage exact;
+        {
+            ProfileCollector collector(res.name);
+            res.exactWallMs = wallOf([&] {
+                session().runTrace(w, 0, &collector);
+            });
+            res.producers = collector.producersSeen();
+            exact = collector.takeImage();
+        }
+        res.exactPcs = exact.size();
+
+        // How early does the exact directive assignment stabilize?
+        {
+            ProfileCollector collector(res.name);
+            ConvergenceConfig conv;
+            conv.earlyExit = true;
+            ConvergenceTracker tracker(collector, conv);
+            session().runTrace(w, 0, &tracker);
+            res.convergenceProducers = tracker.producersAtConvergence();
+            res.convergenceSkipped = tracker.recordsSkipped();
+        }
+
+        for (SamplingPolicy policy : kPolicies) {
+            for (uint64_t rate : kRates) {
+                SamplingConfig cfg;
+                cfg.policy = policy;
+                cfg.rate = rate;
+                cfg.burstLen = kBurstLen;
+
+                Cell cell;
+                cell.policy = policy;
+                cell.rate = rate;
+
+                ProfileCollector collector(res.name);
+                SamplingTraceSink sampler(cfg, &collector);
+                cell.wallMs = wallOf([&] {
+                    session().runTrace(w, 0, &sampler);
+                });
+                cell.kept = sampler.recordsKept();
+                cell.seen = sampler.recordsSeen();
+                ProfileImage sampled = collector.takeImage();
+                // Judge the sampled side under the support floor
+                // scaled to the fraction of the trace it observed.
+                DirectiveRule rule;
+                cell.fidelity = compareProfiles(
+                    exact, sampled, rule,
+                    rule.scaledToSampling(keptFraction(cell)));
+
+                res.cells.push_back(std::move(cell));
+            }
+        }
+
+        // Downstream check: one fused replay drives a finite table
+        // under the exact annotation and under every sampled
+        // annotation (directives are metadata, so all views share the
+        // one cached raw trace).
+        InserterConfig inserter;
+        Program exact_prog = w.program();
+        insertDirectives(exact_prog, exact, inserter);
+        FiniteTableEvaluator exact_eval(VpPolicy::Profile,
+                                        paperFiniteConfig(false));
+        DirectiveOverrideSink exact_view(exact_prog, &exact_eval);
+
+        std::vector<Program> progs;
+        std::vector<FiniteTableEvaluator> evals;
+        std::vector<DirectiveOverrideSink> views;
+        progs.reserve(res.cells.size());
+        evals.reserve(res.cells.size());
+        views.reserve(res.cells.size());
+        std::vector<TraceSink *> sinks = {&exact_view};
+        for (const Cell &cell : res.cells) {
+            SamplingConfig cfg;
+            cfg.policy = cell.policy;
+            cfg.rate = cell.rate;
+            cfg.burstLen = kBurstLen;
+            const ProfileImage &sampled =
+                session().collectSampledProfile(w, 0, cfg);
+            InserterConfig sampled_inserter = inserter;
+            sampled_inserter.minAttempts =
+                inserter.rule()
+                    .scaledToSampling(keptFraction(cell))
+                    .minAttempts;
+            progs.push_back(w.program());
+            insertDirectives(progs.back(), sampled, sampled_inserter);
+            evals.emplace_back(VpPolicy::Profile,
+                               paperFiniteConfig(false));
+            views.emplace_back(progs.back(), &evals.back());
+            sinks.push_back(&views.back());
+        }
+        session().replayInto(w, 0, sinks);
+
+        DownstreamCounts exact_counts = countsOf(exact_eval.result());
+        for (size_t c = 0; c < res.cells.size(); ++c)
+            res.cells[c].downstream = compareDownstream(
+                exact_counts, countsOf(evals[c].result()));
+    });
+
+    // ---- stdout report --------------------------------------------
+    for (SamplingPolicy policy : kPolicies) {
+        std::printf("policy %-8s %10s %10s %10s %10s %10s\n",
+                    std::string(samplingPolicyName(policy)).c_str(),
+                    "agree%", "w-agree%", "acc-mae", "dMis(pp)",
+                    "speedup");
+        for (uint64_t rate : kRates) {
+            double agree = 0, wagree = 0, mae = 0, dmis = 0, speed = 0;
+            for (const WorkloadResult &res : results) {
+                for (const Cell &cell : res.cells) {
+                    if (cell.policy != policy || cell.rate != rate)
+                        continue;
+                    agree += cell.fidelity.directiveAgreementPercent();
+                    wagree += cell.fidelity.weightedAgreementPercent();
+                    mae += cell.fidelity.meanAccuracyErrorPct;
+                    dmis += cell.downstream.mispredictDeltaPct();
+                    speed += res.exactWallMs /
+                             (cell.wallMs > 0 ? cell.wallMs : 1e-3);
+                }
+            }
+            double n = static_cast<double>(results.size());
+            std::printf("  1/%-8llu %9.1f %10.1f %10.2f %+10.2f "
+                        "%9.1fx\n",
+                        static_cast<unsigned long long>(rate),
+                        agree / n, wagree / n, mae / n, dmis / n,
+                        speed / n);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("directive convergence of the exact profile "
+                "(early-exit):\n");
+    for (const WorkloadResult &res : results)
+        std::printf("  %-10s stable after %9llu of %9llu producers "
+                    "(%llu records skipped)\n",
+                    res.name.c_str(),
+                    static_cast<unsigned long long>(
+                        res.convergenceProducers),
+                    static_cast<unsigned long long>(res.producers),
+                    static_cast<unsigned long long>(
+                        res.convergenceSkipped));
+
+    // Acceptance bar: some policy at rate >= 8 keeps >= 90% weighted
+    // directive agreement on every workload's average.
+    double best = 0;
+    SamplingPolicy best_policy = SamplingPolicy::Periodic;
+    for (SamplingPolicy policy : kPolicies) {
+        double wagree = 0;
+        for (const WorkloadResult &res : results)
+            for (const Cell &cell : res.cells)
+                if (cell.policy == policy && cell.rate == 8)
+                    wagree += cell.fidelity.weightedAgreementPercent();
+        wagree /= static_cast<double>(results.size());
+        if (wagree > best) {
+            best = wagree;
+            best_policy = policy;
+        }
+    }
+    std::printf("\nacceptance: best policy at rate 1/8 is %s with "
+                "%.1f%% weighted directive agreement (bar: 90%%) "
+                "-> %s\n",
+                std::string(samplingPolicyName(best_policy)).c_str(),
+                best, best >= 90.0 ? "PASS" : "FAIL");
+
+    // ---- BENCH_sampling.json --------------------------------------
+    {
+        std::ofstream out("BENCH_sampling.json", std::ios::trunc);
+        out << "{\n  \"acceptance\": {\"best_policy_at_rate_8\": \""
+            << samplingPolicyName(best_policy)
+            << "\", \"weighted_agreement_pct\": " << best
+            << ", \"bar_pct\": 90.0},\n";
+        out << "  \"workloads\": {\n";
+        for (size_t i = 0; i < results.size(); ++i) {
+            const WorkloadResult &res = results[i];
+            out << "    \"" << res.name << "\": {\n"
+                << "      \"exact\": {\"wall_ms\": " << res.exactWallMs
+                << ", \"pcs\": " << res.exactPcs
+                << ", \"producers\": " << res.producers
+                << ", \"convergence_producers\": "
+                << res.convergenceProducers
+                << ", \"convergence_records_skipped\": "
+                << res.convergenceSkipped << "},\n"
+                << "      \"cells\": [\n";
+            for (size_t c = 0; c < res.cells.size(); ++c) {
+                const Cell &cell = res.cells[c];
+                out << "        {\"policy\": \""
+                    << samplingPolicyName(cell.policy)
+                    << "\", \"rate\": " << cell.rate
+                    << ", \"wall_ms\": " << cell.wallMs
+                    << ", \"speedup\": "
+                    << res.exactWallMs /
+                           (cell.wallMs > 0 ? cell.wallMs : 1e-3)
+                    << ", \"records_kept\": " << cell.kept
+                    << ", \"records_seen\": " << cell.seen
+                    << ", \"agreement_pct\": "
+                    << cell.fidelity.directiveAgreementPercent()
+                    << ", \"weighted_agreement_pct\": "
+                    << cell.fidelity.weightedAgreementPercent()
+                    << ", \"accuracy_mae_pct\": "
+                    << cell.fidelity.meanAccuracyErrorPct
+                    << ", \"stride_mae_pct\": "
+                    << cell.fidelity.meanStrideRatioErrorPct
+                    << ", \"correct_delta_pp\": "
+                    << cell.downstream.correctDeltaPct()
+                    << ", \"mispredict_delta_pp\": "
+                    << cell.downstream.mispredictDeltaPct() << "}"
+                    << (c + 1 < res.cells.size() ? "," : "") << "\n";
+            }
+            out << "      ]\n    }"
+                << (i + 1 < results.size() ? "," : "") << "\n";
+        }
+        out << "  }\n}\n";
+        std::printf("\nwrote BENCH_sampling.json\n");
+    }
+
+    finishBench("bench_sampling_fidelity");
+    return 0;
+}

@@ -21,10 +21,31 @@ fatalImpl(const char *file, int line, const std::string &msg)
     std::exit(1);
 }
 
+namespace
+{
+
+std::atomic<uint64_t> totalWarnings{0};
+
+} // namespace
+
 void
 warnImpl(const std::string &msg)
 {
+    totalWarnings.fetch_add(1, std::memory_order_relaxed);
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+warnLimitedImpl(std::atomic<uint64_t> &count, uint64_t limit,
+                const std::string &msg)
+{
+    uint64_t n = count.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (n <= limit) {
+        warnImpl(msg);
+    } else if (n == limit + 1) {
+        warnImpl(concat("(suppressing further occurrences of this "
+                        "warning after ", limit, ")"));
+    }
 }
 
 void
@@ -35,4 +56,11 @@ informImpl(const std::string &msg)
 }
 
 } // namespace detail
+
+uint64_t
+warningsEmitted()
+{
+    return detail::totalWarnings.load(std::memory_order_relaxed);
+}
+
 } // namespace vpprof

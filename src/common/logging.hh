@@ -12,6 +12,8 @@
 #ifndef VPPROF_COMMON_LOGGING_HH
 #define VPPROF_COMMON_LOGGING_HH
 
+#include <atomic>
+#include <cstdint>
 #include <cstdlib>
 #include <sstream>
 #include <string>
@@ -37,9 +39,22 @@ concat(Args &&...args)
 [[noreturn]] void fatalImpl(const char *file, int line,
                             const std::string &msg);
 void warnImpl(const std::string &msg);
+
+/**
+ * Rate-limited warning: prints the first `limit` occurrences of this
+ * call site (counted by `count`), then one final suppression notice.
+ * Thread-safe; diagnostics always go to stderr so machine-readable
+ * stdout (bench JSON, CLI output) is never corrupted.
+ */
+void warnLimitedImpl(std::atomic<uint64_t> &count, uint64_t limit,
+                     const std::string &msg);
+
 void informImpl(const std::string &msg);
 
 } // namespace detail
+
+/** Warnings emitted so far, process wide (tests and health checks). */
+uint64_t warningsEmitted();
 
 } // namespace vpprof
 
@@ -56,6 +71,20 @@ void informImpl(const std::string &msg);
 /** Print a warning and continue. */
 #define vpprof_warn(...) \
     ::vpprof::detail::warnImpl(::vpprof::detail::concat(__VA_ARGS__))
+
+/**
+ * Print a warning, but at most `limit` times per call site (plus one
+ * suppression notice). For diagnostics that can repeat per trace file
+ * or per record — e.g. corrupt-cache re-captures in a sweep — where
+ * each instance is worth one line but a flood would drown the run.
+ */
+#define vpprof_warn_limited(limit, ...) \
+    do { \
+        static ::std::atomic<uint64_t> vpprof_warn_count_{0}; \
+        ::vpprof::detail::warnLimitedImpl( \
+            vpprof_warn_count_, (limit), \
+            ::vpprof::detail::concat(__VA_ARGS__)); \
+    } while (0)
 
 /** Print an informational status line. */
 #define vpprof_inform(...) \

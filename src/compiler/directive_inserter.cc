@@ -20,19 +20,11 @@ insertDirectives(Program &program, const ProfileImage &image,
             continue;
         ++stats.profiled;
 
-        if (prof->attempts < config.minAttempts)
-            continue;
-        if (prof->accuracyPercent() < config.accuracyThresholdPercent)
-            continue;
-
-        if (prof->strideEfficiencyPercent() >
-            config.strideThresholdPercent) {
-            inst.directive = Directive::Stride;
+        inst.directive = classifyDirective(*prof, config.rule());
+        if (inst.directive == Directive::Stride)
             ++stats.taggedStride;
-        } else {
-            inst.directive = Directive::LastValue;
+        else if (inst.directive == Directive::LastValue)
             ++stats.taggedLastValue;
-        }
     }
     return stats;
 }

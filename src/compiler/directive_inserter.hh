@@ -45,6 +45,14 @@ struct InserterConfig
      * tagged; avoids classifying on a single observation.
      */
     uint64_t minAttempts = 4;
+
+    /** The equivalent profile-layer classification rule. */
+    DirectiveRule
+    rule() const
+    {
+        return DirectiveRule{accuracyThresholdPercent,
+                             strideThresholdPercent, minAttempts};
+    }
 };
 
 /** Outcome counts of a directive-insertion pass. */

@@ -9,6 +9,7 @@
 #include "ilp/dataflow_engine.hh"
 #include "predictors/stride_predictor.hh"
 #include "profile/profile_collector.hh"
+#include "profile/sampling/sketch_collector.hh"
 #include "vm/trace_io.hh"
 
 namespace vpprof
@@ -114,10 +115,15 @@ TraceRepository::produce(Entry &entry, const Workload &workload,
             entry.produced.store(true, std::memory_order_release);
             return;
         }
+        // Diagnostic, not fatal — and rate-limited: a sweep touching
+        // a damaged cache directory hits this once per trace file,
+        // and stdout consumers (bench JSON, CLI pipelines) must never
+        // see these lines interleaved into their output.
         if (status != TraceIoStatus::IoError)
-            vpprof_warn("ignoring unusable trace cache file ",
-                        cachePath, " (", traceIoStatusName(status),
-                        "); re-capturing");
+            vpprof_warn_limited(8, "ignoring unusable trace cache "
+                                "file ", cachePath, " (",
+                                traceIoStatusName(status),
+                                "); re-capturing");
     }
 
     // First use in any process: interpret the workload once.
@@ -267,6 +273,50 @@ Session::collectProfile(const Workload &workload, size_t input_idx)
     // try_emplace: under a race the first insertion wins; both
     // computed images are identical (replay is deterministic).
     auto [it, inserted] = profiles_.try_emplace(key, std::move(image));
+    (void)inserted;
+    return it->second;
+}
+
+const ProfileImage &
+Session::collectSampledProfile(const Workload &workload,
+                               size_t input_idx,
+                               const SamplingConfig &sampling)
+{
+    if (auto complaint = sampling.validate())
+        vpprof_fatal("invalid sampling config: ", *complaint);
+    if (sampling.isExact())
+        return collectProfile(workload, input_idx);
+
+    auto key = std::make_tuple(std::string(workload.name()), input_idx,
+                               sampling.cacheKey());
+    {
+        std::lock_guard<std::mutex> lock(profileMutex_);
+        auto it = sampledProfiles_.find(key);
+        if (it != sampledProfiles_.end())
+            return it->second;
+    }
+
+    ProfileImage image;
+    if (sampling.sketchCapacity > 0) {
+        SketchConfig sketch_cfg;
+        sketch_cfg.capacity = sampling.sketchCapacity;
+        SketchProfileCollector collector(std::string(workload.name()),
+                                         sketch_cfg);
+        SamplingTraceSink sampler(sampling, &collector);
+        traces_.replay(workload, input_idx, &sampler);
+        image = collector.takeImage();
+    } else {
+        ProfileCollector collector(std::string(workload.name()));
+        SamplingTraceSink sampler(sampling, &collector);
+        traces_.replay(workload, input_idx, &sampler);
+        image = collector.takeImage();
+    }
+
+    std::lock_guard<std::mutex> lock(profileMutex_);
+    // First insertion wins under a race; the kept-record set is a
+    // pure function of (config, trace), so both images are identical.
+    auto [it, inserted] =
+        sampledProfiles_.try_emplace(key, std::move(image));
     (void)inserted;
     return it->second;
 }

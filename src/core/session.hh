@@ -25,10 +25,12 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "core/experiment.hh"
 #include "core/parallel.hh"
+#include "profile/sampling/sampling_policy.hh"
 
 namespace vpprof
 {
@@ -148,6 +150,20 @@ class Session
     const ProfileImage &collectProfile(const Workload &workload,
                                        size_t input_idx);
 
+    /**
+     * Sampled phase-2 profile of one run, collected through the
+     * sampled-profiling subsystem: the cached trace is replayed
+     * through a SamplingTraceSink decorator into an exact collector —
+     * or a memory-bounded SketchProfileCollector when the config asks
+     * for one. Memoized per (workload, input, config.cacheKey());
+     * exact configs share collectProfile()'s cache. Deterministic for
+     * every jobs count: the kept-record set is a pure function of the
+     * config and the trace.
+     */
+    const ProfileImage &collectSampledProfile(
+        const Workload &workload, size_t input_idx,
+        const SamplingConfig &sampling);
+
     /** Phase-2 profile split at the workload's phaseSplitPc(). */
     PhasedProfiles collectPhasedProfile(const Workload &workload,
                                         size_t input_idx);
@@ -206,6 +222,9 @@ class Session
     std::mutex profileMutex_;
     std::map<std::pair<std::string, size_t>, ProfileImage> profiles_;
     std::map<std::string, ProfileImage> mergedProfiles_;
+    /** Keyed by (workload, input, sampling cache key). */
+    std::map<std::tuple<std::string, size_t, std::string>, ProfileImage>
+        sampledProfiles_;
 };
 
 /**

@@ -59,7 +59,12 @@ ProfileCollector::record(const TraceRecord &rec)
 ProfileImage
 ProfileCollector::takeImage()
 {
-    return std::move(image_);
+    ProfileImage out = std::move(image_);
+    image_ = ProfileImage(std::string(out.programName()));
+    stride_.reset();
+    lastValue_.reset();
+    producersSeen_ = 0;
+    return out;
 }
 
 } // namespace vpprof

@@ -37,10 +37,15 @@ class ProfileCollector : public TraceSink
     /** The image accumulated so far. */
     const ProfileImage &image() const { return image_; }
 
-    /** Move the image out (collector becomes empty). */
+    /**
+     * Move the image out and reset to a pristine collector: the next
+     * record starts a fresh image under the same program name, with
+     * cold predictors and producersSeen() == 0. Safe to reuse for
+     * another run (per-phase or per-epoch profiling).
+     */
     ProfileImage takeImage();
 
-    /** Total value-producing instructions observed. */
+    /** Value-producing records observed since the last takeImage(). */
     uint64_t producersSeen() const { return producersSeen_; }
 
   private:

@@ -8,6 +8,30 @@
 namespace vpprof
 {
 
+Directive
+classifyDirective(const PcProfile &profile, const DirectiveRule &rule)
+{
+    if (profile.attempts < rule.minAttempts)
+        return Directive::None;
+    if (profile.accuracyPercent() < rule.accuracyThresholdPercent)
+        return Directive::None;
+    return profile.strideEfficiencyPercent() > rule.strideThresholdPercent
+               ? Directive::Stride
+               : Directive::LastValue;
+}
+
+DirectiveRule
+DirectiveRule::scaledToSampling(double keptFraction) const
+{
+    DirectiveRule scaled = *this;
+    if (keptFraction > 0.0 && keptFraction < 1.0) {
+        auto floor_attempts = static_cast<uint64_t>(
+            static_cast<double>(minAttempts) * keptFraction + 0.5);
+        scaled.minAttempts = floor_attempts < 2 ? 2 : floor_attempts;
+    }
+    return scaled;
+}
+
 const PcProfile *
 ProfileImage::find(uint64_t pc) const
 {

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "isa/directive.hh"
 #include "isa/opcode.hh"
 
 namespace vpprof
@@ -36,6 +37,18 @@ struct PcProfile
     /** Last-value predictions attempted. */
     uint64_t lastValueAttempts = 0;
     OpClass opClass = OpClass::IntAlu;
+
+    /** Exact counter equality (bit-identical profiles in tests). */
+    bool
+    operator==(const PcProfile &o) const
+    {
+        return executions == o.executions && attempts == o.attempts &&
+               correct == o.correct &&
+               correctNonZeroStride == o.correctNonZeroStride &&
+               lastValueCorrect == o.lastValueCorrect &&
+               lastValueAttempts == o.lastValueAttempts &&
+               opClass == o.opClass;
+    }
 
     /** Stride-predictor prediction accuracy in percent (0 if untried). */
     double
@@ -68,6 +81,42 @@ struct PcProfile
                         / static_cast<double>(correct);
     }
 };
+
+/**
+ * The paper's Section 3.2 classification rule, decoupled from the
+ * compiler pass so profile-level consumers (convergence tracking,
+ * fidelity comparison) can ask "what directive would this profile
+ * earn?" without a Program in hand. The compiler's InserterConfig
+ * mirrors these fields and delegates here.
+ */
+struct DirectiveRule
+{
+    /** Tag predictable at or above this prediction accuracy (%). */
+    double accuracyThresholdPercent = 90.0;
+
+    /** Above this stride efficiency ratio (%): "stride", else
+     *  "last-value". */
+    double strideThresholdPercent = 50.0;
+
+    /** Minimum profiled attempts before an instruction may be tagged. */
+    uint64_t minAttempts = 4;
+
+    /**
+     * The rule to judge a profile that observed only `keptFraction`
+     * of the trace: the accuracy and stride-ratio thresholds carry
+     * over unchanged (they are ratios), but the attempt-support floor
+     * scales with the observed fraction — demanding the full-trace
+     * support from a 1-in-N profile would strip tags from every
+     * moderately-hot instruction for lack of samples, not for lack of
+     * predictability. Clamped below at 2 attempts so a single lucky
+     * prediction can never tag an instruction.
+     */
+    DirectiveRule scaledToSampling(double keptFraction) const;
+};
+
+/** The directive a profile earns under a rule (None if below it). */
+Directive classifyDirective(const PcProfile &profile,
+                            const DirectiveRule &rule);
 
 /**
  * A profile image: the per-pc table produced by one (or several merged)
@@ -108,6 +157,13 @@ class ProfileImage
      * single or multiple times").
      */
     void merge(const ProfileImage &other);
+
+    /** Bit-identical image contents (name ignored; tests, fidelity). */
+    bool
+    operator==(const ProfileImage &o) const
+    {
+        return entries_ == o.entries_;
+    }
 
     /** Serialize as the text profile-image file format. */
     void save(std::ostream &os) const;

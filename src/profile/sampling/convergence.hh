@@ -1,0 +1,94 @@
+/**
+ * @file
+ * ConvergenceTracker: early-exit profiling. The paper's methodology
+ * profiles a whole training run, but the quantity the compiler
+ * actually consumes — the per-instruction directive assignment — is
+ * usually decided long before the trace ends: hot instructions settle
+ * into their accuracy/stride-ratio bands early. The tracker
+ * periodically snapshots the directive assignment the evolving
+ * profile would produce and declares convergence once consecutive
+ * snapshots agree; with early-exit enabled it then stops feeding the
+ * collector, so the remaining replay costs a branch per record.
+ */
+
+#ifndef VPPROF_PROFILE_SAMPLING_CONVERGENCE_HH
+#define VPPROF_PROFILE_SAMPLING_CONVERGENCE_HH
+
+#include <map>
+
+#include "profile/profile_collector.hh"
+#include "profile/profile_image.hh"
+#include "vm/trace.hh"
+
+namespace vpprof
+{
+
+/** Knobs of the convergence check. */
+struct ConvergenceConfig
+{
+    /** Producer records between directive snapshots. */
+    uint64_t checkIntervalProducers = 65'536;
+
+    /**
+     * Two consecutive snapshots "agree" when at least this share of
+     * the pcs in either snapshot keeps its directive (%).
+     */
+    double stableAgreementPercent = 99.5;
+
+    /** Consecutive agreeing snapshots that declare convergence. */
+    unsigned stableChecks = 2;
+
+    /** Stop feeding the collector once converged. */
+    bool earlyExit = false;
+
+    /** Classification rule the snapshots are taken under. */
+    DirectiveRule rule;
+};
+
+/**
+ * A TraceSink decorator around a ProfileCollector that reports when
+ * the collector's directive assignment has stabilized.
+ */
+class ConvergenceTracker : public TraceSink
+{
+  public:
+    /** @param collector Profiled through; held by reference. */
+    ConvergenceTracker(ProfileCollector &collector,
+                       const ConvergenceConfig &config = {});
+
+    void record(const TraceRecord &rec) override;
+
+    bool converged() const { return converged_; }
+
+    /** Producers observed when convergence fired (0 = never). */
+    uint64_t producersAtConvergence() const
+    {
+        return producersAtConvergence_;
+    }
+
+    /** Records dropped after convergence (early-exit savings). */
+    uint64_t recordsSkipped() const { return skipped_; }
+
+    unsigned snapshotsTaken() const { return snapshots_; }
+
+    /** Agreement between the last two snapshots (% of pcs). */
+    double lastAgreementPercent() const { return lastAgreement_; }
+
+  private:
+    void snapshot();
+
+    ProfileCollector &collector_;
+    ConvergenceConfig config_;
+    std::map<uint64_t, Directive> prev_;
+    uint64_t producers_ = 0;
+    uint64_t skipped_ = 0;
+    unsigned snapshots_ = 0;
+    unsigned stableRun_ = 0;
+    double lastAgreement_ = 0.0;
+    bool converged_ = false;
+    uint64_t producersAtConvergence_ = 0;
+};
+
+} // namespace vpprof
+
+#endif // VPPROF_PROFILE_SAMPLING_CONVERGENCE_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * A count-min sketch over 64-bit keys: fixed-memory approximate
+ * frequency counting for the cold tail of a profiled instruction
+ * stream. Estimates never undercount (the classic CMS guarantee), so
+ * a promotion test "estimate >= threshold" can miss no genuinely hot
+ * instruction; it can only promote a few cold ones early, which costs
+ * one bounded table slot, never correctness.
+ *
+ * Hashing is splitmix64 seeded per row — deterministic across
+ * platforms and runs, like every other source of randomness in vpprof.
+ */
+
+#ifndef VPPROF_PROFILE_SAMPLING_COUNT_MIN_SKETCH_HH
+#define VPPROF_PROFILE_SAMPLING_COUNT_MIN_SKETCH_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hh"
+
+namespace vpprof
+{
+
+/** Fixed-size count-min sketch; memory = depth * width * 8 bytes. */
+class CountMinSketch
+{
+  public:
+    /**
+     * @param width Counters per row (rounded up to a power of two).
+     * @param depth Independent hash rows (typically 4).
+     */
+    explicit CountMinSketch(size_t width = 1024, size_t depth = 4)
+        : depth_(depth == 0 ? 1 : depth)
+    {
+        size_t w = 16;
+        while (w < width)
+            w <<= 1;
+        mask_ = w - 1;
+        rows_.assign(depth_ * w, 0);
+        seeds_.resize(depth_);
+        uint64_t sm = 0x5eedc0de5eedc0deull;
+        for (uint64_t &seed : seeds_)
+            seed = splitmix64(sm);
+    }
+
+    /** Add `amount` to the key's counters. */
+    void
+    add(uint64_t key, uint64_t amount = 1)
+    {
+        size_t w = mask_ + 1;
+        for (size_t d = 0; d < depth_; ++d)
+            rows_[d * w + slot(key, d)] += amount;
+    }
+
+    /** Point estimate: min over rows; >= the true count, never <. */
+    uint64_t
+    estimate(uint64_t key) const
+    {
+        size_t w = mask_ + 1;
+        uint64_t best = rows_[slot(key, 0)];
+        for (size_t d = 1; d < depth_; ++d)
+            best = std::min(best, rows_[d * w + slot(key, d)]);
+        return best;
+    }
+
+    /** add() then estimate(), in one pass over the rows. */
+    uint64_t
+    addAndEstimate(uint64_t key, uint64_t amount = 1)
+    {
+        size_t w = mask_ + 1;
+        uint64_t best = UINT64_MAX;
+        for (size_t d = 0; d < depth_; ++d) {
+            uint64_t &cell = rows_[d * w + slot(key, d)];
+            cell += amount;
+            best = std::min(best, cell);
+        }
+        return best;
+    }
+
+    void reset() { std::fill(rows_.begin(), rows_.end(), 0); }
+
+    size_t width() const { return mask_ + 1; }
+    size_t depth() const { return depth_; }
+
+    /** Resident footprint of the counter array, in bytes. */
+    size_t memoryBytes() const { return rows_.size() * sizeof(uint64_t); }
+
+  private:
+    size_t
+    slot(uint64_t key, size_t d) const
+    {
+        uint64_t state = seeds_[d] ^ key;
+        return static_cast<size_t>(splitmix64(state)) & mask_;
+    }
+
+    size_t depth_;
+    size_t mask_ = 0;
+    std::vector<uint64_t> rows_;
+    std::vector<uint64_t> seeds_;
+};
+
+} // namespace vpprof
+
+#endif // VPPROF_PROFILE_SAMPLING_COUNT_MIN_SKETCH_HH

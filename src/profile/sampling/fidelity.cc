@@ -1,0 +1,83 @@
+#include "profile/sampling/fidelity.hh"
+
+#include <cmath>
+
+namespace vpprof
+{
+
+ProfileFidelity
+compareProfiles(const ProfileImage &exact, const ProfileImage &sampled,
+                const DirectiveRule &rule)
+{
+    return compareProfiles(exact, sampled, rule, rule);
+}
+
+ProfileFidelity
+compareProfiles(const ProfileImage &exact, const ProfileImage &sampled,
+                const DirectiveRule &rule,
+                const DirectiveRule &sampledRule)
+{
+    ProfileFidelity f;
+    f.exactPcs = exact.size();
+    f.sampledPcs = sampled.size();
+
+    static const PcProfile kEmpty{};
+    double accErrSum = 0.0, strideErrSum = 0.0;
+    size_t accPcs = 0, stridePcs = 0;
+
+    for (const auto &[pc, e] : exact.entries()) {
+        const PcProfile *s = sampled.find(pc);
+        const PcProfile &sp = s ? *s : kEmpty;
+
+        f.exactExecutions += e.executions;
+        if (classifyDirective(e, rule) ==
+            classifyDirective(sp, sampledRule)) {
+            ++f.agreeingPcs;
+            f.agreeingExecutions += e.executions;
+        }
+        if (e.attempts > 0) {
+            accErrSum +=
+                std::abs(e.accuracyPercent() - sp.accuracyPercent());
+            ++accPcs;
+        }
+        if (e.correct > 0) {
+            strideErrSum += std::abs(e.strideEfficiencyPercent() -
+                                     sp.strideEfficiencyPercent());
+            ++stridePcs;
+        }
+    }
+    if (accPcs > 0)
+        f.meanAccuracyErrorPct = accErrSum / static_cast<double>(accPcs);
+    if (stridePcs > 0)
+        f.meanStrideRatioErrorPct =
+            strideErrSum / static_cast<double>(stridePcs);
+    return f;
+}
+
+namespace
+{
+
+double
+pct(uint64_t part, uint64_t whole)
+{
+    return whole == 0 ? 0.0
+                      : 100.0 * static_cast<double>(part) /
+                            static_cast<double>(whole);
+}
+
+} // namespace
+
+DownstreamDelta
+compareDownstream(const DownstreamCounts &exact,
+                  const DownstreamCounts &sampled)
+{
+    DownstreamDelta d;
+    d.exactCorrectPct = pct(exact.correctTaken, exact.producers);
+    d.sampledCorrectPct = pct(sampled.correctTaken, sampled.producers);
+    d.exactMispredictPct = pct(exact.incorrectTaken, exact.producers);
+    d.sampledMispredictPct =
+        pct(sampled.incorrectTaken, sampled.producers);
+    return d;
+}
+
+} // namespace vpprof

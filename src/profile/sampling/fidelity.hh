@@ -1,0 +1,117 @@
+/**
+ * @file
+ * ProfileFidelity: how much directive quality a sampled profile lost
+ * relative to the exact profile of the same run. The comparison is in
+ * the units the methodology actually consumes: (a) the directive each
+ * pc would earn under a DirectiveRule — statically and weighted by
+ * dynamic execution count — and (b) the error in the two profiled
+ * ratios (prediction accuracy, stride efficiency). The downstream
+ * check (misprediction delta of a finite predictor table driven by
+ * each profile's annotations) is expressed over plain counters so
+ * this layer stays independent of the evaluator layer above it.
+ */
+
+#ifndef VPPROF_PROFILE_SAMPLING_FIDELITY_HH
+#define VPPROF_PROFILE_SAMPLING_FIDELITY_HH
+
+#include <cstdint>
+
+#include "profile/profile_image.hh"
+
+namespace vpprof
+{
+
+/** Fidelity of a sampled profile against the exact profile. */
+struct ProfileFidelity
+{
+    size_t exactPcs = 0;    ///< pcs in the exact image
+    size_t sampledPcs = 0;  ///< pcs in the sampled image
+    size_t agreeingPcs = 0; ///< exact pcs with the same directive
+
+    uint64_t exactExecutions = 0;    ///< total executions (exact)
+    uint64_t agreeingExecutions = 0; ///< executions on agreeing pcs
+
+    /** Mean |accuracy_exact - accuracy_sampled| over attempted pcs. */
+    double meanAccuracyErrorPct = 0.0;
+
+    /** Mean |strideRatio_exact - strideRatio_sampled| likewise. */
+    double meanStrideRatioErrorPct = 0.0;
+
+    /** Share of exact-profile pcs earning the same directive (%). */
+    double
+    directiveAgreementPercent() const
+    {
+        return exactPcs == 0
+            ? 100.0 : 100.0 * static_cast<double>(agreeingPcs)
+                          / static_cast<double>(exactPcs);
+    }
+
+    /** Same, weighted by each pc's dynamic execution count (%). */
+    double
+    weightedAgreementPercent() const
+    {
+        return exactExecutions == 0
+            ? 100.0 : 100.0 * static_cast<double>(agreeingExecutions)
+                          / static_cast<double>(exactExecutions);
+    }
+};
+
+/**
+ * Compare a sampled image against the exact image of the same run.
+ * Every pc of the exact image is judged; a pc absent from the sampled
+ * image earns Directive::None there (the honest consequence of never
+ * sampling it).
+ */
+ProfileFidelity compareProfiles(const ProfileImage &exact,
+                                const ProfileImage &sampled,
+                                const DirectiveRule &rule = {});
+
+/**
+ * Same comparison with a distinct rule for the sampled side —
+ * typically `rule.scaledToSampling(keptFraction)`, so a sampled
+ * profile is not stripped of tags merely for having proportionally
+ * fewer attempts than the full trace.
+ */
+ProfileFidelity compareProfiles(const ProfileImage &exact,
+                                const ProfileImage &sampled,
+                                const DirectiveRule &rule,
+                                const DirectiveRule &sampledRule);
+
+/** Counters of one downstream finite-table evaluation. */
+struct DownstreamCounts
+{
+    uint64_t producers = 0;     ///< dynamic value-producing instrs
+    uint64_t correctTaken = 0;  ///< consumed correct predictions
+    uint64_t incorrectTaken = 0;///< consumed mispredictions
+};
+
+/** Downstream effect of profiling error on a predictor table. */
+struct DownstreamDelta
+{
+    double exactCorrectPct = 0.0;    ///< correct / producers (exact)
+    double sampledCorrectPct = 0.0;  ///< same for the sampled profile
+    double exactMispredictPct = 0.0;
+    double sampledMispredictPct = 0.0;
+
+    /** Misprediction-share change, sampled - exact (pct points). */
+    double
+    mispredictDeltaPct() const
+    {
+        return sampledMispredictPct - exactMispredictPct;
+    }
+
+    /** Correct-share change, sampled - exact (pct points). */
+    double
+    correctDeltaPct() const
+    {
+        return sampledCorrectPct - exactCorrectPct;
+    }
+};
+
+/** Compare two downstream evaluations of the same trace. */
+DownstreamDelta compareDownstream(const DownstreamCounts &exact,
+                                  const DownstreamCounts &sampled);
+
+} // namespace vpprof
+
+#endif // VPPROF_PROFILE_SAMPLING_FIDELITY_HH

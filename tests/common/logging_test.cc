@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Tests of the diagnostic helpers: warnings count process-wide (they
+ * all go to stderr, never stdout) and the rate-limited form emits at
+ * most `limit` messages plus one suppression notice per call site.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace vpprof
+{
+namespace
+{
+
+TEST(Logging, WarnIncrementsProcessWideCount)
+{
+    uint64_t before = warningsEmitted();
+    vpprof_warn("logging_test: plain warning");
+    EXPECT_EQ(warningsEmitted(), before + 1);
+}
+
+TEST(Logging, WarnLimitedStopsAtLimitPlusNotice)
+{
+    uint64_t before = warningsEmitted();
+    for (int i = 0; i < 10; ++i)
+        vpprof_warn_limited(3, "logging_test: repeated warning ", i);
+    // 3 messages + 1 suppression notice; occurrences 5..10 are silent.
+    EXPECT_EQ(warningsEmitted(), before + 4);
+}
+
+TEST(Logging, WarnLimitedCountsPerCallSite)
+{
+    uint64_t before = warningsEmitted();
+    vpprof_warn_limited(2, "logging_test: site A");
+    vpprof_warn_limited(2, "logging_test: site B");
+    // Distinct call sites have independent budgets.
+    EXPECT_EQ(warningsEmitted(), before + 2);
+}
+
+} // namespace
+} // namespace vpprof

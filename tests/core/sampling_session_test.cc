@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Session-level tests of the sampled-profiling subsystem: memoization
+ * per sampling cache key, exact-config delegation to the exact profile
+ * cache, sketch-bounded collection through the Session, fatal
+ * validation, and jobs=1 vs jobs=8 determinism of seeded sampled
+ * profiles.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/session.hh"
+#include "profile/sampling/sampling_policy.hh"
+
+namespace vpprof
+{
+namespace
+{
+
+const Workload &
+li()
+{
+    static WorkloadSuite suite;
+    return *suite.find("li");
+}
+
+SamplingConfig
+randomConfig(uint64_t rate, uint64_t seed)
+{
+    SamplingConfig cfg;
+    cfg.policy = SamplingPolicy::Random;
+    cfg.rate = rate;
+    cfg.seed = seed;
+    return cfg;
+}
+
+TEST(SampledSession, MemoizedPerCacheKey)
+{
+    Session session;
+    SamplingConfig cfg = randomConfig(8, 42);
+
+    const ProfileImage &first =
+        session.collectSampledProfile(li(), 0, cfg);
+    uint64_t replays = session.traces().stats().replays;
+    const ProfileImage &again =
+        session.collectSampledProfile(li(), 0, cfg);
+
+    EXPECT_EQ(&first, &again);
+    EXPECT_EQ(session.traces().stats().replays, replays)
+        << "second request must be served from the cache";
+    EXPECT_EQ(session.traces().stats().vmRuns, 1u);
+    EXPECT_GT(first.size(), 0u);
+}
+
+TEST(SampledSession, DistinctConfigsAreDistinctProfiles)
+{
+    Session session;
+    const ProfileImage &rate8 =
+        session.collectSampledProfile(li(), 0, randomConfig(8, 42));
+    const ProfileImage &rate32 =
+        session.collectSampledProfile(li(), 0, randomConfig(32, 42));
+    EXPECT_NE(&rate8, &rate32);
+    EXPECT_FALSE(rate8 == rate32);
+    EXPECT_EQ(session.traces().stats().vmRuns, 1u)
+        << "both sampled profiles replay the one cached trace";
+}
+
+TEST(SampledSession, ExactConfigSharesTheExactProfileCache)
+{
+    Session session;
+    SamplingConfig exact;  // default: Exact policy, rate 1
+    const ProfileImage &sampled =
+        session.collectSampledProfile(li(), 0, exact);
+    const ProfileImage &direct = session.collectProfile(li(), 0);
+    EXPECT_EQ(&sampled, &direct);
+
+    // rate 1 under any policy is exact too - same cache entry.
+    SamplingConfig rate1;
+    rate1.policy = SamplingPolicy::Periodic;
+    rate1.rate = 1;
+    EXPECT_EQ(&session.collectSampledProfile(li(), 0, rate1), &direct);
+}
+
+TEST(SampledSession, SampledProfileIsSubsetSizedAndNonEmpty)
+{
+    Session session;
+    const ProfileImage &exact = session.collectProfile(li(), 0);
+    const ProfileImage &sampled =
+        session.collectSampledProfile(li(), 0, randomConfig(8, 1));
+    EXPECT_GT(sampled.size(), 0u);
+    EXPECT_LE(sampled.size(), exact.size())
+        << "sampling can only lose pcs, never invent them";
+}
+
+TEST(SampledSession, SketchCapacityBoundsTheImage)
+{
+    Session session;
+    SamplingConfig cfg;
+    cfg.policy = SamplingPolicy::Periodic;
+    cfg.rate = 2;
+    cfg.sketchCapacity = 8;
+    const ProfileImage &image =
+        session.collectSampledProfile(li(), 0, cfg);
+    EXPECT_GT(image.size(), 0u);
+    EXPECT_LE(image.size(), 8u);
+}
+
+TEST(SampledSession, InvalidConfigIsFatal)
+{
+    Session session;
+    SamplingConfig bad;
+    bad.policy = SamplingPolicy::Periodic;
+    bad.rate = 0;
+    EXPECT_DEATH(session.collectSampledProfile(li(), 0, bad), "rate");
+}
+
+TEST(SampledSession, SampledProfilesAreIdenticalAcrossJobsCounts)
+{
+    // The kept-record set is a pure function of (config, trace), so a
+    // jobs=8 session racing eight collection requests must produce
+    // bit-identical images to a sequential jobs=1 session.
+    std::vector<SamplingConfig> configs;
+    for (uint64_t i = 0; i < 4; ++i)
+        configs.push_back(randomConfig(8, 1000 + i));
+    configs.push_back(randomConfig(8, 1000));  // duplicate: cache race
+    SamplingConfig burst;
+    burst.policy = SamplingPolicy::Burst;
+    burst.rate = 4;
+    configs.push_back(burst);
+    SamplingConfig sketched = randomConfig(4, 7);
+    sketched.sketchCapacity = 64;
+    configs.push_back(sketched);
+
+    Session sequential;
+    std::vector<ProfileImage> expected(configs.size());
+    for (size_t i = 0; i < configs.size(); ++i)
+        expected[i] =
+            sequential.collectSampledProfile(li(), 0, configs[i]);
+
+    SessionConfig cfg;
+    cfg.jobs = 8;
+    Session parallel(cfg);
+    std::vector<const ProfileImage *> got(configs.size());
+    parallel.runner().forEach(configs.size(), [&](size_t i) {
+        got[i] = &parallel.collectSampledProfile(li(), 0, configs[i]);
+    });
+
+    for (size_t i = 0; i < configs.size(); ++i) {
+        ASSERT_NE(got[i], nullptr);
+        EXPECT_TRUE(*got[i] == expected[i]) << "config " << i;
+    }
+    EXPECT_EQ(parallel.traces().stats().vmRuns, 1u);
+}
+
+} // namespace
+} // namespace vpprof

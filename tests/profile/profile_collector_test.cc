@@ -126,5 +126,29 @@ TEST(ProfileCollector, CountsProducersSeen)
     EXPECT_EQ(c.producersSeen(), 5u);
 }
 
+TEST(ProfileCollector, TakeImageResetsToAPristineCollector)
+{
+    ProfileCollector c("myprog");
+    for (int i = 0; i < 10; ++i)
+        feed(c, 1, 7);
+    ProfileImage first = c.takeImage();
+
+    // Post-takeImage the collector is reusable: empty image, zeroed
+    // producer count, name retained.
+    EXPECT_EQ(c.producersSeen(), 0u);
+    EXPECT_TRUE(c.image().empty());
+    EXPECT_EQ(c.image().programName(), "myprog");
+
+    // No predictor state leaks across the reset: re-feeding the same
+    // stream reproduces the first image bit for bit (a warm leftover
+    // entry would turn pc 1's first execution into an attempt).
+    for (int i = 0; i < 10; ++i)
+        feed(c, 1, 7);
+    EXPECT_EQ(c.producersSeen(), 10u);
+    ProfileImage second = c.takeImage();
+    EXPECT_TRUE(second == first);
+    EXPECT_EQ(second.find(1)->attempts, 9u);
+}
+
 } // namespace
 } // namespace vpprof

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Unit tests for the sampling policies: kept-set patterns, validation,
+ * cache keys, seeded-PRNG determinism, and the rate-1 guarantee that a
+ * "sampled" profile is bit-identical to the exact one.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.hh"
+#include "profile/profile_collector.hh"
+#include "profile/sampling/sampling_policy.hh"
+
+namespace vpprof
+{
+namespace
+{
+
+TraceRecord
+producer(uint64_t seq, uint64_t pc, int64_t value)
+{
+    TraceRecord rec;
+    rec.seq = seq;
+    rec.pc = pc;
+    rec.op = Opcode::Add;
+    rec.writesReg = true;
+    rec.dest = 1;
+    rec.value = value;
+    return rec;
+}
+
+/** A mixed synthetic trace: constant, striding and noisy producers. */
+std::vector<TraceRecord>
+mixedTrace(size_t n)
+{
+    std::vector<TraceRecord> trace;
+    uint64_t state = 7;
+    for (size_t i = 0; i < n; ++i) {
+        uint64_t pc = 1 + i % 3;
+        int64_t value = 0;
+        if (pc == 1)
+            value = 42;  // constant
+        else if (pc == 2)
+            value = static_cast<int64_t>(i) * 8;  // striding
+        else
+            value = static_cast<int64_t>(splitmix64(state));  // noise
+        trace.push_back(producer(i, pc, value));
+    }
+    return trace;
+}
+
+TEST(SamplingPolicy, NamesRoundTrip)
+{
+    for (SamplingPolicy p :
+         {SamplingPolicy::Exact, SamplingPolicy::Periodic,
+          SamplingPolicy::Random, SamplingPolicy::Burst}) {
+        auto parsed = parseSamplingPolicy(samplingPolicyName(p));
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(*parsed, p);
+    }
+    EXPECT_FALSE(parseSamplingPolicy("sometimes").has_value());
+    EXPECT_FALSE(parseSamplingPolicy("").has_value());
+}
+
+TEST(SamplingPolicy, ValidateCatchesBadConfigs)
+{
+    SamplingConfig ok;
+    EXPECT_FALSE(ok.validate().has_value());
+
+    SamplingConfig zero_rate;
+    zero_rate.policy = SamplingPolicy::Periodic;
+    zero_rate.rate = 0;
+    EXPECT_TRUE(zero_rate.validate().has_value());
+
+    SamplingConfig zero_burst;
+    zero_burst.policy = SamplingPolicy::Burst;
+    zero_burst.rate = 4;
+    zero_burst.burstLen = 0;
+    EXPECT_TRUE(zero_burst.validate().has_value());
+
+    SamplingConfig exact_rated;
+    exact_rated.policy = SamplingPolicy::Exact;
+    exact_rated.rate = 8;
+    EXPECT_TRUE(exact_rated.validate().has_value());
+}
+
+TEST(SamplingPolicy, PeriodicKeepsOneInN)
+{
+    SamplingConfig cfg;
+    cfg.policy = SamplingPolicy::Periodic;
+    cfg.rate = 4;
+    for (uint64_t seq = 0; seq < 64; ++seq) {
+        TraceRecord rec = producer(seq, 1, 0);
+        EXPECT_EQ(SamplingTraceSink::keeps(cfg, rec), seq % 4 == 0)
+            << "seq " << seq;
+    }
+}
+
+TEST(SamplingPolicy, BurstKeepsWholeWindows)
+{
+    SamplingConfig cfg;
+    cfg.policy = SamplingPolicy::Burst;
+    cfg.rate = 2;
+    cfg.burstLen = 3;
+    // Period burstLen * rate = 6: keep 3 consecutive, skip 3.
+    for (uint64_t seq = 0; seq < 60; ++seq) {
+        TraceRecord rec = producer(seq, 1, 0);
+        EXPECT_EQ(SamplingTraceSink::keeps(cfg, rec), seq % 6 < 3)
+            << "seq " << seq;
+    }
+}
+
+TEST(SamplingPolicy, RateOneKeepsEverythingForEveryPolicy)
+{
+    for (SamplingPolicy p :
+         {SamplingPolicy::Periodic, SamplingPolicy::Random,
+          SamplingPolicy::Burst}) {
+        SamplingConfig cfg;
+        cfg.policy = p;
+        cfg.rate = 1;
+        ProfileCollector collector("p");
+        SamplingTraceSink sink(cfg, &collector);
+        for (const TraceRecord &rec : mixedTrace(200))
+            sink.record(rec);
+        EXPECT_EQ(sink.recordsSeen(), 200u);
+        EXPECT_EQ(sink.recordsKept(), 200u);
+    }
+}
+
+TEST(SamplingPolicy, RateOneProfileBitIdenticalToExact)
+{
+    std::vector<TraceRecord> trace = mixedTrace(500);
+
+    ProfileCollector exact("p");
+    for (const TraceRecord &rec : trace)
+        exact.record(rec);
+    ProfileImage exact_image = exact.takeImage();
+
+    for (SamplingPolicy p :
+         {SamplingPolicy::Periodic, SamplingPolicy::Random,
+          SamplingPolicy::Burst}) {
+        SamplingConfig cfg;
+        cfg.policy = p;
+        cfg.rate = 1;
+        ProfileCollector collector("p");
+        SamplingTraceSink sink(cfg, &collector);
+        for (const TraceRecord &rec : trace)
+            sink.record(rec);
+        EXPECT_TRUE(collector.takeImage() == exact_image)
+            << "policy " << samplingPolicyName(p);
+    }
+}
+
+TEST(SamplingPolicy, RandomIsDeterministicPerSeed)
+{
+    SamplingConfig cfg;
+    cfg.policy = SamplingPolicy::Random;
+    cfg.rate = 8;
+    cfg.seed = 1234;
+
+    std::vector<bool> first, second;
+    for (uint64_t seq = 0; seq < 4096; ++seq) {
+        TraceRecord rec = producer(seq, 1, 0);
+        first.push_back(SamplingTraceSink::keeps(cfg, rec));
+    }
+    for (uint64_t seq = 0; seq < 4096; ++seq) {
+        TraceRecord rec = producer(seq, 1, 0);
+        second.push_back(SamplingTraceSink::keeps(cfg, rec));
+    }
+    EXPECT_EQ(first, second);
+
+    cfg.seed = 5678;
+    std::vector<bool> other_seed;
+    for (uint64_t seq = 0; seq < 4096; ++seq) {
+        TraceRecord rec = producer(seq, 1, 0);
+        other_seed.push_back(SamplingTraceSink::keeps(cfg, rec));
+    }
+    EXPECT_NE(first, other_seed);
+}
+
+TEST(SamplingPolicy, RandomKeepsRoughlyOneInRate)
+{
+    SamplingConfig cfg;
+    cfg.policy = SamplingPolicy::Random;
+    cfg.rate = 8;
+    ProfileCollector collector("p");
+    SamplingTraceSink sink(cfg, &collector);
+    for (const TraceRecord &rec : mixedTrace(16000))
+        sink.record(rec);
+    // Expect ~2000 kept; allow generous slack (the draw is a hash).
+    EXPECT_GT(sink.recordsKept(), 1400u);
+    EXPECT_LT(sink.recordsKept(), 2600u);
+}
+
+TEST(SamplingPolicy, CacheKeysDistinguishConfigs)
+{
+    SamplingConfig exact1, exact2;
+    exact2.policy = SamplingPolicy::Periodic;  // rate 1 is still exact
+    EXPECT_EQ(exact1.cacheKey(), exact2.cacheKey());
+
+    SamplingConfig periodic;
+    periodic.policy = SamplingPolicy::Periodic;
+    periodic.rate = 8;
+
+    SamplingConfig random = periodic;
+    random.policy = SamplingPolicy::Random;
+
+    SamplingConfig reseeded = random;
+    reseeded.seed = 99;
+
+    SamplingConfig burst = periodic;
+    burst.policy = SamplingPolicy::Burst;
+
+    SamplingConfig longer_burst = burst;
+    longer_burst.burstLen = 128;
+
+    SamplingConfig sketched = periodic;
+    sketched.sketchCapacity = 1024;
+
+    std::vector<std::string> keys = {
+        exact1.cacheKey(),       periodic.cacheKey(),
+        random.cacheKey(),       reseeded.cacheKey(),
+        burst.cacheKey(),        longer_burst.cacheKey(),
+        sketched.cacheKey(),
+    };
+    for (size_t i = 0; i < keys.size(); ++i)
+        for (size_t j = i + 1; j < keys.size(); ++j)
+            EXPECT_NE(keys[i], keys[j]) << i << " vs " << j;
+}
+
+TEST(SamplingPolicy, SinkCountsMatchStaticKeeps)
+{
+    SamplingConfig cfg;
+    cfg.policy = SamplingPolicy::Burst;
+    cfg.rate = 4;
+    cfg.burstLen = 16;
+    ProfileCollector collector("p");
+    SamplingTraceSink sink(cfg, &collector);
+    uint64_t expect_kept = 0;
+    for (const TraceRecord &rec : mixedTrace(1000)) {
+        if (SamplingTraceSink::keeps(cfg, rec))
+            ++expect_kept;
+        sink.record(rec);
+    }
+    EXPECT_EQ(sink.recordsSeen(), 1000u);
+    EXPECT_EQ(sink.recordsKept(), expect_kept);
+    EXPECT_GT(expect_kept, 0u);
+    EXPECT_LT(expect_kept, 1000u);
+}
+
+TEST(SamplingPolicy, ConstructorRejectsInvalidConfig)
+{
+    SamplingConfig bad;
+    bad.policy = SamplingPolicy::Periodic;
+    bad.rate = 0;
+    ProfileCollector collector("p");
+    EXPECT_DEATH(SamplingTraceSink(bad, &collector), "rate");
+}
+
+} // namespace
+} // namespace vpprof

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Unit tests for the memory-bounded SketchProfileCollector and its
+ * count-min sketch: the capacity bound on a synthetic long-tail trace,
+ * exact agreement with ProfileCollector for first-observation-resident
+ * pcs, the never-undercounting sketch estimate, and the reusable
+ * takeImage() reset.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.hh"
+#include "profile/profile_collector.hh"
+#include "profile/sampling/count_min_sketch.hh"
+#include "profile/sampling/sketch_collector.hh"
+
+namespace vpprof
+{
+namespace
+{
+
+TraceRecord
+producer(uint64_t seq, uint64_t pc, int64_t value)
+{
+    TraceRecord rec;
+    rec.seq = seq;
+    rec.pc = pc;
+    rec.op = Opcode::Add;
+    rec.writesReg = true;
+    rec.dest = 1;
+    rec.value = value;
+    return rec;
+}
+
+/**
+ * A long-tail trace: `hot` pcs execute `reps` times each (stride for
+ * even pcs, constant for odd), then `cold` distinct pcs execute once.
+ */
+std::vector<TraceRecord>
+longTailTrace(size_t hot, size_t reps, size_t cold)
+{
+    std::vector<TraceRecord> trace;
+    uint64_t seq = 0;
+    for (size_t r = 0; r < reps; ++r)
+        for (size_t h = 0; h < hot; ++h) {
+            uint64_t pc = 1 + h;
+            int64_t value = (pc % 2 == 0)
+                ? static_cast<int64_t>(r * 3)  // striding
+                : static_cast<int64_t>(pc);    // constant
+            trace.push_back(producer(seq++, pc, value));
+        }
+    for (size_t c = 0; c < cold; ++c)
+        trace.push_back(producer(
+            seq++, 0x10000 + c, static_cast<int64_t>(c)));
+    return trace;
+}
+
+TEST(CountMinSketch, NeverUndercounts)
+{
+    CountMinSketch sketch(64, 4);
+    uint64_t state = 3;
+    std::vector<std::pair<uint64_t, uint64_t>> truth;
+    for (int k = 0; k < 200; ++k) {
+        uint64_t key = splitmix64(state);
+        uint64_t n = 1 + key % 17;
+        for (uint64_t i = 0; i < n; ++i)
+            sketch.add(key);
+        truth.emplace_back(key, n);
+    }
+    for (const auto &[key, n] : truth)
+        EXPECT_GE(sketch.estimate(key), n);
+}
+
+TEST(CountMinSketch, ExactWhenUncrowded)
+{
+    CountMinSketch sketch(4096, 4);
+    sketch.add(42, 7);
+    EXPECT_EQ(sketch.estimate(42), 7u);
+    EXPECT_EQ(sketch.estimate(43), 0u);
+    sketch.reset();
+    EXPECT_EQ(sketch.estimate(42), 0u);
+}
+
+TEST(SketchCollector, HotSetNeverExceedsCapacity)
+{
+    SketchConfig cfg;
+    cfg.capacity = 16;
+    cfg.promoteThreshold = 1;
+    SketchProfileCollector c("p", cfg);
+    for (const TraceRecord &rec : longTailTrace(8, 50, 5000))
+        c.record(rec);
+    EXPECT_LE(c.hotPcs(), cfg.capacity);
+    EXPECT_GT(c.coldProducers(), 0u);
+    EXPECT_EQ(c.producersSeen(), 8u * 50 + 5000);
+}
+
+TEST(SketchCollector, HotStatsMatchExactCollector)
+{
+    // With promoteThreshold 1 and free capacity, the hot pcs are
+    // resident from their first observation and must match the exact
+    // collector counter for counter.
+    std::vector<TraceRecord> trace = longTailTrace(8, 100, 0);
+
+    ProfileCollector exact("p");
+    for (const TraceRecord &rec : trace)
+        exact.record(rec);
+
+    SketchConfig cfg;
+    cfg.capacity = 16;
+    cfg.promoteThreshold = 1;
+    SketchProfileCollector sketched("p", cfg);
+    for (const TraceRecord &rec : trace)
+        sketched.record(rec);
+
+    ProfileImage exact_image = exact.takeImage();
+    ProfileImage sketch_image = sketched.takeImage();
+    EXPECT_TRUE(sketch_image == exact_image);
+}
+
+TEST(SketchCollector, MemoryStaysBoundedOnAHugeColdTail)
+{
+    SketchConfig cfg;
+    cfg.capacity = 32;
+    cfg.promoteThreshold = 4;
+
+    // Ceiling: a collector whose hot set is saturated to capacity.
+    // (Sketch collisions may promote a few cold pcs early — that costs
+    // bounded slots, so the ceiling, not equality, is the contract.)
+    SketchProfileCollector full("p", cfg);
+    uint64_t seq = 0;
+    for (uint64_t r = 0; r < cfg.promoteThreshold; ++r)
+        for (size_t h = 0; h < cfg.capacity; ++h)
+            full.record(producer(seq++, 1 + h, 1));
+    ASSERT_EQ(full.hotPcs(), cfg.capacity);
+    const size_t ceiling = full.memoryBytes();
+
+    SketchProfileCollector big_tail("p", cfg);
+    for (const TraceRecord &rec : longTailTrace(8, 50, 50000))
+        big_tail.record(rec);
+
+    // 50000 distinct cold pcs, footprint no larger than any saturated
+    // collector: the tail lives in the fixed-size sketch, not in
+    // per-pc entries.
+    EXPECT_LE(big_tail.hotPcs(), cfg.capacity);
+    EXPECT_LE(big_tail.memoryBytes(), ceiling);
+}
+
+TEST(SketchCollector, ColdEstimateTracksUnpromotedPc)
+{
+    SketchConfig cfg;
+    cfg.capacity = 4;
+    cfg.promoteThreshold = 1000;  // nothing ever promotes
+    SketchProfileCollector c("p", cfg);
+    for (uint64_t i = 0; i < 37; ++i)
+        c.record(producer(i, 7, 1));
+    EXPECT_EQ(c.hotPcs(), 0u);
+    EXPECT_GE(c.coldEstimate(7), 37u);
+}
+
+TEST(SketchCollector, PromotionMissesAtMostThresholdObservations)
+{
+    SketchConfig cfg;
+    cfg.capacity = 4;
+    cfg.promoteThreshold = 8;
+    SketchProfileCollector c("p", cfg);
+    for (uint64_t i = 0; i < 500; ++i)
+        c.record(producer(i, 7, static_cast<int64_t>(i)));
+    ProfileImage image = c.takeImage();
+    const PcProfile *p = image.find(7);
+    ASSERT_NE(p, nullptr);
+    EXPECT_GE(p->executions, 500u - cfg.promoteThreshold);
+    EXPECT_LE(p->executions, 500u);
+}
+
+TEST(SketchCollector, TakeImageResetsForReuse)
+{
+    SketchConfig cfg;
+    cfg.capacity = 8;
+    cfg.promoteThreshold = 1;
+    SketchProfileCollector c("p", cfg);
+    for (uint64_t i = 0; i < 20; ++i)
+        c.record(producer(i, 1, 5));
+
+    ProfileImage first = c.takeImage();
+    EXPECT_EQ(first.size(), 1u);
+    EXPECT_EQ(first.programName(), "p");
+    EXPECT_EQ(c.producersSeen(), 0u);
+    EXPECT_EQ(c.coldProducers(), 0u);
+    EXPECT_EQ(c.hotPcs(), 0u);
+    EXPECT_EQ(c.coldEstimate(1), 0u);
+
+    // The reset collector profiles a fresh stream from scratch: no
+    // leftover predictor state, identical stats to the first round.
+    for (uint64_t i = 0; i < 20; ++i)
+        c.record(producer(i, 1, 5));
+    ProfileImage second = c.takeImage();
+    EXPECT_TRUE(second == first);
+}
+
+TEST(SketchCollector, RejectsZeroCapacity)
+{
+    SketchConfig cfg;
+    cfg.capacity = 0;
+    EXPECT_DEATH(SketchProfileCollector("p", cfg), "capacity");
+}
+
+} // namespace
+} // namespace vpprof

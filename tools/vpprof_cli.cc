@@ -2,7 +2,7 @@
  * @file
  * vpprof_cli — command-line driver for the library.
  *
- *   vpprof_cli [--jobs N] [--trace-cache DIR] <command> [args]
+ *   vpprof_cli [flags] <command> [args]   (flags may appear anywhere)
  *
  *   vpprof_cli list
  *   vpprof_cli disasm   <workload>
@@ -21,12 +21,19 @@
  * each (workload, input) at most once per invocation, and with
  * --trace-cache DIR the captured traces persist, so repeated
  * invocations replay from disk instead of re-interpreting.
+ *
+ * `profile` supports sampled profiling (--sample-rate / --sample-policy
+ * / --sample-seed / --sample-burst / --sketch): the trace is replayed
+ * through the sampled-profiling subsystem instead of the exact
+ * collector. Bad sampling values are hard errors (exit 1), never a
+ * silent fall-back to exact profiling.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "compiler/cfg.hh"
 #include "core/evaluators.hh"
@@ -36,6 +43,7 @@
 #include "predictors/profile_classifier.hh"
 #include "predictors/saturating_classifier.hh"
 #include "profile/correlation.hh"
+#include "profile/sampling/sampling_policy.hh"
 #include "vm/trace_io.hh"
 
 using namespace vpprof;
@@ -47,12 +55,24 @@ int
 usage()
 {
     std::fprintf(stderr,
-                 "usage: vpprof_cli [--jobs N] [--trace-cache DIR] "
-                 "<command> [args]\n"
+                 "usage: vpprof_cli [flags] <command> [args]\n"
+                 "flags (accepted before or after the command):\n"
                  "  --jobs N          parallel sweep cells "
                  "(0 = all cores)\n"
                  "  --trace-cache DIR reuse captured traces across "
                  "invocations\n"
+                 "sampled profiling (profile command only):\n"
+                 "  --sample-rate N   observe ~1 in N trace records "
+                 "(default 1 = exact)\n"
+                 "  --sample-policy P periodic | random | burst "
+                 "(default periodic)\n"
+                 "  --sample-seed S   PRNG seed for --sample-policy "
+                 "random (default 1)\n"
+                 "  --sample-burst W  records per burst window "
+                 "(default 1024)\n"
+                 "  --sketch N        bound collector memory to N hot "
+                 "pcs + sketch\n"
+                 "commands:\n"
                  "  list                                 workloads\n"
                  "  disasm   <workload>                  disassembly\n"
                  "  run      <workload> [input]          execute + "
@@ -61,7 +81,7 @@ usage()
                  "trace\n"
                  "  replay   <file>                      trace stats\n"
                  "  profile  <workload> <input> <file>   profile "
-                 "image\n"
+                 "image (sampling flags apply)\n"
                  "  annotate <workload> <file> [thresh]  phase-3 "
                  "pass\n"
                  "  classify <workload> [thresh]         FSM vs "
@@ -170,12 +190,17 @@ cmdReplay(const char *path)
 
 int
 cmdProfile(Session &session, const Workload &w, size_t input,
-           const char *path)
+           const char *path, const SamplingConfig &sampling)
 {
-    const ProfileImage &image = session.collectProfile(w, input);
+    const ProfileImage &image =
+        session.collectSampledProfile(w, input, sampling);
     image.saveFile(path);
-    std::printf("profiled %zu instructions -> %s\n", image.size(),
-                path);
+    if (sampling.isExact())
+        std::printf("profiled %zu instructions -> %s\n", image.size(),
+                    path);
+    else
+        std::printf("profiled %zu instructions (sampled %s) -> %s\n",
+                    image.size(), sampling.cacheKey().c_str(), path);
     return 0;
 }
 
@@ -348,31 +373,96 @@ cmdCorrelate(Session &session, const Workload &w)
     return 0;
 }
 
+/** Strict unsigned flag value: rejects garbage instead of atoi's 0. */
+uint64_t
+parseUintFlag(const char *flag, const char *value)
+{
+    if (!value || !*value)
+        vpprof_fatal(flag, " requires an unsigned integer value");
+    char *end = nullptr;
+    unsigned long long parsed = std::strtoull(value, &end, 10);
+    if (*end != '\0' || value[0] == '-')
+        vpprof_fatal(flag, ": '", value,
+                     "' is not an unsigned integer");
+    return static_cast<uint64_t>(parsed);
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     SessionConfig session_cfg;
-    int arg = 1;
-    while (arg < argc && argv[arg][0] == '-') {
+    SamplingConfig sampling;
+    bool policy_given = false, sampling_given = false;
+
+    // Flags may appear before or after the command; positionals keep
+    // their relative order. Bad flag values are structured fatal
+    // errors (nonzero exit), never silently ignored.
+    std::vector<char *> positional;
+    for (int arg = 1; arg < argc; ++arg) {
         std::string flag = argv[arg];
-        if (flag == "--jobs" && arg + 1 < argc) {
+        if (flag.rfind("--", 0) != 0) {
+            positional.push_back(argv[arg]);
+            continue;
+        }
+        const char *value = arg + 1 < argc ? argv[arg + 1] : nullptr;
+        if (flag == "--jobs") {
             session_cfg.jobs = static_cast<unsigned>(
-                std::strtoul(argv[arg + 1], nullptr, 10));
-            arg += 2;
-        } else if (flag == "--trace-cache" && arg + 1 < argc) {
-            session_cfg.traceCacheDir = argv[arg + 1];
-            arg += 2;
+                parseUintFlag("--jobs", value));
+        } else if (flag == "--trace-cache") {
+            if (!value)
+                vpprof_fatal("--trace-cache requires a directory");
+            session_cfg.traceCacheDir = value;
+        } else if (flag == "--sample-rate") {
+            sampling.rate = parseUintFlag("--sample-rate", value);
+            if (sampling.rate == 0)
+                vpprof_fatal("--sample-rate must be >= 1 (got 0)");
+            sampling_given = true;
+        } else if (flag == "--sample-policy") {
+            if (!value)
+                vpprof_fatal("--sample-policy requires a value "
+                             "(periodic | random | burst)");
+            auto parsed = parseSamplingPolicy(value);
+            if (!parsed)
+                vpprof_fatal("unknown sampling policy '", value,
+                             "' (expected periodic, random or burst)");
+            sampling.policy = *parsed;
+            policy_given = true;
+            sampling_given = true;
+        } else if (flag == "--sample-seed") {
+            sampling.seed = parseUintFlag("--sample-seed", value);
+            sampling_given = true;
+        } else if (flag == "--sample-burst") {
+            sampling.burstLen = parseUintFlag("--sample-burst", value);
+            if (sampling.burstLen == 0)
+                vpprof_fatal("--sample-burst must be >= 1 (got 0)");
+            sampling_given = true;
+        } else if (flag == "--sketch") {
+            sampling.sketchCapacity = static_cast<size_t>(
+                parseUintFlag("--sketch", value));
+            if (sampling.sketchCapacity == 0)
+                vpprof_fatal("--sketch must be >= 1 (got 0)");
+            sampling_given = true;
         } else {
+            std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
             return usage();
         }
+        ++arg;  // skip the consumed value
     }
-    if (arg >= argc)
+    // --sample-rate N alone means periodic 1-in-N.
+    if (sampling_given && !policy_given &&
+        sampling.policy == SamplingPolicy::Exact)
+        sampling.policy = SamplingPolicy::Periodic;
+    if (auto complaint = sampling.validate())
+        vpprof_fatal("invalid sampling flags: ", *complaint);
+
+    if (positional.empty())
         return usage();
-    std::string cmd = argv[arg];
-    char **rest = argv + arg;  // rest[1] = first command operand
-    int nrest = argc - arg;
+    std::string cmd = positional[0];
+    // rest[1] = first command operand, mirroring the old argv layout.
+    char **rest = positional.data();
+    int nrest = static_cast<int>(positional.size());
 
     WorkloadSuite suite;
     Session session(session_cfg);
@@ -397,7 +487,7 @@ main(int argc, char **argv)
         return cmdTrace(session, *w, inputIndex(*w, rest[2]), rest[3]);
     if (cmd == "profile" && nrest >= 4)
         return cmdProfile(session, *w, inputIndex(*w, rest[2]),
-                          rest[3]);
+                          rest[3], sampling);
     if (cmd == "annotate" && nrest >= 3)
         return cmdAnnotate(*w, rest[2], nrest > 3 ? rest[3] : nullptr);
     if (cmd == "classify")
