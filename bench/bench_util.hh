@@ -186,7 +186,11 @@ finishBench(const char *bench_name)
           << ", \"disk_loads\": " << st.diskLoads
           << ", \"replays\": " << st.replays
           << ", \"unique_traces\": " << st.uniqueTraces
-          << ", \"spilled_traces\": " << st.spilledTraces << "}";
+          << ", \"spilled_traces\": " << st.spilledTraces
+          << ", \"corrupt_quarantined\": " << st.corruptQuarantined
+          << ", \"regenerations\": " << st.regenerations
+          << ", \"spill_failures\": " << st.spillFailures
+          << ", \"read_retries\": " << st.readRetries << "}";
 
     const std::string path = "BENCH_session.json";
     const std::string key = std::string("  \"") + bench_name + "\":";

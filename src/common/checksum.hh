@@ -1,0 +1,41 @@
+/**
+ * @file
+ * FNV-1a 64-bit checksums for file integrity trailers.
+ *
+ * FNV-1a is not cryptographic — it guards against torn writes, bit
+ * rot and truncation, not adversaries. It is streamable (feed chunks
+ * in order), dependency-free, and fast enough that checksumming a
+ * trace payload is a small fraction of decoding it.
+ */
+
+#ifndef VPPROF_COMMON_CHECKSUM_HH
+#define VPPROF_COMMON_CHECKSUM_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vpprof
+{
+
+/** The FNV-1a 64-bit offset basis (the seed for a fresh checksum). */
+constexpr uint64_t kFnv1a64Seed = 14695981039346656037ULL;
+
+/**
+ * Fold `n` bytes into a running FNV-1a 64-bit checksum. Start from
+ * kFnv1a64Seed and chain calls to checksum a stream incrementally.
+ */
+inline uint64_t
+fnv1a64(const void *data, size_t n, uint64_t state = kFnv1a64Seed)
+{
+    constexpr uint64_t kPrime = 1099511628211ULL;
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < n; ++i) {
+        state ^= bytes[i];
+        state *= kPrime;
+    }
+    return state;
+}
+
+} // namespace vpprof
+
+#endif // VPPROF_COMMON_CHECKSUM_HH

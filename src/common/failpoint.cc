@@ -1,0 +1,190 @@
+#include "common/failpoint.hh"
+
+#include <cstdlib>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace vpprof
+{
+
+const char *
+failpointActionName(FailpointAction action)
+{
+    switch (action) {
+      case FailpointAction::None: return "none";
+      case FailpointAction::Fail: return "fail";
+      case FailpointAction::Short: return "short";
+      case FailpointAction::NoSpace: return "enospc";
+      case FailpointAction::Corrupt: return "corrupt";
+    }
+    return "unknown";
+}
+
+FailpointRegistry &
+FailpointRegistry::instance()
+{
+    static FailpointRegistry registry;
+    return registry;
+}
+
+FailpointRegistry::FailpointRegistry()
+{
+    if (const char *env = std::getenv("VPPROF_FAILPOINTS")) {
+        std::string error;
+        if (!armList(env, &error))
+            vpprof_fatal("VPPROF_FAILPOINTS: ", error);
+    }
+}
+
+void
+FailpointRegistry::arm(const std::string &site, FailpointSpec spec)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Site &s = sites_[site];
+    if (!s.armed)
+        armedCount_.fetch_add(1, std::memory_order_relaxed);
+    s.spec = spec;
+    s.armed = true;
+    s.hits = 0;
+    s.triggered = 0;
+}
+
+void
+FailpointRegistry::disarm(const std::string &site)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sites_.find(site);
+    if (it != sites_.end() && it->second.armed) {
+        it->second.armed = false;
+        armedCount_.fetch_sub(1, std::memory_order_relaxed);
+    }
+}
+
+void
+FailpointRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    sites_.clear();
+    armedCount_.store(0, std::memory_order_relaxed);
+}
+
+FailpointAction
+FailpointRegistry::fire(const std::string &site)
+{
+    // The common case — nothing armed anywhere — must stay one relaxed
+    // load: fire() sits on per-record I/O paths.
+    if (armedCount_.load(std::memory_order_relaxed) == 0)
+        return FailpointAction::None;
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sites_.find(site);
+    if (it == sites_.end() || !it->second.armed)
+        return FailpointAction::None;
+    Site &s = it->second;
+    ++s.hits;
+    if (s.spec.triggerHit != 0 && s.hits != s.spec.triggerHit)
+        return FailpointAction::None;
+    ++s.triggered;
+    return s.spec.action;
+}
+
+uint64_t
+FailpointRegistry::hits(const std::string &site) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sites_.find(site);
+    return it == sites_.end() ? 0 : it->second.hits;
+}
+
+uint64_t
+FailpointRegistry::triggered(const std::string &site) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sites_.find(site);
+    return it == sites_.end() ? 0 : it->second.triggered;
+}
+
+std::optional<FailpointSpec>
+FailpointRegistry::parseSpec(const std::string &text)
+{
+    std::string action = text;
+    uint64_t trigger = 0;
+    size_t at = text.find('@');
+    if (at != std::string::npos) {
+        action = text.substr(0, at);
+        std::string count = text.substr(at + 1);
+        if (count.empty())
+            return std::nullopt;
+        char *end = nullptr;
+        unsigned long long parsed =
+            std::strtoull(count.c_str(), &end, 10);
+        if (*end != '\0' || parsed == 0)
+            return std::nullopt;
+        trigger = parsed;
+    }
+
+    FailpointSpec spec;
+    spec.triggerHit = trigger;
+    if (action == "fail")
+        spec.action = FailpointAction::Fail;
+    else if (action == "short")
+        spec.action = FailpointAction::Short;
+    else if (action == "enospc")
+        spec.action = FailpointAction::NoSpace;
+    else if (action == "corrupt")
+        spec.action = FailpointAction::Corrupt;
+    else if (action == "off")
+        spec.action = FailpointAction::None;
+    else
+        return std::nullopt;
+    return spec;
+}
+
+bool
+FailpointRegistry::armList(const std::string &list, std::string *error)
+{
+    // Validate the whole list before arming any of it: a typo in one
+    // entry must not leave the process half-armed.
+    struct Parsed
+    {
+        std::string site;
+        FailpointSpec spec;
+    };
+    std::vector<Parsed> parsed;
+    size_t pos = 0;
+    while (pos <= list.size()) {
+        size_t comma = list.find(',', pos);
+        if (comma == std::string::npos)
+            comma = list.size();
+        std::string entry = list.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (entry.empty())
+            continue;
+        size_t colon = entry.find(':');
+        if (colon == std::string::npos || colon == 0) {
+            if (error)
+                *error = "expected site:action in '" + entry + "'";
+            return false;
+        }
+        auto spec = parseSpec(entry.substr(colon + 1));
+        if (!spec) {
+            if (error)
+                *error = "bad failpoint spec '" + entry +
+                         "' (want action[@hit], action one of "
+                         "fail|short|enospc|corrupt|off)";
+            return false;
+        }
+        parsed.push_back({entry.substr(0, colon), *spec});
+    }
+
+    for (const Parsed &p : parsed) {
+        if (p.spec.action == FailpointAction::None)
+            disarm(p.site);
+        else
+            arm(p.site, p.spec);
+    }
+    return true;
+}
+
+} // namespace vpprof

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Deterministic fault injection: named failpoints compiled into
+ * I/O-sensitive sites (trace file writes, reads, commits, spills)
+ * that tests and operators can arm to simulate the failures a real
+ * deployment sees — full disks, torn writes, files shrinking under a
+ * reader — without needing a hostile filesystem.
+ *
+ * A site is a stable string like "trace_io.write". Arming attaches an
+ * action (fail, short read, ENOSPC, corrupt) and optionally a 1-based
+ * hit index so exactly the Nth operation fails. Sites are armed
+ * programmatically (tests) or through the VPPROF_FAILPOINTS
+ * environment variable (CLI runs, CI):
+ *
+ *     VPPROF_FAILPOINTS="trace_io.write:fail@3,spill:enospc"
+ *
+ * The hot-path cost when nothing is armed is one relaxed atomic load,
+ * so shipping the hooks in release builds is free in practice.
+ */
+
+#ifndef VPPROF_COMMON_FAILPOINT_HH
+#define VPPROF_COMMON_FAILPOINT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace vpprof
+{
+
+/** What an armed failpoint makes the instrumented site do. */
+enum class FailpointAction
+{
+    None,    ///< not armed / not triggered this hit
+    Fail,    ///< generic I/O failure (write error, failed rename)
+    Short,   ///< short read: the data ends earlier than promised
+    NoSpace, ///< ENOSPC: the device is full
+    Corrupt, ///< the bytes arrive, but damaged
+};
+
+/** Human-readable action name (messages and tests). */
+const char *failpointActionName(FailpointAction action);
+
+/** One armed site: the action and when it triggers. */
+struct FailpointSpec
+{
+    FailpointAction action = FailpointAction::None;
+
+    /**
+     * 1-based hit index that triggers the action; 0 triggers on every
+     * hit. "fail@3" arms {Fail, 3}: hits 1 and 2 succeed, hit 3 fails,
+     * later hits succeed again (the transient-fault shape retries must
+     * survive).
+     */
+    uint64_t triggerHit = 0;
+};
+
+/**
+ * Process-wide registry of failpoint sites. Thread-safe; hit counting
+ * only happens while at least one site is armed.
+ */
+class FailpointRegistry
+{
+  public:
+    /** The singleton; arms VPPROF_FAILPOINTS on first use. */
+    static FailpointRegistry &instance();
+
+    /** Arm `site` with `spec` (replaces any previous arming). */
+    void arm(const std::string &site, FailpointSpec spec);
+
+    /** Disarm one site (its hit counters are kept). */
+    void disarm(const std::string &site);
+
+    /** Disarm every site and zero all counters (test isolation). */
+    void reset();
+
+    /**
+     * Count one hit of `site` and return the action to simulate
+     * (None when the site is unarmed or this hit is not the trigger).
+     * This is the call instrumented sites make.
+     */
+    FailpointAction fire(const std::string &site);
+
+    /** Hits recorded while `site` was armed. */
+    uint64_t hits(const std::string &site) const;
+
+    /** Hits of `site` that actually triggered an action. */
+    uint64_t triggered(const std::string &site) const;
+
+    /**
+     * Parse one "action" / "action@N" spec ("fail@3", "short",
+     * "enospc", "corrupt", "off"); nullopt on malformed input.
+     */
+    static std::optional<FailpointSpec>
+    parseSpec(const std::string &text);
+
+    /**
+     * Arm a comma-separated "site:spec" list (the VPPROF_FAILPOINTS
+     * syntax). Returns false and fills `error` on malformed input
+     * without arming anything from the bad list.
+     */
+    bool armList(const std::string &list, std::string *error);
+
+  private:
+    FailpointRegistry();
+
+    struct Site
+    {
+        FailpointSpec spec;
+        bool armed = false;
+        uint64_t hits = 0;
+        uint64_t triggered = 0;
+    };
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Site> sites_;
+    std::atomic<size_t> armedCount_{0};
+};
+
+} // namespace vpprof
+
+#endif // VPPROF_COMMON_FAILPOINT_HH

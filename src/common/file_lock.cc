@@ -1,0 +1,36 @@
+#include "common/file_lock.hh"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace vpprof
+{
+
+ScopedFileLock::ScopedFileLock(const std::string &path)
+{
+    fd_ = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    if (fd_ < 0) {
+        vpprof_warn_limited(4, "cannot create lock file ", path,
+                            "; proceeding unlocked");
+        return;
+    }
+    if (::flock(fd_, LOCK_EX) != 0) {
+        vpprof_warn_limited(4, "cannot lock ", path,
+                            "; proceeding unlocked");
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+ScopedFileLock::~ScopedFileLock()
+{
+    if (fd_ >= 0) {
+        ::flock(fd_, LOCK_UN);
+        ::close(fd_);
+    }
+}
+
+} // namespace vpprof

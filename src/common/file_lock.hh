@@ -1,0 +1,46 @@
+/**
+ * @file
+ * RAII advisory file lock (POSIX flock) for cross-process critical
+ * sections around shared cache files. Two processes pointed at the
+ * same --trace-cache directory serialize per-trace capture through
+ * one of these, so neither wastes a VM run re-capturing a trace the
+ * other is already writing, and the probe-then-commit sequence is
+ * atomic with respect to its peer.
+ *
+ * The lock is advisory and best-effort: when the lock file cannot be
+ * created (read-only media, exotic filesystems) the section proceeds
+ * unlocked — atomic renames still keep readers safe; only the
+ * duplicate-work optimization is lost.
+ */
+
+#ifndef VPPROF_COMMON_FILE_LOCK_HH
+#define VPPROF_COMMON_FILE_LOCK_HH
+
+#include <string>
+
+namespace vpprof
+{
+
+/** Holds an exclusive flock on `path` for the object's lifetime. */
+class ScopedFileLock
+{
+  public:
+    /** Create/open `path` and block until the exclusive lock is held. */
+    explicit ScopedFileLock(const std::string &path);
+
+    /** Releases the lock (and closes the descriptor). */
+    ~ScopedFileLock();
+
+    ScopedFileLock(const ScopedFileLock &) = delete;
+    ScopedFileLock &operator=(const ScopedFileLock &) = delete;
+
+    /** False when the lock could not be acquired (degraded, not fatal). */
+    bool held() const { return fd_ >= 0; }
+
+  private:
+    int fd_ = -1;
+};
+
+} // namespace vpprof
+
+#endif // VPPROF_COMMON_FILE_LOCK_HH

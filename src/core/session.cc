@@ -1,9 +1,12 @@
 #include "core/session.hh"
 
 #include <filesystem>
+#include <optional>
 #include <sstream>
 #include <unistd.h>
 
+#include "common/failpoint.hh"
+#include "common/file_lock.hh"
 #include "common/logging.hh"
 #include "core/evaluators.hh"
 #include "ilp/dataflow_engine.hh"
@@ -27,8 +30,25 @@ struct TraceRepository::Entry
     std::vector<TraceRecord> records;  ///< resident form (may be empty)
     bool onDisk = false;
     bool tempFile = false;  ///< spill file we own (delete at teardown)
+    /**
+     * Degraded mode: the trace fits neither the resident budget nor
+     * the disk (spill failed, e.g. ENOSPC). Replays re-interpret the
+     * workload instead — slower, never wrong.
+     */
+    bool reinterpret = false;
     std::string path;
     RunResult result;
+
+    /**
+     * Whether `path` has passed a Full (checksummed) validation in
+     * this process — set when we adopted it, wrote it ourselves, or a
+     * replay fully verified it. Later replays open HeaderOnly: the
+     * per-replay payload re-hash was measured at ~3x replay cost
+     * (bench_cache_robustness), and a file we just proved gains
+     * nothing from being re-proved. Cleared whenever a replay has to
+     * fall back to the VM, so the next attempt re-verifies in full.
+     */
+    std::atomic<bool> fileVerified{false};
 };
 
 namespace
@@ -79,103 +99,312 @@ TraceRepository::entryFor(const Workload &workload, size_t input_idx)
 }
 
 void
+TraceRepository::quarantine(const std::string &path,
+                            TraceIoStatus status)
+{
+    // Rename the sick file aside so the evidence survives for a
+    // post-mortem and the next probe sees a clean miss; `.bad` files
+    // are never probed (lookups only ever use the exact trace name).
+    std::string bad = path + ".bad";
+    std::error_code ec;
+    fs::rename(path, bad, ec);
+    if (ec)
+        fs::remove(path, ec);  // last resort: clear the slot
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.corruptQuarantined;
+    }
+    // Diagnostic, not fatal — and rate-limited: a sweep touching a
+    // damaged cache directory hits this once per trace file, and
+    // stdout consumers (bench JSON, CLI pipelines) must never see
+    // these lines interleaved into their output.
+    vpprof_warn_limited(8, "quarantined unusable trace cache file ",
+                        path, " (", traceIoStatusName(status),
+                        "); regenerating");
+}
+
+TraceRepository::AdoptOutcome
+TraceRepository::adoptCacheFile(Entry &entry, const std::string &path)
+{
+    // Adopt a valid file captured by an earlier process; any
+    // malformed file (truncated writer, foreign bytes, flipped bits,
+    // future format version) is a structured miss, never a crash or
+    // a short replay — it is quarantined and the trace re-captured.
+    TraceIoStatus status = TraceIoStatus::Ok;
+    auto reader = TraceFileReader::tryOpen(path, &status);
+    if (!reader) {
+        if (status == TraceIoStatus::IoError)
+            return AdoptOutcome::Missing;
+        quarantine(path, status);
+        return AdoptOutcome::Quarantined;
+    }
+
+    uint64_t count = reader->recordCount();
+    bool resident = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        resident = stats_.residentRecords + count <=
+                   config_.residentRecordBudget;
+        if (resident)
+            stats_.residentRecords += count;
+    }
+
+    entry.fileVerified.store(true, std::memory_order_relaxed);
+    if (resident) {
+        std::vector<TraceRecord> records;
+        records.reserve(count);
+        TraceRecord rec;
+        while (reader->next(rec))
+            records.push_back(rec);
+        if (reader->status() != TraceIoStatus::Ok ||
+            records.size() != count) {
+            // The file shrank between validate() and the bulk read:
+            // un-reserve the budget and treat it like any corruption.
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                stats_.residentRecords -= count;
+            }
+            quarantine(path, reader->status());
+            return AdoptOutcome::Quarantined;
+        }
+        entry.records = std::move(records);
+    } else {
+        entry.onDisk = true;
+    }
+
+    entry.result.instructionsExecuted = count;
+    entry.result.halted = true;
+    entry.path = path;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.diskLoads;
+        if (!resident)
+            ++stats_.spilledTraces;
+    }
+    entry.produced.store(true, std::memory_order_release);
+    return AdoptOutcome::Adopted;
+}
+
+bool
+TraceRepository::writeTraceFile(const std::string &path,
+                                const std::vector<TraceRecord> &records)
+{
+    TraceFileWriter writer(path);
+    for (const TraceRecord &rec : records)
+        writer.record(rec);
+    TraceIoStatus st = writer.close();
+    if (st == TraceIoStatus::Ok)
+        return true;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.spillFailures;
+    }
+    vpprof_warn_limited(8, "cannot persist trace to ", path, " (",
+                        traceIoStatusName(st),
+                        "); continuing without the file");
+    return false;
+}
+
+std::string
+TraceRepository::spillPathFor(const std::string &name, size_t input_idx)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (tempDir_.empty()) {
+        std::string dir = (fs::temp_directory_path() /
+                           ("vpprof-traces-" +
+                            std::to_string(::getpid())))
+                              .string();
+        std::error_code ec;
+        fs::create_directories(dir, ec);
+        if (ec) {
+            vpprof_warn_limited(4, "cannot create trace spill "
+                                "directory '", dir, "': ",
+                                ec.message());
+            return {};
+        }
+        tempDir_ = dir;
+    }
+    return tempDir_ + "/" + traceFileName(name, input_idx);
+}
+
+void
 TraceRepository::produce(Entry &entry, const Workload &workload,
                          size_t input_idx)
 {
     std::string name(workload.name());
     std::string cachePath;
+    std::optional<ScopedFileLock> cacheLock;
+    bool quarantined = false;
     if (!config_.traceCacheDir.empty()) {
         cachePath = config_.traceCacheDir + "/" +
                     traceFileName(name, input_idx);
-        // Adopt a valid file captured by an earlier process; any
-        // malformed file (truncated writer, foreign bytes, old format
-        // version) is a structured miss, never a crash or a short
-        // replay — we just re-capture over it.
-        TraceIoStatus status = TraceIoStatus::Ok;
-        auto reader = TraceFileReader::tryOpen(cachePath, &status);
-        if (reader) {
-            uint64_t count = reader->recordCount();
-            entry.result.instructionsExecuted = count;
-            entry.result.halted = true;
-            entry.path = cachePath;
-
-            std::lock_guard<std::mutex> lock(mutex_);
-            ++stats_.diskLoads;
-            if (stats_.residentRecords + count <=
-                config_.residentRecordBudget) {
-                entry.records.reserve(count);
-                TraceRecord rec;
-                while (reader->next(rec))
-                    entry.records.push_back(rec);
-                stats_.residentRecords += entry.records.size();
-            } else {
-                entry.onDisk = true;
-                ++stats_.spilledTraces;
-            }
-            entry.produced.store(true, std::memory_order_release);
+        // Advisory cross-process lock around probe + capture +
+        // commit: a sibling process sharing this cache directory
+        // either finishes its capture first (we adopt it) or blocks
+        // until ours is committed. Readers never need the lock —
+        // commits are atomic renames.
+        cacheLock.emplace(cachePath + ".lock");
+        switch (adoptCacheFile(entry, cachePath)) {
+          case AdoptOutcome::Adopted:
             return;
+          case AdoptOutcome::Quarantined:
+            quarantined = true;
+            break;
+          case AdoptOutcome::Missing:
+            break;
         }
-        // Diagnostic, not fatal — and rate-limited: a sweep touching
-        // a damaged cache directory hits this once per trace file,
-        // and stdout consumers (bench JSON, CLI pipelines) must never
-        // see these lines interleaved into their output.
-        if (status != TraceIoStatus::IoError)
-            vpprof_warn_limited(8, "ignoring unusable trace cache "
-                                "file ", cachePath, " (",
-                                traceIoStatusName(status),
-                                "); re-capturing");
     }
 
-    // First use in any process: interpret the workload once.
+    // First use in any process (or the cached copy was unusable):
+    // interpret the workload once.
     VectorTraceSink captured;
     entry.result = runProgram(workload.program(),
                               workload.input(input_idx), &captured,
                               workload.maxInstructions());
     std::vector<TraceRecord> records = captured.takeTrace();
 
-    if (!cachePath.empty()) {
-        TraceFileWriter writer(cachePath);
-        for (const TraceRecord &rec : records)
-            writer.record(rec);
-        writer.close();
+    if (!cachePath.empty() && writeTraceFile(cachePath, records)) {
         entry.path = cachePath;
+        // We produced those bytes through the checksumming writer:
+        // they are proved for this process without a re-read.
+        entry.fileVerified.store(true, std::memory_order_relaxed);
     }
 
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.vmRuns;
-    if (stats_.residentRecords + records.size() <=
-        config_.residentRecordBudget) {
-        stats_.residentRecords += records.size();
+    bool fits = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.vmRuns;
+        if (quarantined)
+            ++stats_.regenerations;
+        fits = stats_.residentRecords + records.size() <=
+               config_.residentRecordBudget;
+        if (fits)
+            stats_.residentRecords += records.size();
+    }
+
+    if (fits) {
         entry.records = std::move(records);
     } else {
         // Over budget: this trace lives on disk. Reuse the persistent
         // cache file when we just wrote one; otherwise spill into a
         // private temp directory.
         if (entry.path.empty()) {
-            if (tempDir_.empty()) {
-                tempDir_ = (fs::temp_directory_path() /
-                            ("vpprof-traces-" +
-                             std::to_string(::getpid())))
-                               .string();
-                std::error_code ec;
-                fs::create_directories(tempDir_, ec);
-                if (ec)
-                    vpprof_fatal("cannot create trace spill "
-                                 "directory '", tempDir_, "': ",
-                                 ec.message());
+            std::string spillPath = spillPathFor(name, input_idx);
+            bool spilled = false;
+            if (!spillPath.empty()) {
+                switch (FailpointRegistry::instance().fire("spill")) {
+                  case FailpointAction::Fail:
+                  case FailpointAction::NoSpace:
+                    {
+                        std::lock_guard<std::mutex> lock(mutex_);
+                        ++stats_.spillFailures;
+                    }
+                    vpprof_warn_limited(8, "cannot persist trace to ",
+                                        spillPath, " (injected spill "
+                                        "failure); continuing without "
+                                        "the file");
+                    break;
+                  default:
+                    spilled = writeTraceFile(spillPath, records);
+                    break;
+                }
             }
-            entry.path = tempDir_ + "/" +
-                         traceFileName(name, input_idx);
-            entry.tempFile = true;
-            TraceFileWriter writer(entry.path);
-            for (const TraceRecord &rec : records)
-                writer.record(rec);
-            writer.close();
+            if (spilled) {
+                entry.path = spillPath;
+                entry.tempFile = true;
+                entry.fileVerified.store(true,
+                                         std::memory_order_relaxed);
+            }
         }
-        entry.onDisk = true;
-        ++stats_.spilledTraces;
+        if (!entry.path.empty()) {
+            entry.onDisk = true;
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.spilledTraces;
+        } else {
+            // Nowhere to put it: neither memory (budget) nor disk
+            // (spill failed, e.g. ENOSPC). Degrade to re-interpreting
+            // the workload on every replay — the experiment still
+            // completes, bit-identical, just without the cache.
+            entry.reinterpret = true;
+            vpprof_warn_limited(4, "trace for ", name, ".in",
+                                input_idx, " fits neither memory nor "
+                                "disk; degrading to re-interpretation "
+                                "per replay");
+        }
     }
     entry.produced.store(true, std::memory_order_release);
+}
+
+void
+TraceRepository::replayFromDisk(Entry &entry, const Workload &workload,
+                                size_t input_idx, TraceSink *sink)
+{
+    // Streams `entry.path` into `sink`. The sink cannot un-consume
+    // records, so every recovery step below resumes exactly past the
+    // `delivered` prefix — consumers see one contiguous, bit-exact
+    // trace no matter how many attempts it took.
+    uint64_t delivered = 0;
+    auto stream = [&](TraceFileReader &reader) {
+        TraceRecord rec;
+        while (reader.next(rec)) {
+            sink->record(rec);
+            ++delivered;
+        }
+        return reader.status() == TraceIoStatus::Ok &&
+               delivered == reader.recordCount();
+    };
+
+    // A file already proved this process (adopted, self-written, or
+    // fully verified by an earlier replay) opens HeaderOnly; anything
+    // else pays the Full checksum pass exactly once.
+    bool verified = entry.fileVerified.load(std::memory_order_acquire);
+    TraceIoStatus status = TraceIoStatus::Ok;
+    auto reader = TraceFileReader::tryOpen(
+        entry.path, &status,
+        verified ? TraceVerify::HeaderOnly : TraceVerify::Full);
+    if (reader && !verified)
+        entry.fileVerified.store(true, std::memory_order_release);
+    if (reader && stream(*reader))
+        return;
+    if (reader)
+        status = reader->status();
+
+    // Mid-replay failure: the file changed underneath us (or an
+    // injected fault fired) after it validated at open. Retry once
+    // from disk, skipping the prefix the sink already has...
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.readRetries;
+    }
+    vpprof_warn_limited(8, "trace replay of ", entry.path,
+                        " failed (", traceIoStatusName(status),
+                        ") after ", delivered,
+                        " records; retrying from disk");
+    // The retry always re-verifies in full: the failure says the file
+    // is not what the earlier proof was about.
+    auto retry =
+        TraceFileReader::tryOpen(entry.path, &status, TraceVerify::Full);
+    if (retry && retry->skip(delivered) && stream(*retry))
+        return;
+    entry.fileVerified.store(false, std::memory_order_release);
+
+    // ...then regenerate via the VM. Interpretation is deterministic,
+    // so the regenerated records past `delivered` are the records the
+    // file would have held.
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.regenerations;
+    }
+    vpprof_warn_limited(8, "trace file ", entry.path,
+                        " is unreadable; regenerating the replay "
+                        "via the VM");
+    uint64_t seen = 0;
+    CallbackTraceSink skipper([&](const TraceRecord &rec) {
+        if (seen++ >= delivered)
+            sink->record(rec);
+    });
+    runProgram(workload.program(), workload.input(input_idx), &skipper,
+               workload.maxInstructions());
 }
 
 RunResult
@@ -190,12 +419,14 @@ TraceRepository::replay(const Workload &workload, size_t input_idx,
     }
 
     if (sink) {
-        if (entry.onDisk) {
-            // Strict reader: the repository wrote this file itself,
-            // so corruption here is an environment failure worth a
-            // loud fatal, not a silent re-run.
-            TraceFileReader reader(entry.path);
-            reader.replay(sink);
+        if (entry.reinterpret) {
+            // Degraded mode (spill failed): re-interpret per replay.
+            runProgram(workload.program(), workload.input(input_idx),
+                       sink, workload.maxInstructions());
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.regenerations;
+        } else if (entry.onDisk) {
+            replayFromDisk(entry, workload, input_idx, sink);
         } else {
             for (const TraceRecord &rec : entry.records)
                 sink->record(rec);

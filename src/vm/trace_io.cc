@@ -1,7 +1,12 @@
 #include "vm/trace_io.hh"
 
+#include <cerrno>
+#include <cstdio>
 #include <cstring>
+#include <unistd.h>
 
+#include "common/checksum.hh"
+#include "common/failpoint.hh"
 #include "common/logging.hh"
 
 namespace vpprof
@@ -11,8 +16,10 @@ namespace
 {
 
 constexpr char kMagicPrefix[7] = {'V', 'P', 'T', 'R', 'A', 'C', 'E'};
-constexpr char kVersion = '1';
+constexpr char kVersionV1 = '1';
+constexpr char kVersionV2 = '2';
 constexpr size_t kHeaderBytes = 16;
+constexpr size_t kTrailerBytes = 8;
 constexpr size_t kRecordBytes = 8 + 8 + 1 + 1 + 1 + 1 + 8 + 1 + 2 + 8;
 
 /** Serialize one record into a fixed-width buffer. */
@@ -67,6 +74,14 @@ decode(const char *buf, TraceRecord &rec)
     get(&rec.memAddr, 8);
 }
 
+/** Map the current errno of a failed write to a TraceIoStatus. */
+TraceIoStatus
+writeErrnoStatus()
+{
+    return errno == ENOSPC ? TraceIoStatus::NoSpace
+                           : TraceIoStatus::WriteFailed;
+}
+
 } // namespace
 
 const char *
@@ -79,26 +94,37 @@ traceIoStatusName(TraceIoStatus status)
       case TraceIoStatus::BadMagic: return "bad-magic";
       case TraceIoStatus::VersionMismatch: return "version-mismatch";
       case TraceIoStatus::Truncated: return "truncated";
+      case TraceIoStatus::ChecksumMismatch: return "checksum-mismatch";
+      case TraceIoStatus::WriteFailed: return "write-failed";
+      case TraceIoStatus::NoSpace: return "no-space";
     }
     return "unknown";
 }
 
 TraceFileWriter::TraceFileWriter(const std::string &path)
     : path_(path),
-      out_(path, std::ios::binary | std::ios::trunc)
+      tmpPath_(path + ".tmp." + std::to_string(::getpid())),
+      checksum_(kFnv1a64Seed)
 {
-    if (!out_)
-        vpprof_fatal("cannot create trace file: ", path);
+    errno = 0;
+    out_.open(tmpPath_, std::ios::binary | std::ios::trunc);
+    if (!out_) {
+        status_ = TraceIoStatus::IoError;
+        return;
+    }
     out_.write(kMagicPrefix, sizeof(kMagicPrefix));
-    out_.write(&kVersion, 1);
+    out_.write(&kVersionV2, 1);
     uint64_t placeholder = 0;
     out_.write(reinterpret_cast<const char *>(&placeholder), 8);
+    if (!out_)
+        status_ = writeErrnoStatus();
 }
 
 TraceFileWriter::~TraceFileWriter()
 {
-    if (!closed_)
-        close();
+    if (!closed_ && close() != TraceIoStatus::Ok)
+        vpprof_warn_limited(8, "trace file write failed (",
+                            traceIoStatusName(status_), "): ", path_);
 }
 
 void
@@ -106,91 +132,202 @@ TraceFileWriter::record(const TraceRecord &rec)
 {
     if (closed_)
         vpprof_panic("TraceFileWriter::record after close");
+    if (status_ != TraceIoStatus::Ok)
+        return;  // error latched; close() surfaces it
+
     char buf[kRecordBytes];
     encode(rec, buf);
+    // The trailer covers the bytes we *meant* to write: an injected
+    // Corrupt damages the file, not the checksum, exactly like a
+    // storage-level flip — readers must catch it.
+    checksum_ = fnv1a64(buf, sizeof(buf), checksum_);
+
+    switch (FailpointRegistry::instance().fire("trace_io.write")) {
+      case FailpointAction::Fail:
+        status_ = TraceIoStatus::WriteFailed;
+        return;
+      case FailpointAction::NoSpace:
+        status_ = TraceIoStatus::NoSpace;
+        return;
+      case FailpointAction::Corrupt:
+        buf[0] = static_cast<char>(buf[0] ^ 0x5a);
+        break;
+      default:
+        break;
+    }
+
+    errno = 0;
     out_.write(buf, sizeof(buf));
+    if (!out_) {
+        status_ = writeErrnoStatus();
+        return;
+    }
     ++count_;
 }
 
-void
+TraceIoStatus
 TraceFileWriter::close()
 {
     if (closed_)
-        return;
+        return status_;
     closed_ = true;
-    out_.seekp(sizeof(kMagicPrefix) + 1);
-    out_.write(reinterpret_cast<const char *>(&count_), 8);
+
+    if (status_ == TraceIoStatus::Ok) {
+        errno = 0;
+        out_.write(reinterpret_cast<const char *>(&checksum_),
+                   kTrailerBytes);
+        out_.seekp(sizeof(kMagicPrefix) + 1);
+        out_.write(reinterpret_cast<const char *>(&count_), 8);
+        out_.flush();
+        if (!out_)
+            status_ = writeErrnoStatus();
+    }
+
+    if (status_ == TraceIoStatus::Ok) {
+        switch (FailpointRegistry::instance().fire("trace_io.commit")) {
+          case FailpointAction::Fail:
+            status_ = TraceIoStatus::WriteFailed;
+            break;
+          case FailpointAction::NoSpace:
+            status_ = TraceIoStatus::NoSpace;
+            break;
+          default:
+            break;
+        }
+    }
+
     out_.close();
-    if (!out_)
-        vpprof_fatal("error finalizing trace file: ", path_);
+    if (status_ == TraceIoStatus::Ok && !out_)
+        status_ = writeErrnoStatus();
+
+    if (status_ == TraceIoStatus::Ok) {
+        // The commit point: the complete, checksummed file replaces
+        // whatever was at `path_` in one atomic step.
+        errno = 0;
+        if (std::rename(tmpPath_.c_str(), path_.c_str()) != 0)
+            status_ = writeErrnoStatus();
+    }
+    if (status_ != TraceIoStatus::Ok)
+        std::remove(tmpPath_.c_str());  // never leave a torn temp
+    return status_;
 }
 
 TraceFileReader::TraceFileReader(const std::string &path, Unchecked)
-    : in_(path, std::ios::binary)
+    : path_(path),
+      in_(path, std::ios::binary),
+      version_(kVersionV2)
 {
 }
 
 TraceIoStatus
-TraceFileReader::validate(const std::string &path)
+TraceFileReader::validate(TraceVerify verify)
 {
+    if (FailpointRegistry::instance().fire("trace_io.open") ==
+        FailpointAction::Fail)
+        return TraceIoStatus::IoError;
     if (!in_)
         return TraceIoStatus::IoError;
     char magic[sizeof(kMagicPrefix)];
     in_.read(magic, sizeof(magic));
-    char version = 0;
-    in_.read(&version, 1);
+    in_.read(&version_, 1);
     if (!in_)
         return TraceIoStatus::ShortHeader;
     if (std::memcmp(magic, kMagicPrefix, sizeof(kMagicPrefix)) != 0)
         return TraceIoStatus::BadMagic;
-    if (version != kVersion)
+    if (version_ != kVersionV1 && version_ != kVersionV2)
         return TraceIoStatus::VersionMismatch;
     in_.read(reinterpret_cast<char *>(&count_), 8);
     if (!in_)
         return TraceIoStatus::ShortHeader;
 
-    // The payload must hold exactly the records the header promises:
-    // fewer means a truncated capture (e.g. a writer that died before
-    // close()), more means trailing garbage. Both are data loss if
-    // ignored, so both are errors, never a silent short replay.
-    std::streampos pos = in_.tellg();
+    // The payload must hold exactly the records the header promises
+    // (plus, for v2, the checksum trailer): fewer means a truncated
+    // capture (e.g. a writer that died before close()), more means
+    // trailing garbage. Both are data loss if ignored, so both are
+    // errors, never a silent short replay.
+    size_t overhead =
+        kHeaderBytes + (version_ == kVersionV2 ? kTrailerBytes : 0);
     in_.seekg(0, std::ios::end);
     std::streampos end = in_.tellg();
-    in_.seekg(pos);
+    in_.seekg(kHeaderBytes);
     if (!in_)
         return TraceIoStatus::IoError;
-    uint64_t payload = static_cast<uint64_t>(end) - kHeaderBytes;
-    if (payload != count_ * kRecordBytes)
+    if (static_cast<uint64_t>(end) < overhead ||
+        static_cast<uint64_t>(end) - overhead !=
+            count_ * kRecordBytes)
         return TraceIoStatus::Truncated;
+
+    if (version_ == kVersionV2 && verify == TraceVerify::Full) {
+        // Stream the payload once to verify the trailer before any
+        // record is handed out: a flipped bit must be a structured
+        // open failure, never a silently mis-measured replay.
+        uint64_t sum = kFnv1a64Seed;
+        uint64_t remaining = count_ * kRecordBytes;
+        char chunk[1 << 16];
+        while (remaining > 0) {
+            size_t step = remaining < sizeof(chunk)
+                              ? static_cast<size_t>(remaining)
+                              : sizeof(chunk);
+            in_.read(chunk, static_cast<std::streamsize>(step));
+            if (!in_)
+                return TraceIoStatus::IoError;
+            sum = fnv1a64(chunk, step, sum);
+            remaining -= step;
+        }
+        uint64_t stored = 0;
+        in_.read(reinterpret_cast<char *>(&stored), kTrailerBytes);
+        if (!in_)
+            return TraceIoStatus::IoError;
+        if (stored != sum)
+            return TraceIoStatus::ChecksumMismatch;
+        in_.clear();
+        in_.seekg(kHeaderBytes);
+        if (!in_)
+            return TraceIoStatus::IoError;
+    }
     return TraceIoStatus::Ok;
 }
 
 TraceFileReader::TraceFileReader(const std::string &path)
     : TraceFileReader(path, Unchecked{})
 {
-    switch (validate(path)) {
+    TraceIoStatus st = validate(TraceVerify::Full);
+    switch (st) {
       case TraceIoStatus::Ok:
         return;
       case TraceIoStatus::IoError:
-        vpprof_fatal("cannot open trace file: ", path);
+        vpprof_fatal("cannot open trace file (",
+                     traceIoStatusName(st), "): ", path);
       case TraceIoStatus::ShortHeader:
-        vpprof_fatal("truncated trace header: ", path);
+        vpprof_fatal("truncated trace header (",
+                     traceIoStatusName(st), "): ", path);
       case TraceIoStatus::BadMagic:
-        vpprof_fatal("not a vpprof trace file: ", path);
+        vpprof_fatal("not a vpprof trace file (",
+                     traceIoStatusName(st), "): ", path);
       case TraceIoStatus::VersionMismatch:
-        vpprof_fatal("unsupported trace file version: ", path);
+        vpprof_fatal("unsupported trace file version (",
+                     traceIoStatusName(st), "): ", path);
       case TraceIoStatus::Truncated:
-        vpprof_fatal("truncated trace file: ", path);
+        vpprof_fatal("truncated trace file (",
+                     traceIoStatusName(st), "): ", path);
+      case TraceIoStatus::ChecksumMismatch:
+        vpprof_fatal("trace file checksum mismatch (",
+                     traceIoStatusName(st), "): ", path);
+      case TraceIoStatus::WriteFailed:
+      case TraceIoStatus::NoSpace:
+        break;  // writer-side statuses; validate() never returns them
     }
+    vpprof_panic("unexpected trace validation status");
 }
 
 std::unique_ptr<TraceFileReader>
-TraceFileReader::tryOpen(const std::string &path, TraceIoStatus *status)
+TraceFileReader::tryOpen(const std::string &path, TraceIoStatus *status,
+                         TraceVerify verify)
 {
     std::unique_ptr<TraceFileReader> reader(
         new TraceFileReader(path, Unchecked{}));
     reader->strict_ = false;
-    TraceIoStatus st = reader->validate(path);
+    TraceIoStatus st = reader->validate(verify);
     if (status)
         *status = st;
     if (st != TraceIoStatus::Ok)
@@ -198,24 +335,60 @@ TraceFileReader::tryOpen(const std::string &path, TraceIoStatus *status)
     return reader;
 }
 
+void
+TraceFileReader::fail(TraceIoStatus status)
+{
+    status_ = status;
+    if (strict_)
+        vpprof_fatal("trace replay failed (",
+                     traceIoStatusName(status), ") after ", read_,
+                     " of ", count_, " records: ", path_);
+}
+
 bool
 TraceFileReader::next(TraceRecord &rec)
 {
     if (status_ != TraceIoStatus::Ok || read_ >= count_)
         return false;
+
+    switch (FailpointRegistry::instance().fire("trace_io.read")) {
+      case FailpointAction::Short:
+        fail(TraceIoStatus::Truncated);
+        return false;
+      case FailpointAction::Fail:
+        fail(TraceIoStatus::IoError);
+        return false;
+      default:
+        break;
+    }
+
     char buf[kRecordBytes];
     in_.read(buf, sizeof(buf));
     if (!in_) {
         // validate() checked the size at open, so this only happens
         // when the file shrank underneath us mid-read.
-        status_ = TraceIoStatus::Truncated;
-        if (strict_)
-            vpprof_fatal("truncated trace file (expected ", count_,
-                         " records, got ", read_, ")");
+        fail(TraceIoStatus::Truncated);
         return false;
     }
     decode(buf, rec);
     ++read_;
+    return true;
+}
+
+bool
+TraceFileReader::skip(uint64_t n)
+{
+    if (status_ != TraceIoStatus::Ok)
+        return false;
+    if (n > count_ - read_)
+        n = count_ - read_;
+    in_.seekg(static_cast<std::streamoff>(n * kRecordBytes),
+              std::ios::cur);
+    if (!in_) {
+        fail(TraceIoStatus::IoError);
+        return false;
+    }
+    read_ += n;
     return true;
 }
 

@@ -4,11 +4,22 @@
  * later, so expensive workload runs can be captured once and analyzed
  * many times — the role SHADE's trace files played for the paper.
  *
- * Format: a 16-byte header ("VPTRACE" + version byte, record count)
- * followed by fixed-width little-endian records. Readers validate the
- * magic, the format version, and that the payload size matches the
- * record count the header promises, and report structured
+ * Format v2: a 16-byte header ("VPTRACE" + version byte, record
+ * count), fixed-width little-endian records, and an 8-byte FNV-1a
+ * checksum trailer over the record payload. v1 files (no trailer) are
+ * still readable, version-gated, so pre-existing caches keep working.
+ *
+ * Durability: the writer streams into `<path>.tmp.<pid>` and commits
+ * with flush + atomic rename in close(), so a crash at any point
+ * leaves either the complete old file or the complete new file at
+ * `path` — never a torn one. Readers validate the magic, the version,
+ * the payload size, and (v2) the checksum, and report structured
  * TraceIoStatus errors instead of silently truncating.
+ *
+ * Fault injection: the write/commit/open/read sites consult the
+ * failpoint registry ("trace_io.write", "trace_io.commit",
+ * "trace_io.open", "trace_io.read"), so crash-consistency tests can
+ * deterministically simulate disk-full, torn writes and short reads.
  */
 
 #ifndef VPPROF_VM_TRACE_IO_HH
@@ -24,44 +35,86 @@
 namespace vpprof
 {
 
-/** Structured outcome of trace-file validation and reads. */
+/** Structured outcome of trace-file validation, reads and writes. */
 enum class TraceIoStatus
 {
-    Ok,              ///< file healthy / operation succeeded
-    IoError,         ///< file cannot be opened or read at all
-    ShortHeader,     ///< fewer bytes than the fixed header
-    BadMagic,        ///< not a vpprof trace file at all
-    VersionMismatch, ///< vpprof trace, but an unsupported version
-    Truncated,       ///< payload size disagrees with the header count
+    Ok,               ///< file healthy / operation succeeded
+    IoError,          ///< file cannot be opened or read at all
+    ShortHeader,      ///< fewer bytes than the fixed header
+    BadMagic,         ///< not a vpprof trace file at all
+    VersionMismatch,  ///< vpprof trace, but an unsupported version
+    Truncated,        ///< payload size disagrees with the header count
+    ChecksumMismatch, ///< v2 payload does not match its trailer
+    WriteFailed,      ///< a write or the commit rename failed
+    NoSpace,          ///< the device is full (ENOSPC)
 };
 
 /** Human-readable name of a TraceIoStatus (for messages and tests). */
 const char *traceIoStatusName(TraceIoStatus status);
 
 /**
- * A trace sink that streams records into a binary trace file. The
- * record count in the header is fixed up on close().
+ * How much of a trace file tryOpen() validates. Full streams the v2
+ * payload and verifies the checksum trailer — the integrity boundary,
+ * paid once per file per process. HeaderOnly checks the magic, the
+ * version and the payload size but skips the payload pass; it exists
+ * so repeated same-process replays of a file that already passed Full
+ * verification (tracked by the TraceRepository) avoid re-hashing tens
+ * of megabytes per replay. Use Full whenever the file's history is
+ * unknown.
+ */
+enum class TraceVerify
+{
+    Full,
+    HeaderOnly,
+};
+
+/**
+ * A trace sink that streams records into a binary trace file through
+ * a write-to-temp + flush + atomic-rename commit. Failures (including
+ * a full disk) are latched into status() and surfaced by close();
+ * nothing in the writer is fatal, so callers choose between loud
+ * errors (the CLI) and graceful degradation (the trace cache).
  */
 class TraceFileWriter : public TraceSink
 {
   public:
-    /** Open (truncate) the file; fatal when it cannot be created. */
+    /**
+     * Open the temp file for `path`. On failure the writer is inert:
+     * record() drops and close() reports the latched status.
+     */
     explicit TraceFileWriter(const std::string &path);
 
+    /**
+     * Closes if needed; a failure on this path is logged through
+     * vpprof_warn_limited (a destructor cannot return status — call
+     * close() when the outcome matters).
+     */
     ~TraceFileWriter() override;
 
     void record(const TraceRecord &rec) override;
 
-    /** Finalize the header and close; implicit in the destructor. */
-    void close();
+    /**
+     * Commit: append the checksum trailer, fix up the header count,
+     * flush, verify the stream, and atomically rename the temp file
+     * over `path`. Returns Ok on a durable commit; on any failure the
+     * temp file is removed, `path` is untouched, and the first error
+     * (WriteFailed / NoSpace / IoError) is returned. Idempotent.
+     */
+    TraceIoStatus close();
+
+    /** First error latched by the constructor/record()/close(). */
+    TraceIoStatus status() const { return status_; }
 
     uint64_t recordsWritten() const { return count_; }
 
   private:
     std::string path_;
+    std::string tmpPath_;
     std::ofstream out_;
     uint64_t count_ = 0;
+    uint64_t checksum_;
     bool closed_ = false;
+    TraceIoStatus status_ = TraceIoStatus::Ok;
 };
 
 /**
@@ -72,9 +125,9 @@ class TraceFileWriter : public TraceSink
  *  - The constructor is strict: any malformed file is fatal (a user
  *    handed us a broken file; the CLI wants the loud diagnostic).
  *  - tryOpen() is recoverable: it validates the header, the version,
- *    and the payload size, and returns nullptr plus a TraceIoStatus so
- *    callers (e.g. a trace cache probing for reusable files) can fall
- *    back to regenerating the trace.
+ *    the payload size and the v2 checksum, and returns nullptr plus a
+ *    TraceIoStatus so callers (e.g. a trace cache probing for
+ *    reusable files) can quarantine the file and regenerate.
  */
 class TraceFileReader
 {
@@ -83,15 +136,20 @@ class TraceFileReader
     explicit TraceFileReader(const std::string &path);
 
     /**
-     * Open and fully validate a trace file without ever exiting.
+     * Open and validate a trace file without ever exiting.
      * @param[out] status Why the open failed (Ok on success).
+     * @param verify How deep to validate (default: full checksum).
      * @return The reader, or nullptr when the file is unusable.
      */
     static std::unique_ptr<TraceFileReader>
-    tryOpen(const std::string &path, TraceIoStatus *status = nullptr);
+    tryOpen(const std::string &path, TraceIoStatus *status = nullptr,
+            TraceVerify verify = TraceVerify::Full);
 
     /** Records the header promises. */
     uint64_t recordCount() const { return count_; }
+
+    /** Records handed out (or skipped) so far. */
+    uint64_t recordsRead() const { return read_; }
 
     /**
      * Read the next record; false at end of trace. On an unexpected
@@ -99,6 +157,12 @@ class TraceFileReader
      * stops, recording the error in status().
      */
     bool next(TraceRecord &rec);
+
+    /**
+     * Seek forward past `n` records without decoding them (resuming a
+     * replay that already delivered a prefix). False on seek failure.
+     */
+    bool skip(uint64_t n);
 
     /** Stream every remaining record into a sink; returns how many. */
     uint64_t replay(TraceSink *sink);
@@ -113,12 +177,17 @@ class TraceFileReader
 
     TraceFileReader(const std::string &path, Unchecked);
 
-    /** Validate header/version/size; returns the failure reason. */
-    TraceIoStatus validate(const std::string &path);
+    /** Validate header/version/size (+ checksum when Full). */
+    TraceIoStatus validate(TraceVerify verify);
 
+    /** Latch an error; fatal (with status name + path) when strict. */
+    void fail(TraceIoStatus status);
+
+    std::string path_;
     std::ifstream in_;
     uint64_t count_ = 0;
     uint64_t read_ = 0;
+    char version_;
     bool strict_ = true;
     TraceIoStatus status_ = TraceIoStatus::Ok;
 };

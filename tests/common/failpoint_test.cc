@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Unit tests for the deterministic fault-injection registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.hh"
+
+namespace vpprof
+{
+namespace
+{
+
+/** Each test starts and ends with a clean registry. */
+class Failpoint : public ::testing::Test
+{
+  protected:
+    void SetUp() override { FailpointRegistry::instance().reset(); }
+    void TearDown() override { FailpointRegistry::instance().reset(); }
+};
+
+TEST_F(Failpoint, UnarmedSiteNeverFires)
+{
+    auto &reg = FailpointRegistry::instance();
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(reg.fire("nowhere"), FailpointAction::None);
+    // Unarmed fires are the fast path: not even counted.
+    EXPECT_EQ(reg.hits("nowhere"), 0u);
+}
+
+TEST_F(Failpoint, EveryHitTriggersWithoutIndex)
+{
+    auto &reg = FailpointRegistry::instance();
+    reg.arm("io", {FailpointAction::Fail, 0});
+    EXPECT_EQ(reg.fire("io"), FailpointAction::Fail);
+    EXPECT_EQ(reg.fire("io"), FailpointAction::Fail);
+    EXPECT_EQ(reg.hits("io"), 2u);
+    EXPECT_EQ(reg.triggered("io"), 2u);
+}
+
+TEST_F(Failpoint, IndexedTriggerFiresExactlyOnNthHit)
+{
+    auto &reg = FailpointRegistry::instance();
+    reg.arm("io", {FailpointAction::NoSpace, 3});
+    EXPECT_EQ(reg.fire("io"), FailpointAction::None);
+    EXPECT_EQ(reg.fire("io"), FailpointAction::None);
+    EXPECT_EQ(reg.fire("io"), FailpointAction::NoSpace);
+    // A transient fault: later hits succeed again, so retry logic can
+    // be tested end to end.
+    EXPECT_EQ(reg.fire("io"), FailpointAction::None);
+    EXPECT_EQ(reg.hits("io"), 4u);
+    EXPECT_EQ(reg.triggered("io"), 1u);
+}
+
+TEST_F(Failpoint, DisarmStopsTriggeringAndReArmResetsCounters)
+{
+    auto &reg = FailpointRegistry::instance();
+    reg.arm("io", {FailpointAction::Fail, 0});
+    EXPECT_EQ(reg.fire("io"), FailpointAction::Fail);
+    reg.disarm("io");
+    EXPECT_EQ(reg.fire("io"), FailpointAction::None);
+    EXPECT_EQ(reg.hits("io"), 1u) << "unarmed hits are not counted";
+
+    reg.arm("io", {FailpointAction::Short, 1});
+    EXPECT_EQ(reg.hits("io"), 0u) << "arming restarts the hit count";
+    EXPECT_EQ(reg.fire("io"), FailpointAction::Short);
+}
+
+TEST_F(Failpoint, ParseSpecAcceptsTheDocumentedGrammar)
+{
+    auto fail3 = FailpointRegistry::parseSpec("fail@3");
+    ASSERT_TRUE(fail3.has_value());
+    EXPECT_EQ(fail3->action, FailpointAction::Fail);
+    EXPECT_EQ(fail3->triggerHit, 3u);
+
+    auto shortRead = FailpointRegistry::parseSpec("short");
+    ASSERT_TRUE(shortRead.has_value());
+    EXPECT_EQ(shortRead->action, FailpointAction::Short);
+    EXPECT_EQ(shortRead->triggerHit, 0u);
+
+    EXPECT_EQ(FailpointRegistry::parseSpec("enospc")->action,
+              FailpointAction::NoSpace);
+    EXPECT_EQ(FailpointRegistry::parseSpec("corrupt")->action,
+              FailpointAction::Corrupt);
+    EXPECT_EQ(FailpointRegistry::parseSpec("off")->action,
+              FailpointAction::None);
+
+    EXPECT_FALSE(FailpointRegistry::parseSpec("explode").has_value());
+    EXPECT_FALSE(FailpointRegistry::parseSpec("fail@").has_value());
+    EXPECT_FALSE(FailpointRegistry::parseSpec("fail@0").has_value());
+    EXPECT_FALSE(FailpointRegistry::parseSpec("fail@x").has_value());
+    EXPECT_FALSE(FailpointRegistry::parseSpec("").has_value());
+}
+
+TEST_F(Failpoint, ArmListArmsEverySiteInTheEnvSyntax)
+{
+    auto &reg = FailpointRegistry::instance();
+    std::string error;
+    ASSERT_TRUE(reg.armList(
+        "trace_io.write:fail@3,trace_io.read:short,spill:enospc",
+        &error))
+        << error;
+    EXPECT_EQ(reg.fire("trace_io.read"), FailpointAction::Short);
+    EXPECT_EQ(reg.fire("spill"), FailpointAction::NoSpace);
+    EXPECT_EQ(reg.fire("trace_io.write"), FailpointAction::None);
+    EXPECT_EQ(reg.fire("trace_io.write"), FailpointAction::None);
+    EXPECT_EQ(reg.fire("trace_io.write"), FailpointAction::Fail);
+}
+
+TEST_F(Failpoint, ArmListRejectsMalformedInputAtomically)
+{
+    auto &reg = FailpointRegistry::instance();
+    std::string error;
+    EXPECT_FALSE(reg.armList("a:fail,b:explode", &error));
+    EXPECT_NE(error.find("explode"), std::string::npos);
+    // The valid prefix must not have been armed either.
+    EXPECT_EQ(reg.fire("a"), FailpointAction::None);
+
+    EXPECT_FALSE(reg.armList("justasite", &error));
+    EXPECT_FALSE(reg.armList(":fail", &error));
+}
+
+TEST_F(Failpoint, OffEntriesDisarmInsideAList)
+{
+    auto &reg = FailpointRegistry::instance();
+    reg.arm("io", {FailpointAction::Fail, 0});
+    std::string error;
+    ASSERT_TRUE(reg.armList("io:off", &error)) << error;
+    EXPECT_EQ(reg.fire("io"), FailpointAction::None);
+}
+
+TEST_F(Failpoint, ConcurrentFiresCountEveryHit)
+{
+    auto &reg = FailpointRegistry::instance();
+    reg.arm("io", {FailpointAction::Fail, 1000000});
+    constexpr int kThreads = 8, kFires = 2000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&] {
+            for (int i = 0; i < kFires; ++i)
+                reg.fire("io");
+        });
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(reg.hits("io"),
+              static_cast<uint64_t>(kThreads) * kFires);
+}
+
+TEST_F(Failpoint, ActionNamesAreDistinct)
+{
+    EXPECT_STREQ(failpointActionName(FailpointAction::None), "none");
+    EXPECT_STREQ(failpointActionName(FailpointAction::Fail), "fail");
+    EXPECT_STREQ(failpointActionName(FailpointAction::Short), "short");
+    EXPECT_STREQ(failpointActionName(FailpointAction::NoSpace),
+                 "enospc");
+    EXPECT_STREQ(failpointActionName(FailpointAction::Corrupt),
+                 "corrupt");
+}
+
+} // namespace
+} // namespace vpprof

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Unit tests for the advisory flock wrapper guarding shared trace
+ * cache files.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <thread>
+
+#include "common/file_lock.hh"
+
+namespace vpprof
+{
+namespace
+{
+
+std::string
+lockPath(const char *name)
+{
+    return ::testing::TempDir() + "/" + name;
+}
+
+TEST(FileLock, AcquiresAndCreatesTheLockFile)
+{
+    std::string path = lockPath("fl_basic.lock");
+    std::filesystem::remove(path);
+    {
+        ScopedFileLock lock(path);
+        EXPECT_TRUE(lock.held());
+        EXPECT_TRUE(std::filesystem::exists(path));
+    }
+    // Release is implicit; the file itself stays (flock semantics).
+    EXPECT_TRUE(std::filesystem::exists(path));
+    std::filesystem::remove(path);
+}
+
+TEST(FileLock, ReacquirableAfterRelease)
+{
+    std::string path = lockPath("fl_reacquire.lock");
+    {
+        ScopedFileLock lock(path);
+        EXPECT_TRUE(lock.held());
+    }
+    ScopedFileLock again(path);
+    EXPECT_TRUE(again.held());
+    std::filesystem::remove(path);
+}
+
+TEST(FileLock, UncreatableLockDegradesToUnlocked)
+{
+    // A path whose directory does not exist: the lock must degrade
+    // (held() false), never crash or block.
+    ScopedFileLock lock("/nonexistent-dir-for-vpprof/x.lock");
+    EXPECT_FALSE(lock.held());
+}
+
+TEST(FileLock, SerializesAcrossDescriptors)
+{
+    // flock locks belong to the open file description, so two
+    // ScopedFileLocks in one process contend exactly like two
+    // processes do. The second acquirer must block until the first
+    // releases — observed as strictly non-overlapping critical
+    // sections.
+    std::string path = lockPath("fl_serialize.lock");
+    std::atomic<int> inside{0};
+    std::atomic<bool> overlapped{false};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t)
+        threads.emplace_back([&] {
+            for (int i = 0; i < 25; ++i) {
+                ScopedFileLock lock(path);
+                ASSERT_TRUE(lock.held());
+                if (inside.fetch_add(1) != 0)
+                    overlapped = true;
+                std::this_thread::yield();
+                inside.fetch_sub(1);
+            }
+        });
+    for (auto &t : threads)
+        t.join();
+    EXPECT_FALSE(overlapped.load());
+    std::filesystem::remove(path);
+}
+
+} // namespace
+} // namespace vpprof

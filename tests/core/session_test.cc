@@ -168,6 +168,50 @@ TEST(Session, CorruptCacheFileIsRecaptured)
     std::filesystem::remove_all(dir);
 }
 
+TEST(Session, QuarantineUsesBadSuffixAndIsNeverReprobed)
+{
+    std::string dir = ::testing::TempDir() + "/vpprof_cache_quarantine";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    const std::string garbage = "definitely not a trace";
+    {
+        std::ofstream bad(dir + "/li.in0.trace", std::ios::binary);
+        bad << garbage;
+    }
+
+    SessionConfig cfg;
+    cfg.traceCacheDir = dir;
+    Session session(cfg);
+    CountingTraceSink counts;
+    session.runTrace(li(), 0, &counts);
+
+    TraceRepoStats st = session.traces().stats();
+    EXPECT_EQ(st.corruptQuarantined, 1u);
+    EXPECT_EQ(st.regenerations, 1u);
+
+    // The sick file was renamed aside with the `.bad` suffix, its
+    // bytes preserved for post-mortem inspection.
+    std::ifstream aside(dir + "/li.in0.trace.bad", std::ios::binary);
+    ASSERT_TRUE(aside.good());
+    std::string kept((std::istreambuf_iterator<char>(aside)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_EQ(kept, garbage);
+
+    // Within the process the key replays from its regenerated copy:
+    // the quarantined file is never re-probed, so further replays
+    // neither bump the quarantine counter nor touch the .bad file.
+    CountingTraceSink counts2;
+    session.runTrace(li(), 0, &counts2);
+    TraceRepoStats st2 = session.traces().stats();
+    EXPECT_EQ(st2.corruptQuarantined, 1u);
+    EXPECT_EQ(st2.regenerations, 1u);
+    EXPECT_EQ(counts2.producers(), counts.producers());
+    for (const auto &e : std::filesystem::directory_iterator(dir))
+        EXPECT_EQ(e.path().string().find(".bad.bad"),
+                  std::string::npos);
+    std::filesystem::remove_all(dir);
+}
+
 TEST(Session, EvaluateClassificationMatchesDirectExecution)
 {
     // The replayed + directive-overridden evaluation must agree, count

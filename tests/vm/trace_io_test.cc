@@ -6,8 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 
+#include "common/checksum.hh"
+#include "common/failpoint.hh"
 #include "isa/program_builder.hh"
 #include "vm/machine.hh"
 #include "vm/trace_io.hh"
@@ -245,6 +248,314 @@ TEST(TraceIo, StatusNamesAreDistinct)
                  "version-mismatch");
     EXPECT_STREQ(traceIoStatusName(TraceIoStatus::Truncated),
                  "truncated");
+    EXPECT_STREQ(traceIoStatusName(TraceIoStatus::ChecksumMismatch),
+                 "checksum-mismatch");
+    EXPECT_STREQ(traceIoStatusName(TraceIoStatus::WriteFailed),
+                 "write-failed");
+    EXPECT_STREQ(traceIoStatusName(TraceIoStatus::NoSpace),
+                 "no-space");
+}
+
+// --- Format v2 integrity + durability -------------------------------
+
+/** Failpoint-armed tests must never leak arming into neighbors. */
+class TraceIoFaults : public ::testing::Test
+{
+  protected:
+    void SetUp() override { FailpointRegistry::instance().reset(); }
+    void TearDown() override { FailpointRegistry::instance().reset(); }
+};
+
+TEST(TraceIo, ChecksumCatchesSingleFlippedPayloadBit)
+{
+    std::string path = tempPath("bitflip.trace");
+    std::string data = validTraceBytes(path);
+    // Size-only validation cannot see this: flip one bit in the
+    // middle of the payload, leaving the length intact.
+    std::string bad = data;
+    bad[20] = static_cast<char>(bad[20] ^ 0x04);
+    writeBytes(path, bad);
+
+    TraceIoStatus status = TraceIoStatus::Ok;
+    EXPECT_EQ(TraceFileReader::tryOpen(path, &status), nullptr);
+    EXPECT_EQ(status, TraceIoStatus::ChecksumMismatch);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, ChecksumCatchesDamagedTrailer)
+{
+    std::string path = tempPath("badtrailer.trace");
+    std::string data = validTraceBytes(path);
+    std::string bad = data;
+    bad[bad.size() - 1] = static_cast<char>(bad[bad.size() - 1] ^ 0xff);
+    writeBytes(path, bad);
+
+    TraceIoStatus status = TraceIoStatus::Ok;
+    EXPECT_EQ(TraceFileReader::tryOpen(path, &status), nullptr);
+    EXPECT_EQ(status, TraceIoStatus::ChecksumMismatch);
+    std::remove(path.c_str());
+}
+
+/** Turn v2 bytes into a v1 file: patch the version, drop the trailer. */
+std::string
+asV1Bytes(const std::string &v2)
+{
+    std::string v1 = v2.substr(0, v2.size() - 8);
+    v1[7] = '1';
+    return v1;
+}
+
+TEST(TraceIo, Version1FilesAreStillReadable)
+{
+    std::string path = tempPath("v1compat.trace");
+    std::string data = validTraceBytes(path);
+    writeBytes(path, asV1Bytes(data));
+
+    TraceIoStatus status = TraceIoStatus::Ok;
+    auto reader = TraceFileReader::tryOpen(path, &status);
+    ASSERT_NE(reader, nullptr);
+    EXPECT_EQ(status, TraceIoStatus::Ok);
+    VectorTraceSink sink;
+    EXPECT_EQ(reader->replay(&sink), 2u);
+    EXPECT_EQ(sink.trace()[0].pc, 7u);
+    EXPECT_EQ(sink.trace()[1].pc, 8u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, Version1FilesAreNotChecksumChecked)
+{
+    // The checksum check is version-gated: a v1 file with a flipped
+    // payload bit still opens (v1 predates the trailer), documenting
+    // that only v2 carries integrity.
+    std::string path = tempPath("v1flip.trace");
+    std::string v1 = asV1Bytes(validTraceBytes(path));
+    v1[20] = static_cast<char>(v1[20] ^ 0x04);
+    writeBytes(path, v1);
+
+    TraceIoStatus status = TraceIoStatus::Ok;
+    EXPECT_NE(TraceFileReader::tryOpen(path, &status), nullptr);
+    EXPECT_EQ(status, TraceIoStatus::Ok);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, FreshWritesAreVersion2WithTrailer)
+{
+    std::string path = tempPath("v2fresh.trace");
+    std::string data = validTraceBytes(path);
+    EXPECT_EQ(data[7], '2');
+    // 16-byte header + 2 records of 39 packed bytes + 8-byte trailer.
+    ASSERT_EQ(data.size(), 16u + 2 * 39 + 8);
+    // The trailer is the FNV-1a of the record payload, stored LE.
+    uint64_t expected =
+        fnv1a64(data.data() + 16, data.size() - 16 - 8);
+    uint64_t stored = 0;
+    std::memcpy(&stored, data.data() + data.size() - 8, 8);
+    EXPECT_EQ(stored, expected);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, FinalPathInvisibleUntilCommit)
+{
+    std::string path = tempPath("atomic.trace");
+    std::remove(path.c_str());
+    {
+        TraceFileWriter writer(path);
+        TraceRecord rec;
+        rec.pc = 1;
+        writer.record(rec);
+        // Mid-write: only the temp file exists; a concurrent reader
+        // polling `path` can never observe a torn file.
+        EXPECT_FALSE(std::ifstream(path).good());
+        EXPECT_EQ(writer.close(), TraceIoStatus::Ok);
+    }
+    EXPECT_TRUE(std::ifstream(path).good());
+    std::remove(path.c_str());
+}
+
+TEST_F(TraceIoFaults, WriteFailureIsLatchedAndSurfacedByClose)
+{
+    std::string path = tempPath("wfail.trace");
+    std::remove(path.c_str());
+    FailpointRegistry::instance().arm("trace_io.write",
+                                      {FailpointAction::Fail, 2});
+    TraceFileWriter writer(path);
+    TraceRecord rec;
+    writer.record(rec);
+    EXPECT_EQ(writer.status(), TraceIoStatus::Ok);
+    writer.record(rec);  // the injected failure
+    EXPECT_EQ(writer.status(), TraceIoStatus::WriteFailed);
+    writer.record(rec);  // latched: dropped, not resurrected
+    EXPECT_EQ(writer.close(), TraceIoStatus::WriteFailed);
+    // No commit: neither the final file nor the temp survives.
+    EXPECT_FALSE(std::ifstream(path).good());
+}
+
+TEST_F(TraceIoFaults, NoSpaceAtCommitReportsNoSpaceAndLeavesNoFile)
+{
+    std::string path = tempPath("enospc.trace");
+    std::remove(path.c_str());
+    FailpointRegistry::instance().arm("trace_io.commit",
+                                      {FailpointAction::NoSpace, 0});
+    TraceFileWriter writer(path);
+    TraceRecord rec;
+    writer.record(rec);
+    EXPECT_EQ(writer.close(), TraceIoStatus::NoSpace);
+    EXPECT_FALSE(std::ifstream(path).good());
+}
+
+TEST_F(TraceIoFaults, FailedCommitPreservesThePreviousFile)
+{
+    // Atomicity also means a failed re-capture cannot destroy the
+    // good file already at `path`.
+    std::string path = tempPath("preserve.trace");
+    std::string good = validTraceBytes(path);
+
+    FailpointRegistry::instance().arm("trace_io.commit",
+                                      {FailpointAction::Fail, 0});
+    {
+        TraceFileWriter writer(path);
+        TraceRecord rec;
+        rec.pc = 99;
+        writer.record(rec);
+        EXPECT_EQ(writer.close(), TraceIoStatus::WriteFailed);
+    }
+    FailpointRegistry::instance().reset();
+
+    // The old two-record file is untouched and still valid.
+    auto reader = TraceFileReader::tryOpen(path);
+    ASSERT_NE(reader, nullptr);
+    EXPECT_EQ(reader->recordCount(), 2u);
+    std::remove(path.c_str());
+}
+
+TEST_F(TraceIoFaults, InjectedCorruptionIsCaughtByTheChecksum)
+{
+    std::string path = tempPath("injcorrupt.trace");
+    FailpointRegistry::instance().arm("trace_io.write",
+                                      {FailpointAction::Corrupt, 1});
+    {
+        TraceFileWriter writer(path);
+        TraceRecord rec;
+        rec.pc = 7;
+        writer.record(rec);
+        EXPECT_EQ(writer.close(), TraceIoStatus::Ok)
+            << "corruption is silent at write time, like real media";
+    }
+    FailpointRegistry::instance().reset();
+
+    TraceIoStatus status = TraceIoStatus::Ok;
+    EXPECT_EQ(TraceFileReader::tryOpen(path, &status), nullptr);
+    EXPECT_EQ(status, TraceIoStatus::ChecksumMismatch);
+    std::remove(path.c_str());
+}
+
+TEST_F(TraceIoFaults, ShortReadFailpointStopsNonStrictReplay)
+{
+    std::string path = tempPath("shortread.trace");
+    validTraceBytes(path);
+
+    FailpointRegistry::instance().arm("trace_io.read",
+                                      {FailpointAction::Short, 2});
+    auto reader = TraceFileReader::tryOpen(path);
+    ASSERT_NE(reader, nullptr);
+    TraceRecord rec;
+    EXPECT_TRUE(reader->next(rec));
+    EXPECT_FALSE(reader->next(rec)) << "injected short read";
+    EXPECT_EQ(reader->status(), TraceIoStatus::Truncated);
+    EXPECT_FALSE(reader->next(rec)) << "error is sticky";
+    std::remove(path.c_str());
+}
+
+TEST_F(TraceIoFaults, SkipResumesAReplayPastADeliveredPrefix)
+{
+    std::string path = tempPath("skip.trace");
+    validTraceBytes(path);
+    auto reader = TraceFileReader::tryOpen(path);
+    ASSERT_NE(reader, nullptr);
+    ASSERT_TRUE(reader->skip(1));
+    EXPECT_EQ(reader->recordsRead(), 1u);
+    TraceRecord rec;
+    ASSERT_TRUE(reader->next(rec));
+    EXPECT_EQ(rec.pc, 8u) << "skip(1) lands on the second record";
+    EXPECT_FALSE(reader->next(rec));
+    std::remove(path.c_str());
+}
+
+TEST_F(TraceIoFaults, OpenFailpointReportsIoError)
+{
+    std::string path = tempPath("openfail.trace");
+    validTraceBytes(path);
+    FailpointRegistry::instance().arm("trace_io.open",
+                                      {FailpointAction::Fail, 0});
+    TraceIoStatus status = TraceIoStatus::Ok;
+    EXPECT_EQ(TraceFileReader::tryOpen(path, &status), nullptr);
+    EXPECT_EQ(status, TraceIoStatus::IoError);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, UnwritableDirectoryIsAStructuredWriterError)
+{
+    TraceFileWriter writer("/nonexistent-dir-for-vpprof/x.trace");
+    EXPECT_EQ(writer.status(), TraceIoStatus::IoError);
+    TraceRecord rec;
+    writer.record(rec);  // inert, not a crash
+    EXPECT_EQ(writer.close(), TraceIoStatus::IoError);
+}
+
+// --- Strict-mode diagnostics (satellite: status name + path) --------
+
+TEST(TraceIo, StrictDiagnosticsIncludeStatusNameAndPath)
+{
+    std::string path = tempPath("strictdiag.trace");
+    std::string data = validTraceBytes(path);
+
+    std::string flipped = data;
+    flipped[20] = static_cast<char>(flipped[20] ^ 0x04);
+    writeBytes(path, flipped);
+    EXPECT_DEATH(TraceFileReader reader(path),
+                 "checksum-mismatch.*strictdiag\\.trace");
+
+    writeBytes(path, data.substr(0, data.size() - 3));
+    EXPECT_DEATH(TraceFileReader reader(path),
+                 "truncated.*strictdiag\\.trace");
+
+    std::string foreign = data;
+    foreign[0] = 'X';
+    writeBytes(path, foreign);
+    EXPECT_DEATH(TraceFileReader reader(path),
+                 "bad-magic.*strictdiag\\.trace");
+
+    std::string future = data;
+    future[7] = '9';
+    writeBytes(path, future);
+    EXPECT_DEATH(TraceFileReader reader(path),
+                 "version-mismatch.*strictdiag\\.trace");
+
+    writeBytes(path, data.substr(0, 9));
+    EXPECT_DEATH(TraceFileReader reader(path),
+                 "short-header.*strictdiag\\.trace");
+
+    std::remove(path.c_str());
+    EXPECT_DEATH(TraceFileReader reader(path),
+                 "io-error.*strictdiag\\.trace");
+}
+
+TEST(TraceIo, StrictMidReplayFailureNamesStatusAndPath)
+{
+    std::string path = tempPath("strictread.trace");
+    validTraceBytes(path);
+    EXPECT_DEATH(
+        {
+            FailpointRegistry::instance().arm(
+                "trace_io.read", {FailpointAction::Short, 2});
+            TraceFileReader reader(path);
+            TraceRecord rec;
+            while (reader.next(rec)) {
+            }
+        },
+        "truncated.*strictread\\.trace");
+    FailpointRegistry::instance().reset();
+    std::remove(path.c_str());
 }
 
 TEST(TraceIo, RecordAfterClosePanics)

@@ -61,6 +61,8 @@ usage()
                  "(0 = all cores)\n"
                  "  --trace-cache DIR reuse captured traces across "
                  "invocations\n"
+                 "  --stats           print trace-repository serving "
+                 "+ recovery counters (stderr)\n"
                  "sampled profiling (profile command only):\n"
                  "  --sample-rate N   observe ~1 in N trace records "
                  "(default 1 = exact)\n"
@@ -164,7 +166,13 @@ cmdTrace(Session &session, const Workload &w, size_t input,
 {
     TraceFileWriter writer(path);
     session.runTrace(w, input, &writer);
-    writer.close();
+    // The user asked for this exact file: a failed commit (full disk,
+    // unwritable directory) is a loud structured error, not a silent
+    // success over a missing or torn file.
+    TraceIoStatus st = writer.close();
+    if (st != TraceIoStatus::Ok)
+        vpprof_fatal("cannot write trace file (",
+                     traceIoStatusName(st), "): ", path);
     std::printf("wrote %llu records to %s\n",
                 static_cast<unsigned long long>(
                     writer.recordsWritten()),
@@ -373,6 +381,36 @@ cmdCorrelate(Session &session, const Workload &w)
     return 0;
 }
 
+/**
+ * --stats: the trace repository's serving + recovery counters, on
+ * stderr so stdout stays machine-readable. The recovery counters
+ * (quarantines, regenerations, spill failures, read retries) are how
+ * an operator sees that a cache directory is sick even though every
+ * run still succeeded.
+ */
+void
+printRepoStats(Session &session)
+{
+    TraceRepoStats st = session.traces().stats();
+    std::fprintf(stderr,
+                 "[trace-repo] vm_runs=%llu disk_loads=%llu "
+                 "replays=%llu unique_traces=%llu "
+                 "resident_records=%llu spilled_traces=%llu\n"
+                 "[trace-repo] corrupt_quarantined=%llu "
+                 "regenerations=%llu spill_failures=%llu "
+                 "read_retries=%llu\n",
+                 static_cast<unsigned long long>(st.vmRuns),
+                 static_cast<unsigned long long>(st.diskLoads),
+                 static_cast<unsigned long long>(st.replays),
+                 static_cast<unsigned long long>(st.uniqueTraces),
+                 static_cast<unsigned long long>(st.residentRecords),
+                 static_cast<unsigned long long>(st.spilledTraces),
+                 static_cast<unsigned long long>(st.corruptQuarantined),
+                 static_cast<unsigned long long>(st.regenerations),
+                 static_cast<unsigned long long>(st.spillFailures),
+                 static_cast<unsigned long long>(st.readRetries));
+}
+
 /** Strict unsigned flag value: rejects garbage instead of atoi's 0. */
 uint64_t
 parseUintFlag(const char *flag, const char *value)
@@ -395,6 +433,7 @@ main(int argc, char **argv)
     SessionConfig session_cfg;
     SamplingConfig sampling;
     bool policy_given = false, sampling_given = false;
+    bool show_stats = false;
 
     // Flags may appear before or after the command; positionals keep
     // their relative order. Bad flag values are structured fatal
@@ -414,6 +453,9 @@ main(int argc, char **argv)
             if (!value)
                 vpprof_fatal("--trace-cache requires a directory");
             session_cfg.traceCacheDir = value;
+        } else if (flag == "--stats") {
+            show_stats = true;
+            continue;  // boolean flag: no value to consume
         } else if (flag == "--sample-rate") {
             sampling.rate = parseUintFlag("--sample-rate", value);
             if (sampling.rate == 0)
@@ -467,42 +509,55 @@ main(int argc, char **argv)
     WorkloadSuite suite;
     Session session(session_cfg);
 
-    if (cmd == "list")
-        return cmdList(suite);
-    if (nrest < 2)
+    // Dispatch through a lambda so --stats can report the session's
+    // trace-repository counters after whichever command ran.
+    auto dispatch = [&]() -> int {
+        if (cmd == "list")
+            return cmdList(suite);
+        if (nrest < 2)
+            return usage();
+
+        if (cmd == "replay")
+            return cmdReplay(rest[1]);
+
+        const Workload *w = findOrDie(suite, rest[1]);
+        if (cmd == "disasm") {
+            std::printf("%s", w->program().disassemble().c_str());
+            return 0;
+        }
+        if (cmd == "run")
+            return cmdRun(*w,
+                          inputIndex(*w,
+                                     nrest > 2 ? rest[2] : nullptr));
+        if (cmd == "trace" && nrest >= 4)
+            return cmdTrace(session, *w, inputIndex(*w, rest[2]),
+                            rest[3]);
+        if (cmd == "profile" && nrest >= 4)
+            return cmdProfile(session, *w, inputIndex(*w, rest[2]),
+                              rest[3], sampling);
+        if (cmd == "annotate" && nrest >= 3)
+            return cmdAnnotate(*w, rest[2],
+                               nrest > 3 ? rest[3] : nullptr);
+        if (cmd == "classify")
+            return cmdClassify(session, *w,
+                               nrest > 2 ? rest[2] : nullptr);
+        if (cmd == "ilp")
+            return cmdIlp(session, *w, nrest > 2 ? rest[2] : nullptr,
+                          nrest > 3 ? rest[3] : nullptr);
+        if (cmd == "critpath")
+            return cmdCritpath(
+                session, *w,
+                inputIndex(*w, nrest > 2 ? rest[2] : nullptr));
+        if (cmd == "correlate")
+            return cmdCorrelate(session, *w);
+        if (cmd == "blocks")
+            return cmdBlocks(session, *w,
+                             nrest > 2 ? rest[2] : nullptr);
         return usage();
+    };
 
-    if (cmd == "replay")
-        return cmdReplay(rest[1]);
-
-    const Workload *w = findOrDie(suite, rest[1]);
-    if (cmd == "disasm") {
-        std::printf("%s", w->program().disassemble().c_str());
-        return 0;
-    }
-    if (cmd == "run")
-        return cmdRun(*w,
-                      inputIndex(*w, nrest > 2 ? rest[2] : nullptr));
-    if (cmd == "trace" && nrest >= 4)
-        return cmdTrace(session, *w, inputIndex(*w, rest[2]), rest[3]);
-    if (cmd == "profile" && nrest >= 4)
-        return cmdProfile(session, *w, inputIndex(*w, rest[2]),
-                          rest[3], sampling);
-    if (cmd == "annotate" && nrest >= 3)
-        return cmdAnnotate(*w, rest[2], nrest > 3 ? rest[3] : nullptr);
-    if (cmd == "classify")
-        return cmdClassify(session, *w,
-                           nrest > 2 ? rest[2] : nullptr);
-    if (cmd == "ilp")
-        return cmdIlp(session, *w, nrest > 2 ? rest[2] : nullptr,
-                      nrest > 3 ? rest[3] : nullptr);
-    if (cmd == "critpath")
-        return cmdCritpath(session, *w,
-                           inputIndex(*w,
-                                      nrest > 2 ? rest[2] : nullptr));
-    if (cmd == "correlate")
-        return cmdCorrelate(session, *w);
-    if (cmd == "blocks")
-        return cmdBlocks(session, *w, nrest > 2 ? rest[2] : nullptr);
-    return usage();
+    int rc = dispatch();
+    if (show_stats)
+        printRepoStats(session);
+    return rc;
 }
