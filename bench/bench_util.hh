@@ -32,6 +32,8 @@
 #include <string>
 #include <vector>
 
+#include "common/atomic_file.hh"
+#include "common/telemetry/telemetry.hh"
 #include "core/evaluators.hh"
 #include "core/experiment.hh"
 #include "core/session.hh"
@@ -150,6 +152,9 @@ benchStartTime()
 inline void
 banner(const char *title, const char *paper_ref)
 {
+    // Benches honor the same telemetry env knobs as the CLI
+    // (VPPROF_TRACE_JSON / VPPROF_METRICS_OUT).
+    telemetry::autoConfigureFromEnv();
     benchStartTime() = std::chrono::steady_clock::now();
     std::printf("==============================================="
                 "=============\n");
@@ -190,7 +195,10 @@ finishBench(const char *bench_name)
           << ", \"corrupt_quarantined\": " << st.corruptQuarantined
           << ", \"regenerations\": " << st.regenerations
           << ", \"spill_failures\": " << st.spillFailures
-          << ", \"read_retries\": " << st.readRetries << "}";
+          << ", \"read_retries\": " << st.readRetries
+          << ", \"metrics\": ";
+    telemetry::snapshotMetrics().writeJson(entry);
+    entry << "}";
 
     const std::string path = "BENCH_session.json";
     const std::string key = std::string("  \"") + bench_name + "\":";
@@ -210,11 +218,15 @@ finishBench(const char *bench_name)
     }
     entries.push_back(entry.str());
 
-    std::ofstream out(path, std::ios::trunc);
+    // Commit via temp file + rename: a bench killed mid-write (or two
+    // racing benches) never leaves a torn BENCH_session.json behind.
+    std::ostringstream out;
     out << "{\n";
     for (size_t i = 0; i < entries.size(); ++i)
         out << entries[i] << (i + 1 < entries.size() ? "," : "") << "\n";
     out << "}\n";
+    if (!writeFileAtomically(path, out.str()))
+        vpprof_warn("cannot write ", path);
 
     std::printf("\n[session] jobs=%u vm_runs=%llu disk_loads=%llu "
                 "replays=%llu wall=%.1fms -> %s\n",

@@ -1,0 +1,37 @@
+#include "common/atomic_file.hh"
+
+#include <cstdio>
+#include <fstream>
+
+#include <unistd.h>
+
+namespace vpprof
+{
+
+bool
+writeFileAtomically(const std::string &path,
+                    const std::string &contents)
+{
+    std::string tmp = path + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            return false;
+        }
+        out.write(contents.data(),
+                  static_cast<std::streamsize>(contents.size()));
+        out.flush();
+        if (!out) {
+            out.close();
+            std::remove(tmp.c_str());
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace vpprof

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Whole-file atomic writes: the write-to-temp + flush + atomic-rename
+ * commit trace_io uses for trace files, extracted for every other
+ * machine-readable artifact (BENCH_*.json, --metrics-out,
+ * --trace-json). A reader of `path` sees the complete old contents or
+ * the complete new contents, never a torn file — an interrupted bench
+ * cannot leave half-written JSON behind.
+ */
+
+#ifndef VPPROF_COMMON_ATOMIC_FILE_HH
+#define VPPROF_COMMON_ATOMIC_FILE_HH
+
+#include <string>
+
+namespace vpprof
+{
+
+/**
+ * Write `contents` to `path` through `<path>.tmp.<pid>` and an atomic
+ * rename. On failure the temp file is removed, `path` is untouched,
+ * and false is returned (callers choose between loud and degraded).
+ */
+bool writeFileAtomically(const std::string &path,
+                         const std::string &contents);
+
+} // namespace vpprof
+
+#endif // VPPROF_COMMON_ATOMIC_FILE_HH

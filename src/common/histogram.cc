@@ -78,6 +78,26 @@ Histogram::bucketLabel(size_t i) const
     return os.str();
 }
 
+double
+Histogram::percentile(double p) const
+{
+    if (total_ == 0 || p <= 0.0)
+        return edges_.front();
+    if (p >= 100.0)
+        return edges_.back();
+    double target = p / 100.0 * static_cast<double>(total_);
+    double cum = 0.0;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        double in_bucket = static_cast<double>(counts_[i]);
+        if (in_bucket > 0.0 && cum + in_bucket >= target) {
+            double frac = (target - cum) / in_bucket;
+            return edges_[i] + frac * (edges_[i + 1] - edges_[i]);
+        }
+        cum += in_bucket;
+    }
+    return edges_.back();
+}
+
 void
 Histogram::merge(const Histogram &other)
 {

@@ -60,6 +60,16 @@ class Histogram
     /** Merge another histogram with identical edges into this one. */
     void merge(const Histogram &other);
 
+    /**
+     * The p-th percentile (p in [0,100]) of the bucketized samples,
+     * linearly interpolated inside the containing bucket under a
+     * uniform-within-bucket assumption. When p's cumulative mass
+     * lands exactly on a bucket boundary the bucket's upper edge is
+     * returned. Empty histograms return edges().front(); p <= 0 and
+     * p >= 100 clamp to the first/last edge.
+     */
+    double percentile(double p) const;
+
     /** The bucket edges. */
     const std::vector<double> &edges() const { return edges_; }
 

@@ -15,11 +15,39 @@
 #include <atomic>
 #include <cstdint>
 #include <cstdlib>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace vpprof
 {
+
+/**
+ * Diagnostic verbosity, ordered: a message prints when its level is
+ * <= the active level. Error (panic/fatal) always prints. The default
+ * is Info (warnings and status lines print, debug does not),
+ * overridable via VPPROF_LOG=error|warn|info|debug or setLogLevel().
+ * Suppressed messages are counted in the telemetry registry
+ * (`log.warnings.suppressed`), so --metrics-out shows what the level
+ * knob and the rate limiter dropped.
+ */
+enum class LogLevel
+{
+    Error = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+};
+
+/** The active level (VPPROF_LOG, parsed once, or setLogLevel()). */
+LogLevel logLevel();
+
+/** Override the active level at runtime (tests, embedding tools). */
+void setLogLevel(LogLevel level);
+
+/** Parse "error"/"warn"/"info"/"debug"; nullopt on anything else. */
+std::optional<LogLevel> parseLogLevel(std::string_view text);
 
 namespace detail
 {
@@ -50,6 +78,8 @@ void warnLimitedImpl(std::atomic<uint64_t> &count, uint64_t limit,
                      const std::string &msg);
 
 void informImpl(const std::string &msg);
+
+void debugImpl(const std::string &msg);
 
 } // namespace detail
 
@@ -89,5 +119,9 @@ uint64_t warningsEmitted();
 /** Print an informational status line. */
 #define vpprof_inform(...) \
     ::vpprof::detail::informImpl(::vpprof::detail::concat(__VA_ARGS__))
+
+/** Print a debug line (only at VPPROF_LOG=debug; goes to stderr). */
+#define vpprof_debug(...) \
+    ::vpprof::detail::debugImpl(::vpprof::detail::concat(__VA_ARGS__))
 
 #endif // VPPROF_COMMON_LOGGING_HH

@@ -1,0 +1,145 @@
+#include "common/telemetry/span.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "common/atomic_file.hh"
+
+namespace vpprof
+{
+namespace telemetry
+{
+
+uint64_t
+nowNs()
+{
+    using namespace std::chrono;
+    // One shared epoch so timestamps from every thread line up on the
+    // same axis in the trace viewer.
+    static const steady_clock::time_point epoch = steady_clock::now();
+    return static_cast<uint64_t>(
+        duration_cast<nanoseconds>(steady_clock::now() - epoch)
+            .count());
+}
+
+#if VPPROF_TELEMETRY_ENABLED
+
+namespace
+{
+
+thread_local SpanTracer::ThreadBuffer *tls_buffer = nullptr;
+
+} // namespace
+
+SpanTracer &
+SpanTracer::instance()
+{
+    static SpanTracer *tracer = new SpanTracer;
+    return *tracer;
+}
+
+SpanTracer::ThreadBuffer &
+SpanTracer::localBuffer()
+{
+    if (!tls_buffer) {
+        auto *buffer = new ThreadBuffer;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            buffer->tid = static_cast<uint32_t>(buffers_.size() + 1);
+            buffers_.push_back(buffer);
+        }
+        tls_buffer = buffer;
+    }
+    return *tls_buffer;
+}
+
+void
+SpanTracer::record(const char *name, uint64_t start_ns, uint64_t end_ns)
+{
+    ThreadBuffer &buffer = localBuffer();
+    // Uncontended in steady state: only the owner appends; the
+    // write-file path briefly takes each buffer's mutex to read.
+    std::lock_guard<std::mutex> lock(buffer.mutex);
+    buffer.events.push_back(Event{name, start_ns, end_ns});
+}
+
+size_t
+SpanTracer::eventCount() const
+{
+    size_t total = 0;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const ThreadBuffer *buffer : buffers_) {
+        std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+        total += buffer->events.size();
+    }
+    return total;
+}
+
+void
+SpanTracer::writeJson(std::ostream &os) const
+{
+    // Chrome trace_event "JSON Object Format": complete events
+    // ("ph":"X") with microsecond timestamps. Perfetto and
+    // chrome://tracing load this directly; ordering is irrelevant.
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const ThreadBuffer *buffer : buffers_) {
+        std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+        for (const Event &e : buffer->events) {
+            if (!first)
+                os << ',';
+            first = false;
+            uint64_t dur_ns = e.endNs - e.startNs;
+            char frac_ts[8], frac_dur[8];
+            std::snprintf(frac_ts, sizeof(frac_ts), "%03u",
+                          static_cast<unsigned>(e.startNs % 1000));
+            std::snprintf(frac_dur, sizeof(frac_dur), "%03u",
+                          static_cast<unsigned>(dur_ns % 1000));
+            os << "{\"name\":\"" << e.name
+               << "\",\"cat\":\"vpprof\",\"ph\":\"X\",\"ts\":"
+               << (e.startNs / 1000) << '.' << frac_ts
+               << ",\"dur\":" << (dur_ns / 1000) << '.' << frac_dur
+               << ",\"pid\":1,\"tid\":" << buffer->tid << '}';
+        }
+    }
+    os << "]}";
+}
+
+bool
+SpanTracer::writeFile(const std::string &path) const
+{
+    std::ostringstream os;
+    writeJson(os);
+    return writeFileAtomically(path, os.str());
+}
+
+#else // !VPPROF_TELEMETRY_ENABLED
+
+SpanTracer &
+SpanTracer::instance()
+{
+    static SpanTracer tracer;
+    return tracer;
+}
+
+void
+SpanTracer::writeJson(std::ostream &os) const
+{
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}";
+}
+
+bool
+SpanTracer::writeFile(const std::string &path) const
+{
+    std::ostringstream os;
+    writeJson(os);
+    return writeFileAtomically(path, os.str());
+}
+
+#endif // VPPROF_TELEMETRY_ENABLED
+
+} // namespace telemetry
+} // namespace vpprof

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Span tracing: begin/end scopes recorded per thread and emitted as
+ * Chrome trace_event JSON — open the file in Perfetto or
+ * chrome://tracing to see where a sweep's wall time goes (interpret
+ * vs. replay vs. predictor evaluation vs. worker queueing).
+ *
+ * Recording is off by default: an unarmed Span constructor is one
+ * relaxed atomic load. When armed (CLI --trace-json, or the
+ * VPPROF_TRACE_JSON env var), each Span buffers one complete event
+ * ("ph":"X") with microsecond timestamps into a per-thread buffer;
+ * buffers are merged at write time. Span names must be string
+ * literals (they are stored by pointer).
+ *
+ * Compiled out entirely by VPPROF_TELEMETRY=OFF: Span becomes an
+ * empty type and the tracer records nothing.
+ */
+
+#ifndef VPPROF_COMMON_TELEMETRY_SPAN_HH
+#define VPPROF_COMMON_TELEMETRY_SPAN_HH
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/telemetry/metrics.hh"
+
+namespace vpprof
+{
+namespace telemetry
+{
+
+/** Monotonic nanoseconds since process start (span timestamps). */
+uint64_t nowNs();
+
+#if VPPROF_TELEMETRY_ENABLED
+
+/** The process-wide span recorder. */
+class SpanTracer
+{
+  public:
+    /** The singleton (leaked: usable from atexit writers). */
+    static SpanTracer &instance();
+
+    void enable() { enabled_.store(true, std::memory_order_relaxed); }
+    void disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Buffer one complete event (called by ~Span on the hot path). */
+    void record(const char *name, uint64_t start_ns, uint64_t end_ns);
+
+    /** Events buffered so far across all threads (tests, reports). */
+    size_t eventCount() const;
+
+    /** Chrome trace_event JSON ({"traceEvents":[...]}). */
+    void writeJson(std::ostream &os) const;
+
+    /** writeJson through the atomic temp-file + rename commit. */
+    bool writeFile(const std::string &path) const;
+
+    struct Event
+    {
+        const char *name;
+        uint64_t startNs;
+        uint64_t endNs;
+    };
+
+    struct ThreadBuffer
+    {
+        mutable std::mutex mutex;  ///< owner appends; writers read
+        std::vector<Event> events;
+        uint32_t tid;
+    };
+
+  private:
+    SpanTracer() = default;
+
+    ThreadBuffer &localBuffer();
+
+    std::atomic<bool> enabled_{false};
+    mutable std::mutex mutex_;  ///< guards buffers_
+    std::vector<ThreadBuffer *> buffers_;  ///< never freed
+};
+
+/**
+ * RAII span: records [construction, destruction) into the tracer when
+ * tracing is armed. `name` must be a string literal.
+ */
+class Span
+{
+  public:
+    explicit Span(const char *name)
+        : name_(SpanTracer::instance().enabled() ? name : nullptr),
+          startNs_(name_ ? nowNs() : 0)
+    {
+    }
+
+    ~Span()
+    {
+        if (name_)
+            SpanTracer::instance().record(name_, startNs_, nowNs());
+    }
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+  private:
+    const char *name_;
+    uint64_t startNs_;
+};
+
+/**
+ * Span + latency histogram in one scope: the span feeds --trace-json,
+ * the histogram (in microseconds) feeds --metrics-out. The histogram
+ * observes in every run; the span only when tracing is armed.
+ */
+class TimedSpan
+{
+  public:
+    TimedSpan(const char *name, const HistogramMetric &hist)
+        : span_(name), hist_(hist), startNs_(nowNs())
+    {
+    }
+
+    ~TimedSpan() { hist_.observe((nowNs() - startNs_) / 1000); }
+
+    TimedSpan(const TimedSpan &) = delete;
+    TimedSpan &operator=(const TimedSpan &) = delete;
+
+  private:
+    Span span_;
+    const HistogramMetric &hist_;
+    uint64_t startNs_;
+};
+
+#else // !VPPROF_TELEMETRY_ENABLED
+
+// Disabled build: empty types, no recording, no clock reads.
+
+class SpanTracer
+{
+  public:
+    static SpanTracer &instance();
+
+    void enable() {}
+    void disable() {}
+    bool enabled() const { return false; }
+    void record(const char *, uint64_t, uint64_t) {}
+    size_t eventCount() const { return 0; }
+    void writeJson(std::ostream &os) const;
+    bool writeFile(const std::string &path) const;
+};
+
+class Span
+{
+  public:
+    explicit Span(const char *) {}
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+};
+
+class TimedSpan
+{
+  public:
+    TimedSpan(const char *, const HistogramMetric &) {}
+    TimedSpan(const TimedSpan &) = delete;
+    TimedSpan &operator=(const TimedSpan &) = delete;
+};
+
+#endif // VPPROF_TELEMETRY_ENABLED
+
+} // namespace telemetry
+} // namespace vpprof
+
+/** Token pasting for unique locals in the span macros. */
+#define VPPROF_TELEMETRY_CONCAT_(a, b) a##b
+#define VPPROF_TELEMETRY_CONCAT(a, b) VPPROF_TELEMETRY_CONCAT_(a, b)
+
+/** Trace-only span over the enclosing scope; `name` is a literal. */
+#define VPPROF_SPAN(name) \
+    ::vpprof::telemetry::Span VPPROF_TELEMETRY_CONCAT( \
+        vpprof_span_, __LINE__){name}
+
+/**
+ * Span + `<name>.us` latency histogram over the enclosing scope;
+ * `name` must be a string literal (it is pasted into the metric name).
+ */
+#define VPPROF_TIMED_SPAN(name) \
+    static const ::vpprof::telemetry::HistogramMetric \
+        VPPROF_TELEMETRY_CONCAT(vpprof_span_hist_, __LINE__){name \
+                                                             ".us"}; \
+    ::vpprof::telemetry::TimedSpan VPPROF_TELEMETRY_CONCAT( \
+        vpprof_timed_span_, \
+        __LINE__){name, \
+                  VPPROF_TELEMETRY_CONCAT(vpprof_span_hist_, __LINE__)}
+
+#endif // VPPROF_COMMON_TELEMETRY_SPAN_HH

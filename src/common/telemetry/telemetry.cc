@@ -1,0 +1,85 @@
+#include "common/telemetry/telemetry.hh"
+
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+
+#include "common/atomic_file.hh"
+#include "common/logging.hh"
+
+namespace vpprof
+{
+namespace telemetry
+{
+
+namespace
+{
+
+std::mutex g_output_mutex;
+std::string g_trace_json_path;
+std::string g_metrics_out_path;
+bool g_atexit_registered = false;
+
+} // namespace
+
+bool
+writeMetricsFile(const std::string &path)
+{
+    std::ostringstream os;
+    snapshotMetrics().writeJson(os);
+    return writeFileAtomically(path, os.str());
+}
+
+void
+flushOutputs()
+{
+    std::string trace_path, metrics_path;
+    {
+        std::lock_guard<std::mutex> lock(g_output_mutex);
+        trace_path = g_trace_json_path;
+        metrics_path = g_metrics_out_path;
+    }
+    if (!trace_path.empty() &&
+        !SpanTracer::instance().writeFile(trace_path))
+        vpprof_warn_limited(2, "cannot write span trace to ",
+                            trace_path);
+    if (!metrics_path.empty() && !writeMetricsFile(metrics_path))
+        vpprof_warn_limited(2, "cannot write metrics snapshot to ",
+                            metrics_path);
+}
+
+void
+configureOutputs(const std::string &trace_json_path,
+                 const std::string &metrics_out_path)
+{
+    bool register_atexit = false;
+    {
+        std::lock_guard<std::mutex> lock(g_output_mutex);
+        if (!trace_json_path.empty())
+            g_trace_json_path = trace_json_path;
+        if (!metrics_out_path.empty())
+            g_metrics_out_path = metrics_out_path;
+        bool any = !g_trace_json_path.empty() ||
+                   !g_metrics_out_path.empty();
+        if (any && !g_atexit_registered) {
+            g_atexit_registered = true;
+            register_atexit = true;
+        }
+    }
+    if (!trace_json_path.empty())
+        SpanTracer::instance().enable();
+    if (register_atexit)
+        std::atexit(flushOutputs);
+}
+
+void
+autoConfigureFromEnv()
+{
+    const char *trace = std::getenv("VPPROF_TRACE_JSON");
+    const char *metrics = std::getenv("VPPROF_METRICS_OUT");
+    if ((trace && *trace) || (metrics && *metrics))
+        configureOutputs(trace ? trace : "", metrics ? metrics : "");
+}
+
+} // namespace telemetry
+} // namespace vpprof

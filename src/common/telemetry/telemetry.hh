@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Umbrella header and output plumbing for the telemetry layer.
+ *
+ * Pull this in at instrumentation sites (it brings the metrics
+ * registry, the span tracer and the VPPROF_SPAN / VPPROF_TIMED_SPAN
+ * macros). The configure/flush functions wire the layer to the
+ * outside world:
+ *
+ *   configureOutputs(trace_json, metrics_out)
+ *       arms span tracing when trace_json is non-empty and registers
+ *       an atexit flush, so every exit path (including vpprof_fatal)
+ *       still writes the files.
+ *   autoConfigureFromEnv()
+ *       configureOutputs(VPPROF_TRACE_JSON, VPPROF_METRICS_OUT) — the
+ *       bench/env equivalent of the CLI's --trace-json/--metrics-out.
+ *   flushOutputs()
+ *       write the configured files now (idempotent; also runs atexit).
+ */
+
+#ifndef VPPROF_COMMON_TELEMETRY_TELEMETRY_HH
+#define VPPROF_COMMON_TELEMETRY_TELEMETRY_HH
+
+#include <string>
+
+#include "common/telemetry/metrics.hh"
+#include "common/telemetry/span.hh"
+
+namespace vpprof
+{
+namespace telemetry
+{
+
+/**
+ * Set the output paths (empty = keep the current value), arm tracing
+ * when a trace path is configured, and register the atexit flush.
+ * Later calls override earlier ones, so CLI flags win over env vars
+ * by being applied second.
+ */
+void configureOutputs(const std::string &trace_json_path,
+                      const std::string &metrics_out_path);
+
+/** configureOutputs from VPPROF_TRACE_JSON / VPPROF_METRICS_OUT. */
+void autoConfigureFromEnv();
+
+/** Write the configured outputs now (atomic commits, best-effort). */
+void flushOutputs();
+
+/** Write a metrics snapshot as JSON to `path` (atomic commit). */
+bool writeMetricsFile(const std::string &path);
+
+} // namespace telemetry
+} // namespace vpprof
+
+#endif // VPPROF_COMMON_TELEMETRY_TELEMETRY_HH

@@ -1,6 +1,7 @@
 #include "core/experiment.hh"
 
 #include "common/logging.hh"
+#include "common/telemetry/telemetry.hh"
 #include "core/evaluators.hh"
 #include "core/session.hh"
 #include "predictors/stride_predictor.hh"
@@ -26,6 +27,10 @@ RunResult
 runProgram(const Program &program, const MemoryImage &image,
            TraceSink *sink, uint64_t max_insts)
 {
+    // One coarse span per VM run — never per instruction.
+    VPPROF_TIMED_SPAN("vm.interpret");
+    static const telemetry::Counter vm_runs("vm.runs");
+    vm_runs.add();
     Machine machine(program, image);
     RunResult result = machine.run(sink, max_insts);
     if (!result.halted)

@@ -1,5 +1,7 @@
 #include "core/parallel.hh"
 
+#include "common/telemetry/telemetry.hh"
+
 namespace vpprof
 {
 
@@ -41,7 +43,13 @@ ExperimentRunner::drainBatch()
         size_t i = next_++;
         lock.unlock();
         tls_in_cell = true;
-        (*fn_)(i);
+        {
+            // One coarse span per cell, never per instruction: a sweep
+            // runs thousands of cells at most, so the trace stays small
+            // and every worker lane shows up in Perfetto.
+            VPPROF_SPAN("runner.cell");
+            (*fn_)(i);
+        }
         tls_in_cell = false;
         lock.lock();
         ++completed_;
@@ -53,6 +61,8 @@ ExperimentRunner::drainBatch()
 void
 ExperimentRunner::workerLoop()
 {
+    static const telemetry::HistogramMetric queue_wait(
+        "runner.queue_wait.us");
     uint64_t seen = 0;
     while (true) {
         {
@@ -63,6 +73,11 @@ ExperimentRunner::workerLoop()
             if (shutdown_)
                 return;
             seen = generation_;
+            // Publish-to-pickup latency of this worker for the batch:
+            // how long cells sat queued before a lane started pulling.
+            if constexpr (telemetry::kEnabled)
+                queue_wait.observe(
+                    (telemetry::nowNs() - batchPublishNs_) / 1000);
         }
         drainBatch();
     }
@@ -86,6 +101,8 @@ ExperimentRunner::forEach(size_t n, const std::function<void(size_t)> &fn)
         next_ = 0;
         completed_ = 0;
         ++generation_;
+        if constexpr (telemetry::kEnabled)
+            batchPublishNs_ = telemetry::nowNs();
     }
     wake_.notify_all();
     drainBatch();

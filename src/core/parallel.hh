@@ -96,6 +96,7 @@ class ExperimentRunner
     size_t next_ = 0;
     size_t completed_ = 0;
     uint64_t generation_ = 0;
+    uint64_t batchPublishNs_ = 0;  ///< forEach publish time (queue-wait)
     bool shutdown_ = false;
 };
 

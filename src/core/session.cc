@@ -8,6 +8,7 @@
 #include "common/failpoint.hh"
 #include "common/file_lock.hh"
 #include "common/logging.hh"
+#include "common/telemetry/telemetry.hh"
 #include "core/evaluators.hh"
 #include "ilp/dataflow_engine.hh"
 #include "predictors/stride_predictor.hh"
@@ -93,7 +94,7 @@ TraceRepository::entryFor(const Workload &workload, size_t input_idx)
     auto [it, inserted] = entries_.try_emplace(key);
     if (inserted) {
         it->second = std::make_unique<Entry>();
-        ++stats_.uniqueTraces;
+        counters_.uniqueTraces.add();
     }
     return *it->second;
 }
@@ -110,10 +111,7 @@ TraceRepository::quarantine(const std::string &path,
     fs::rename(path, bad, ec);
     if (ec)
         fs::remove(path, ec);  // last resort: clear the slot
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++stats_.corruptQuarantined;
-    }
+    counters_.corruptQuarantined.add();
     // Diagnostic, not fatal — and rate-limited: a sweep touching a
     // damaged cache directory hits this once per trace file, and
     // stdout consumers (bench JSON, CLI pipelines) must never see
@@ -126,6 +124,7 @@ TraceRepository::quarantine(const std::string &path,
 TraceRepository::AdoptOutcome
 TraceRepository::adoptCacheFile(Entry &entry, const std::string &path)
 {
+    VPPROF_TIMED_SPAN("trace.adopt");
     // Adopt a valid file captured by an earlier process; any
     // malformed file (truncated writer, foreign bytes, flipped bits,
     // future format version) is a structured miss, never a crash or
@@ -143,10 +142,13 @@ TraceRepository::adoptCacheFile(Entry &entry, const std::string &path)
     bool resident = false;
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        resident = stats_.residentRecords + count <=
+        resident = static_cast<uint64_t>(
+                       counters_.residentRecords.value()) +
+                       count <=
                    config_.residentRecordBudget;
         if (resident)
-            stats_.residentRecords += count;
+            counters_.residentRecords.add(
+                static_cast<int64_t>(count));
     }
 
     entry.fileVerified.store(true, std::memory_order_relaxed);
@@ -160,10 +162,7 @@ TraceRepository::adoptCacheFile(Entry &entry, const std::string &path)
             records.size() != count) {
             // The file shrank between validate() and the bulk read:
             // un-reserve the budget and treat it like any corruption.
-            {
-                std::lock_guard<std::mutex> lock(mutex_);
-                stats_.residentRecords -= count;
-            }
+            counters_.residentRecords.add(-static_cast<int64_t>(count));
             quarantine(path, reader->status());
             return AdoptOutcome::Quarantined;
         }
@@ -175,12 +174,9 @@ TraceRepository::adoptCacheFile(Entry &entry, const std::string &path)
     entry.result.instructionsExecuted = count;
     entry.result.halted = true;
     entry.path = path;
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++stats_.diskLoads;
-        if (!resident)
-            ++stats_.spilledTraces;
-    }
+    counters_.diskLoads.add();
+    if (!resident)
+        counters_.spilledTraces.add();
     entry.produced.store(true, std::memory_order_release);
     return AdoptOutcome::Adopted;
 }
@@ -189,16 +185,14 @@ bool
 TraceRepository::writeTraceFile(const std::string &path,
                                 const std::vector<TraceRecord> &records)
 {
+    VPPROF_TIMED_SPAN("trace.spill");
     TraceFileWriter writer(path);
     for (const TraceRecord &rec : records)
         writer.record(rec);
     TraceIoStatus st = writer.close();
     if (st == TraceIoStatus::Ok)
         return true;
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++stats_.spillFailures;
-    }
+    counters_.spillFailures.add();
     vpprof_warn_limited(8, "cannot persist trace to ", path, " (",
                         traceIoStatusName(st),
                         "); continuing without the file");
@@ -243,7 +237,10 @@ TraceRepository::produce(Entry &entry, const Workload &workload,
         // either finishes its capture first (we adopt it) or blocks
         // until ours is committed. Readers never need the lock —
         // commits are atomic renames.
-        cacheLock.emplace(cachePath + ".lock");
+        {
+            VPPROF_TIMED_SPAN("trace.lock_wait");
+            cacheLock.emplace(cachePath + ".lock");
+        }
         switch (adoptCacheFile(entry, cachePath)) {
           case AdoptOutcome::Adopted:
             return;
@@ -258,9 +255,12 @@ TraceRepository::produce(Entry &entry, const Workload &workload,
     // First use in any process (or the cached copy was unusable):
     // interpret the workload once.
     VectorTraceSink captured;
-    entry.result = runProgram(workload.program(),
-                              workload.input(input_idx), &captured,
-                              workload.maxInstructions());
+    {
+        VPPROF_TIMED_SPAN("trace.capture");
+        entry.result = runProgram(workload.program(),
+                                  workload.input(input_idx), &captured,
+                                  workload.maxInstructions());
+    }
     std::vector<TraceRecord> records = captured.takeTrace();
 
     if (!cachePath.empty() && writeTraceFile(cachePath, records)) {
@@ -270,16 +270,19 @@ TraceRepository::produce(Entry &entry, const Workload &workload,
         entry.fileVerified.store(true, std::memory_order_relaxed);
     }
 
+    counters_.vmRuns.add();
+    if (quarantined)
+        counters_.regenerations.add();
     bool fits = false;
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        ++stats_.vmRuns;
-        if (quarantined)
-            ++stats_.regenerations;
-        fits = stats_.residentRecords + records.size() <=
+        fits = static_cast<uint64_t>(
+                   counters_.residentRecords.value()) +
+                   records.size() <=
                config_.residentRecordBudget;
         if (fits)
-            stats_.residentRecords += records.size();
+            counters_.residentRecords.add(
+                static_cast<int64_t>(records.size()));
     }
 
     if (fits) {
@@ -295,10 +298,7 @@ TraceRepository::produce(Entry &entry, const Workload &workload,
                 switch (FailpointRegistry::instance().fire("spill")) {
                   case FailpointAction::Fail:
                   case FailpointAction::NoSpace:
-                    {
-                        std::lock_guard<std::mutex> lock(mutex_);
-                        ++stats_.spillFailures;
-                    }
+                    counters_.spillFailures.add();
                     vpprof_warn_limited(8, "cannot persist trace to ",
                                         spillPath, " (injected spill "
                                         "failure); continuing without "
@@ -318,8 +318,7 @@ TraceRepository::produce(Entry &entry, const Workload &workload,
         }
         if (!entry.path.empty()) {
             entry.onDisk = true;
-            std::lock_guard<std::mutex> lock(mutex_);
-            ++stats_.spilledTraces;
+            counters_.spilledTraces.add();
         } else {
             // Nowhere to put it: neither memory (budget) nor disk
             // (spill failed, e.g. ENOSPC). Degrade to re-interpreting
@@ -343,6 +342,7 @@ TraceRepository::replayFromDisk(Entry &entry, const Workload &workload,
     // records, so every recovery step below resumes exactly past the
     // `delivered` prefix — consumers see one contiguous, bit-exact
     // trace no matter how many attempts it took.
+    VPPROF_TIMED_SPAN("trace.replay.disk");
     uint64_t delivered = 0;
     auto stream = [&](TraceFileReader &reader) {
         TraceRecord rec;
@@ -372,10 +372,7 @@ TraceRepository::replayFromDisk(Entry &entry, const Workload &workload,
     // Mid-replay failure: the file changed underneath us (or an
     // injected fault fired) after it validated at open. Retry once
     // from disk, skipping the prefix the sink already has...
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++stats_.readRetries;
-    }
+    counters_.readRetries.add();
     vpprof_warn_limited(8, "trace replay of ", entry.path,
                         " failed (", traceIoStatusName(status),
                         ") after ", delivered,
@@ -391,13 +388,11 @@ TraceRepository::replayFromDisk(Entry &entry, const Workload &workload,
     // ...then regenerate via the VM. Interpretation is deterministic,
     // so the regenerated records past `delivered` are the records the
     // file would have held.
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++stats_.regenerations;
-    }
+    counters_.regenerations.add();
     vpprof_warn_limited(8, "trace file ", entry.path,
                         " is unreadable; regenerating the replay "
                         "via the VM");
+    VPPROF_TIMED_SPAN("trace.regenerate");
     uint64_t seen = 0;
     CallbackTraceSink skipper([&](const TraceRecord &rec) {
         if (seen++ >= delivered)
@@ -419,12 +414,13 @@ TraceRepository::replay(const Workload &workload, size_t input_idx,
     }
 
     if (sink) {
+        VPPROF_TIMED_SPAN("trace.replay");
         if (entry.reinterpret) {
             // Degraded mode (spill failed): re-interpret per replay.
+            VPPROF_TIMED_SPAN("trace.regenerate");
             runProgram(workload.program(), workload.input(input_idx),
                        sink, workload.maxInstructions());
-            std::lock_guard<std::mutex> lock(mutex_);
-            ++stats_.regenerations;
+            counters_.regenerations.add();
         } else if (entry.onDisk) {
             replayFromDisk(entry, workload, input_idx, sink);
         } else {
@@ -433,8 +429,7 @@ TraceRepository::replay(const Workload &workload, size_t input_idx,
         }
     }
 
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.replays;
+    counters_.replays.add();
     return entry.result;
 }
 
@@ -451,15 +446,29 @@ TraceRepository::replayInto(const Workload &workload, size_t input_idx,
 TraceRepoStats
 TraceRepository::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return stats_;
+    // Typed snapshot over the per-instance counters. Each field is an
+    // independent relaxed load: monotone counters make the view at
+    // worst one event stale per field, never torn — same guarantee the
+    // registry snapshot gives (and no mutex on the readers' side).
+    TraceRepoStats s;
+    s.vmRuns = counters_.vmRuns.value();
+    s.diskLoads = counters_.diskLoads.value();
+    s.replays = counters_.replays.value();
+    s.uniqueTraces = counters_.uniqueTraces.value();
+    s.residentRecords =
+        static_cast<uint64_t>(counters_.residentRecords.value());
+    s.spilledTraces = counters_.spilledTraces.value();
+    s.corruptQuarantined = counters_.corruptQuarantined.value();
+    s.regenerations = counters_.regenerations.value();
+    s.spillFailures = counters_.spillFailures.value();
+    s.readRetries = counters_.readRetries.value();
+    return s;
 }
 
 uint64_t
 TraceRepository::vmRuns() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return stats_.vmRuns;
+    return counters_.vmRuns.value();
 }
 
 Session::Session(SessionConfig config)
@@ -496,6 +505,7 @@ Session::collectProfile(const Workload &workload, size_t input_idx)
             return it->second;
     }
 
+    VPPROF_TIMED_SPAN("profile.collect");
     ProfileCollector collector(std::string(workload.name()));
     traces_.replay(workload, input_idx, &collector);
     ProfileImage image = collector.takeImage();
@@ -527,6 +537,7 @@ Session::collectSampledProfile(const Workload &workload,
             return it->second;
     }
 
+    VPPROF_TIMED_SPAN("profile.collect_sampled");
     ProfileImage image;
     if (sampling.sketchCapacity > 0) {
         SketchConfig sketch_cfg;
@@ -638,6 +649,7 @@ Session::evaluateClassification(const Workload &workload,
                                 const Program &program,
                                 Classifier &classifier)
 {
+    VPPROF_TIMED_SPAN("eval.classification");
     ClassificationEvaluator evaluator(classifier);
     DirectiveOverrideSink annotated(program, &evaluator);
     traces_.replay(workload, input_idx, &annotated);
@@ -649,6 +661,7 @@ Session::evaluateFiniteTable(const Workload &workload, size_t input_idx,
                              const Program &program, VpPolicy policy,
                              const PredictorConfig &config)
 {
+    VPPROF_TIMED_SPAN("eval.finite_table");
     FiniteTableEvaluator evaluator(policy, config);
     DirectiveOverrideSink annotated(program, &evaluator);
     traces_.replay(workload, input_idx, &annotated);
@@ -661,6 +674,7 @@ Session::evaluateIlp(const Workload &workload, size_t input_idx,
                      VpPolicy policy,
                      const PredictorConfig &predictor_config)
 {
+    VPPROF_TIMED_SPAN("eval.ilp");
     StridePredictor predictor(predictor_config);
     DataflowEngine engine(ilp_config, policy,
                           policy == VpPolicy::None ? nullptr
@@ -675,6 +689,7 @@ Session::evaluateHybridTable(const Workload &workload, size_t input_idx,
                              const Program &program,
                              const HybridConfig &config)
 {
+    VPPROF_TIMED_SPAN("eval.hybrid_table");
     HybridTableEvaluator evaluator(config);
     DirectiveOverrideSink annotated(program, &evaluator);
     traces_.replay(workload, input_idx, &annotated);

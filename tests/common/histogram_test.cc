@@ -128,6 +128,87 @@ TEST(Histogram, NonMonotonicEdgesPanics)
     EXPECT_DEATH(Histogram({0.0, 2.0, 1.0}), "increasing");
 }
 
+TEST(HistogramPercentile, EmptyHistogramReturnsFirstEdge)
+{
+    Histogram h = makeDecileHistogram();
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 0.0);
+}
+
+TEST(HistogramPercentile, ClampsOutOfRangeP)
+{
+    Histogram h = makeDecileHistogram();
+    h.addSample(15.0);
+    EXPECT_DOUBLE_EQ(h.percentile(-3.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 100.0);
+    EXPECT_DOUBLE_EQ(h.percentile(250.0), 100.0);
+}
+
+TEST(HistogramPercentile, ExactBoundaryMassReturnsUpperEdge)
+{
+    // Two buckets with equal mass: p=50 lands exactly on the boundary
+    // between them, which must resolve to the first bucket's upper
+    // edge (no interpolation into the second bucket).
+    Histogram h = makeDecileHistogram();
+    h.addSample(5.0, 10);
+    h.addSample(15.0, 10);
+    EXPECT_DOUBLE_EQ(h.percentile(50.0), 10.0);
+}
+
+TEST(HistogramPercentile, InterpolatesWithinBucket)
+{
+    // All mass in one bucket: percentiles interpolate linearly across
+    // that bucket's [lo, hi] span.
+    Histogram h = makeDecileHistogram();
+    h.addSample(25.0, 100);
+    EXPECT_DOUBLE_EQ(h.percentile(50.0), 25.0);
+    EXPECT_DOUBLE_EQ(h.percentile(25.0), 22.5);
+    EXPECT_DOUBLE_EQ(h.percentile(75.0), 27.5);
+}
+
+TEST(HistogramPercentile, SkipsEmptyBuckets)
+{
+    // Mass only in the first and last buckets: the median boundary
+    // resolves before the empty middle, and p just past 50 jumps to
+    // the last bucket.
+    Histogram h = makeDecileHistogram();
+    h.addSample(5.0, 50);
+    h.addSample(95.0, 50);
+    EXPECT_DOUBLE_EQ(h.percentile(50.0), 10.0);
+    EXPECT_GT(h.percentile(51.0), 90.0);
+}
+
+TEST(HistogramPercentile, IsMonotoneInP)
+{
+    Histogram h = makeDecileHistogram();
+    for (int i = 0; i <= 100; ++i)
+        h.addSample(static_cast<double>(i));
+    double prev = h.percentile(0.0);
+    for (int p = 1; p <= 100; ++p) {
+        double cur = h.percentile(static_cast<double>(p));
+        EXPECT_GE(cur, prev) << "p=" << p;
+        prev = cur;
+    }
+}
+
+TEST(HistogramPercentile, MergePreservesPercentiles)
+{
+    // Merging two disjoint halves must give the same percentiles as
+    // accumulating all samples into one histogram.
+    Histogram all = makeDecileHistogram();
+    Histogram lo = makeDecileHistogram();
+    Histogram hi = makeDecileHistogram();
+    for (int i = 0; i <= 100; ++i) {
+        all.addSample(static_cast<double>(i));
+        (i <= 50 ? lo : hi).addSample(static_cast<double>(i));
+    }
+    lo.merge(hi);
+    for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0})
+        EXPECT_DOUBLE_EQ(lo.percentile(p), all.percentile(p)) << p;
+}
+
 /** Property: every sample in [lo, hi] lands in exactly one bucket. */
 class HistogramSweep : public ::testing::TestWithParam<double>
 {

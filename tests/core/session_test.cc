@@ -12,6 +12,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "common/telemetry/metrics.hh"
 #include "core/session.hh"
 #include "predictors/profile_classifier.hh"
 #include "vm/trace.hh"
@@ -26,6 +27,15 @@ li()
 {
     static WorkloadSuite suite;
     return *suite.find("li");
+}
+
+/** Process-wide registry value of one trace.* counter (0 when off). */
+uint64_t
+registryCounter(const char *name)
+{
+    telemetry::MetricsSnapshot snap = telemetry::snapshotMetrics();
+    auto it = snap.counters.find(name);
+    return it == snap.counters.end() ? 0 : it->second;
 }
 
 TEST(Session, TraceOnceAcrossRepeatedReplays)
@@ -258,6 +268,77 @@ TEST(Session, MergedProfileRejectsEmptyTraining)
     Session session;
     EXPECT_DEATH(session.collectMergedProfile(li(), {}),
                  "no training inputs");
+}
+
+TEST(Session, RegistryCountersMirrorTypedStatsView)
+{
+    // TraceRepoStats is a typed view over registry-backed counters:
+    // the process-wide registry must advance by exactly the deltas the
+    // per-session view reports (delta-based because other tests in
+    // this binary share the process-wide registry).
+    uint64_t vm_before = registryCounter("trace.vm_runs");
+    uint64_t replays_before = registryCounter("trace.replays");
+    uint64_t unique_before = registryCounter("trace.unique_traces");
+
+    Session session;
+    CountingTraceSink a, b;
+    session.runTrace(li(), 0, &a);
+    session.runTrace(li(), 0, &b);
+
+    TraceRepoStats st = session.traces().stats();
+    EXPECT_EQ(st.vmRuns, 1u);
+    EXPECT_EQ(st.replays, 2u);
+    EXPECT_EQ(st.uniqueTraces, 1u);
+    if (telemetry::kEnabled) {
+        EXPECT_EQ(registryCounter("trace.vm_runs") - vm_before,
+                  st.vmRuns);
+        EXPECT_EQ(registryCounter("trace.replays") - replays_before,
+                  st.replays);
+        EXPECT_EQ(registryCounter("trace.unique_traces") - unique_before,
+                  st.uniqueTraces);
+    }
+}
+
+TEST(Session, RegistryKeepsRegenerationsOutOfVmRunsUnderFaults)
+{
+    // The crash-consistency contract survives the counter migration:
+    // a quarantined cache file costs one regeneration and one vmRun —
+    // regenerations never leak into vmRuns, in the typed view or the
+    // registry, so the trace-once invariant (vmRuns <= uniqueTraces)
+    // stays checkable from either.
+    std::string dir = ::testing::TempDir() + "/vpprof_registry_fault";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    {
+        std::ofstream bad(dir + "/li.in0.trace", std::ios::binary);
+        bad << "corrupt bytes, not a trace";
+    }
+
+    uint64_t vm_before = registryCounter("trace.vm_runs");
+    uint64_t regen_before = registryCounter("trace.regenerations");
+    uint64_t quarantine_before =
+        registryCounter("trace.corrupt_quarantined");
+
+    SessionConfig cfg;
+    cfg.traceCacheDir = dir;
+    Session session(cfg);
+    CountingTraceSink counts;
+    session.runTrace(li(), 0, &counts);
+
+    TraceRepoStats st = session.traces().stats();
+    EXPECT_EQ(st.vmRuns, 1u);
+    EXPECT_EQ(st.regenerations, 1u);
+    EXPECT_EQ(st.corruptQuarantined, 1u);
+    EXPECT_LE(st.vmRuns, st.uniqueTraces);
+    if (telemetry::kEnabled) {
+        EXPECT_EQ(registryCounter("trace.vm_runs") - vm_before, 1u);
+        EXPECT_EQ(registryCounter("trace.regenerations") - regen_before,
+                  1u);
+        EXPECT_EQ(registryCounter("trace.corrupt_quarantined") -
+                      quarantine_before,
+                  1u);
+    }
+    std::filesystem::remove_all(dir);
 }
 
 } // namespace

@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "common/telemetry/telemetry.hh"
 #include "compiler/cfg.hh"
 #include "core/evaluators.hh"
 #include "core/experiment.hh"
@@ -63,6 +64,10 @@ usage()
                  "invocations\n"
                  "  --stats           print trace-repository serving "
                  "+ recovery counters (stderr)\n"
+                 "  --trace-json FILE write a Chrome trace_event "
+                 "span timeline (Perfetto-loadable)\n"
+                 "  --metrics-out FILE write a metrics snapshot "
+                 "(counters/gauges/histograms) as JSON\n"
                  "sampled profiling (profile command only):\n"
                  "  --sample-rate N   observe ~1 in N trace records "
                  "(default 1 = exact)\n"
@@ -434,6 +439,7 @@ main(int argc, char **argv)
     SamplingConfig sampling;
     bool policy_given = false, sampling_given = false;
     bool show_stats = false;
+    std::string trace_json_path, metrics_out_path;
 
     // Flags may appear before or after the command; positionals keep
     // their relative order. Bad flag values are structured fatal
@@ -456,6 +462,14 @@ main(int argc, char **argv)
         } else if (flag == "--stats") {
             show_stats = true;
             continue;  // boolean flag: no value to consume
+        } else if (flag == "--trace-json") {
+            if (!value)
+                vpprof_fatal("--trace-json requires a file path");
+            trace_json_path = value;
+        } else if (flag == "--metrics-out") {
+            if (!value)
+                vpprof_fatal("--metrics-out requires a file path");
+            metrics_out_path = value;
         } else if (flag == "--sample-rate") {
             sampling.rate = parseUintFlag("--sample-rate", value);
             if (sampling.rate == 0)
@@ -498,6 +512,11 @@ main(int argc, char **argv)
         sampling.policy = SamplingPolicy::Periodic;
     if (auto complaint = sampling.validate())
         vpprof_fatal("invalid sampling flags: ", *complaint);
+
+    // Env first, flags second: explicit flags override
+    // VPPROF_TRACE_JSON / VPPROF_METRICS_OUT.
+    telemetry::autoConfigureFromEnv();
+    telemetry::configureOutputs(trace_json_path, metrics_out_path);
 
     if (positional.empty())
         return usage();
