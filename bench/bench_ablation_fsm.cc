@@ -68,10 +68,18 @@ main()
     }
     std::printf("%-10s", "average");
     size_t n = workloads.size();
-    for (size_t c = 0; c < configs.size(); ++c)
+    for (size_t c = 0; c < configs.size(); ++c) {
         std::printf("      %5.1f / %5.1f",
                     misp_sum[c] / static_cast<double>(n),
                     corr_sum[c] / static_cast<double>(n));
+        std::string bits = std::to_string(configs[c].first);
+        emitResult("ablation_fsm", "average/misp@" + bits + "bit",
+                   misp_sum[c] / static_cast<double>(n), std::nullopt,
+                   "%");
+        emitResult("ablation_fsm", "average/corr@" + bits + "bit",
+                   corr_sum[c] / static_cast<double>(n), std::nullopt,
+                   "%");
+    }
     std::printf("\n");
 
     std::printf("\nexpected: wider counters are slower to abandon a "

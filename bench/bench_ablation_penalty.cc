@@ -85,6 +85,24 @@ main()
         }
     }
 
+    // Average gain per policy at each penalty: the golden trend rules
+    // check that both series decay and that profiling decays slower.
+    for (size_t p = 0; p < penalties.size(); ++p) {
+        double fsm_sum = 0.0, prof_sum = 0.0;
+        for (size_t i = 0; i < names.size(); ++i) {
+            const IlpResult &base = rows[i].base[p];
+            fsm_sum += 100.0 * (rows[i].fsm[p].ilp() / base.ilp() - 1.0);
+            prof_sum +=
+                100.0 * (rows[i].prof[p].ilp() / base.ilp() - 1.0);
+        }
+        std::string at = "@pen" + std::to_string(penalties[p]);
+        double n = static_cast<double>(names.size());
+        emitResult("ablation_penalty", "average/fsm_gain" + at,
+                   fsm_sum / n, std::nullopt, "%");
+        emitResult("ablation_penalty", "average/prof_gain" + at,
+                   prof_sum / n, std::nullopt, "%");
+    }
+
     std::printf("\nexpected: both schemes lose gain as the penalty "
                 "rises, but the\nprofile-guided scheme (threshold 90%%) "
                 "degrades more slowly because it\nconsumes far fewer "

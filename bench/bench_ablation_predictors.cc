@@ -126,6 +126,11 @@ main()
                 sums[1] / static_cast<double>(n),
                 sums[2] / static_cast<double>(n),
                 sums[3] / static_cast<double>(n));
+    const char *families[4] = {"last_value", "stride", "fcm", "hybrid"};
+    for (int c = 0; c < 4; ++c)
+        emitResult("ablation_predictors",
+                   std::string("average/") + families[c],
+                   sums[c] / static_cast<double>(n), std::nullopt, "%");
 
     std::printf(
         "\nexpected: stride beats last-value almost everywhere "

@@ -123,9 +123,22 @@ main()
     }
     std::printf("%-10s", "average");
     size_t n = workloads.size();
-    for (size_t c = 0; c < cuts.size(); ++c)
-        std::printf("    %6.1f", sums[c] / static_cast<double>(n));
+    double avg_min = 0.0, avg_max = 0.0;
+    for (size_t c = 0; c < cuts.size(); ++c) {
+        double avg = sums[c] / static_cast<double>(n);
+        std::printf("    %6.1f", avg);
+        emitResult("ablation_stride_threshold",
+                   "average/cut@" +
+                       std::to_string(static_cast<int>(cuts[c])),
+                   avg, std::nullopt, "%");
+        avg_min = c == 0 ? avg : std::min(avg_min, avg);
+        avg_max = c == 0 ? avg : std::max(avg_max, avg);
+    }
     std::printf("\n");
+    // Flat-top check: the spread across cuts stays small because the
+    // stride-efficiency distribution is bimodal (Figure 2.3).
+    emitResult("ablation_stride_threshold", "average/spread",
+               avg_max - avg_min, std::nullopt, "pp");
 
     std::printf("\nexpected: accuracy is flat-topped around the middle "
                 "cuts - the\ndistribution of stride efficiency is "

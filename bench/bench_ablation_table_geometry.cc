@@ -74,6 +74,15 @@ main()
             std::printf("    %+6.1f%%", d);
         std::printf("\n");
     }
+    for (size_t s = 0; s < sizes.size(); ++s) {
+        double sum = 0.0;
+        for (size_t i = 0; i < workloads.size(); ++i)
+            sum += deltas[i][s];
+        emitResult("ablation_table_geometry",
+                   "average/d_correct@" + std::to_string(sizes[s]),
+                   sum / static_cast<double>(workloads.size()),
+                   std::nullopt, "%");
+    }
 
     std::printf("\nexpected: the profile-guided advantage in correct "
                 "predictions is\nlargest for small tables (allocation "

@@ -38,11 +38,13 @@ main()
             collapsed += s.collapsedChainLength;
             ++blocks;
         }
+        double slack = 100.0 * (1.0 - static_cast<double>(collapsed) /
+                                          static_cast<double>(plain));
         std::printf("%-10s %8zu %10llu %12llu %9.1f%%\n", name.c_str(),
                     blocks, static_cast<unsigned long long>(plain),
-                    static_cast<unsigned long long>(collapsed),
-                    100.0 * (1.0 - static_cast<double>(collapsed) /
-                                       static_cast<double>(plain)));
+                    static_cast<unsigned long long>(collapsed), slack);
+        emitResult("block_schedule", name + "/slack_pct", slack,
+                   std::nullopt, "%");
     }
 
     std::printf(

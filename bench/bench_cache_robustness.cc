@@ -206,6 +206,14 @@ main()
          << "  \"target_pct\": 3.0\n"
          << "}\n";
 
+    // Shape-checkable rows: overheads are machine-load-sensitive, so
+    // the golden rules bound them loosely rather than pinning values.
+    emitResult("cache_robustness", "replay_overhead_pct",
+               replay_overhead_pct, std::nullopt, "%");
+    emitResult("cache_robustness", "write_checksum_share_pct",
+               write_share_pct, std::nullopt, "%");
+    flushResults("bench_cache_robustness");
+
     std::filesystem::remove_all(dir);
     std::printf("-> BENCH_robustness.json\n");
     return 0;

@@ -49,14 +49,19 @@ main()
     for (size_t i = 0; i < workloads.size(); ++i) {
         const CriticalPathResult &base = rows[i].base;
         const CriticalPathResult &vp = rows[i].vp;
+        double shorten = static_cast<double>(base.pathLength) /
+                         static_cast<double>(vp.pathLength);
         std::printf("%-10s %12llu %10.2f %12llu %10.2f %8.1fx\n",
                     std::string(workloads[i]->name()).c_str(),
                     static_cast<unsigned long long>(base.pathLength),
                     base.dataflowIlp(),
                     static_cast<unsigned long long>(vp.pathLength),
-                    vp.dataflowIlp(),
-                    static_cast<double>(base.pathLength) /
-                        static_cast<double>(vp.pathLength));
+                    vp.dataflowIlp(), shorten);
+        std::string name(workloads[i]->name());
+        emitResult("critical_path", name + "/shorten_factor", shorten,
+                   std::nullopt, "x");
+        emitResult("critical_path", name + "/dataflow_ilp",
+                   base.dataflowIlp(), std::nullopt, "");
     }
 
     std::printf("\nhottest critical-path instructions (go, plain):\n");

@@ -49,6 +49,13 @@ main()
     std::printf("\npaper: ~30%% of instructions above 90%% accuracy, "
                 "~40%% below 10%%.\nexpected shape: mass concentrated "
                 "in the two extreme deciles.\n");
+    emitResult("fig_2_2", "suite/above_90_pct",
+               100.0 * overall.fraction(9), 30.0, "%");
+    emitResult("fig_2_2", "suite/at_or_below_10_pct",
+               100.0 * overall.fraction(0), 40.0, "%");
+    emitResult("fig_2_2", "suite/extreme_decile_mass_pct",
+               100.0 * (overall.fraction(0) + overall.fraction(9)),
+               std::nullopt, "%");
     finishBench("bench_fig_2_2");
     return 0;
 }

@@ -53,6 +53,11 @@ main()
     std::printf("\npaper: most instructions sit at the extremes - a "
                 "small stride-patterned\nsubset near 100%% and a large "
                 "last-value subset near 0%%.\n");
+    emitResult("fig_2_3", "suite/extreme_decile_mass_pct",
+               100.0 * (overall.fraction(0) + overall.fraction(9)),
+               std::nullopt, "%");
+    emitResult("fig_2_3", "suite/near_zero_mass_pct",
+               100.0 * overall.fraction(0), std::nullopt, "%");
     finishBench("bench_fig_2_3");
     return 0;
 }

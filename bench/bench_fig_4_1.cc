@@ -47,6 +47,9 @@ main()
     std::printf("\npaper: \"in all the benchmarks most of the "
                 "coordinates are spread across\nthe lower intervals\" - "
                 "expect the same concentration here.\n");
+    emitResult("fig_4_1", "suite/low_interval_mass_pct",
+               100.0 * (overall.fraction(0) + overall.fraction(1)),
+               std::nullopt, "%");
     finishBench("bench_fig_4_1");
     return 0;
 }

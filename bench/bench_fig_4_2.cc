@@ -40,6 +40,9 @@ main()
     std::printf("\npaper: same concentration as Figure 4.1 but "
                 "stronger, since the average\nmetric is less strict "
                 "than the max metric.\n");
+    emitResult("fig_4_2", "suite/low_interval_mass_pct",
+               100.0 * (overall.fraction(0) + overall.fraction(1)),
+               std::nullopt, "%");
     finishBench("bench_fig_4_2");
     return 0;
 }

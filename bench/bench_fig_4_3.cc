@@ -41,6 +41,9 @@ main()
     std::printf("\npaper: the set of stride-patterned instructions is "
                 "independent of the\nprogram's inputs, so profiling "
                 "detects it reliably.\n");
+    emitResult("fig_4_3", "suite/low_interval_mass_pct",
+               100.0 * (overall.fraction(0) + overall.fraction(1)),
+               std::nullopt, "%");
     finishBench("bench_fig_4_3");
     return 0;
 }

@@ -105,6 +105,39 @@ main()
                      return a.correctAccuracy();
                  });
 
+    auto emit_series = [&](const char *experiment, auto extract) {
+        double fsm_sum = 0.0;
+        std::vector<double> prof_sums(kThresholds.size(), 0.0);
+        for (const Row &row : rows) {
+            emitResult(experiment, row.name + "/fsm", extract(row.fsm),
+                       std::nullopt, "%");
+            fsm_sum += extract(row.fsm);
+            for (size_t t = 0; t < kThresholds.size(); ++t) {
+                emitResult(experiment,
+                           row.name + "/prof@" +
+                               std::to_string(
+                                   static_cast<int>(kThresholds[t])),
+                           extract(row.prof[t]), std::nullopt, "%");
+                prof_sums[t] += extract(row.prof[t]);
+            }
+        }
+        double n = static_cast<double>(rows.size());
+        emitResult(experiment, "average/fsm", fsm_sum / n, std::nullopt,
+                   "%");
+        for (size_t t = 0; t < kThresholds.size(); ++t)
+            emitResult(experiment,
+                       "average/prof@" +
+                           std::to_string(
+                               static_cast<int>(kThresholds[t])),
+                       prof_sums[t] / n, std::nullopt, "%");
+    };
+    emit_series("fig_5_1", [](const ClassificationAccuracy &a) {
+        return a.mispredictionAccuracy();
+    });
+    emit_series("fig_5_2", [](const ClassificationAccuracy &a) {
+        return a.correctAccuracy();
+    });
+
     std::printf(
         "paper's shape:\n"
         " - Fig 5.1: profiling beats the FSM at high thresholds; the\n"

@@ -124,6 +124,23 @@ main()
         "fewer incorrects; the\nsmall-working-set ones (m88ksim, "
         "compress, ijpeg, mgrid) cannot, because\nthe 512-entry table "
         "already holds their whole working set.\n");
+    for (const Row &row : rows) {
+        bool both_axes_win = false;
+        for (size_t t = 0; t < kThresholds.size(); ++t) {
+            std::string at =
+                "@" + std::to_string(static_cast<int>(kThresholds[t]));
+            emitResult("fig_5_3_5_4", row.name + "/d_correct" + at,
+                       row.d_correct[t], std::nullopt, "%");
+            emitResult("fig_5_3_5_4", row.name + "/d_incorrect" + at,
+                       row.d_incorrect[t], std::nullopt, "%");
+            both_axes_win |=
+                row.d_correct[t] > 0.0 && row.d_incorrect[t] < 0.0;
+        }
+        // 1 = some threshold wins on both axes (more corrects AND
+        // fewer incorrects), the paper's working-set regime split.
+        emitResult("fig_5_3_5_4", row.name + "/both_axes_win",
+                   both_axes_win ? 1.0 : 0.0, std::nullopt, "");
+    }
     finishBench("bench_fig_5_3_5_4");
     return 0;
 }

@@ -90,6 +90,21 @@ main()
                     static_cast<unsigned long long>(hyb.correctTaken),
                     static_cast<unsigned long long>(
                         hyb.incorrectTaken));
+        // The utilization argument as ratios: hybrid corrects relative
+        // to the equal-budget mono table, and profile-steered wrong
+        // predictions relative to the FSM baseline.
+        if (single.correctTaken > 0)
+            emitResult("hybrid_table",
+                       name + "/hybrid_vs_mono_correct_ratio",
+                       static_cast<double>(hyb.correctTaken) /
+                           static_cast<double>(single.correctTaken),
+                       std::nullopt, "");
+        if (fsm.incorrectTaken > 0)
+            emitResult("hybrid_table",
+                       name + "/hybrid_vs_fsm_incorrect_ratio",
+                       static_cast<double>(hyb.incorrectTaken) /
+                           static_cast<double>(fsm.incorrectTaken),
+                       std::nullopt, "");
     }
 
     std::printf(

@@ -242,6 +242,13 @@ main()
                         static_cast<unsigned long long>(rate),
                         agree / n, wagree / n, mae / n, dmis / n,
                         speed / n);
+            std::string cell_base =
+                std::string(samplingPolicyName(policy)) + "/";
+            std::string at = "@" + std::to_string(rate);
+            emitResult("sampling_fidelity", cell_base + "w_agree" + at,
+                       wagree / n, std::nullopt, "%");
+            emitResult("sampling_fidelity", cell_base + "speedup" + at,
+                       speed / n, std::nullopt, "x");
         }
         std::printf("\n");
     }
@@ -279,6 +286,8 @@ main()
                 "-> %s\n",
                 std::string(samplingPolicyName(best_policy)).c_str(),
                 best, best >= 90.0 ? "PASS" : "FAIL");
+    emitResult("sampling_fidelity", "acceptance/best_w_agree@8", best,
+               std::nullopt, "%");
 
     // ---- BENCH_sampling.json --------------------------------------
     {

@@ -87,6 +87,37 @@ main()
     printRow("Spec-fp95 comp (int ops)", fp_comp, OpClass::IntAlu,
              OpClass::IntLoad);
 
+    auto emitRow = [](const char *prefix,
+                      const std::vector<const ProfileImage *> &set,
+                      OpClass alu, OpClass load,
+                      std::optional<double> alu_s,
+                      std::optional<double> alu_l,
+                      std::optional<double> load_s,
+                      std::optional<double> load_l) {
+        ClassAccuracy a = sumOver(set, alu);
+        ClassAccuracy l = sumOver(set, load);
+        std::string base(prefix);
+        emitResult("table_2_1", base + "/alu_stride_pct", a.stridePct(),
+                   alu_s, "%");
+        emitResult("table_2_1", base + "/alu_last_value_pct",
+                   a.lastValuePct(), alu_l, "%");
+        emitResult("table_2_1", base + "/load_stride_pct",
+                   l.stridePct(), load_s, "%");
+        emitResult("table_2_1", base + "/load_last_value_pct",
+                   l.lastValuePct(), load_l, "%");
+    };
+    emitRow("spec_int", int_images, OpClass::IntAlu, OpClass::IntLoad,
+            48.0, 50.0, 61.0, 53.0);
+    emitRow("fp_init_fp_ops", fp_init, OpClass::FpAlu, OpClass::FpLoad,
+            70.0, 66.0, 52.0, 47.0);
+    emitRow("fp_comp_fp_ops", fp_comp, OpClass::FpAlu, OpClass::FpLoad,
+            63.0, 37.0, 96.0, 23.0);
+    emitRow("fp_init_int_ops", fp_init, OpClass::IntAlu,
+            OpClass::IntLoad, std::nullopt, std::nullopt, std::nullopt,
+            std::nullopt);
+    emitRow("fp_comp_int_ops", fp_comp, OpClass::IntAlu,
+            OpClass::IntLoad, 46.0, 44.0, 29.0, 28.0);
+
     std::printf(
         "\npaper (Table 2.1, percent, S=stride L=last-value):\n"
         "  Spec-int95:            ALU 48/50, loads 61/53\n"

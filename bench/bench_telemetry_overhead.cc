@@ -151,5 +151,12 @@ main()
     if (!writeFileAtomically("BENCH_telemetry.json", json.str()))
         vpprof_warn("cannot write BENCH_telemetry.json");
     std::printf("-> BENCH_telemetry.json\n");
+
+    // Loose shape rows only: these are timings on shared hardware.
+    emitResult("telemetry_overhead", "armed_overhead_pct",
+               armed_overhead_pct, std::nullopt, "%");
+    emitResult("telemetry_overhead", "analytic_per_replay_pct",
+               analytic_pct, std::nullopt, "%");
+    flushResults("bench_telemetry_overhead");
     return 0;
 }

@@ -38,6 +38,7 @@
 #include "core/experiment.hh"
 #include "core/session.hh"
 #include "profile/correlation.hh"
+#include "report/result_row.hh"
 
 namespace vpprof
 {
@@ -140,6 +141,61 @@ accuracyOfClass(const ProfileImage &image, OpClass cls)
     return acc;
 }
 
+/**
+ * The bench's structured result rows (RESULTS_<bench>.json payload).
+ * Emit from the main thread only — benches aggregate their sweep
+ * cells before printing, and emission belongs next to the printing.
+ */
+inline std::vector<report::ResultRow> &
+resultRows()
+{
+    static std::vector<report::ResultRow> rows;
+    return rows;
+}
+
+/**
+ * Record one result cell: the measured value for (experiment, cell),
+ * with the paper's reported number attached where the text gives one.
+ * finishBench() writes all emitted rows to RESULTS_<bench>.json, the
+ * input of `vpprof_cli verify`'s golden shape checks.
+ */
+inline void
+emitResult(std::string experiment, std::string cell, double measured,
+           std::optional<double> paper = std::nullopt,
+           std::string unit = "")
+{
+    report::ResultRow row;
+    row.experiment = std::move(experiment);
+    row.cell = std::move(cell);
+    row.measured = measured;
+    row.paper = paper;
+    row.unit = std::move(unit);
+    resultRows().push_back(std::move(row));
+}
+
+/**
+ * Write the emitted rows to RESULTS_<bench>.json. Called by
+ * finishBench(); benches that bypass the shared session (and so skip
+ * finishBench's trace-once assertion) call it directly.
+ */
+inline void
+flushResults(const char *bench_name)
+{
+    if (resultRows().empty())
+        return;
+    report::ResultsFile results;
+    results.bench = bench_name;
+    results.rows = resultRows();
+    const std::string results_path =
+        report::resultsFileNameFor(bench_name);
+    if (!writeFileAtomically(results_path,
+                             report::writeResultsJson(results)))
+        vpprof_warn("cannot write ", results_path);
+    else
+        std::printf("\n[results] %zu rows -> %s\n",
+                    results.rows.size(), results_path.c_str());
+}
+
 inline std::chrono::steady_clock::time_point &
 benchStartTime()
 {
@@ -186,17 +242,9 @@ finishBench(const char *bench_name)
 
     std::ostringstream entry;
     entry << "  \"" << bench_name << "\": {\"wall_ms\": " << wall_ms
-          << ", \"jobs\": " << session().runner().jobs()
-          << ", \"vm_runs\": " << st.vmRuns
-          << ", \"disk_loads\": " << st.diskLoads
-          << ", \"replays\": " << st.replays
-          << ", \"unique_traces\": " << st.uniqueTraces
-          << ", \"spilled_traces\": " << st.spilledTraces
-          << ", \"corrupt_quarantined\": " << st.corruptQuarantined
-          << ", \"regenerations\": " << st.regenerations
-          << ", \"spill_failures\": " << st.spillFailures
-          << ", \"read_retries\": " << st.readRetries
-          << ", \"metrics\": ";
+          << ", \"jobs\": " << session().runner().jobs() << ", ";
+    st.writeJsonFields(entry);
+    entry << ", \"metrics\": ";
     telemetry::snapshotMetrics().writeJson(entry);
     entry << "}";
 
@@ -227,6 +275,9 @@ finishBench(const char *bench_name)
     out << "}\n";
     if (!writeFileAtomically(path, out.str()))
         vpprof_warn("cannot write ", path);
+
+    // Structured per-cell results for `vpprof_cli verify`.
+    flushResults(bench_name);
 
     std::printf("\n[session] jobs=%u vm_runs=%llu disk_loads=%llu "
                 "replays=%llu wall=%.1fms -> %s\n",

@@ -471,6 +471,20 @@ TraceRepository::vmRuns() const
     return counters_.vmRuns.value();
 }
 
+void
+TraceRepoStats::writeJsonFields(std::ostream &os) const
+{
+    os << "\"vm_runs\": " << vmRuns
+       << ", \"disk_loads\": " << diskLoads
+       << ", \"replays\": " << replays
+       << ", \"unique_traces\": " << uniqueTraces
+       << ", \"spilled_traces\": " << spilledTraces
+       << ", \"corrupt_quarantined\": " << corruptQuarantined
+       << ", \"regenerations\": " << regenerations
+       << ", \"spill_failures\": " << spillFailures
+       << ", \"read_retries\": " << readRetries;
+}
+
 Session::Session(SessionConfig config)
     : config_(config),
       traces_(config),

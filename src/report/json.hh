@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Minimal JSON document model + parser for the results/verification
+ * subsystem.
+ *
+ * Everything this repository verifies is JSON it wrote itself
+ * (RESULTS_<bench>.json, BENCH_*.json, the golden rule specs), so the
+ * parser targets strict RFC 8259 documents: no comments, no trailing
+ * commas, objects keep their keys in sorted order (std::map) because
+ * no consumer depends on insertion order. Numbers are doubles —
+ * every counter this repo emits fits a double exactly (< 2^53).
+ *
+ * formatJsonNumber() is the writing-side counterpart: it prints the
+ * shortest decimal form that parses back to the identical double, so
+ * a write -> parse -> write cycle is a fixed point (the round-trip
+ * guarantee the RESULTS files are tested for).
+ */
+
+#ifndef VPPROF_REPORT_JSON_HH
+#define VPPROF_REPORT_JSON_HH
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vpprof
+{
+namespace report
+{
+
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    using Array = std::vector<JsonValue>;
+    using Object = std::map<std::string, JsonValue>;
+
+    JsonValue() = default;
+    explicit JsonValue(bool b) : kind_(Kind::Bool), bool_(b) {}
+    explicit JsonValue(double n) : kind_(Kind::Number), number_(n) {}
+    explicit JsonValue(std::string s)
+        : kind_(Kind::String), string_(std::move(s))
+    {
+    }
+    explicit JsonValue(Array a) : kind_(Kind::Array), array_(std::move(a))
+    {
+    }
+    explicit JsonValue(Object o)
+        : kind_(Kind::Object), object_(std::move(o))
+    {
+    }
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    bool asBool() const { return bool_; }
+    double asNumber() const { return number_; }
+    const std::string &asString() const { return string_; }
+    const Array &asArray() const { return array_; }
+    const Object &asObject() const { return object_; }
+    Array &asArray() { return array_; }
+    Object &asObject() { return object_; }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *get(std::string_view key) const;
+
+    /** get(key)->asNumber() with a default for absent/non-number. */
+    double numberOr(std::string_view key, double fallback) const;
+
+    /** get(key)->asString() with a default for absent/non-string. */
+    std::string stringOr(std::string_view key,
+                         std::string_view fallback) const;
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    Array array_;
+    Object object_;
+};
+
+/**
+ * Parse a complete JSON document (trailing whitespace allowed,
+ * trailing garbage is an error). On failure returns nullopt and, when
+ * `error` is non-null, a one-line diagnostic with the byte offset.
+ */
+std::optional<JsonValue> parseJson(std::string_view text,
+                                   std::string *error = nullptr);
+
+/**
+ * The shortest decimal string that strtod parses back to exactly
+ * `value`. Integral values below 2^53 print without a decimal point.
+ * Non-finite values (never produced by the benches) print as null.
+ */
+std::string formatJsonNumber(double value);
+
+/** `s` as a JSON string literal, quotes included. */
+std::string quoteJsonString(std::string_view s);
+
+} // namespace report
+} // namespace vpprof
+
+#endif // VPPROF_REPORT_JSON_HH

@@ -1,0 +1,150 @@
+#include "report/perf_gate.hh"
+
+#include <cmath>
+#include <map>
+#include <string>
+
+#include "report/json.hh"
+
+namespace vpprof
+{
+namespace report
+{
+
+namespace
+{
+
+enum class LeafClass { Counter, Timing, Ignored };
+
+/** One flattened session entry: dotted metric path -> (value, class). */
+using FlatEntry = std::map<std::string, std::pair<double, LeafClass>>;
+
+bool
+isTimingName(const std::string &leaf)
+{
+    return leaf == "wall_ms" || leaf == "sum" || leaf == "p50" ||
+           leaf == "p95" || leaf == "p99";
+}
+
+void
+flattenEntry(const JsonValue &entry, FlatEntry &out)
+{
+    for (const auto &[key, value] : entry.asObject()) {
+        if (!value.isNumber()) {
+            if (key == "metrics" && value.isObject()) {
+                if (const JsonValue *counters = value.get("counters")) {
+                    for (const auto &[name, v] : counters->asObject())
+                        if (v.isNumber())
+                            out["metrics." + name] = {
+                                v.asNumber(), LeafClass::Counter};
+                }
+                // Gauges are point-in-time values (e.g. resident
+                // records at snapshot instant): not gated.
+                if (const JsonValue *hists = value.get("histograms")) {
+                    for (const auto &[name, h] : hists->asObject()) {
+                        if (!h.isObject())
+                            continue;
+                        for (const auto &[stat, v] : h.asObject()) {
+                            if (!v.isNumber())
+                                continue;
+                            LeafClass cls = stat == "count"
+                                                ? LeafClass::Counter
+                                                : isTimingName(stat)
+                                                    ? LeafClass::Timing
+                                                    : LeafClass::Ignored;
+                            if (cls != LeafClass::Ignored)
+                                out["metrics." + name + "." + stat] = {
+                                    v.asNumber(), cls};
+                        }
+                    }
+                }
+            }
+            continue;
+        }
+        if (key == "jobs")
+            continue;  // configuration, not a measurement
+        LeafClass cls = isTimingName(key) ? LeafClass::Timing
+                                          : LeafClass::Counter;
+        out[key] = {value.asNumber(), cls};
+    }
+}
+
+} // namespace
+
+PerfGateReport
+runPerfGate(const JsonValue &baseline, const JsonValue &current,
+            const PerfGateConfig &config)
+{
+    PerfGateReport report;
+    if (!baseline.isObject() || !current.isObject()) {
+        report.notes.push_back(
+            "perf gate: baseline or current document is not an object");
+        return report;
+    }
+
+    for (const auto &[bench, base_entry] : baseline.asObject()) {
+        if (!base_entry.isObject() || !base_entry.get("wall_ms")) {
+            report.notes.push_back("perf gate: '" + bench +
+                                   "' is not a session entry, skipped");
+            continue;
+        }
+        const JsonValue *cur_entry = current.get(bench);
+        if (!cur_entry) {
+            report.notes.push_back("perf gate: '" + bench +
+                                   "' not in current run, skipped");
+            continue;
+        }
+        if (!cur_entry->isObject()) {
+            report.notes.push_back("perf gate: '" + bench +
+                                   "' malformed in current run");
+            continue;
+        }
+
+        FlatEntry base_flat, cur_flat;
+        flattenEntry(base_entry, base_flat);
+        flattenEntry(*cur_entry, cur_flat);
+        ++report.benchesCompared;
+
+        for (const auto &[metric, base_leaf] : base_flat) {
+            auto it = cur_flat.find(metric);
+            if (it == cur_flat.end()) {
+                report.notes.push_back("perf gate: " + bench + "." +
+                                       metric +
+                                       " absent from current run");
+                continue;
+            }
+            ++report.leavesCompared;
+            auto [base_value, cls] = base_leaf;
+            double cur_value = it->second.first;
+
+            double margin_pct = cls == LeafClass::Timing
+                                    ? config.wallMarginPct
+                                    : config.counterMarginPct;
+            double allowed =
+                base_value * (1.0 + margin_pct / 100.0);
+            if (cls == LeafClass::Counter)
+                allowed = std::max(allowed,
+                                   base_value + config.counterAbsSlack);
+            if (cur_value > allowed) {
+                PerfFinding finding;
+                finding.bench = bench;
+                finding.metric = metric;
+                finding.baseline = base_value;
+                finding.current = cur_value;
+                finding.marginPct = margin_pct;
+                report.regressions.push_back(std::move(finding));
+            }
+        }
+    }
+
+    for (const auto &[bench, entry] : current.asObject()) {
+        if (entry.isObject() && entry.get("wall_ms") &&
+            !baseline.get(bench))
+            report.notes.push_back("perf gate: '" + bench +
+                                   "' has no baseline yet");
+    }
+    return report;
+}
+
+} // namespace report
+} // namespace vpprof

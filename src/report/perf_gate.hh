@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Noise-aware perf gate: compares a freshly produced BENCH_*.json
+ * against a committed baseline and fails on regressions beyond
+ * configurable relative margins.
+ *
+ * The gate understands the session-entry schema bench_util emits
+ * (one object per bench: wall_ms, jobs, trace-repository counters and
+ * an embedded telemetry metrics snapshot) and classifies every
+ * numeric leaf into one of two noise classes:
+ *
+ *  - counters (vm_runs, replays, unique_traces, metrics counters,
+ *    histogram counts): deterministic by the trace-once design, so
+ *    the default margin is 0% — any increase is a regression;
+ *  - timings (wall_ms, histogram sum/p50/p95/p99): machine- and
+ *    load-dependent, so they get a wide relative margin.
+ *
+ * Decreases never fail (improvements are free); "jobs" and gauges
+ * (point-in-time values) are not gated. Benches present only in the
+ * baseline or only in the current run are reported as notes, not
+ * failures, so partial CI runs can gate the subset they executed.
+ */
+
+#ifndef VPPROF_REPORT_PERF_GATE_HH
+#define VPPROF_REPORT_PERF_GATE_HH
+
+#include <string>
+#include <vector>
+
+namespace vpprof
+{
+namespace report
+{
+
+class JsonValue;
+
+struct PerfGateConfig
+{
+    /** Relative margin for timing-class leaves, percent. */
+    double wallMarginPct = 50.0;
+    /** Relative margin for counter-class leaves, percent. */
+    double counterMarginPct = 0.0;
+    /**
+     * Counter increases up to this absolute amount pass even at 0%
+     * margin — absorbs one-off events (a single extra warning line)
+     * without letting real volume regressions through.
+     */
+    double counterAbsSlack = 0.0;
+};
+
+struct PerfFinding
+{
+    std::string bench;   ///< e.g. "bench_fig_2_2"
+    std::string metric;  ///< dotted path, e.g. "metrics.trace.vm_runs"
+    double baseline = 0.0;
+    double current = 0.0;
+    double marginPct = 0.0;
+};
+
+struct PerfGateReport
+{
+    std::vector<PerfFinding> regressions;
+    std::vector<std::string> notes;  ///< skips, schema surprises
+    size_t leavesCompared = 0;
+    size_t benchesCompared = 0;
+
+    bool ok() const { return regressions.empty(); }
+};
+
+/**
+ * Gate `current` against `baseline` (both parsed BENCH_*.json
+ * documents in the session-entry schema). Entries that do not look
+ * like session entries (no "wall_ms") are skipped with a note, so
+ * pointing the gate at e.g. BENCH_sampling.json degrades gracefully.
+ */
+PerfGateReport runPerfGate(const JsonValue &baseline,
+                           const JsonValue &current,
+                           const PerfGateConfig &config);
+
+} // namespace report
+} // namespace vpprof
+
+#endif // VPPROF_REPORT_PERF_GATE_HH

@@ -1,0 +1,106 @@
+#include "report/result_row.hh"
+
+#include <sstream>
+
+#include "report/json.hh"
+
+namespace vpprof
+{
+namespace report
+{
+
+std::string
+resultsFileNameFor(std::string_view bench)
+{
+    return "RESULTS_" + std::string(bench) + ".json";
+}
+
+std::string
+writeResultsJson(const ResultsFile &file)
+{
+    std::ostringstream out;
+    out << "{\n  \"bench\": " << quoteJsonString(file.bench)
+        << ",\n  \"schema\": 1,\n  \"rows\": [\n";
+    for (size_t i = 0; i < file.rows.size(); ++i) {
+        const ResultRow &row = file.rows[i];
+        out << "    {\"experiment\": " << quoteJsonString(row.experiment)
+            << ", \"cell\": " << quoteJsonString(row.cell)
+            << ", \"measured\": " << formatJsonNumber(row.measured);
+        if (row.paper)
+            out << ", \"paper\": " << formatJsonNumber(*row.paper);
+        if (!row.unit.empty())
+            out << ", \"unit\": " << quoteJsonString(row.unit);
+        out << "}" << (i + 1 < file.rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    return out.str();
+}
+
+std::optional<ResultsFile>
+parseResultsJson(std::string_view text, std::string *error)
+{
+    auto setError = [&](const std::string &what) {
+        if (error)
+            *error = what;
+    };
+
+    std::string json_error;
+    std::optional<JsonValue> doc = parseJson(text, &json_error);
+    if (!doc) {
+        setError("invalid JSON: " + json_error);
+        return std::nullopt;
+    }
+    if (!doc->isObject()) {
+        setError("results document is not an object");
+        return std::nullopt;
+    }
+
+    ResultsFile file;
+    const JsonValue *bench = doc->get("bench");
+    if (!bench || !bench->isString()) {
+        setError("missing string field 'bench'");
+        return std::nullopt;
+    }
+    file.bench = bench->asString();
+
+    const JsonValue *rows = doc->get("rows");
+    if (!rows || !rows->isArray()) {
+        setError("missing array field 'rows'");
+        return std::nullopt;
+    }
+    file.rows.reserve(rows->asArray().size());
+    for (size_t i = 0; i < rows->asArray().size(); ++i) {
+        const JsonValue &entry = rows->asArray()[i];
+        std::string where = "rows[" + std::to_string(i) + "]";
+        if (!entry.isObject()) {
+            setError(where + " is not an object");
+            return std::nullopt;
+        }
+        ResultRow row;
+        const JsonValue *experiment = entry.get("experiment");
+        const JsonValue *cell = entry.get("cell");
+        const JsonValue *measured = entry.get("measured");
+        if (!experiment || !experiment->isString() || !cell ||
+            !cell->isString() || !measured || !measured->isNumber()) {
+            setError(where + " needs string 'experiment'/'cell' and "
+                             "number 'measured'");
+            return std::nullopt;
+        }
+        row.experiment = experiment->asString();
+        row.cell = cell->asString();
+        row.measured = measured->asNumber();
+        if (const JsonValue *paper = entry.get("paper")) {
+            if (!paper->isNumber()) {
+                setError(where + ".paper is not a number");
+                return std::nullopt;
+            }
+            row.paper = paper->asNumber();
+        }
+        row.unit = entry.stringOr("unit", "");
+        file.rows.push_back(std::move(row));
+    }
+    return file;
+}
+
+} // namespace report
+} // namespace vpprof

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Structured bench results. Every figure/table bench emits its
+ * per-cell numbers as ResultRow records — (experiment, cell) keys a
+ * measured value, with the paper's reported value attached where the
+ * text gives one — and finishBench() writes them to
+ * RESULTS_<bench>.json. The verify subsystem (shape_rules.hh) then
+ * checks the EXPERIMENTS.md shape verdicts against these files
+ * instead of against prose.
+ *
+ * Cell naming convention: '/'-separated lowercase components, subject
+ * first, e.g. "average/prof@90", "go/d_correct@80",
+ * "suite/low_interval_mass_pct". Golden rules address cells as
+ * "<cell>" within their own experiment or "<experiment>:<cell>"
+ * across experiments.
+ */
+
+#ifndef VPPROF_REPORT_RESULT_ROW_HH
+#define VPPROF_REPORT_RESULT_ROW_HH
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vpprof
+{
+namespace report
+{
+
+struct ResultRow
+{
+    std::string experiment;  ///< e.g. "fig_5_1", "table_5_2"
+    std::string cell;        ///< e.g. "average/prof@90"
+    double measured = 0.0;
+    std::optional<double> paper;  ///< paper's number, where reported
+    std::string unit;             ///< "%", "x", "pp", "" (count)
+
+    bool operator==(const ResultRow &) const = default;
+};
+
+/** One bench's emitted rows, as stored in RESULTS_<bench>.json. */
+struct ResultsFile
+{
+    std::string bench;  ///< producing binary, e.g. "bench_fig_2_2"
+    std::vector<ResultRow> rows;
+
+    bool operator==(const ResultsFile &) const = default;
+};
+
+/** "RESULTS_<bench>.json" */
+std::string resultsFileNameFor(std::string_view bench);
+
+/**
+ * Serialize to the canonical RESULTS JSON. Numbers use shortest
+ * round-trip formatting, so write -> parse -> write is a fixed point.
+ */
+std::string writeResultsJson(const ResultsFile &file);
+
+/**
+ * Parse a RESULTS_<bench>.json document. Returns nullopt (and a
+ * diagnostic in `error`) on malformed JSON or a missing/invalid
+ * required field.
+ */
+std::optional<ResultsFile> parseResultsJson(std::string_view text,
+                                            std::string *error = nullptr);
+
+} // namespace report
+} // namespace vpprof
+
+#endif // VPPROF_REPORT_RESULT_ROW_HH

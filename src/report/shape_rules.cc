@@ -1,0 +1,389 @@
+#include "report/shape_rules.hh"
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "report/json.hh"
+
+namespace vpprof
+{
+namespace report
+{
+
+std::string_view
+ruleKindName(RuleKind kind)
+{
+    switch (kind) {
+      case RuleKind::Ordering: return "ordering";
+      case RuleKind::Trend: return "trend";
+      case RuleKind::Tolerance: return "tolerance";
+      case RuleKind::Regime: return "regime";
+    }
+    return "?";
+}
+
+namespace
+{
+
+std::optional<RuleKind>
+parseRuleKind(const std::string &name)
+{
+    if (name == "ordering")
+        return RuleKind::Ordering;
+    if (name == "trend")
+        return RuleKind::Trend;
+    if (name == "tolerance")
+        return RuleKind::Tolerance;
+    if (name == "regime")
+        return RuleKind::Regime;
+    return std::nullopt;
+}
+
+const std::set<std::string> kKnownRuleKeys = {
+    "id",     "kind",   "note",      "cells",  "cell",
+    "strict", "slack",  "direction", "expect", "abs_tol",
+    "rel_tol_pct", "min", "max",
+};
+
+} // namespace
+
+std::optional<RuleSpec>
+parseRuleSpec(std::string_view text, std::string *error)
+{
+    auto setError = [&](const std::string &what) {
+        if (error)
+            *error = what;
+    };
+
+    std::string json_error;
+    std::optional<JsonValue> doc = parseJson(text, &json_error);
+    if (!doc) {
+        setError("invalid JSON: " + json_error);
+        return std::nullopt;
+    }
+    const JsonValue *experiment =
+        doc->isObject() ? doc->get("experiment") : nullptr;
+    const JsonValue *rules = doc->isObject() ? doc->get("rules") : nullptr;
+    if (!experiment || !experiment->isString() || !rules ||
+        !rules->isArray()) {
+        setError("spec needs string 'experiment' and array 'rules'");
+        return std::nullopt;
+    }
+
+    RuleSpec spec;
+    spec.experiment = experiment->asString();
+    for (size_t i = 0; i < rules->asArray().size(); ++i) {
+        const JsonValue &entry = rules->asArray()[i];
+        std::string where = "rules[" + std::to_string(i) + "]";
+        if (!entry.isObject()) {
+            setError(where + " is not an object");
+            return std::nullopt;
+        }
+        for (const auto &[key, value] : entry.asObject()) {
+            (void)value;
+            if (!kKnownRuleKeys.count(key)) {
+                setError(where + ": unknown key '" + key + "'");
+                return std::nullopt;
+            }
+        }
+
+        ShapeRule rule;
+        rule.experiment = spec.experiment;
+        const JsonValue *id = entry.get("id");
+        const JsonValue *kind = entry.get("kind");
+        if (!id || !id->isString() || !kind || !kind->isString()) {
+            setError(where + " needs string 'id' and 'kind'");
+            return std::nullopt;
+        }
+        rule.id = id->asString();
+        std::optional<RuleKind> parsed_kind =
+            parseRuleKind(kind->asString());
+        if (!parsed_kind) {
+            setError(where + ": unknown kind '" + kind->asString() +
+                     "'");
+            return std::nullopt;
+        }
+        rule.kind = *parsed_kind;
+        rule.note = entry.stringOr("note", "");
+
+        if (const JsonValue *cells = entry.get("cells")) {
+            if (!cells->isArray()) {
+                setError(where + ".cells is not an array");
+                return std::nullopt;
+            }
+            for (const JsonValue &cell : cells->asArray()) {
+                if (!cell.isString()) {
+                    setError(where + ".cells holds a non-string");
+                    return std::nullopt;
+                }
+                rule.cells.push_back(cell.asString());
+            }
+        }
+        if (const JsonValue *cell = entry.get("cell")) {
+            if (!cell->isString()) {
+                setError(where + ".cell is not a string");
+                return std::nullopt;
+            }
+            rule.cells.push_back(cell->asString());
+        }
+
+        if (const JsonValue *strict = entry.get("strict")) {
+            if (!strict->isBool()) {
+                setError(where + ".strict is not a bool");
+                return std::nullopt;
+            }
+            rule.strict = strict->asBool();
+        }
+        rule.slack = entry.numberOr("slack", 0.0);
+        rule.direction = entry.stringOr("direction", "");
+        if (const JsonValue *expect = entry.get("expect")) {
+            if (!expect->isNumber()) {
+                setError(where + ".expect is not a number");
+                return std::nullopt;
+            }
+            rule.expect = expect->asNumber();
+        }
+        rule.absTol = entry.numberOr("abs_tol", 0.0);
+        rule.relTolPct = entry.numberOr("rel_tol_pct", 0.0);
+        if (const JsonValue *min = entry.get("min")) {
+            if (!min->isNumber()) {
+                setError(where + ".min is not a number");
+                return std::nullopt;
+            }
+            rule.min = min->asNumber();
+        }
+        if (const JsonValue *max = entry.get("max")) {
+            if (!max->isNumber()) {
+                setError(where + ".max is not a number");
+                return std::nullopt;
+            }
+            rule.max = max->asNumber();
+        }
+
+        // Structural validation, so a broken spec fails loudly at
+        // parse time rather than producing vacuous passes.
+        size_t need = rule.kind == RuleKind::Ordering ||
+                              rule.kind == RuleKind::Trend
+                          ? 2
+                          : 1;
+        if (rule.cells.size() < need) {
+            setError(where + " (" + rule.id + "): kind '" +
+                     std::string(ruleKindName(rule.kind)) + "' needs " +
+                     std::to_string(need) + "+ cell refs");
+            return std::nullopt;
+        }
+        if (rule.kind == RuleKind::Trend &&
+            rule.direction != "increasing" &&
+            rule.direction != "decreasing") {
+            setError(where + " (" + rule.id +
+                     "): trend needs direction "
+                     "'increasing' or 'decreasing'");
+            return std::nullopt;
+        }
+        if (rule.kind == RuleKind::Regime && !rule.min && !rule.max) {
+            setError(where + " (" + rule.id +
+                     "): regime needs 'min' and/or 'max'");
+            return std::nullopt;
+        }
+        if (rule.kind == RuleKind::Tolerance && !rule.expect &&
+            rule.absTol == 0.0 && rule.relTolPct == 0.0) {
+            setError(where + " (" + rule.id +
+                     "): tolerance needs 'abs_tol' and/or "
+                     "'rel_tol_pct'");
+            return std::nullopt;
+        }
+        spec.rules.push_back(std::move(rule));
+    }
+    return spec;
+}
+
+void
+ResultIndex::add(const ResultsFile &file)
+{
+    for (const ResultRow &row : file.rows)
+        rows_[{row.experiment, row.cell}] = row;
+}
+
+bool
+ResultIndex::hasExperiment(const std::string &experiment) const
+{
+    auto it = rows_.lower_bound({experiment, ""});
+    return it != rows_.end() && it->first.first == experiment;
+}
+
+std::string
+ResultIndex::experimentOf(const std::string &default_experiment,
+                          const std::string &ref)
+{
+    size_t colon = ref.find(':');
+    return colon == std::string::npos ? default_experiment
+                                      : ref.substr(0, colon);
+}
+
+const ResultRow *
+ResultIndex::find(const std::string &default_experiment,
+                  const std::string &ref) const
+{
+    size_t colon = ref.find(':');
+    std::string experiment = colon == std::string::npos
+                                 ? default_experiment
+                                 : ref.substr(0, colon);
+    std::string cell =
+        colon == std::string::npos ? ref : ref.substr(colon + 1);
+    auto it = rows_.find({experiment, cell});
+    return it == rows_.end() ? nullptr : &it->second;
+}
+
+namespace
+{
+
+std::string
+formatValue(double v)
+{
+    std::ostringstream os;
+    os << v;
+    return os.str();
+}
+
+} // namespace
+
+RuleOutcome
+evaluateRule(const ShapeRule &rule, const ResultIndex &index)
+{
+    RuleOutcome outcome;
+    outcome.id = rule.id;
+
+    // A rule over an experiment with no rows at all is a skip: the
+    // producing bench did not run in this (partial) results set.
+    for (const std::string &ref : rule.cells) {
+        std::string experiment =
+            ResultIndex::experimentOf(rule.experiment, ref);
+        if (!index.hasExperiment(experiment)) {
+            outcome.status = RuleOutcome::Status::Skipped;
+            outcome.diagnostic =
+                "experiment '" + experiment + "' has no results";
+            return outcome;
+        }
+    }
+
+    std::vector<const ResultRow *> rows;
+    for (const std::string &ref : rule.cells) {
+        const ResultRow *row = index.find(rule.experiment, ref);
+        if (!row) {
+            // The bench ran but did not emit this cell: an emitter
+            // regression, not a partial run.
+            outcome.status = RuleOutcome::Status::Fail;
+            outcome.diagnostic = "cell '" + ref +
+                                 "' missing from experiment '" +
+                                 rule.experiment + "' results";
+            return outcome;
+        }
+        rows.push_back(row);
+    }
+
+    std::ostringstream diag;
+    bool passed = true;
+    switch (rule.kind) {
+      case RuleKind::Ordering: {
+          for (size_t i = 0; i + 1 < rows.size(); ++i) {
+              double a = rows[i]->measured;
+              double b = rows[i + 1]->measured;
+              bool ok = rule.strict ? a > b - rule.slack
+                                    : a >= b - rule.slack;
+              if (!ok) {
+                  passed = false;
+                  diag << "expected " << rule.cells[i] << " ("
+                       << formatValue(a) << ") "
+                       << (rule.strict ? ">" : ">=") << " "
+                       << rule.cells[i + 1] << " (" << formatValue(b)
+                       << ")";
+                  if (rule.slack > 0)
+                      diag << " within slack " << rule.slack;
+                  break;
+              }
+          }
+          if (passed) {
+              diag << "ordering holds:";
+              for (size_t i = 0; i < rows.size(); ++i)
+                  diag << (i ? " >= " : " ")
+                       << formatValue(rows[i]->measured);
+          }
+          break;
+      }
+      case RuleKind::Trend: {
+          bool increasing = rule.direction == "increasing";
+          for (size_t i = 0; i + 1 < rows.size(); ++i) {
+              double a = rows[i]->measured;
+              double b = rows[i + 1]->measured;
+              bool ok = increasing ? b >= a - rule.slack
+                                   : b <= a + rule.slack;
+              if (!ok) {
+                  passed = false;
+                  diag << "series not " << rule.direction << " at step "
+                       << rule.cells[i] << " -> " << rule.cells[i + 1]
+                       << " (" << formatValue(a) << " -> "
+                       << formatValue(b) << ", slack " << rule.slack
+                       << ")";
+                  break;
+              }
+          }
+          if (passed) {
+              diag << rule.direction << " series:";
+              for (const ResultRow *row : rows)
+                  diag << " " << formatValue(row->measured);
+          }
+          break;
+      }
+      case RuleKind::Tolerance: {
+          const ResultRow *row = rows[0];
+          std::optional<double> target =
+              rule.expect ? rule.expect : row->paper;
+          if (!target) {
+              passed = false;
+              diag << "cell '" << rule.cells[0]
+                   << "' carries no paper value and the rule sets no "
+                      "'expect'";
+              break;
+          }
+          double band = rule.absTol +
+                        rule.relTolPct / 100.0 * std::fabs(*target);
+          double delta = std::fabs(row->measured - *target);
+          passed = delta <= band;
+          diag << "measured " << formatValue(row->measured)
+               << " vs target " << formatValue(*target) << " (|delta| "
+               << formatValue(delta) << (passed ? " <= " : " > ")
+               << "band " << formatValue(band) << ")";
+          break;
+      }
+      case RuleKind::Regime: {
+          double v = rows[0]->measured;
+          if (rule.min && v < *rule.min) {
+              passed = false;
+              diag << "measured " << formatValue(v) << " below min "
+                   << formatValue(*rule.min);
+          } else if (rule.max && v > *rule.max) {
+              passed = false;
+              diag << "measured " << formatValue(v) << " above max "
+                   << formatValue(*rule.max);
+          } else {
+              diag << "measured " << formatValue(v) << " within [";
+              diag << (rule.min ? formatValue(*rule.min) : "-inf")
+                   << ", "
+                   << (rule.max ? formatValue(*rule.max) : "+inf")
+                   << "]";
+          }
+          break;
+      }
+    }
+
+    outcome.status =
+        passed ? RuleOutcome::Status::Pass : RuleOutcome::Status::Fail;
+    outcome.diagnostic = diag.str();
+    if (!passed && !rule.note.empty())
+        outcome.diagnostic += " — " + rule.note;
+    return outcome;
+}
+
+} // namespace report
+} // namespace vpprof

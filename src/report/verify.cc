@@ -1,0 +1,227 @@
+#include "report/verify.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "report/json.hh"
+
+namespace fs = std::filesystem;
+
+namespace vpprof
+{
+namespace report
+{
+
+namespace
+{
+
+std::optional<std::string>
+readFile(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+/** Sorted paths under `dir` whose filename matches prefix/suffix. */
+std::vector<fs::path>
+listMatching(const fs::path &dir, std::string_view prefix,
+             std::string_view suffix)
+{
+    std::vector<fs::path> paths;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        if (!entry.is_regular_file())
+            continue;
+        std::string name = entry.path().filename().string();
+        if (name.size() >= prefix.size() + suffix.size() &&
+            name.compare(0, prefix.size(), prefix) == 0 &&
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) == 0)
+            paths.push_back(entry.path());
+    }
+    std::sort(paths.begin(), paths.end());
+    return paths;
+}
+
+} // namespace
+
+VerifyReport
+runVerify(const VerifyOptions &options)
+{
+    VerifyReport report;
+    report.requireAll = options.requireAll;
+
+    fs::path golden(options.goldenDir);
+    fs::path results(options.resultsDir);
+    if (!fs::is_directory(golden)) {
+        report.errors.push_back("golden directory '" +
+                                options.goldenDir + "' does not exist");
+        return report;
+    }
+
+    // ---- load golden shape specs ---------------------------------
+    std::vector<RuleSpec> specs;
+    std::set<std::string> rule_ids;
+    for (const fs::path &path : listMatching(golden / "shape", "", ".json")) {
+        std::optional<std::string> text = readFile(path);
+        if (!text) {
+            report.errors.push_back("cannot read " + path.string());
+            continue;
+        }
+        std::string error;
+        std::optional<RuleSpec> spec = parseRuleSpec(*text, &error);
+        if (!spec) {
+            report.errors.push_back(path.string() + ": " + error);
+            continue;
+        }
+        for (const ShapeRule &rule : spec->rules) {
+            if (!rule_ids.insert(rule.id).second)
+                report.errors.push_back(path.string() +
+                                        ": duplicate rule id '" +
+                                        rule.id + "'");
+        }
+        specs.push_back(std::move(*spec));
+    }
+    if (specs.empty())
+        report.errors.push_back("no golden specs under " +
+                                (golden / "shape").string());
+
+    // ---- load emitted results ------------------------------------
+    ResultIndex index;
+    for (const fs::path &path :
+         listMatching(results, "RESULTS_", ".json")) {
+        std::optional<std::string> text = readFile(path);
+        if (!text) {
+            report.errors.push_back("cannot read " + path.string());
+            continue;
+        }
+        std::string error;
+        std::optional<ResultsFile> file =
+            parseResultsJson(*text, &error);
+        if (!file) {
+            report.errors.push_back(path.string() + ": " + error);
+            continue;
+        }
+        report.resultRowsLoaded += file->rows.size();
+        ++report.resultFilesLoaded;
+        index.add(*file);
+    }
+
+    // ---- evaluate rules ------------------------------------------
+    for (const RuleSpec &spec : specs) {
+        for (const ShapeRule &rule : spec.rules) {
+            RuleOutcome outcome = evaluateRule(rule, index);
+            switch (outcome.status) {
+              case RuleOutcome::Status::Pass: ++report.rulesPassed; break;
+              case RuleOutcome::Status::Fail: ++report.rulesFailed; break;
+              case RuleOutcome::Status::Skipped:
+                  ++report.rulesSkipped;
+                  break;
+            }
+            report.rules.push_back(std::move(outcome));
+        }
+    }
+
+    // ---- perf gate ------------------------------------------------
+    if (options.perfGate) {
+        std::vector<fs::path> baselines =
+            listMatching(golden / "perf", "BENCH_", ".json");
+        if (baselines.empty())
+            report.perf.notes.push_back(
+                "perf gate: no baselines under " +
+                (golden / "perf").string());
+        for (const fs::path &base_path : baselines) {
+            std::string name = base_path.filename().string();
+            std::optional<std::string> base_text = readFile(base_path);
+            if (!base_text) {
+                report.errors.push_back("cannot read " +
+                                        base_path.string());
+                continue;
+            }
+            std::string error;
+            std::optional<JsonValue> base_doc =
+                parseJson(*base_text, &error);
+            if (!base_doc) {
+                report.errors.push_back(base_path.string() + ": " +
+                                        error);
+                continue;
+            }
+            std::optional<std::string> cur_text =
+                readFile(results / name);
+            if (!cur_text) {
+                report.perf.notes.push_back(
+                    "perf gate: " + name +
+                    " not produced by this run, skipped");
+                continue;
+            }
+            std::optional<JsonValue> cur_doc =
+                parseJson(*cur_text, &error);
+            if (!cur_doc) {
+                report.errors.push_back((results / name).string() +
+                                        ": " + error);
+                continue;
+            }
+            PerfGateReport gate =
+                runPerfGate(*base_doc, *cur_doc, options.perf);
+            report.perf.benchesCompared += gate.benchesCompared;
+            report.perf.leavesCompared += gate.leavesCompared;
+            for (PerfFinding &finding : gate.regressions)
+                report.perf.regressions.push_back(std::move(finding));
+            for (std::string &note : gate.notes)
+                report.perf.notes.push_back(std::move(note));
+        }
+    }
+
+    return report;
+}
+
+std::string
+renderVerifyReport(const VerifyReport &report)
+{
+    std::ostringstream out;
+    for (const std::string &error : report.errors)
+        out << "ERROR  " << error << "\n";
+
+    for (const RuleOutcome &outcome : report.rules) {
+        const char *tag =
+            outcome.status == RuleOutcome::Status::Pass
+                ? "PASS "
+                : outcome.status == RuleOutcome::Status::Fail
+                      ? "FAIL "
+                      : report.requireAll ? "MISS " : "SKIP ";
+        out << tag << " " << outcome.id;
+        if (!outcome.diagnostic.empty())
+            out << ": " << outcome.diagnostic;
+        out << "\n";
+    }
+
+    for (const std::string &note : report.perf.notes)
+        out << "note   " << note << "\n";
+    for (const PerfFinding &finding : report.perf.regressions) {
+        out << "PERF  " << finding.bench << "." << finding.metric
+            << ": " << finding.current << " vs baseline "
+            << finding.baseline << " (margin " << finding.marginPct
+            << "%)\n";
+    }
+
+    out << "verify: " << report.rulesPassed << " passed, "
+        << report.rulesFailed << " failed, " << report.rulesSkipped
+        << (report.requireAll ? " missing" : " skipped") << " ("
+        << report.resultRowsLoaded << " rows from "
+        << report.resultFilesLoaded << " results files); perf gate: "
+        << report.perf.regressions.size() << " regressions over "
+        << report.perf.leavesCompared << " metrics in "
+        << report.perf.benchesCompared << " benches\n";
+    out << (report.ok() ? "verify: OK\n" : "verify: FAILED\n");
+    return out.str();
+}
+
+} // namespace report
+} // namespace vpprof

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit tests for the report JSON document model: strict parsing,
+ * escape handling, error diagnostics, and the shortest-round-trip
+ * number formatter the RESULTS fixed-point guarantee rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <limits>
+
+#include "report/json.hh"
+
+using namespace vpprof::report;
+
+TEST(JsonParse, Scalars)
+{
+    EXPECT_TRUE(parseJson("null")->isNull());
+    EXPECT_TRUE(parseJson("true")->asBool());
+    EXPECT_FALSE(parseJson("false")->asBool());
+    EXPECT_DOUBLE_EQ(parseJson("3.25")->asNumber(), 3.25);
+    EXPECT_DOUBLE_EQ(parseJson("-17")->asNumber(), -17.0);
+    EXPECT_DOUBLE_EQ(parseJson("1e3")->asNumber(), 1000.0);
+    EXPECT_EQ(parseJson("\"hi\"")->asString(), "hi");
+}
+
+TEST(JsonParse, NestedDocument)
+{
+    auto doc = parseJson(
+        "{\"a\": [1, 2, {\"b\": true}], \"c\": {\"d\": null}}");
+    ASSERT_TRUE(doc.has_value());
+    ASSERT_TRUE(doc->isObject());
+    const JsonValue *a = doc->get("a");
+    ASSERT_TRUE(a && a->isArray());
+    ASSERT_EQ(a->asArray().size(), 3u);
+    EXPECT_DOUBLE_EQ(a->asArray()[0].asNumber(), 1.0);
+    EXPECT_TRUE(a->asArray()[2].get("b")->asBool());
+    EXPECT_TRUE(doc->get("c")->get("d")->isNull());
+}
+
+TEST(JsonParse, StringEscapes)
+{
+    auto doc = parseJson("\"a\\\"b\\\\c\\n\\t\\u0041\"");
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->asString(), "a\"b\\c\n\tA");
+}
+
+TEST(JsonParse, SurrogatePairDecodesToUtf8)
+{
+    // U+1F600 as a surrogate pair.
+    auto doc = parseJson("\"\\uD83D\\uDE00\"");
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->asString(), "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonParse, RejectsMalformedDocuments)
+{
+    std::string error;
+    EXPECT_FALSE(parseJson("", &error).has_value());
+    EXPECT_FALSE(parseJson("{", &error).has_value());
+    EXPECT_FALSE(parseJson("{\"a\": 1,}", &error).has_value());
+    EXPECT_FALSE(parseJson("[1 2]", &error).has_value());
+    EXPECT_FALSE(parseJson("nulL", &error).has_value());
+    EXPECT_FALSE(parseJson("\"unterminated", &error).has_value());
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(JsonParse, RejectsTrailingGarbage)
+{
+    std::string error;
+    EXPECT_FALSE(parseJson("{} extra", &error).has_value());
+    EXPECT_NE(error.find("trailing"), std::string::npos) << error;
+    // Trailing whitespace is fine.
+    EXPECT_TRUE(parseJson("{}  \n\t ").has_value());
+}
+
+TEST(JsonParse, DepthLimitStopsRunawayNesting)
+{
+    std::string deep(500, '[');
+    deep += std::string(500, ']');
+    std::string error;
+    EXPECT_FALSE(parseJson(deep, &error).has_value());
+    EXPECT_NE(error.find("deep"), std::string::npos) << error;
+}
+
+TEST(JsonValueAccessors, DefaultsForMissingMembers)
+{
+    auto doc = parseJson("{\"n\": 4, \"s\": \"x\"}");
+    EXPECT_DOUBLE_EQ(doc->numberOr("n", -1.0), 4.0);
+    EXPECT_DOUBLE_EQ(doc->numberOr("absent", -1.0), -1.0);
+    EXPECT_DOUBLE_EQ(doc->numberOr("s", -1.0), -1.0);
+    EXPECT_EQ(doc->stringOr("s", "d"), "x");
+    EXPECT_EQ(doc->stringOr("absent", "d"), "d");
+    EXPECT_EQ(doc->get("absent"), nullptr);
+}
+
+TEST(JsonNumberFormat, IntegersPrintWithoutDecimalPoint)
+{
+    EXPECT_EQ(formatJsonNumber(0.0), "0");
+    EXPECT_EQ(formatJsonNumber(42.0), "42");
+    EXPECT_EQ(formatJsonNumber(-7.0), "-7");
+    // Counter-sized integers (every stat this repo emits) stay exact.
+    std::string big = formatJsonNumber(4503599627370496.0);
+    EXPECT_EQ(std::strtod(big.c_str(), nullptr), 4503599627370496.0);
+}
+
+TEST(JsonNumberFormat, RoundTripsExactly)
+{
+    const double values[] = {0.1,
+                             1.0 / 3.0,
+                             87.19999999999999,
+                             -2.5e-7,
+                             123456.789,
+                             std::numeric_limits<double>::denorm_min()};
+    for (double v : values) {
+        std::string s = formatJsonNumber(v);
+        EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+    }
+}
+
+TEST(JsonNumberFormat, FormattedNumbersParseBack)
+{
+    const double values[] = {0.1, 33.333333333333336, -41.8, 1e20};
+    for (double v : values) {
+        auto doc = parseJson(formatJsonNumber(v));
+        ASSERT_TRUE(doc.has_value()) << formatJsonNumber(v);
+        EXPECT_EQ(doc->asNumber(), v);
+    }
+}
+
+TEST(JsonQuote, EscapesControlAndSpecialCharacters)
+{
+    EXPECT_EQ(quoteJsonString("plain"), "\"plain\"");
+    EXPECT_EQ(quoteJsonString("a\"b"), "\"a\\\"b\"");
+    EXPECT_EQ(quoteJsonString("a\\b"), "\"a\\\\b\"");
+    EXPECT_EQ(quoteJsonString("a\nb"), "\"a\\nb\"");
+    std::string quoted = quoteJsonString(std::string(1, '\x01'));
+    auto doc = parseJson(quoted);
+    ASSERT_TRUE(doc.has_value()) << quoted;
+    EXPECT_EQ(doc->asString(), std::string(1, '\x01'));
+}

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Perf gate tests over synthetic BENCH_session.json documents: the
+ * counter/timing noise-class split, margins and absolute slack,
+ * improvements never failing, and graceful notes for schema drift and
+ * partial runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "report/json.hh"
+#include "report/perf_gate.hh"
+
+using namespace vpprof::report;
+
+namespace
+{
+
+JsonValue
+doc(const char *text)
+{
+    std::string error;
+    std::optional<JsonValue> parsed = parseJson(text, &error);
+    EXPECT_TRUE(parsed.has_value()) << error;
+    return parsed ? *parsed : JsonValue();
+}
+
+bool
+hasRegression(const PerfGateReport &report, const std::string &metric)
+{
+    return std::any_of(report.regressions.begin(),
+                       report.regressions.end(),
+                       [&](const PerfFinding &f) {
+                           return f.metric == metric;
+                       });
+}
+
+const char *kBaseline = R"({
+  "bench_a": {"wall_ms": 100.0, "jobs": 1, "vm_runs": 10,
+              "replays": 20,
+              "metrics": {"counters": {"trace.vm_runs": 10},
+                          "gauges": {"trace.resident_records": 999},
+                          "histograms": {"replay.ms":
+                              {"count": 20, "sum": 50.0,
+                               "p50": 2.0, "p95": 4.0, "p99": 5.0}}}}
+})";
+
+} // namespace
+
+TEST(PerfGate, IdenticalRunPasses)
+{
+    PerfGateReport report =
+        runPerfGate(doc(kBaseline), doc(kBaseline), PerfGateConfig{});
+    EXPECT_TRUE(report.ok());
+    EXPECT_EQ(report.benchesCompared, 1u);
+    EXPECT_GT(report.leavesCompared, 5u);
+}
+
+TEST(PerfGate, CounterIncreaseFailsAtZeroMargin)
+{
+    JsonValue current = doc(kBaseline);
+    current.asObject()["bench_a"].asObject()["vm_runs"] =
+        JsonValue(11.0);
+    PerfGateReport report =
+        runPerfGate(doc(kBaseline), current, PerfGateConfig{});
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(hasRegression(report, "vm_runs"));
+}
+
+TEST(PerfGate, CounterAbsSlackAbsorbsOneOffEvents)
+{
+    JsonValue current = doc(kBaseline);
+    current.asObject()["bench_a"].asObject()["vm_runs"] =
+        JsonValue(11.0);
+    PerfGateConfig config;
+    config.counterAbsSlack = 1.0;
+    EXPECT_TRUE(runPerfGate(doc(kBaseline), current, config).ok());
+    config.counterAbsSlack = 0.5;
+    EXPECT_FALSE(runPerfGate(doc(kBaseline), current, config).ok());
+}
+
+TEST(PerfGate, TimingMarginIsWide)
+{
+    JsonValue current = doc(kBaseline);
+    current.asObject()["bench_a"].asObject()["wall_ms"] =
+        JsonValue(140.0);
+    // +40% within the default 50% margin.
+    EXPECT_TRUE(
+        runPerfGate(doc(kBaseline), current, PerfGateConfig{}).ok());
+
+    current.asObject()["bench_a"].asObject()["wall_ms"] =
+        JsonValue(151.0);
+    PerfGateReport report =
+        runPerfGate(doc(kBaseline), current, PerfGateConfig{});
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(hasRegression(report, "wall_ms"));
+}
+
+TEST(PerfGate, HistogramStatsClassifyByLeafName)
+{
+    JsonValue current = doc(kBaseline);
+    auto &hist = current.asObject()["bench_a"]
+                     .asObject()["metrics"]
+                     .asObject()["histograms"]
+                     .asObject()["replay.ms"]
+                     .asObject();
+    // p99 is a timing: +40% passes the default 50% margin.
+    hist["p99"] = JsonValue(7.0);
+    EXPECT_TRUE(
+        runPerfGate(doc(kBaseline), current, PerfGateConfig{}).ok());
+    // count is a counter: +1 fails at the default 0% margin.
+    hist["count"] = JsonValue(21.0);
+    PerfGateReport report =
+        runPerfGate(doc(kBaseline), current, PerfGateConfig{});
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(hasRegression(report, "metrics.replay.ms.count"));
+}
+
+TEST(PerfGate, ImprovementsNeverFail)
+{
+    JsonValue current = doc(kBaseline);
+    auto &entry = current.asObject()["bench_a"].asObject();
+    entry["wall_ms"] = JsonValue(1.0);
+    entry["vm_runs"] = JsonValue(0.0);
+    EXPECT_TRUE(
+        runPerfGate(doc(kBaseline), current, PerfGateConfig{}).ok());
+}
+
+TEST(PerfGate, JobsAndGaugesAreNotGated)
+{
+    JsonValue current = doc(kBaseline);
+    auto &entry = current.asObject()["bench_a"].asObject();
+    entry["jobs"] = JsonValue(8.0);
+    entry["metrics"]
+        .asObject()["gauges"]
+        .asObject()["trace.resident_records"] = JsonValue(5000.0);
+    EXPECT_TRUE(
+        runPerfGate(doc(kBaseline), current, PerfGateConfig{}).ok());
+}
+
+TEST(PerfGate, MissingBenchesAreNotesNotFailures)
+{
+    PerfGateReport report = runPerfGate(
+        doc(kBaseline),
+        doc(R"({"bench_b": {"wall_ms": 5.0}})"), PerfGateConfig{});
+    EXPECT_TRUE(report.ok());
+    EXPECT_EQ(report.benchesCompared, 0u);
+    ASSERT_GE(report.notes.size(), 2u);
+    bool skipped = false, unbaselined = false;
+    for (const std::string &note : report.notes) {
+        skipped |= note.find("bench_a") != std::string::npos;
+        unbaselined |= note.find("bench_b") != std::string::npos;
+    }
+    EXPECT_TRUE(skipped);
+    EXPECT_TRUE(unbaselined);
+}
+
+TEST(PerfGate, NonSessionEntriesAreSkippedWithNote)
+{
+    const char *odd = R"({"summary": {"total_runs": 3}})";
+    PerfGateReport report =
+        runPerfGate(doc(odd), doc(odd), PerfGateConfig{});
+    EXPECT_TRUE(report.ok());
+    EXPECT_EQ(report.benchesCompared, 0u);
+    ASSERT_FALSE(report.notes.empty());
+    EXPECT_NE(report.notes[0].find("not a session entry"),
+              std::string::npos);
+}
+
+TEST(PerfGate, ConfigurableCounterMargin)
+{
+    JsonValue current = doc(kBaseline);
+    current.asObject()["bench_a"].asObject()["replays"] =
+        JsonValue(21.0);
+    PerfGateConfig config;
+    config.counterMarginPct = 10.0;
+    EXPECT_TRUE(runPerfGate(doc(kBaseline), current, config).ok());
+    config.counterMarginPct = 0.0;
+    EXPECT_FALSE(runPerfGate(doc(kBaseline), current, config).ok());
+}

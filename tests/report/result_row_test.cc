@@ -1,0 +1,112 @@
+/**
+ * @file
+ * RESULTS_<bench>.json round-trip tests: the emitted document must
+ * parse back into ResultRows identical to the ones the bench emitted,
+ * and a write -> parse -> write cycle must be a fixed point.
+ */
+
+#include <gtest/gtest.h>
+
+#include "report/result_row.hh"
+
+using namespace vpprof::report;
+
+namespace
+{
+
+ResultsFile
+sampleFile()
+{
+    ResultsFile file;
+    file.bench = "bench_fig_5_1_5_2";
+    file.rows = {
+        {"fig_5_1", "average/fsm", 87.5, std::nullopt, "%"},
+        {"fig_5_1", "average/prof@90", 99.6, std::nullopt, "%"},
+        {"table_5_1", "average@90", 28.0, 24.0, "%"},
+        {"table_5_1", "average@50", 46.7, 47.0, "%"},
+        {"fig_2_3", "suite/extreme_decile_mass_pct", 87.19999999999999,
+         std::nullopt, "%"},
+        {"critical_path", "m88ksim/shorten_factor", 21.0, std::nullopt,
+         "x"},
+        {"counts", "suite/producers", 123456.0, std::nullopt, ""},
+    };
+    return file;
+}
+
+} // namespace
+
+TEST(ResultsFileName, Convention)
+{
+    EXPECT_EQ(resultsFileNameFor("bench_fig_2_2"),
+              "RESULTS_bench_fig_2_2.json");
+}
+
+TEST(ResultsJson, RoundTripsIntoIdenticalRows)
+{
+    ResultsFile file = sampleFile();
+    std::string text = writeResultsJson(file);
+
+    std::string error;
+    std::optional<ResultsFile> parsed = parseResultsJson(text, &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_EQ(*parsed, file);
+}
+
+TEST(ResultsJson, WriteParseWriteIsFixedPoint)
+{
+    std::string first = writeResultsJson(sampleFile());
+    std::optional<ResultsFile> parsed = parseResultsJson(first);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(writeResultsJson(*parsed), first);
+}
+
+TEST(ResultsJson, OmitsAbsentPaperAndUnit)
+{
+    ResultsFile file;
+    file.bench = "b";
+    file.rows = {{"e", "c", 1.5, std::nullopt, ""}};
+    std::string text = writeResultsJson(file);
+    EXPECT_EQ(text.find("\"paper\""), std::string::npos);
+    EXPECT_EQ(text.find("\"unit\""), std::string::npos);
+
+    std::optional<ResultsFile> parsed = parseResultsJson(text);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_FALSE(parsed->rows[0].paper.has_value());
+    EXPECT_TRUE(parsed->rows[0].unit.empty());
+}
+
+TEST(ResultsJson, RejectsMissingRequiredFields)
+{
+    std::string error;
+    EXPECT_FALSE(parseResultsJson("not json", &error).has_value());
+    EXPECT_FALSE(error.empty());
+
+    EXPECT_FALSE(parseResultsJson("[]", &error).has_value());
+    EXPECT_FALSE(
+        parseResultsJson("{\"rows\": []}", &error).has_value());
+    EXPECT_NE(error.find("bench"), std::string::npos) << error;
+
+    EXPECT_FALSE(
+        parseResultsJson("{\"bench\": \"b\"}", &error).has_value());
+    EXPECT_NE(error.find("rows"), std::string::npos) << error;
+
+    // A row without 'measured' is an emitter bug, not a default-0.
+    EXPECT_FALSE(parseResultsJson("{\"bench\": \"b\", \"rows\": "
+                                  "[{\"experiment\": \"e\", "
+                                  "\"cell\": \"c\"}]}",
+                                  &error)
+                     .has_value());
+    EXPECT_NE(error.find("measured"), std::string::npos) << error;
+}
+
+TEST(ResultsJson, RejectsWrongFieldTypes)
+{
+    std::string error;
+    EXPECT_FALSE(parseResultsJson("{\"bench\": \"b\", \"rows\": "
+                                  "[{\"experiment\": \"e\", \"cell\": "
+                                  "\"c\", \"measured\": 1, "
+                                  "\"paper\": \"24\"}]}",
+                                  &error)
+                     .has_value());
+    EXPECT_NE(error.find("paper"), std::string::npos) << error;
+}

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Shape-rule engine tests: every rule kind gets a passing and a
+ * failing synthetic input, plus the skip-vs-fail semantics partial CI
+ * runs depend on (absent experiment -> skip; absent cell within a
+ * present experiment -> fail) and the spec parser's strictness.
+ */
+
+#include <gtest/gtest.h>
+
+#include "report/shape_rules.hh"
+
+using namespace vpprof::report;
+
+namespace
+{
+
+ResultIndex
+indexOf(std::vector<ResultRow> rows)
+{
+    ResultsFile file;
+    file.bench = "test";
+    file.rows = std::move(rows);
+    ResultIndex index;
+    index.add(file);
+    return index;
+}
+
+ShapeRule
+baseRule(RuleKind kind, std::vector<std::string> cells)
+{
+    ShapeRule rule;
+    rule.id = "t.rule";
+    rule.experiment = "exp";
+    rule.kind = kind;
+    rule.cells = std::move(cells);
+    return rule;
+}
+
+} // namespace
+
+TEST(OrderingRule, PassesAndFails)
+{
+    ResultIndex index = indexOf({{"exp", "a", 99.6, std::nullopt, "%"},
+                                 {"exp", "b", 92.3, std::nullopt, "%"},
+                                 {"exp", "c", 87.5, std::nullopt, "%"}});
+    ShapeRule rule = baseRule(RuleKind::Ordering, {"a", "b", "c"});
+    EXPECT_EQ(evaluateRule(rule, index).status,
+              RuleOutcome::Status::Pass);
+
+    // Reversed order fails and names the offending adjacent pair.
+    rule.cells = {"c", "b", "a"};
+    RuleOutcome outcome = evaluateRule(rule, index);
+    EXPECT_EQ(outcome.status, RuleOutcome::Status::Fail);
+    EXPECT_NE(outcome.diagnostic.find("expected c"), std::string::npos)
+        << outcome.diagnostic;
+}
+
+TEST(OrderingRule, SlackAbsorbsSmallInversions)
+{
+    ResultIndex index = indexOf({{"exp", "a", 90.0, std::nullopt, "%"},
+                                 {"exp", "b", 90.5, std::nullopt, "%"}});
+    ShapeRule rule = baseRule(RuleKind::Ordering, {"a", "b"});
+    EXPECT_EQ(evaluateRule(rule, index).status,
+              RuleOutcome::Status::Fail);
+    rule.slack = 1.0;
+    EXPECT_EQ(evaluateRule(rule, index).status,
+              RuleOutcome::Status::Pass);
+}
+
+TEST(OrderingRule, StrictRejectsTies)
+{
+    ResultIndex index = indexOf({{"exp", "a", 50.0, std::nullopt, "%"},
+                                 {"exp", "b", 50.0, std::nullopt, "%"}});
+    ShapeRule rule = baseRule(RuleKind::Ordering, {"a", "b"});
+    EXPECT_EQ(evaluateRule(rule, index).status,
+              RuleOutcome::Status::Pass);
+    rule.strict = true;
+    EXPECT_EQ(evaluateRule(rule, index).status,
+              RuleOutcome::Status::Fail);
+}
+
+TEST(TrendRule, IncreasingAndDecreasing)
+{
+    ResultIndex index =
+        indexOf({{"exp", "t90", 59.0, std::nullopt, "%"},
+                 {"exp", "t70", 76.3, std::nullopt, "%"},
+                 {"exp", "t50", 87.5, std::nullopt, "%"}});
+    ShapeRule rule = baseRule(RuleKind::Trend, {"t90", "t70", "t50"});
+    rule.direction = "increasing";
+    EXPECT_EQ(evaluateRule(rule, index).status,
+              RuleOutcome::Status::Pass);
+
+    rule.direction = "decreasing";
+    RuleOutcome outcome = evaluateRule(rule, index);
+    EXPECT_EQ(outcome.status, RuleOutcome::Status::Fail);
+    EXPECT_NE(outcome.diagnostic.find("not decreasing"),
+              std::string::npos)
+        << outcome.diagnostic;
+}
+
+TEST(TrendRule, SlackAbsorbsCounterMoves)
+{
+    ResultIndex index = indexOf({{"exp", "a", 10.0, std::nullopt, ""},
+                                 {"exp", "b", 9.4, std::nullopt, ""},
+                                 {"exp", "c", 12.0, std::nullopt, ""}});
+    ShapeRule rule = baseRule(RuleKind::Trend, {"a", "b", "c"});
+    rule.direction = "increasing";
+    EXPECT_EQ(evaluateRule(rule, index).status,
+              RuleOutcome::Status::Fail);
+    rule.slack = 0.75;
+    EXPECT_EQ(evaluateRule(rule, index).status,
+              RuleOutcome::Status::Pass);
+}
+
+TEST(ToleranceRule, ExplicitExpectTarget)
+{
+    ResultIndex index =
+        indexOf({{"exp", "v", 28.0, std::nullopt, "%"}});
+    ShapeRule rule = baseRule(RuleKind::Tolerance, {"v"});
+    rule.expect = 24.0;
+    rule.absTol = 5.0;
+    EXPECT_EQ(evaluateRule(rule, index).status,
+              RuleOutcome::Status::Pass);
+    rule.absTol = 2.0;
+    EXPECT_EQ(evaluateRule(rule, index).status,
+              RuleOutcome::Status::Fail);
+}
+
+TEST(ToleranceRule, FallsBackToRowPaperValue)
+{
+    ResultIndex index = indexOf({{"exp", "v", 46.7, 47.0, "%"}});
+    ShapeRule rule = baseRule(RuleKind::Tolerance, {"v"});
+    rule.relTolPct = 10.0;
+    EXPECT_EQ(evaluateRule(rule, index).status,
+              RuleOutcome::Status::Pass);
+
+    // No paper value and no expect: that is a spec/emitter mismatch.
+    ResultIndex bare =
+        indexOf({{"exp", "v", 46.7, std::nullopt, "%"}});
+    RuleOutcome outcome = evaluateRule(rule, bare);
+    EXPECT_EQ(outcome.status, RuleOutcome::Status::Fail);
+    EXPECT_NE(outcome.diagnostic.find("no paper value"),
+              std::string::npos)
+        << outcome.diagnostic;
+}
+
+TEST(RegimeRule, BandsAndHalfOpenBounds)
+{
+    ResultIndex index = indexOf({{"exp", "v", 91.7, std::nullopt, "%"}});
+    ShapeRule rule = baseRule(RuleKind::Regime, {"v"});
+    rule.min = 90.0;
+    EXPECT_EQ(evaluateRule(rule, index).status,
+              RuleOutcome::Status::Pass);
+    rule.min = 95.0;
+    RuleOutcome below = evaluateRule(rule, index);
+    EXPECT_EQ(below.status, RuleOutcome::Status::Fail);
+    EXPECT_NE(below.diagnostic.find("below min"), std::string::npos);
+
+    rule.min.reset();
+    rule.max = 91.0;
+    RuleOutcome above = evaluateRule(rule, index);
+    EXPECT_EQ(above.status, RuleOutcome::Status::Fail);
+    EXPECT_NE(above.diagnostic.find("above max"), std::string::npos);
+}
+
+TEST(RuleEvaluation, AbsentExperimentSkips)
+{
+    ResultIndex index = indexOf({{"other", "v", 1.0, std::nullopt, ""}});
+    ShapeRule rule = baseRule(RuleKind::Regime, {"v"});
+    rule.min = 0.0;
+    RuleOutcome outcome = evaluateRule(rule, index);
+    EXPECT_EQ(outcome.status, RuleOutcome::Status::Skipped);
+    EXPECT_NE(outcome.diagnostic.find("no results"), std::string::npos);
+}
+
+TEST(RuleEvaluation, MissingCellInPresentExperimentFails)
+{
+    ResultIndex index = indexOf({{"exp", "v", 1.0, std::nullopt, ""}});
+    ShapeRule rule = baseRule(RuleKind::Regime, {"w"});
+    rule.min = 0.0;
+    RuleOutcome outcome = evaluateRule(rule, index);
+    EXPECT_EQ(outcome.status, RuleOutcome::Status::Fail);
+    EXPECT_NE(outcome.diagnostic.find("missing"), std::string::npos);
+}
+
+TEST(RuleEvaluation, CrossExperimentReferences)
+{
+    ResultsFile a;
+    a.bench = "ba";
+    a.rows = {{"fig_5_1", "average/prof@90", 99.6, std::nullopt, "%"}};
+    ResultsFile b;
+    b.bench = "bb";
+    b.rows = {{"fig_5_2", "average/prof@90", 59.0, std::nullopt, "%"}};
+    ResultIndex index;
+    index.add(a);
+    index.add(b);
+
+    ShapeRule rule = baseRule(
+        RuleKind::Ordering,
+        {"average/prof@90", "fig_5_2:average/prof@90"});
+    rule.experiment = "fig_5_1";
+    EXPECT_EQ(evaluateRule(rule, index).status,
+              RuleOutcome::Status::Pass);
+
+    // If only the other experiment's bench did not run, skip.
+    ResultIndex partial;
+    partial.add(a);
+    EXPECT_EQ(evaluateRule(rule, partial).status,
+              RuleOutcome::Status::Skipped);
+}
+
+TEST(RuleEvaluation, FailureDiagnosticCarriesNote)
+{
+    ResultIndex index = indexOf({{"exp", "v", 5.0, std::nullopt, ""}});
+    ShapeRule rule = baseRule(RuleKind::Regime, {"v"});
+    rule.min = 10.0;
+    rule.note = "paper section 5 bar";
+    RuleOutcome outcome = evaluateRule(rule, index);
+    EXPECT_NE(outcome.diagnostic.find("paper section 5 bar"),
+              std::string::npos)
+        << outcome.diagnostic;
+}
+
+TEST(RuleSpecParse, AcceptsFullSpec)
+{
+    std::string error;
+    auto spec = parseRuleSpec(
+        R"({"experiment": "fig_5_1", "rules": [
+            {"id": "r1", "kind": "ordering",
+             "cells": ["a", "b"], "strict": true, "slack": 0.5},
+            {"id": "r2", "kind": "trend", "direction": "increasing",
+             "cells": ["a", "b", "c"]},
+            {"id": "r3", "kind": "tolerance", "cell": "a",
+             "expect": 24, "abs_tol": 5, "rel_tol_pct": 10},
+            {"id": "r4", "kind": "regime", "cell": "a",
+             "min": 0, "max": 100, "note": "percentage"}]})",
+        &error);
+    ASSERT_TRUE(spec.has_value()) << error;
+    EXPECT_EQ(spec->experiment, "fig_5_1");
+    ASSERT_EQ(spec->rules.size(), 4u);
+    EXPECT_EQ(spec->rules[0].kind, RuleKind::Ordering);
+    EXPECT_TRUE(spec->rules[0].strict);
+    EXPECT_DOUBLE_EQ(spec->rules[0].slack, 0.5);
+    EXPECT_EQ(spec->rules[1].direction, "increasing");
+    EXPECT_DOUBLE_EQ(*spec->rules[2].expect, 24.0);
+    EXPECT_DOUBLE_EQ(spec->rules[2].absTol, 5.0);
+    EXPECT_DOUBLE_EQ(*spec->rules[3].min, 0.0);
+    EXPECT_DOUBLE_EQ(*spec->rules[3].max, 100.0);
+    EXPECT_EQ(spec->rules[3].note, "percentage");
+    EXPECT_EQ(spec->rules[3].experiment, "fig_5_1");
+}
+
+TEST(RuleSpecParse, RejectsUnknownKeys)
+{
+    std::string error;
+    auto spec = parseRuleSpec(
+        R"({"experiment": "e", "rules": [
+            {"id": "r", "kind": "regime", "cell": "a",
+             "minimum": 0}]})",
+        &error);
+    EXPECT_FALSE(spec.has_value());
+    EXPECT_NE(error.find("minimum"), std::string::npos) << error;
+}
+
+TEST(RuleSpecParse, RejectsStructurallyBrokenRules)
+{
+    std::string error;
+    // Ordering with one cell.
+    EXPECT_FALSE(parseRuleSpec(R"({"experiment": "e", "rules": [
+                     {"id": "r", "kind": "ordering", "cell": "a"}]})",
+                               &error)
+                     .has_value());
+    // Trend without a direction.
+    EXPECT_FALSE(parseRuleSpec(R"({"experiment": "e", "rules": [
+                     {"id": "r", "kind": "trend",
+                      "cells": ["a", "b"]}]})",
+                               &error)
+                     .has_value());
+    // Regime without bounds.
+    EXPECT_FALSE(parseRuleSpec(R"({"experiment": "e", "rules": [
+                     {"id": "r", "kind": "regime", "cell": "a"}]})",
+                               &error)
+                     .has_value());
+    // Tolerance with a zero-width band and no expect.
+    EXPECT_FALSE(parseRuleSpec(R"({"experiment": "e", "rules": [
+                     {"id": "r", "kind": "tolerance", "cell": "a"}]})",
+                               &error)
+                     .has_value());
+    // Unknown kind.
+    EXPECT_FALSE(parseRuleSpec(R"({"experiment": "e", "rules": [
+                     {"id": "r", "kind": "vibes", "cell": "a"}]})",
+                               &error)
+                     .has_value());
+    EXPECT_NE(error.find("vibes"), std::string::npos) << error;
+    // Missing top-level fields.
+    EXPECT_FALSE(parseRuleSpec("{}", &error).has_value());
+}

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * End-to-end tests for the verify driver: golden specs + RESULTS +
+ * BENCH baselines laid out in temp directories, exercised through
+ * runVerify() exactly as `vpprof_cli verify` does. Includes the
+ * regression drill the harness exists for: deliberately perturbing a
+ * predictor (evaluating the profile classifier on a program whose
+ * directives were stripped) must fail a named golden rule.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/evaluators.hh"
+#include "core/experiment.hh"
+#include "core/session.hh"
+#include "predictors/profile_classifier.hh"
+#include "report/result_row.hh"
+#include "report/verify.hh"
+
+namespace fs = std::filesystem;
+using namespace vpprof;
+using namespace vpprof::report;
+
+namespace
+{
+
+/** Fresh golden/ + results/ layout under the test temp dir. */
+fs::path
+makeLayout(const std::string &name)
+{
+    fs::path root = fs::path(testing::TempDir()) / ("verify_" + name);
+    fs::remove_all(root);
+    fs::create_directories(root / "golden" / "shape");
+    fs::create_directories(root / "golden" / "perf");
+    fs::create_directories(root / "results");
+    return root;
+}
+
+void
+writeText(const fs::path &path, const std::string &text)
+{
+    std::ofstream out(path, std::ios::binary);
+    out << text;
+    ASSERT_TRUE(out.good()) << path;
+}
+
+VerifyOptions
+optionsFor(const fs::path &root)
+{
+    VerifyOptions options;
+    options.goldenDir = (root / "golden").string();
+    options.resultsDir = (root / "results").string();
+    return options;
+}
+
+const char *kSpec = R"({"experiment": "fig_x", "rules": [
+  {"id": "fig_x.order", "kind": "ordering", "cells": ["a", "b"]},
+  {"id": "fig_x.band", "kind": "regime", "cell": "a",
+   "min": 0, "max": 100}]})";
+
+void
+writeResults(const fs::path &root, double a, double b)
+{
+    ResultsFile file;
+    file.bench = "bench_x";
+    file.rows = {{"fig_x", "a", a, std::nullopt, "%"},
+                 {"fig_x", "b", b, std::nullopt, "%"}};
+    writeText(root / "results" / resultsFileNameFor(file.bench),
+              writeResultsJson(file));
+}
+
+} // namespace
+
+TEST(Verify, CleanRunPasses)
+{
+    fs::path root = makeLayout("clean");
+    writeText(root / "golden" / "shape" / "fig_x.json", kSpec);
+    writeResults(root, 90.0, 80.0);
+
+    VerifyReport report = runVerify(optionsFor(root));
+    EXPECT_TRUE(report.ok()) << renderVerifyReport(report);
+    EXPECT_EQ(report.rulesPassed, 2u);
+    EXPECT_EQ(report.resultFilesLoaded, 1u);
+    EXPECT_EQ(report.resultRowsLoaded, 2u);
+
+    std::string rendered = renderVerifyReport(report);
+    EXPECT_NE(rendered.find("PASS  fig_x.order"), std::string::npos)
+        << rendered;
+    EXPECT_NE(rendered.find("verify: OK"), std::string::npos);
+}
+
+TEST(Verify, ViolatedRuleIsNamedInTheReport)
+{
+    fs::path root = makeLayout("violated");
+    writeText(root / "golden" / "shape" / "fig_x.json", kSpec);
+    writeResults(root, 70.0, 80.0);  // ordering inverted
+
+    VerifyReport report = runVerify(optionsFor(root));
+    EXPECT_FALSE(report.ok());
+    EXPECT_EQ(report.rulesFailed, 1u);
+
+    std::string rendered = renderVerifyReport(report);
+    EXPECT_NE(rendered.find("FAIL  fig_x.order"), std::string::npos)
+        << rendered;
+    EXPECT_NE(rendered.find("verify: FAILED"), std::string::npos);
+}
+
+TEST(Verify, SkippedRulesPassUnlessRequireAll)
+{
+    fs::path root = makeLayout("skipped");
+    writeText(root / "golden" / "shape" / "fig_x.json", kSpec);
+    // No results at all: every rule's experiment is absent.
+
+    VerifyOptions options = optionsFor(root);
+    VerifyReport report = runVerify(options);
+    EXPECT_TRUE(report.ok()) << renderVerifyReport(report);
+    EXPECT_EQ(report.rulesSkipped, 2u);
+    EXPECT_NE(renderVerifyReport(report).find("SKIP "),
+              std::string::npos);
+
+    options.requireAll = true;
+    VerifyReport strict = runVerify(options);
+    EXPECT_FALSE(strict.ok());
+    EXPECT_NE(renderVerifyReport(strict).find("MISS "),
+              std::string::npos);
+}
+
+TEST(Verify, PerfRegressionFailsTheRun)
+{
+    fs::path root = makeLayout("perf");
+    writeText(root / "golden" / "shape" / "fig_x.json", kSpec);
+    writeResults(root, 90.0, 80.0);
+    writeText(root / "golden" / "perf" / "BENCH_session.json",
+              R"({"bench_x": {"wall_ms": 10.0, "vm_runs": 5}})");
+    writeText(root / "results" / "BENCH_session.json",
+              R"({"bench_x": {"wall_ms": 10.0, "vm_runs": 6}})");
+
+    VerifyReport report = runVerify(optionsFor(root));
+    EXPECT_FALSE(report.ok());
+    ASSERT_EQ(report.perf.regressions.size(), 1u);
+    EXPECT_EQ(report.perf.regressions[0].metric, "vm_runs");
+    EXPECT_NE(renderVerifyReport(report).find("PERF"),
+              std::string::npos);
+
+    // The same layout passes with the gate disabled.
+    VerifyOptions no_gate = optionsFor(root);
+    no_gate.perfGate = false;
+    EXPECT_TRUE(runVerify(no_gate).ok());
+
+    // ... or with a counter margin generous enough for the delta.
+    VerifyOptions wide = optionsFor(root);
+    wide.perf.counterMarginPct = 25.0;
+    EXPECT_TRUE(runVerify(wide).ok());
+}
+
+TEST(Verify, BaselineWithoutCurrentBenchIsANote)
+{
+    fs::path root = makeLayout("nobench");
+    writeText(root / "golden" / "shape" / "fig_x.json", kSpec);
+    writeResults(root, 90.0, 80.0);
+    writeText(root / "golden" / "perf" / "BENCH_session.json",
+              R"({"bench_x": {"wall_ms": 10.0}})");
+
+    VerifyReport report = runVerify(optionsFor(root));
+    EXPECT_TRUE(report.ok()) << renderVerifyReport(report);
+    bool noted = false;
+    for (const std::string &note : report.perf.notes)
+        noted |= note.find("not produced") != std::string::npos;
+    EXPECT_TRUE(noted);
+}
+
+TEST(Verify, SetupProblemsAreErrors)
+{
+    // Golden dir missing entirely.
+    VerifyOptions options;
+    options.goldenDir = (fs::path(testing::TempDir()) /
+                         "verify_no_such_dir" / "golden")
+                            .string();
+    VerifyReport missing = runVerify(options);
+    EXPECT_FALSE(missing.ok());
+    ASSERT_FALSE(missing.errors.empty());
+    EXPECT_NE(missing.errors[0].find("does not exist"),
+              std::string::npos);
+
+    // Golden dir present but with no specs: verification would be
+    // vacuous, so it is an error, not a silent pass.
+    fs::path root = makeLayout("nospecs");
+    VerifyReport empty = runVerify(optionsFor(root));
+    EXPECT_FALSE(empty.ok());
+
+    // Duplicate rule ids across spec files.
+    fs::path dup = makeLayout("dup");
+    writeText(dup / "golden" / "shape" / "a.json", kSpec);
+    writeText(dup / "golden" / "shape" / "b.json", kSpec);
+    VerifyReport duped = runVerify(optionsFor(dup));
+    EXPECT_FALSE(duped.ok());
+    bool found = false;
+    for (const std::string &error : duped.errors)
+        found |= error.find("duplicate rule id") != std::string::npos;
+    EXPECT_TRUE(found);
+
+    // A malformed RESULTS file is an error even if rules would pass.
+    fs::path bad = makeLayout("badresults");
+    writeText(bad / "golden" / "shape" / "fig_x.json", kSpec);
+    writeResults(bad, 90.0, 80.0);
+    writeText(bad / "results" / "RESULTS_bench_broken.json",
+              "{\"bench\": 3}");
+    VerifyReport broken = runVerify(optionsFor(bad));
+    EXPECT_FALSE(broken.ok());
+}
+
+/**
+ * The acceptance drill: perturb a predictor and the harness must say
+ * which golden rule caught it. The profile classifier's whole signal
+ * is the compiler-inserted opcode directives, so evaluating it on the
+ * *unannotated* program is a faithful "predictor wired to nothing"
+ * regression: it accepts no correct predictions. The golden regime
+ * rule pins a floor under corrects-accepted; the perturbed run must
+ * fail exactly that rule.
+ */
+TEST(Verify, PerturbedPredictorFailsNamedRule)
+{
+    Session session{SessionConfig{}};
+    WorkloadSuite workloads;
+    const Workload *w = workloads.find("compress");
+    ASSERT_NE(w, nullptr);
+
+    InserterConfig cfg;
+    Program annotated =
+        session.annotatedProgram(*w, trainingInputsFor(*w, 0), cfg);
+    ProfileClassifier clean_classifier;
+    ClassificationAccuracy clean = session.evaluateClassification(
+        *w, 0, annotated, clean_classifier);
+    ProfileClassifier perturbed_classifier;
+    ClassificationAccuracy perturbed = session.evaluateClassification(
+        *w, 0, w->program(), perturbed_classifier);
+
+    // The drill only means something if the clean predictor works and
+    // the perturbed one is genuinely broken.
+    ASSERT_GT(clean.correctAccuracy(), 0.0);
+    ASSERT_EQ(perturbed.correctAccuracy(), 0.0);
+
+    fs::path root = makeLayout("perturbed");
+    double floor = clean.correctAccuracy() / 2.0;
+    writeText(root / "golden" / "shape" / "classify.json",
+              "{\"experiment\": \"classify\", \"rules\": [\n"
+              "  {\"id\": \"classify.corrects_accepted_floor\",\n"
+              "   \"kind\": \"regime\",\n"
+              "   \"cell\": \"compress/corrects_accepted_pct\",\n"
+              "   \"min\": " + std::to_string(floor) + ",\n"
+              "   \"note\": \"profile classifier must accept correct "
+              "predictions (fig 5.2 regime)\"}]}");
+
+    auto emit = [&](double value) {
+        ResultsFile file;
+        file.bench = "bench_classify";
+        file.rows = {{"classify", "compress/corrects_accepted_pct",
+                      value, std::nullopt, "%"}};
+        writeText(root / "results" / resultsFileNameFor(file.bench),
+                  writeResultsJson(file));
+    };
+
+    emit(clean.correctAccuracy());
+    EXPECT_TRUE(runVerify(optionsFor(root)).ok());
+
+    emit(perturbed.correctAccuracy());
+    VerifyReport report = runVerify(optionsFor(root));
+    EXPECT_FALSE(report.ok());
+    ASSERT_EQ(report.rules.size(), 1u);
+    EXPECT_EQ(report.rules[0].id, "classify.corrects_accepted_floor");
+    EXPECT_EQ(report.rules[0].status, RuleOutcome::Status::Fail);
+    EXPECT_NE(renderVerifyReport(report).find(
+                  "FAIL  classify.corrects_accepted_floor"),
+              std::string::npos)
+        << renderVerifyReport(report);
+}

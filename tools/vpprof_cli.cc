@@ -16,6 +16,7 @@
  *   vpprof_cli critpath <workload> [input]
  *   vpprof_cli blocks   <workload> [threshold]
  *   vpprof_cli correlate <workload>
+ *   vpprof_cli verify   --golden DIR [--results DIR]
  *
  * Commands that analyze workload traces share one Session: the VM runs
  * each (workload, input) at most once per invocation, and with
@@ -27,6 +28,12 @@
  * through the sampled-profiling subsystem instead of the exact
  * collector. Bad sampling values are hard errors (exit 1), never a
  * silent fall-back to exact profiling.
+ *
+ * `verify` checks a bench run (RESULTS_*.json + BENCH_*.json in
+ * --results, default '.') against the committed golden specs
+ * (--golden DIR holding shape/ rule specs and perf/ baselines).
+ * Exit 0 = every rule passed and no perf regression; exit 1 =
+ * verification failed; structured fatals (exit 1) for setup errors.
  */
 
 #include <cstdio>
@@ -36,6 +43,7 @@
 #include <vector>
 
 #include "common/telemetry/telemetry.hh"
+#include "report/verify.hh"
 #include "compiler/cfg.hh"
 #include "core/evaluators.hh"
 #include "core/experiment.hh"
@@ -68,6 +76,18 @@ usage()
                  "span timeline (Perfetto-loadable)\n"
                  "  --metrics-out FILE write a metrics snapshot "
                  "(counters/gauges/histograms) as JSON\n"
+                 "verification (verify command only):\n"
+                 "  --golden DIR      golden specs: shape/*.json rules "
+                 "+ perf/BENCH_*.json baselines\n"
+                 "  --results DIR     bench output to check "
+                 "(default .)\n"
+                 "  --require-all     skipped rules (bench not run) "
+                 "become failures\n"
+                 "  --no-perf         skip the BENCH_* perf gate\n"
+                 "  --perf-wall-margin PCT    timing regression "
+                 "margin (default 50)\n"
+                 "  --perf-counter-margin PCT counter regression "
+                 "margin (default 0)\n"
                  "sampled profiling (profile command only):\n"
                  "  --sample-rate N   observe ~1 in N trace records "
                  "(default 1 = exact)\n"
@@ -100,7 +120,9 @@ usage()
                  "  correlate <workload>                 Section 4 "
                  "metrics\n"
                  "  blocks   <workload> [thresh]         basic-block "
-                 "schedule\n");
+                 "schedule\n"
+                 "  verify   --golden DIR                golden shape "
+                 "checks + perf gate\n");
     return 2;
 }
 
@@ -430,6 +452,31 @@ parseUintFlag(const char *flag, const char *value)
     return static_cast<uint64_t>(parsed);
 }
 
+/** Strict non-negative percentage flag value. */
+double
+parsePctFlag(const char *flag, const char *value)
+{
+    if (!value || !*value)
+        vpprof_fatal(flag, " requires a percentage value");
+    char *end = nullptr;
+    double parsed = std::strtod(value, &end);
+    if (*end != '\0' || parsed < 0.0)
+        vpprof_fatal(flag, ": '", value,
+                     "' is not a non-negative percentage");
+    return parsed;
+}
+
+int
+cmdVerify(const report::VerifyOptions &options)
+{
+    if (options.goldenDir.empty())
+        vpprof_fatal("verify requires --golden DIR (the committed "
+                     "golden/ directory)");
+    report::VerifyReport rep = report::runVerify(options);
+    std::printf("%s", report::renderVerifyReport(rep).c_str());
+    return rep.ok() ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -440,6 +487,7 @@ main(int argc, char **argv)
     bool policy_given = false, sampling_given = false;
     bool show_stats = false;
     std::string trace_json_path, metrics_out_path;
+    report::VerifyOptions verify_opts;
 
     // Flags may appear before or after the command; positionals keep
     // their relative order. Bad flag values are structured fatal
@@ -470,6 +518,26 @@ main(int argc, char **argv)
             if (!value)
                 vpprof_fatal("--metrics-out requires a file path");
             metrics_out_path = value;
+        } else if (flag == "--golden") {
+            if (!value)
+                vpprof_fatal("--golden requires a directory");
+            verify_opts.goldenDir = value;
+        } else if (flag == "--results") {
+            if (!value)
+                vpprof_fatal("--results requires a directory");
+            verify_opts.resultsDir = value;
+        } else if (flag == "--require-all") {
+            verify_opts.requireAll = true;
+            continue;  // boolean flag: no value to consume
+        } else if (flag == "--no-perf") {
+            verify_opts.perfGate = false;
+            continue;  // boolean flag: no value to consume
+        } else if (flag == "--perf-wall-margin") {
+            verify_opts.perf.wallMarginPct =
+                parsePctFlag("--perf-wall-margin", value);
+        } else if (flag == "--perf-counter-margin") {
+            verify_opts.perf.counterMarginPct =
+                parsePctFlag("--perf-counter-margin", value);
         } else if (flag == "--sample-rate") {
             sampling.rate = parseUintFlag("--sample-rate", value);
             if (sampling.rate == 0)
@@ -533,6 +601,8 @@ main(int argc, char **argv)
     auto dispatch = [&]() -> int {
         if (cmd == "list")
             return cmdList(suite);
+        if (cmd == "verify")
+            return cmdVerify(verify_opts);
         if (nrest < 2)
             return usage();
 
