@@ -33,20 +33,21 @@ main()
     std::vector<std::vector<ClassificationAccuracy>> rows(
         workloads.size());
 
-    // All counter widths consume one replay per workload.
+    // All counter widths consume one batched replay per workload:
+    // each trace block decodes once and fans to every evaluator.
     session().runner().forEach(workloads.size(), [&](size_t i) {
         const Workload &w = *workloads[i];
         std::vector<SaturatingClassifier> classifiers;
         std::vector<ClassificationEvaluator> evals;
         classifiers.reserve(configs.size());
         evals.reserve(configs.size());
-        std::vector<TraceSink *> sinks;
+        EvaluatorBank bank;
         for (auto [bits, init] : configs) {
             classifiers.emplace_back(bits, init);
             evals.emplace_back(classifiers.back());
-            sinks.push_back(&evals.back());
+            bank.addBlockSink(&evals.back());
         }
-        session().replayInto(w, 0, sinks);
+        session().replayInto(w, 0, bank);
         for (const ClassificationEvaluator &eval : evals)
             rows[i].push_back(eval.result());
     });

@@ -43,25 +43,22 @@ main()
         size_t total = 3 * penalties.size();
         std::vector<StridePredictor> preds;
         std::vector<DataflowEngine> engines;
-        std::vector<DirectiveOverrideSink> views;
         preds.reserve(2 * penalties.size());
         engines.reserve(total);
-        views.reserve(penalties.size());
-        std::vector<TraceSink *> sinks;
+        EvaluatorBank bank;
         for (unsigned penalty : penalties) {
             IlpConfig cfg;
             cfg.mispredictPenalty = penalty;
             engines.emplace_back(cfg, VpPolicy::None, nullptr);
-            sinks.push_back(&engines.back());
+            bank.addRecordSink(&engines.back());
             preds.emplace_back(paperFiniteConfig(true));
             engines.emplace_back(cfg, VpPolicy::Fsm, &preds.back());
-            sinks.push_back(&engines.back());
+            bank.addRecordSink(&engines.back());
             preds.emplace_back(paperFiniteConfig(false));
             engines.emplace_back(cfg, VpPolicy::Profile, &preds.back());
-            views.emplace_back(annotated, &engines.back());
-            sinks.push_back(&views.back());
+            bank.addRecordSink(&engines.back(), &annotated);
         }
-        session().replayInto(w, 0, sinks);
+        session().replayInto(w, 0, bank);
 
         for (size_t p = 0; p < penalties.size(); ++p) {
             rows[i].base.push_back(engines[3 * p].result());

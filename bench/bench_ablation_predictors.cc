@@ -104,10 +104,15 @@ main()
         PredictorScore sp_score(sp, false);
         PredictorScore fcm_score(fcm, false);
         PredictorScore hybrid_score(hybrid, true);
-        DirectiveOverrideSink hybrid_view(annotated, &hybrid_score);
 
-        session().replayInto(w, 0, {&lvp_score, &sp_score, &fcm_score,
-                                    &hybrid_view});
+        // One batched pass; the hybrid's slot sees the annotated
+        // program's directive column, the rest see the raw trace.
+        EvaluatorBank bank;
+        bank.addRecordSink(&lvp_score);
+        bank.addRecordSink(&sp_score);
+        bank.addRecordSink(&fcm_score);
+        bank.addRecordSink(&hybrid_score, &annotated);
+        session().replayInto(w, 0, bank);
         rows[i] = {lvp_score.pct(), sp_score.pct(), fcm_score.pct(),
                    hybrid_score.pct()};
     });

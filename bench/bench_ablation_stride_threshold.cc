@@ -99,14 +99,10 @@ main()
         }
 
         std::vector<HybridScore> scores(cuts.size());
-        std::vector<DirectiveOverrideSink> views;
-        views.reserve(cuts.size());
-        std::vector<TraceSink *> sinks;
-        for (size_t c = 0; c < cuts.size(); ++c) {
-            views.emplace_back(annotated[c], &scores[c]);
-            sinks.push_back(&views[c]);
-        }
-        session().replayInto(w, 0, sinks);
+        EvaluatorBank bank;
+        for (size_t c = 0; c < cuts.size(); ++c)
+            bank.addRecordSink(&scores[c], &annotated[c]);
+        session().replayInto(w, 0, bank);
 
         for (const HybridScore &score : scores)
             rows[i].push_back(score.pct());

@@ -36,10 +36,8 @@ main()
         Program annotated = annotatedAt(name, 90.0);
 
         std::vector<FiniteTableEvaluator> evals;
-        std::vector<DirectiveOverrideSink> views;
         evals.reserve(2 * sizes.size());
-        views.reserve(2 * sizes.size());
-        std::vector<TraceSink *> sinks;
+        EvaluatorBank bank;
         for (size_t entries : sizes) {
             PredictorConfig fsm_cfg = paperFiniteConfig(true);
             fsm_cfg.numEntries = entries;
@@ -47,13 +45,11 @@ main()
             prof_cfg.numEntries = entries;
 
             evals.emplace_back(VpPolicy::Fsm, fsm_cfg);
-            views.emplace_back(base, &evals.back());
-            sinks.push_back(&views.back());
+            bank.addBlockSink(&evals.back(), &base);
             evals.emplace_back(VpPolicy::Profile, prof_cfg);
-            views.emplace_back(annotated, &evals.back());
-            sinks.push_back(&views.back());
+            bank.addBlockSink(&evals.back(), &annotated);
         }
-        session().replayInto(w, 0, sinks);
+        session().replayInto(w, 0, bank);
 
         for (size_t s = 0; s < sizes.size(); ++s) {
             FiniteTableStats fsm = evals[2 * s].result();

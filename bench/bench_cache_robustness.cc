@@ -70,6 +70,11 @@ main()
     banner("Trace-cache robustness: integrity machinery overhead",
            "beyond the paper -- cost of checksums + atomic commits");
 
+    // This bench measures the v2 record-stream integrity machinery
+    // (per-file checksum vs the v1 no-integrity baseline), so pin the
+    // capture format: an unpinned session would commit v3 files.
+    ::setenv("VPPROF_TRACE_FORMAT", "2", 1);
+
     const Workload &w = *suite().find("li");
     const std::string wname(w.name());
     std::string dir =

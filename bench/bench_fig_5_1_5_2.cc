@@ -49,20 +49,17 @@ main()
 
         SaturatingClassifier fsm;
         ClassificationEvaluator fsm_eval(fsm);
-        DirectiveOverrideSink fsm_view(base, &fsm_eval);
 
         std::vector<ProfileClassifier> classifiers(kThresholds.size());
         std::vector<ClassificationEvaluator> prof_evals;
-        std::vector<DirectiveOverrideSink> prof_views;
         prof_evals.reserve(kThresholds.size());
-        prof_views.reserve(kThresholds.size());
-        std::vector<TraceSink *> sinks = {&fsm_view};
+        EvaluatorBank bank;
+        bank.addBlockSink(&fsm_eval, &base);
         for (size_t t = 0; t < kThresholds.size(); ++t) {
             prof_evals.emplace_back(classifiers[t]);
-            prof_views.emplace_back(annotated[t], &prof_evals[t]);
-            sinks.push_back(&prof_views[t]);
+            bank.addBlockSink(&prof_evals[t], &annotated[t]);
         }
-        session().replayInto(w, 0, sinks);
+        session().replayInto(w, 0, bank);
 
         row.fsm = fsm_eval.result();
         for (const ClassificationEvaluator &eval : prof_evals)

@@ -65,19 +65,18 @@ main()
 
         std::vector<StridePredictor> prof_preds;
         std::vector<DataflowEngine> prof_engines;
-        std::vector<DirectiveOverrideSink> prof_views;
         prof_preds.reserve(kThresholds.size());
         prof_engines.reserve(kThresholds.size());
-        prof_views.reserve(kThresholds.size());
-        std::vector<TraceSink *> sinks = {&base_engine, &fsm_engine};
+        EvaluatorBank bank;
+        bank.addRecordSink(&base_engine);
+        bank.addRecordSink(&fsm_engine);
         for (size_t t = 0; t < kThresholds.size(); ++t) {
             prof_preds.emplace_back(paperFiniteConfig(false));
             prof_engines.emplace_back(machine_cfg, VpPolicy::Profile,
                                       &prof_preds[t]);
-            prof_views.emplace_back(annotated[t], &prof_engines[t]);
-            sinks.push_back(&prof_views[t]);
+            bank.addRecordSink(&prof_engines[t], &annotated[t]);
         }
-        session().replayInto(w, 0, sinks);
+        session().replayInto(w, 0, bank);
 
         rows[i].base = base_engine.result();
         rows[i].fsm = fsm_engine.result();

@@ -34,6 +34,7 @@
 
 #include "common/atomic_file.hh"
 #include "common/telemetry/telemetry.hh"
+#include "core/batch_replay.hh"
 #include "core/evaluators.hh"
 #include "core/experiment.hh"
 #include "core/session.hh"

@@ -1,0 +1,67 @@
+#include "core/batch_replay.hh"
+
+#include "common/logging.hh"
+
+namespace vpprof
+{
+
+int
+EvaluatorBank::dirColumnFor(const Program *annotation)
+{
+    if (annotation == nullptr)
+        return -1;
+    for (size_t i = 0; i < programs_.size(); ++i)
+        if (programs_[i] == annotation)
+            return static_cast<int>(i);
+    programs_.push_back(annotation);
+    dirColumns_.emplace_back(kTraceBlockCapacity);
+    return static_cast<int>(programs_.size() - 1);
+}
+
+void
+EvaluatorBank::addRecordSink(TraceSink *sink, const Program *annotation)
+{
+    if (sink == nullptr)
+        vpprof_panic("EvaluatorBank::addRecordSink: null sink");
+    Slot slot;
+    slot.sink = sink;
+    slot.dirColumn = dirColumnFor(annotation);
+    slots_.push_back(slot);
+}
+
+void
+EvaluatorBank::addBlockSink(TraceBlockSink *sink, const Program *annotation)
+{
+    if (sink == nullptr)
+        vpprof_panic("EvaluatorBank::addBlockSink: null sink");
+    Slot slot;
+    slot.block = sink;
+    slot.dirColumn = dirColumnFor(annotation);
+    slots_.push_back(slot);
+}
+
+void
+EvaluatorBank::consumeBlock(const TraceBlockView &block)
+{
+    // Rewrite the directive column once per distinct annotation
+    // program; every slot sharing that program reuses the fill.
+    for (size_t p = 0; p < programs_.size(); ++p) {
+        const Program &prog = *programs_[p];
+        uint8_t *col = dirColumns_[p].data();
+        for (uint32_t i = 0; i < block.count; ++i)
+            col[i] = static_cast<uint8_t>(prog.at(block.pc[i]).directive);
+    }
+    for (const Slot &slot : slots_) {
+        TraceBlockView view = block;
+        if (slot.dirColumn >= 0)
+            view.directive = dirColumns_[slot.dirColumn].data();
+        if (slot.block != nullptr) {
+            slot.block->consumeBlock(view);
+        } else {
+            for (uint32_t i = 0; i < view.count; ++i)
+                slot.sink->record(view.record(i));
+        }
+    }
+}
+
+} // namespace vpprof

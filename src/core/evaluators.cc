@@ -12,14 +12,13 @@ ClassificationEvaluator::ClassificationEvaluator(Classifier &classifier)
 }
 
 void
-ClassificationEvaluator::record(const TraceRecord &rec)
+ClassificationEvaluator::step(uint64_t pc, int64_t value,
+                              Directive directive)
 {
-    if (!rec.writesReg)
-        return;
-    Prediction pred = predictor_.predict(rec.pc, rec.directive);
-    bool correct = pred.hit && pred.value == rec.value;
+    Prediction pred = predictor_.predict(pc, directive);
+    bool correct = pred.hit && pred.value == value;
     if (pred.hit) {
-        bool take = classifier_.shouldPredict(rec.pc, rec.directive);
+        bool take = classifier_.shouldPredict(pc, directive);
         if (correct) {
             ++acc_.corrects;
             if (take)
@@ -29,9 +28,28 @@ ClassificationEvaluator::record(const TraceRecord &rec)
             if (!take)
                 ++acc_.mispredictionsCaught;
         }
-        classifier_.train(rec.pc, correct);
+        classifier_.train(pc, correct);
     }
-    predictor_.update(rec.pc, rec.value, correct, rec.directive, true);
+    predictor_.update(pc, value, correct, directive, true);
+}
+
+void
+ClassificationEvaluator::record(const TraceRecord &rec)
+{
+    if (!rec.writesReg)
+        return;
+    step(rec.pc, rec.value, rec.directive);
+}
+
+void
+ClassificationEvaluator::consumeBlock(const TraceBlockView &block)
+{
+    for (uint32_t i = 0; i < block.count; ++i) {
+        if (!block.writesReg[i])
+            continue;
+        step(block.pc[i], block.value[i],
+             static_cast<Directive>(block.directive[i]));
+    }
 }
 
 FiniteTableEvaluator::FiniteTableEvaluator(VpPolicy policy,
@@ -45,29 +63,45 @@ FiniteTableEvaluator::FiniteTableEvaluator(VpPolicy policy,
 }
 
 void
-FiniteTableEvaluator::record(const TraceRecord &rec)
+FiniteTableEvaluator::step(uint64_t pc, int64_t value, Directive directive)
 {
-    if (!rec.writesReg)
-        return;
     ++stats_.producers;
-    bool tagged = rec.directive != Directive::None;
+    bool tagged = directive != Directive::None;
     bool candidate = policy_ == VpPolicy::Profile ? tagged : true;
     if (candidate)
         ++stats_.candidates;
 
-    Prediction pred = predictor_.predict(rec.pc, rec.directive);
+    Prediction pred = predictor_.predict(pc, directive);
     bool use = policy_ == VpPolicy::Fsm
         ? pred.hit && pred.counterApproves
         : pred.hit && tagged;
-    bool correct = pred.hit && pred.value == rec.value;
+    bool correct = pred.hit && pred.value == value;
     if (use) {
         if (correct)
             ++stats_.correctTaken;
         else
             ++stats_.incorrectTaken;
     }
-    predictor_.update(rec.pc, rec.value, correct, rec.directive,
-                      candidate);
+    predictor_.update(pc, value, correct, directive, candidate);
+}
+
+void
+FiniteTableEvaluator::record(const TraceRecord &rec)
+{
+    if (!rec.writesReg)
+        return;
+    step(rec.pc, rec.value, rec.directive);
+}
+
+void
+FiniteTableEvaluator::consumeBlock(const TraceBlockView &block)
+{
+    for (uint32_t i = 0; i < block.count; ++i) {
+        if (!block.writesReg[i])
+            continue;
+        step(block.pc[i], block.value[i],
+             static_cast<Directive>(block.directive[i]));
+    }
 }
 
 FiniteTableStats
@@ -84,25 +118,41 @@ HybridTableEvaluator::HybridTableEvaluator(const HybridConfig &config)
 }
 
 void
-HybridTableEvaluator::record(const TraceRecord &rec)
+HybridTableEvaluator::step(uint64_t pc, int64_t value, Directive directive)
 {
-    if (!rec.writesReg)
-        return;
     ++stats_.producers;
-    bool tagged = rec.directive != Directive::None;
+    bool tagged = directive != Directive::None;
     if (tagged)
         ++stats_.candidates;
 
-    Prediction pred = predictor_.predict(rec.pc, rec.directive);
-    bool correct = pred.hit && pred.value == rec.value;
+    Prediction pred = predictor_.predict(pc, directive);
+    bool correct = pred.hit && pred.value == value;
     if (pred.hit && tagged) {
         if (correct)
             ++stats_.correctTaken;
         else
             ++stats_.incorrectTaken;
     }
-    predictor_.update(rec.pc, rec.value, correct, rec.directive,
-                      tagged);
+    predictor_.update(pc, value, correct, directive, tagged);
+}
+
+void
+HybridTableEvaluator::record(const TraceRecord &rec)
+{
+    if (!rec.writesReg)
+        return;
+    step(rec.pc, rec.value, rec.directive);
+}
+
+void
+HybridTableEvaluator::consumeBlock(const TraceBlockView &block)
+{
+    for (uint32_t i = 0; i < block.count; ++i) {
+        if (!block.writesReg[i])
+            continue;
+        step(block.pc[i], block.value[i],
+             static_cast<Directive>(block.directive[i]));
+    }
 }
 
 FiniteTableStats

@@ -21,6 +21,7 @@
 #include "predictors/hybrid_predictor.hh"
 #include "predictors/stride_predictor.hh"
 #include "vm/trace.hh"
+#include "vm/trace_block.hh"
 
 namespace vpprof
 {
@@ -62,7 +63,7 @@ class DirectiveOverrideSink : public TraceSink
  * stride predictor attempts every value-producing instruction; the
  * classifier rules each attempt in or out.
  */
-class ClassificationEvaluator : public TraceSink
+class ClassificationEvaluator : public TraceSink, public TraceBlockSink
 {
   public:
     /** @param classifier Ruled-in/out decisions; held by reference. */
@@ -70,9 +71,14 @@ class ClassificationEvaluator : public TraceSink
 
     void record(const TraceRecord &rec) override;
 
+    /** Column-batch path; bit-identical to record-at-a-time replay. */
+    void consumeBlock(const TraceBlockView &block) override;
+
     const ClassificationAccuracy &result() const { return acc_; }
 
   private:
+    void step(uint64_t pc, int64_t value, Directive directive);
+
     Classifier &classifier_;
     StridePredictor predictor_;
     ClassificationAccuracy acc_;
@@ -83,17 +89,22 @@ class ClassificationEvaluator : public TraceSink
  * driven either by per-entry saturating counters (VpPolicy::Fsm) or by
  * opcode directives with allocate-tagged-only (VpPolicy::Profile).
  */
-class FiniteTableEvaluator : public TraceSink
+class FiniteTableEvaluator : public TraceSink, public TraceBlockSink
 {
   public:
     FiniteTableEvaluator(VpPolicy policy, const PredictorConfig &config);
 
     void record(const TraceRecord &rec) override;
 
+    /** Column-batch path; bit-identical to record-at-a-time replay. */
+    void consumeBlock(const TraceBlockView &block) override;
+
     /** Stats so far (evictions included). */
     FiniteTableStats result() const;
 
   private:
+    void step(uint64_t pc, int64_t value, Directive directive);
+
     VpPolicy policy_;
     StridePredictor predictor_;
     FiniteTableStats stats_;
@@ -103,16 +114,21 @@ class FiniteTableEvaluator : public TraceSink
  * The hybrid two-table loop (Section 3.2's proposal): stride plus
  * last-value sub-tables, steered and allocated purely by directives.
  */
-class HybridTableEvaluator : public TraceSink
+class HybridTableEvaluator : public TraceSink, public TraceBlockSink
 {
   public:
     explicit HybridTableEvaluator(const HybridConfig &config);
 
     void record(const TraceRecord &rec) override;
 
+    /** Column-batch path; bit-identical to record-at-a-time replay. */
+    void consumeBlock(const TraceBlockView &block) override;
+
     FiniteTableStats result() const;
 
   private:
+    void step(uint64_t pc, int64_t value, Directive directive);
+
     HybridPredictor predictor_;
     FiniteTableStats stats_;
 };

@@ -28,7 +28,8 @@ struct TraceRepository::Entry
 
     // Immutable once `produced` is set (release-published): replays
     // read these concurrently without locks.
-    std::vector<TraceRecord> records;  ///< resident form (may be empty)
+    ColumnarTrace columnar;  ///< resident encoded form
+    bool resident = false;   ///< columnar holds the trace
     bool onDisk = false;
     bool tempFile = false;  ///< spill file we own (delete at teardown)
     /**
@@ -63,6 +64,23 @@ traceFileName(const std::string &workload, size_t input_idx)
     os << workload << ".in" << input_idx << ".trace";
     return os.str();
 }
+
+/** Block sink that re-assembles records for a record-level consumer. */
+class RecordFanBlockSink : public TraceBlockSink
+{
+  public:
+    explicit RecordFanBlockSink(TraceSink *sink) : sink_(sink) {}
+
+    void
+    consumeBlock(const TraceBlockView &block) override
+    {
+        for (uint32_t i = 0; i < block.count; ++i)
+            sink_->record(block.record(i));
+    }
+
+  private:
+    TraceSink *sink_;
+};
 
 } // namespace
 
@@ -153,23 +171,35 @@ TraceRepository::adoptCacheFile(Entry &entry, const std::string &path)
 
     entry.fileVerified.store(true, std::memory_order_relaxed);
     if (resident) {
-        std::vector<TraceRecord> records;
-        records.reserve(count);
-        TraceRecord rec;
-        while (reader->next(rec))
-            records.push_back(rec);
-        if (reader->status() != TraceIoStatus::Ok ||
-            records.size() != count) {
-            // The file shrank between validate() and the bulk read:
-            // un-reserve the budget and treat it like any corruption.
-            counters_.residentRecords.add(-static_cast<int64_t>(count));
-            quarantine(path, reader->status());
-            return AdoptOutcome::Quarantined;
+        if (reader->readColumnar(entry.columnar)) {
+            // v3: the file payload IS the resident form — one buffer
+            // copy, no decode.
+            entry.resident = true;
+        } else {
+            // v1/v2: transcode the record stream into the columnar
+            // resident form — this is also how a legacy cache
+            // migrates into a v3 session transparently.
+            ColumnarTraceBuilder builder;
+            TraceRecord rec;
+            while (reader->next(rec))
+                builder.record(rec);
+            if (reader->status() != TraceIoStatus::Ok ||
+                reader->recordsRead() != count) {
+                // The file shrank between validate() and the bulk
+                // read: un-reserve the budget and treat it like any
+                // corruption.
+                counters_.residentRecords.add(
+                    -static_cast<int64_t>(count));
+                quarantine(path, reader->status());
+                return AdoptOutcome::Quarantined;
+            }
+            entry.columnar = builder.take();
+            entry.resident = true;
         }
-        entry.records = std::move(records);
     } else {
         entry.onDisk = true;
     }
+    counters_.v3BytesMapped.add(reader->mappedBytes());
 
     entry.result.instructionsExecuted = count;
     entry.result.halted = true;
@@ -183,13 +213,23 @@ TraceRepository::adoptCacheFile(Entry &entry, const std::string &path)
 
 bool
 TraceRepository::writeTraceFile(const std::string &path,
-                                const std::vector<TraceRecord> &records)
+                                const ColumnarTrace &trace)
 {
     VPPROF_TIMED_SPAN("trace.spill");
-    TraceFileWriter writer(path);
-    for (const TraceRecord &rec : records)
-        writer.record(rec);
-    TraceIoStatus st = writer.close();
+    TraceIoStatus st;
+    if (defaultTraceFormat() == TraceFormat::V3) {
+        // The capture is already encoded: persisting is a framed
+        // buffer write, not a second per-record encode.
+        st = writeColumnarTraceFile(path, trace);
+    } else {
+        // Pinned to v2 (VPPROF_TRACE_FORMAT=2): decode the resident
+        // blocks back into records for the fixed-width writer.
+        TraceFileWriter writer(path, TraceFormat::V2);
+        TraceBlockScratch scratch;
+        RecordFanBlockSink fan(&writer);
+        replayColumnarTrace(trace, scratch, &fan);
+        st = writer.close();
+    }
     if (st == TraceIoStatus::Ok)
         return true;
     counters_.spillFailures.add();
@@ -253,17 +293,18 @@ TraceRepository::produce(Entry &entry, const Workload &workload,
     }
 
     // First use in any process (or the cached copy was unusable):
-    // interpret the workload once.
-    VectorTraceSink captured;
+    // interpret the workload once, encoding columnar blocks as the
+    // records stream out — the capture is never held as AoS records.
+    ColumnarTraceBuilder builder;
     {
         VPPROF_TIMED_SPAN("trace.capture");
         entry.result = runProgram(workload.program(),
-                                  workload.input(input_idx), &captured,
+                                  workload.input(input_idx), &builder,
                                   workload.maxInstructions());
     }
-    std::vector<TraceRecord> records = captured.takeTrace();
+    ColumnarTrace trace = builder.take();
 
-    if (!cachePath.empty() && writeTraceFile(cachePath, records)) {
+    if (!cachePath.empty() && writeTraceFile(cachePath, trace)) {
         entry.path = cachePath;
         // We produced those bytes through the checksumming writer:
         // they are proved for this process without a re-read.
@@ -278,15 +319,16 @@ TraceRepository::produce(Entry &entry, const Workload &workload,
         std::lock_guard<std::mutex> lock(mutex_);
         fits = static_cast<uint64_t>(
                    counters_.residentRecords.value()) +
-                   records.size() <=
+                   trace.records <=
                config_.residentRecordBudget;
         if (fits)
             counters_.residentRecords.add(
-                static_cast<int64_t>(records.size()));
+                static_cast<int64_t>(trace.records));
     }
 
     if (fits) {
-        entry.records = std::move(records);
+        entry.columnar = std::move(trace);
+        entry.resident = true;
     } else {
         // Over budget: this trace lives on disk. Reuse the persistent
         // cache file when we just wrote one; otherwise spill into a
@@ -305,7 +347,7 @@ TraceRepository::produce(Entry &entry, const Workload &workload,
                                         "the file");
                     break;
                   default:
-                    spilled = writeTraceFile(spillPath, records);
+                    spilled = writeTraceFile(spillPath, trace);
                     break;
                 }
             }
@@ -350,6 +392,8 @@ TraceRepository::replayFromDisk(Entry &entry, const Workload &workload,
             sink->record(rec);
             ++delivered;
         }
+        counters_.v3BlocksDecoded.add(reader.blocksDecoded());
+        counters_.v3BytesMapped.add(reader.mappedBytes());
         return reader.status() == TraceIoStatus::Ok &&
                delivered == reader.recordCount();
     };
@@ -424,8 +468,53 @@ TraceRepository::replay(const Workload &workload, size_t input_idx,
         } else if (entry.onDisk) {
             replayFromDisk(entry, workload, input_idx, sink);
         } else {
-            for (const TraceRecord &rec : entry.records)
-                sink->record(rec);
+            TraceBlockScratch scratch;
+            RecordFanBlockSink fan(sink);
+            replayColumnarTrace(entry.columnar, scratch, &fan);
+            counters_.v3BlocksDecoded.add(entry.columnar.blocks);
+        }
+    }
+
+    counters_.replays.add();
+    return entry.result;
+}
+
+RunResult
+TraceRepository::replayBatch(const Workload &workload, size_t input_idx,
+                             EvaluatorBank &bank)
+{
+    Entry &entry = entryFor(workload, input_idx);
+    if (!entry.produced.load(std::memory_order_acquire)) {
+        std::lock_guard<std::mutex> lock(entry.produceMutex);
+        if (!entry.produced.load(std::memory_order_relaxed))
+            produce(entry, workload, input_idx);
+    }
+
+    {
+        VPPROF_TIMED_SPAN("trace.replay");
+        if (entry.reinterpret) {
+            // Degraded mode (spill failed): re-interpret per replay,
+            // regrouping the fresh record stream into blocks so the
+            // bank sees the same column-batch interface.
+            VPPROF_TIMED_SPAN("trace.regenerate");
+            BlockAssembler assembler(&bank);
+            runProgram(workload.program(), workload.input(input_idx),
+                       &assembler, workload.maxInstructions());
+            assembler.flush();
+            counters_.regenerations.add();
+        } else if (entry.onDisk) {
+            // Route through the record-level disk path so the full
+            // retry -> regenerate recovery ladder (and its resume-
+            // exactly-past-the-prefix guarantee) applies unchanged.
+            BlockAssembler assembler(&bank);
+            replayFromDisk(entry, workload, input_idx, &assembler);
+            assembler.flush();
+        } else {
+            // Hot path: decode each resident block once; the bank
+            // fans it to every registered evaluator.
+            TraceBlockScratch scratch;
+            replayColumnarTrace(entry.columnar, scratch, &bank);
+            counters_.v3BlocksDecoded.add(entry.columnar.blocks);
         }
     }
 
@@ -462,6 +551,8 @@ TraceRepository::stats() const
     s.regenerations = counters_.regenerations.value();
     s.spillFailures = counters_.spillFailures.value();
     s.readRetries = counters_.readRetries.value();
+    s.v3BlocksDecoded = counters_.v3BlocksDecoded.value();
+    s.v3BytesMapped = counters_.v3BytesMapped.value();
     return s;
 }
 
@@ -482,7 +573,9 @@ TraceRepoStats::writeJsonFields(std::ostream &os) const
        << ", \"corrupt_quarantined\": " << corruptQuarantined
        << ", \"regenerations\": " << regenerations
        << ", \"spill_failures\": " << spillFailures
-       << ", \"read_retries\": " << readRetries;
+       << ", \"read_retries\": " << readRetries
+       << ", \"v3_blocks_decoded\": " << v3BlocksDecoded
+       << ", \"v3_bytes_mapped\": " << v3BytesMapped;
 }
 
 Session::Session(SessionConfig config)
@@ -506,6 +599,13 @@ Session::replayInto(const Workload &workload, size_t input_idx,
                     const std::vector<TraceSink *> &sinks)
 {
     return traces_.replayInto(workload, input_idx, sinks);
+}
+
+RunResult
+Session::replayInto(const Workload &workload, size_t input_idx,
+                    EvaluatorBank &bank)
+{
+    return traces_.replayBatch(workload, input_idx, bank);
 }
 
 const ProfileImage &
@@ -665,8 +765,9 @@ Session::evaluateClassification(const Workload &workload,
 {
     VPPROF_TIMED_SPAN("eval.classification");
     ClassificationEvaluator evaluator(classifier);
-    DirectiveOverrideSink annotated(program, &evaluator);
-    traces_.replay(workload, input_idx, &annotated);
+    EvaluatorBank bank;
+    bank.addBlockSink(&evaluator, &program);
+    traces_.replayBatch(workload, input_idx, bank);
     return evaluator.result();
 }
 
@@ -677,8 +778,9 @@ Session::evaluateFiniteTable(const Workload &workload, size_t input_idx,
 {
     VPPROF_TIMED_SPAN("eval.finite_table");
     FiniteTableEvaluator evaluator(policy, config);
-    DirectiveOverrideSink annotated(program, &evaluator);
-    traces_.replay(workload, input_idx, &annotated);
+    EvaluatorBank bank;
+    bank.addBlockSink(&evaluator, &program);
+    traces_.replayBatch(workload, input_idx, bank);
     return evaluator.result();
 }
 
@@ -693,8 +795,9 @@ Session::evaluateIlp(const Workload &workload, size_t input_idx,
     DataflowEngine engine(ilp_config, policy,
                           policy == VpPolicy::None ? nullptr
                                                    : &predictor);
-    DirectiveOverrideSink annotated(program, &engine);
-    traces_.replay(workload, input_idx, &annotated);
+    EvaluatorBank bank;
+    bank.addRecordSink(&engine, &program);
+    traces_.replayBatch(workload, input_idx, bank);
     return engine.result();
 }
 
@@ -705,8 +808,9 @@ Session::evaluateHybridTable(const Workload &workload, size_t input_idx,
 {
     VPPROF_TIMED_SPAN("eval.hybrid_table");
     HybridTableEvaluator evaluator(config);
-    DirectiveOverrideSink annotated(program, &evaluator);
-    traces_.replay(workload, input_idx, &annotated);
+    EvaluatorBank bank;
+    bank.addBlockSink(&evaluator, &program);
+    traces_.replayBatch(workload, input_idx, bank);
     return evaluator.result();
 }
 

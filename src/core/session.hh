@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/telemetry/metrics.hh"
+#include "core/batch_replay.hh"
 #include "core/experiment.hh"
 #include "core/parallel.hh"
 #include "profile/sampling/sampling_policy.hh"
@@ -52,12 +53,15 @@ struct SessionConfig
     std::string traceCacheDir;
 
     /**
-     * Aggregate in-memory trace budget, in records (~56 bytes each).
-     * Traces that would push the total past the budget are kept on
-     * disk and replayed through trace_io instead. 0 forces every
-     * trace to disk (exercises the spill path).
+     * Aggregate in-memory trace budget, in records. Traces that would
+     * push the total past the budget are kept on disk and replayed
+     * through trace_io instead. 0 forces every trace to disk
+     * (exercises the spill path). Resident traces are held in the
+     * columnar encoded form (~8-12 bytes per record instead of the
+     * 56-byte AoS record), which is why the default is 4x the old
+     * AoS-era budget for the same memory ceiling.
      */
-    uint64_t residentRecordBudget = 24'000'000;
+    uint64_t residentRecordBudget = 96'000'000;
 };
 
 /**
@@ -98,6 +102,13 @@ struct TraceRepoStats
     uint64_t spillFailures = 0;
     /** Mid-replay read errors retried once from disk. */
     uint64_t readRetries = 0;
+
+    /** Columnar (v3) blocks decoded: resident batch fans + v3 file
+     *  reads. The decode-amplification observable — one batched pass
+     *  decodes each block once however many evaluators listen. */
+    uint64_t v3BlocksDecoded = 0;
+    /** Bytes of v3 trace files mapped (or buffered) by readers. */
+    uint64_t v3BytesMapped = 0;
 
     /**
      * The counters as JSON object members (no surrounding braces):
@@ -152,6 +163,16 @@ class TraceRepository
     RunResult replayInto(const Workload &workload, size_t input_idx,
                          const std::vector<TraceSink *> &sinks);
 
+    /**
+     * Batched replay: decode each trace block once and fan the SoA
+     * view to every evaluator in the bank (resident traces feed the
+     * bank directly; disk/degraded traces stream through the existing
+     * record-level recovery ladder re-blocked by a BlockAssembler, so
+     * fault recovery and bit-identity carry over unchanged).
+     */
+    RunResult replayBatch(const Workload &workload, size_t input_idx,
+                          EvaluatorBank &bank);
+
     TraceRepoStats stats() const;
 
     /** VM interpretations performed (the trace-once assertion hook). */
@@ -174,7 +195,7 @@ class TraceRepository
     AdoptOutcome adoptCacheFile(Entry &entry, const std::string &path);
     void quarantine(const std::string &path, TraceIoStatus status);
     bool writeTraceFile(const std::string &path,
-                        const std::vector<TraceRecord> &records);
+                        const ColumnarTrace &trace);
     void replayFromDisk(Entry &entry, const Workload &workload,
                         size_t input_idx, TraceSink *sink);
     /** Temp-dir spill path for a key; empty when the dir can't exist. */
@@ -203,6 +224,9 @@ class TraceRepository
         telemetry::ScopedCounter regenerations{"trace.regenerations"};
         telemetry::ScopedCounter spillFailures{"trace.spill_failures"};
         telemetry::ScopedCounter readRetries{"trace.read_retries"};
+        telemetry::ScopedCounter v3BlocksDecoded{
+            "trace.v3.blocks_decoded"};
+        telemetry::ScopedCounter v3BytesMapped{"trace.v3.bytes_mapped"};
     };
 
     SessionConfig config_;
@@ -241,6 +265,16 @@ class Session
     /** One shared replay pass fanned out to several consumers. */
     RunResult replayInto(const Workload &workload, size_t input_idx,
                          const std::vector<TraceSink *> &sinks);
+
+    /**
+     * One batched replay pass: each trace block decodes once and fans
+     * out to every evaluator in the bank, with per-slot directive
+     * columns replacing the per-record DirectiveOverrideSink copies.
+     * The pass delivers the identical record stream a serial replay
+     * would — evaluators cannot tell the difference.
+     */
+    RunResult replayInto(const Workload &workload, size_t input_idx,
+                         EvaluatorBank &bank);
 
     /** Phase-2 profile of one run; memoized per (workload, input). */
     const ProfileImage &collectProfile(const Workload &workload,

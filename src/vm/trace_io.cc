@@ -1,8 +1,13 @@
 #include "vm/trace_io.hh"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include "common/checksum.hh"
@@ -18,6 +23,7 @@ namespace
 constexpr char kMagicPrefix[7] = {'V', 'P', 'T', 'R', 'A', 'C', 'E'};
 constexpr char kVersionV1 = '1';
 constexpr char kVersionV2 = '2';
+constexpr char kVersionV3 = '3';
 constexpr size_t kHeaderBytes = 16;
 constexpr size_t kTrailerBytes = 8;
 constexpr size_t kRecordBytes = 8 + 8 + 1 + 1 + 1 + 1 + 8 + 1 + 2 + 8;
@@ -94,6 +100,7 @@ traceIoStatusName(TraceIoStatus status)
       case TraceIoStatus::BadMagic: return "bad-magic";
       case TraceIoStatus::VersionMismatch: return "version-mismatch";
       case TraceIoStatus::Truncated: return "truncated";
+      case TraceIoStatus::TruncatedFile: return "truncated-file";
       case TraceIoStatus::ChecksumMismatch: return "checksum-mismatch";
       case TraceIoStatus::WriteFailed: return "write-failed";
       case TraceIoStatus::NoSpace: return "no-space";
@@ -101,9 +108,27 @@ traceIoStatusName(TraceIoStatus status)
     return "unknown";
 }
 
+TraceFormat
+defaultTraceFormat()
+{
+    const char *env = std::getenv("VPPROF_TRACE_FORMAT");
+    if (env == nullptr || *env == '\0' || std::strcmp(env, "3") == 0)
+        return TraceFormat::V3;
+    if (std::strcmp(env, "2") == 0)
+        return TraceFormat::V2;
+    vpprof_fatal("VPPROF_TRACE_FORMAT must be \"2\" or \"3\", got \"",
+                 env, "\"");
+}
+
 TraceFileWriter::TraceFileWriter(const std::string &path)
+    : TraceFileWriter(path, defaultTraceFormat())
+{
+}
+
+TraceFileWriter::TraceFileWriter(const std::string &path, TraceFormat format)
     : path_(path),
       tmpPath_(path + ".tmp." + std::to_string(::getpid())),
+      format_(format),
       checksum_(kFnv1a64Seed)
 {
     errno = 0;
@@ -113,7 +138,9 @@ TraceFileWriter::TraceFileWriter(const std::string &path)
         return;
     }
     out_.write(kMagicPrefix, sizeof(kMagicPrefix));
-    out_.write(&kVersionV2, 1);
+    const char version =
+        format_ == TraceFormat::V3 ? kVersionV3 : kVersionV2;
+    out_.write(&version, 1);
     uint64_t placeholder = 0;
     out_.write(reinterpret_cast<const char *>(&placeholder), 8);
     if (!out_)
@@ -128,12 +155,57 @@ TraceFileWriter::~TraceFileWriter()
 }
 
 void
+TraceFileWriter::flushBlock()
+{
+    if (encoder_.pending() == 0)
+        return;
+    blockBuf_.clear();
+    encoder_.flush(blockBuf_);
+    if (corruptPending_ > 0) {
+        // The block checksum was computed over the bytes we *meant*
+        // to write; damaging the payload now models a storage-level
+        // flip that readers must catch.
+        size_t payloadBytes = blockBuf_.size() - kTraceBlockHeaderBytes;
+        for (uint64_t k = 0; k < corruptPending_; ++k)
+            blockBuf_[kTraceBlockHeaderBytes + k % payloadBytes] ^= 0x5a;
+        corruptPending_ = 0;
+    }
+    errno = 0;
+    out_.write(reinterpret_cast<const char *>(blockBuf_.data()),
+               static_cast<std::streamsize>(blockBuf_.size()));
+    if (!out_)
+        status_ = writeErrnoStatus();
+}
+
+void
 TraceFileWriter::record(const TraceRecord &rec)
 {
     if (closed_)
         vpprof_panic("TraceFileWriter::record after close");
     if (status_ != TraceIoStatus::Ok)
         return;  // error latched; close() surfaces it
+
+    if (format_ == TraceFormat::V3) {
+        switch (FailpointRegistry::instance().fire("trace_io.write")) {
+          case FailpointAction::Fail:
+            status_ = TraceIoStatus::WriteFailed;
+            return;
+          case FailpointAction::NoSpace:
+            status_ = TraceIoStatus::NoSpace;
+            return;
+          case FailpointAction::Corrupt:
+            ++corruptPending_;
+            break;
+          default:
+            break;
+        }
+        encoder_.add(rec);
+        if (encoder_.full())
+            flushBlock();
+        if (status_ == TraceIoStatus::Ok)
+            ++count_;
+        return;
+    }
 
     char buf[kRecordBytes];
     encode(rec, buf);
@@ -172,10 +244,14 @@ TraceFileWriter::close()
         return status_;
     closed_ = true;
 
+    if (status_ == TraceIoStatus::Ok && format_ == TraceFormat::V3)
+        flushBlock();  // the partial tail block
+
     if (status_ == TraceIoStatus::Ok) {
         errno = 0;
-        out_.write(reinterpret_cast<const char *>(&checksum_),
-                   kTrailerBytes);
+        if (format_ == TraceFormat::V2)
+            out_.write(reinterpret_cast<const char *>(&checksum_),
+                       kTrailerBytes);
         out_.seekp(sizeof(kMagicPrefix) + 1);
         out_.write(reinterpret_cast<const char *>(&count_), 8);
         out_.flush();
@@ -212,11 +288,189 @@ TraceFileWriter::close()
     return status_;
 }
 
+TraceIoStatus
+writeColumnarTraceFile(const std::string &path, const ColumnarTrace &trace)
+{
+    std::string tmpPath = path + ".tmp." + std::to_string(::getpid());
+    errno = 0;
+    std::ofstream out(tmpPath, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return TraceIoStatus::IoError;
+    TraceIoStatus status = TraceIoStatus::Ok;
+    out.write(kMagicPrefix, sizeof(kMagicPrefix));
+    out.write(&kVersionV3, 1);
+    out.write(reinterpret_cast<const char *>(&trace.records), 8);
+    if (!out)
+        status = writeErrnoStatus();
+
+    const uint8_t *data = trace.bytes.data();
+    size_t remaining = trace.bytes.size();
+    std::vector<uint8_t> damaged;  // only under injected corruption
+    while (status == TraceIoStatus::Ok && remaining > 0) {
+        size_t consumed = 0;
+        uint32_t blockRecords = 0;
+        if (probeTraceBlock(data, remaining, &consumed, &blockRecords,
+                            false) != TraceBlockStatus::Ok)
+            vpprof_panic("resident columnar trace has invalid framing "
+                         "(in-memory corruption): ", path);
+        const uint8_t *blockBytes = data;
+        switch (FailpointRegistry::instance().fire("trace_io.write")) {
+          case FailpointAction::Fail:
+            status = TraceIoStatus::WriteFailed;
+            break;
+          case FailpointAction::NoSpace:
+            status = TraceIoStatus::NoSpace;
+            break;
+          case FailpointAction::Corrupt:
+            damaged.assign(data, data + consumed);
+            damaged[kTraceBlockHeaderBytes] ^= 0x5a;
+            blockBytes = damaged.data();
+            break;
+          default:
+            break;
+        }
+        if (status != TraceIoStatus::Ok)
+            break;
+        errno = 0;
+        out.write(reinterpret_cast<const char *>(blockBytes),
+                  static_cast<std::streamsize>(consumed));
+        if (!out) {
+            status = writeErrnoStatus();
+            break;
+        }
+        data += consumed;
+        remaining -= consumed;
+    }
+
+    if (status == TraceIoStatus::Ok) {
+        errno = 0;
+        out.flush();
+        if (!out)
+            status = writeErrnoStatus();
+    }
+    if (status == TraceIoStatus::Ok) {
+        switch (FailpointRegistry::instance().fire("trace_io.commit")) {
+          case FailpointAction::Fail:
+            status = TraceIoStatus::WriteFailed;
+            break;
+          case FailpointAction::NoSpace:
+            status = TraceIoStatus::NoSpace;
+            break;
+          default:
+            break;
+        }
+    }
+    out.close();
+    if (status == TraceIoStatus::Ok && !out)
+        status = writeErrnoStatus();
+    if (status == TraceIoStatus::Ok) {
+        errno = 0;
+        if (std::rename(tmpPath.c_str(), path.c_str()) != 0)
+            status = writeErrnoStatus();
+    }
+    if (status != TraceIoStatus::Ok)
+        std::remove(tmpPath.c_str());
+    return status;
+}
+
 TraceFileReader::TraceFileReader(const std::string &path, Unchecked)
     : path_(path),
       in_(path, std::ios::binary),
       version_(kVersionV2)
 {
+}
+
+TraceFileReader::~TraceFileReader()
+{
+    if (mapBase_ != nullptr)
+        ::munmap(mapBase_, mapSize_);
+}
+
+TraceIoStatus
+TraceFileReader::mapBlocks(TraceVerify verify)
+{
+    in_.close();  // the ifstream served only the header probe
+
+    int fd = ::open(path_.c_str(), O_RDONLY);
+    if (fd < 0)
+        return TraceIoStatus::IoError;
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+        ::close(fd);
+        return TraceIoStatus::IoError;
+    }
+    size_t size = static_cast<size_t>(st.st_size);
+    if (size < kHeaderBytes) {
+        // The header we just parsed is gone: the file shrank between
+        // the probe and the map.
+        ::close(fd);
+        return TraceIoStatus::TruncatedFile;
+    }
+    if (size > kHeaderBytes) {
+        void *base =
+            ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+        if (base != MAP_FAILED) {
+            mapBase_ = base;
+            mapSize_ = size;
+            payload_ = static_cast<const uint8_t *>(base) + kHeaderBytes;
+        } else {
+            // mmap can fail legitimately (map-count limits, exotic
+            // filesystems); fall back to buffering the file.
+            std::ifstream fallback(path_, std::ios::binary);
+            ownedBytes_.resize(size);
+            fallback.read(reinterpret_cast<char *>(ownedBytes_.data()),
+                          static_cast<std::streamsize>(size));
+            if (!fallback) {
+                ::close(fd);
+                return TraceIoStatus::IoError;
+            }
+            payload_ = ownedBytes_.data() + kHeaderBytes;
+        }
+    }
+    ::close(fd);
+    payloadSize_ = size - kHeaderBytes;
+    mappedBytes_ = size;
+
+    // Walk the block framing: every block must parse (and checksum,
+    // under Full verification) and the per-block counts must sum to
+    // exactly what the header promises. A writer that died before
+    // close() leaves a torn tail block — the distinct TruncatedFile
+    // status, so quarantine logs name the real failure.
+    size_t off = 0;
+    uint64_t total = 0;
+    uint64_t blocks = 0;
+    while (off < payloadSize_) {
+        size_t consumed = 0;
+        uint32_t blockRecords = 0;
+        switch (probeTraceBlock(payload_ + off, payloadSize_ - off,
+                                &consumed, &blockRecords,
+                                verify == TraceVerify::Full)) {
+          case TraceBlockStatus::Ok:
+            break;
+          case TraceBlockStatus::Truncated:
+            vpprof_warn_limited(8, "trace file has a torn tail block (",
+                                traceIoStatusName(
+                                    TraceIoStatus::TruncatedFile),
+                                "): ", path_);
+            return TraceIoStatus::TruncatedFile;
+          case TraceBlockStatus::ChecksumMismatch:
+            return TraceIoStatus::ChecksumMismatch;
+          case TraceBlockStatus::Malformed:
+            // Framing fields that parse to nonsense are corruption,
+            // same integrity boundary as a bad checksum.
+            return TraceIoStatus::ChecksumMismatch;
+        }
+        total += blockRecords;
+        blocks += 1;
+        off += consumed;
+        if (total > count_)
+            return TraceIoStatus::Truncated;
+    }
+    if (total != count_)
+        return TraceIoStatus::Truncated;
+    blockCount_ = blocks;
+    scratch_ = std::make_unique<TraceBlockScratch>();
+    return TraceIoStatus::Ok;
 }
 
 TraceIoStatus
@@ -234,11 +488,15 @@ TraceFileReader::validate(TraceVerify verify)
         return TraceIoStatus::ShortHeader;
     if (std::memcmp(magic, kMagicPrefix, sizeof(kMagicPrefix)) != 0)
         return TraceIoStatus::BadMagic;
-    if (version_ != kVersionV1 && version_ != kVersionV2)
+    if (version_ != kVersionV1 && version_ != kVersionV2 &&
+        version_ != kVersionV3)
         return TraceIoStatus::VersionMismatch;
     in_.read(reinterpret_cast<char *>(&count_), 8);
     if (!in_)
         return TraceIoStatus::ShortHeader;
+
+    if (version_ == kVersionV3)
+        return mapBlocks(verify);
 
     // The payload must hold exactly the records the header promises
     // (plus, for v2, the checksum trailer): fewer means a truncated
@@ -310,6 +568,9 @@ TraceFileReader::TraceFileReader(const std::string &path)
       case TraceIoStatus::Truncated:
         vpprof_fatal("truncated trace file (",
                      traceIoStatusName(st), "): ", path);
+      case TraceIoStatus::TruncatedFile:
+        vpprof_fatal("torn trace file tail (",
+                     traceIoStatusName(st), "): ", path);
       case TraceIoStatus::ChecksumMismatch:
         vpprof_fatal("trace file checksum mismatch (",
                      traceIoStatusName(st), "): ", path);
@@ -346,6 +607,28 @@ TraceFileReader::fail(TraceIoStatus status)
 }
 
 bool
+TraceFileReader::decodeNextBlock()
+{
+    size_t consumed = 0;
+    TraceBlockStatus st =
+        decodeTraceBlock(payload_ + blockOff_, payloadSize_ - blockOff_,
+                         *scratch_, view_, &consumed, false);
+    if (st != TraceBlockStatus::Ok) {
+        // Framing was validated at open, so reaching here means the
+        // bytes changed underneath us (or HeaderOnly skipped a
+        // damaged block) — an integrity failure either way.
+        fail(st == TraceBlockStatus::Truncated
+                 ? TraceIoStatus::TruncatedFile
+                 : TraceIoStatus::ChecksumMismatch);
+        return false;
+    }
+    blockOff_ += consumed;
+    ++blocksDecoded_;
+    viewIdx_ = 0;
+    return true;
+}
+
+bool
 TraceFileReader::next(TraceRecord &rec)
 {
     if (status_ != TraceIoStatus::Ok || read_ >= count_)
@@ -360,6 +643,15 @@ TraceFileReader::next(TraceRecord &rec)
         return false;
       default:
         break;
+    }
+
+    if (version_ == kVersionV3) {
+        if (viewIdx_ >= view_.count && !decodeNextBlock())
+            return false;
+        rec = view_.record(viewIdx_);
+        ++viewIdx_;
+        ++read_;
+        return true;
     }
 
     char buf[kRecordBytes];
@@ -382,6 +674,40 @@ TraceFileReader::skip(uint64_t n)
         return false;
     if (n > count_ - read_)
         n = count_ - read_;
+
+    if (version_ == kVersionV3) {
+        // Drain the decoded block first, then hop whole blocks by
+        // their framing (no decode), then decode into the target.
+        uint64_t inView = view_.count - viewIdx_;
+        uint64_t take = std::min(n, inView);
+        viewIdx_ += static_cast<uint32_t>(take);
+        read_ += take;
+        n -= take;
+        while (n > 0) {
+            size_t consumed = 0;
+            uint32_t blockRecords = 0;
+            if (probeTraceBlock(payload_ + blockOff_,
+                                payloadSize_ - blockOff_, &consumed,
+                                &blockRecords,
+                                false) != TraceBlockStatus::Ok) {
+                fail(TraceIoStatus::IoError);
+                return false;
+            }
+            if (blockRecords <= n) {
+                blockOff_ += consumed;
+                read_ += blockRecords;
+                n -= blockRecords;
+            } else {
+                if (!decodeNextBlock())
+                    return false;
+                viewIdx_ = static_cast<uint32_t>(n);
+                read_ += n;
+                n = 0;
+            }
+        }
+        return true;
+    }
+
     in_.seekg(static_cast<std::streamoff>(n * kRecordBytes),
               std::ios::cur);
     if (!in_) {
@@ -402,6 +728,63 @@ TraceFileReader::replay(TraceSink *sink)
         ++n;
     }
     return n;
+}
+
+uint64_t
+TraceFileReader::replayBlocks(TraceBlockSink *sink)
+{
+    if (version_ != kVersionV3)
+        vpprof_panic("replayBlocks on a version-", version_,
+                     " trace file: ", path_);
+    uint64_t delivered = 0;
+    while (status_ == TraceIoStatus::Ok && read_ < count_) {
+        switch (FailpointRegistry::instance().fire("trace_io.read")) {
+          case FailpointAction::Short:
+            fail(TraceIoStatus::Truncated);
+            return delivered;
+          case FailpointAction::Fail:
+            fail(TraceIoStatus::IoError);
+            return delivered;
+          default:
+            break;
+        }
+        if (viewIdx_ >= view_.count && !decodeNextBlock())
+            break;
+        // Hand over whatever of the current block next()/skip()
+        // haven't consumed.
+        TraceBlockView slice = view_;
+        uint32_t o = viewIdx_;
+        slice.count -= o;
+        slice.seq += o;
+        slice.pc += o;
+        slice.op += o;
+        slice.directive += o;
+        slice.writesReg += o;
+        slice.dest += o;
+        slice.value += o;
+        slice.numSrcs += o;
+        slice.src0 += o;
+        slice.src1 += o;
+        slice.isMem += o;
+        slice.memAddr += o;
+        slice.firstSeq = slice.seq[0];
+        sink->consumeBlock(slice);
+        viewIdx_ = view_.count;
+        read_ += slice.count;
+        delivered += slice.count;
+    }
+    return delivered;
+}
+
+bool
+TraceFileReader::readColumnar(ColumnarTrace &out) const
+{
+    if (version_ != kVersionV3)
+        return false;
+    out.bytes.assign(payload_, payload_ + payloadSize_);
+    out.records = count_;
+    out.blocks = blockCount_;
+    return true;
 }
 
 } // namespace vpprof

@@ -4,17 +4,26 @@
  * later, so expensive workload runs can be captured once and analyzed
  * many times — the role SHADE's trace files played for the paper.
  *
- * Format v2: a 16-byte header ("VPTRACE" + version byte, record
- * count), fixed-width little-endian records, and an 8-byte FNV-1a
- * checksum trailer over the record payload. v1 files (no trailer) are
- * still readable, version-gated, so pre-existing caches keep working.
+ * Version ladder:
+ *  - v3 (default): a 16-byte header ("VPTRACE" + version byte, record
+ *    count) followed by self-checksummed columnar blocks
+ *    (trace_block.hh) — delta/varint/dictionary compressed, read via
+ *    mmap, decoded block-at-a-time into SoA scratch columns.
+ *  - v2: the same header, fixed-width 39-byte little-endian records,
+ *    and an 8-byte FNV-1a checksum trailer over the record payload.
+ *  - v1: v2 without the trailer.
+ * Readers auto-detect the version, so v1/v2 caches stay readable by a
+ * v3 session; writers default to v3 but can be pinned with the
+ * VPPROF_TRACE_FORMAT environment knob (or an explicit TraceFormat).
  *
  * Durability: the writer streams into `<path>.tmp.<pid>` and commits
  * with flush + atomic rename in close(), so a crash at any point
  * leaves either the complete old file or the complete new file at
  * `path` — never a torn one. Readers validate the magic, the version,
- * the payload size, and (v2) the checksum, and report structured
- * TraceIoStatus errors instead of silently truncating.
+ * the payload framing, and (Full verify) every checksum, reporting
+ * structured TraceIoStatus errors instead of silently truncating. A
+ * v3 file whose tail block was torn off reports the distinct
+ * TruncatedFile status so quarantine logs name the actual failure.
  *
  * Fault injection: the write/commit/open/read sites consult the
  * failpoint registry ("trace_io.write", "trace_io.commit",
@@ -31,6 +40,7 @@
 #include <string>
 
 #include "vm/trace.hh"
+#include "vm/trace_block.hh"
 
 namespace vpprof
 {
@@ -44,7 +54,8 @@ enum class TraceIoStatus
     BadMagic,         ///< not a vpprof trace file at all
     VersionMismatch,  ///< vpprof trace, but an unsupported version
     Truncated,        ///< payload size disagrees with the header count
-    ChecksumMismatch, ///< v2 payload does not match its trailer
+    TruncatedFile,    ///< v3 tail block torn off / file shorter than mapped
+    ChecksumMismatch, ///< stored checksum does not match the payload
     WriteFailed,      ///< a write or the commit rename failed
     NoSpace,          ///< the device is full (ENOSPC)
 };
@@ -52,15 +63,30 @@ enum class TraceIoStatus
 /** Human-readable name of a TraceIoStatus (for messages and tests). */
 const char *traceIoStatusName(TraceIoStatus status);
 
+/** On-disk format a writer produces (readers auto-detect). */
+enum class TraceFormat
+{
+    V2, ///< fixed-width AoS records + checksum trailer
+    V3, ///< columnar delta-compressed blocks
+};
+
 /**
- * How much of a trace file tryOpen() validates. Full streams the v2
- * payload and verifies the checksum trailer — the integrity boundary,
- * paid once per file per process. HeaderOnly checks the magic, the
- * version and the payload size but skips the payload pass; it exists
- * so repeated same-process replays of a file that already passed Full
- * verification (tracked by the TraceRepository) avoid re-hashing tens
- * of megabytes per replay. Use Full whenever the file's history is
- * unknown.
+ * The format writers use when none is given explicitly: v3, unless
+ * VPPROF_TRACE_FORMAT=2 pins the previous format (the knob CI's
+ * cache-migration smoke uses to capture a v2 cache on purpose).
+ * Re-read from the environment on every call so tests can flip it.
+ */
+TraceFormat defaultTraceFormat();
+
+/**
+ * How much of a trace file tryOpen() validates. Full verifies the
+ * payload checksums (the v2 trailer / every v3 block) — the integrity
+ * boundary, paid once per file per process. HeaderOnly checks the
+ * magic, the version and the payload framing but skips the checksum
+ * pass; it exists so repeated same-process replays of a file that
+ * already passed Full verification (tracked by the TraceRepository)
+ * avoid re-hashing tens of megabytes per replay. Use Full whenever
+ * the file's history is unknown.
  */
 enum class TraceVerify
 {
@@ -74,15 +100,23 @@ enum class TraceVerify
  * a full disk) are latched into status() and surfaced by close();
  * nothing in the writer is fatal, so callers choose between loud
  * errors (the CLI) and graceful degradation (the trace cache).
+ *
+ * v3 writes buffer records into a columnar block encoder and write
+ * one encoded block at a time; the per-record failpoint and the
+ * atomic commit protocol are identical across formats.
  */
 class TraceFileWriter : public TraceSink
 {
   public:
-    /**
-     * Open the temp file for `path`. On failure the writer is inert:
-     * record() drops and close() reports the latched status.
-     */
+    /** Open the temp file for `path` in defaultTraceFormat(). */
     explicit TraceFileWriter(const std::string &path);
+
+    /**
+     * Open the temp file for `path` in an explicit format. On failure
+     * the writer is inert: record() drops and close() reports the
+     * latched status.
+     */
+    TraceFileWriter(const std::string &path, TraceFormat format);
 
     /**
      * Closes if needed; a failure on this path is logged through
@@ -94,11 +128,12 @@ class TraceFileWriter : public TraceSink
     void record(const TraceRecord &rec) override;
 
     /**
-     * Commit: append the checksum trailer, fix up the header count,
-     * flush, verify the stream, and atomically rename the temp file
-     * over `path`. Returns Ok on a durable commit; on any failure the
-     * temp file is removed, `path` is untouched, and the first error
-     * (WriteFailed / NoSpace / IoError) is returned. Idempotent.
+     * Commit: flush the tail block (v3) or append the checksum
+     * trailer (v2), fix up the header count, flush, verify the
+     * stream, and atomically rename the temp file over `path`.
+     * Returns Ok on a durable commit; on any failure the temp file is
+     * removed, `path` is untouched, and the first error (WriteFailed /
+     * NoSpace / IoError) is returned. Idempotent.
      */
     TraceIoStatus close();
 
@@ -108,32 +143,61 @@ class TraceFileWriter : public TraceSink
     uint64_t recordsWritten() const { return count_; }
 
   private:
+    void flushBlock();
+
     std::string path_;
     std::string tmpPath_;
     std::ofstream out_;
+    TraceFormat format_;
     uint64_t count_ = 0;
     uint64_t checksum_;
+    TraceBlockEncoder encoder_;        // v3 block staging
+    std::vector<uint8_t> blockBuf_;    // v3 encoded-block scratch
+    uint64_t corruptPending_ = 0;      // injected flips owed to this block
     bool closed_ = false;
     TraceIoStatus status_ = TraceIoStatus::Ok;
 };
 
 /**
- * Reads a binary trace file. Records can be streamed into any
- * TraceSink (replay) or pulled one at a time.
+ * Persist an already-encoded columnar trace as a v3 file through the
+ * same temp + flush + atomic-rename commit protocol. This is the
+ * TraceRepository's bulk path: capture encodes once, and persisting
+ * (cache write, spill) is a framed buffer write instead of a second
+ * per-record encode. The "trace_io.write" failpoint fires once per
+ * block here (a trace is hundreds of blocks, so countdown specs still
+ * land mid-file), "trace_io.commit" once at the rename.
+ */
+TraceIoStatus writeColumnarTraceFile(const std::string &path,
+                                     const ColumnarTrace &trace);
+
+/**
+ * Reads a binary trace file (any version). Records can be streamed
+ * into any TraceSink (replay) or pulled one at a time; v3 files can
+ * additionally be streamed block-at-a-time into a TraceBlockSink or
+ * adopted wholesale as a ColumnarTrace.
+ *
+ * v3 files are mmap-ed (with a buffered-read fallback) and decoded
+ * lazily, one block per 4096 records; v1/v2 files stream through the
+ * original ifstream path. The repository's lock + atomic-rename
+ * discipline means a mapped file is never modified in place — a
+ * concurrent re-commit replaces the directory entry while the mapped
+ * inode lives on.
  *
  * Two opening modes:
  *  - The constructor is strict: any malformed file is fatal (a user
  *    handed us a broken file; the CLI wants the loud diagnostic).
  *  - tryOpen() is recoverable: it validates the header, the version,
- *    the payload size and the v2 checksum, and returns nullptr plus a
- *    TraceIoStatus so callers (e.g. a trace cache probing for
- *    reusable files) can quarantine the file and regenerate.
+ *    the payload framing and (Full) the checksums, and returns
+ *    nullptr plus a TraceIoStatus so callers (e.g. a trace cache
+ *    probing for reusable files) can quarantine and regenerate.
  */
 class TraceFileReader
 {
   public:
     /** Open and validate; fatal on a malformed file. */
     explicit TraceFileReader(const std::string &path);
+
+    ~TraceFileReader();
 
     /**
      * Open and validate a trace file without ever exiting.
@@ -151,6 +215,18 @@ class TraceFileReader
     /** Records handed out (or skipped) so far. */
     uint64_t recordsRead() const { return read_; }
 
+    /** '1', '2' or '3'. */
+    char version() const { return version_; }
+
+    /** Columnar blocks in a v3 file (0 for v1/v2). */
+    uint64_t blockCount() const { return blockCount_; }
+
+    /** Blocks this reader has decoded so far. */
+    uint64_t blocksDecoded() const { return blocksDecoded_; }
+
+    /** Bytes of file this reader mapped (or buffered), v3 only. */
+    uint64_t mappedBytes() const { return mappedBytes_; }
+
     /**
      * Read the next record; false at end of trace. On an unexpected
      * short read the reader is fatal in strict mode and otherwise
@@ -160,12 +236,28 @@ class TraceFileReader
 
     /**
      * Seek forward past `n` records without decoding them (resuming a
-     * replay that already delivered a prefix). False on seek failure.
+     * replay that already delivered a prefix); v3 skips whole blocks
+     * by their framing. False on seek failure.
      */
     bool skip(uint64_t n);
 
     /** Stream every remaining record into a sink; returns how many. */
     uint64_t replay(TraceSink *sink);
+
+    /**
+     * v3 only: stream every remaining block into a block sink,
+     * decoding each block once. The "trace_io.read" failpoint fires
+     * once per block on this path (the record-granular ladder lives
+     * in next()). Returns records delivered.
+     */
+    uint64_t replayBlocks(TraceBlockSink *sink);
+
+    /**
+     * v3 only: hand the file's encoded payload over as a resident
+     * ColumnarTrace (one buffer copy, no decode). False for v1/v2 —
+     * those transcode through next() instead.
+     */
+    bool readColumnar(ColumnarTrace &out) const;
 
     /** Error state of the last operation (Ok while healthy). */
     TraceIoStatus status() const { return status_; }
@@ -177,8 +269,14 @@ class TraceFileReader
 
     TraceFileReader(const std::string &path, Unchecked);
 
-    /** Validate header/version/size (+ checksum when Full). */
+    /** Validate header/version/framing (+ checksums when Full). */
     TraceIoStatus validate(TraceVerify verify);
+
+    /** Map (or buffer) a v3 file and walk its block framing. */
+    TraceIoStatus mapBlocks(TraceVerify verify);
+
+    /** Decode the block at the cursor into the scratch columns. */
+    bool decodeNextBlock();
 
     /** Latch an error; fatal (with status name + path) when strict. */
     void fail(TraceIoStatus status);
@@ -190,6 +288,20 @@ class TraceFileReader
     char version_;
     bool strict_ = true;
     TraceIoStatus status_ = TraceIoStatus::Ok;
+
+    // v3 state: the mapped payload and the lazy block cursor.
+    void *mapBase_ = nullptr;          // munmap target (nullptr: none)
+    size_t mapSize_ = 0;
+    std::vector<uint8_t> ownedBytes_;  // fallback when mmap fails
+    const uint8_t *payload_ = nullptr; // blocks (file minus header)
+    size_t payloadSize_ = 0;
+    size_t blockOff_ = 0;              // next undecoded block
+    uint64_t blockCount_ = 0;
+    uint64_t blocksDecoded_ = 0;
+    uint64_t mappedBytes_ = 0;
+    std::unique_ptr<TraceBlockScratch> scratch_;
+    TraceBlockView view_;
+    uint32_t viewIdx_ = 0;             // consumed prefix of view_
 };
 
 } // namespace vpprof

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * v3 extension of the crash-consistency matrix: the columnar format's
+ * failure modes — block-checksum corruption, torn tail blocks, and
+ * cross-generation (v2 -> v3) adoption — must degrade exactly like the
+ * v2 scenarios do: bit-identical replays, structured counters, no
+ * aborts, evidence preserved in `<file>.bad`.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "common/checksum.hh"
+#include "common/failpoint.hh"
+#include "core/session.hh"
+
+namespace vpprof
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+const Workload &
+li()
+{
+    static WorkloadSuite suite;
+    return *suite.find("li");
+}
+
+uint64_t
+replayDigest(Session &session, const Workload &w, size_t input)
+{
+    uint64_t sum = kFnv1a64Seed;
+    CallbackTraceSink sink([&](const TraceRecord &rec) {
+        sum = fnv1a64(&rec.seq, sizeof(rec.seq), sum);
+        sum = fnv1a64(&rec.pc, sizeof(rec.pc), sum);
+        sum = fnv1a64(&rec.value, sizeof(rec.value), sum);
+        uint8_t flags = (rec.writesReg ? 1 : 0) | (rec.isMem ? 2 : 0);
+        sum = fnv1a64(&flags, 1, sum);
+        sum = fnv1a64(&rec.memAddr, sizeof(rec.memAddr), sum);
+    });
+    session.runTrace(w, input, &sink);
+    return sum;
+}
+
+uint64_t
+referenceDigest()
+{
+    static uint64_t digest = [] {
+        Session clean;
+        return replayDigest(clean, li(), 0);
+    }();
+    return digest;
+}
+
+class TraceV3Crash : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        FailpointRegistry::instance().reset();
+        ::unsetenv("VPPROF_TRACE_FORMAT");
+        dir_ = ::testing::TempDir() + "/vpprof_v3crash_" +
+               ::testing::UnitTest::GetInstance()
+                   ->current_test_info()
+                   ->name();
+        fs::remove_all(dir_);
+    }
+
+    void
+    TearDown() override
+    {
+        FailpointRegistry::instance().reset();
+        ::unsetenv("VPPROF_TRACE_FORMAT");
+        fs::remove_all(dir_);
+    }
+
+    SessionConfig
+    cacheConfig(uint64_t budget = 96'000'000)
+    {
+        SessionConfig cfg;
+        cfg.traceCacheDir = dir_;
+        cfg.residentRecordBudget = budget;
+        return cfg;
+    }
+
+    std::string
+    cacheFile() const
+    {
+        return dir_ + "/li.in0.trace";
+    }
+
+    std::string
+    slurp(const std::string &path) const
+    {
+        std::ifstream in(path, std::ios::binary);
+        return std::string((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    }
+
+    void
+    spit(const std::string &path, const std::string &bytes) const
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+    }
+
+    std::string dir_;
+};
+
+TEST_F(TraceV3Crash, BlockChecksumCorruptionQuarantinesToBad)
+{
+    // Capture a v3 cache file, flip one payload bit mid-block: the
+    // next session must quarantine it to `<file>.bad` (per-block
+    // checksum, no file-level trailer in v3) and regenerate.
+    {
+        Session warmup(cacheConfig());
+        ASSERT_EQ(replayDigest(warmup, li(), 0), referenceDigest());
+    }
+    std::string bytes = slurp(cacheFile());
+    ASSERT_GT(bytes.size(), 100u);
+    ASSERT_EQ(bytes[7], '3') << "capture must default to v3";
+    bytes[bytes.size() / 2] =
+        static_cast<char>(bytes[bytes.size() / 2] ^ 0x01);
+    spit(cacheFile(), bytes);
+
+    Session session(cacheConfig());
+    EXPECT_EQ(replayDigest(session, li(), 0), referenceDigest());
+    TraceRepoStats st = session.traces().stats();
+    EXPECT_EQ(st.corruptQuarantined, 1u);
+    EXPECT_EQ(st.regenerations, 1u);
+    EXPECT_EQ(st.vmRuns, 1u);
+    EXPECT_EQ(st.diskLoads, 0u);
+    EXPECT_TRUE(fs::exists(cacheFile() + ".bad"));
+    // The regenerated commit is healthy: a fresh session adopts it.
+    Session adopt(cacheConfig());
+    EXPECT_EQ(replayDigest(adopt, li(), 0), referenceDigest());
+    EXPECT_EQ(adopt.traces().stats().diskLoads, 1u);
+}
+
+TEST_F(TraceV3Crash, TornTailBlockRecoversThroughTheLadder)
+{
+    // Budget 0 keeps the trace on disk. After a successful replay the
+    // file is torn mid-block underneath the session — the next replay
+    // must climb the ladder (reopen fails with TruncatedFile, the
+    // retry fails the same way, the VM regenerates) and still deliver
+    // a bit-identical stream.
+    Session session(cacheConfig(0));
+    ASSERT_EQ(replayDigest(session, li(), 0), referenceDigest());
+    ASSERT_EQ(session.traces().stats().spilledTraces, 1u);
+
+    std::string bytes = slurp(cacheFile());
+    ASSERT_GT(bytes.size(), 100u);
+    ASSERT_EQ(bytes[7], '3');
+    spit(cacheFile(), bytes.substr(0, bytes.size() - 23));
+
+    EXPECT_EQ(replayDigest(session, li(), 0), referenceDigest());
+    TraceRepoStats st = session.traces().stats();
+    EXPECT_EQ(st.readRetries, 1u);
+    EXPECT_EQ(st.regenerations, 1u);
+    EXPECT_EQ(st.vmRuns, 1u)
+        << "the regeneration does not count as a trace-producing run";
+
+    // A FRESH session probing the torn file quarantines it instead.
+    Session probe(cacheConfig(0));
+    EXPECT_EQ(replayDigest(probe, li(), 0), referenceDigest());
+    EXPECT_EQ(probe.traces().stats().corruptQuarantined, 1u);
+    EXPECT_TRUE(fs::exists(cacheFile() + ".bad"));
+}
+
+TEST_F(TraceV3Crash, V2CacheAdoptedByV3SessionUnderFaults)
+{
+    // The migration scenario as a matrix row: a v2-pinned process
+    // captured the cache; a v3-default process adopts it, and a
+    // mid-replay fault on the adopted v2 file still recovers through
+    // the ladder.
+    ::setenv("VPPROF_TRACE_FORMAT", "2", 1);
+    {
+        Session capture(cacheConfig());
+        ASSERT_EQ(replayDigest(capture, li(), 0), referenceDigest());
+    }
+    ASSERT_EQ(slurp(cacheFile())[7], '2');
+    ::unsetenv("VPPROF_TRACE_FORMAT");
+
+    // Transparent adoption, resident transcode: no VM run.
+    {
+        Session adopt(cacheConfig());
+        EXPECT_EQ(replayDigest(adopt, li(), 0), referenceDigest());
+        TraceRepoStats st = adopt.traces().stats();
+        EXPECT_EQ(st.vmRuns, 0u);
+        EXPECT_EQ(st.diskLoads, 1u);
+        EXPECT_EQ(st.corruptQuarantined, 0u);
+    }
+
+    // Same adoption with budget 0 (the v2 file serves replays
+    // directly) under an injected transient read fault.
+    FailpointRegistry::instance().arm("trace_io.read",
+                                      {FailpointAction::Short, 50});
+    Session faulty(cacheConfig(0));
+    EXPECT_EQ(replayDigest(faulty, li(), 0), referenceDigest());
+    TraceRepoStats st = faulty.traces().stats();
+    EXPECT_EQ(st.vmRuns, 0u);
+    EXPECT_EQ(st.readRetries, 1u);
+    EXPECT_EQ(st.regenerations, 0u);
+}
+
+} // namespace
+} // namespace vpprof

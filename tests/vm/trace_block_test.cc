@@ -1,0 +1,443 @@
+/**
+ * @file
+ * Property tests for the columnar v3 trace blocks: encode/decode
+ * round-trips must be bit-identical for ANY record stream (randomized,
+ * max-delta jumps, irregular hand-built records), and every damaged
+ * byte must surface as a structured status, never UB or silent loss.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "vm/trace_block.hh"
+#include "vm/trace_io.hh"
+
+namespace vpprof
+{
+namespace
+{
+
+std::string
+tempPath(const char *name)
+{
+    return ::testing::TempDir() + "/" + name;
+}
+
+/** Deterministic splitmix64 — property tests must not flake. */
+uint64_t
+nextRand(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/** Collects every record delivered through the block interface. */
+class CollectingBlockSink : public TraceBlockSink
+{
+  public:
+    void
+    consumeBlock(const TraceBlockView &block) override
+    {
+        for (uint32_t i = 0; i < block.count; ++i)
+            records.push_back(block.record(i));
+    }
+
+    std::vector<TraceRecord> records;
+};
+
+void
+expectIdentical(const std::vector<TraceRecord> &got,
+                const std::vector<TraceRecord> &want)
+{
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+        const TraceRecord &g = got[i];
+        const TraceRecord &w = want[i];
+        ASSERT_EQ(g.seq, w.seq) << "record " << i;
+        ASSERT_EQ(g.pc, w.pc) << "record " << i;
+        ASSERT_EQ(g.op, w.op) << "record " << i;
+        ASSERT_EQ(g.directive, w.directive) << "record " << i;
+        ASSERT_EQ(g.writesReg, w.writesReg) << "record " << i;
+        ASSERT_EQ(g.dest, w.dest) << "record " << i;
+        ASSERT_EQ(g.value, w.value) << "record " << i;
+        ASSERT_EQ(g.numSrcs, w.numSrcs) << "record " << i;
+        ASSERT_EQ(g.srcs, w.srcs) << "record " << i;
+        ASSERT_EQ(g.isMem, w.isMem) << "record " << i;
+        ASSERT_EQ(g.memAddr, w.memAddr) << "record " << i;
+    }
+}
+
+std::vector<TraceRecord>
+roundTrip(const std::vector<TraceRecord> &records)
+{
+    ColumnarTraceBuilder builder;
+    for (const TraceRecord &rec : records)
+        builder.record(rec);
+    ColumnarTrace trace = builder.take();
+    EXPECT_EQ(trace.records, records.size());
+
+    TraceBlockScratch scratch;
+    CollectingBlockSink sink;
+    EXPECT_EQ(replayColumnarTrace(trace, scratch, &sink),
+              records.size());
+    return std::move(sink.records);
+}
+
+/**
+ * A randomized stream spanning every encoder decision: contiguous and
+ * explicit seq, hot-loop pcs and maximal pc jumps, strided and
+ * maximal-delta values, 0/1/2-source records, mem and non-mem.
+ */
+std::vector<TraceRecord>
+randomStream(uint64_t seed, size_t n, bool contiguousSeq)
+{
+    uint64_t rng = seed;
+    std::vector<TraceRecord> records;
+    records.reserve(n);
+    uint64_t seq = nextRand(rng) % 1000;
+    uint64_t pc = 64;
+    for (size_t i = 0; i < n; ++i) {
+        TraceRecord rec;
+        rec.seq = seq;
+        seq += contiguousSeq ? 1 : 1 + (nextRand(rng) % 5);
+        switch (nextRand(rng) % 8) {
+          case 0:  // maximal jump: zigzag delta must span 64 bits
+            pc = nextRand(rng);
+            break;
+          case 1:
+            pc = 0;
+            break;
+          default:  // hot loop: small forward/backward hops
+            pc += (nextRand(rng) % 7) - 3;
+            break;
+        }
+        rec.pc = pc;
+        rec.op = static_cast<Opcode>(nextRand(rng) % 16);
+        rec.directive = static_cast<Directive>(nextRand(rng) % 3);
+        rec.writesReg = (nextRand(rng) % 4) != 0;
+        rec.dest = static_cast<RegId>(nextRand(rng) % 32);
+        if (rec.writesReg) {
+            switch (nextRand(rng) % 8) {
+              case 0:
+                rec.value = INT64_MIN;
+                break;
+              case 1:
+                rec.value = INT64_MAX;
+                break;
+              default:
+                rec.value =
+                    static_cast<int64_t>(nextRand(rng) % 4096) - 2048;
+                break;
+            }
+        }
+        rec.numSrcs = static_cast<uint8_t>(nextRand(rng) % 3);
+        rec.srcs = {static_cast<RegId>(nextRand(rng) % 32),
+                    static_cast<RegId>(nextRand(rng) % 32)};
+        rec.isMem = (nextRand(rng) % 3) == 0;
+        if (rec.isMem)
+            rec.memAddr = nextRand(rng);
+        records.push_back(rec);
+    }
+    return records;
+}
+
+TEST(TraceBlock, RoundTripRandomizedContiguousStream)
+{
+    // Spans several blocks plus a partial tail.
+    auto records = randomStream(1, 3 * kTraceBlockCapacity + 137, true);
+    expectIdentical(roundTrip(records), records);
+}
+
+TEST(TraceBlock, RoundTripRandomizedExplicitSeqStream)
+{
+    // Gapped seq forces the explicit-seq column.
+    auto records = randomStream(2, kTraceBlockCapacity + 57, false);
+    expectIdentical(roundTrip(records), records);
+}
+
+TEST(TraceBlock, RoundTripIrregularDenseColumns)
+{
+    // Hand-built irregular records: non-zero value on a non-producer
+    // and non-zero memAddr on a non-mem record must switch the value /
+    // memAddr columns to dense and still round-trip losslessly.
+    std::vector<TraceRecord> records;
+    for (int i = 0; i < 100; ++i) {
+        TraceRecord rec;
+        rec.seq = static_cast<uint64_t>(i);
+        rec.pc = static_cast<uint64_t>(1000 + i);
+        rec.op = static_cast<Opcode>(i % 4);
+        rec.writesReg = false;
+        rec.value = i * 17 - 50;  // non-zero on a non-producer
+        rec.isMem = false;
+        rec.memAddr = static_cast<uint64_t>(i) * 4096 + 3;
+        records.push_back(rec);
+    }
+    expectIdentical(roundTrip(records), records);
+}
+
+TEST(TraceBlock, RoundTripMaxDeltaJumps)
+{
+    // Alternating extremes: every delta is the full 64-bit range.
+    std::vector<TraceRecord> records;
+    for (int i = 0; i < 64; ++i) {
+        TraceRecord rec;
+        rec.seq = static_cast<uint64_t>(i);
+        rec.pc = (i % 2) ? ~0ull : 0ull;
+        rec.writesReg = true;
+        rec.value = (i % 2) ? INT64_MAX : INT64_MIN;
+        rec.isMem = true;
+        rec.memAddr = (i % 2) ? 0ull : ~0ull;
+        records.push_back(rec);
+    }
+    expectIdentical(roundTrip(records), records);
+}
+
+TEST(TraceBlock, RoundTripSingleRecordAndEmpty)
+{
+    expectIdentical(roundTrip({}), {});
+    TraceRecord rec;
+    rec.seq = 42;
+    rec.pc = 7;
+    rec.writesReg = true;
+    rec.value = -1;
+    std::vector<TraceRecord> one{rec};
+    expectIdentical(roundTrip(one), one);
+}
+
+TEST(TraceBlock, ProbeDetectsTruncationAndCorruption)
+{
+    ColumnarTraceBuilder builder;
+    for (const TraceRecord &rec : randomStream(3, 500, true))
+        builder.record(rec);
+    ColumnarTrace trace = builder.take();
+    ASSERT_EQ(trace.blocks, 1u);
+
+    size_t consumed = 0;
+    uint32_t count = 0;
+    EXPECT_EQ(probeTraceBlock(trace.bytes.data(), trace.bytes.size(),
+                              &consumed, &count, true),
+              TraceBlockStatus::Ok);
+    EXPECT_EQ(consumed, trace.bytes.size());
+    EXPECT_EQ(count, 500u);
+
+    // Any shorter window is a torn block.
+    EXPECT_EQ(probeTraceBlock(trace.bytes.data(),
+                              trace.bytes.size() - 1, &consumed, &count,
+                              true),
+              TraceBlockStatus::Truncated);
+    EXPECT_EQ(probeTraceBlock(trace.bytes.data(), 5, &consumed, &count,
+                              true),
+              TraceBlockStatus::Truncated);
+
+    // A flipped payload byte fails the checksum...
+    std::vector<uint8_t> bad = trace.bytes;
+    bad[kTraceBlockHeaderBytes + bad.size() / 2] ^= 0x10;
+    EXPECT_EQ(probeTraceBlock(bad.data(), bad.size(), &consumed,
+                              &count, true),
+              TraceBlockStatus::ChecksumMismatch);
+
+    // ...and so does a flipped FRAMING byte (the checksum covers the
+    // header fields, not just the payload).
+    bad = trace.bytes;
+    bad[0] ^= 0x01;  // record count LSB
+    TraceBlockStatus st =
+        probeTraceBlock(bad.data(), bad.size(), &consumed, &count, true);
+    EXPECT_TRUE(st == TraceBlockStatus::ChecksumMismatch ||
+                st == TraceBlockStatus::Malformed);
+}
+
+TEST(TraceBlock, CorruptPayloadIsAStructuredDecodeFailure)
+{
+    ColumnarTraceBuilder builder;
+    for (const TraceRecord &rec : randomStream(4, 300, true))
+        builder.record(rec);
+    ColumnarTrace trace = builder.take();
+
+    // Even WITHOUT the checksum pass, decoding damaged bytes must end
+    // in a status, not UB: try every single-byte flip of the payload.
+    for (size_t i = kTraceBlockHeaderBytes; i < trace.bytes.size();
+         ++i) {
+        std::vector<uint8_t> bad = trace.bytes;
+        bad[i] ^= 0xff;
+        TraceBlockScratch scratch;
+        TraceBlockView view;
+        size_t consumed = 0;
+        (void)decodeTraceBlock(bad.data(), bad.size(), scratch, view,
+                               &consumed, false);
+    }
+}
+
+// --- v3 files (trace_io framing over the same blocks) ---------------
+
+TEST(TraceBlock, V3FileRoundTripIsBitIdentical)
+{
+    std::string path = tempPath("v3roundtrip.trace");
+    auto records = randomStream(5, kTraceBlockCapacity + 321, true);
+    ColumnarTraceBuilder builder;
+    for (const TraceRecord &rec : records)
+        builder.record(rec);
+    ColumnarTrace trace = builder.take();
+    ASSERT_EQ(writeColumnarTraceFile(path, trace), TraceIoStatus::Ok);
+
+    TraceFileReader reader(path);
+    EXPECT_EQ(reader.recordCount(), records.size());
+    std::vector<TraceRecord> got;
+    TraceRecord rec;
+    while (reader.next(rec))
+        got.push_back(rec);
+    EXPECT_EQ(reader.status(), TraceIoStatus::Ok);
+    expectIdentical(got, records);
+    std::remove(path.c_str());
+}
+
+TEST(TraceBlock, V3PerRecordWriterMatchesBulkWriter)
+{
+    // The streaming writer (TraceFileWriter in v3 mode) and the bulk
+    // ColumnarTrace writer must produce byte-identical files.
+    std::string streamed = tempPath("v3streamed.trace");
+    std::string bulk = tempPath("v3bulk.trace");
+    auto records = randomStream(6, 2 * kTraceBlockCapacity + 17, true);
+
+    {
+        TraceFileWriter writer(streamed, TraceFormat::V3);
+        for (const TraceRecord &rec : records)
+            writer.record(rec);
+        ASSERT_EQ(writer.close(), TraceIoStatus::Ok);
+    }
+    {
+        ColumnarTraceBuilder builder;
+        for (const TraceRecord &rec : records)
+            builder.record(rec);
+        ASSERT_EQ(writeColumnarTraceFile(bulk, builder.take()),
+                  TraceIoStatus::Ok);
+    }
+
+    auto slurp = [](const std::string &p) {
+        std::ifstream in(p, std::ios::binary);
+        return std::string((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    };
+    EXPECT_EQ(slurp(streamed), slurp(bulk));
+    std::remove(streamed.c_str());
+    std::remove(bulk.c_str());
+}
+
+TEST(TraceBlock, V3ReaderSkipResumesExactly)
+{
+    std::string path = tempPath("v3skip.trace");
+    auto records = randomStream(7, kTraceBlockCapacity + 200, true);
+    {
+        TraceFileWriter writer(path, TraceFormat::V3);
+        for (const TraceRecord &rec : records)
+            writer.record(rec);
+        ASSERT_EQ(writer.close(), TraceIoStatus::Ok);
+    }
+
+    // Skip across the block boundary and into the middle of block 1.
+    size_t prefix = kTraceBlockCapacity + 13;
+    TraceFileReader reader(path);
+    ASSERT_TRUE(reader.skip(prefix));
+    std::vector<TraceRecord> got(records.begin(),
+                                 records.begin() +
+                                     static_cast<long>(prefix));
+    TraceRecord rec;
+    while (reader.next(rec))
+        got.push_back(rec);
+    EXPECT_EQ(reader.status(), TraceIoStatus::Ok);
+    expectIdentical(got, records);
+    std::remove(path.c_str());
+}
+
+TEST(TraceBlock, TornTailIsTruncatedFileStatus)
+{
+    std::string path = tempPath("v3torn.trace");
+    auto records = randomStream(8, 700, true);
+    {
+        TraceFileWriter writer(path, TraceFormat::V3);
+        for (const TraceRecord &rec : records)
+            writer.record(rec);
+        ASSERT_EQ(writer.close(), TraceIoStatus::Ok);
+    }
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+
+    // Chop mid-block: the torn tail is the DISTINCT TruncatedFile
+    // status (satellite f), not the generic payload-size mismatch.
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() - 11));
+    out.close();
+
+    TraceIoStatus status = TraceIoStatus::Ok;
+    EXPECT_EQ(TraceFileReader::tryOpen(path, &status), nullptr);
+    EXPECT_EQ(status, TraceIoStatus::TruncatedFile);
+    EXPECT_STREQ(traceIoStatusName(TraceIoStatus::TruncatedFile),
+                 "truncated-file");
+    EXPECT_DEATH(TraceFileReader reader(path),
+                 "truncated-file.*v3torn\\.trace");
+    std::remove(path.c_str());
+}
+
+TEST(TraceBlock, FlippedBitInV3FileIsChecksumMismatch)
+{
+    std::string path = tempPath("v3flip.trace");
+    auto records = randomStream(9, 700, true);
+    {
+        TraceFileWriter writer(path, TraceFormat::V3);
+        for (const TraceRecord &rec : records)
+            writer.record(rec);
+        ASSERT_EQ(writer.close(), TraceIoStatus::Ok);
+    }
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+    bytes[bytes.size() / 2] =
+        static_cast<char>(bytes[bytes.size() / 2] ^ 0x20);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.close();
+
+    TraceIoStatus status = TraceIoStatus::Ok;
+    EXPECT_EQ(TraceFileReader::tryOpen(path, &status), nullptr);
+    EXPECT_EQ(status, TraceIoStatus::ChecksumMismatch);
+    std::remove(path.c_str());
+}
+
+TEST(TraceBlock, V3IsSmallerThanV2OnALoopyStream)
+{
+    // The compression gate proper lives in bench_trace_v3 over the
+    // nine-workload corpus; this is the unit-level sanity check that
+    // the encoder actually compresses a representative loop trace.
+    std::string v2 = tempPath("size2.trace");
+    std::string v3 = tempPath("size3.trace");
+    auto records = randomStream(10, 4 * kTraceBlockCapacity, true);
+    {
+        TraceFileWriter w2(v2, TraceFormat::V2);
+        TraceFileWriter w3(v3, TraceFormat::V3);
+        for (const TraceRecord &rec : records) {
+            w2.record(rec);
+            w3.record(rec);
+        }
+        ASSERT_EQ(w2.close(), TraceIoStatus::Ok);
+        ASSERT_EQ(w3.close(), TraceIoStatus::Ok);
+    }
+    auto size = [](const std::string &p) {
+        std::ifstream in(p, std::ios::binary | std::ios::ate);
+        return static_cast<uint64_t>(in.tellg());
+    };
+    EXPECT_LE(size(v3) * 2, size(v2))
+        << "v3 must be at most half of v2 even on randomized records";
+    std::remove(v2.c_str());
+    std::remove(v3.c_str());
+}
+
+} // namespace
+} // namespace vpprof

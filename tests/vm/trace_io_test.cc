@@ -144,11 +144,16 @@ TEST(TraceIo, RejectsMissingFile)
                  "cannot open");
 }
 
-/** Write a valid two-record trace and return its raw bytes. */
+/**
+ * Write a valid two-record trace and return its raw bytes. Pinned to
+ * format v2: these tests exercise the fixed-width record layout and
+ * trailer checksum, which only v2 carries (v3's framing has its own
+ * suite in trace_block_test.cc / trace_v3_*).
+ */
 std::string
 validTraceBytes(const std::string &path)
 {
-    TraceFileWriter writer(path);
+    TraceFileWriter writer(path, TraceFormat::V2);
     TraceRecord rec;
     rec.pc = 7;
     writer.record(rec);
@@ -335,6 +340,25 @@ TEST(TraceIo, Version1FilesAreNotChecksumChecked)
     TraceIoStatus status = TraceIoStatus::Ok;
     EXPECT_NE(TraceFileReader::tryOpen(path, &status), nullptr);
     EXPECT_EQ(status, TraceIoStatus::Ok);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, UnpinnedWritesDefaultToVersion3)
+{
+    std::string path = tempPath("v3fresh.trace");
+    ::unsetenv("VPPROF_TRACE_FORMAT");
+    {
+        TraceFileWriter writer(path);  // format from defaultTraceFormat()
+        TraceRecord rec;
+        rec.pc = 7;
+        writer.record(rec);
+        writer.close();
+    }
+    std::ifstream in(path, std::ios::binary);
+    std::string data((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    ASSERT_GE(data.size(), 16u);
+    EXPECT_EQ(data[7], '3');
     std::remove(path.c_str());
 }
 

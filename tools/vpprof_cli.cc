@@ -39,6 +39,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -106,6 +107,8 @@ usage()
                  "verify\n"
                  "  trace    <workload> <input> <file>   capture a "
                  "trace\n"
+                 "  trace    --format-stats              per-workload "
+                 "v2 vs v3 size/blocks\n"
                  "  replay   <file>                      trace stats\n"
                  "  profile  <workload> <input> <file>   profile "
                  "image (sampling flags apply)\n"
@@ -204,6 +207,72 @@ cmdTrace(Session &session, const Workload &w, size_t input,
                 static_cast<unsigned long long>(
                     writer.recordsWritten()),
                 path);
+    return 0;
+}
+
+/**
+ * trace --format-stats: the on-disk economics of the trace-format
+ * ladder, per workload. Each input-0 trace is captured through the
+ * session (so --trace-cache reuse applies), encoded as v3, and
+ * compared against the v2 size that capture would have produced
+ * (v2 is fixed-width: 16-byte header + 39 bytes/record + 8-byte
+ * trailer, so its size is exact without writing the file).
+ */
+int
+cmdTraceFormatStats(Session &session, const WorkloadSuite &suite)
+{
+    namespace fs = std::filesystem;
+    fs::path dir =
+        fs::temp_directory_path() / "vpprof_format_stats";
+    fs::create_directories(dir);
+
+    std::printf("%-10s %12s %7s %12s %12s %7s\n", "workload",
+                "records", "blocks", "v2 bytes", "v3 bytes", "v3/v2");
+    uint64_t total_records = 0, total_blocks = 0;
+    uint64_t total_v2 = 0, total_v3 = 0;
+    for (const auto &w : suite.all()) {
+        std::string name(w->name());
+        std::string path = (dir / (name + ".in0.trace")).string();
+        TraceFileWriter writer(path, TraceFormat::V3);
+        session.runTrace(*w, 0, &writer);
+        TraceIoStatus st = writer.close();
+        if (st != TraceIoStatus::Ok)
+            vpprof_fatal("cannot write format-stats scratch file (",
+                         traceIoStatusName(st), "): ", path);
+
+        uint64_t records = writer.recordsWritten();
+        uint64_t v2_bytes = 16 + 39 * records + 8;
+        std::error_code ec;
+        uint64_t v3_bytes = fs::file_size(path, ec);
+        if (ec)
+            vpprof_fatal("cannot stat format-stats scratch file: ",
+                         path);
+        uint64_t blocks = 0;
+        if (auto reader = TraceFileReader::tryOpen(
+                path, &st, TraceVerify::HeaderOnly))
+            blocks = reader->blockCount();
+
+        total_records += records;
+        total_blocks += blocks;
+        total_v2 += v2_bytes;
+        total_v3 += v3_bytes;
+        std::printf("%-10s %12llu %7llu %12llu %12llu %6.2fx\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(records),
+                    static_cast<unsigned long long>(blocks),
+                    static_cast<unsigned long long>(v2_bytes),
+                    static_cast<unsigned long long>(v3_bytes),
+                    static_cast<double>(v3_bytes) /
+                        static_cast<double>(v2_bytes));
+    }
+    std::printf("%-10s %12llu %7llu %12llu %12llu %6.2fx\n", "total",
+                static_cast<unsigned long long>(total_records),
+                static_cast<unsigned long long>(total_blocks),
+                static_cast<unsigned long long>(total_v2),
+                static_cast<unsigned long long>(total_v3),
+                static_cast<double>(total_v3) /
+                    static_cast<double>(total_v2));
+    fs::remove_all(dir);
     return 0;
 }
 
@@ -425,7 +494,9 @@ printRepoStats(Session &session)
                  "resident_records=%llu spilled_traces=%llu\n"
                  "[trace-repo] corrupt_quarantined=%llu "
                  "regenerations=%llu spill_failures=%llu "
-                 "read_retries=%llu\n",
+                 "read_retries=%llu\n"
+                 "[trace-repo] v3_blocks_decoded=%llu "
+                 "v3_bytes_mapped=%llu\n",
                  static_cast<unsigned long long>(st.vmRuns),
                  static_cast<unsigned long long>(st.diskLoads),
                  static_cast<unsigned long long>(st.replays),
@@ -435,7 +506,9 @@ printRepoStats(Session &session)
                  static_cast<unsigned long long>(st.corruptQuarantined),
                  static_cast<unsigned long long>(st.regenerations),
                  static_cast<unsigned long long>(st.spillFailures),
-                 static_cast<unsigned long long>(st.readRetries));
+                 static_cast<unsigned long long>(st.readRetries),
+                 static_cast<unsigned long long>(st.v3BlocksDecoded),
+                 static_cast<unsigned long long>(st.v3BytesMapped));
 }
 
 /** Strict unsigned flag value: rejects garbage instead of atoi's 0. */
@@ -486,6 +559,7 @@ main(int argc, char **argv)
     SamplingConfig sampling;
     bool policy_given = false, sampling_given = false;
     bool show_stats = false;
+    bool format_stats = false;
     std::string trace_json_path, metrics_out_path;
     report::VerifyOptions verify_opts;
 
@@ -509,6 +583,9 @@ main(int argc, char **argv)
             session_cfg.traceCacheDir = value;
         } else if (flag == "--stats") {
             show_stats = true;
+            continue;  // boolean flag: no value to consume
+        } else if (flag == "--format-stats") {
+            format_stats = true;
             continue;  // boolean flag: no value to consume
         } else if (flag == "--trace-json") {
             if (!value)
@@ -603,6 +680,8 @@ main(int argc, char **argv)
             return cmdList(suite);
         if (cmd == "verify")
             return cmdVerify(verify_opts);
+        if (cmd == "trace" && format_stats)
+            return cmdTraceFormatStats(session, suite);
         if (nrest < 2)
             return usage();
 
