@@ -578,6 +578,16 @@ TraceRepoStats::writeJsonFields(std::ostream &os) const
        << ", \"v3_bytes_mapped\": " << v3BytesMapped;
 }
 
+std::string
+repoStatsJson(const TraceRepoStats &stats)
+{
+    std::ostringstream os;
+    os << "{";
+    stats.writeJsonFields(os);
+    os << "}";
+    return os.str();
+}
+
 Session::Session(SessionConfig config)
     : config_(config),
       traces_(config),

@@ -120,6 +120,14 @@ struct TraceRepoStats
 };
 
 /**
+ * The stats as one complete JSON object (writeJsonFields wrapped in
+ * braces): the single serializer behind `vpprof_cli --stats-json`,
+ * the daemon protocol's `stats` response and vpprofd's --stats dump,
+ * so the three surfaces can never drift apart.
+ */
+std::string repoStatsJson(const TraceRepoStats &stats);
+
+/**
  * Owns one cached dynamic trace per (workload, input): produced at
  * most once per process — by the VM, or adopted from a valid file in
  * the persistent cache directory — and replayed read-only thereafter.

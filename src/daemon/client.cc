@@ -1,0 +1,252 @@
+#include "daemon/client.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace vpprof
+{
+namespace daemon
+{
+
+namespace
+{
+
+int64_t
+nowMs()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+DaemonClient::~DaemonClient()
+{
+    close();
+}
+
+void
+DaemonClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    inBuf_.clear();
+}
+
+bool
+DaemonClient::connect(const std::string &socket_path, std::string *error)
+{
+    close();
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof(addr.sun_path)) {
+        if (error)
+            *error = "socket path too long: " + socket_path;
+        return false;
+    }
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        if (error)
+            *error = std::string("cannot create socket (") +
+                     std::strerror(errno) + ")";
+        return false;
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        if (error)
+            *error = "cannot connect to " + socket_path + " (" +
+                     std::strerror(errno) + ")";
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+DaemonClient::sendLine(const std::string &line)
+{
+    if (fd_ < 0) {
+        lastError_ = "not connected";
+        return false;
+    }
+    std::string out = line;
+    out += '\n';
+    size_t off = 0;
+    while (off < out.size()) {
+        // MSG_NOSIGNAL: a dead daemon is an error return, not SIGPIPE.
+        ssize_t n = ::send(fd_, out.data() + off, out.size() - off,
+                           MSG_NOSIGNAL);
+        if (n > 0) {
+            off += static_cast<size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        lastError_ = std::string("send failed (") +
+                     std::strerror(errno) + ")";
+        close();
+        return false;
+    }
+    return true;
+}
+
+std::optional<std::string>
+DaemonClient::readLine(int timeout_ms)
+{
+    if (fd_ < 0) {
+        lastError_ = "not connected";
+        return std::nullopt;
+    }
+    int64_t deadline = nowMs() + timeout_ms;
+    for (;;) {
+        size_t nl = inBuf_.find('\n');
+        if (nl != std::string::npos) {
+            std::string line = inBuf_.substr(0, nl);
+            inBuf_.erase(0, nl + 1);
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            return line;
+        }
+
+        int64_t remaining = deadline - nowMs();
+        if (remaining <= 0) {
+            lastError_ = "timeout";
+            return std::nullopt;
+        }
+        pollfd pfd{fd_, POLLIN, 0};
+        int rc = ::poll(&pfd, 1, static_cast<int>(remaining));
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            lastError_ = std::string("poll failed (") +
+                         std::strerror(errno) + ")";
+            close();
+            return std::nullopt;
+        }
+        if (rc == 0) {
+            lastError_ = "timeout";
+            return std::nullopt;
+        }
+
+        char buf[4096];
+        ssize_t n = ::read(fd_, buf, sizeof(buf));
+        if (n > 0) {
+            inBuf_.append(buf, static_cast<size_t>(n));
+            continue;
+        }
+        if (n == 0) {
+            lastError_ = "disconnected";
+            close();
+            return std::nullopt;
+        }
+        if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+            continue;
+        lastError_ = std::string("read failed (") +
+                     std::strerror(errno) + ")";
+        close();
+        return std::nullopt;
+    }
+}
+
+CallResult
+DaemonClient::call(const std::string &request_line, uint64_t id,
+                   int timeout_ms)
+{
+    CallResult result;
+    int64_t deadline = nowMs() + timeout_ms;
+    if (!sendLine(request_line)) {
+        result.code = "disconnected";
+        result.error = lastError_;
+        return result;
+    }
+    for (;;) {
+        int64_t remaining = deadline - nowMs();
+        if (remaining <= 0) {
+            result.code = "timeout";
+            result.error = "no response for id " + std::to_string(id) +
+                           " within " + std::to_string(timeout_ms) +
+                           " ms";
+            return result;
+        }
+        std::optional<std::string> line =
+            readLine(static_cast<int>(remaining));
+        if (!line) {
+            result.code =
+                lastError_ == "timeout" ? "timeout" : "disconnected";
+            result.error = lastError_;
+            return result;
+        }
+
+        std::string parse_error;
+        std::optional<report::JsonValue> doc =
+            report::parseJson(*line, &parse_error);
+        if (!doc || !doc->isObject()) {
+            result.code = "protocol";
+            result.error = "unparseable line from daemon: " + *line;
+            return result;
+        }
+        const report::JsonValue *line_id = doc->get("id");
+        uint64_t got_id =
+            line_id && line_id->isNumber()
+                ? static_cast<uint64_t>(line_id->asNumber())
+                : 0;
+        if (doc->get("event")) {
+            if (got_id == id)
+                result.events.push_back(*line);
+            continue;
+        }
+        if (got_id != id) {
+            // A pipelined answer for another id on a synchronous
+            // connection is a protocol violation worth surfacing.
+            result.code = "protocol";
+            result.error = "response id mismatch: expected " +
+                           std::to_string(id) + ", got " + *line;
+            return result;
+        }
+
+        const report::JsonValue *ok = doc->get("ok");
+        result.ok = ok && ok->isBool() && ok->asBool();
+        if (!result.ok) {
+            const report::JsonValue *code = doc->get("code");
+            const report::JsonValue *err = doc->get("error");
+            result.code =
+                code && code->isString() ? code->asString() : "internal";
+            result.error =
+                err && err->isString() ? err->asString() : *line;
+        }
+        result.response = std::move(*doc);
+        result.raw = std::move(*line);
+        return result;
+    }
+}
+
+CallResult
+DaemonClient::call(uint64_t id, Command cmd, const std::string &workload,
+                   size_t input, double threshold, bool progress,
+                   int timeout_ms)
+{
+    Request req;
+    req.id = id;
+    req.cmd = cmd;
+    req.workload = workload;
+    req.input = input;
+    req.threshold = threshold;
+    req.progress = progress;
+    return call(requestLine(req), id, timeout_ms);
+}
+
+} // namespace daemon
+} // namespace vpprof

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Blocking client for the vpprofd protocol: connect to the daemon's
+ * Unix-domain socket, send request lines, read response/event lines
+ * with a poll()-based timeout. Backs `vpprof_cli daemon-client`, the
+ * daemon tests and the load bench.
+ *
+ * call() is the high-level entry: it sends one request and reads until
+ * the line answering that id arrives (responses carry `ok`; `event`
+ * lines for the id are collected aside, events for other ids are
+ * impossible on a connection driven synchronously). Timeouts and
+ * disconnects are reported as CallResult errors, never exceptions —
+ * a load generator must count them, not die.
+ */
+
+#ifndef VPPROF_DAEMON_CLIENT_HH
+#define VPPROF_DAEMON_CLIENT_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "daemon/protocol.hh"
+#include "report/json.hh"
+
+namespace vpprof
+{
+namespace daemon
+{
+
+/** Outcome of one call() round trip. */
+struct CallResult
+{
+    /** Transport worked and the daemon answered `ok: true`. */
+    bool ok = false;
+    /** Daemon error code (errorCodeName) or a transport pseudo-code:
+     *  `timeout`, `disconnected`, `protocol`. */
+    std::string code;
+    /** Human-readable failure detail (daemon `error` or transport). */
+    std::string error;
+    /** The parsed response document (null kind when transport failed). */
+    report::JsonValue response;
+    /** The raw response line (empty when transport failed). */
+    std::string raw;
+    /** Raw `event` lines received for this id before the answer. */
+    std::vector<std::string> events;
+};
+
+class DaemonClient
+{
+  public:
+    DaemonClient() = default;
+    ~DaemonClient();
+
+    DaemonClient(const DaemonClient &) = delete;
+    DaemonClient &operator=(const DaemonClient &) = delete;
+
+    DaemonClient(DaemonClient &&other) noexcept
+        : fd_(other.fd_),
+          inBuf_(std::move(other.inBuf_)),
+          lastError_(std::move(other.lastError_))
+    {
+        other.fd_ = -1;
+    }
+
+    /** Connect to the daemon socket. False (with diagnostic) on failure. */
+    bool connect(const std::string &socket_path, std::string *error);
+
+    bool connected() const { return fd_ >= 0; }
+    void close();
+
+    /**
+     * Send one raw line (newline appended). False on a transport
+     * failure (the connection is closed).
+     */
+    bool sendLine(const std::string &line);
+
+    /**
+     * Read the next complete line, waiting up to timeout_ms. nullopt
+     * on timeout, EOF or error (distinguish via lastError()).
+     */
+    std::optional<std::string> readLine(int timeout_ms);
+
+    /**
+     * Send `request_line` (which must carry `id`) and read until the
+     * response for that id arrives; event lines for the id accumulate
+     * in CallResult::events. timeout_ms bounds the WHOLE call.
+     */
+    CallResult call(const std::string &request_line, uint64_t id,
+                    int timeout_ms);
+
+    /** Convenience: build + send a command request. */
+    CallResult call(uint64_t id, Command cmd,
+                    const std::string &workload, size_t input,
+                    double threshold, bool progress, int timeout_ms);
+
+    const std::string &lastError() const { return lastError_; }
+
+  private:
+    int fd_ = -1;
+    std::string inBuf_;
+    std::string lastError_;
+};
+
+} // namespace daemon
+} // namespace vpprof
+
+#endif // VPPROF_DAEMON_CLIENT_HH

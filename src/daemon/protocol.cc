@@ -1,0 +1,201 @@
+#include "daemon/protocol.hh"
+
+#include <sstream>
+
+namespace vpprof
+{
+namespace daemon
+{
+
+const char *
+commandName(Command cmd)
+{
+    switch (cmd) {
+      case Command::Ping: return "ping";
+      case Command::Profile: return "profile";
+      case Command::Evaluate: return "evaluate";
+      case Command::Verify: return "verify";
+      case Command::Stats: return "stats";
+      case Command::Shutdown: return "shutdown";
+    }
+    return "?";
+}
+
+std::optional<Command>
+parseCommand(std::string_view name)
+{
+    if (name == "ping") return Command::Ping;
+    if (name == "profile") return Command::Profile;
+    if (name == "evaluate") return Command::Evaluate;
+    if (name == "verify") return Command::Verify;
+    if (name == "stats") return Command::Stats;
+    if (name == "shutdown") return Command::Shutdown;
+    return std::nullopt;
+}
+
+bool
+commandIsJob(Command cmd)
+{
+    return cmd == Command::Profile || cmd == Command::Evaluate ||
+           cmd == Command::Verify;
+}
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::BadRequest: return "bad_request";
+      case ErrorCode::UnknownWorkload: return "unknown_workload";
+      case ErrorCode::BadInput: return "bad_input";
+      case ErrorCode::Overloaded: return "overloaded";
+      case ErrorCode::Quota: return "quota";
+      case ErrorCode::Draining: return "draining";
+      case ErrorCode::Internal: return "internal";
+    }
+    return "?";
+}
+
+std::optional<Request>
+parseRequest(std::string_view line, std::string *error,
+             uint64_t *id_out)
+{
+    std::string parse_error;
+    std::optional<report::JsonValue> doc =
+        report::parseJson(line, &parse_error);
+    if (!doc) {
+        if (error)
+            *error = "malformed JSON: " + parse_error;
+        return std::nullopt;
+    }
+    if (!doc->isObject()) {
+        if (error)
+            *error = "request must be a JSON object";
+        return std::nullopt;
+    }
+
+    Request req;
+    const report::JsonValue *id = doc->get("id");
+    if (!id || !id->isNumber() || id->asNumber() < 0) {
+        if (error)
+            *error = "request needs a non-negative numeric 'id'";
+        return std::nullopt;
+    }
+    req.id = static_cast<uint64_t>(id->asNumber());
+    if (id_out)
+        *id_out = req.id;
+
+    const report::JsonValue *cmd = doc->get("cmd");
+    if (!cmd || !cmd->isString()) {
+        if (error)
+            *error = "request needs a string 'cmd'";
+        return std::nullopt;
+    }
+    std::optional<Command> parsed = parseCommand(cmd->asString());
+    if (!parsed) {
+        if (error)
+            *error = "unknown command '" + cmd->asString() + "'";
+        return std::nullopt;
+    }
+    req.cmd = *parsed;
+
+    if (const report::JsonValue *w = doc->get("workload")) {
+        if (!w->isString()) {
+            if (error)
+                *error = "'workload' must be a string";
+            return std::nullopt;
+        }
+        req.workload = w->asString();
+    }
+    if (const report::JsonValue *in = doc->get("input")) {
+        if (!in->isNumber() || in->asNumber() < 0) {
+            if (error)
+                *error = "'input' must be a non-negative number";
+            return std::nullopt;
+        }
+        req.input = static_cast<size_t>(in->asNumber());
+    }
+    if (const report::JsonValue *t = doc->get("threshold")) {
+        if (!t->isNumber()) {
+            if (error)
+                *error = "'threshold' must be a number";
+            return std::nullopt;
+        }
+        req.threshold = t->asNumber();
+    }
+    if (const report::JsonValue *p = doc->get("progress")) {
+        if (!p->isBool()) {
+            if (error)
+                *error = "'progress' must be a boolean";
+            return std::nullopt;
+        }
+        req.progress = p->asBool();
+    }
+
+    if (commandIsJob(req.cmd) && req.workload.empty()) {
+        if (error)
+            *error = std::string("'") + commandName(req.cmd) +
+                     "' needs a 'workload'";
+        return std::nullopt;
+    }
+    return req;
+}
+
+std::string
+requestLine(const Request &req)
+{
+    std::ostringstream os;
+    os << "{\"id\": "
+       << report::formatJsonNumber(static_cast<double>(req.id))
+       << ", \"cmd\": \"" << commandName(req.cmd) << "\"";
+    if (!req.workload.empty())
+        os << ", \"workload\": "
+           << report::quoteJsonString(req.workload) << ", \"input\": "
+           << report::formatJsonNumber(
+                  static_cast<double>(req.input));
+    if (req.cmd == Command::Evaluate)
+        os << ", \"threshold\": "
+           << report::formatJsonNumber(req.threshold);
+    if (req.progress)
+        os << ", \"progress\": true";
+    os << "}";
+    return os.str();
+}
+
+std::string
+okResponseLine(uint64_t id, Command cmd,
+               const std::string &result_fields)
+{
+    std::ostringstream os;
+    os << "{\"id\": "
+       << report::formatJsonNumber(static_cast<double>(id))
+       << ", \"ok\": true, \"cmd\": \"" << commandName(cmd)
+       << "\", \"result\": {" << result_fields << "}}";
+    return os.str();
+}
+
+std::string
+errorResponseLine(uint64_t id, ErrorCode code, std::string_view message)
+{
+    std::ostringstream os;
+    os << "{\"id\": "
+       << report::formatJsonNumber(static_cast<double>(id))
+       << ", \"ok\": false, \"code\": \"" << errorCodeName(code)
+       << "\", \"error\": " << report::quoteJsonString(message) << "}";
+    return os.str();
+}
+
+std::string
+eventLine(uint64_t id, std::string_view event, const std::string &fields)
+{
+    std::ostringstream os;
+    os << "{\"id\": "
+       << report::formatJsonNumber(static_cast<double>(id))
+       << ", \"event\": \"" << event << "\"";
+    if (!fields.empty())
+        os << ", " << fields;
+    os << "}";
+    return os.str();
+}
+
+} // namespace daemon
+} // namespace vpprof

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The vpprofd wire protocol: newline-delimited JSON over a Unix
+ * domain stream socket (DESIGN.md §13).
+ *
+ * Every line the client sends is one complete request object; every
+ * line the daemon sends is one complete response or event object. A
+ * request names a command and carries an `id` the daemon echoes on
+ * everything it emits for that request, so a client may pipeline
+ * requests freely and match answers by id:
+ *
+ *   -> {"id": 1, "cmd": "evaluate", "workload": "li", "input": 0,
+ *       "threshold": 70, "progress": true}
+ *   <- {"id": 1, "event": "accepted", "queued": 1}
+ *   <- {"id": 1, "event": "progress", "queued": 0, "running": 1, ...}
+ *   <- {"id": 1, "ok": true, "cmd": "evaluate", "result": {...}}
+ *
+ * Failures are structured, never silent: a request the daemon will
+ * not run gets `{"id": N, "ok": false, "code": "...", "error": ...}`
+ * with a stable machine-readable code — `overloaded` and `quota` are
+ * the admission-control rejections clients are expected to back off
+ * on; `draining` means the daemon is shutting down gracefully.
+ *
+ * The documents are strict RFC 8259 JSON (the report/json parser and
+ * writers are reused verbatim), and every number is emitted through
+ * formatJsonNumber, so a daemon result parsed back yields doubles
+ * bit-identical to what the CLI-batch path computes in process.
+ */
+
+#ifndef VPPROF_DAEMON_PROTOCOL_HH
+#define VPPROF_DAEMON_PROTOCOL_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "report/json.hh"
+
+namespace vpprof
+{
+namespace daemon
+{
+
+/** The daemon's command set. */
+enum class Command
+{
+    Ping,     ///< liveness probe; answered inline by the event loop
+    Profile,  ///< phase-2 profile of (workload, input); a job
+    Evaluate, ///< FSM-vs-profile classification accuracy; a job
+    Verify,   ///< execute (workload, input), check the checksum; a job
+    Stats,    ///< daemon + trace-repository counters; answered inline
+    Shutdown, ///< begin graceful drain; answered inline
+};
+
+const char *commandName(Command cmd);
+std::optional<Command> parseCommand(std::string_view name);
+
+/** True for commands that run as queued jobs (admission-controlled). */
+bool commandIsJob(Command cmd);
+
+/** Stable machine-readable rejection/failure codes. */
+enum class ErrorCode
+{
+    BadRequest,      ///< malformed JSON / missing or invalid fields
+    UnknownWorkload, ///< workload name not in the suite
+    BadInput,        ///< input index out of range
+    Overloaded,      ///< admission queue full; retry with backoff
+    Quota,           ///< per-client in-flight quota exceeded
+    Draining,        ///< daemon is shutting down; no new jobs
+    Internal,        ///< job failed inside the daemon (a vpprof bug)
+};
+
+const char *errorCodeName(ErrorCode code);
+
+/** One parsed request line. */
+struct Request
+{
+    uint64_t id = 0;
+    Command cmd = Command::Ping;
+    std::string workload;     ///< profile / evaluate / verify
+    size_t input = 0;         ///< input-set index (default 0)
+    double threshold = 70.0;  ///< evaluate: annotation threshold (%)
+    bool progress = false;    ///< subscribe to accepted/progress events
+};
+
+/**
+ * Parse one request line. On failure returns nullopt and a one-line
+ * diagnostic in `error`; when the malformed document still carried a
+ * numeric `id`, it is reported through `id_out` so the error response
+ * can echo it (otherwise `id_out` is left untouched).
+ */
+std::optional<Request> parseRequest(std::string_view line,
+                                    std::string *error,
+                                    uint64_t *id_out = nullptr);
+
+/**
+ * Serialize a request as one wire line (no trailing newline). The
+ * inverse of parseRequest: round-tripping through it is lossless for
+ * every representable request. DaemonClient and the load bench build
+ * their requests through it.
+ */
+std::string requestLine(const Request &req);
+
+/**
+ * Response/event lines (no trailing newline; the channel appends it).
+ * `result_fields` / `fields` are pre-rendered JSON object members
+ * ("\"a\": 1, \"b\": 2"), empty for an empty object.
+ */
+std::string okResponseLine(uint64_t id, Command cmd,
+                           const std::string &result_fields);
+std::string errorResponseLine(uint64_t id, ErrorCode code,
+                              std::string_view message);
+std::string eventLine(uint64_t id, std::string_view event,
+                      const std::string &fields);
+
+} // namespace daemon
+} // namespace vpprof
+
+#endif // VPPROF_DAEMON_PROTOCOL_HH

@@ -1,0 +1,782 @@
+#include "daemon/server.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <sstream>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/failpoint.hh"
+#include "common/logging.hh"
+#include "common/telemetry/telemetry.hh"
+
+namespace vpprof
+{
+namespace daemon
+{
+
+namespace
+{
+
+uint64_t
+nowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+bool
+setNonBlocking(int fd)
+{
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void
+writeField(std::ostream &os, const char *name, uint64_t value,
+           bool &first)
+{
+    if (!first)
+        os << ", ";
+    first = false;
+    os << "\"" << name << "\": " << value;
+}
+
+} // namespace
+
+void
+DaemonStatsSnapshot::writeJsonFields(std::ostream &os) const
+{
+    bool first = true;
+    writeField(os, "connections", connections, first);
+    writeField(os, "disconnects", disconnects, first);
+    writeField(os, "idle_closes", idleCloses, first);
+    writeField(os, "accept_failures", acceptFailures, first);
+    writeField(os, "requests", requests, first);
+    writeField(os, "bad_requests", badRequests, first);
+    writeField(os, "immediate", immediate, first);
+    writeField(os, "jobs_admitted", jobsAdmitted, first);
+    writeField(os, "jobs_completed", jobsCompleted, first);
+    writeField(os, "jobs_failed", jobsFailed, first);
+    writeField(os, "rejected_overloaded", rejectedOverloaded, first);
+    writeField(os, "rejected_quota", rejectedQuota, first);
+    writeField(os, "rejected_draining", rejectedDraining, first);
+    writeField(os, "write_errors", writeErrors, first);
+    writeField(os, "progress_events", progressEvents, first);
+    writeField(os, "queued", queued, first);
+    writeField(os, "running", running, first);
+    writeField(os, "clients", clients, first);
+}
+
+DaemonServer::DaemonServer(DaemonConfig config)
+    : config_(std::move(config)),
+      session_(config_.session),
+      dispatcher_(session_, suite_)
+{
+}
+
+DaemonServer::~DaemonServer()
+{
+    // run() normally tears everything down; this path covers start()
+    // without run() (a failed test setup) and start() failures.
+    if (executor_.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(jobMutex_);
+            executorStop_ = true;
+        }
+        jobCv_.notify_all();
+        executor_.join();
+    }
+    for (auto &[fd, client] : clients_)
+        ::close(fd);
+    if (listenFd_ >= 0)
+        ::close(listenFd_);
+    if (wakeRead_ >= 0)
+        ::close(wakeRead_);
+    int wfd = wakeWrite_.exchange(-1);
+    if (wfd >= 0)
+        ::close(wfd);
+    if (socketBound_)
+        ::unlink(config_.socketPath.c_str());
+}
+
+bool
+DaemonServer::start(std::string *error)
+{
+    auto fail = [&](const std::string &msg) {
+        if (error)
+            *error = msg + " (" + std::strerror(errno) + ")";
+        return false;
+    };
+
+    if (config_.socketPath.empty()) {
+        if (error)
+            *error = "daemon needs a socket path";
+        return false;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (config_.socketPath.size() >= sizeof(addr.sun_path)) {
+        if (error)
+            *error = "socket path too long: " + config_.socketPath;
+        return false;
+    }
+    std::strncpy(addr.sun_path, config_.socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+
+    // Writes to a client that vanished must be an error return on the
+    // write, never a process-killing SIGPIPE.
+    ::signal(SIGPIPE, SIG_IGN);
+
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        return fail("cannot create socket");
+    ::unlink(config_.socketPath.c_str());  // replace a stale socket
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        return fail("cannot bind " + config_.socketPath);
+    socketBound_ = true;
+    if (::listen(listenFd_, 64) != 0)
+        return fail("cannot listen on " + config_.socketPath);
+    if (!setNonBlocking(listenFd_))
+        return fail("cannot make listener non-blocking");
+
+    int pipe_fds[2];
+    if (::pipe(pipe_fds) != 0)
+        return fail("cannot create wake pipe");
+    wakeRead_ = pipe_fds[0];
+    wakeWrite_.store(pipe_fds[1]);
+    setNonBlocking(wakeRead_);
+    setNonBlocking(pipe_fds[1]);
+
+    executor_ = std::thread([this] { executorLoop(); });
+    started_ = true;
+    return true;
+}
+
+void
+DaemonServer::requestShutdown()
+{
+    int fd = wakeWrite_.load(std::memory_order_relaxed);
+    if (fd < 0)
+        return;
+    char tag = 'T';
+    // Async-signal-safe; a full pipe already holds a pending wake.
+    [[maybe_unused]] ssize_t n = ::write(fd, &tag, 1);
+}
+
+void
+DaemonServer::wake(char tag)
+{
+    int fd = wakeWrite_.load(std::memory_order_relaxed);
+    if (fd < 0)
+        return;
+    [[maybe_unused]] ssize_t n = ::write(fd, &tag, 1);
+}
+
+// ---------------------------------------------------------------- //
+//                        executor thread                           //
+// ---------------------------------------------------------------- //
+
+void
+DaemonServer::executorLoop()
+{
+    for (;;) {
+        std::vector<Job> batch;
+        {
+            std::unique_lock<std::mutex> lock(jobMutex_);
+            jobCv_.wait(lock, [&] {
+                return executorStop_ || !jobQueue_.empty();
+            });
+            if (jobQueue_.empty() && executorStop_)
+                return;
+            // One runner batch per pull: enough jobs to fill every
+            // lane, small enough that a drain converges quickly.
+            size_t lanes =
+                std::max<size_t>(1, session_.runner().jobs());
+            size_t take = std::min(jobQueue_.size(), lanes);
+            for (size_t i = 0; i < take; ++i) {
+                batch.push_back(std::move(jobQueue_.front()));
+                jobQueue_.pop_front();
+            }
+            runningJobs_ += batch.size();
+        }
+
+        std::vector<JobOutcome> outcomes(batch.size());
+        session_.runner().forEach(batch.size(), [&](size_t i) {
+            outcomes[i] = dispatcher_.execute(batch[i].req);
+        });
+
+        {
+            std::lock_guard<std::mutex> lock(completionMutex_);
+            for (size_t i = 0; i < batch.size(); ++i)
+                completions_.push_back({batch[i].clientSerial,
+                                        batch[i].req.id,
+                                        batch[i].req.cmd,
+                                        std::move(outcomes[i]),
+                                        batch[i].admitNs});
+        }
+        {
+            std::lock_guard<std::mutex> lock(jobMutex_);
+            runningJobs_ -= batch.size();
+        }
+        wake('C');
+    }
+}
+
+// ---------------------------------------------------------------- //
+//                         event loop                               //
+// ---------------------------------------------------------------- //
+
+int
+DaemonServer::run()
+{
+    if (!started_)
+        vpprof_panic("DaemonServer::run() before start()");
+
+    std::vector<pollfd> fds;
+    std::vector<int> client_fds;
+    while (true) {
+        fds.clear();
+        client_fds.clear();
+        fds.push_back({wakeRead_, POLLIN, 0});
+        size_t listener_idx = SIZE_MAX;
+        if (!draining_ && listenFd_ >= 0) {
+            listener_idx = fds.size();
+            fds.push_back({listenFd_, POLLIN, 0});
+        }
+        size_t clients_base = fds.size();
+        for (auto &[fd, client] : clients_) {
+            short events = POLLIN;
+            if (client.outOff < client.outBuf.size())
+                events |= POLLOUT;
+            fds.push_back({fd, events, 0});
+            client_fds.push_back(fd);
+        }
+
+        uint64_t now = nowNs();
+        int rc = ::poll(fds.data(),
+                        static_cast<nfds_t>(fds.size()),
+                        computeTimeoutMs(now));
+        if (rc < 0 && errno != EINTR)
+            vpprof_panic("poll failed: ", std::strerror(errno));
+        now = nowNs();
+
+        if (fds[0].revents & POLLIN) {
+            char buf[64];
+            ssize_t n;
+            bool drain_requested = false;
+            while ((n = ::read(wakeRead_, buf, sizeof(buf))) > 0)
+                for (ssize_t i = 0; i < n; ++i)
+                    drain_requested |= buf[i] == 'T';
+            if (drain_requested)
+                beginDrain();
+        }
+
+        drainCompletions();
+
+        if (listener_idx != SIZE_MAX &&
+            (fds[listener_idx].revents & POLLIN))
+            acceptClients();
+
+        for (size_t i = 0; i < client_fds.size(); ++i) {
+            int fd = client_fds[i];
+            short revents = fds[clients_base + i].revents;
+            if (revents == 0 || !clients_.count(fd))
+                continue;
+            if (revents & (POLLERR | POLLHUP | POLLNVAL)) {
+                // POLLHUP with readable data still delivers POLLIN
+                // first on Linux; by the time HUP arrives alone the
+                // peer is gone for good.
+                if (!(revents & POLLIN)) {
+                    closeClient(fd);
+                    continue;
+                }
+            }
+            if (revents & POLLOUT)
+                flushClient(clients_.at(fd));
+            if (clients_.count(fd) && (revents & POLLIN))
+                readClient(fd);
+        }
+
+        handleTimers(now);
+
+        if (draining_ && drainComplete())
+            break;
+    }
+
+    // Drain finished: every admitted job was answered (or its client
+    // vanished) and every buffer is flushed. Tear down in order.
+    {
+        std::lock_guard<std::mutex> lock(jobMutex_);
+        executorStop_ = true;
+    }
+    jobCv_.notify_all();
+    executor_.join();
+    while (!clients_.empty())
+        closeClient(clients_.begin()->first);
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+    if (socketBound_) {
+        ::unlink(config_.socketPath.c_str());
+        socketBound_ = false;
+    }
+    // The whole point of a *graceful* drain: a SIGTERM-initiated exit
+    // still writes complete --metrics-out / --trace-json files even
+    // though no atexit handler will run before _exit in some embeddings.
+    telemetry::flushOutputs();
+    return 0;
+}
+
+void
+DaemonServer::beginDrain()
+{
+    if (draining_)
+        return;
+    draining_ = true;
+    vpprof_inform("vpprofd: draining (", jobQueue_.size(),
+                  " queued jobs)");
+    // Refuse new connections immediately: close + unlink so fresh
+    // connects fail fast instead of queueing in the backlog.
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+    if (socketBound_) {
+        ::unlink(config_.socketPath.c_str());
+        socketBound_ = false;
+    }
+}
+
+bool
+DaemonServer::drainComplete() const
+{
+    {
+        std::lock_guard<std::mutex> lock(jobMutex_);
+        if (!jobQueue_.empty() || runningJobs_ != 0)
+            return false;
+    }
+    {
+        std::lock_guard<std::mutex> lock(completionMutex_);
+        if (!completions_.empty())
+            return false;
+    }
+    for (const auto &[fd, client] : clients_)
+        if (client.outOff < client.outBuf.size())
+            return false;
+    return true;
+}
+
+int
+DaemonServer::computeTimeoutMs(uint64_t now_ns) const
+{
+    // While draining, completions and writability drive the loop; a
+    // short tick only backstops the final quiescence check.
+    if (draining_)
+        return 20;
+
+    uint64_t next = UINT64_MAX;
+    bool progress_wanted = false;
+    for (const auto &[fd, client] : clients_) {
+        if (!client.progressIds.empty())
+            progress_wanted = true;
+        if (config_.idleTimeoutMs > 0 && client.inflight == 0)
+            next = std::min(next, client.lastActivityNs +
+                                      config_.idleTimeoutMs * 1'000'000);
+    }
+    if (progress_wanted)
+        next = std::min(next, lastProgressTickNs_ +
+                                  config_.progressIntervalMs * 1'000'000);
+    if (next == UINT64_MAX)
+        return -1;
+    if (next <= now_ns)
+        return 0;
+    return static_cast<int>(
+        std::min<uint64_t>((next - now_ns) / 1'000'000 + 1, 60'000));
+}
+
+void
+DaemonServer::acceptClients()
+{
+    for (;;) {
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK ||
+                errno == ECONNABORTED)
+                break;
+            counters_.acceptFailures.add();
+            vpprof_warn_limited(4, "vpprofd: accept failed: ",
+                                std::strerror(errno));
+            break;
+        }
+        // Deterministic socket-level fault: a connection the kernel
+        // accepted but the daemon could not adopt.
+        if (FailpointRegistry::instance().fire("daemon.accept") !=
+            FailpointAction::None) {
+            counters_.acceptFailures.add();
+            ::close(fd);
+            continue;
+        }
+        if (!setNonBlocking(fd)) {
+            counters_.acceptFailures.add();
+            ::close(fd);
+            continue;
+        }
+        Client client;
+        client.fd = fd;
+        client.serial = nextClientSerial_++;
+        client.lastActivityNs = nowNs();
+        clientFdBySerial_[client.serial] = fd;
+        clients_.emplace(fd, std::move(client));
+        counters_.connections.add();
+    }
+}
+
+void
+DaemonServer::readClient(int fd)
+{
+    Client &client = clients_.at(fd);
+    char buf[4096];
+    for (;;) {
+        ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n > 0) {
+            client.inBuf.append(buf, static_cast<size_t>(n));
+            client.lastActivityNs = nowNs();
+            if (static_cast<ssize_t>(sizeof(buf)) != n)
+                break;
+            continue;
+        }
+        if (n == 0) {
+            closeClient(fd);
+            return;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+        if (errno == EINTR)
+            continue;
+        closeClient(fd);
+        return;
+    }
+
+    // Frame complete lines; a request longer than maxLineBytes is a
+    // protocol violation answered, then the connection is dropped.
+    size_t start = 0;
+    for (;;) {
+        if (!clients_.count(fd))
+            return;  // handleLine drained into a close
+        size_t nl = client.inBuf.find('\n', start);
+        if (nl == std::string::npos)
+            break;
+        std::string line = client.inBuf.substr(start, nl - start);
+        start = nl + 1;
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty())
+            continue;
+        if (line.size() > config_.maxLineBytes) {
+            counters_.badRequests.add();
+            sendLine(client,
+                     errorResponseLine(0, ErrorCode::BadRequest,
+                                       "request line too long"));
+            closeClient(fd);
+            return;
+        }
+        handleLine(client, line);
+    }
+    client.inBuf.erase(0, start);
+    if (client.inBuf.size() > config_.maxLineBytes) {
+        counters_.badRequests.add();
+        sendLine(client,
+                 errorResponseLine(0, ErrorCode::BadRequest,
+                                   "request line too long"));
+        closeClient(fd);
+    }
+}
+
+void
+DaemonServer::handleLine(Client &client, const std::string &line)
+{
+    counters_.requests.add();
+    std::string error;
+    uint64_t id = 0;
+    std::optional<Request> req = parseRequest(line, &error, &id);
+    if (!req) {
+        counters_.badRequests.add();
+        sendLine(client,
+                 errorResponseLine(id, ErrorCode::BadRequest, error));
+        return;
+    }
+
+    if (!commandIsJob(req->cmd)) {
+        counters_.immediate.add();
+        switch (req->cmd) {
+          case Command::Ping:
+            sendLine(client, okResponseLine(req->id, req->cmd, ""));
+            break;
+          case Command::Stats:
+            sendLine(client,
+                     okResponseLine(req->id, req->cmd, statsFields()));
+            break;
+          case Command::Shutdown:
+            sendLine(client, okResponseLine(req->id, req->cmd, ""));
+            beginDrain();
+            break;
+          default:
+            break;
+        }
+        return;
+    }
+
+    handleJobRequest(client, *req);
+}
+
+void
+DaemonServer::handleJobRequest(Client &client, const Request &req)
+{
+    if (draining_) {
+        counters_.rejectedDraining.add();
+        sendLine(client,
+                 errorResponseLine(req.id, ErrorCode::Draining,
+                                   "daemon is shutting down"));
+        return;
+    }
+    if (client.inflight >= config_.maxInflightPerClient) {
+        counters_.rejectedQuota.add();
+        sendLine(client,
+                 errorResponseLine(
+                     req.id, ErrorCode::Quota,
+                     "client in-flight quota reached (" +
+                         std::to_string(config_.maxInflightPerClient) +
+                         ")"));
+        return;
+    }
+    bool enqueued = false;
+    size_t admitted = 0;
+    {
+        std::lock_guard<std::mutex> lock(jobMutex_);
+        admitted = jobQueue_.size() + runningJobs_;
+        if (admitted < config_.maxQueue) {
+            jobQueue_.push_back({client.serial, req, nowNs()});
+            ++admitted;
+            enqueued = true;
+        }
+    }
+    if (!enqueued) {
+        counters_.rejectedOverloaded.add();
+        sendLine(client,
+                 errorResponseLine(
+                     req.id, ErrorCode::Overloaded,
+                     "admission queue full (" +
+                         std::to_string(config_.maxQueue) +
+                         " jobs); retry with backoff"));
+        return;
+    }
+    ++client.inflight;
+    counters_.jobsAdmitted.add();
+    if (req.progress) {
+        client.progressIds.insert(req.id);
+        std::ostringstream os;
+        os << "\"queued\": " << admitted;
+        sendLine(client, eventLine(req.id, "accepted", os.str()));
+    }
+    jobCv_.notify_one();
+}
+
+void
+DaemonServer::drainCompletions()
+{
+    std::deque<Completion> done;
+    {
+        std::lock_guard<std::mutex> lock(completionMutex_);
+        done.swap(completions_);
+    }
+    for (Completion &c : done) {
+        if (c.outcome.ok)
+            counters_.jobsCompleted.add();
+        else
+            counters_.jobsFailed.add();
+        counters_.jobLatencyUs.observe((nowNs() - c.admitNs) / 1000);
+
+        auto it = clientFdBySerial_.find(c.clientSerial);
+        if (it == clientFdBySerial_.end())
+            continue;  // client vanished; the job still ran to completion
+        Client &client = clients_.at(it->second);
+        if (client.inflight > 0)
+            --client.inflight;
+        client.progressIds.erase(c.requestId);
+        if (c.outcome.ok)
+            sendLine(client, okResponseLine(c.requestId, c.cmd,
+                                            c.outcome.resultFields));
+        else
+            sendLine(client,
+                     errorResponseLine(c.requestId, c.outcome.code,
+                                       c.outcome.error));
+    }
+}
+
+void
+DaemonServer::handleTimers(uint64_t now_ns)
+{
+    // Progress events for subscribed jobs, at the configured cadence.
+    if (now_ns - lastProgressTickNs_ >=
+        config_.progressIntervalMs * 1'000'000) {
+        lastProgressTickNs_ = now_ns;
+        size_t queued, running;
+        {
+            std::lock_guard<std::mutex> lock(jobMutex_);
+            queued = jobQueue_.size();
+            running = runningJobs_;
+        }
+        if (queued + running > 0) {
+            TraceRepoStats st = session_.traces().stats();
+            std::ostringstream os;
+            os << "\"queued\": " << queued << ", \"running\": "
+               << running << ", ";
+            st.writeJsonFields(os);
+            std::string fields = os.str();
+            std::vector<int> to_notify;
+            for (auto &[fd, client] : clients_)
+                if (!client.progressIds.empty())
+                    to_notify.push_back(fd);
+            for (int fd : to_notify) {
+                if (!clients_.count(fd))
+                    continue;
+                Client &client = clients_.at(fd);
+                std::set<uint64_t> ids = client.progressIds;
+                for (uint64_t id : ids) {
+                    if (!clients_.count(fd))
+                        break;
+                    counters_.progressEvents.add();
+                    sendLine(clients_.at(fd),
+                             eventLine(id, "progress", fields));
+                }
+            }
+        }
+    }
+
+    // Idle closes: no complete request and nothing in flight.
+    if (config_.idleTimeoutMs == 0)
+        return;
+    std::vector<int> idle;
+    for (auto &[fd, client] : clients_) {
+        // lastActivityNs can postdate now_ns (accepted after this
+        // loop iteration captured the clock): not idle.
+        if (client.inflight == 0 &&
+            client.outOff >= client.outBuf.size() &&
+            now_ns > client.lastActivityNs &&
+            now_ns - client.lastActivityNs >
+                config_.idleTimeoutMs * 1'000'000)
+            idle.push_back(fd);
+    }
+    for (int fd : idle)
+        closeClient(fd, /*counted_idle=*/true);
+}
+
+void
+DaemonServer::sendLine(Client &client, const std::string &line)
+{
+    client.outBuf += line;
+    client.outBuf += '\n';
+    flushClient(client);
+}
+
+void
+DaemonServer::flushClient(Client &client)
+{
+    int fd = client.fd;
+    while (client.outOff < client.outBuf.size()) {
+        // Deterministic socket-level write fault.
+        if (FailpointRegistry::instance().fire("daemon.write") !=
+            FailpointAction::None) {
+            counters_.writeErrors.add();
+            closeClient(fd);
+            return;
+        }
+        ssize_t n = ::write(fd, client.outBuf.data() + client.outOff,
+                            client.outBuf.size() - client.outOff);
+        if (n > 0) {
+            client.outOff += static_cast<size_t>(n);
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            return;  // wait for POLLOUT
+        if (n < 0 && errno == EINTR)
+            continue;
+        counters_.writeErrors.add();
+        closeClient(fd);
+        return;
+    }
+    client.outBuf.clear();
+    client.outOff = 0;
+}
+
+void
+DaemonServer::closeClient(int fd, bool counted_idle)
+{
+    auto it = clients_.find(fd);
+    if (it == clients_.end())
+        return;
+    clientFdBySerial_.erase(it->second.serial);
+    ::close(fd);
+    clients_.erase(it);
+    counters_.disconnects.add();
+    if (counted_idle)
+        counters_.idleCloses.add();
+}
+
+DaemonStatsSnapshot
+DaemonServer::statsSnapshot() const
+{
+    DaemonStatsSnapshot st;
+    st.connections = counters_.connections.value();
+    st.disconnects = counters_.disconnects.value();
+    st.idleCloses = counters_.idleCloses.value();
+    st.acceptFailures = counters_.acceptFailures.value();
+    st.requests = counters_.requests.value();
+    st.badRequests = counters_.badRequests.value();
+    st.immediate = counters_.immediate.value();
+    st.jobsAdmitted = counters_.jobsAdmitted.value();
+    st.jobsCompleted = counters_.jobsCompleted.value();
+    st.jobsFailed = counters_.jobsFailed.value();
+    st.rejectedOverloaded = counters_.rejectedOverloaded.value();
+    st.rejectedQuota = counters_.rejectedQuota.value();
+    st.rejectedDraining = counters_.rejectedDraining.value();
+    st.writeErrors = counters_.writeErrors.value();
+    st.progressEvents = counters_.progressEvents.value();
+    {
+        std::lock_guard<std::mutex> lock(jobMutex_);
+        st.queued = jobQueue_.size();
+        st.running = runningJobs_;
+    }
+    st.clients = clients_.size();
+    return st;
+}
+
+std::string
+DaemonServer::statsFields()
+{
+    // ONE serializer for every stats surface: the daemon block uses
+    // DaemonStatsSnapshot::writeJsonFields, the trace block reuses
+    // TraceRepoStats::writeJsonFields — exactly what --stats-json and
+    // BENCH_session.json print.
+    DaemonStatsSnapshot daemon_stats = statsSnapshot();
+    TraceRepoStats repo_stats = session_.traces().stats();
+    std::ostringstream os;
+    os << "\"daemon\": {";
+    daemon_stats.writeJsonFields(os);
+    os << "}, \"trace\": " << repoStatsJson(repo_stats);
+    return os.str();
+}
+
+} // namespace daemon
+} // namespace vpprof

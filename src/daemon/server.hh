@@ -1,0 +1,262 @@
+/**
+ * @file
+ * vpprofd's serving core: a single-threaded poll() event loop over a
+ * Unix domain stream socket, multiplexing profile/evaluate/verify
+ * jobs from many concurrent clients onto ONE shared Session (one
+ * trace-once repository, one memoized profile cache, one
+ * flock-serialized persistent trace cache) through the existing
+ * ExperimentRunner thread pool.
+ *
+ * Threading model (DESIGN.md §13):
+ *  - the EVENT LOOP thread owns every socket, every client buffer and
+ *    all admission state — no locks on the serving path;
+ *  - one EXECUTOR thread pulls admitted jobs in batches and fans them
+ *    across the runner with forEach (the runner is not re-entrant
+ *    across threads, so exactly one thread drives it);
+ *  - completions post back through a mutex-guarded queue plus a
+ *    self-pipe byte, the only executor -> event-loop channel.
+ *
+ * Robustness is first-class:
+ *  - admission control: a bounded queue (maxQueue admitted jobs) with
+ *    explicit `overloaded` rejections, and a per-client in-flight
+ *    quota rejected as `quota` — a client always gets an answer,
+ *    immediately or eventually, never silence;
+ *  - idle/read timeouts: a connection with no complete request and no
+ *    job in flight for idleTimeoutMs is closed;
+ *  - graceful drain: SIGTERM (via requestShutdown()) or the protocol
+ *    `shutdown` command stops accepting connections and admitting
+ *    jobs (`draining` rejections), finishes every admitted job,
+ *    flushes every client buffer, then flushes the telemetry outputs
+ *    (--metrics-out / --trace-json survive a signal-initiated exit);
+ *  - fault injection: `daemon.accept` and `daemon.write` failpoints
+ *    make socket-level faults deterministic, and the trace-cache
+ *    failpoint matrix applies unchanged under the daemon — a corrupt
+ *    cache file mid-job means the client gets a completed result via
+ *    quarantine + regeneration, not a hang.
+ */
+
+#ifndef VPPROF_DAEMON_SERVER_HH
+#define VPPROF_DAEMON_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/telemetry/metrics.hh"
+#include "core/session.hh"
+#include "daemon/dispatch.hh"
+#include "daemon/protocol.hh"
+#include "workloads/workload.hh"
+
+namespace vpprof
+{
+namespace daemon
+{
+
+/** Tunables for one daemon instance. */
+struct DaemonConfig
+{
+    /** Unix-domain socket path (required; a stale file is replaced). */
+    std::string socketPath;
+
+    /** The shared Session underneath (jobs, trace cache, budget). */
+    SessionConfig session;
+
+    /** Admission bound: queued + running jobs; beyond it requests are
+     *  rejected `overloaded`. */
+    size_t maxQueue = 64;
+
+    /** Per-client in-flight (admitted, unanswered) job quota. */
+    size_t maxInflightPerClient = 8;
+
+    /** Close a connection idle (no request, no job in flight) this
+     *  long; 0 disables the timeout. */
+    uint64_t idleTimeoutMs = 30'000;
+
+    /** Cadence of `progress` events for subscribed jobs. */
+    uint64_t progressIntervalMs = 200;
+
+    /** A request line longer than this is a protocol error. */
+    size_t maxLineBytes = 1 << 16;
+};
+
+/**
+ * Point-in-time view of the daemon's serving counters (the daemon
+ * analogue of TraceRepoStats): live values are telemetry-backed
+ * `daemon.*` counters, so the protocol `stats` command, vpprofd
+ * --stats, --metrics-out and the load bench all read one source of
+ * truth through one serializer (writeJsonFields).
+ */
+struct DaemonStatsSnapshot
+{
+    uint64_t connections = 0;      ///< accepted client connections
+    uint64_t disconnects = 0;      ///< closed (any reason)
+    uint64_t idleCloses = 0;       ///< closed by the idle timeout
+    uint64_t acceptFailures = 0;   ///< accept faults (failpoint/errno)
+    uint64_t requests = 0;         ///< complete request lines read
+    uint64_t badRequests = 0;      ///< lines rejected bad_request
+    uint64_t immediate = 0;        ///< ping/stats/shutdown answered inline
+    uint64_t jobsAdmitted = 0;
+    uint64_t jobsCompleted = 0;    ///< admitted jobs answered ok
+    uint64_t jobsFailed = 0;       ///< admitted jobs answered !ok
+    uint64_t rejectedOverloaded = 0;
+    uint64_t rejectedQuota = 0;
+    uint64_t rejectedDraining = 0;
+    uint64_t writeErrors = 0;      ///< client writes failed; client dropped
+    uint64_t progressEvents = 0;
+
+    // Live levels (not counters).
+    uint64_t queued = 0;   ///< jobs waiting for a runner lane
+    uint64_t running = 0;  ///< jobs on runner lanes now
+    uint64_t clients = 0;  ///< open connections
+
+    /** The counters as JSON object members (no braces), snake_case. */
+    void writeJsonFields(std::ostream &os) const;
+};
+
+class DaemonServer
+{
+  public:
+    explicit DaemonServer(DaemonConfig config);
+    ~DaemonServer();
+
+    DaemonServer(const DaemonServer &) = delete;
+    DaemonServer &operator=(const DaemonServer &) = delete;
+
+    /**
+     * Bind + listen on the socket and start the executor thread.
+     * False (with a diagnostic) when the socket cannot be created.
+     */
+    bool start(std::string *error);
+
+    /**
+     * The event loop: serves until a graceful drain completes.
+     * Returns 0 after a clean drain (the only way it returns).
+     */
+    int run();
+
+    /**
+     * Begin a graceful drain. Async-signal-safe (one write() to the
+     * self-pipe): SIGTERM handlers call this. Idempotent.
+     */
+    void requestShutdown();
+
+    DaemonStatsSnapshot statsSnapshot() const;
+    Session &session() { return session_; }
+    const DaemonConfig &config() const { return config_; }
+
+  private:
+    struct Client
+    {
+        int fd = -1;
+        uint64_t serial = 0;
+        std::string inBuf;
+        std::string outBuf;
+        size_t outOff = 0;
+        size_t inflight = 0;       ///< admitted, unanswered jobs
+        uint64_t lastActivityNs = 0;
+        std::set<uint64_t> progressIds;  ///< jobs streaming progress
+    };
+
+    struct Job
+    {
+        uint64_t clientSerial = 0;
+        Request req;
+        uint64_t admitNs = 0;
+    };
+
+    struct Completion
+    {
+        uint64_t clientSerial = 0;
+        uint64_t requestId = 0;
+        Command cmd = Command::Ping;
+        JobOutcome outcome;
+        uint64_t admitNs = 0;
+    };
+
+    // --- event-loop internals (event-loop thread only) -------------
+    void acceptClients();
+    void readClient(int fd);
+    void handleLine(Client &client, const std::string &line);
+    void handleJobRequest(Client &client, const Request &req);
+    void sendLine(Client &client, const std::string &line);
+    void flushClient(Client &client);
+    void closeClient(int fd, bool counted_idle = false);
+    void drainCompletions();
+    void handleTimers(uint64_t now_ns);
+    void beginDrain();
+    bool drainComplete() const;
+    int computeTimeoutMs(uint64_t now_ns) const;
+    std::string statsFields();
+
+    // --- executor thread -------------------------------------------
+    void executorLoop();
+    void wake(char tag);
+
+    DaemonConfig config_;
+    WorkloadSuite suite_;
+    Session session_;
+    Dispatcher dispatcher_;
+
+    int listenFd_ = -1;
+    int wakeRead_ = -1;
+    std::atomic<int> wakeWrite_{-1};
+    bool started_ = false;
+    bool draining_ = false;
+    bool socketBound_ = false;
+
+    std::map<int, Client> clients_;            ///< by fd
+    std::map<uint64_t, int> clientFdBySerial_;
+    uint64_t nextClientSerial_ = 1;
+    uint64_t lastProgressTickNs_ = 0;
+
+    std::thread executor_;
+    mutable std::mutex jobMutex_;
+    std::condition_variable jobCv_;
+    std::deque<Job> jobQueue_;
+    size_t runningJobs_ = 0;
+    bool executorStop_ = false;
+
+    mutable std::mutex completionMutex_;
+    std::deque<Completion> completions_;
+
+    /** Live serving counters mirrored into the telemetry registry
+     *  under `daemon.*` (the TraceRepository::Counters idiom). */
+    struct Counters
+    {
+        telemetry::ScopedCounter connections{"daemon.connections"};
+        telemetry::ScopedCounter disconnects{"daemon.disconnects"};
+        telemetry::ScopedCounter idleCloses{"daemon.idle_closes"};
+        telemetry::ScopedCounter acceptFailures{
+            "daemon.accept_failures"};
+        telemetry::ScopedCounter requests{"daemon.requests"};
+        telemetry::ScopedCounter badRequests{"daemon.bad_requests"};
+        telemetry::ScopedCounter immediate{"daemon.immediate"};
+        telemetry::ScopedCounter jobsAdmitted{"daemon.jobs_admitted"};
+        telemetry::ScopedCounter jobsCompleted{"daemon.jobs_completed"};
+        telemetry::ScopedCounter jobsFailed{"daemon.jobs_failed"};
+        telemetry::ScopedCounter rejectedOverloaded{
+            "daemon.rejected_overloaded"};
+        telemetry::ScopedCounter rejectedQuota{"daemon.rejected_quota"};
+        telemetry::ScopedCounter rejectedDraining{
+            "daemon.rejected_draining"};
+        telemetry::ScopedCounter writeErrors{"daemon.write_errors"};
+        telemetry::ScopedCounter progressEvents{
+            "daemon.progress_events"};
+        telemetry::HistogramMetric jobLatencyUs{
+            "daemon.job_latency.us"};
+    };
+    Counters counters_;
+};
+
+} // namespace daemon
+} // namespace vpprof
+
+#endif // VPPROF_DAEMON_SERVER_HH

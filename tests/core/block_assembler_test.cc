@@ -1,0 +1,159 @@
+/**
+ * @file
+ * BlockAssembler boundary behavior: the record->block bridge must
+ * deliver exactly the record stream it was fed — no duplicated tail on
+ * repeated flushes, a full block emitted exactly at capacity, nothing
+ * for an empty stream — and the assembled fan-out must be bit-identical
+ * to handing the same records straight to a plain record sink.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/checksum.hh"
+#include "core/batch_replay.hh"
+#include "vm/trace.hh"
+#include "vm/trace_block.hh"
+
+namespace vpprof
+{
+namespace
+{
+
+/** Deterministic pseudo-record stream exercising every field. */
+TraceRecord
+makeRecord(uint64_t i)
+{
+    TraceRecord rec;
+    rec.seq = i;
+    rec.pc = 100 + i % 37;
+    rec.op = (i % 3 == 0) ? Opcode::Add
+                          : (i % 3 == 1 ? Opcode::Ld : Opcode::Beq);
+    rec.directive = (i % 5 == 0) ? Directive::Stride : Directive::None;
+    rec.writesReg = i % 3 != 2;
+    rec.dest = static_cast<RegId>(i % 16);
+    rec.value = static_cast<int64_t>(i * 2654435761u) - 1'000'000;
+    rec.numSrcs = static_cast<uint8_t>(i % 3);
+    rec.srcs = {static_cast<RegId>((i + 1) % 16),
+                static_cast<RegId>((i + 2) % 16)};
+    rec.isMem = i % 3 == 1;
+    rec.memAddr = rec.isMem ? 0x4000 + i % 97 : 0;
+    return rec;
+}
+
+/** Order-sensitive digest of the observable record fields. */
+struct DigestSink : TraceSink
+{
+    uint64_t sum = kFnv1a64Seed;
+    uint64_t count = 0;
+
+    void
+    record(const TraceRecord &rec) override
+    {
+        ++count;
+        sum = fnv1a64(&rec.seq, sizeof(rec.seq), sum);
+        sum = fnv1a64(&rec.pc, sizeof(rec.pc), sum);
+        uint8_t op = static_cast<uint8_t>(rec.op);
+        sum = fnv1a64(&op, 1, sum);
+        uint8_t dir = static_cast<uint8_t>(rec.directive);
+        sum = fnv1a64(&dir, 1, sum);
+        uint8_t flags = (rec.writesReg ? 1 : 0) | (rec.isMem ? 2 : 0);
+        sum = fnv1a64(&flags, 1, sum);
+        sum = fnv1a64(&rec.dest, sizeof(rec.dest), sum);
+        sum = fnv1a64(&rec.value, sizeof(rec.value), sum);
+        sum = fnv1a64(&rec.numSrcs, sizeof(rec.numSrcs), sum);
+        sum = fnv1a64(rec.srcs.data(), 2, sum);
+        sum = fnv1a64(&rec.memAddr, sizeof(rec.memAddr), sum);
+    }
+};
+
+/** Counts delivered blocks and their record totals. */
+struct BlockCounter : TraceBlockSink
+{
+    std::vector<uint32_t> blockSizes;
+    uint64_t records = 0;
+
+    void
+    consumeBlock(const TraceBlockView &block) override
+    {
+        blockSizes.push_back(block.count);
+        records += block.count;
+    }
+};
+
+TEST(BlockAssembler, EmptyStreamDeliversNothing)
+{
+    BlockCounter counter;
+    {
+        BlockAssembler assembler(&counter);
+        assembler.flush();  // explicit flush of nothing
+        // destructor flush of nothing follows
+    }
+    EXPECT_TRUE(counter.blockSizes.empty());
+    EXPECT_EQ(counter.records, 0u);
+}
+
+TEST(BlockAssembler, ExactCapacityStreamIsOneFullBlock)
+{
+    BlockCounter counter;
+    {
+        BlockAssembler assembler(&counter);
+        for (uint64_t i = 0; i < kTraceBlockCapacity; ++i)
+            assembler.record(makeRecord(i));
+        // The block was emitted AT the capacity boundary, not held
+        // until flush: exactly one full block already delivered.
+        ASSERT_EQ(counter.blockSizes.size(), 1u);
+        EXPECT_EQ(counter.blockSizes[0], kTraceBlockCapacity);
+        assembler.flush();  // nothing buffered: no second block
+        EXPECT_EQ(counter.blockSizes.size(), 1u);
+    }
+    // Destructor flush adds nothing either.
+    EXPECT_EQ(counter.blockSizes.size(), 1u);
+    EXPECT_EQ(counter.records, kTraceBlockCapacity);
+}
+
+TEST(BlockAssembler, PartialTailFlushedTwiceDeliversOnce)
+{
+    constexpr uint64_t kTail = 100;
+    BlockCounter counter;
+    {
+        BlockAssembler assembler(&counter);
+        for (uint64_t i = 0; i < kTraceBlockCapacity + kTail; ++i)
+            assembler.record(makeRecord(i));
+        assembler.flush();
+        assembler.flush();  // double flush must NOT re-deliver the tail
+        ASSERT_EQ(counter.blockSizes.size(), 2u);
+        EXPECT_EQ(counter.blockSizes[0], kTraceBlockCapacity);
+        EXPECT_EQ(counter.blockSizes[1], kTail);
+    }
+    // ...and neither may the destructor.
+    EXPECT_EQ(counter.blockSizes.size(), 2u);
+    EXPECT_EQ(counter.records, kTraceBlockCapacity + kTail);
+}
+
+TEST(BlockAssembler, FanOutIsBitIdenticalToPlainRecordSink)
+{
+    // Stream sizes chosen to cross block boundaries asymmetrically:
+    // empty tail, one-record tail, capacity-aligned, small stream.
+    for (uint64_t n : {0ull, 1ull, 4095ull, 4096ull, 4097ull, 10240ull}) {
+        DigestSink direct;
+        for (uint64_t i = 0; i < n; ++i)
+            direct.record(makeRecord(i));
+
+        DigestSink via_bank;
+        EvaluatorBank bank;
+        bank.addRecordSink(&via_bank);
+        {
+            BlockAssembler assembler(&bank);
+            for (uint64_t i = 0; i < n; ++i)
+                assembler.record(makeRecord(i));
+            assembler.flush();
+        }
+        EXPECT_EQ(via_bank.count, direct.count) << "n=" << n;
+        EXPECT_EQ(via_bank.sum, direct.sum) << "n=" << n;
+    }
+}
+
+} // namespace
+} // namespace vpprof

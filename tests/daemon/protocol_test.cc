@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Wire-protocol unit tests: request parsing (strict field validation,
+ * id echo on malformed documents), response/event line construction,
+ * and the round-trip property — every line the protocol writers emit
+ * parses back through the strict report/json parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "daemon/protocol.hh"
+
+namespace vpprof
+{
+namespace daemon
+{
+namespace
+{
+
+TEST(Protocol, ParsesMinimalPing)
+{
+    std::string error;
+    auto req = parseRequest(R"({"id": 7, "cmd": "ping"})", &error);
+    ASSERT_TRUE(req) << error;
+    EXPECT_EQ(req->id, 7u);
+    EXPECT_EQ(req->cmd, Command::Ping);
+    EXPECT_FALSE(req->progress);
+}
+
+TEST(Protocol, ParsesFullJobRequest)
+{
+    std::string error;
+    auto req = parseRequest(
+        R"({"id": 3, "cmd": "evaluate", "workload": "li", "input": 2,)"
+        R"( "threshold": 85.5, "progress": true})",
+        &error);
+    ASSERT_TRUE(req) << error;
+    EXPECT_EQ(req->id, 3u);
+    EXPECT_EQ(req->cmd, Command::Evaluate);
+    EXPECT_EQ(req->workload, "li");
+    EXPECT_EQ(req->input, 2u);
+    EXPECT_DOUBLE_EQ(req->threshold, 85.5);
+    EXPECT_TRUE(req->progress);
+}
+
+TEST(Protocol, RejectsMalformedDocuments)
+{
+    std::string error;
+    EXPECT_FALSE(parseRequest("not json", &error));
+    EXPECT_FALSE(parseRequest("[1, 2]", &error));
+    EXPECT_FALSE(parseRequest("{}", &error));
+    EXPECT_FALSE(parseRequest(R"({"id": 1})", &error));
+    EXPECT_FALSE(parseRequest(R"({"cmd": "ping"})", &error));
+    EXPECT_FALSE(parseRequest(R"({"id": -1, "cmd": "ping"})", &error));
+    EXPECT_FALSE(parseRequest(R"({"id": "x", "cmd": "ping"})", &error));
+    EXPECT_FALSE(parseRequest(R"({"id": 1, "cmd": "launch"})", &error));
+    EXPECT_FALSE(
+        parseRequest(R"({"id": 1, "cmd": 7})", &error));
+}
+
+TEST(Protocol, RejectsBadFieldTypes)
+{
+    std::string error;
+    EXPECT_FALSE(parseRequest(
+        R"({"id": 1, "cmd": "profile", "workload": 3})", &error));
+    EXPECT_FALSE(parseRequest(
+        R"({"id": 1, "cmd": "profile", "workload": "li",)"
+        R"( "input": -2})",
+        &error));
+    EXPECT_FALSE(parseRequest(
+        R"({"id": 1, "cmd": "evaluate", "workload": "li",)"
+        R"( "threshold": "high"})",
+        &error));
+    EXPECT_FALSE(parseRequest(
+        R"({"id": 1, "cmd": "profile", "workload": "li",)"
+        R"( "progress": 1})",
+        &error));
+}
+
+TEST(Protocol, JobCommandsRequireWorkload)
+{
+    std::string error;
+    EXPECT_FALSE(parseRequest(R"({"id": 1, "cmd": "profile"})", &error));
+    EXPECT_FALSE(parseRequest(R"({"id": 1, "cmd": "evaluate"})", &error));
+    EXPECT_FALSE(parseRequest(R"({"id": 1, "cmd": "verify"})", &error));
+    // ...but the inline commands do not.
+    EXPECT_TRUE(parseRequest(R"({"id": 1, "cmd": "stats"})", &error));
+    EXPECT_TRUE(parseRequest(R"({"id": 1, "cmd": "shutdown"})", &error));
+}
+
+TEST(Protocol, MalformedRequestStillEchoesId)
+{
+    // The daemon answers errors with the request's id when the broken
+    // document still carried one, so pipelining clients can match it.
+    std::string error;
+    uint64_t id = 999;
+    EXPECT_FALSE(parseRequest(R"({"id": 41, "cmd": "launch"})", &error,
+                              &id));
+    EXPECT_EQ(id, 41u);
+
+    id = 999;
+    EXPECT_FALSE(parseRequest("garbage", &error, &id));
+    EXPECT_EQ(id, 999u);  // untouched: no id recoverable
+}
+
+TEST(Protocol, CommandClassification)
+{
+    EXPECT_FALSE(commandIsJob(Command::Ping));
+    EXPECT_TRUE(commandIsJob(Command::Profile));
+    EXPECT_TRUE(commandIsJob(Command::Evaluate));
+    EXPECT_TRUE(commandIsJob(Command::Verify));
+    EXPECT_FALSE(commandIsJob(Command::Stats));
+    EXPECT_FALSE(commandIsJob(Command::Shutdown));
+}
+
+TEST(Protocol, NamesRoundTrip)
+{
+    for (Command cmd :
+         {Command::Ping, Command::Profile, Command::Evaluate,
+          Command::Verify, Command::Stats, Command::Shutdown}) {
+        auto parsed = parseCommand(commandName(cmd));
+        ASSERT_TRUE(parsed);
+        EXPECT_EQ(*parsed, cmd);
+    }
+    EXPECT_FALSE(parseCommand("no-such-command"));
+}
+
+TEST(Protocol, RequestLinesRoundTrip)
+{
+    // requestLine is parseRequest's inverse: every representable
+    // request survives serialize -> parse unchanged, including the
+    // omitted-field defaults.
+    std::vector<Request> cases;
+    Request ping;
+    ping.id = 1;
+    cases.push_back(ping);
+    Request stats;
+    stats.id = 17;
+    stats.cmd = Command::Stats;
+    cases.push_back(stats);
+    Request profile;
+    profile.id = 2;
+    profile.cmd = Command::Profile;
+    profile.workload = "compress";
+    profile.input = 3;
+    profile.progress = true;
+    cases.push_back(profile);
+    Request evaluate;
+    evaluate.id = 3;
+    evaluate.cmd = Command::Evaluate;
+    evaluate.workload = "li";
+    evaluate.threshold = 85.5;
+    cases.push_back(evaluate);
+
+    for (const Request &req : cases) {
+        std::string error;
+        auto parsed = parseRequest(requestLine(req), &error);
+        ASSERT_TRUE(parsed) << requestLine(req) << ": " << error;
+        EXPECT_EQ(parsed->id, req.id);
+        EXPECT_EQ(parsed->cmd, req.cmd);
+        EXPECT_EQ(parsed->workload, req.workload);
+        EXPECT_EQ(parsed->input, req.input);
+        EXPECT_DOUBLE_EQ(parsed->threshold, req.threshold);
+        EXPECT_EQ(parsed->progress, req.progress);
+    }
+}
+
+TEST(Protocol, ResponseLinesAreStrictJson)
+{
+    std::string ok = okResponseLine(12, Command::Evaluate,
+                                    "\"threshold\": 70, \"x\": 1.5");
+    std::string error_line;
+    auto doc = report::parseJson(ok, &error_line);
+    ASSERT_TRUE(doc) << error_line;
+    EXPECT_DOUBLE_EQ(doc->numberOr("id", -1), 12.0);
+    ASSERT_TRUE(doc->get("ok"));
+    EXPECT_TRUE(doc->get("ok")->asBool());
+    EXPECT_EQ(doc->stringOr("cmd", ""), "evaluate");
+    ASSERT_TRUE(doc->get("result"));
+    EXPECT_DOUBLE_EQ(doc->get("result")->numberOr("threshold", -1), 70);
+
+    // Empty result fields render as an empty object, still valid.
+    auto empty = report::parseJson(okResponseLine(1, Command::Ping, ""));
+    ASSERT_TRUE(empty);
+    ASSERT_TRUE(empty->get("result"));
+    EXPECT_TRUE(empty->get("result")->isObject());
+
+    std::string err = errorResponseLine(
+        3, ErrorCode::Overloaded, "queue full \"now\"\n back off");
+    auto edoc = report::parseJson(err, &error_line);
+    ASSERT_TRUE(edoc) << error_line;
+    EXPECT_FALSE(edoc->get("ok")->asBool());
+    EXPECT_EQ(edoc->stringOr("code", ""), "overloaded");
+    EXPECT_EQ(edoc->stringOr("error", ""),
+              "queue full \"now\"\n back off");
+
+    auto ev = report::parseJson(
+        eventLine(5, "progress", "\"queued\": 2, \"running\": 1"));
+    ASSERT_TRUE(ev);
+    EXPECT_EQ(ev->stringOr("event", ""), "progress");
+    EXPECT_DOUBLE_EQ(ev->numberOr("queued", -1), 2.0);
+}
+
+TEST(Protocol, ErrorCodeNamesAreStable)
+{
+    EXPECT_STREQ(errorCodeName(ErrorCode::BadRequest), "bad_request");
+    EXPECT_STREQ(errorCodeName(ErrorCode::UnknownWorkload),
+                 "unknown_workload");
+    EXPECT_STREQ(errorCodeName(ErrorCode::BadInput), "bad_input");
+    EXPECT_STREQ(errorCodeName(ErrorCode::Overloaded), "overloaded");
+    EXPECT_STREQ(errorCodeName(ErrorCode::Quota), "quota");
+    EXPECT_STREQ(errorCodeName(ErrorCode::Draining), "draining");
+    EXPECT_STREQ(errorCodeName(ErrorCode::Internal), "internal");
+}
+
+} // namespace
+} // namespace daemon
+} // namespace vpprof

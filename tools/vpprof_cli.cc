@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "common/telemetry/telemetry.hh"
+#include "daemon/client.hh"
 #include "report/verify.hh"
 #include "compiler/cfg.hh"
 #include "core/evaluators.hh"
@@ -73,6 +74,8 @@ usage()
                  "invocations\n"
                  "  --stats           print trace-repository serving "
                  "+ recovery counters (stderr)\n"
+                 "  --stats-json      print the same counters as one "
+                 "JSON object (stdout)\n"
                  "  --trace-json FILE write a Chrome trace_event "
                  "span timeline (Perfetto-loadable)\n"
                  "  --metrics-out FILE write a metrics snapshot "
@@ -89,6 +92,10 @@ usage()
                  "margin (default 50)\n"
                  "  --perf-counter-margin PCT counter regression "
                  "margin (default 0)\n"
+                 "daemon client (daemon-client command only):\n"
+                 "  --socket PATH     vpprofd Unix-domain socket\n"
+                 "  --timeout-ms N    round-trip deadline "
+                 "(default 120000)\n"
                  "sampled profiling (profile command only):\n"
                  "  --sample-rate N   observe ~1 in N trace records "
                  "(default 1 = exact)\n"
@@ -125,7 +132,13 @@ usage()
                  "  blocks   <workload> [thresh]         basic-block "
                  "schedule\n"
                  "  verify   --golden DIR                golden shape "
-                 "checks + perf gate\n");
+                 "checks + perf gate\n"
+                 "  daemon-client --socket PATH <cmd> [workload] "
+                 "[input] [thresh]\n"
+                 "           cmd: ping | profile | evaluate | verify | "
+                 "stats | shutdown;\n"
+                 "           prints the daemon's JSON response line on "
+                 "stdout\n");
     return 2;
 }
 
@@ -539,6 +552,55 @@ parsePctFlag(const char *flag, const char *value)
     return parsed;
 }
 
+/**
+ * daemon-client: one protocol round trip against a running vpprofd.
+ * The daemon's response line goes to stdout verbatim (it is already
+ * one strict-JSON document), so shell pipelines and the CI smoke can
+ * parse it directly. Exit 0 only when the daemon answered ok.
+ */
+int
+cmdDaemonClient(const std::string &socket_path, int timeout_ms,
+                int nrest, char **rest)
+{
+    if (socket_path.empty())
+        vpprof_fatal("daemon-client requires --socket PATH");
+    if (nrest < 2)
+        vpprof_fatal("daemon-client requires a command "
+                     "(ping | profile | evaluate | verify | stats | "
+                     "shutdown)");
+    std::optional<daemon::Command> cmd = daemon::parseCommand(rest[1]);
+    if (!cmd)
+        vpprof_fatal("unknown daemon command '", rest[1], "'");
+    std::string workload = nrest > 2 ? rest[2] : "";
+    if (daemon::commandIsJob(*cmd) && workload.empty())
+        vpprof_fatal("daemon command '", rest[1],
+                     "' requires a workload");
+    size_t input = nrest > 3
+                       ? static_cast<size_t>(
+                             parseUintFlag("input", rest[3]))
+                       : 0;
+    double threshold = nrest > 4 ? std::atof(rest[4]) : 70.0;
+
+    daemon::DaemonClient client;
+    std::string error;
+    if (!client.connect(socket_path, &error))
+        vpprof_fatal("daemon-client: ", error);
+    daemon::CallResult result = client.call(
+        1, *cmd, workload, input, threshold, false, timeout_ms);
+    if (result.raw.empty()) {
+        // Transport failure: no response line to print; synthesize a
+        // structured one so consumers always read valid JSON.
+        std::printf("%s\n",
+                    daemon::errorResponseLine(
+                        1, daemon::ErrorCode::Internal,
+                        result.code + ": " + result.error)
+                        .c_str());
+        return 1;
+    }
+    std::printf("%s\n", result.raw.c_str());
+    return result.ok ? 0 : 1;
+}
+
 int
 cmdVerify(const report::VerifyOptions &options)
 {
@@ -559,7 +621,10 @@ main(int argc, char **argv)
     SamplingConfig sampling;
     bool policy_given = false, sampling_given = false;
     bool show_stats = false;
+    bool show_stats_json = false;
     bool format_stats = false;
+    std::string daemon_socket;
+    int daemon_timeout_ms = 120'000;
     std::string trace_json_path, metrics_out_path;
     report::VerifyOptions verify_opts;
 
@@ -584,6 +649,16 @@ main(int argc, char **argv)
         } else if (flag == "--stats") {
             show_stats = true;
             continue;  // boolean flag: no value to consume
+        } else if (flag == "--stats-json") {
+            show_stats_json = true;
+            continue;  // boolean flag: no value to consume
+        } else if (flag == "--socket") {
+            if (!value)
+                vpprof_fatal("--socket requires a path");
+            daemon_socket = value;
+        } else if (flag == "--timeout-ms") {
+            daemon_timeout_ms = static_cast<int>(
+                parseUintFlag("--timeout-ms", value));
         } else if (flag == "--format-stats") {
             format_stats = true;
             continue;  // boolean flag: no value to consume
@@ -680,6 +755,9 @@ main(int argc, char **argv)
             return cmdList(suite);
         if (cmd == "verify")
             return cmdVerify(verify_opts);
+        if (cmd == "daemon-client")
+            return cmdDaemonClient(daemon_socket, daemon_timeout_ms,
+                                   nrest, rest);
         if (cmd == "trace" && format_stats)
             return cmdTraceFormatStats(session, suite);
         if (nrest < 2)
@@ -727,5 +805,10 @@ main(int argc, char **argv)
     int rc = dispatch();
     if (show_stats)
         printRepoStats(session);
+    // Machine-readable stats: the exact serializer the daemon's
+    // `stats` command uses, so scripts parse one schema everywhere.
+    if (show_stats_json)
+        std::printf("%s\n",
+                    repoStatsJson(session.traces().stats()).c_str());
     return rc;
 }

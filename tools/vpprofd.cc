@@ -1,0 +1,178 @@
+/**
+ * @file
+ * vpprofd — profiling-as-a-service daemon (DESIGN.md §13).
+ *
+ *   vpprofd --socket PATH [flags]
+ *
+ * Serves the vpprof wire protocol (newline-delimited JSON over a Unix
+ * domain socket) until a graceful drain completes: SIGTERM/SIGINT or a
+ * protocol `shutdown` command stops accepting work, finishes every
+ * admitted job, flushes every client, writes the telemetry outputs and
+ * exits 0. All long-lived state — the trace cache, memoized profiles,
+ * the runner pool — is one shared Session, so N clients asking about
+ * one workload cost one VM interpretation, not N.
+ */
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/telemetry/telemetry.hh"
+#include "core/session.hh"
+#include "daemon/server.hh"
+
+using namespace vpprof;
+
+namespace
+{
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: vpprofd --socket PATH [flags]\n"
+        "  --socket PATH        Unix-domain socket to serve (required)\n"
+        "  --jobs N             runner lanes (0 = all cores; default 2)\n"
+        "  --trace-cache DIR    persistent trace cache shared with the "
+        "CLI\n"
+        "  --max-queue N        admitted-job bound; beyond it requests "
+        "are\n"
+        "                       rejected `overloaded` (default 64)\n"
+        "  --max-inflight N     per-client in-flight job quota "
+        "(default 8)\n"
+        "  --idle-timeout-ms N  close idle connections after N ms "
+        "(0 = never;\n"
+        "                       default 30000)\n"
+        "  --trace-json FILE    Chrome trace_event span timeline\n"
+        "  --metrics-out FILE   metrics snapshot JSON (written on "
+        "drain)\n"
+        "  --stats              print serving + trace counters on exit "
+        "(stderr)\n");
+    return 2;
+}
+
+uint64_t
+parseUintFlag(const char *flag, const char *value)
+{
+    if (!value || !*value)
+        vpprof_fatal(flag, " requires an unsigned integer value");
+    char *end = nullptr;
+    unsigned long long parsed = std::strtoull(value, &end, 10);
+    if (*end != '\0' || value[0] == '-')
+        vpprof_fatal(flag, ": '", value,
+                     "' is not an unsigned integer");
+    return static_cast<uint64_t>(parsed);
+}
+
+/**
+ * The one live server, for the signal handlers. A plain pointer set
+ * before the handlers are installed and never cleared while they can
+ * fire; requestShutdown() is async-signal-safe (one write()).
+ */
+std::atomic<daemon::DaemonServer *> g_server{nullptr};
+
+void
+onTerminate(int)
+{
+    if (daemon::DaemonServer *server =
+            g_server.load(std::memory_order_relaxed))
+        server->requestShutdown();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    daemon::DaemonConfig cfg;
+    cfg.session.jobs = 2;
+    std::string trace_json_path, metrics_out_path;
+    bool show_stats = false;
+
+    for (int arg = 1; arg < argc; ++arg) {
+        std::string flag = argv[arg];
+        const char *value = arg + 1 < argc ? argv[arg + 1] : nullptr;
+        if (flag == "--socket") {
+            if (!value)
+                vpprof_fatal("--socket requires a path");
+            cfg.socketPath = value;
+        } else if (flag == "--jobs") {
+            cfg.session.jobs = static_cast<unsigned>(
+                parseUintFlag("--jobs", value));
+        } else if (flag == "--trace-cache") {
+            if (!value)
+                vpprof_fatal("--trace-cache requires a directory");
+            cfg.session.traceCacheDir = value;
+        } else if (flag == "--max-queue") {
+            cfg.maxQueue = static_cast<size_t>(
+                parseUintFlag("--max-queue", value));
+            if (cfg.maxQueue == 0)
+                vpprof_fatal("--max-queue must be >= 1 (got 0)");
+        } else if (flag == "--max-inflight") {
+            cfg.maxInflightPerClient = static_cast<size_t>(
+                parseUintFlag("--max-inflight", value));
+            if (cfg.maxInflightPerClient == 0)
+                vpprof_fatal("--max-inflight must be >= 1 (got 0)");
+        } else if (flag == "--idle-timeout-ms") {
+            cfg.idleTimeoutMs =
+                parseUintFlag("--idle-timeout-ms", value);
+        } else if (flag == "--trace-json") {
+            if (!value)
+                vpprof_fatal("--trace-json requires a file path");
+            trace_json_path = value;
+        } else if (flag == "--metrics-out") {
+            if (!value)
+                vpprof_fatal("--metrics-out requires a file path");
+            metrics_out_path = value;
+        } else if (flag == "--stats") {
+            show_stats = true;
+            continue;  // boolean flag: no value to consume
+        } else {
+            std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
+            return usage();
+        }
+        ++arg;  // skip the consumed value
+    }
+    if (cfg.socketPath.empty())
+        return usage();
+
+    telemetry::autoConfigureFromEnv();
+    telemetry::configureOutputs(trace_json_path, metrics_out_path);
+
+    daemon::DaemonServer server(cfg);
+    std::string error;
+    if (!server.start(&error))
+        vpprof_fatal("vpprofd: ", error);
+
+    g_server.store(&server);
+    struct sigaction sa{};
+    sa.sa_handler = onTerminate;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+
+    vpprof_inform("vpprofd: serving on ", cfg.socketPath, " (",
+                  cfg.session.jobs == 0 ? std::string("all-core")
+                                        : std::to_string(
+                                              cfg.session.jobs),
+                  " lanes, queue ", cfg.maxQueue, ", quota ",
+                  cfg.maxInflightPerClient, ")");
+    int rc = server.run();
+
+    if (show_stats) {
+        daemon::DaemonStatsSnapshot st = server.statsSnapshot();
+        std::ostringstream os;
+        os << "{";
+        st.writeJsonFields(os);
+        os << "}";
+        std::fprintf(stderr, "[daemon] %s\n", os.str().c_str());
+        std::fprintf(
+            stderr, "[trace-repo] %s\n",
+            repoStatsJson(server.session().traces().stats()).c_str());
+    }
+    vpprof_inform("vpprofd: drained, exiting ", rc);
+    return rc;
+}
