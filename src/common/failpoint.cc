@@ -1,6 +1,8 @@
 #include "common/failpoint.hh"
 
+#include <chrono>
 #include <cstdlib>
+#include <thread>
 #include <vector>
 
 #include "common/logging.hh"
@@ -17,6 +19,7 @@ failpointActionName(FailpointAction action)
       case FailpointAction::Short: return "short";
       case FailpointAction::NoSpace: return "enospc";
       case FailpointAction::Corrupt: return "corrupt";
+      case FailpointAction::Delay: return "delay";
     }
     return "unknown";
 }
@@ -48,6 +51,7 @@ FailpointRegistry::arm(const std::string &site, FailpointSpec spec)
     s.armed = true;
     s.hits = 0;
     s.triggered = 0;
+    s.rng = Rng(spec.seed);
 }
 
 void
@@ -77,16 +81,35 @@ FailpointRegistry::fire(const std::string &site)
     if (armedCount_.load(std::memory_order_relaxed) == 0)
         return FailpointAction::None;
 
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = sites_.find(site);
-    if (it == sites_.end() || !it->second.armed)
+    FailpointAction action = FailpointAction::None;
+    uint64_t delay_ms = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = sites_.find(site);
+        if (it == sites_.end() || !it->second.armed)
+            return FailpointAction::None;
+        Site &s = it->second;
+        ++s.hits;
+        if (s.spec.probability > 0.0) {
+            // Probabilistic mode: every hit consumes one draw so the
+            // schedule is a pure function of (seed, hit sequence).
+            if (s.rng.nextDouble() >= s.spec.probability)
+                return FailpointAction::None;
+        } else if (s.spec.triggerHit != 0 &&
+                   s.hits != s.spec.triggerHit) {
+            return FailpointAction::None;
+        }
+        ++s.triggered;
+        action = s.spec.action;
+        delay_ms = s.spec.delayMs;
+    }
+    if (action == FailpointAction::Delay) {
+        // Sleep OUTSIDE the registry lock: an armed delay must slow
+        // the instrumented site, never every other failpoint site.
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
         return FailpointAction::None;
-    Site &s = it->second;
-    ++s.hits;
-    if (s.spec.triggerHit != 0 && s.hits != s.spec.triggerHit)
-        return FailpointAction::None;
-    ++s.triggered;
-    return s.spec.action;
+    }
+    return action;
 }
 
 uint64_t
@@ -105,27 +128,69 @@ FailpointRegistry::triggered(const std::string &site) const
     return it == sites_.end() ? 0 : it->second.triggered;
 }
 
+namespace
+{
+
+bool
+parsePositiveU64(const std::string &text, uint64_t *out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    unsigned long long parsed = std::strtoull(text.c_str(), &end, 10);
+    if (*end != '\0' || parsed == 0)
+        return false;
+    *out = parsed;
+    return true;
+}
+
+} // namespace
+
 std::optional<FailpointSpec>
 FailpointRegistry::parseSpec(const std::string &text)
 {
-    std::string action = text;
-    uint64_t trigger = 0;
-    size_t at = text.find('@');
-    if (at != std::string::npos) {
-        action = text.substr(0, at);
-        std::string count = text.substr(at + 1);
-        if (count.empty())
+    // Grammar: action[=MS][%PROB[@SEED]][@HIT]. With `%` present the
+    // trailing `@N` belongs to the probability (it is the RNG seed);
+    // without it, `@N` is the classic 1-based trigger hit.
+    FailpointSpec spec;
+    std::string body = text;
+
+    size_t pct = body.find('%');
+    if (pct != std::string::npos) {
+        std::string prob_part = body.substr(pct + 1);
+        body = body.substr(0, pct);
+        size_t at = prob_part.find('@');
+        if (at != std::string::npos) {
+            if (!parsePositiveU64(prob_part.substr(at + 1), &spec.seed))
+                return std::nullopt;
+            prob_part = prob_part.substr(0, at);
+        }
+        if (prob_part.empty())
             return std::nullopt;
         char *end = nullptr;
-        unsigned long long parsed =
-            std::strtoull(count.c_str(), &end, 10);
-        if (*end != '\0' || parsed == 0)
+        double prob = std::strtod(prob_part.c_str(), &end);
+        if (*end != '\0' || !(prob > 0.0) || prob > 1.0)
             return std::nullopt;
-        trigger = parsed;
+        spec.probability = prob;
+    } else {
+        size_t at = body.find('@');
+        if (at != std::string::npos) {
+            if (!parsePositiveU64(body.substr(at + 1),
+                                  &spec.triggerHit))
+                return std::nullopt;
+            body = body.substr(0, at);
+        }
     }
 
-    FailpointSpec spec;
-    spec.triggerHit = trigger;
+    std::string action = body;
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+        action = body.substr(0, eq);
+        if (action != "delay" ||
+            !parsePositiveU64(body.substr(eq + 1), &spec.delayMs))
+            return std::nullopt;
+    }
+
     if (action == "fail")
         spec.action = FailpointAction::Fail;
     else if (action == "short")
@@ -134,6 +199,8 @@ FailpointRegistry::parseSpec(const std::string &text)
         spec.action = FailpointAction::NoSpace;
     else if (action == "corrupt")
         spec.action = FailpointAction::Corrupt;
+    else if (action == "delay")
+        spec.action = FailpointAction::Delay;
     else if (action == "off")
         spec.action = FailpointAction::None;
     else
@@ -171,8 +238,9 @@ FailpointRegistry::armList(const std::string &list, std::string *error)
         if (!spec) {
             if (error)
                 *error = "bad failpoint spec '" + entry +
-                         "' (want action[@hit], action one of "
-                         "fail|short|enospc|corrupt|off)";
+                         "' (want action[=ms][%prob[@seed]][@hit], "
+                         "action one of "
+                         "fail|short|enospc|corrupt|delay|off)";
             return false;
         }
         parsed.push_back({entry.substr(0, colon), *spec});

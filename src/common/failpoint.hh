@@ -7,12 +7,30 @@
  * reader — without needing a hostile filesystem.
  *
  * A site is a stable string like "trace_io.write". Arming attaches an
- * action (fail, short read, ENOSPC, corrupt) and optionally a 1-based
- * hit index so exactly the Nth operation fails. Sites are armed
- * programmatically (tests) or through the VPPROF_FAILPOINTS
- * environment variable (CLI runs, CI):
+ * action (fail, short read, ENOSPC, corrupt, delay) and a trigger
+ * rule. Sites are armed programmatically (tests) or through the
+ * VPPROF_FAILPOINTS environment variable (CLI runs, CI):
  *
  *     VPPROF_FAILPOINTS="trace_io.write:fail@3,spill:enospc"
+ *
+ * Spec grammar: `action[=MS][%PROB[@SEED]][@HIT]`
+ *
+ *  - `fail@3`          deterministic: exactly the 3rd hit fails
+ *                      (1-based; no `@HIT` means every hit).
+ *  - `fail%0.05`       probabilistic: each hit fails independently
+ *                      with probability 0.05, drawn from a per-site
+ *                      xoshiro256** stream (default seed 1).
+ *  - `fail%0.05@7`     same, stream seeded with 7. With `%` present,
+ *                      `@N` is the RNG SEED, not a hit index — the
+ *                      fault schedule is a pure function of
+ *                      (seed, hit sequence), so two runs arming the
+ *                      same seed see the identical schedule. That is
+ *                      what makes a chaos drill reproducible.
+ *  - `delay=2`         latency injection: fire() itself sleeps 2 ms
+ *                      (outside the registry lock) and reports None,
+ *                      so the instrumented site proceeds normally but
+ *                      late. `delay` alone means 1 ms.
+ *  - `delay=2%0.25@9`  2 ms delay on ~25% of hits, seeded with 9.
  *
  * The hot-path cost when nothing is armed is one relaxed atomic load,
  * so shipping the hooks in release builds is free in practice.
@@ -28,6 +46,8 @@
 #include <optional>
 #include <string>
 
+#include "common/random.hh"
+
 namespace vpprof
 {
 
@@ -39,6 +59,7 @@ enum class FailpointAction
     Short,   ///< short read: the data ends earlier than promised
     NoSpace, ///< ENOSPC: the device is full
     Corrupt, ///< the bytes arrive, but damaged
+    Delay,   ///< latency: fire() sleeps delayMs, the site proceeds
 };
 
 /** Human-readable action name (messages and tests). */
@@ -53,9 +74,22 @@ struct FailpointSpec
      * 1-based hit index that triggers the action; 0 triggers on every
      * hit. "fail@3" arms {Fail, 3}: hits 1 and 2 succeed, hit 3 fails,
      * later hits succeed again (the transient-fault shape retries must
-     * survive).
+     * survive). Ignored when `probability` is set.
      */
     uint64_t triggerHit = 0;
+
+    /**
+     * When > 0, each hit triggers independently with this probability,
+     * drawn from a per-site Rng seeded with `seed` at arm time
+     * ("fail%0.05@7"). 0 means deterministic triggerHit mode.
+     */
+    double probability = 0.0;
+
+    /** RNG seed for probabilistic mode (the `@N` after `%PROB`). */
+    uint64_t seed = 1;
+
+    /** Sleep length for FailpointAction::Delay ("delay=MS"). */
+    uint64_t delayMs = 1;
 };
 
 /**
@@ -91,8 +125,10 @@ class FailpointRegistry
     uint64_t triggered(const std::string &site) const;
 
     /**
-     * Parse one "action" / "action@N" spec ("fail@3", "short",
-     * "enospc", "corrupt", "off"); nullopt on malformed input.
+     * Parse one `action[=MS][%PROB[@SEED]][@HIT]` spec ("fail@3",
+     * "short", "enospc", "corrupt", "off", "fail%0.05@7", "delay=2");
+     * nullopt on malformed input. `=MS` is only valid for `delay`;
+     * with `%PROB` present the trailing `@N` is the RNG seed.
      */
     static std::optional<FailpointSpec>
     parseSpec(const std::string &text);
@@ -113,6 +149,9 @@ class FailpointRegistry
         bool armed = false;
         uint64_t hits = 0;
         uint64_t triggered = 0;
+        /** Probabilistic-trigger stream; reseeded every arm() so the
+         *  schedule is a pure function of (seed, hit sequence). */
+        Rng rng{1};
     };
 
     mutable std::mutex mutex_;

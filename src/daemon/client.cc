@@ -4,11 +4,14 @@
 #include <chrono>
 #include <cstring>
 #include <sstream>
+#include <thread>
 
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
+
+#include "daemon/retry.hh"
 
 namespace vpprof
 {
@@ -27,6 +30,24 @@ nowMs()
 }
 
 } // namespace
+
+const char *
+callReasonName(CallReason reason)
+{
+    switch (reason) {
+      case CallReason::Ok: return "ok";
+      case CallReason::DaemonError: return "daemon_error";
+      case CallReason::Timeout: return "timeout";
+      case CallReason::Eof: return "eof";
+      case CallReason::ReadError: return "read_error";
+      case CallReason::SendError: return "send_error";
+      case CallReason::PollError: return "poll_error";
+      case CallReason::NotConnected: return "not_connected";
+      case CallReason::Oversize: return "oversize";
+      case CallReason::Protocol: return "protocol";
+    }
+    return "?";
+}
 
 DaemonClient::~DaemonClient()
 {
@@ -47,6 +68,7 @@ bool
 DaemonClient::connect(const std::string &socket_path, std::string *error)
 {
     close();
+    socketPath_ = socket_path;
     sockaddr_un addr{};
     addr.sun_family = AF_UNIX;
     if (socket_path.size() >= sizeof(addr.sun_path)) {
@@ -76,10 +98,22 @@ DaemonClient::connect(const std::string &socket_path, std::string *error)
 }
 
 bool
+DaemonClient::reconnect(std::string *error)
+{
+    if (socketPath_.empty()) {
+        if (error)
+            *error = "no socket path to reconnect to";
+        return false;
+    }
+    return connect(socketPath_, error);
+}
+
+bool
 DaemonClient::sendLine(const std::string &line)
 {
     if (fd_ < 0) {
         lastError_ = "not connected";
+        lastReason_ = CallReason::NotConnected;
         return false;
     }
     std::string out = line;
@@ -97,6 +131,7 @@ DaemonClient::sendLine(const std::string &line)
             continue;
         lastError_ = std::string("send failed (") +
                      std::strerror(errno) + ")";
+        lastReason_ = CallReason::SendError;
         close();
         return false;
     }
@@ -108,6 +143,7 @@ DaemonClient::readLine(int timeout_ms)
 {
     if (fd_ < 0) {
         lastError_ = "not connected";
+        lastReason_ = CallReason::NotConnected;
         return std::nullopt;
     }
     int64_t deadline = nowMs() + timeout_ms;
@@ -120,10 +156,20 @@ DaemonClient::readLine(int timeout_ms)
                 line.pop_back();
             return line;
         }
+        // A line that cannot complete within the bound is a protocol
+        // fault, not something to buffer without limit.
+        if (inBuf_.size() > maxLineBytes_) {
+            lastError_ = "response line exceeds " +
+                         std::to_string(maxLineBytes_) + " bytes";
+            lastReason_ = CallReason::Oversize;
+            close();
+            return std::nullopt;
+        }
 
         int64_t remaining = deadline - nowMs();
         if (remaining <= 0) {
             lastError_ = "timeout";
+            lastReason_ = CallReason::Timeout;
             return std::nullopt;
         }
         pollfd pfd{fd_, POLLIN, 0};
@@ -133,11 +179,13 @@ DaemonClient::readLine(int timeout_ms)
                 continue;
             lastError_ = std::string("poll failed (") +
                          std::strerror(errno) + ")";
+            lastReason_ = CallReason::PollError;
             close();
             return std::nullopt;
         }
         if (rc == 0) {
             lastError_ = "timeout";
+            lastReason_ = CallReason::Timeout;
             return std::nullopt;
         }
 
@@ -149,6 +197,7 @@ DaemonClient::readLine(int timeout_ms)
         }
         if (n == 0) {
             lastError_ = "disconnected";
+            lastReason_ = CallReason::Eof;
             close();
             return std::nullopt;
         }
@@ -156,6 +205,7 @@ DaemonClient::readLine(int timeout_ms)
             continue;
         lastError_ = std::string("read failed (") +
                      std::strerror(errno) + ")";
+        lastReason_ = CallReason::ReadError;
         close();
         return std::nullopt;
     }
@@ -168,6 +218,7 @@ DaemonClient::call(const std::string &request_line, uint64_t id,
     CallResult result;
     int64_t deadline = nowMs() + timeout_ms;
     if (!sendLine(request_line)) {
+        result.reason = lastReason_;
         result.code = "disconnected";
         result.error = lastError_;
         return result;
@@ -175,6 +226,7 @@ DaemonClient::call(const std::string &request_line, uint64_t id,
     for (;;) {
         int64_t remaining = deadline - nowMs();
         if (remaining <= 0) {
+            result.reason = CallReason::Timeout;
             result.code = "timeout";
             result.error = "no response for id " + std::to_string(id) +
                            " within " + std::to_string(timeout_ms) +
@@ -184,8 +236,21 @@ DaemonClient::call(const std::string &request_line, uint64_t id,
         std::optional<std::string> line =
             readLine(static_cast<int>(remaining));
         if (!line) {
-            result.code =
-                lastError_ == "timeout" ? "timeout" : "disconnected";
+            // The typed reason distinguishes EOF / read errno / poll
+            // failure; the string code keeps the coarse wire-compat
+            // buckets callers already display.
+            result.reason = lastReason_;
+            switch (lastReason_) {
+              case CallReason::Timeout:
+                result.code = "timeout";
+                break;
+              case CallReason::Oversize:
+                result.code = "protocol";
+                break;
+              default:
+                result.code = "disconnected";
+                break;
+            }
             result.error = lastError_;
             return result;
         }
@@ -194,6 +259,7 @@ DaemonClient::call(const std::string &request_line, uint64_t id,
         std::optional<report::JsonValue> doc =
             report::parseJson(*line, &parse_error);
         if (!doc || !doc->isObject()) {
+            result.reason = CallReason::Protocol;
             result.code = "protocol";
             result.error = "unparseable line from daemon: " + *line;
             return result;
@@ -211,6 +277,7 @@ DaemonClient::call(const std::string &request_line, uint64_t id,
         if (got_id != id) {
             // A pipelined answer for another id on a synchronous
             // connection is a protocol violation worth surfacing.
+            result.reason = CallReason::Protocol;
             result.code = "protocol";
             result.error = "response id mismatch: expected " +
                            std::to_string(id) + ", got " + *line;
@@ -219,6 +286,8 @@ DaemonClient::call(const std::string &request_line, uint64_t id,
 
         const report::JsonValue *ok = doc->get("ok");
         result.ok = ok && ok->isBool() && ok->asBool();
+        result.reason =
+            result.ok ? CallReason::Ok : CallReason::DaemonError;
         if (!result.ok) {
             const report::JsonValue *code = doc->get("code");
             const report::JsonValue *err = doc->get("error");
@@ -226,6 +295,8 @@ DaemonClient::call(const std::string &request_line, uint64_t id,
                 code && code->isString() ? code->asString() : "internal";
             result.error =
                 err && err->isString() ? err->asString() : *line;
+            result.retryAfterMs = static_cast<uint64_t>(
+                doc->numberOr("retry_after_ms", 0.0));
         }
         result.response = std::move(*doc);
         result.raw = std::move(*line);
@@ -246,6 +317,46 @@ DaemonClient::call(uint64_t id, Command cmd, const std::string &workload,
     req.threshold = threshold;
     req.progress = progress;
     return call(requestLine(req), id, timeout_ms);
+}
+
+CallResult
+DaemonClient::callWithRetry(const Request &req,
+                            const RetryPolicy &policy, int timeout_ms)
+{
+    RetryState state(policy, static_cast<uint64_t>(nowMs()));
+    std::string line = requestLine(req);
+    for (;;) {
+        if (!connected()) {
+            std::string error;
+            if (!reconnect(&error)) {
+                CallResult result;
+                result.reason = CallReason::NotConnected;
+                result.code = "disconnected";
+                result.error = error;
+                result.attempts = state.attempts();
+                RetryDecision decision = state.next(
+                    result, req.cmd, static_cast<uint64_t>(nowMs()));
+                if (!decision.retry) {
+                    result.error += "; " + decision.giveUpReason;
+                    return result;
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(decision.delayMs));
+                continue;
+            }
+        }
+        CallResult result = call(line, req.id, timeout_ms);
+        result.attempts = state.attempts();
+        if (result.ok)
+            return result;
+        RetryDecision decision =
+            state.next(result, req.cmd, static_cast<uint64_t>(nowMs()));
+        if (!decision.retry)
+            return result;
+        if (decision.delayMs > 0)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(decision.delayMs));
+    }
 }
 
 } // namespace daemon

@@ -17,6 +17,7 @@ commandName(Command cmd)
       case Command::Verify: return "verify";
       case Command::Stats: return "stats";
       case Command::Shutdown: return "shutdown";
+      case Command::Cancel: return "cancel";
     }
     return "?";
 }
@@ -30,6 +31,7 @@ parseCommand(std::string_view name)
     if (name == "verify") return Command::Verify;
     if (name == "stats") return Command::Stats;
     if (name == "shutdown") return Command::Shutdown;
+    if (name == "cancel") return Command::Cancel;
     return std::nullopt;
 }
 
@@ -38,6 +40,12 @@ commandIsJob(Command cmd)
 {
     return cmd == Command::Profile || cmd == Command::Evaluate ||
            cmd == Command::Verify;
+}
+
+bool
+commandIsIdempotent(Command cmd)
+{
+    return cmd != Command::Shutdown;
 }
 
 const char *
@@ -51,6 +59,8 @@ errorCodeName(ErrorCode code)
       case ErrorCode::Quota: return "quota";
       case ErrorCode::Draining: return "draining";
       case ErrorCode::Internal: return "internal";
+      case ErrorCode::DeadlineExceeded: return "deadline_exceeded";
+      case ErrorCode::Cancelled: return "cancelled";
     }
     return "?";
 }
@@ -130,11 +140,32 @@ parseRequest(std::string_view line, std::string *error,
         }
         req.progress = p->asBool();
     }
+    if (const report::JsonValue *d = doc->get("deadline_ms")) {
+        if (!d->isNumber() || d->asNumber() < 0) {
+            if (error)
+                *error = "'deadline_ms' must be a non-negative number";
+            return std::nullopt;
+        }
+        req.deadlineMs = static_cast<uint64_t>(d->asNumber());
+    }
+    if (const report::JsonValue *t = doc->get("target")) {
+        if (!t->isNumber() || t->asNumber() <= 0) {
+            if (error)
+                *error = "'target' must be a positive number";
+            return std::nullopt;
+        }
+        req.cancelTarget = static_cast<uint64_t>(t->asNumber());
+    }
 
     if (commandIsJob(req.cmd) && req.workload.empty()) {
         if (error)
             *error = std::string("'") + commandName(req.cmd) +
                      "' needs a 'workload'";
+        return std::nullopt;
+    }
+    if (req.cmd == Command::Cancel && req.cancelTarget == 0) {
+        if (error)
+            *error = "'cancel' needs a positive numeric 'target'";
         return std::nullopt;
     }
     return req;
@@ -157,6 +188,14 @@ requestLine(const Request &req)
            << report::formatJsonNumber(req.threshold);
     if (req.progress)
         os << ", \"progress\": true";
+    if (req.deadlineMs > 0)
+        os << ", \"deadline_ms\": "
+           << report::formatJsonNumber(
+                  static_cast<double>(req.deadlineMs));
+    if (req.cancelTarget > 0)
+        os << ", \"target\": "
+           << report::formatJsonNumber(
+                  static_cast<double>(req.cancelTarget));
     os << "}";
     return os.str();
 }
@@ -181,6 +220,23 @@ errorResponseLine(uint64_t id, ErrorCode code, std::string_view message)
        << report::formatJsonNumber(static_cast<double>(id))
        << ", \"ok\": false, \"code\": \"" << errorCodeName(code)
        << "\", \"error\": " << report::quoteJsonString(message) << "}";
+    return os.str();
+}
+
+std::string
+rejectionResponseLine(uint64_t id, ErrorCode code,
+                      std::string_view message, uint64_t retry_after_ms,
+                      uint64_t queued)
+{
+    std::ostringstream os;
+    os << "{\"id\": "
+       << report::formatJsonNumber(static_cast<double>(id))
+       << ", \"ok\": false, \"code\": \"" << errorCodeName(code)
+       << "\", \"error\": " << report::quoteJsonString(message)
+       << ", \"retry_after_ms\": "
+       << report::formatJsonNumber(static_cast<double>(retry_after_ms))
+       << ", \"queued\": "
+       << report::formatJsonNumber(static_cast<double>(queued)) << "}";
     return os.str();
 }
 

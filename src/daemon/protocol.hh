@@ -19,7 +19,18 @@
  * not run gets `{"id": N, "ok": false, "code": "...", "error": ...}`
  * with a stable machine-readable code — `overloaded` and `quota` are
  * the admission-control rejections clients are expected to back off
- * on; `draining` means the daemon is shutting down gracefully.
+ * on; `draining` means the daemon is shutting down gracefully. Those
+ * three load-shedding rejections additionally carry a
+ * `retry_after_ms` backoff hint and the current `queued` depth
+ * (rejectionResponseLine), so a RetryPolicy can pace itself off the
+ * daemon's own view of the backlog instead of guessing.
+ *
+ * Resilience extensions: a request may carry `deadline_ms` (relative;
+ * a job still queued or unanswered past it is rejected
+ * `deadline_exceeded` rather than served late), and `cancel` is an
+ * inline command whose `target` names a previously pipelined request
+ * id on the same connection — a queued target is removed and answered
+ * `cancelled`; a running or finished target is left alone.
  *
  * The documents are strict RFC 8259 JSON (the report/json parser and
  * writers are reused verbatim), and every number is emitted through
@@ -51,6 +62,7 @@ enum class Command
     Verify,   ///< execute (workload, input), check the checksum; a job
     Stats,    ///< daemon + trace-repository counters; answered inline
     Shutdown, ///< begin graceful drain; answered inline
+    Cancel,   ///< remove a queued job by request id; answered inline
 };
 
 const char *commandName(Command cmd);
@@ -58,6 +70,16 @@ std::optional<Command> parseCommand(std::string_view name);
 
 /** True for commands that run as queued jobs (admission-controlled). */
 bool commandIsJob(Command cmd);
+
+/**
+ * True for commands a client may safely re-send after an ambiguous
+ * transport failure (timeout / disconnect mid-call). Jobs are pure
+ * reads of the memoized Session, ping/stats/cancel observe state —
+ * only `shutdown` mutates it, so only `shutdown` is excluded. The
+ * RetryPolicy consults this before retrying a transport error (a
+ * daemon-level rejection was never executed, so those retry freely).
+ */
+bool commandIsIdempotent(Command cmd);
 
 /** Stable machine-readable rejection/failure codes. */
 enum class ErrorCode
@@ -69,6 +91,8 @@ enum class ErrorCode
     Quota,           ///< per-client in-flight quota exceeded
     Draining,        ///< daemon is shutting down; no new jobs
     Internal,        ///< job failed inside the daemon (a vpprof bug)
+    DeadlineExceeded,///< the request's deadline_ms elapsed unserved
+    Cancelled,       ///< removed from the queue by `cancel`/disconnect
 };
 
 const char *errorCodeName(ErrorCode code);
@@ -82,6 +106,8 @@ struct Request
     size_t input = 0;         ///< input-set index (default 0)
     double threshold = 70.0;  ///< evaluate: annotation threshold (%)
     bool progress = false;    ///< subscribe to accepted/progress events
+    uint64_t deadlineMs = 0;  ///< relative deadline; 0 = none
+    uint64_t cancelTarget = 0;///< cancel: the request id to remove
 };
 
 /**
@@ -111,6 +137,17 @@ std::string okResponseLine(uint64_t id, Command cmd,
                            const std::string &result_fields);
 std::string errorResponseLine(uint64_t id, ErrorCode code,
                               std::string_view message);
+
+/**
+ * A load-shedding rejection (`overloaded`/`quota`/`draining`): an
+ * error response that additionally carries the daemon's backoff hint
+ * (`retry_after_ms`) and the admission backlog at rejection time
+ * (`queued`). ONE serializer so every shedding site answers uniformly.
+ */
+std::string rejectionResponseLine(uint64_t id, ErrorCode code,
+                                  std::string_view message,
+                                  uint64_t retry_after_ms,
+                                  uint64_t queued);
 std::string eventLine(uint64_t id, std::string_view event,
                       const std::string &fields);
 

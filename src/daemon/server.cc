@@ -71,6 +71,10 @@ DaemonStatsSnapshot::writeJsonFields(std::ostream &os) const
     writeField(os, "rejected_draining", rejectedDraining, first);
     writeField(os, "write_errors", writeErrors, first);
     writeField(os, "progress_events", progressEvents, first);
+    writeField(os, "deadline_exceeded", deadlineExceeded, first);
+    writeField(os, "cancelled", cancelled, first);
+    writeField(os, "slow_reader_closes", slowReaderCloses, first);
+    writeField(os, "watchdog_flags", watchdogFlags, first);
     writeField(os, "queued", queued, first);
     writeField(os, "running", running, first);
     writeField(os, "clients", clients, first);
@@ -191,6 +195,7 @@ DaemonServer::executorLoop()
 {
     for (;;) {
         std::vector<Job> batch;
+        std::vector<Job> expired;
         {
             std::unique_lock<std::mutex> lock(jobMutex_);
             jobCv_.wait(lock, [&] {
@@ -199,21 +204,63 @@ DaemonServer::executorLoop()
             if (jobQueue_.empty() && executorStop_)
                 return;
             // One runner batch per pull: enough jobs to fill every
-            // lane, small enough that a drain converges quickly.
+            // lane, small enough that a drain converges quickly. A
+            // job already past its deadline never consumes a lane —
+            // it is answered deadline_exceeded instead (the executor
+            // double-checks what the timer sweep may have missed
+            // between poll wakeups).
+            uint64_t now = nowNs();
             size_t lanes =
                 std::max<size_t>(1, session_.runner().jobs());
-            size_t take = std::min(jobQueue_.size(), lanes);
-            for (size_t i = 0; i < take; ++i) {
-                batch.push_back(std::move(jobQueue_.front()));
+            while (!jobQueue_.empty() && batch.size() < lanes) {
+                Job job = std::move(jobQueue_.front());
                 jobQueue_.pop_front();
+                if (job.deadlineNs != 0 && now >= job.deadlineNs)
+                    expired.push_back(std::move(job));
+                else
+                    batch.push_back(std::move(job));
             }
             runningJobs_ += batch.size();
         }
+        if (!expired.empty()) {
+            std::lock_guard<std::mutex> lock(completionMutex_);
+            for (Job &job : expired) {
+                JobOutcome outcome;
+                outcome.ok = false;
+                outcome.code = ErrorCode::DeadlineExceeded;
+                outcome.error = "deadline exceeded while queued";
+                completions_.push_back({job.clientSerial, job.req.id,
+                                        job.req.cmd,
+                                        std::move(outcome),
+                                        job.admitNs, job.deadlineNs});
+            }
+        }
+        if (batch.empty()) {
+            wake('C');
+            continue;
+        }
 
+        execBatchSeq_.fetch_add(1, std::memory_order_relaxed);
+        execBatchStartNs_.store(nowNs(), std::memory_order_relaxed);
+        // Nudge the event loop: it may already be blocked in poll()
+        // with a timeout computed before this batch existed, and the
+        // watchdog deadline only enters computeTimeoutMs once the
+        // loop spins again.
+        wake('C');
         std::vector<JobOutcome> outcomes(batch.size());
         session_.runner().forEach(batch.size(), [&](size_t i) {
+            // Latency/fault injection per dispatched job: Delay makes
+            // fire() itself sleep (the job runs late but correct).
+            if (FailpointRegistry::instance().fire("daemon.dispatch") !=
+                FailpointAction::None) {
+                outcomes[i].ok = false;
+                outcomes[i].code = ErrorCode::Internal;
+                outcomes[i].error = "injected dispatch fault";
+                return;
+            }
             outcomes[i] = dispatcher_.execute(batch[i].req);
         });
+        execBatchStartNs_.store(0, std::memory_order_relaxed);
 
         {
             std::lock_guard<std::mutex> lock(completionMutex_);
@@ -222,7 +269,8 @@ DaemonServer::executorLoop()
                                         batch[i].req.id,
                                         batch[i].req.cmd,
                                         std::move(outcomes[i]),
-                                        batch[i].admitNs});
+                                        batch[i].admitNs,
+                                        batch[i].deadlineNs});
         }
         {
             std::lock_guard<std::mutex> lock(jobMutex_);
@@ -397,6 +445,21 @@ DaemonServer::computeTimeoutMs(uint64_t now_ns) const
     if (progress_wanted)
         next = std::min(next, lastProgressTickNs_ +
                                   config_.progressIntervalMs * 1'000'000);
+    {
+        // Queued deadlines must wake the loop even when no socket is
+        // readable — an expired job is answered by the timer sweep.
+        std::lock_guard<std::mutex> lock(jobMutex_);
+        for (const Job &job : jobQueue_)
+            if (job.deadlineNs != 0)
+                next = std::min(next, job.deadlineNs);
+    }
+    if (config_.watchdogMs > 0) {
+        uint64_t start =
+            execBatchStartNs_.load(std::memory_order_relaxed);
+        if (start != 0)
+            next = std::min(next,
+                            start + config_.watchdogMs * 1'000'000);
+    }
     if (next == UINT64_MAX)
         return -1;
     if (next <= now_ns)
@@ -531,6 +594,9 @@ DaemonServer::handleLine(Client &client, const std::string &line)
             sendLine(client, okResponseLine(req->id, req->cmd, ""));
             beginDrain();
             break;
+          case Command::Cancel:
+            handleCancel(client, *req);
+            break;
           default:
             break;
         }
@@ -541,44 +607,121 @@ DaemonServer::handleLine(Client &client, const std::string &line)
 }
 
 void
+DaemonServer::rejectShedding(Client &client, uint64_t id,
+                             ErrorCode code, const std::string &detail)
+{
+    size_t queued;
+    {
+        std::lock_guard<std::mutex> lock(jobMutex_);
+        queued = jobQueue_.size() + runningJobs_;
+    }
+    switch (code) {
+      case ErrorCode::Overloaded:
+        counters_.rejectedOverloaded.add();
+        break;
+      case ErrorCode::Quota:
+        counters_.rejectedQuota.add();
+        break;
+      case ErrorCode::Draining:
+        counters_.rejectedDraining.add();
+        break;
+      default:
+        break;
+    }
+    // The hint scales with the backlog the daemon can actually see:
+    // an empty queue says "come right back", a deep one says wait.
+    uint64_t hint = config_.retryHintMs + 2 * queued;
+    sendLine(client,
+             rejectionResponseLine(
+                 id, code,
+                 detail + " (" + std::to_string(queued) +
+                     " admitted); retry with backoff",
+                 hint, queued));
+}
+
+void
+DaemonServer::handleCancel(Client &client, const Request &req)
+{
+    // Only the caller's own QUEUED job is cancellable; a running job
+    // finishes (its completion still settles quota/progress state).
+    std::optional<Job> removed;
+    {
+        std::lock_guard<std::mutex> lock(jobMutex_);
+        for (auto it = jobQueue_.begin(); it != jobQueue_.end(); ++it) {
+            if (it->clientSerial == client.serial &&
+                it->req.id == req.cancelTarget) {
+                removed = std::move(*it);
+                jobQueue_.erase(it);
+                break;
+            }
+        }
+    }
+    // Answer the cancel FIRST: a synchronous client is waiting for
+    // this id, and the cancelled target's error line follows it.
+    sendLine(client,
+             okResponseLine(req.id, req.cmd,
+                            removed ? "\"cancelled\": true"
+                                    : "\"cancelled\": false"));
+    if (removed)
+        settleDeadJob(*removed, ErrorCode::Cancelled,
+                      "cancelled by client");
+}
+
+void
+DaemonServer::settleDeadJob(const Job &job, ErrorCode code,
+                            const std::string &detail)
+{
+    if (code == ErrorCode::Cancelled)
+        counters_.cancelled.add();
+    else if (code == ErrorCode::DeadlineExceeded)
+        counters_.deadlineExceeded.add();
+    auto it = clientFdBySerial_.find(job.clientSerial);
+    if (it == clientFdBySerial_.end())
+        return;
+    Client &client = clients_.at(it->second);
+    if (client.inflight > 0)
+        --client.inflight;
+    client.progressIds.erase(job.req.id);
+    sendLine(client, errorResponseLine(job.req.id, code, detail));
+}
+
+void
 DaemonServer::handleJobRequest(Client &client, const Request &req)
 {
     if (draining_) {
-        counters_.rejectedDraining.add();
-        sendLine(client,
-                 errorResponseLine(req.id, ErrorCode::Draining,
-                                   "daemon is shutting down"));
+        rejectShedding(client, req.id, ErrorCode::Draining,
+                       "daemon is shutting down");
         return;
     }
     if (client.inflight >= config_.maxInflightPerClient) {
-        counters_.rejectedQuota.add();
-        sendLine(client,
-                 errorResponseLine(
-                     req.id, ErrorCode::Quota,
-                     "client in-flight quota reached (" +
-                         std::to_string(config_.maxInflightPerClient) +
-                         ")"));
+        rejectShedding(client, req.id, ErrorCode::Quota,
+                       "client in-flight quota reached (" +
+                           std::to_string(
+                               config_.maxInflightPerClient) +
+                           ")");
         return;
     }
     bool enqueued = false;
     size_t admitted = 0;
+    uint64_t now = nowNs();
     {
         std::lock_guard<std::mutex> lock(jobMutex_);
         admitted = jobQueue_.size() + runningJobs_;
         if (admitted < config_.maxQueue) {
-            jobQueue_.push_back({client.serial, req, nowNs()});
+            uint64_t deadline =
+                req.deadlineMs > 0
+                    ? now + req.deadlineMs * 1'000'000
+                    : 0;
+            jobQueue_.push_back({client.serial, req, now, deadline});
             ++admitted;
             enqueued = true;
         }
     }
     if (!enqueued) {
-        counters_.rejectedOverloaded.add();
-        sendLine(client,
-                 errorResponseLine(
-                     req.id, ErrorCode::Overloaded,
-                     "admission queue full (" +
-                         std::to_string(config_.maxQueue) +
-                         " jobs); retry with backoff"));
+        rejectShedding(client, req.id, ErrorCode::Overloaded,
+                       "admission queue full (" +
+                           std::to_string(config_.maxQueue) +
+                           " jobs)");
         return;
     }
     ++client.inflight;
@@ -601,8 +744,21 @@ DaemonServer::drainCompletions()
         done.swap(completions_);
     }
     for (Completion &c : done) {
+        // A result arriving past its deadline is not served late: the
+        // client contracted for an answer by deadline_ms and gets the
+        // structured failure instead (the work itself still warmed
+        // the shared caches).
+        if (c.outcome.ok && c.deadlineNs != 0 &&
+            nowNs() >= c.deadlineNs) {
+            c.outcome.ok = false;
+            c.outcome.code = ErrorCode::DeadlineExceeded;
+            c.outcome.error = "completed after deadline";
+            c.outcome.resultFields.clear();
+        }
         if (c.outcome.ok)
             counters_.jobsCompleted.add();
+        else if (c.outcome.code == ErrorCode::DeadlineExceeded)
+            counters_.deadlineExceeded.add();
         else
             counters_.jobsFailed.add();
         counters_.jobLatencyUs.observe((nowNs() - c.admitNs) / 1000);
@@ -625,8 +781,52 @@ DaemonServer::drainCompletions()
 }
 
 void
+DaemonServer::expireQueuedJobs(uint64_t now_ns)
+{
+    // Deadline sweep over the admission queue: expired jobs are
+    // answered deadline_exceeded HERE, before they ever reach the
+    // executor — an expired request must not consume a runner lane.
+    std::vector<Job> expired;
+    {
+        std::lock_guard<std::mutex> lock(jobMutex_);
+        for (auto it = jobQueue_.begin(); it != jobQueue_.end();) {
+            if (it->deadlineNs != 0 && now_ns >= it->deadlineNs) {
+                expired.push_back(std::move(*it));
+                it = jobQueue_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    for (const Job &job : expired)
+        settleDeadJob(job, ErrorCode::DeadlineExceeded,
+                      "deadline exceeded while queued (" +
+                          std::to_string(job.req.deadlineMs) + " ms)");
+}
+
+void
 DaemonServer::handleTimers(uint64_t now_ns)
 {
+    expireQueuedJobs(now_ns);
+
+    // Watchdog: flag an executor batch that has been running longer
+    // than watchdogMs — once per batch, so a genuinely stuck job
+    // shows up in telemetry without spamming the log every tick.
+    if (config_.watchdogMs > 0) {
+        uint64_t start =
+            execBatchStartNs_.load(std::memory_order_relaxed);
+        uint64_t seq = execBatchSeq_.load(std::memory_order_relaxed);
+        if (start != 0 && seq != watchdogFlaggedSeq_ &&
+            now_ns > start &&
+            now_ns - start > config_.watchdogMs * 1'000'000) {
+            watchdogFlaggedSeq_ = seq;
+            counters_.watchdogFlags.add();
+            vpprof_warn("vpprofd: executor batch ", seq,
+                        " running > ", config_.watchdogMs,
+                        " ms (stuck job?)");
+        }
+    }
+
     // Progress events for subscribed jobs, at the configured cadence.
     if (now_ns - lastProgressTickNs_ >=
         config_.progressIntervalMs * 1'000'000) {
@@ -708,8 +908,22 @@ DaemonServer::flushClient(Client &client)
             client.outOff += static_cast<size_t>(n);
             continue;
         }
-        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            // Slow reader: the kernel buffer is full AND our backlog
+            // for this client exceeds the bound. Waiting longer only
+            // grows daemon memory at the reader's pace — drop it.
+            if (client.outBuf.size() - client.outOff >
+                config_.maxClientOutBufBytes) {
+                counters_.slowReaderCloses.add();
+                vpprof_warn_limited(
+                    4, "vpprofd: dropping slow reader (",
+                    client.outBuf.size() - client.outOff,
+                    " bytes unflushed)");
+                closeClient(fd);
+                return;
+            }
             return;  // wait for POLLOUT
+        }
         if (n < 0 && errno == EINTR)
             continue;
         counters_.writeErrors.add();
@@ -726,12 +940,32 @@ DaemonServer::closeClient(int fd, bool counted_idle)
     auto it = clients_.find(fd);
     if (it == clients_.end())
         return;
-    clientFdBySerial_.erase(it->second.serial);
+    uint64_t serial = it->second.serial;
+    clientFdBySerial_.erase(serial);
     ::close(fd);
     clients_.erase(it);
     counters_.disconnects.add();
     if (counted_idle)
         counters_.idleCloses.add();
+
+    // Cancel the departed client's QUEUED jobs: nobody is left to
+    // read the answers, so running them only burns executor lanes
+    // other clients are waiting for. Running jobs finish (the
+    // executor owns them); their completions are dropped on arrival.
+    size_t purged = 0;
+    {
+        std::lock_guard<std::mutex> lock(jobMutex_);
+        for (auto jit = jobQueue_.begin(); jit != jobQueue_.end();) {
+            if (jit->clientSerial == serial) {
+                jit = jobQueue_.erase(jit);
+                ++purged;
+            } else {
+                ++jit;
+            }
+        }
+    }
+    for (size_t i = 0; i < purged; ++i)
+        counters_.cancelled.add();
 }
 
 DaemonStatsSnapshot
@@ -753,6 +987,10 @@ DaemonServer::statsSnapshot() const
     st.rejectedDraining = counters_.rejectedDraining.value();
     st.writeErrors = counters_.writeErrors.value();
     st.progressEvents = counters_.progressEvents.value();
+    st.deadlineExceeded = counters_.deadlineExceeded.value();
+    st.cancelled = counters_.cancelled.value();
+    st.slowReaderCloses = counters_.slowReaderCloses.value();
+    st.watchdogFlags = counters_.watchdogFlags.value();
     {
         std::lock_guard<std::mutex> lock(jobMutex_);
         st.queued = jobQueue_.size();

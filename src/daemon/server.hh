@@ -20,7 +20,24 @@
  *  - admission control: a bounded queue (maxQueue admitted jobs) with
  *    explicit `overloaded` rejections, and a per-client in-flight
  *    quota rejected as `quota` — a client always gets an answer,
- *    immediately or eventually, never silence;
+ *    immediately or eventually, never silence; every shedding
+ *    rejection carries a `retry_after_ms` hint plus the backlog depth
+ *    through one shared helper (rejectShedding);
+ *  - deadlines: a request's `deadline_ms` is enforced while QUEUED (a
+ *    timer sweep answers expired jobs `deadline_exceeded` without
+ *    them ever consuming an executor slot; the executor double-checks
+ *    at pull time) and at COMPLETION (a result arriving past its
+ *    deadline is answered `deadline_exceeded`, not served late);
+ *  - cancellation: the `cancel` command removes the caller's queued
+ *    job by request id (running jobs finish; their result still
+ *    settles quota), and a disconnecting client's queued jobs are
+ *    purged so abandoned work never reaches the executor;
+ *  - slow readers: a client whose unflushed output backlog exceeds
+ *    maxClientOutBufBytes while its socket stays unwritable is
+ *    disconnected — one stuck reader cannot grow daemon memory;
+ *  - watchdog: an executor batch running longer than watchdogMs is
+ *    flagged into telemetry (daemon.watchdog_flags) and the log, once
+ *    per batch — liveness failures become observable, not silent;
  *  - idle/read timeouts: a connection with no complete request and no
  *    job in flight for idleTimeoutMs is closed;
  *  - graceful drain: SIGTERM (via requestShutdown()) or the protocol
@@ -85,6 +102,18 @@ struct DaemonConfig
 
     /** A request line longer than this is a protocol error. */
     size_t maxLineBytes = 1 << 16;
+
+    /** Unflushed output backlog beyond which a slow reader is
+     *  disconnected (its socket stayed unwritable). */
+    size_t maxClientOutBufBytes = 4 << 20;
+
+    /** Flag an executor batch still running after this long into
+     *  telemetry + the log; 0 disables the watchdog. */
+    uint64_t watchdogMs = 10'000;
+
+    /** Base of the retry_after_ms hint on shedding rejections; the
+     *  hint scales with the backlog (base + 2*queued). */
+    uint64_t retryHintMs = 25;
 };
 
 /**
@@ -111,6 +140,10 @@ struct DaemonStatsSnapshot
     uint64_t rejectedDraining = 0;
     uint64_t writeErrors = 0;      ///< client writes failed; client dropped
     uint64_t progressEvents = 0;
+    uint64_t deadlineExceeded = 0; ///< jobs answered deadline_exceeded
+    uint64_t cancelled = 0;        ///< queued jobs removed (cancel/disconnect)
+    uint64_t slowReaderCloses = 0; ///< clients dropped over outBuf bound
+    uint64_t watchdogFlags = 0;    ///< executor batches flagged stuck
 
     // Live levels (not counters).
     uint64_t queued = 0;   ///< jobs waiting for a runner lane
@@ -170,6 +203,7 @@ class DaemonServer
         uint64_t clientSerial = 0;
         Request req;
         uint64_t admitNs = 0;
+        uint64_t deadlineNs = 0;  ///< absolute; 0 = no deadline
     };
 
     struct Completion
@@ -179,6 +213,7 @@ class DaemonServer
         Command cmd = Command::Ping;
         JobOutcome outcome;
         uint64_t admitNs = 0;
+        uint64_t deadlineNs = 0;
     };
 
     // --- event-loop internals (event-loop thread only) -------------
@@ -186,6 +221,19 @@ class DaemonServer
     void readClient(int fd);
     void handleLine(Client &client, const std::string &line);
     void handleJobRequest(Client &client, const Request &req);
+    void handleCancel(Client &client, const Request &req);
+    /** ONE serializer for load-shedding rejections: counts the
+     *  matching counter, includes the backlog depth and a
+     *  retry_after_ms hint in the response. */
+    void rejectShedding(Client &client, uint64_t id, ErrorCode code,
+                        const std::string &detail);
+    /** Answer + settle one job that will never reach the executor
+     *  (deadline expiry / cancel): decrement inflight, drop progress
+     *  subscription, send the error line. */
+    void settleDeadJob(const Job &job, ErrorCode code,
+                       const std::string &detail);
+    /** Remove queued jobs past their deadline (timer sweep). */
+    void expireQueuedJobs(uint64_t now_ns);
     void sendLine(Client &client, const std::string &line);
     void flushClient(Client &client);
     void closeClient(int fd, bool counted_idle = false);
@@ -227,6 +275,14 @@ class DaemonServer
     mutable std::mutex completionMutex_;
     std::deque<Completion> completions_;
 
+    /** Watchdog view of the executor: when a batch is running,
+     *  execBatchStartNs_ holds its start (0 between batches) and
+     *  execBatchSeq_ its ordinal, so the event loop flags one stuck
+     *  batch exactly once. */
+    std::atomic<uint64_t> execBatchStartNs_{0};
+    std::atomic<uint64_t> execBatchSeq_{0};
+    uint64_t watchdogFlaggedSeq_ = 0;
+
     /** Live serving counters mirrored into the telemetry registry
      *  under `daemon.*` (the TraceRepository::Counters idiom). */
     struct Counters
@@ -250,6 +306,13 @@ class DaemonServer
         telemetry::ScopedCounter writeErrors{"daemon.write_errors"};
         telemetry::ScopedCounter progressEvents{
             "daemon.progress_events"};
+        telemetry::ScopedCounter deadlineExceeded{
+            "daemon.deadline_exceeded"};
+        telemetry::ScopedCounter cancelled{"daemon.cancelled"};
+        telemetry::ScopedCounter slowReaderCloses{
+            "daemon.slow_reader_closes"};
+        telemetry::ScopedCounter watchdogFlags{
+            "daemon.watchdog_flags"};
         telemetry::HistogramMetric jobLatencyUs{
             "daemon.job_latency.us"};
     };

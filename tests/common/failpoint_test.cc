@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -159,6 +160,112 @@ TEST_F(Failpoint, ActionNamesAreDistinct)
                  "enospc");
     EXPECT_STREQ(failpointActionName(FailpointAction::Corrupt),
                  "corrupt");
+    EXPECT_STREQ(failpointActionName(FailpointAction::Delay), "delay");
+}
+
+TEST_F(Failpoint, ParseSpecAcceptsProbabilisticGrammar)
+{
+    auto prob = FailpointRegistry::parseSpec("fail%0.05");
+    ASSERT_TRUE(prob.has_value());
+    EXPECT_EQ(prob->action, FailpointAction::Fail);
+    EXPECT_DOUBLE_EQ(prob->probability, 0.05);
+    EXPECT_EQ(prob->seed, 1u) << "default seed";
+
+    auto seeded = FailpointRegistry::parseSpec("fail%0.05@7");
+    ASSERT_TRUE(seeded.has_value());
+    EXPECT_DOUBLE_EQ(seeded->probability, 0.05);
+    EXPECT_EQ(seeded->seed, 7u)
+        << "with % present, @N is the RNG seed";
+    EXPECT_EQ(seeded->triggerHit, 0u);
+
+    auto delayed = FailpointRegistry::parseSpec("delay=2%0.25@9");
+    ASSERT_TRUE(delayed.has_value());
+    EXPECT_EQ(delayed->action, FailpointAction::Delay);
+    EXPECT_EQ(delayed->delayMs, 2u);
+    EXPECT_DOUBLE_EQ(delayed->probability, 0.25);
+    EXPECT_EQ(delayed->seed, 9u);
+
+    auto plain_delay = FailpointRegistry::parseSpec("delay=5");
+    ASSERT_TRUE(plain_delay.has_value());
+    EXPECT_EQ(plain_delay->action, FailpointAction::Delay);
+    EXPECT_EQ(plain_delay->delayMs, 5u);
+    EXPECT_EQ(FailpointRegistry::parseSpec("delay")->delayMs, 1u);
+
+    EXPECT_FALSE(FailpointRegistry::parseSpec("fail%").has_value());
+    EXPECT_FALSE(FailpointRegistry::parseSpec("fail%0").has_value());
+    EXPECT_FALSE(FailpointRegistry::parseSpec("fail%1.5").has_value());
+    EXPECT_FALSE(FailpointRegistry::parseSpec("fail%-1").has_value());
+    EXPECT_FALSE(FailpointRegistry::parseSpec("fail%x").has_value());
+    EXPECT_FALSE(
+        FailpointRegistry::parseSpec("fail%0.5@").has_value());
+    EXPECT_FALSE(FailpointRegistry::parseSpec("fail=2").has_value())
+        << "=MS is only valid for delay";
+    EXPECT_FALSE(FailpointRegistry::parseSpec("delay=").has_value());
+    EXPECT_FALSE(FailpointRegistry::parseSpec("delay=0").has_value());
+}
+
+TEST_F(Failpoint, ProbabilisticScheduleIsAPureFunctionOfSeed)
+{
+    auto &reg = FailpointRegistry::instance();
+    auto spec = FailpointRegistry::parseSpec("fail%0.2@42");
+    ASSERT_TRUE(spec.has_value());
+
+    auto schedule = [&] {
+        reg.arm("io", *spec);
+        std::vector<bool> fired;
+        for (int i = 0; i < 512; ++i)
+            fired.push_back(reg.fire("io") == FailpointAction::Fail);
+        return fired;
+    };
+    std::vector<bool> first = schedule();
+    std::vector<bool> second = schedule();
+    EXPECT_EQ(first, second)
+        << "re-arming the same seed must replay the same schedule";
+
+    // ~20% of 512 hits trigger: the rate is in the right regime.
+    uint64_t triggered = reg.triggered("io");
+    EXPECT_GT(triggered, 60u);
+    EXPECT_LT(triggered, 160u);
+
+    // A different seed decorrelates the schedule.
+    auto other = FailpointRegistry::parseSpec("fail%0.2@43");
+    reg.arm("io", *other);
+    std::vector<bool> reseeded;
+    for (int i = 0; i < 512; ++i)
+        reseeded.push_back(reg.fire("io") == FailpointAction::Fail);
+    EXPECT_NE(first, reseeded);
+}
+
+TEST_F(Failpoint, DelayFiresAsTransparentLatency)
+{
+    auto &reg = FailpointRegistry::instance();
+    std::string error;
+    ASSERT_TRUE(reg.armList("slow:delay=20", &error)) << error;
+
+    auto start = std::chrono::steady_clock::now();
+    // Delay reports None: the instrumented site proceeds (late), so
+    // no call site needs to learn a new action.
+    EXPECT_EQ(reg.fire("slow"), FailpointAction::None);
+    auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+    EXPECT_GE(elapsed, 20);
+    EXPECT_EQ(reg.triggered("slow"), 1u)
+        << "the delay still counts as a triggered fault";
+}
+
+TEST_F(Failpoint, ArmListAcceptsChaosSyntax)
+{
+    auto &reg = FailpointRegistry::instance();
+    std::string error;
+    ASSERT_TRUE(reg.armList(
+        "daemon.accept:fail%0.1@3,daemon.dispatch:delay=2%0.5@4,"
+        "trace_io.read:short%0.01",
+        &error))
+        << error;
+    // Malformed probabilistic entries are rejected atomically.
+    EXPECT_FALSE(reg.armList("a:fail%0.1,b:fail%2.0", &error));
+    EXPECT_NE(error.find("fail%2.0"), std::string::npos);
 }
 
 } // namespace

@@ -213,6 +213,88 @@ TEST(Protocol, ErrorCodeNamesAreStable)
     EXPECT_STREQ(errorCodeName(ErrorCode::Quota), "quota");
     EXPECT_STREQ(errorCodeName(ErrorCode::Draining), "draining");
     EXPECT_STREQ(errorCodeName(ErrorCode::Internal), "internal");
+    EXPECT_STREQ(errorCodeName(ErrorCode::DeadlineExceeded),
+                 "deadline_exceeded");
+    EXPECT_STREQ(errorCodeName(ErrorCode::Cancelled), "cancelled");
+}
+
+TEST(Protocol, ParsesDeadlineAndCancel)
+{
+    std::string error;
+    auto req = parseRequest(
+        R"({"id": 4, "cmd": "profile", "workload": "li",)"
+        R"( "deadline_ms": 250})",
+        &error);
+    ASSERT_TRUE(req) << error;
+    EXPECT_EQ(req->deadlineMs, 250u);
+
+    auto cancel = parseRequest(
+        R"({"id": 9, "cmd": "cancel", "target": 4})", &error);
+    ASSERT_TRUE(cancel) << error;
+    EXPECT_EQ(cancel->cmd, Command::Cancel);
+    EXPECT_EQ(cancel->cancelTarget, 4u);
+    EXPECT_FALSE(commandIsJob(Command::Cancel));
+
+    // cancel without a target, and bad field types, are rejected.
+    EXPECT_FALSE(parseRequest(R"({"id": 9, "cmd": "cancel"})", &error));
+    EXPECT_FALSE(parseRequest(
+        R"({"id": 9, "cmd": "cancel", "target": 0})", &error));
+    EXPECT_FALSE(parseRequest(
+        R"({"id": 9, "cmd": "cancel", "target": "four"})", &error));
+    EXPECT_FALSE(parseRequest(
+        R"({"id": 4, "cmd": "ping", "deadline_ms": -5})", &error));
+}
+
+TEST(Protocol, DeadlineAndCancelRoundTrip)
+{
+    Request job;
+    job.id = 12;
+    job.cmd = Command::Evaluate;
+    job.workload = "go";
+    job.deadlineMs = 1500;
+    std::string error;
+    auto parsed = parseRequest(requestLine(job), &error);
+    ASSERT_TRUE(parsed) << requestLine(job) << ": " << error;
+    EXPECT_EQ(parsed->deadlineMs, 1500u);
+
+    Request cancel;
+    cancel.id = 13;
+    cancel.cmd = Command::Cancel;
+    cancel.cancelTarget = 12;
+    parsed = parseRequest(requestLine(cancel), &error);
+    ASSERT_TRUE(parsed) << requestLine(cancel) << ": " << error;
+    EXPECT_EQ(parsed->cmd, Command::Cancel);
+    EXPECT_EQ(parsed->cancelTarget, 12u);
+}
+
+TEST(Protocol, IdempotencyClassification)
+{
+    // Only shutdown mutates daemon state; everything else may be
+    // safely re-sent after an ambiguous transport failure.
+    EXPECT_TRUE(commandIsIdempotent(Command::Ping));
+    EXPECT_TRUE(commandIsIdempotent(Command::Profile));
+    EXPECT_TRUE(commandIsIdempotent(Command::Evaluate));
+    EXPECT_TRUE(commandIsIdempotent(Command::Verify));
+    EXPECT_TRUE(commandIsIdempotent(Command::Stats));
+    EXPECT_TRUE(commandIsIdempotent(Command::Cancel));
+    EXPECT_FALSE(commandIsIdempotent(Command::Shutdown));
+}
+
+TEST(Protocol, RejectionLineCarriesRetryHintAndBacklog)
+{
+    std::string line = rejectionResponseLine(
+        7, ErrorCode::Overloaded,
+        "admission queue full (64 jobs); retry with backoff", 135, 64);
+    std::string error;
+    auto doc = report::parseJson(line, &error);
+    ASSERT_TRUE(doc) << error;
+    EXPECT_DOUBLE_EQ(doc->numberOr("id", -1), 7.0);
+    EXPECT_FALSE(doc->get("ok")->asBool());
+    EXPECT_EQ(doc->stringOr("code", ""), "overloaded");
+    EXPECT_DOUBLE_EQ(doc->numberOr("retry_after_ms", -1), 135.0);
+    EXPECT_DOUBLE_EQ(doc->numberOr("queued", -1), 64.0);
+    EXPECT_NE(doc->stringOr("error", "").find("retry with backoff"),
+              std::string::npos);
 }
 
 } // namespace

@@ -45,6 +45,7 @@
 
 #include "common/telemetry/telemetry.hh"
 #include "daemon/client.hh"
+#include "daemon/retry.hh"
 #include "report/verify.hh"
 #include "compiler/cfg.hh"
 #include "core/evaluators.hh"
@@ -94,8 +95,14 @@ usage()
                  "margin (default 0)\n"
                  "daemon client (daemon-client command only):\n"
                  "  --socket PATH     vpprofd Unix-domain socket\n"
-                 "  --timeout-ms N    round-trip deadline "
+                 "  --timeout-ms N    per-attempt round-trip bound "
                  "(default 120000)\n"
+                 "  --retries N       attempts on retryable failures "
+                 "(default 1 = no retry)\n"
+                 "  --backoff-base-ms N  first backoff delay; doubles "
+                 "per retry (default 50)\n"
+                 "  --deadline-ms N   request deadline_ms AND the total "
+                 "retry budget\n"
                  "sampled profiling (profile command only):\n"
                  "  --sample-rate N   observe ~1 in N trace records "
                  "(default 1 = exact)\n"
@@ -136,7 +143,8 @@ usage()
                  "  daemon-client --socket PATH <cmd> [workload] "
                  "[input] [thresh]\n"
                  "           cmd: ping | profile | evaluate | verify | "
-                 "stats | shutdown;\n"
+                 "stats | shutdown\n"
+                 "                | cancel <target-id>;\n"
                  "           prints the daemon's JSON response line on "
                  "stdout\n");
     return 2;
@@ -553,13 +561,15 @@ parsePctFlag(const char *flag, const char *value)
 }
 
 /**
- * daemon-client: one protocol round trip against a running vpprofd.
+ * daemon-client: one protocol round trip against a running vpprofd
+ * (with optional retry/backoff — see daemon/retry.hh for the matrix).
  * The daemon's response line goes to stdout verbatim (it is already
  * one strict-JSON document), so shell pipelines and the CI smoke can
  * parse it directly. Exit 0 only when the daemon answered ok.
  */
 int
 cmdDaemonClient(const std::string &socket_path, int timeout_ms,
+                const daemon::RetryPolicy &policy, uint64_t deadline_ms,
                 int nrest, char **rest)
 {
     if (socket_path.empty())
@@ -567,26 +577,38 @@ cmdDaemonClient(const std::string &socket_path, int timeout_ms,
     if (nrest < 2)
         vpprof_fatal("daemon-client requires a command "
                      "(ping | profile | evaluate | verify | stats | "
-                     "shutdown)");
+                     "shutdown | cancel)");
     std::optional<daemon::Command> cmd = daemon::parseCommand(rest[1]);
     if (!cmd)
         vpprof_fatal("unknown daemon command '", rest[1], "'");
-    std::string workload = nrest > 2 ? rest[2] : "";
-    if (daemon::commandIsJob(*cmd) && workload.empty())
-        vpprof_fatal("daemon command '", rest[1],
-                     "' requires a workload");
-    size_t input = nrest > 3
-                       ? static_cast<size_t>(
-                             parseUintFlag("input", rest[3]))
-                       : 0;
-    double threshold = nrest > 4 ? std::atof(rest[4]) : 70.0;
+
+    daemon::Request req;
+    req.id = 1;
+    req.cmd = *cmd;
+    req.deadlineMs = deadline_ms;
+    if (*cmd == daemon::Command::Cancel) {
+        if (nrest < 3)
+            vpprof_fatal("daemon command 'cancel' requires the target "
+                         "request id");
+        req.cancelTarget = parseUintFlag("target", rest[2]);
+    } else {
+        req.workload = nrest > 2 ? rest[2] : "";
+        if (daemon::commandIsJob(*cmd) && req.workload.empty())
+            vpprof_fatal("daemon command '", rest[1],
+                         "' requires a workload");
+        req.input = nrest > 3
+                        ? static_cast<size_t>(
+                              parseUintFlag("input", rest[3]))
+                        : 0;
+        req.threshold = nrest > 4 ? std::atof(rest[4]) : 70.0;
+    }
 
     daemon::DaemonClient client;
     std::string error;
     if (!client.connect(socket_path, &error))
         vpprof_fatal("daemon-client: ", error);
-    daemon::CallResult result = client.call(
-        1, *cmd, workload, input, threshold, false, timeout_ms);
+    daemon::CallResult result =
+        client.callWithRetry(req, policy, timeout_ms);
     if (result.raw.empty()) {
         // Transport failure: no response line to print; synthesize a
         // structured one so consumers always read valid JSON.
@@ -625,6 +647,9 @@ main(int argc, char **argv)
     bool format_stats = false;
     std::string daemon_socket;
     int daemon_timeout_ms = 120'000;
+    daemon::RetryPolicy daemon_retry;
+    daemon_retry.maxAttempts = 1;  // no retry unless --retries asks
+    uint64_t daemon_deadline_ms = 0;
     std::string trace_json_path, metrics_out_path;
     report::VerifyOptions verify_opts;
 
@@ -659,6 +684,20 @@ main(int argc, char **argv)
         } else if (flag == "--timeout-ms") {
             daemon_timeout_ms = static_cast<int>(
                 parseUintFlag("--timeout-ms", value));
+        } else if (flag == "--retries") {
+            daemon_retry.maxAttempts = static_cast<size_t>(
+                parseUintFlag("--retries", value));
+            if (daemon_retry.maxAttempts == 0)
+                vpprof_fatal("--retries must be >= 1 (got 0)");
+        } else if (flag == "--backoff-base-ms") {
+            daemon_retry.backoffBaseMs =
+                parseUintFlag("--backoff-base-ms", value);
+        } else if (flag == "--deadline-ms") {
+            // One deadline, both ends: the request's deadline_ms (the
+            // daemon refuses to serve it late) and the client's total
+            // retry budget (no retry is planned past it).
+            daemon_deadline_ms = parseUintFlag("--deadline-ms", value);
+            daemon_retry.deadlineBudgetMs = daemon_deadline_ms;
         } else if (flag == "--format-stats") {
             format_stats = true;
             continue;  // boolean flag: no value to consume
@@ -757,6 +796,7 @@ main(int argc, char **argv)
             return cmdVerify(verify_opts);
         if (cmd == "daemon-client")
             return cmdDaemonClient(daemon_socket, daemon_timeout_ms,
+                                   daemon_retry, daemon_deadline_ms,
                                    nrest, rest);
         if (cmd == "trace" && format_stats)
             return cmdTraceFormatStats(session, suite);

@@ -47,6 +47,16 @@ usage()
         "  --idle-timeout-ms N  close idle connections after N ms "
         "(0 = never;\n"
         "                       default 30000)\n"
+        "  --max-outbuf-bytes N per-client output backlog bound; a "
+        "reader\n"
+        "                       stalled past it is disconnected "
+        "(default 4 MiB)\n"
+        "  --watchdog-ms N      flag an executor batch running longer "
+        "than\n"
+        "                       N ms (0 = off; default 10000)\n"
+        "  --retry-hint-ms N    base retry_after_ms hint on shedding "
+        "rejections\n"
+        "                       (default 25)\n"
         "  --trace-json FILE    Chrome trace_event span timeline\n"
         "  --metrics-out FILE   metrics snapshot JSON (written on "
         "drain)\n"
@@ -120,6 +130,15 @@ main(int argc, char **argv)
         } else if (flag == "--idle-timeout-ms") {
             cfg.idleTimeoutMs =
                 parseUintFlag("--idle-timeout-ms", value);
+        } else if (flag == "--max-outbuf-bytes") {
+            cfg.maxClientOutBufBytes = static_cast<size_t>(
+                parseUintFlag("--max-outbuf-bytes", value));
+            if (cfg.maxClientOutBufBytes == 0)
+                vpprof_fatal("--max-outbuf-bytes must be >= 1 (got 0)");
+        } else if (flag == "--watchdog-ms") {
+            cfg.watchdogMs = parseUintFlag("--watchdog-ms", value);
+        } else if (flag == "--retry-hint-ms") {
+            cfg.retryHintMs = parseUintFlag("--retry-hint-ms", value);
         } else if (flag == "--trace-json") {
             if (!value)
                 vpprof_fatal("--trace-json requires a file path");
