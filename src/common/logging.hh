@@ -86,6 +86,14 @@ void debugImpl(const std::string &msg);
 /** Warnings emitted so far, process wide (tests and health checks). */
 uint64_t warningsEmitted();
 
+/**
+ * Warnings suppressed so far (by the level knob or a call site's rate
+ * limit), process wide. Mirrors the `log.warnings.suppressed`
+ * telemetry counter so surfaces like the daemon `stats` response can
+ * report it with telemetry compiled out.
+ */
+uint64_t warningsSuppressed();
+
 } // namespace vpprof
 
 /** Abort on an internal invariant violation. */

@@ -24,14 +24,75 @@ nowNs()
             .count());
 }
 
+void
+writeJsonEscaped(std::ostream &os, std::string_view s)
+{
+    for (char c : s) {
+        unsigned char uc = static_cast<unsigned char>(c);
+        switch (c) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          case '\r':
+            os << "\\r";
+            break;
+          case '\t':
+            os << "\\t";
+            break;
+          default:
+            if (uc < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", uc);
+                os << buf;
+            } else {
+                // >= 0x80 passes raw: UTF-8 sequences survive
+                // byte-for-byte (RFC 8259 permits unescaped non-ASCII).
+                os << c;
+            }
+            break;
+        }
+    }
+}
+
 #if VPPROF_TELEMETRY_ENABLED
 
 namespace
 {
 
 thread_local SpanTracer::ThreadBuffer *tls_buffer = nullptr;
+thread_local uint64_t tls_trace_id = 0;
+
+/** Fixed leading fields of one trace event ("name":...,"cat":...). */
+void
+writeEventHead(std::ostream &os, const SpanTracer::Event &e)
+{
+    os << "{\"name\":\"";
+    writeJsonEscaped(os, e.name ? std::string_view(e.name)
+                                : std::string_view(e.dynName));
+    os << "\",\"cat\":\"vpprof\"";
+}
 
 } // namespace
+
+uint64_t
+currentTraceId()
+{
+    return tls_trace_id;
+}
+
+uint64_t
+setCurrentTraceId(uint64_t id)
+{
+    uint64_t prev = tls_trace_id;
+    tls_trace_id = id;
+    return prev;
+}
 
 SpanTracer &
 SpanTracer::instance()
@@ -62,7 +123,18 @@ SpanTracer::record(const char *name, uint64_t start_ns, uint64_t end_ns)
     // Uncontended in steady state: only the owner appends; the
     // write-file path briefly takes each buffer's mutex to read.
     std::lock_guard<std::mutex> lock(buffer.mutex);
-    buffer.events.push_back(Event{name, start_ns, end_ns});
+    buffer.events.push_back(Event{name, std::string(), start_ns,
+                                  end_ns, tls_trace_id, false});
+}
+
+void
+SpanTracer::recordInstant(std::string name, uint64_t ts_ns,
+                          uint64_t trace_id)
+{
+    ThreadBuffer &buffer = localBuffer();
+    std::lock_guard<std::mutex> lock(buffer.mutex);
+    buffer.events.push_back(Event{nullptr, std::move(name), ts_ns,
+                                  ts_ns, trace_id, true});
 }
 
 size_t
@@ -81,8 +153,11 @@ void
 SpanTracer::writeJson(std::ostream &os) const
 {
     // Chrome trace_event "JSON Object Format": complete events
-    // ("ph":"X") with microsecond timestamps. Perfetto and
-    // chrome://tracing load this directly; ordering is irrelevant.
+    // ("ph":"X") with microsecond timestamps, plus process-scoped
+    // instants ("ph":"i"). Perfetto and chrome://tracing load this
+    // directly; ordering is irrelevant. Events attributed to a job
+    // carry its trace id in "args" — filter on it to reconstruct one
+    // request's span tree.
     os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
     bool first = true;
     std::lock_guard<std::mutex> lock(mutex_);
@@ -92,20 +167,59 @@ SpanTracer::writeJson(std::ostream &os) const
             if (!first)
                 os << ',';
             first = false;
-            uint64_t dur_ns = e.endNs - e.startNs;
-            char frac_ts[8], frac_dur[8];
+            char frac_ts[8];
             std::snprintf(frac_ts, sizeof(frac_ts), "%03u",
                           static_cast<unsigned>(e.startNs % 1000));
-            std::snprintf(frac_dur, sizeof(frac_dur), "%03u",
-                          static_cast<unsigned>(dur_ns % 1000));
-            os << "{\"name\":\"" << e.name
-               << "\",\"cat\":\"vpprof\",\"ph\":\"X\",\"ts\":"
-               << (e.startNs / 1000) << '.' << frac_ts
-               << ",\"dur\":" << (dur_ns / 1000) << '.' << frac_dur
-               << ",\"pid\":1,\"tid\":" << buffer->tid << '}';
+            writeEventHead(os, e);
+            if (e.instant) {
+                os << ",\"ph\":\"i\",\"s\":\"p\",\"ts\":"
+                   << (e.startNs / 1000) << '.' << frac_ts;
+            } else {
+                uint64_t dur_ns = e.endNs - e.startNs;
+                char frac_dur[8];
+                std::snprintf(frac_dur, sizeof(frac_dur), "%03u",
+                              static_cast<unsigned>(dur_ns % 1000));
+                os << ",\"ph\":\"X\",\"ts\":" << (e.startNs / 1000)
+                   << '.' << frac_ts << ",\"dur\":" << (dur_ns / 1000)
+                   << '.' << frac_dur;
+            }
+            os << ",\"pid\":1,\"tid\":" << buffer->tid;
+            if (e.traceId != 0)
+                os << ",\"args\":{\"trace_id\":" << e.traceId << '}';
+            os << '}';
         }
     }
     os << "]}";
+}
+
+size_t
+SpanTracer::collectNew(std::vector<size_t> &cursors,
+                       std::vector<StreamedEvent> &out,
+                       size_t max_events)
+{
+    size_t appended = 0;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (cursors.size() < buffers_.size())
+        cursors.resize(buffers_.size(), 0);
+    for (size_t b = 0; b < buffers_.size() && appended < max_events;
+         ++b) {
+        const ThreadBuffer *buffer = buffers_[b];
+        std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+        while (cursors[b] < buffer->events.size() &&
+               appended < max_events) {
+            const Event &e = buffer->events[cursors[b]++];
+            StreamedEvent s;
+            s.name = e.name ? std::string(e.name) : e.dynName;
+            s.startNs = e.startNs;
+            s.endNs = e.endNs;
+            s.traceId = e.traceId;
+            s.tid = buffer->tid;
+            s.instant = e.instant;
+            out.push_back(std::move(s));
+            ++appended;
+        }
+    }
+    return appended;
 }
 
 bool
@@ -117,6 +231,12 @@ SpanTracer::writeFile(const std::string &path) const
 }
 
 #else // !VPPROF_TELEMETRY_ENABLED
+
+uint64_t
+currentTraceId()
+{
+    return 0;
+}
 
 SpanTracer &
 SpanTracer::instance()

@@ -10,7 +10,15 @@
  * VPPROF_TRACE_JSON env var), each Span buffers one complete event
  * ("ph":"X") with microsecond timestamps into a per-thread buffer;
  * buffers are merged at write time. Span names must be string
- * literals (they are stored by pointer).
+ * literals (they are stored by pointer); instant events
+ * (recordInstant, "ph":"i") may carry dynamic names, which are owned
+ * by the buffer and JSON-escaped at write time.
+ *
+ * Job attribution: a thread may set a *current trace id*
+ * (ScopedTraceId); every span and instant event recorded while it is
+ * set carries that id in its "args", so one request's full span tree
+ * is reconstructible from the merged trace (vpprofd tags executor
+ * lanes with the owning job's trace id this way).
  *
  * Compiled out entirely by VPPROF_TELEMETRY=OFF: Span becomes an
  * empty type and the tracer records nothing.
@@ -24,6 +32,7 @@
 #include <iosfwd>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/telemetry/metrics.hh"
@@ -36,7 +45,33 @@ namespace telemetry
 /** Monotonic nanoseconds since process start (span timestamps). */
 uint64_t nowNs();
 
+/**
+ * The calling thread's current trace id (0 = unattributed). Spans and
+ * instant events recorded while it is non-zero carry it in "args".
+ */
+uint64_t currentTraceId();
+
 #if VPPROF_TELEMETRY_ENABLED
+
+/** Set the calling thread's current trace id; returns the old one. */
+uint64_t setCurrentTraceId(uint64_t id);
+
+/** RAII trace-id scope: tags every span recorded inside it. */
+class ScopedTraceId
+{
+  public:
+    explicit ScopedTraceId(uint64_t id) : prev_(setCurrentTraceId(id))
+    {
+    }
+
+    ~ScopedTraceId() { setCurrentTraceId(prev_); }
+
+    ScopedTraceId(const ScopedTraceId &) = delete;
+    ScopedTraceId &operator=(const ScopedTraceId &) = delete;
+
+  private:
+    uint64_t prev_;
+};
 
 /** The process-wide span recorder. */
 class SpanTracer
@@ -56,6 +91,15 @@ class SpanTracer
     /** Buffer one complete event (called by ~Span on the hot path). */
     void record(const char *name, uint64_t start_ns, uint64_t end_ns);
 
+    /**
+     * Buffer one instant event ("ph":"i") with an owned (possibly
+     * dynamic, possibly non-ASCII) name. Unlike record(), this does
+     * not consult enabled(): callers gate themselves, so lifecycle
+     * markers can be recorded exactly when the producer wants them.
+     */
+    void recordInstant(std::string name, uint64_t ts_ns,
+                       uint64_t trace_id);
+
     /** Events buffered so far across all threads (tests, reports). */
     size_t eventCount() const;
 
@@ -67,9 +111,12 @@ class SpanTracer
 
     struct Event
     {
-        const char *name;
+        const char *name;     ///< literal name; null when dyn owns it
+        std::string dynName;  ///< owned name (instant events)
         uint64_t startNs;
-        uint64_t endNs;
+        uint64_t endNs;       ///< == startNs for instant events
+        uint64_t traceId;     ///< 0 = unattributed
+        bool instant;
     };
 
     struct ThreadBuffer
@@ -78,6 +125,29 @@ class SpanTracer
         std::vector<Event> events;
         uint32_t tid;
     };
+
+    /** One event collected for live streaming (vpprofd subscribers). */
+    struct StreamedEvent
+    {
+        std::string name;
+        uint64_t startNs = 0;
+        uint64_t endNs = 0;
+        uint64_t traceId = 0;
+        uint32_t tid = 0;
+        bool instant = false;
+    };
+
+    /**
+     * Incremental collection for live streaming: append events not
+     * yet seen through `cursors` (one consumed-count per thread
+     * buffer, resized as buffers appear) to `out`, up to `max_events`
+     * per call. Returns the number appended. The cursor vector is
+     * owned by ONE streaming consumer; buffers are never truncated,
+     * so cursors only grow.
+     */
+    size_t collectNew(std::vector<size_t> &cursors,
+                      std::vector<StreamedEvent> &out,
+                      size_t max_events);
 
   private:
     SpanTracer() = default;
@@ -144,18 +214,49 @@ class TimedSpan
 
 // Disabled build: empty types, no recording, no clock reads.
 
+inline uint64_t
+setCurrentTraceId(uint64_t)
+{
+    return 0;
+}
+
+class ScopedTraceId
+{
+  public:
+    explicit ScopedTraceId(uint64_t) {}
+    ScopedTraceId(const ScopedTraceId &) = delete;
+    ScopedTraceId &operator=(const ScopedTraceId &) = delete;
+};
+
 class SpanTracer
 {
   public:
     static SpanTracer &instance();
 
+    struct StreamedEvent
+    {
+        std::string name;
+        uint64_t startNs = 0;
+        uint64_t endNs = 0;
+        uint64_t traceId = 0;
+        uint32_t tid = 0;
+        bool instant = false;
+    };
+
     void enable() {}
     void disable() {}
     bool enabled() const { return false; }
     void record(const char *, uint64_t, uint64_t) {}
+    void recordInstant(const std::string &, uint64_t, uint64_t) {}
     size_t eventCount() const { return 0; }
     void writeJson(std::ostream &os) const;
     bool writeFile(const std::string &path) const;
+
+    size_t collectNew(std::vector<size_t> &,
+                      std::vector<StreamedEvent> &, size_t)
+    {
+        return 0;
+    }
 };
 
 class Span
@@ -175,6 +276,14 @@ class TimedSpan
 };
 
 #endif // VPPROF_TELEMETRY_ENABLED
+
+/**
+ * JSON string escaping for trace output: quotes, backslashes and all
+ * control characters (RFC 8259 \u00XX for the ones without short
+ * escapes); bytes >= 0x80 pass through raw, so UTF-8 names survive
+ * byte-for-byte. Exposed so every telemetry writer escapes one way.
+ */
+void writeJsonEscaped(std::ostream &os, std::string_view s);
 
 } // namespace telemetry
 } // namespace vpprof

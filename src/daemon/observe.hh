@@ -1,0 +1,195 @@
+/**
+ * @file
+ * vpprofd's observability plane (DESIGN.md §14): the data types behind
+ * per-job lifecycle events, the bounded in-daemon event journal, the
+ * telemetry-stream subscription filter, and declarative SLO tracking.
+ *
+ * A job's life is narrated as a sequence of JobEvents — received,
+ * admitted, started, then exactly one terminal kind — each stamped
+ * with the daemon's monotonically increasing sequence number, the
+ * telemetry clock (telemetry::nowNs(), the same axis the Perfetto
+ * trace uses) and the job's trace id, so wire responses, streamed
+ * events, the journal and executor spans all join on one key.
+ *
+ * Everything here is pure bookkeeping owned by the event-loop thread:
+ * no locks, no sockets. The server decides when events fire and who
+ * hears about them; this module decides what they look like.
+ */
+
+#ifndef VPPROF_DAEMON_OBSERVE_HH
+#define VPPROF_DAEMON_OBSERVE_HH
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "daemon/protocol.hh"
+
+namespace vpprof
+{
+namespace daemon
+{
+
+/** What happened to a job (one Received..terminal narrative each). */
+enum class JobEventKind
+{
+    Received,  ///< request line parsed; trace id assigned
+    Admitted,  ///< passed admission control; queued for the executor
+    Started,   ///< pulled onto a runner lane by the executor
+    Completed, ///< answered ok
+    Failed,    ///< answered with a non-shedding error (internal, ...)
+    Rejected,  ///< shed at admission (overloaded/quota/draining)
+    Cancelled, ///< removed from the queue (cancel command/disconnect)
+    Deadline,  ///< answered deadline_exceeded (queued or completed late)
+    Recovery,  ///< trace-cache self-healing (quarantine/regeneration)
+};
+
+const char *jobEventKindName(JobEventKind kind);
+
+/** One job lifecycle event (journal entry / streamed line payload). */
+struct JobEvent
+{
+    uint64_t seq = 0;          ///< daemon-wide ordinal, from 1
+    uint64_t tsNs = 0;         ///< telemetry::nowNs() timestamp
+    JobEventKind kind = JobEventKind::Received;
+    uint64_t requestId = 0;    ///< 0 for job-less events (recovery)
+    uint64_t traceId = 0;
+    uint64_t clientSerial = 0;
+    Command cmd = Command::Ping;
+    std::string workload;
+    std::string detail;        ///< error text / recovery description
+    uint64_t queued = 0;       ///< admission backlog at event time
+};
+
+/** The event as JSON object members (no braces), snake_case. */
+void writeJobEventFields(std::ostream &os, const JobEvent &event);
+
+/**
+ * The event as one wire line: `{"event": "telemetry", "kind": ...,
+ * ...}`. The `event` member is what DaemonClient::call()'s id-matching
+ * keys on to skip streamed telemetry interleaved with a pipelined
+ * response on one connection; the request id rides along (when the
+ * event has one) purely for joining.
+ */
+std::string jobEventJson(const JobEvent &event);
+
+/**
+ * Bounded ring of the most recent job lifecycle events, queryable via
+ * the `journal` protocol command. Push beyond the cap drops the
+ * OLDEST entry; totalPushed() keeps counting, so `total - size` is
+ * the number aged out.
+ */
+class EventJournal
+{
+  public:
+    explicit EventJournal(size_t cap) : cap_(cap) {}
+
+    void push(JobEvent event);
+
+    uint64_t totalPushed() const { return total_; }
+    size_t size() const { return events_.size(); }
+
+    /**
+     * The newest `limit` events (0 = all retained), oldest first, as
+     * a JSON array of event objects.
+     */
+    std::string renderJsonArray(size_t limit) const;
+
+  private:
+    size_t cap_;
+    uint64_t total_ = 0;
+    std::deque<JobEvent> events_;
+};
+
+/** Which telemetry event classes a subscriber receives. */
+struct SubscriberFilter
+{
+    bool lifecycle = false;  ///< job lifecycle events
+    bool spans = false;      ///< executor spans, streamed live
+    bool metrics = false;    ///< periodic metrics snapshots
+    double sampleRate = 1.0; ///< deliver this fraction, in (0, 1]
+
+    /** The filter spec re-rendered canonically ("lifecycle,spans"). */
+    std::string spec() const;
+};
+
+/**
+ * Parse a comma-separated filter spec from `lifecycle`, `spans`,
+ * `metrics`, or `all`. An empty spec means `lifecycle`. Unknown
+ * tokens fail with a diagnostic in `error`.
+ */
+std::optional<SubscriberFilter>
+parseEventFilter(std::string_view spec, std::string *error);
+
+/** Declarative service-level objectives for job requests. */
+struct SloConfig
+{
+    double p99Ms = 0;       ///< objective: window p99 latency; 0 = off
+    double errorRate = -1;  ///< objective: window error rate; <0 = off
+
+    bool configured() const { return p99Ms > 0 || errorRate >= 0; }
+};
+
+/**
+ * Parse a `--slo` spec: comma-separated `p99_ms=<ms>` and/or
+ * `error_rate=<fraction in [0,1]>` assignments.
+ */
+std::optional<SloConfig> parseSloSpec(std::string_view spec,
+                                      std::string *error);
+
+/**
+ * Sliding-window SLO evaluation. observe() records one answered job
+ * (latency + ok/error) into a bounded window; once the window holds
+ * at least minSamples() entries, each observation that leaves the
+ * window's p99 latency above the objective increments the latency
+ * BURN counter (ditto error rate). Burns therefore accumulate at
+ * request rate while an objective is violated — a cheap, windowless
+ * integral of "how long and how hard we were out of budget" that
+ * `stats` exposes and the bench gates on.
+ */
+class SloTracker
+{
+  public:
+    void configure(const SloConfig &config, size_t window);
+
+    void observe(double latency_ms, bool ok);
+
+    /** Samples before evaluation starts: min(8, window). */
+    size_t minSamples() const;
+
+    uint64_t latencyBurns() const { return latencyBurns_; }
+    uint64_t errorBurns() const { return errorBurns_; }
+    uint64_t observed() const { return observed_; }
+
+    /** Current window p99 latency (ms); 0 while under-sampled. */
+    double windowP99Ms() const;
+    /** Current window error rate; 0 while under-sampled. */
+    double windowErrorRate() const;
+
+    /** The tracker as JSON object members (the `stats` slo block). */
+    void writeJsonFields(std::ostream &os) const;
+
+  private:
+    struct Sample
+    {
+        double latencyMs = 0;
+        bool ok = true;
+    };
+
+    SloConfig config_;
+    size_t window_ = 256;
+    std::deque<Sample> samples_;
+    uint64_t observed_ = 0;
+    uint64_t windowErrors_ = 0;
+    uint64_t latencyBurns_ = 0;
+    uint64_t errorBurns_ = 0;
+};
+
+} // namespace daemon
+} // namespace vpprof
+
+#endif // VPPROF_DAEMON_OBSERVE_HH

@@ -18,6 +18,9 @@ commandName(Command cmd)
       case Command::Stats: return "stats";
       case Command::Shutdown: return "shutdown";
       case Command::Cancel: return "cancel";
+      case Command::Subscribe: return "subscribe";
+      case Command::Metrics: return "metrics";
+      case Command::Journal: return "journal";
     }
     return "?";
 }
@@ -32,6 +35,9 @@ parseCommand(std::string_view name)
     if (name == "stats") return Command::Stats;
     if (name == "shutdown") return Command::Shutdown;
     if (name == "cancel") return Command::Cancel;
+    if (name == "subscribe") return Command::Subscribe;
+    if (name == "metrics") return Command::Metrics;
+    if (name == "journal") return Command::Journal;
     return std::nullopt;
 }
 
@@ -156,6 +162,47 @@ parseRequest(std::string_view line, std::string *error,
         }
         req.cancelTarget = static_cast<uint64_t>(t->asNumber());
     }
+    if (const report::JsonValue *t = doc->get("trace_id")) {
+        if (!t->isNumber() || t->asNumber() < 0) {
+            if (error)
+                *error = "'trace_id' must be a non-negative number";
+            return std::nullopt;
+        }
+        req.traceId = static_cast<uint64_t>(t->asNumber());
+    }
+    if (const report::JsonValue *e = doc->get("events")) {
+        if (!e->isString()) {
+            if (error)
+                *error = "'events' must be a string";
+            return std::nullopt;
+        }
+        req.subEvents = e->asString();
+    }
+    if (const report::JsonValue *r = doc->get("sample_rate")) {
+        if (!r->isNumber() || r->asNumber() <= 0 ||
+            r->asNumber() > 1) {
+            if (error)
+                *error = "'sample_rate' must be a number in (0, 1]";
+            return std::nullopt;
+        }
+        req.sampleRate = r->asNumber();
+    }
+    if (const report::JsonValue *f = doc->get("format")) {
+        if (!f->isString()) {
+            if (error)
+                *error = "'format' must be a string";
+            return std::nullopt;
+        }
+        req.format = f->asString();
+    }
+    if (const report::JsonValue *l = doc->get("limit")) {
+        if (!l->isNumber() || l->asNumber() < 0) {
+            if (error)
+                *error = "'limit' must be a non-negative number";
+            return std::nullopt;
+        }
+        req.limit = static_cast<uint64_t>(l->asNumber());
+    }
 
     if (commandIsJob(req.cmd) && req.workload.empty()) {
         if (error)
@@ -166,6 +213,12 @@ parseRequest(std::string_view line, std::string *error,
     if (req.cmd == Command::Cancel && req.cancelTarget == 0) {
         if (error)
             *error = "'cancel' needs a positive numeric 'target'";
+        return std::nullopt;
+    }
+    if (!req.format.empty() && req.format != "json" &&
+        req.format != "prometheus") {
+        if (error)
+            *error = "'format' must be \"json\" or \"prometheus\"";
         return std::nullopt;
     }
     return req;
@@ -196,37 +249,69 @@ requestLine(const Request &req)
         os << ", \"target\": "
            << report::formatJsonNumber(
                   static_cast<double>(req.cancelTarget));
+    if (req.traceId > 0)
+        os << ", \"trace_id\": "
+           << report::formatJsonNumber(
+                  static_cast<double>(req.traceId));
+    if (!req.subEvents.empty())
+        os << ", \"events\": " << report::quoteJsonString(req.subEvents);
+    if (req.sampleRate != 1.0)
+        os << ", \"sample_rate\": "
+           << report::formatJsonNumber(req.sampleRate);
+    if (!req.format.empty())
+        os << ", \"format\": " << report::quoteJsonString(req.format);
+    if (req.limit > 0)
+        os << ", \"limit\": "
+           << report::formatJsonNumber(static_cast<double>(req.limit));
     os << "}";
     return os.str();
 }
 
+namespace
+{
+
+/** The optional `, "trace_id": N` member (empty when N == 0). */
+void
+writeTraceId(std::ostream &os, uint64_t trace_id)
+{
+    if (trace_id > 0)
+        os << ", \"trace_id\": "
+           << report::formatJsonNumber(static_cast<double>(trace_id));
+}
+
+} // namespace
+
 std::string
 okResponseLine(uint64_t id, Command cmd,
-               const std::string &result_fields)
+               const std::string &result_fields, uint64_t trace_id)
 {
     std::ostringstream os;
     os << "{\"id\": "
        << report::formatJsonNumber(static_cast<double>(id))
-       << ", \"ok\": true, \"cmd\": \"" << commandName(cmd)
-       << "\", \"result\": {" << result_fields << "}}";
+       << ", \"ok\": true, \"cmd\": \"" << commandName(cmd) << "\"";
+    writeTraceId(os, trace_id);
+    os << ", \"result\": {" << result_fields << "}}";
     return os.str();
 }
 
 std::string
-errorResponseLine(uint64_t id, ErrorCode code, std::string_view message)
+errorResponseLine(uint64_t id, ErrorCode code, std::string_view message,
+                  uint64_t trace_id)
 {
     std::ostringstream os;
     os << "{\"id\": "
        << report::formatJsonNumber(static_cast<double>(id))
        << ", \"ok\": false, \"code\": \"" << errorCodeName(code)
-       << "\", \"error\": " << report::quoteJsonString(message) << "}";
+       << "\", \"error\": " << report::quoteJsonString(message);
+    writeTraceId(os, trace_id);
+    os << "}";
     return os.str();
 }
 
 std::string
 rejectionResponseLine(uint64_t id, ErrorCode code,
                       std::string_view message, uint64_t retry_after_ms,
-                      uint64_t queued)
+                      uint64_t queued, uint64_t trace_id)
 {
     std::ostringstream os;
     os << "{\"id\": "
@@ -236,17 +321,21 @@ rejectionResponseLine(uint64_t id, ErrorCode code,
        << ", \"retry_after_ms\": "
        << report::formatJsonNumber(static_cast<double>(retry_after_ms))
        << ", \"queued\": "
-       << report::formatJsonNumber(static_cast<double>(queued)) << "}";
+       << report::formatJsonNumber(static_cast<double>(queued));
+    writeTraceId(os, trace_id);
+    os << "}";
     return os.str();
 }
 
 std::string
-eventLine(uint64_t id, std::string_view event, const std::string &fields)
+eventLine(uint64_t id, std::string_view event, const std::string &fields,
+          uint64_t trace_id)
 {
     std::ostringstream os;
     os << "{\"id\": "
        << report::formatJsonNumber(static_cast<double>(id))
        << ", \"event\": \"" << event << "\"";
+    writeTraceId(os, trace_id);
     if (!fields.empty())
         os << ", " << fields;
     os << "}";

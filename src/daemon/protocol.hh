@@ -32,6 +32,18 @@
  * id on the same connection — a queued target is removed and answered
  * `cancelled`; a running or finished target is left alone.
  *
+ * Observability extensions: every request is assigned a trace id —
+ * client-supplied (`trace_id`) or daemon-minted — and the daemon
+ * echoes it as `"trace_id"` on every response and event it emits for
+ * that request, so a request's wire lines, its lifecycle events, and
+ * its executor spans in the Perfetto trace all join on one key.
+ * `subscribe` turns the issuing connection into a telemetry stream
+ * (filtered by `events`, optionally downsampled by `sample_rate`);
+ * `metrics` returns a merged registry snapshot without resetting it
+ * (`format: "prometheus"` selects text exposition); `journal` returns
+ * the daemon's bounded ring of recent job lifecycle events (`limit`
+ * caps the returned tail).
+ *
  * The documents are strict RFC 8259 JSON (the report/json parser and
  * writers are reused verbatim), and every number is emitted through
  * formatJsonNumber, so a daemon result parsed back yields doubles
@@ -63,6 +75,9 @@ enum class Command
     Stats,    ///< daemon + trace-repository counters; answered inline
     Shutdown, ///< begin graceful drain; answered inline
     Cancel,   ///< remove a queued job by request id; answered inline
+    Subscribe,///< stream telemetry events on this connection; inline
+    Metrics,  ///< live metrics snapshot (json/prometheus); inline
+    Journal,  ///< recent job lifecycle events; answered inline
 };
 
 const char *commandName(Command cmd);
@@ -108,6 +123,15 @@ struct Request
     bool progress = false;    ///< subscribe to accepted/progress events
     uint64_t deadlineMs = 0;  ///< relative deadline; 0 = none
     uint64_t cancelTarget = 0;///< cancel: the request id to remove
+    uint64_t traceId = 0;     ///< client-chosen trace id; 0 = mint one
+    std::string subEvents;    ///< subscribe: filter spec (default
+                              ///< "lifecycle"); comma-separated from
+                              ///< lifecycle|spans|metrics
+    double sampleRate = 1.0;  ///< subscribe: deliver this fraction of
+                              ///< matching events, in (0, 1]
+    std::string format;       ///< metrics: "json" (default) or
+                              ///< "prometheus"
+    uint64_t limit = 0;       ///< journal: cap returned events; 0 = all
 };
 
 /**
@@ -131,12 +155,16 @@ std::string requestLine(const Request &req);
 /**
  * Response/event lines (no trailing newline; the channel appends it).
  * `result_fields` / `fields` are pre-rendered JSON object members
- * ("\"a\": 1, \"b\": 2"), empty for an empty object.
+ * ("\"a\": 1, \"b\": 2"), empty for an empty object. A non-zero
+ * `trace_id` is echoed as `"trace_id"` so clients can correlate the
+ * answer with lifecycle events and the Perfetto trace.
  */
 std::string okResponseLine(uint64_t id, Command cmd,
-                           const std::string &result_fields);
+                           const std::string &result_fields,
+                           uint64_t trace_id = 0);
 std::string errorResponseLine(uint64_t id, ErrorCode code,
-                              std::string_view message);
+                              std::string_view message,
+                              uint64_t trace_id = 0);
 
 /**
  * A load-shedding rejection (`overloaded`/`quota`/`draining`): an
@@ -147,9 +175,11 @@ std::string errorResponseLine(uint64_t id, ErrorCode code,
 std::string rejectionResponseLine(uint64_t id, ErrorCode code,
                                   std::string_view message,
                                   uint64_t retry_after_ms,
-                                  uint64_t queued);
+                                  uint64_t queued,
+                                  uint64_t trace_id = 0);
 std::string eventLine(uint64_t id, std::string_view event,
-                      const std::string &fields);
+                      const std::string &fields,
+                      uint64_t trace_id = 0);
 
 } // namespace daemon
 } // namespace vpprof

@@ -14,6 +14,7 @@
 
 #include "common/failpoint.hh"
 #include "common/logging.hh"
+#include "common/telemetry/prometheus.hh"
 #include "common/telemetry/telemetry.hh"
 
 namespace vpprof
@@ -75,6 +76,9 @@ DaemonStatsSnapshot::writeJsonFields(std::ostream &os) const
     writeField(os, "cancelled", cancelled, first);
     writeField(os, "slow_reader_closes", slowReaderCloses, first);
     writeField(os, "watchdog_flags", watchdogFlags, first);
+    writeField(os, "subscribes", subscribes, first);
+    writeField(os, "events_emitted", eventsEmitted, first);
+    writeField(os, "events_dropped", eventsDropped, first);
     writeField(os, "queued", queued, first);
     writeField(os, "running", running, first);
     writeField(os, "clients", clients, first);
@@ -83,8 +87,10 @@ DaemonStatsSnapshot::writeJsonFields(std::ostream &os) const
 DaemonServer::DaemonServer(DaemonConfig config)
     : config_(std::move(config)),
       session_(config_.session),
-      dispatcher_(session_, suite_)
+      dispatcher_(session_, suite_),
+      journal_(telemetry::kEnabled ? config_.journalCap : 0)
 {
+    slo_.configure(config_.slo, config_.sloWindow);
 }
 
 DaemonServer::~DaemonServer()
@@ -222,6 +228,22 @@ DaemonServer::executorLoop()
             }
             runningJobs_ += batch.size();
         }
+        if (telemetry::kEnabled && !batch.empty()) {
+            // Started notices cross to the event loop (which owns the
+            // journal and the subscriber fan-out) like completions do.
+            std::lock_guard<std::mutex> lock(startedMutex_);
+            for (const Job &job : batch) {
+                JobEvent event;
+                event.tsNs = telemetry::nowNs();
+                event.kind = JobEventKind::Started;
+                event.requestId = job.req.id;
+                event.traceId = job.traceId;
+                event.clientSerial = job.clientSerial;
+                event.cmd = job.req.cmd;
+                event.workload = job.req.workload;
+                startedEvents_.push_back(std::move(event));
+            }
+        }
         if (!expired.empty()) {
             std::lock_guard<std::mutex> lock(completionMutex_);
             for (Job &job : expired) {
@@ -232,7 +254,9 @@ DaemonServer::executorLoop()
                 completions_.push_back({job.clientSerial, job.req.id,
                                         job.req.cmd,
                                         std::move(outcome),
-                                        job.admitNs, job.deadlineNs});
+                                        job.admitNs, job.deadlineNs,
+                                        job.traceId,
+                                        job.req.workload});
             }
         }
         if (batch.empty()) {
@@ -249,6 +273,12 @@ DaemonServer::executorLoop()
         wake('C');
         std::vector<JobOutcome> outcomes(batch.size());
         session_.runner().forEach(batch.size(), [&](size_t i) {
+            // Every span recorded while this job runs — vm.interpret,
+            // trace.replay, eval.* — carries its trace id, so one
+            // request's full span tree falls out of the Perfetto
+            // trace by filtering args.trace_id.
+            telemetry::ScopedTraceId trace_scope(batch[i].traceId);
+            VPPROF_TIMED_SPAN("daemon.job");
             // Latency/fault injection per dispatched job: Delay makes
             // fire() itself sleep (the job runs late but correct).
             if (FailpointRegistry::instance().fire("daemon.dispatch") !=
@@ -270,7 +300,9 @@ DaemonServer::executorLoop()
                                         batch[i].req.cmd,
                                         std::move(outcomes[i]),
                                         batch[i].admitNs,
-                                        batch[i].deadlineNs});
+                                        batch[i].deadlineNs,
+                                        batch[i].traceId,
+                                        batch[i].req.workload});
         }
         {
             std::lock_guard<std::mutex> lock(jobMutex_);
@@ -329,7 +361,9 @@ DaemonServer::run()
                 beginDrain();
         }
 
+        drainStartedEvents();
         drainCompletions();
+        pollRecoveryEvents();
 
         if (listener_idx != SIZE_MAX &&
             (fds[listener_idx].revents & POLLIN))
@@ -349,8 +383,12 @@ DaemonServer::run()
                     continue;
                 }
             }
-            if (revents & POLLOUT)
+            if (revents & POLLOUT) {
                 flushClient(clients_.at(fd));
+                // Freed backlog may admit pending telemetry lines.
+                if (clients_.count(fd))
+                    pumpSubscriber(clients_.at(fd));
+            }
             if (clients_.count(fd) && (revents & POLLIN))
                 readClient(fd);
         }
@@ -438,6 +476,10 @@ DaemonServer::computeTimeoutMs(uint64_t now_ns) const
     for (const auto &[fd, client] : clients_) {
         if (!client.progressIds.empty())
             progress_wanted = true;
+        // Span/metrics subscribers are driven off the same tick.
+        if (client.sub && (client.sub->filter.spans ||
+                           client.sub->filter.metrics))
+            progress_wanted = true;
         if (config_.idleTimeoutMs > 0 && client.inflight == 0)
             next = std::min(next, client.lastActivityNs +
                                       config_.idleTimeoutMs * 1'000'000);
@@ -460,6 +502,11 @@ DaemonServer::computeTimeoutMs(uint64_t now_ns) const
             next = std::min(next,
                             start + config_.watchdogMs * 1'000'000);
     }
+    if (telemetry::kEnabled && !config_.metricsListenPath.empty())
+        next = std::min(next,
+                        lastMetricsExportNs_ +
+                            config_.metricsListenIntervalMs *
+                                1'000'000);
     if (next == UINT64_MAX)
         return -1;
     if (next <= now_ns)
@@ -580,22 +627,40 @@ DaemonServer::handleLine(Client &client, const std::string &line)
         return;
     }
 
+    // Every request carries a trace id from here on: the client's own
+    // if it sent one, a daemon-minted one otherwise. It is echoed on
+    // every line emitted for this request and tags the job's spans.
+    if (req->traceId == 0)
+        req->traceId = nextTraceId_++;
+
     if (!commandIsJob(req->cmd)) {
         counters_.immediate.add();
         switch (req->cmd) {
           case Command::Ping:
-            sendLine(client, okResponseLine(req->id, req->cmd, ""));
+            sendLine(client, okResponseLine(req->id, req->cmd, "",
+                                            req->traceId));
             break;
           case Command::Stats:
             sendLine(client,
-                     okResponseLine(req->id, req->cmd, statsFields()));
+                     okResponseLine(req->id, req->cmd, statsFields(),
+                                    req->traceId));
             break;
           case Command::Shutdown:
-            sendLine(client, okResponseLine(req->id, req->cmd, ""));
+            sendLine(client, okResponseLine(req->id, req->cmd, "",
+                                            req->traceId));
             beginDrain();
             break;
           case Command::Cancel:
             handleCancel(client, *req);
+            break;
+          case Command::Subscribe:
+            handleSubscribe(client, *req);
+            break;
+          case Command::Metrics:
+            handleMetrics(client, *req);
+            break;
+          case Command::Journal:
+            handleJournal(client, *req);
             break;
           default:
             break;
@@ -603,11 +668,21 @@ DaemonServer::handleLine(Client &client, const std::string &line)
         return;
     }
 
+    {
+        JobEvent event;
+        event.kind = JobEventKind::Received;
+        event.requestId = req->id;
+        event.traceId = req->traceId;
+        event.clientSerial = client.serial;
+        event.cmd = req->cmd;
+        event.workload = req->workload;
+        recordJobEvent(std::move(event));
+    }
     handleJobRequest(client, *req);
 }
 
 void
-DaemonServer::rejectShedding(Client &client, uint64_t id,
+DaemonServer::rejectShedding(Client &client, const Request &req,
                              ErrorCode code, const std::string &detail)
 {
     size_t queued;
@@ -628,15 +703,27 @@ DaemonServer::rejectShedding(Client &client, uint64_t id,
       default:
         break;
     }
+    {
+        JobEvent event;
+        event.kind = JobEventKind::Rejected;
+        event.requestId = req.id;
+        event.traceId = req.traceId;
+        event.clientSerial = client.serial;
+        event.cmd = req.cmd;
+        event.workload = req.workload;
+        event.detail = errorCodeName(code);
+        event.queued = queued;
+        recordJobEvent(std::move(event));
+    }
     // The hint scales with the backlog the daemon can actually see:
     // an empty queue says "come right back", a deep one says wait.
     uint64_t hint = config_.retryHintMs + 2 * queued;
     sendLine(client,
              rejectionResponseLine(
-                 id, code,
+                 req.id, code,
                  detail + " (" + std::to_string(queued) +
                      " admitted); retry with backoff",
-                 hint, queued));
+                 hint, queued, req.traceId));
 }
 
 void
@@ -661,10 +748,264 @@ DaemonServer::handleCancel(Client &client, const Request &req)
     sendLine(client,
              okResponseLine(req.id, req.cmd,
                             removed ? "\"cancelled\": true"
-                                    : "\"cancelled\": false"));
+                                    : "\"cancelled\": false",
+                            req.traceId));
     if (removed)
         settleDeadJob(*removed, ErrorCode::Cancelled,
                       "cancelled by client");
+}
+
+void
+DaemonServer::handleSubscribe(Client &client, const Request &req)
+{
+    if (!telemetry::kEnabled) {
+        // Degraded mode (VPPROF_TELEMETRY=OFF): the command still
+        // parses and answers — explicitly not subscribed, so clients
+        // can tell "no events will ever come" from a hang.
+        sendLine(client,
+                 okResponseLine(req.id, req.cmd,
+                                "\"subscribed\": false, "
+                                "\"degraded\": true",
+                                req.traceId));
+        return;
+    }
+    std::string error;
+    std::optional<SubscriberFilter> filter =
+        parseEventFilter(req.subEvents, &error);
+    if (!filter) {
+        counters_.badRequests.add();
+        sendLine(client, errorResponseLine(req.id,
+                                           ErrorCode::BadRequest,
+                                           error, req.traceId));
+        return;
+    }
+    filter->sampleRate = req.sampleRate;
+    Subscription sub;
+    sub.filter = *filter;
+    client.sub.emplace(std::move(sub));
+    counters_.subscribes.add();
+    // Span streaming needs the tracer recording; arm it on demand.
+    // It stays armed after the subscriber leaves (recording is cheap
+    // and --trace-json may want the events anyway).
+    if (filter->spans)
+        telemetry::SpanTracer::instance().enable();
+    std::ostringstream os;
+    os << "\"subscribed\": true, \"events\": \"" << filter->spec()
+       << "\", \"sample_rate\": "
+       << report::formatJsonNumber(filter->sampleRate)
+       << ", \"ring\": " << config_.subscriberRingCap;
+    sendLine(client, okResponseLine(req.id, req.cmd, os.str(),
+                                    req.traceId));
+}
+
+void
+DaemonServer::handleMetrics(Client &client, const Request &req)
+{
+    // A live snapshot: merged across every thread's shards, never
+    // flushed or reset — scraping is free of observable side effects.
+    std::ostringstream os;
+    os << "\"telemetry_enabled\": "
+       << (telemetry::kEnabled ? "true" : "false") << ", ";
+    if (req.format == "prometheus") {
+        os << "\"text\": "
+           << report::quoteJsonString(
+                  telemetry::prometheusText(
+                      telemetry::snapshotMetrics()));
+    } else {
+        os << "\"metrics\": ";
+        telemetry::snapshotMetrics().writeJson(os);
+    }
+    sendLine(client, okResponseLine(req.id, req.cmd, os.str(),
+                                    req.traceId));
+}
+
+void
+DaemonServer::handleJournal(Client &client, const Request &req)
+{
+    std::ostringstream os;
+    if (!telemetry::kEnabled) {
+        os << "\"degraded\": true, \"total\": 0, \"retained\": 0, "
+              "\"events\": []";
+    } else {
+        os << "\"total\": " << journal_.totalPushed()
+           << ", \"retained\": " << journal_.size()
+           << ", \"events\": " << journal_.renderJsonArray(req.limit);
+    }
+    sendLine(client, okResponseLine(req.id, req.cmd, os.str(),
+                                    req.traceId));
+}
+
+void
+DaemonServer::recordJobEvent(JobEvent event)
+{
+    if (!telemetry::kEnabled)
+        return;
+    event.seq = ++eventSeq_;
+    if (event.tsNs == 0)
+        event.tsNs = telemetry::nowNs();
+    counters_.eventsEmitted.add();
+    // Mirror into the Perfetto trace as an instant event when tracing
+    // is armed: the job's lifecycle markers sit on the same time axis
+    // as its executor spans, joined by trace_id.
+    if (telemetry::SpanTracer::instance().enabled())
+        telemetry::SpanTracer::instance().recordInstant(
+            std::string("job.") + jobEventKindName(event.kind),
+            event.tsNs, event.traceId);
+    bool have_subscriber = false;
+    for (const auto &[fd, c] : clients_) {
+        if (c.sub && c.sub->filter.lifecycle) {
+            have_subscriber = true;
+            break;
+        }
+    }
+    std::string line;
+    if (have_subscriber)
+        line = jobEventJson(event);  // rendered ONCE, shared by all
+    journal_.push(std::move(event));
+    if (have_subscriber)
+        fanToSubscribers(line, [](const Subscription &sub) {
+            return sub.filter.lifecycle;
+        });
+}
+
+void
+DaemonServer::drainStartedEvents()
+{
+    if (!telemetry::kEnabled)
+        return;
+    std::deque<JobEvent> started;
+    {
+        std::lock_guard<std::mutex> lock(startedMutex_);
+        started.swap(startedEvents_);
+    }
+    for (JobEvent &event : started)
+        recordJobEvent(std::move(event));
+}
+
+template <typename Pick>
+void
+DaemonServer::fanToSubscribers(const std::string &line, Pick pick)
+{
+    std::vector<int> fds;
+    for (const auto &[fd, c] : clients_)
+        if (c.sub && pick(*c.sub))
+            fds.push_back(fd);
+    for (int fd : fds) {
+        auto it = clients_.find(fd);
+        if (it == clients_.end())
+            continue;  // a previous push's flush dropped this client
+        Subscription &sub = *it->second.sub;
+        // Deterministic downsampling: the accumulator gains
+        // sample_rate per matching event and delivers on crossing 1,
+        // so a rate of 0.25 delivers exactly every 4th event.
+        sub.sampleAcc += sub.filter.sampleRate;
+        if (sub.sampleAcc < 1.0)
+            continue;
+        sub.sampleAcc -= 1.0;
+        pushToSubscriber(it->second, line);
+    }
+}
+
+void
+DaemonServer::pushToSubscriber(Client &client, const std::string &line)
+{
+    Subscription &sub = *client.sub;
+    if (sub.ring.size() >= config_.subscriberRingCap) {
+        // Shed the OLDEST pending event: a subscriber that cannot
+        // keep up sees a gap (counted in events_dropped and its own
+        // `dropped`), never a stalled daemon or unbounded memory.
+        sub.ring.pop_front();
+        ++sub.dropped;
+        counters_.eventsDropped.add();
+    }
+    sub.ring.push_back(line);
+    pumpSubscriber(client);
+}
+
+void
+DaemonServer::pumpSubscriber(Client &client)
+{
+    if (!client.sub)
+        return;
+    Subscription &sub = *client.sub;
+    bool appended = false;
+    while (!sub.ring.empty()) {
+        size_t backlog = client.outBuf.size() - client.outOff;
+        const std::string &line = sub.ring.front();
+        // Telemetry never pushes the backlog past the slow-reader
+        // bound: pending events WAIT in the bounded ring (overflow
+        // drops the oldest) instead of growing outBuf into a
+        // disconnect. Responses always have room ahead of telemetry.
+        if (backlog + line.size() + 1 > config_.maxClientOutBufBytes)
+            break;
+        client.outBuf += line;
+        client.outBuf += '\n';
+        ++sub.delivered;
+        sub.ring.pop_front();
+        appended = true;
+    }
+    if (appended)
+        flushClient(client);
+}
+
+bool
+DaemonServer::haveSpanSubscriber() const
+{
+    for (const auto &[fd, c] : clients_)
+        if (c.sub && c.sub->filter.spans)
+            return true;
+    return false;
+}
+
+void
+DaemonServer::streamSpans()
+{
+    if (!telemetry::kEnabled || !haveSpanSubscriber())
+        return;
+    std::vector<telemetry::SpanTracer::StreamedEvent> events;
+    telemetry::SpanTracer::instance().collectNew(spanCursors_, events,
+                                                 512);
+    for (const auto &e : events) {
+        std::ostringstream os;
+        os << "{\"event\": \"telemetry\", \"kind\": \"span\", "
+              "\"name\": \"";
+        telemetry::writeJsonEscaped(os, e.name);
+        os << "\", \"ts_ns\": " << e.startNs << ", \"dur_ns\": "
+           << (e.endNs - e.startNs) << ", \"tid\": " << e.tid;
+        if (e.traceId != 0)
+            os << ", \"trace_id\": " << e.traceId;
+        if (e.instant)
+            os << ", \"instant\": true";
+        os << "}";
+        std::string line = os.str();
+        fanToSubscribers(line, [](const Subscription &sub) {
+            return sub.filter.spans;
+        });
+    }
+}
+
+void
+DaemonServer::pollRecoveryEvents()
+{
+    if (!telemetry::kEnabled)
+        return;
+    // Trace-cache self-healing (PR 3's quarantine + regeneration)
+    // becomes visible in the event stream: any counter movement since
+    // the last look is narrated as one Recovery event.
+    TraceRepoStats stats = session_.traces().stats();
+    if (stats.regenerations == lastRegenerations_ &&
+        stats.corruptQuarantined == lastQuarantined_)
+        return;
+    JobEvent event;
+    event.kind = JobEventKind::Recovery;
+    std::ostringstream os;
+    os << "regenerations+" << (stats.regenerations - lastRegenerations_)
+       << " quarantined+"
+       << (stats.corruptQuarantined - lastQuarantined_);
+    event.detail = os.str();
+    lastRegenerations_ = stats.regenerations;
+    lastQuarantined_ = stats.corruptQuarantined;
+    recordJobEvent(std::move(event));
 }
 
 void
@@ -675,6 +1016,19 @@ DaemonServer::settleDeadJob(const Job &job, ErrorCode code,
         counters_.cancelled.add();
     else if (code == ErrorCode::DeadlineExceeded)
         counters_.deadlineExceeded.add();
+    {
+        JobEvent event;
+        event.kind = code == ErrorCode::Cancelled
+                         ? JobEventKind::Cancelled
+                         : JobEventKind::Deadline;
+        event.requestId = job.req.id;
+        event.traceId = job.traceId;
+        event.clientSerial = job.clientSerial;
+        event.cmd = job.req.cmd;
+        event.workload = job.req.workload;
+        event.detail = detail;
+        recordJobEvent(std::move(event));
+    }
     auto it = clientFdBySerial_.find(job.clientSerial);
     if (it == clientFdBySerial_.end())
         return;
@@ -682,19 +1036,20 @@ DaemonServer::settleDeadJob(const Job &job, ErrorCode code,
     if (client.inflight > 0)
         --client.inflight;
     client.progressIds.erase(job.req.id);
-    sendLine(client, errorResponseLine(job.req.id, code, detail));
+    sendLine(client, errorResponseLine(job.req.id, code, detail,
+                                       job.traceId));
 }
 
 void
 DaemonServer::handleJobRequest(Client &client, const Request &req)
 {
     if (draining_) {
-        rejectShedding(client, req.id, ErrorCode::Draining,
+        rejectShedding(client, req, ErrorCode::Draining,
                        "daemon is shutting down");
         return;
     }
     if (client.inflight >= config_.maxInflightPerClient) {
-        rejectShedding(client, req.id, ErrorCode::Quota,
+        rejectShedding(client, req, ErrorCode::Quota,
                        "client in-flight quota reached (" +
                            std::to_string(
                                config_.maxInflightPerClient) +
@@ -712,13 +1067,14 @@ DaemonServer::handleJobRequest(Client &client, const Request &req)
                 req.deadlineMs > 0
                     ? now + req.deadlineMs * 1'000'000
                     : 0;
-            jobQueue_.push_back({client.serial, req, now, deadline});
+            jobQueue_.push_back({client.serial, req, now, deadline,
+                                 req.traceId});
             ++admitted;
             enqueued = true;
         }
     }
     if (!enqueued) {
-        rejectShedding(client, req.id, ErrorCode::Overloaded,
+        rejectShedding(client, req, ErrorCode::Overloaded,
                        "admission queue full (" +
                            std::to_string(config_.maxQueue) +
                            " jobs)");
@@ -726,11 +1082,23 @@ DaemonServer::handleJobRequest(Client &client, const Request &req)
     }
     ++client.inflight;
     counters_.jobsAdmitted.add();
+    {
+        JobEvent event;
+        event.kind = JobEventKind::Admitted;
+        event.requestId = req.id;
+        event.traceId = req.traceId;
+        event.clientSerial = client.serial;
+        event.cmd = req.cmd;
+        event.workload = req.workload;
+        event.queued = admitted;
+        recordJobEvent(std::move(event));
+    }
     if (req.progress) {
         client.progressIds.insert(req.id);
         std::ostringstream os;
         os << "\"queued\": " << admitted;
-        sendLine(client, eventLine(req.id, "accepted", os.str()));
+        sendLine(client, eventLine(req.id, "accepted", os.str(),
+                                   req.traceId));
     }
     jobCv_.notify_one();
 }
@@ -761,7 +1129,38 @@ DaemonServer::drainCompletions()
             counters_.deadlineExceeded.add();
         else
             counters_.jobsFailed.add();
-        counters_.jobLatencyUs.observe((nowNs() - c.admitNs) / 1000);
+        uint64_t latency_ns = nowNs() - c.admitNs;
+        counters_.jobLatencyUs.observe(latency_ns / 1000);
+        if (telemetry::kEnabled) {
+            // Mirror burn increments into the registry so a
+            // Prometheus scrape can alert on them; the tracker's own
+            // counters stay the `stats` source of truth.
+            uint64_t lat0 = slo_.latencyBurns();
+            uint64_t err0 = slo_.errorBurns();
+            slo_.observe(static_cast<double>(latency_ns) / 1e6,
+                         c.outcome.ok);
+            if (uint64_t d = slo_.latencyBurns() - lat0)
+                counters_.sloLatencyBurns.add(d);
+            if (uint64_t d = slo_.errorBurns() - err0)
+                counters_.sloErrorBurns.add(d);
+        }
+        {
+            JobEvent event;
+            event.kind = c.outcome.ok
+                             ? JobEventKind::Completed
+                             : (c.outcome.code ==
+                                        ErrorCode::DeadlineExceeded
+                                    ? JobEventKind::Deadline
+                                    : JobEventKind::Failed);
+            event.requestId = c.requestId;
+            event.traceId = c.traceId;
+            event.clientSerial = c.clientSerial;
+            event.cmd = c.cmd;
+            event.workload = c.workload;
+            if (!c.outcome.ok)
+                event.detail = c.outcome.error;
+            recordJobEvent(std::move(event));
+        }
 
         auto it = clientFdBySerial_.find(c.clientSerial);
         if (it == clientFdBySerial_.end())
@@ -772,11 +1171,12 @@ DaemonServer::drainCompletions()
         client.progressIds.erase(c.requestId);
         if (c.outcome.ok)
             sendLine(client, okResponseLine(c.requestId, c.cmd,
-                                            c.outcome.resultFields));
+                                            c.outcome.resultFields,
+                                            c.traceId));
         else
             sendLine(client,
                      errorResponseLine(c.requestId, c.outcome.code,
-                                       c.outcome.error));
+                                       c.outcome.error, c.traceId));
     }
 }
 
@@ -827,6 +1227,16 @@ DaemonServer::handleTimers(uint64_t now_ns)
         }
     }
 
+    // Periodic Prometheus export (vpprofd --metrics-listen): a
+    // point-in-time file any scraper can collect, committed atomically
+    // so a concurrent read never sees a torn exposition.
+    if (telemetry::kEnabled && !config_.metricsListenPath.empty() &&
+        now_ns - lastMetricsExportNs_ >=
+            config_.metricsListenIntervalMs * 1'000'000) {
+        lastMetricsExportNs_ = now_ns;
+        telemetry::writePrometheusFile(config_.metricsListenPath);
+    }
+
     // Progress events for subscribed jobs, at the configured cadence.
     if (now_ns - lastProgressTickNs_ >=
         config_.progressIntervalMs * 1'000'000) {
@@ -862,6 +1272,32 @@ DaemonServer::handleTimers(uint64_t now_ns)
                 }
             }
         }
+
+        // Telemetry streaming rides the same tick: newly recorded
+        // spans to span subscribers, a live snapshot to metrics
+        // subscribers.
+        streamSpans();
+        if (telemetry::kEnabled) {
+            bool want_metrics = false;
+            for (const auto &[fd, client] : clients_) {
+                if (client.sub && client.sub->filter.metrics) {
+                    want_metrics = true;
+                    break;
+                }
+            }
+            if (want_metrics) {
+                std::ostringstream os;
+                os << "{\"event\": \"telemetry\", \"kind\": "
+                      "\"metrics\", \"ts_ns\": " << telemetry::nowNs()
+                   << ", \"metrics\": ";
+                telemetry::snapshotMetrics().writeJson(os);
+                os << "}";
+                std::string line = os.str();
+                fanToSubscribers(line, [](const Subscription &sub) {
+                    return sub.filter.metrics;
+                });
+            }
+        }
     }
 
     // Idle closes: no complete request and nothing in flight.
@@ -869,9 +1305,10 @@ DaemonServer::handleTimers(uint64_t now_ns)
         return;
     std::vector<int> idle;
     for (auto &[fd, client] : clients_) {
-        // lastActivityNs can postdate now_ns (accepted after this
-        // loop iteration captured the clock): not idle.
-        if (client.inflight == 0 &&
+        // A subscriber is a deliberate long-lived listener, never
+        // idle; lastActivityNs can postdate now_ns (accepted after
+        // this loop iteration captured the clock): not idle.
+        if (!client.sub && client.inflight == 0 &&
             client.outOff >= client.outBuf.size() &&
             now_ns > client.lastActivityNs &&
             now_ns - client.lastActivityNs >
@@ -952,20 +1389,30 @@ DaemonServer::closeClient(int fd, bool counted_idle)
     // read the answers, so running them only burns executor lanes
     // other clients are waiting for. Running jobs finish (the
     // executor owns them); their completions are dropped on arrival.
-    size_t purged = 0;
+    std::vector<Job> purged;
     {
         std::lock_guard<std::mutex> lock(jobMutex_);
         for (auto jit = jobQueue_.begin(); jit != jobQueue_.end();) {
             if (jit->clientSerial == serial) {
+                purged.push_back(std::move(*jit));
                 jit = jobQueue_.erase(jit);
-                ++purged;
             } else {
                 ++jit;
             }
         }
     }
-    for (size_t i = 0; i < purged; ++i)
+    for (const Job &job : purged) {
         counters_.cancelled.add();
+        JobEvent event;
+        event.kind = JobEventKind::Cancelled;
+        event.requestId = job.req.id;
+        event.traceId = job.traceId;
+        event.clientSerial = serial;
+        event.cmd = job.req.cmd;
+        event.workload = job.req.workload;
+        event.detail = "client disconnected";
+        recordJobEvent(std::move(event));
+    }
 }
 
 DaemonStatsSnapshot
@@ -991,6 +1438,9 @@ DaemonServer::statsSnapshot() const
     st.cancelled = counters_.cancelled.value();
     st.slowReaderCloses = counters_.slowReaderCloses.value();
     st.watchdogFlags = counters_.watchdogFlags.value();
+    st.subscribes = counters_.subscribes.value();
+    st.eventsEmitted = counters_.eventsEmitted.value();
+    st.eventsDropped = counters_.eventsDropped.value();
     {
         std::lock_guard<std::mutex> lock(jobMutex_);
         st.queued = jobQueue_.size();
@@ -1012,7 +1462,11 @@ DaemonServer::statsFields()
     std::ostringstream os;
     os << "\"daemon\": {";
     daemon_stats.writeJsonFields(os);
-    os << "}, \"trace\": " << repoStatsJson(repo_stats);
+    os << "}, \"slo\": {";
+    slo_.writeJsonFields(os);
+    os << "}, \"log\": {\"warnings_emitted\": " << warningsEmitted()
+       << ", \"warnings_suppressed\": " << warningsSuppressed()
+       << "}, \"trace\": " << repoStatsJson(repo_stats);
     return os.str();
 }
 

@@ -67,8 +67,10 @@
 #include <vector>
 
 #include "common/telemetry/metrics.hh"
+#include "common/telemetry/span.hh"
 #include "core/session.hh"
 #include "daemon/dispatch.hh"
+#include "daemon/observe.hh"
 #include "daemon/protocol.hh"
 #include "workloads/workload.hh"
 
@@ -114,6 +116,30 @@ struct DaemonConfig
     /** Base of the retry_after_ms hint on shedding rejections; the
      *  hint scales with the backlog (base + 2*queued). */
     uint64_t retryHintMs = 25;
+
+    /** Retained job lifecycle events (the `journal` command); 0
+     *  disables the journal. */
+    size_t journalCap = 256;
+
+    /** Per-subscriber pending-event ring bound: a subscriber whose
+     *  socket cannot keep up loses the OLDEST pending events (counted
+     *  in daemon.events_dropped) instead of growing daemon memory or
+     *  stalling the loop. */
+    size_t subscriberRingCap = 256;
+
+    /** Declarative objectives evaluated over a sliding window of
+     *  answered jobs (vpprofd --slo). */
+    SloConfig slo;
+
+    /** SLO evaluation window (answered jobs). */
+    size_t sloWindow = 256;
+
+    /** When non-empty, periodically export the live metrics snapshot
+     *  in Prometheus text format to this path (atomic rename). */
+    std::string metricsListenPath;
+
+    /** Cadence of the --metrics-listen export. */
+    uint64_t metricsListenIntervalMs = 1'000;
 };
 
 /**
@@ -144,6 +170,9 @@ struct DaemonStatsSnapshot
     uint64_t cancelled = 0;        ///< queued jobs removed (cancel/disconnect)
     uint64_t slowReaderCloses = 0; ///< clients dropped over outBuf bound
     uint64_t watchdogFlags = 0;    ///< executor batches flagged stuck
+    uint64_t subscribes = 0;       ///< subscribe commands accepted
+    uint64_t eventsEmitted = 0;    ///< lifecycle events recorded
+    uint64_t eventsDropped = 0;    ///< subscriber ring overflows
 
     // Live levels (not counters).
     uint64_t queued = 0;   ///< jobs waiting for a runner lane
@@ -186,6 +215,20 @@ class DaemonServer
     const DaemonConfig &config() const { return config_; }
 
   private:
+    /** Per-connection telemetry-stream state (the `subscribe` cmd).
+     *  Pending lines wait in a bounded ring drained only while the
+     *  client's output backlog stays under maxClientOutBufBytes, so a
+     *  slow subscriber sheds events (dropped, counted) rather than
+     *  growing the buffer into a slow-reader disconnect. */
+    struct Subscription
+    {
+        SubscriberFilter filter;
+        std::deque<std::string> ring;  ///< rendered lines, no '\n'
+        uint64_t delivered = 0;
+        uint64_t dropped = 0;
+        double sampleAcc = 0;  ///< deterministic sampling accumulator
+    };
+
     struct Client
     {
         int fd = -1;
@@ -196,6 +239,7 @@ class DaemonServer
         size_t inflight = 0;       ///< admitted, unanswered jobs
         uint64_t lastActivityNs = 0;
         std::set<uint64_t> progressIds;  ///< jobs streaming progress
+        std::optional<Subscription> sub;
     };
 
     struct Job
@@ -204,6 +248,7 @@ class DaemonServer
         Request req;
         uint64_t admitNs = 0;
         uint64_t deadlineNs = 0;  ///< absolute; 0 = no deadline
+        uint64_t traceId = 0;
     };
 
     struct Completion
@@ -214,6 +259,8 @@ class DaemonServer
         JobOutcome outcome;
         uint64_t admitNs = 0;
         uint64_t deadlineNs = 0;
+        uint64_t traceId = 0;
+        std::string workload;
     };
 
     // --- event-loop internals (event-loop thread only) -------------
@@ -222,11 +269,14 @@ class DaemonServer
     void handleLine(Client &client, const std::string &line);
     void handleJobRequest(Client &client, const Request &req);
     void handleCancel(Client &client, const Request &req);
+    void handleSubscribe(Client &client, const Request &req);
+    void handleMetrics(Client &client, const Request &req);
+    void handleJournal(Client &client, const Request &req);
     /** ONE serializer for load-shedding rejections: counts the
      *  matching counter, includes the backlog depth and a
      *  retry_after_ms hint in the response. */
-    void rejectShedding(Client &client, uint64_t id, ErrorCode code,
-                        const std::string &detail);
+    void rejectShedding(Client &client, const Request &req,
+                        ErrorCode code, const std::string &detail);
     /** Answer + settle one job that will never reach the executor
      *  (deadline expiry / cancel): decrement inflight, drop progress
      *  subscription, send the error line. */
@@ -243,6 +293,29 @@ class DaemonServer
     bool drainComplete() const;
     int computeTimeoutMs(uint64_t now_ns) const;
     std::string statsFields();
+
+    // --- observability plane (event-loop thread only) --------------
+    /** Record one job lifecycle event: stamp seq + telemetry clock,
+     *  journal it, mirror it as a Perfetto instant when tracing is
+     *  armed, and fan it out to lifecycle subscribers. */
+    void recordJobEvent(JobEvent event);
+    /** Drain executor-posted Started notices into recordJobEvent. */
+    void drainStartedEvents();
+    /** Enqueue one rendered line into a subscriber's ring (dropping
+     *  the oldest pending line on overflow) and pump it. */
+    void pushToSubscriber(Client &client, const std::string &line);
+    /** Move pending ring lines into outBuf while the backlog stays
+     *  under maxClientOutBufBytes, then flush. */
+    void pumpSubscriber(Client &client);
+    /** Fan one rendered line to every subscriber passing `pick`. */
+    template <typename Pick>
+    void fanToSubscribers(const std::string &line, Pick pick);
+    /** Stream newly recorded spans to span subscribers. */
+    void streamSpans();
+    /** Emit Recovery events for trace-cache healing since last check. */
+    void pollRecoveryEvents();
+    /** True when any open connection subscribes to `spans`. */
+    bool haveSpanSubscriber() const;
 
     // --- executor thread -------------------------------------------
     void executorLoop();
@@ -274,6 +347,25 @@ class DaemonServer
 
     mutable std::mutex completionMutex_;
     std::deque<Completion> completions_;
+
+    /** Executor -> event loop: jobs pulled onto runner lanes, so the
+     *  loop can record Started events (the journal and subscriber
+     *  fan-out are event-loop-only state). */
+    mutable std::mutex startedMutex_;
+    std::deque<JobEvent> startedEvents_;
+
+    // --- observability state (event-loop thread only) --------------
+    EventJournal journal_;
+    SloTracker slo_;
+    uint64_t nextTraceId_ = 1;
+    uint64_t eventSeq_ = 0;
+    uint64_t lastRegenerations_ = 0;
+    uint64_t lastQuarantined_ = 0;
+    uint64_t lastMetricsExportNs_ = 0;
+    /** Span-streaming cursor into the tracer's thread buffers (one
+     *  consumer: the event loop fans collected spans to every span
+     *  subscriber). */
+    std::vector<size_t> spanCursors_;
 
     /** Watchdog view of the executor: when a batch is running,
      *  execBatchStartNs_ holds its start (0 between batches) and
@@ -313,6 +405,15 @@ class DaemonServer
             "daemon.slow_reader_closes"};
         telemetry::ScopedCounter watchdogFlags{
             "daemon.watchdog_flags"};
+        telemetry::ScopedCounter subscribes{"daemon.subscribes"};
+        telemetry::ScopedCounter eventsEmitted{
+            "daemon.events_emitted"};
+        telemetry::ScopedCounter eventsDropped{
+            "daemon.events_dropped"};
+        telemetry::ScopedCounter sloLatencyBurns{
+            "daemon.slo_latency_burns"};
+        telemetry::ScopedCounter sloErrorBurns{
+            "daemon.slo_error_burns"};
         telemetry::HistogramMetric jobLatencyUs{
             "daemon.job_latency.us"};
     };

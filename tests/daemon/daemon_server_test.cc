@@ -390,8 +390,12 @@ TEST_F(DaemonServerTest, SigtermStyleShutdownFlushesTelemetry)
     content << in.rdbuf();
     auto doc = report::parseJson(content.str());
     ASSERT_TRUE(doc) << "metrics file is not valid JSON";
-    EXPECT_NE(content.str().find("daemon.connections"),
-              std::string::npos);
+    // With telemetry compiled out the registry is a no-op, so the
+    // flushed snapshot is legitimately empty — the drain contract is
+    // only that the file gets written.
+    if (telemetry::kEnabled)
+        EXPECT_NE(content.str().find("daemon.connections"),
+                  std::string::npos);
     fs::remove(metrics_path);
 }
 

@@ -36,6 +36,7 @@
  * verification failed; structured fatals (exit 1) for setup errors.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -43,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/telemetry/telemetry.hh"
 #include "daemon/client.hh"
 #include "daemon/retry.hh"
@@ -75,8 +77,10 @@ usage()
                  "invocations\n"
                  "  --stats           print trace-repository serving "
                  "+ recovery counters (stderr)\n"
-                 "  --stats-json      print the same counters as one "
-                 "JSON object (stdout)\n"
+                 "  --stats-json      print the same counters (plus "
+                 "log warning\n"
+                 "                    counters) as one JSON object "
+                 "(stdout)\n"
                  "  --trace-json FILE write a Chrome trace_event "
                  "span timeline (Perfetto-loadable)\n"
                  "  --metrics-out FILE write a metrics snapshot "
@@ -103,6 +107,18 @@ usage()
                  "per retry (default 50)\n"
                  "  --deadline-ms N   request deadline_ms AND the total "
                  "retry budget\n"
+                 "  --prometheus      metrics: print the Prometheus "
+                 "text exposition\n"
+                 "  --events SPEC     subscribe: event classes "
+                 "(lifecycle|spans|metrics|all)\n"
+                 "  --event-sample-rate R  subscribe: deliver ~R of "
+                 "lifecycle events (0,1]\n"
+                 "  --journal-limit N journal: newest N events only "
+                 "(0 = all retained)\n"
+                 "  --max-events N    subscribe: exit 0 after N "
+                 "event lines\n"
+                 "  --duration-ms N   subscribe: exit 0 after N ms "
+                 "of streaming\n"
                  "sampled profiling (profile command only):\n"
                  "  --sample-rate N   observe ~1 in N trace records "
                  "(default 1 = exact)\n"
@@ -144,9 +160,15 @@ usage()
                  "[input] [thresh]\n"
                  "           cmd: ping | profile | evaluate | verify | "
                  "stats | shutdown\n"
-                 "                | cancel <target-id>;\n"
+                 "                | cancel <target-id> | metrics | "
+                 "journal | subscribe;\n"
                  "           prints the daemon's JSON response line on "
-                 "stdout\n");
+                 "stdout\n"
+                 "           (subscribe then streams telemetry event "
+                 "lines);\n"
+                 "           exit 0 = daemon answered ok, 1 = daemon "
+                 "error response,\n"
+                 "           3 = transport failure (no daemon answer)\n");
     return 2;
 }
 
@@ -560,24 +582,91 @@ parsePctFlag(const char *flag, const char *value)
     return parsed;
 }
 
+/** Observability knobs for daemon-client (metrics/journal/subscribe). */
+struct DaemonClientOptions
+{
+    std::string socketPath;
+    int timeoutMs = 120'000;
+    daemon::RetryPolicy retry;
+    uint64_t deadlineMs = 0;
+    bool prometheus = false;       ///< metrics: print the text format
+    std::string events;            ///< subscribe: event-class filter
+    double eventSampleRate = 1.0;  ///< subscribe: delivery fraction
+    uint64_t journalLimit = 0;     ///< journal: newest-N bound
+    uint64_t maxEvents = 0;        ///< subscribe: stop after N lines
+    uint64_t durationMs = 0;       ///< subscribe: stop after N ms
+};
+
+/**
+ * subscribe: after the daemon acks the subscription, the connection
+ * becomes a telemetry stream — print each event line verbatim until
+ * --max-events / --duration-ms is reached (exit 0) or the daemon
+ * closes the connection (clean EOF, also exit 0). Read timeouts keep
+ * waiting: an idle daemon emits nothing, which is not a failure.
+ */
+int
+streamSubscription(daemon::DaemonClient &client,
+                   const DaemonClientOptions &opt)
+{
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start = Clock::now();
+    uint64_t printed = 0;
+    for (;;) {
+        if (opt.maxEvents > 0 && printed >= opt.maxEvents)
+            return 0;
+        int wait_ms = opt.timeoutMs;
+        if (opt.durationMs > 0) {
+            auto elapsed =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    Clock::now() - start)
+                    .count();
+            if (elapsed >= static_cast<int64_t>(opt.durationMs))
+                return 0;
+            wait_ms = static_cast<int>(
+                std::min<int64_t>(wait_ms,
+                                  static_cast<int64_t>(opt.durationMs) -
+                                      elapsed));
+        }
+        std::optional<std::string> line = client.readLine(wait_ms);
+        if (line) {
+            std::printf("%s\n", line->c_str());
+            std::fflush(stdout);
+            ++printed;
+            continue;
+        }
+        if (client.lastReason() == daemon::CallReason::Timeout)
+            continue;  // idle stream: keep listening
+        if (client.lastReason() == daemon::CallReason::Eof)
+            return 0;  // daemon drained: a clean end of stream
+        std::fprintf(stderr, "vpprof_cli: subscribe stream: %s\n",
+                     client.lastError().c_str());
+        return 3;
+    }
+}
+
 /**
  * daemon-client: one protocol round trip against a running vpprofd
  * (with optional retry/backoff — see daemon/retry.hh for the matrix).
  * The daemon's response line goes to stdout verbatim (it is already
  * one strict-JSON document), so shell pipelines and the CI smoke can
- * parse it directly. Exit 0 only when the daemon answered ok.
+ * parse it directly.
+ *
+ * Exit status distinguishes WHO failed: 0 = the daemon answered ok,
+ * 1 = the daemon answered with an error response (its JSON line is
+ * still printed), 3 = transport failure — connect refused, timeout,
+ * disconnect — where no daemon answer exists (a structured error line
+ * is synthesized so consumers always read valid JSON).
  */
 int
-cmdDaemonClient(const std::string &socket_path, int timeout_ms,
-                const daemon::RetryPolicy &policy, uint64_t deadline_ms,
-                int nrest, char **rest)
+cmdDaemonClient(const DaemonClientOptions &opt, int nrest, char **rest)
 {
-    if (socket_path.empty())
+    if (opt.socketPath.empty())
         vpprof_fatal("daemon-client requires --socket PATH");
     if (nrest < 2)
         vpprof_fatal("daemon-client requires a command "
                      "(ping | profile | evaluate | verify | stats | "
-                     "shutdown | cancel)");
+                     "shutdown | cancel | metrics | journal | "
+                     "subscribe)");
     std::optional<daemon::Command> cmd = daemon::parseCommand(rest[1]);
     if (!cmd)
         vpprof_fatal("unknown daemon command '", rest[1], "'");
@@ -585,12 +674,19 @@ cmdDaemonClient(const std::string &socket_path, int timeout_ms,
     daemon::Request req;
     req.id = 1;
     req.cmd = *cmd;
-    req.deadlineMs = deadline_ms;
+    req.deadlineMs = opt.deadlineMs;
     if (*cmd == daemon::Command::Cancel) {
         if (nrest < 3)
             vpprof_fatal("daemon command 'cancel' requires the target "
                          "request id");
         req.cancelTarget = parseUintFlag("target", rest[2]);
+    } else if (*cmd == daemon::Command::Metrics) {
+        req.format = opt.prometheus ? "prometheus" : "json";
+    } else if (*cmd == daemon::Command::Journal) {
+        req.limit = opt.journalLimit;
+    } else if (*cmd == daemon::Command::Subscribe) {
+        req.subEvents = opt.events;
+        req.sampleRate = opt.eventSampleRate;
     } else {
         req.workload = nrest > 2 ? rest[2] : "";
         if (daemon::commandIsJob(*cmd) && req.workload.empty())
@@ -605,10 +701,20 @@ cmdDaemonClient(const std::string &socket_path, int timeout_ms,
 
     daemon::DaemonClient client;
     std::string error;
-    if (!client.connect(socket_path, &error))
-        vpprof_fatal("daemon-client: ", error);
+    if (!client.connect(opt.socketPath, &error)) {
+        // Connect refused/missing socket is a transport failure, not
+        // a daemon verdict: synthesized JSON line + exit 3.
+        std::fprintf(stderr, "vpprof_cli: daemon-client: %s\n",
+                     error.c_str());
+        std::printf("%s\n",
+                    daemon::errorResponseLine(
+                        1, daemon::ErrorCode::Internal,
+                        "disconnected: " + error)
+                        .c_str());
+        return 3;
+    }
     daemon::CallResult result =
-        client.callWithRetry(req, policy, timeout_ms);
+        client.callWithRetry(req, opt.retry, opt.timeoutMs);
     if (result.raw.empty()) {
         // Transport failure: no response line to print; synthesize a
         // structured one so consumers always read valid JSON.
@@ -617,10 +723,35 @@ cmdDaemonClient(const std::string &socket_path, int timeout_ms,
                         1, daemon::ErrorCode::Internal,
                         result.code + ": " + result.error)
                         .c_str());
-        return 1;
+        return 3;
+    }
+    if (result.ok && *cmd == daemon::Command::Metrics &&
+        opt.prometheus) {
+        // --prometheus unwraps the exposition text: raw scrape-ready
+        // output instead of a JSON envelope around it.
+        const report::JsonValue *res = result.response.get("result");
+        const report::JsonValue *text = res ? res->get("text") : nullptr;
+        if (text && text->isString()) {
+            std::fputs(text->asString().c_str(), stdout);
+            return 0;
+        }
+        // Shape surprise (e.g. daemon older than this client): fall
+        // through to the raw line so the caller sees what arrived.
     }
     std::printf("%s\n", result.raw.c_str());
-    return result.ok ? 0 : 1;
+    std::fflush(stdout);
+    if (!result.ok)
+        return 1;
+    if (*cmd == daemon::Command::Subscribe) {
+        bool subscribed = false;
+        if (const report::JsonValue *res = result.response.get("result"))
+            if (const report::JsonValue *s = res->get("subscribed"))
+                subscribed = s->isBool() && s->asBool();
+        if (!subscribed)
+            return 0;  // degraded (telemetry off): ack printed, done
+        return streamSubscription(client, opt);
+    }
+    return 0;
 }
 
 int
@@ -645,11 +776,8 @@ main(int argc, char **argv)
     bool show_stats = false;
     bool show_stats_json = false;
     bool format_stats = false;
-    std::string daemon_socket;
-    int daemon_timeout_ms = 120'000;
-    daemon::RetryPolicy daemon_retry;
-    daemon_retry.maxAttempts = 1;  // no retry unless --retries asks
-    uint64_t daemon_deadline_ms = 0;
+    DaemonClientOptions daemon_opts;
+    daemon_opts.retry.maxAttempts = 1;  // no retry unless --retries asks
     std::string trace_json_path, metrics_out_path;
     report::VerifyOptions verify_opts;
 
@@ -680,24 +808,52 @@ main(int argc, char **argv)
         } else if (flag == "--socket") {
             if (!value)
                 vpprof_fatal("--socket requires a path");
-            daemon_socket = value;
+            daemon_opts.socketPath = value;
         } else if (flag == "--timeout-ms") {
-            daemon_timeout_ms = static_cast<int>(
+            daemon_opts.timeoutMs = static_cast<int>(
                 parseUintFlag("--timeout-ms", value));
         } else if (flag == "--retries") {
-            daemon_retry.maxAttempts = static_cast<size_t>(
+            daemon_opts.retry.maxAttempts = static_cast<size_t>(
                 parseUintFlag("--retries", value));
-            if (daemon_retry.maxAttempts == 0)
+            if (daemon_opts.retry.maxAttempts == 0)
                 vpprof_fatal("--retries must be >= 1 (got 0)");
         } else if (flag == "--backoff-base-ms") {
-            daemon_retry.backoffBaseMs =
+            daemon_opts.retry.backoffBaseMs =
                 parseUintFlag("--backoff-base-ms", value);
         } else if (flag == "--deadline-ms") {
             // One deadline, both ends: the request's deadline_ms (the
             // daemon refuses to serve it late) and the client's total
             // retry budget (no retry is planned past it).
-            daemon_deadline_ms = parseUintFlag("--deadline-ms", value);
-            daemon_retry.deadlineBudgetMs = daemon_deadline_ms;
+            daemon_opts.deadlineMs =
+                parseUintFlag("--deadline-ms", value);
+            daemon_opts.retry.deadlineBudgetMs = daemon_opts.deadlineMs;
+        } else if (flag == "--prometheus") {
+            daemon_opts.prometheus = true;
+            continue;  // boolean flag: no value to consume
+        } else if (flag == "--events") {
+            if (!value)
+                vpprof_fatal("--events requires a class list "
+                             "(lifecycle|spans|metrics|all)");
+            daemon_opts.events = value;
+        } else if (flag == "--event-sample-rate") {
+            if (!value)
+                vpprof_fatal("--event-sample-rate requires a value "
+                             "in (0, 1]");
+            char *end = nullptr;
+            double parsed = std::strtod(value, &end);
+            if (*end != '\0' || parsed <= 0.0 || parsed > 1.0)
+                vpprof_fatal("--event-sample-rate: '", value,
+                             "' is not a number in (0, 1]");
+            daemon_opts.eventSampleRate = parsed;
+        } else if (flag == "--journal-limit") {
+            daemon_opts.journalLimit =
+                parseUintFlag("--journal-limit", value);
+        } else if (flag == "--max-events") {
+            daemon_opts.maxEvents =
+                parseUintFlag("--max-events", value);
+        } else if (flag == "--duration-ms") {
+            daemon_opts.durationMs =
+                parseUintFlag("--duration-ms", value);
         } else if (flag == "--format-stats") {
             format_stats = true;
             continue;  // boolean flag: no value to consume
@@ -795,9 +951,7 @@ main(int argc, char **argv)
         if (cmd == "verify")
             return cmdVerify(verify_opts);
         if (cmd == "daemon-client")
-            return cmdDaemonClient(daemon_socket, daemon_timeout_ms,
-                                   daemon_retry, daemon_deadline_ms,
-                                   nrest, rest);
+            return cmdDaemonClient(daemon_opts, nrest, rest);
         if (cmd == "trace" && format_stats)
             return cmdTraceFormatStats(session, suite);
         if (nrest < 2)
@@ -845,10 +999,15 @@ main(int argc, char **argv)
     int rc = dispatch();
     if (show_stats)
         printRepoStats(session);
-    // Machine-readable stats: the exact serializer the daemon's
-    // `stats` command uses, so scripts parse one schema everywhere.
+    // Machine-readable stats: the exact trace serializer the daemon's
+    // `stats` command uses (its "trace" member), plus the same "log"
+    // warning counters, so scripts parse one schema everywhere.
     if (show_stats_json)
-        std::printf("%s\n",
+        std::printf("{\"log\": {\"warnings_emitted\": %llu, "
+                    "\"warnings_suppressed\": %llu}, \"trace\": %s}\n",
+                    static_cast<unsigned long long>(warningsEmitted()),
+                    static_cast<unsigned long long>(
+                        warningsSuppressed()),
                     repoStatsJson(session.traces().stats()).c_str());
     return rc;
 }

@@ -57,6 +57,22 @@ usage()
         "  --retry-hint-ms N    base retry_after_ms hint on shedding "
         "rejections\n"
         "                       (default 25)\n"
+        "  --journal-cap N      retained job lifecycle events for the\n"
+        "                       `journal` command (0 = off; default "
+        "256)\n"
+        "  --subscriber-ring N  pending-event bound per subscriber; a\n"
+        "                       slow subscriber sheds the oldest "
+        "(default 256)\n"
+        "  --slo SPEC           objectives, e.g. "
+        "p99_ms=50,error_rate=0.01;\n"
+        "                       burn counters surface in `stats`\n"
+        "  --slo-window N       answered jobs in the SLO window "
+        "(default 256)\n"
+        "  --metrics-listen FILE  export the live metrics snapshot in\n"
+        "                       Prometheus text format to FILE "
+        "periodically\n"
+        "  --metrics-listen-interval-ms N  export cadence "
+        "(default 1000)\n"
         "  --trace-json FILE    Chrome trace_event span timeline\n"
         "  --metrics-out FILE   metrics snapshot JSON (written on "
         "drain)\n"
@@ -139,6 +155,38 @@ main(int argc, char **argv)
             cfg.watchdogMs = parseUintFlag("--watchdog-ms", value);
         } else if (flag == "--retry-hint-ms") {
             cfg.retryHintMs = parseUintFlag("--retry-hint-ms", value);
+        } else if (flag == "--journal-cap") {
+            cfg.journalCap = static_cast<size_t>(
+                parseUintFlag("--journal-cap", value));
+        } else if (flag == "--subscriber-ring") {
+            cfg.subscriberRingCap = static_cast<size_t>(
+                parseUintFlag("--subscriber-ring", value));
+            if (cfg.subscriberRingCap == 0)
+                vpprof_fatal("--subscriber-ring must be >= 1 (got 0)");
+        } else if (flag == "--slo") {
+            if (!value)
+                vpprof_fatal("--slo requires a spec "
+                             "(p99_ms=...,error_rate=...)");
+            std::string slo_error;
+            auto slo = daemon::parseSloSpec(value, &slo_error);
+            if (!slo)
+                vpprof_fatal("--slo: ", slo_error);
+            cfg.slo = *slo;
+        } else if (flag == "--slo-window") {
+            cfg.sloWindow = static_cast<size_t>(
+                parseUintFlag("--slo-window", value));
+            if (cfg.sloWindow == 0)
+                vpprof_fatal("--slo-window must be >= 1 (got 0)");
+        } else if (flag == "--metrics-listen") {
+            if (!value)
+                vpprof_fatal("--metrics-listen requires a file path");
+            cfg.metricsListenPath = value;
+        } else if (flag == "--metrics-listen-interval-ms") {
+            cfg.metricsListenIntervalMs = parseUintFlag(
+                "--metrics-listen-interval-ms", value);
+            if (cfg.metricsListenIntervalMs == 0)
+                vpprof_fatal("--metrics-listen-interval-ms must be "
+                             ">= 1 (got 0)");
         } else if (flag == "--trace-json") {
             if (!value)
                 vpprof_fatal("--trace-json requires a file path");
