@@ -1,0 +1,565 @@
+/**
+ * @file
+ * Scale-out load bench for the sharded vpprofd (DESIGN.md §15): the
+ * event-loop plane must scale across shards without changing a single
+ * response byte. Three phases:
+ *
+ *  1. IDENTITY phase — the same fixed request script (client-chosen
+ *     trace ids, so the daemon mints nothing) runs against a 1-shard
+ *     and a 4-shard daemon over one warm trace cache, spread across
+ *     four connections so round-robin lands requests on every shard.
+ *     Every raw response line must be byte-identical between the two
+ *     daemons: sharding is a topology change, never a semantic one.
+ *
+ *  2. SHED phase — a 4-shard daemon with a deliberately tiny
+ *     admission budget (queue 2, quota 1) under 8 clients that each
+ *     pipeline 4 profile jobs in one write. The clients land on
+ *     different shards, but admission is global: the excess must be
+ *     shed EXPLICITLY (`overloaded`/`quota` lines) with zero
+ *     unanswered requests, exactly like the single-loop daemon.
+ *
+ *  3. SCALING phase (needs >= 4 hardware threads, else skipped) —
+ *     requests/second of the shard-local steady mix (ping/stats/
+ *     metrics/journal: commands answered entirely inside the owning
+ *     shard's event loop) at 1, 2 and 4 shards with 8 concurrent
+ *     clients. Gates near-linear scaling: >= 1.6x rps at 2 shards
+ *     and >= 2.5x at 4 vs the 1-shard baseline. The job plane
+ *     (profile/evaluate/verify) is deliberately one shared executor
+ *     — that is what preserves the trace-once invariant — so the
+ *     scaling claim is about the serving plane, and the mix says so.
+ *
+ * Gating: timing-class keys of BENCH_shards.json ride the perf
+ * gate's noise margin against golden/perf/BENCH_shards.json; the
+ * emitted rows are bounded by golden/shape/daemon_shards.json and
+ * (when the scaling phase runs) daemon_shards_scaling.json. The
+ * correctness gates (identity/shed/speedup) fail the bench itself
+ * with a non-zero exit.
+ */
+
+#include "bench_util.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <set>
+#include <thread>
+
+#include <unistd.h>
+
+#include "daemon/client.hh"
+#include "daemon/protocol.hh"
+#include "daemon/server.hh"
+
+using namespace vpprof;
+using namespace vpprof::bench;
+using namespace vpprof::daemon;
+
+namespace
+{
+
+constexpr size_t kIdentityConnections = 4;
+constexpr size_t kShedClients = 8;
+constexpr size_t kShedJobsPerClient = 4;
+constexpr size_t kScaleClients = 8;
+constexpr size_t kScaleRequestsPerClient = 600;
+constexpr int kCallTimeoutMs = 120'000;
+
+std::string
+freshSocketPath()
+{
+    static int counter = 0;
+    std::ostringstream os;
+    os << "/tmp/vpd_shards_" << ::getpid() << "_" << counter++
+       << ".sock";
+    return os.str();
+}
+
+/** One daemon instance with its event loop on a background thread. */
+struct RunningDaemon
+{
+    std::unique_ptr<DaemonServer> server;
+    std::thread loop;
+    int rc = -1;
+
+    explicit RunningDaemon(DaemonConfig cfg)
+    {
+        cfg.socketPath = freshSocketPath();
+        server = std::make_unique<DaemonServer>(std::move(cfg));
+        std::string error;
+        if (!server->start(&error))
+            vpprof_panic("daemon start failed: ", error);
+        loop = std::thread([this] { rc = server->run(); });
+    }
+
+    DaemonClient
+    client()
+    {
+        DaemonClient c;
+        std::string error;
+        if (!c.connect(server->config().socketPath, &error))
+            vpprof_panic("daemon connect failed: ", error);
+        return c;
+    }
+
+    /** Graceful drain; the event loop must exit 0. */
+    int
+    stop()
+    {
+        server->requestShutdown();
+        loop.join();
+        return rc;
+    }
+};
+
+double
+wallMsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration_cast<
+               std::chrono::duration<double, std::milli>>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/**
+ * The identity-phase script: every job command over both workloads
+ * with client-chosen ids AND trace ids, so no daemon-minted (striped,
+ * shard-dependent) identifier ever reaches a response. `stats` is
+ * deliberately absent — its answer reports the shard count itself.
+ */
+std::vector<Request>
+identityScript()
+{
+    std::vector<Request> script;
+    uint64_t id = 1, trace_id = 1000;
+    for (const char *w : {"compress", "li"}) {
+        for (Command cmd : {Command::Profile, Command::Evaluate,
+                            Command::Verify}) {
+            Request req;
+            req.id = id++;
+            req.cmd = cmd;
+            req.workload = w;
+            req.input = 0;
+            req.threshold = 70.0;
+            req.traceId = trace_id++;
+            script.push_back(req);
+        }
+        Request ping;
+        ping.id = id++;
+        ping.cmd = Command::Ping;
+        ping.traceId = trace_id++;
+        script.push_back(ping);
+    }
+    return script;
+}
+
+/**
+ * Run the script against one daemon, one request in flight at a time,
+ * rotating across `kIdentityConnections` connections so round-robin
+ * placement exercises every shard. Returns the raw response lines.
+ */
+std::vector<std::string>
+runIdentityScript(RunningDaemon &daemon)
+{
+    std::vector<DaemonClient> conns;
+    for (size_t i = 0; i < kIdentityConnections; ++i) {
+        conns.push_back(daemon.client());
+        // A ping round-trip per connection before the next connect:
+        // adoption order (and so shard placement) stays sequential.
+        CallResult r = conns.back().call(900 + i, Command::Ping, "",
+                                         0, 0, false, kCallTimeoutMs);
+        if (!r.ok)
+            vpprof_panic("identity warm ping failed: ", r.error);
+    }
+    std::vector<std::string> raw;
+    std::vector<Request> script = identityScript();
+    for (size_t i = 0; i < script.size(); ++i) {
+        DaemonClient &c = conns[i % conns.size()];
+        CallResult r = c.call(requestLine(script[i]), script[i].id,
+                              kCallTimeoutMs);
+        if (r.raw.empty())
+            vpprof_panic("identity request ", script[i].id,
+                         " got no answer: ", r.error);
+        raw.push_back(r.raw);
+    }
+    return raw;
+}
+
+/** The shard-local scaling mix for request slot `i` (no job plane). */
+std::string
+scalingLine(uint64_t id, size_t slot)
+{
+    Request req;
+    req.id = id;
+    switch (slot % 4) {
+      case 0:
+      case 2:
+        req.cmd = Command::Ping;
+        break;
+      case 1:
+        req.cmd = Command::Stats;
+        break;
+      default:
+        req.cmd = Command::Journal;
+        req.limit = 8;
+        break;
+    }
+    return requestLine(req);
+}
+
+struct ScalePoint
+{
+    size_t shards = 0;
+    double rps = 0.0;
+    uint64_t errors = 0;
+};
+
+/**
+ * Measure the shard-local mix at one shard count. Clients use raw
+ * sendLine/readLine (no response parsing) so client-side CPU stays
+ * negligible and the daemon's event-loop plane is the bottleneck.
+ */
+ScalePoint
+measureScaling(size_t shards)
+{
+    DaemonConfig cfg;
+    cfg.shards = shards;
+    cfg.session.jobs = 2;
+    RunningDaemon daemon(cfg);
+
+    std::vector<uint64_t> errors(kScaleClients, 0);
+    auto t0 = std::chrono::steady_clock::now();
+    {
+        std::vector<std::thread> threads;
+        for (size_t c = 0; c < kScaleClients; ++c) {
+            threads.emplace_back([&, c] {
+                DaemonClient client = daemon.client();
+                for (size_t i = 0; i < kScaleRequestsPerClient; ++i) {
+                    if (!client.sendLine(scalingLine(i + 1, c + i))) {
+                        errors[c] +=
+                            kScaleRequestsPerClient - i;
+                        return;
+                    }
+                    std::optional<std::string> line =
+                        client.readLine(kCallTimeoutMs);
+                    if (!line) {
+                        errors[c] +=
+                            kScaleRequestsPerClient - i;
+                        return;
+                    }
+                }
+            });
+        }
+        for (std::thread &t : threads)
+            t.join();
+    }
+    double wall_ms = wallMsSince(t0);
+    if (daemon.stop() != 0)
+        vpprof_panic("scaling daemon (", shards,
+                     " shards) did not drain cleanly");
+
+    ScalePoint point;
+    point.shards = shards;
+    for (uint64_t e : errors)
+        point.errors += e;
+    const uint64_t requests = kScaleClients * kScaleRequestsPerClient;
+    point.rps = wall_ms <= 0.0
+                    ? 0.0
+                    : 1000.0 * static_cast<double>(requests) / wall_ms;
+    std::printf("scaling: %zu shard%s: %llu requests in %.1f ms = "
+                "%.0f req/s, errors %llu\n",
+                shards, shards == 1 ? " " : "s",
+                static_cast<unsigned long long>(requests), wall_ms,
+                point.rps,
+                static_cast<unsigned long long>(point.errors));
+    return point;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("vpprofd scale-out bench: shard identity, global shed, "
+           "event-loop scaling",
+           "beyond the paper -- DESIGN.md §15, the sharded serving "
+           "plane");
+
+    const std::string cache_dir =
+        std::filesystem::temp_directory_path().string() +
+        "/vpprof_bench_shards";
+    std::filesystem::remove_all(cache_dir);
+
+    // ---- Identity phase ------------------------------------------
+    // Warm the shared cache once (unmeasured, 1 shard) so both
+    // measured daemons replay identical persisted traces.
+    {
+        DaemonConfig warm_cfg;
+        warm_cfg.session.jobs = 2;
+        warm_cfg.session.traceCacheDir = cache_dir;
+        RunningDaemon warm(warm_cfg);
+        DaemonClient c = warm.client();
+        uint64_t id = 1;
+        for (const char *w : {"compress", "li"}) {
+            CallResult r = c.call(id++, Command::Evaluate, w, 0, 70.0,
+                                  false, kCallTimeoutMs);
+            if (!r.ok)
+                vpprof_panic("warm-up evaluate ", w,
+                             " failed: ", r.error);
+        }
+        if (warm.stop() != 0)
+            vpprof_panic("warm daemon did not drain cleanly");
+    }
+
+    std::printf("identity: fixed script over %zu connections, "
+                "1 shard vs 4 shards\n",
+                kIdentityConnections);
+    std::vector<std::string> base_raw, shard_raw;
+    {
+        DaemonConfig base_cfg;
+        base_cfg.session.jobs = 2;
+        base_cfg.session.traceCacheDir = cache_dir;
+        RunningDaemon base(base_cfg);
+        base_raw = runIdentityScript(base);
+        if (base.stop() != 0)
+            vpprof_panic("1-shard daemon did not drain cleanly");
+    }
+    {
+        DaemonConfig sharded_cfg;
+        sharded_cfg.shards = 4;
+        sharded_cfg.session.jobs = 2;
+        sharded_cfg.session.traceCacheDir = cache_dir;
+        RunningDaemon sharded(sharded_cfg);
+        shard_raw = runIdentityScript(sharded);
+        if (sharded.stop() != 0)
+            vpprof_panic("4-shard daemon did not drain cleanly");
+    }
+    uint64_t identity_mismatches = 0;
+    for (size_t i = 0; i < base_raw.size(); ++i) {
+        if (base_raw[i] != shard_raw[i]) {
+            ++identity_mismatches;
+            std::printf("identity MISMATCH at request %zu:\n  1-shard:"
+                        " %s\n  4-shard: %s\n",
+                        i + 1, base_raw[i].c_str(),
+                        shard_raw[i].c_str());
+        }
+    }
+    const uint64_t identity_requests = base_raw.size();
+    std::printf("identity: %llu responses compared, %llu "
+                "mismatches\n\n",
+                static_cast<unsigned long long>(identity_requests),
+                static_cast<unsigned long long>(identity_mismatches));
+
+    // ---- Shed phase ----------------------------------------------
+    DaemonConfig shed_cfg;
+    shed_cfg.shards = 4;
+    shed_cfg.session.jobs = 1;
+    shed_cfg.session.traceCacheDir = cache_dir;  // warm from phase 1
+    shed_cfg.maxQueue = 2;
+    shed_cfg.maxInflightPerClient = 1;
+    RunningDaemon shed(shed_cfg);
+
+    std::printf("shed: %zu clients x %zu pipelined profile jobs "
+                "across 4 shards, queue=2, quota=1\n",
+                kShedClients, kShedJobsPerClient);
+    std::vector<uint64_t> rejected(kShedClients, 0);
+    std::vector<uint64_t> errors(kShedClients, 0);
+    std::vector<uint64_t> answered(kShedClients, 0);
+    {
+        std::vector<std::thread> threads;
+        for (size_t c = 0; c < kShedClients; ++c) {
+            threads.emplace_back([&, c] {
+                DaemonClient client = shed.client();
+                std::string batch;
+                for (size_t i = 0; i < kShedJobsPerClient; ++i) {
+                    Request req;
+                    req.id = i + 1;
+                    req.cmd = Command::Profile;
+                    req.workload = (c % 2 == 0) ? "compress" : "li";
+                    if (i > 0)
+                        batch += "\n";
+                    batch += requestLine(req);
+                }
+                if (!client.sendLine(batch))
+                    return;  // answered stays short: counted below
+                std::set<uint64_t> pending;
+                for (size_t i = 0; i < kShedJobsPerClient; ++i)
+                    pending.insert(i + 1);
+                while (!pending.empty()) {
+                    std::optional<std::string> line =
+                        client.readLine(kCallTimeoutMs);
+                    if (!line)
+                        return;
+                    std::string perr;
+                    std::optional<report::JsonValue> doc =
+                        report::parseJson(*line, &perr);
+                    if (!doc)
+                        vpprof_panic("shed: bad response line: ",
+                                     *line);
+                    if (doc->stringOr("event", "") != "")
+                        continue;  // progress lines, not answers
+                    uint64_t id = static_cast<uint64_t>(
+                        doc->numberOr("id", 0));
+                    if (!pending.erase(id))
+                        continue;
+                    ++answered[c];
+                    const report::JsonValue *ok_field =
+                        doc->get("ok");
+                    if (ok_field && ok_field->isBool() &&
+                        ok_field->asBool())
+                        continue;
+                    std::string code = doc->stringOr("code", "");
+                    if (code == "overloaded" || code == "quota" ||
+                        code == "draining")
+                        ++rejected[c];
+                    else
+                        ++errors[c];
+                }
+            });
+        }
+        for (std::thread &t : threads)
+            t.join();
+    }
+    if (shed.stop() != 0)
+        vpprof_panic("shed daemon did not drain cleanly");
+
+    uint64_t shed_rejected = 0, shed_errors = 0, shed_answered = 0;
+    for (size_t c = 0; c < kShedClients; ++c) {
+        shed_rejected += rejected[c];
+        shed_errors += errors[c];
+        shed_answered += answered[c];
+    }
+    const uint64_t shed_requests = kShedClients * kShedJobsPerClient;
+    uint64_t shed_unanswered = shed_requests - shed_answered;
+    std::printf("shed: %llu requests: %llu completed, %llu rejected, "
+                "%llu errors, %llu unanswered\n\n",
+                static_cast<unsigned long long>(shed_requests),
+                static_cast<unsigned long long>(
+                    shed_answered - shed_rejected - shed_errors),
+                static_cast<unsigned long long>(shed_rejected),
+                static_cast<unsigned long long>(shed_errors),
+                static_cast<unsigned long long>(shed_unanswered));
+
+    // The perf-gated wall clock stops here: the scaling phase below
+    // is hardware-gated (skipped under 4 threads), so including it
+    // would make wall_ms incomparable across machines.
+    double gated_wall_ms = wallMsSince(benchStartTime());
+
+    // ---- Scaling phase -------------------------------------------
+    const unsigned hw = std::thread::hardware_concurrency();
+    bool scaling_measured = false;
+    double speedup_2x = 0.0, speedup_4x = 0.0, rps_1 = 0.0;
+    uint64_t scaling_errors = 0;
+    if (hw >= 4) {
+        std::printf("scaling: %zu clients x %zu shard-local requests "
+                    "(ping/stats/journal), %u hardware threads\n",
+                    kScaleClients, kScaleRequestsPerClient, hw);
+        ScalePoint p1 = measureScaling(1);
+        ScalePoint p2 = measureScaling(2);
+        ScalePoint p4 = measureScaling(4);
+        scaling_measured = true;
+        scaling_errors = p1.errors + p2.errors + p4.errors;
+        rps_1 = p1.rps;
+        speedup_2x = p1.rps > 0.0 ? p2.rps / p1.rps : 0.0;
+        speedup_4x = p1.rps > 0.0 ? p4.rps / p1.rps : 0.0;
+        std::printf("scaling: speedup %.2fx at 2 shards, %.2fx at 4 "
+                    "(gates: >= 1.6x, >= 2.5x)\n\n",
+                    speedup_2x, speedup_4x);
+    } else {
+        std::printf("scaling: SKIP (%u hardware thread%s; the phase "
+                    "needs >= 4 to mean anything)\n\n",
+                    hw, hw == 1 ? "" : "s");
+    }
+
+    std::filesystem::remove_all(cache_dir);
+
+    // ---- Report + gates ------------------------------------------
+    emitResult("daemon_shards", "identity/requests",
+               static_cast<double>(identity_requests));
+    emitResult("daemon_shards", "identity/mismatches",
+               static_cast<double>(identity_mismatches));
+    emitResult("daemon_shards", "shed/rejected",
+               static_cast<double>(shed_rejected));
+    emitResult("daemon_shards", "shed/errors",
+               static_cast<double>(shed_errors));
+    emitResult("daemon_shards", "shed/unanswered",
+               static_cast<double>(shed_unanswered));
+    if (scaling_measured) {
+        emitResult("daemon_shards_scaling", "scaling/rps_1shard",
+                   rps_1, std::nullopt, "req/s");
+        emitResult("daemon_shards_scaling", "scaling/speedup_2x",
+                   speedup_2x, std::nullopt, "x");
+        emitResult("daemon_shards_scaling", "scaling/speedup_4x",
+                   speedup_4x, std::nullopt, "x");
+        emitResult("daemon_shards_scaling", "scaling/errors",
+                   static_cast<double>(scaling_errors));
+    }
+    flushResults("bench_daemon_shards");
+
+    // Deterministic counters only (plus the timing-class wall_ms):
+    // the scaling speedups are hardware-dependent and live in the
+    // shape rules (golden/shape/daemon_shards_scaling.json) instead.
+    std::ofstream json("BENCH_shards.json", std::ios::trunc);
+    json << "{\n"
+         << "  \"bench_daemon_shards\": {\n"
+         << "    \"wall_ms\": " << gated_wall_ms << ",\n"
+         << "    \"identity_requests\": " << identity_requests
+         << ",\n"
+         << "    \"identity_mismatches\": " << identity_mismatches
+         << ",\n"
+         << "    \"shed_requests\": " << shed_requests << ",\n"
+         << "    \"shed_errors\": " << shed_errors << ",\n"
+         << "    \"shed_unanswered\": " << shed_unanswered << "\n"
+         << "  }\n"
+         << "}\n";
+    json.close();
+    std::printf("-> BENCH_shards.json\n");
+
+    bool ok = true;
+    if (identity_mismatches > 0) {
+        std::printf("FAIL: %llu responses differ between 1-shard and "
+                    "4-shard daemons (gate: byte-identical)\n",
+                    static_cast<unsigned long long>(
+                        identity_mismatches));
+        ok = false;
+    }
+    if (shed_unanswered > 0 || shed_errors > 0) {
+        std::printf("FAIL: shed phase had %llu unanswered, %llu "
+                    "errors (gate: 0/0)\n",
+                    static_cast<unsigned long long>(shed_unanswered),
+                    static_cast<unsigned long long>(shed_errors));
+        ok = false;
+    }
+    if (shed_rejected == 0) {
+        std::printf("FAIL: shed phase rejected nothing — sharded "
+                    "admission must still shed explicitly\n");
+        ok = false;
+    }
+    if (scaling_measured) {
+        if (scaling_errors > 0) {
+            std::printf("FAIL: scaling phase had %llu unanswered/"
+                        "failed requests (gate: 0)\n",
+                        static_cast<unsigned long long>(
+                            scaling_errors));
+            ok = false;
+        }
+        if (speedup_2x < 1.6 || speedup_4x < 2.5) {
+            std::printf("FAIL: scaling %.2fx @2 / %.2fx @4 below the "
+                        "1.6x / 2.5x gates\n",
+                        speedup_2x, speedup_4x);
+            ok = false;
+        }
+    }
+    std::printf("%s: identity %llu/%llu, shed rejected %llu/%llu",
+                ok ? "PASS" : "FAIL",
+                static_cast<unsigned long long>(identity_requests -
+                                                identity_mismatches),
+                static_cast<unsigned long long>(identity_requests),
+                static_cast<unsigned long long>(shed_rejected),
+                static_cast<unsigned long long>(shed_requests));
+    if (scaling_measured)
+        std::printf(", scaling %.2fx@2 %.2fx@4", speedup_2x,
+                    speedup_4x);
+    std::printf("\n");
+    return ok ? 0 : 1;
+}

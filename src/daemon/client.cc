@@ -2,10 +2,13 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 #include <thread>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -69,6 +72,49 @@ DaemonClient::connect(const std::string &socket_path, std::string *error)
 {
     close();
     socketPath_ = socket_path;
+
+    // A target carrying ':' that is not a filesystem path is the TCP
+    // front-end ("host:port", vpprofd --listen); everything else is
+    // the classic Unix-domain socket. The wire protocol above the
+    // transport is byte-identical on both.
+    size_t colon = socket_path.rfind(':');
+    if (colon != std::string::npos && !socket_path.empty() &&
+        socket_path[0] != '/' && socket_path[0] != '.') {
+        std::string host = socket_path.substr(0, colon);
+        if (host == "localhost")
+            host = "127.0.0.1";
+        char *end = nullptr;
+        unsigned long port =
+            std::strtoul(socket_path.c_str() + colon + 1, &end, 10);
+        sockaddr_in inet_addr{};
+        inet_addr.sin_family = AF_INET;
+        inet_addr.sin_port = htons(static_cast<uint16_t>(port));
+        if (colon == 0 || *end != '\0' || port == 0 || port > 65535 ||
+            ::inet_pton(AF_INET, host.c_str(),
+                        &inet_addr.sin_addr) != 1) {
+            if (error)
+                *error = "bad daemon address '" + socket_path +
+                         "' (want host:port or a socket path)";
+            return false;
+        }
+        fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd_ < 0) {
+            if (error)
+                *error = std::string("cannot create socket (") +
+                         std::strerror(errno) + ")";
+            return false;
+        }
+        if (::connect(fd_, reinterpret_cast<sockaddr *>(&inet_addr),
+                      sizeof(inet_addr)) != 0) {
+            if (error)
+                *error = "cannot connect to " + socket_path + " (" +
+                         std::strerror(errno) + ")";
+            close();
+            return false;
+        }
+        return true;
+    }
+
     sockaddr_un addr{};
     addr.sun_family = AF_UNIX;
     if (socket_path.size() >= sizeof(addr.sun_path)) {

@@ -105,8 +105,10 @@ class DaemonClient
         other.fd_ = -1;
     }
 
-    /** Connect to the daemon socket (remembered for reconnect()).
-     *  False (with diagnostic) on failure. */
+    /** Connect to the daemon (remembered for reconnect()): a
+     *  filesystem path selects the Unix socket, "host:port" the TCP
+     *  front-end (vpprofd --listen). False (with diagnostic) on
+     *  failure. */
     bool connect(const std::string &socket_path, std::string *error);
 
     /** Re-connect to the last connect()ed socket path. */

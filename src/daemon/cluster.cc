@@ -1,0 +1,239 @@
+#include "daemon/cluster.hh"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/atomic_file.hh"
+#include "common/logging.hh"
+
+namespace vpprof
+{
+namespace daemon
+{
+
+namespace
+{
+
+constexpr const char *kPrefix = ".vpprofd.";
+constexpr const char *kSuffix = ".stats.json";
+
+uint64_t
+wallClockMs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+}
+
+void
+renderJsonInto(std::ostream &os, const report::JsonValue &value)
+{
+    switch (value.kind()) {
+      case report::JsonValue::Kind::Null:
+        os << "null";
+        return;
+      case report::JsonValue::Kind::Bool:
+        os << (value.asBool() ? "true" : "false");
+        return;
+      case report::JsonValue::Kind::Number:
+        os << report::formatJsonNumber(value.asNumber());
+        return;
+      case report::JsonValue::Kind::String:
+        os << report::quoteJsonString(value.asString());
+        return;
+      case report::JsonValue::Kind::Array: {
+        os << "[";
+        bool first = true;
+        for (const report::JsonValue &item : value.asArray()) {
+            if (!first)
+                os << ", ";
+            first = false;
+            renderJsonInto(os, item);
+        }
+        os << "]";
+        return;
+      }
+      case report::JsonValue::Kind::Object: {
+        os << "{";
+        bool first = true;
+        for (const auto &member : value.asObject()) {
+            if (!first)
+                os << ", ";
+            first = false;
+            os << report::quoteJsonString(member.first) << ": ";
+            renderJsonInto(os, member.second);
+        }
+        os << "}";
+        return;
+      }
+    }
+}
+
+/** One member document parsed off disk, or nullopt when unusable. */
+std::optional<report::JsonValue>
+readMemberFile(const std::filesystem::path &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return std::nullopt;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string error;
+    std::optional<report::JsonValue> doc =
+        report::parseJson(buf.str(), &error);
+    if (!doc || !doc->isObject())
+        return std::nullopt;
+    return doc;
+}
+
+} // namespace
+
+void
+mergeNumericLeaves(report::JsonValue &acc,
+                   const report::JsonValue &member)
+{
+    if (acc.isNumber() && member.isNumber()) {
+        acc = report::JsonValue(acc.asNumber() + member.asNumber());
+        return;
+    }
+    if (acc.isObject() && member.isObject()) {
+        report::JsonValue::Object &out = acc.asObject();
+        for (const auto &entry : member.asObject()) {
+            auto it = out.find(entry.first);
+            if (it == out.end())
+                out.emplace(entry.first, entry.second);
+            else
+                mergeNumericLeaves(it->second, entry.second);
+        }
+        return;
+    }
+    // Mismatched or non-summable kinds (bools, strings, arrays):
+    // first-seen wins. The only such leaves in the stats document are
+    // configuration echoes (e.g. slo.configured), identical across a
+    // sanely configured cluster.
+}
+
+std::string
+renderJson(const report::JsonValue &value)
+{
+    std::ostringstream os;
+    renderJsonInto(os, value);
+    return os.str();
+}
+
+void
+ClusterBoard::configure(const std::string &dir, uint64_t stale_ms)
+{
+    // A process-wide sequence keeps two DaemonServers inside one test
+    // binary (same pid, same cache dir) from clobbering each other's
+    // stats files.
+    static std::atomic<uint64_t> instanceSeq{0};
+    dir_ = dir;
+    staleMs_ = stale_ms > 0 ? stale_ms : 60'000;
+    pid_ = static_cast<uint64_t>(::getpid());
+    if (dir_.empty()) {
+        file_.clear();
+        return;
+    }
+    uint64_t seq = instanceSeq.fetch_add(1, std::memory_order_relaxed);
+    file_ = std::string(kPrefix) + std::to_string(pid_) + "." +
+            std::to_string(seq) + kSuffix;
+}
+
+bool
+ClusterBoard::publish(const std::string &stats_fields) const
+{
+    if (!enabled())
+        return false;
+    std::ostringstream doc;
+    doc << "{\"pid\": "
+        << report::formatJsonNumber(static_cast<double>(pid_))
+        << ", \"member\": " << report::quoteJsonString(file_)
+        << ", \"updated_ms\": "
+        << report::formatJsonNumber(static_cast<double>(wallClockMs()))
+        << ", \"stats\": {" << stats_fields << "}}\n";
+    std::string path = dir_ + "/" + file_;
+    if (!writeFileAtomically(path, doc.str())) {
+        vpprof_warn_limited(4, "cluster: cannot publish stats to ",
+                            path);
+        return false;
+    }
+    return true;
+}
+
+std::string
+ClusterBoard::aggregateFields(const std::string &self_fields) const
+{
+    // Self is always represented by its live fields, never by its own
+    // (possibly heartbeat-stale) file.
+    std::string error;
+    std::optional<report::JsonValue> self =
+        report::parseJson("{" + self_fields + "}", &error);
+
+    report::JsonValue cluster =
+        self ? *self : report::JsonValue(report::JsonValue::Object{});
+    std::vector<double> pids{static_cast<double>(pid_)};
+    uint64_t processes = 1;
+    uint64_t stale = 0;
+
+    if (enabled()) {
+        const uint64_t now = wallClockMs();
+        std::error_code ec;
+        std::filesystem::directory_iterator it(dir_, ec);
+        if (!ec) {
+            for (const auto &entry : it) {
+                const std::string name = entry.path().filename();
+                if (name.rfind(kPrefix, 0) != 0 ||
+                    name.size() < std::string(kSuffix).size() ||
+                    name.compare(name.size() -
+                                     std::string(kSuffix).size(),
+                                 std::string::npos, kSuffix) != 0)
+                    continue;
+                if (name == file_)
+                    continue;
+                std::optional<report::JsonValue> doc =
+                    readMemberFile(entry.path());
+                if (!doc)
+                    continue;
+                const double updated = doc->numberOr("updated_ms", 0);
+                if (updated + static_cast<double>(staleMs_) <
+                    static_cast<double>(now)) {
+                    ++stale;
+                    continue;
+                }
+                const report::JsonValue *stats = doc->get("stats");
+                if (!stats || !stats->isObject())
+                    continue;
+                mergeNumericLeaves(cluster, *stats);
+                pids.push_back(doc->numberOr("pid", 0));
+                ++processes;
+            }
+        }
+    }
+
+    std::sort(pids.begin(), pids.end());
+    std::ostringstream os;
+    os << "\"processes\": "
+       << report::formatJsonNumber(static_cast<double>(processes))
+       << ", \"stale_members\": "
+       << report::formatJsonNumber(static_cast<double>(stale))
+       << ", \"pids\": [";
+    for (size_t i = 0; i < pids.size(); ++i) {
+        if (i > 0)
+            os << ", ";
+        os << report::formatJsonNumber(pids[i]);
+    }
+    os << "], \"cluster\": ";
+    renderJsonInto(os, cluster);
+    return os.str();
+}
+
+} // namespace daemon
+} // namespace vpprof

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Multi-process cooperation for vpprofd (DESIGN.md §15): M daemon
+ * processes share one trace cache (serialized by the existing
+ * advisory flock), and make their serving counters visible to each
+ * other through per-process stats files inside that cache directory.
+ *
+ * The mechanism is deliberately file-based — the trace cache is the
+ * only thing the processes already share, and the stats files ride
+ * the same atomic write-to-temp + rename discipline as the traces, so
+ * a reader never sees a torn document and a crashed writer leaves at
+ * worst a stale file that ages out.
+ *
+ *  - Each process publishes `.vpprofd.<pid>.<instance>.stats.json`
+ *    (dot-prefixed: invisible to the cache's own `*.trace` scans) on
+ *    start, on a heartbeat cadence, and once more on drain. The
+ *    payload wraps the exact fields the `stats` protocol command
+ *    serves, plus a wall-clock `updated_ms` stamp.
+ *  - The `cluster-stats` protocol command re-publishes the caller's
+ *    own stats first (so its numbers are current), then sums every
+ *    live member's numeric leaves key-by-key. Summation is generic:
+ *    any counter either process grows is aggregated without this
+ *    module knowing its name, which is what makes the cluster-wide
+ *    trace-once assertion (`trace.vm_runs == 1` for one shared
+ *    (workload, input)) checkable from either process.
+ *  - Members whose stamp is older than `staleMs` are skipped: a
+ *    SIGKILLed daemon stops polluting the aggregate after the window,
+ *    while a cleanly drained one keeps counting (its final heartbeat
+ *    is fresh) long enough for a post-mortem cluster-stats.
+ */
+
+#ifndef VPPROF_DAEMON_CLUSTER_HH
+#define VPPROF_DAEMON_CLUSTER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "report/json.hh"
+
+namespace vpprof
+{
+namespace daemon
+{
+
+/**
+ * Sum every numeric leaf of `member` into `acc`, recursing through
+ * objects (key union). Non-numeric leaves keep the first-seen value;
+ * numbers are summed. Exposed for the aggregation tests: the merge is
+ * associative and order-independent because addition is.
+ */
+void mergeNumericLeaves(report::JsonValue &acc,
+                        const report::JsonValue &member);
+
+/** Render a JsonValue compactly (sorted keys, formatJsonNumber). */
+std::string renderJson(const report::JsonValue &value);
+
+/**
+ * One process's membership in the shared-cache cluster. All methods
+ * are called from one event-loop thread (shard 0).
+ */
+class ClusterBoard
+{
+  public:
+    /**
+     * Join the cluster rooted at the trace cache `dir` (empty
+     * disables: publish() is a no-op and the aggregate covers only
+     * this process). Allocates this instance's stats file name.
+     */
+    void configure(const std::string &dir, uint64_t stale_ms);
+
+    bool enabled() const { return !dir_.empty(); }
+
+    /** This instance's stats file (basename), for tests/cleanup. */
+    const std::string &fileName() const { return file_; }
+
+    /**
+     * Publish this process's current stats: `stats_fields` is the
+     * `stats` command's JSON object members (no braces). False when
+     * disabled or the write failed.
+     */
+    bool publish(const std::string &stats_fields) const;
+
+    /**
+     * The `cluster-stats` result fields (no braces): `"processes"`,
+     * `"pids"`, and `"cluster"` — the numeric-leaf sum over every
+     * live member, with this process represented by `self_fields`
+     * (its live stats, fresher than any file).
+     */
+    std::string aggregateFields(const std::string &self_fields) const;
+
+  private:
+    std::string dir_;
+    std::string file_;
+    uint64_t pid_ = 0;
+    uint64_t staleMs_ = 60'000;
+};
+
+} // namespace daemon
+} // namespace vpprof
+
+#endif // VPPROF_DAEMON_CLUSTER_HH

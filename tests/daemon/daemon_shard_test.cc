@@ -1,0 +1,485 @@
+/**
+ * @file
+ * The scale-out layer (DESIGN.md §15): sharded event loops behind one
+ * listener, the TCP front-end, per-shard stats aggregation, the
+ * Prometheus shard labels, multi-process cooperation over a shared
+ * trace cache via `cluster-stats`, and the drain contract covering
+ * EVERY shard's subscriber rings — not just shard 0's.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/telemetry/telemetry.hh"
+#include "daemon/client.hh"
+#include "daemon/cluster.hh"
+#include "daemon/server.hh"
+#include "report/json.hh"
+
+namespace vpprof
+{
+namespace daemon
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** Short unique socket paths (sun_path is ~108 bytes). */
+std::string
+freshSocketPath()
+{
+    static int counter = 0;
+    std::ostringstream os;
+    os << "/tmp/vpd_s" << ::getpid() << "_" << counter++ << ".sock";
+    return os.str();
+}
+
+std::string
+snapshotJson(const DaemonStatsSnapshot &st)
+{
+    std::ostringstream os;
+    st.writeJsonFields(os);
+    return os.str();
+}
+
+class DaemonShardTest : public ::testing::Test
+{
+  protected:
+    void
+    TearDown() override
+    {
+        stopServer();
+        if (!cacheDir_.empty())
+            fs::remove_all(cacheDir_);
+    }
+
+    DaemonConfig
+    baseConfig(size_t shards)
+    {
+        DaemonConfig cfg;
+        cfg.socketPath = freshSocketPath();
+        cfg.session.jobs = 2;
+        cfg.shards = shards;
+        return cfg;
+    }
+
+    std::string
+    freshCacheDir()
+    {
+        cacheDir_ = "/tmp/vpd_cache_" + std::to_string(::getpid()) +
+                    "_" + std::to_string(cacheSeq_++);
+        fs::remove_all(cacheDir_);
+        fs::create_directories(cacheDir_);
+        return cacheDir_;
+    }
+
+    void
+    startServer(const DaemonConfig &cfg)
+    {
+        server_ = std::make_unique<DaemonServer>(cfg);
+        std::string error;
+        ASSERT_TRUE(server_->start(&error)) << error;
+        serverThread_ = std::thread([this] { runRc_ = server_->run(); });
+    }
+
+    int
+    stopServer()
+    {
+        if (!server_)
+            return runRc_;
+        server_->requestShutdown();
+        if (serverThread_.joinable())
+            serverThread_.join();
+        server_.reset();
+        return runRc_;
+    }
+
+    /** Connect + one ping round trip, so the connection is ADOPTED by
+     *  its round-robin shard before the next one is accepted. */
+    DaemonClient
+    connectedClient()
+    {
+        DaemonClient client;
+        std::string error;
+        EXPECT_TRUE(client.connect(server_->config().socketPath, &error))
+            << error;
+        CallResult ping = client.call(999, Command::Ping, "", 0, 0,
+                                      false, 5000);
+        EXPECT_TRUE(ping.ok) << ping.error;
+        return client;
+    }
+
+    std::unique_ptr<DaemonServer> server_;
+    std::thread serverThread_;
+    int runRc_ = -1;
+    std::string cacheDir_;
+    static int cacheSeq_;
+};
+
+int DaemonShardTest::cacheSeq_ = 0;
+
+// ------------------------------------------------------------------ //
+// Snapshot arithmetic: the merge the whole aggregation story rests on.
+// ------------------------------------------------------------------ //
+
+DaemonStatsSnapshot
+filledSnapshot(uint64_t seed)
+{
+    DaemonStatsSnapshot st;
+    uint64_t *fields[] = {
+        &st.connections,  &st.disconnects,      &st.idleCloses,
+        &st.acceptFailures, &st.requests,       &st.badRequests,
+        &st.immediate,    &st.jobsAdmitted,     &st.jobsCompleted,
+        &st.jobsFailed,   &st.rejectedOverloaded, &st.rejectedQuota,
+        &st.rejectedDraining, &st.writeErrors,  &st.progressEvents,
+        &st.deadlineExceeded, &st.cancelled,    &st.slowReaderCloses,
+        &st.watchdogFlags, &st.subscribes,      &st.eventsEmitted,
+        &st.eventsDropped, &st.queued,          &st.running,
+        &st.clients,
+    };
+    uint64_t v = seed;
+    for (uint64_t *field : fields)
+        *field = v = v * 7 + 3;
+    return st;
+}
+
+TEST(DaemonStatsSnapshotTest, AccumulateIsAssociativeAndOrderFree)
+{
+    DaemonStatsSnapshot a = filledSnapshot(1);
+    DaemonStatsSnapshot b = filledSnapshot(40);
+    DaemonStatsSnapshot c = filledSnapshot(900);
+
+    // (a + b) + c
+    DaemonStatsSnapshot left = a;
+    left.accumulate(b);
+    left.accumulate(c);
+    // a + (b + c)
+    DaemonStatsSnapshot bc = b;
+    bc.accumulate(c);
+    DaemonStatsSnapshot right = a;
+    right.accumulate(bc);
+    // c + b + a (order reversed)
+    DaemonStatsSnapshot rev = c;
+    rev.accumulate(b);
+    rev.accumulate(a);
+
+    EXPECT_EQ(snapshotJson(left), snapshotJson(right));
+    EXPECT_EQ(snapshotJson(left), snapshotJson(rev));
+
+    // The identity: accumulating a default snapshot changes nothing.
+    DaemonStatsSnapshot id = left;
+    id.accumulate(DaemonStatsSnapshot{});
+    EXPECT_EQ(snapshotJson(id), snapshotJson(left));
+}
+
+TEST(DaemonClusterMergeTest, NumericLeavesSumOrderIndependently)
+{
+    auto parse = [](const char *text) {
+        std::string error;
+        auto doc = report::parseJson(text, &error);
+        EXPECT_TRUE(doc) << error;
+        return *doc;
+    };
+    report::JsonValue a = parse(
+        R"({"daemon": {"requests": 3, "clients": 1},)"
+        R"( "trace": {"vm_runs": 1}, "tag": "x"})");
+    report::JsonValue b = parse(
+        R"({"daemon": {"requests": 4, "jobs_completed": 2},)"
+        R"( "trace": {"vm_runs": 0}, "tag": "y"})");
+
+    report::JsonValue ab = a;
+    mergeNumericLeaves(ab, b);
+    report::JsonValue ba = b;
+    mergeNumericLeaves(ba, a);
+
+    EXPECT_EQ(ab.get("daemon")->numberOr("requests", -1), 7.0);
+    EXPECT_EQ(ab.get("daemon")->numberOr("clients", -1), 1.0);
+    EXPECT_EQ(ab.get("daemon")->numberOr("jobs_completed", -1), 2.0);
+    EXPECT_EQ(ab.get("trace")->numberOr("vm_runs", -1), 1.0);
+    // Numeric leaves agree in both orders; the non-numeric leaf keeps
+    // the first-seen value (configuration echo semantics).
+    EXPECT_EQ(ba.get("daemon")->numberOr("requests", -1), 7.0);
+    EXPECT_EQ(ab.stringOr("tag", ""), "x");
+    EXPECT_EQ(ba.stringOr("tag", ""), "y");
+}
+
+// ------------------------------------------------------------------ //
+// Live shards: distribution, aggregation, the TCP front-end.
+// ------------------------------------------------------------------ //
+
+TEST_F(DaemonShardTest, RoundRobinSpreadsConnectionsAcrossShards)
+{
+    startServer(baseConfig(2));
+    ASSERT_EQ(server_->shardCount(), 2u);
+
+    // Four sequential connections, each completing a round trip before
+    // the next connects: deterministic placement 0,1,0,1.
+    std::vector<DaemonClient> clients;
+    for (int i = 0; i < 4; ++i)
+        clients.push_back(connectedClient());
+
+    EXPECT_EQ(server_->shardStatsSnapshot(0).connections, 2u);
+    EXPECT_EQ(server_->shardStatsSnapshot(1).connections, 2u);
+    EXPECT_EQ(server_->shardStatsSnapshot(0).clients, 2u);
+    EXPECT_EQ(server_->shardStatsSnapshot(1).clients, 2u);
+    EXPECT_EQ(server_->statsSnapshot().connections, 4u);
+
+    // Jobs admitted on a non-zero shard are answered on it.
+    CallResult r = clients[1].call(5, Command::Verify, "li", 0, 0,
+                                   false, 120'000);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(server_->shardStatsSnapshot(1).jobsCompleted, 1u);
+    EXPECT_EQ(server_->shardStatsSnapshot(0).jobsCompleted, 0u);
+}
+
+TEST_F(DaemonShardTest, WholeDaemonSnapshotEqualsSumOfShards)
+{
+    startServer(baseConfig(3));
+    std::vector<DaemonClient> clients;
+    for (int i = 0; i < 3; ++i)
+        clients.push_back(connectedClient());
+    for (size_t i = 0; i < clients.size(); ++i) {
+        CallResult r = clients[i].call(10 + i, Command::Verify, "li",
+                                       i % 2, 0, false, 120'000);
+        ASSERT_TRUE(r.ok) << r.error;
+    }
+
+    // Quiesce the loops (drain) so no counter moves mid-comparison;
+    // the server object stays alive for the probes.
+    server_->requestShutdown();
+    serverThread_.join();
+
+    DaemonStatsSnapshot summed;
+    for (size_t i = 0; i < server_->shardCount(); ++i)
+        summed.accumulate(server_->shardStatsSnapshot(i));
+    EXPECT_EQ(snapshotJson(summed),
+              snapshotJson(server_->statsSnapshot()));
+    EXPECT_EQ(summed.jobsCompleted, 3u);
+    EXPECT_EQ(summed.connections, 3u);
+}
+
+TEST_F(DaemonShardTest, TcpFrontEndAnswersByteIdenticalToUnixSocket)
+{
+    DaemonConfig cfg = baseConfig(2);
+    cfg.listenAddress = "127.0.0.1:0";
+    startServer(cfg);
+    ASSERT_NE(server_->tcpPort(), 0);
+
+    DaemonClient unix_client = connectedClient();
+    DaemonClient tcp_client;
+    std::string error;
+    ASSERT_TRUE(tcp_client.connect(
+        "127.0.0.1:" + std::to_string(server_->tcpPort()), &error))
+        << error;
+
+    // A fixed trace_id pins every daemon-chosen field, so the full
+    // response LINES must match byte for byte across transports.
+    const std::string req =
+        R"({"id": 7, "cmd": "verify", "workload": "li", "input": 0,)"
+        R"( "trace_id": 42})";
+    CallResult via_unix = unix_client.call(req, 7, 120'000);
+    CallResult via_tcp = tcp_client.call(req, 7, 120'000);
+    ASSERT_TRUE(via_unix.ok) << via_unix.error;
+    ASSERT_TRUE(via_tcp.ok) << via_tcp.error;
+    EXPECT_EQ(via_unix.raw, via_tcp.raw);
+}
+
+// ------------------------------------------------------------------ //
+// Multi-process cooperation over one trace cache.
+// ------------------------------------------------------------------ //
+
+TEST_F(DaemonShardTest, ClusterStatsAggregatesTwoDaemonsOnOneCache)
+{
+    std::string cache = freshCacheDir();
+
+    DaemonConfig cfg_a = baseConfig(2);
+    cfg_a.session.traceCacheDir = cache;
+    DaemonConfig cfg_b = baseConfig(1);
+    cfg_b.session.traceCacheDir = cache;
+
+    startServer(cfg_a);
+    DaemonServer server_b(cfg_b);
+    std::string error;
+    ASSERT_TRUE(server_b.start(&error)) << error;
+    std::thread thread_b([&server_b] { server_b.run(); });
+
+    // One (workload, input) profiled from BOTH daemons — the job
+    // that interprets through the trace repository, so trace-once
+    // must hold cluster-wide via the shared cache + flock (verify
+    // executes the Machine directly and never touches the cache).
+    DaemonClient client_a = connectedClient();
+    DaemonClient client_b;
+    ASSERT_TRUE(client_b.connect(cfg_b.socketPath, &error)) << error;
+    CallResult job_a = client_a.call(1, Command::Profile, "li", 0, 0,
+                                     false, 120'000);
+    ASSERT_TRUE(job_a.ok) << job_a.error;
+    CallResult job_b = client_b.call(2, Command::Profile, "li", 0, 0,
+                                     false, 120'000);
+    ASSERT_TRUE(job_b.ok) << job_b.error;
+    // Byte-identical digests: the cache-loading daemon computed the
+    // same profile as the interpreting one.
+    EXPECT_EQ(renderJson(*job_a.response.get("result")),
+              renderJson(*job_b.response.get("result")));
+
+    // cluster-stats on B first REFRESHES B's member file (publish
+    // precedes aggregate), so A's aggregate below sees B's completed
+    // job, not B's startup snapshot.
+    CallResult cs_b = client_b.call(3, Command::ClusterStats, "", 0, 0,
+                                    false, 30'000);
+    ASSERT_TRUE(cs_b.ok) << cs_b.error;
+    CallResult cs_a = client_a.call(4, Command::ClusterStats, "", 0, 0,
+                                    false, 30'000);
+    ASSERT_TRUE(cs_a.ok) << cs_a.error;
+
+    const report::JsonValue *result = cs_a.response.get("result");
+    ASSERT_TRUE(result);
+    EXPECT_EQ(result->numberOr("processes", 0), 2.0);
+    EXPECT_EQ(result->numberOr("stale_members", -1), 0.0);
+    const report::JsonValue *pids = result->get("pids");
+    ASSERT_TRUE(pids && pids->isArray());
+    EXPECT_EQ(pids->asArray().size(), 2u);
+
+    const report::JsonValue *cluster = result->get("cluster");
+    ASSERT_TRUE(cluster);
+    // THE scale-out invariant: one VM interpretation for (li, 0)
+    // across the whole cluster — whichever daemon got there second
+    // loaded the trace from the shared cache instead of re-running.
+    EXPECT_EQ(cluster->get("trace")->numberOr("vm_runs", -1), 1.0);
+    // The aggregate equals the sum of the members' own stats.
+    double own_a = server_->statsSnapshot().jobsCompleted;
+    double own_b = server_b.statsSnapshot().jobsCompleted;
+    EXPECT_EQ(
+        cluster->get("daemon")->numberOr("jobs_completed", -1),
+        own_a + own_b);
+    EXPECT_EQ(own_a, 1.0);
+    EXPECT_EQ(own_b, 1.0);
+
+    server_b.requestShutdown();
+    thread_b.join();
+}
+
+// ------------------------------------------------------------------ //
+// Prometheus exposition: shard labels, lint-clean grammar.
+// ------------------------------------------------------------------ //
+
+TEST_F(DaemonShardTest, PrometheusExpositionCarriesShardLabels)
+{
+    if (!telemetry::kEnabled)
+        GTEST_SKIP() << "telemetry disabled at build time";
+    startServer(baseConfig(2));
+    DaemonClient c0 = connectedClient();
+    DaemonClient c1 = connectedClient();
+
+    CallResult metrics = c0.call(
+        R"({"id": 9, "cmd": "metrics", "format": "prometheus"})", 9,
+        30'000);
+    ASSERT_TRUE(metrics.ok) << metrics.error;
+    std::string text =
+        metrics.response.get("result")->stringOr("text", "");
+    ASSERT_FALSE(text.empty());
+
+    // Both shards took a connection, so both labeled series exist —
+    // alongside the unlabeled process-wide aggregate.
+    EXPECT_NE(text.find("vpprof_daemon_shard_connections_total"
+                        "{shard=\"0\"} "),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("vpprof_daemon_shard_connections_total"
+                        "{shard=\"1\"} "),
+              std::string::npos);
+    EXPECT_NE(text.find("vpprof_daemon_connections_total 2"),
+              std::string::npos);
+    // Histogram series compose the shard label with `le`.
+    EXPECT_NE(text.find("vpprof_daemon_shard_job_latency_us_bucket"
+                        "{shard=\"0\",le=\""),
+              std::string::npos);
+
+    // Every line satisfies the same exposition grammar the CI lint
+    // enforces over the --metrics-listen file.
+    const std::regex line_re(
+        R"(^(#.*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [0-9eE.+-]+(\s[0-9]+)?))");
+    std::istringstream lines(text);
+    std::string line;
+    size_t checked = 0;
+    while (std::getline(lines, line)) {
+        if (line.empty())
+            continue;
+        EXPECT_TRUE(std::regex_match(line, line_re))
+            << "lint-breaking line: " << line;
+        ++checked;
+    }
+    EXPECT_GT(checked, 10u);
+}
+
+// ------------------------------------------------------------------ //
+// The drain contract covers EVERY shard (regression: only shard 0's
+// subscriber rings and outputs were flushed).
+// ------------------------------------------------------------------ //
+
+TEST_F(DaemonShardTest, DrainFlushesSubscriberRingsOnEveryShard)
+{
+    if (!telemetry::kEnabled)
+        GTEST_SKIP() << "telemetry disabled at build time";
+    startServer(baseConfig(2));
+
+    // Connections 0,1 land on shards 0,1 and subscribe; connections
+    // 2,3 land on shards 0,1 and each admit a job. Each subscriber
+    // watches the job served by ITS shard (lifecycle fan-out is
+    // shard-local).
+    DaemonClient sub0 = connectedClient();
+    DaemonClient sub1 = connectedClient();
+    for (DaemonClient *sub : {&sub0, &sub1}) {
+        CallResult r = sub->call(
+            R"({"id": 1, "cmd": "subscribe", "events": "lifecycle"})",
+            1, 5000);
+        ASSERT_TRUE(r.ok) << r.error;
+    }
+    DaemonClient job0 = connectedClient();
+    DaemonClient job1 = connectedClient();
+
+    // progress=true: the `accepted` event proves ADMISSION before the
+    // drain begins (a drain-rejected job would void the test).
+    const std::string job_line =
+        R"({"id": 2, "cmd": "verify", "workload": "li", "input": 0,)"
+        R"( "progress": true})";
+    ASSERT_TRUE(job0.sendLine(job_line));
+    ASSERT_TRUE(job1.sendLine(job_line));
+    for (DaemonClient *job : {&job0, &job1}) {
+        std::optional<std::string> accepted = job->readLine(30'000);
+        ASSERT_TRUE(accepted) << job->lastError();
+        EXPECT_NE(accepted->find("\"accepted\""), std::string::npos)
+            << *accepted;
+    }
+
+    // Drain mid-flight. The contract: BOTH admitted jobs complete,
+    // and BOTH shards' subscribers receive the completed lifecycle
+    // event before their connection closes with a clean EOF.
+    server_->requestShutdown();
+
+    for (DaemonClient *sub : {&sub0, &sub1}) {
+        bool saw_completed = false;
+        while (auto line = sub->readLine(120'000)) {
+            if (line->find("\"completed\"") != std::string::npos)
+                saw_completed = true;
+        }
+        EXPECT_TRUE(saw_completed)
+            << "subscriber missed the completed event; last error: "
+            << sub->lastError();
+        EXPECT_EQ(sub->lastReason(), CallReason::Eof);
+    }
+    EXPECT_EQ(stopServer(), 0);
+}
+
+} // namespace
+} // namespace daemon
+} // namespace vpprof

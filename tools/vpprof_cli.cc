@@ -98,7 +98,9 @@ usage()
                  "  --perf-counter-margin PCT counter regression "
                  "margin (default 0)\n"
                  "daemon client (daemon-client command only):\n"
-                 "  --socket PATH     vpprofd Unix-domain socket\n"
+                 "  --socket PATH     vpprofd Unix-domain socket, or "
+                 "host:port for\n"
+                 "                    a daemon serving --listen\n"
                  "  --timeout-ms N    per-attempt round-trip bound "
                  "(default 120000)\n"
                  "  --retries N       attempts on retryable failures "
@@ -115,6 +117,8 @@ usage()
                  "lifecycle events (0,1]\n"
                  "  --journal-limit N journal: newest N events only "
                  "(0 = all retained)\n"
+                 "  --trace-id N      pin the job's trace id instead "
+                 "of minting one\n"
                  "  --max-events N    subscribe: exit 0 after N "
                  "event lines\n"
                  "  --duration-ms N   subscribe: exit 0 after N ms "
@@ -161,7 +165,10 @@ usage()
                  "           cmd: ping | profile | evaluate | verify | "
                  "stats | shutdown\n"
                  "                | cancel <target-id> | metrics | "
-                 "journal | subscribe;\n"
+                 "journal | subscribe\n"
+                 "                | cluster-stats (stats summed across "
+                 "daemons sharing\n"
+                 "                  the trace cache);\n"
                  "           prints the daemon's JSON response line on "
                  "stdout\n"
                  "           (subscribe then streams telemetry event "
@@ -593,6 +600,7 @@ struct DaemonClientOptions
     std::string events;            ///< subscribe: event-class filter
     double eventSampleRate = 1.0;  ///< subscribe: delivery fraction
     uint64_t journalLimit = 0;     ///< journal: newest-N bound
+    uint64_t traceId = 0;          ///< client-chosen trace id; 0 = mint
     uint64_t maxEvents = 0;        ///< subscribe: stop after N lines
     uint64_t durationMs = 0;       ///< subscribe: stop after N ms
 };
@@ -666,7 +674,7 @@ cmdDaemonClient(const DaemonClientOptions &opt, int nrest, char **rest)
         vpprof_fatal("daemon-client requires a command "
                      "(ping | profile | evaluate | verify | stats | "
                      "shutdown | cancel | metrics | journal | "
-                     "subscribe)");
+                     "subscribe | cluster-stats)");
     std::optional<daemon::Command> cmd = daemon::parseCommand(rest[1]);
     if (!cmd)
         vpprof_fatal("unknown daemon command '", rest[1], "'");
@@ -675,6 +683,7 @@ cmdDaemonClient(const DaemonClientOptions &opt, int nrest, char **rest)
     req.id = 1;
     req.cmd = *cmd;
     req.deadlineMs = opt.deadlineMs;
+    req.traceId = opt.traceId;
     if (*cmd == daemon::Command::Cancel) {
         if (nrest < 3)
             vpprof_fatal("daemon command 'cancel' requires the target "
@@ -848,6 +857,12 @@ main(int argc, char **argv)
         } else if (flag == "--journal-limit") {
             daemon_opts.journalLimit =
                 parseUintFlag("--journal-limit", value);
+        } else if (flag == "--trace-id") {
+            // Pin the response's trace id instead of letting the
+            // daemon mint one: responses become byte-comparable
+            // across daemons (shard stripes mint different ids).
+            daemon_opts.traceId =
+                parseUintFlag("--trace-id", value);
         } else if (flag == "--max-events") {
             daemon_opts.maxEvents =
                 parseUintFlag("--max-events", value);

@@ -17,8 +17,10 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <sstream>
 #include <string>
 
+#include "common/atomic_file.hh"
 #include "common/logging.hh"
 #include "common/telemetry/telemetry.hh"
 #include "core/session.hh"
@@ -36,6 +38,20 @@ usage()
         stderr,
         "usage: vpprofd --socket PATH [flags]\n"
         "  --socket PATH        Unix-domain socket to serve (required)\n"
+        "  --shards N           event-loop shards fed round-robin from "
+        "the\n"
+        "                       listener (default 1)\n"
+        "  --listen HOST:PORT   additionally serve the protocol over "
+        "TCP\n"
+        "                       (port 0 picks a free one)\n"
+        "  --port-file FILE     write the bound TCP port to FILE "
+        "(atomic);\n"
+        "                       pairs with --listen 127.0.0.1:0\n"
+        "  --cluster-heartbeat-ms N  cadence of shared-cache stats\n"
+        "                       heartbeats for `cluster-stats` "
+        "(default 1000)\n"
+        "  --cluster-stale-ms N ignore cluster members older than N ms\n"
+        "                       (default 60000)\n"
         "  --jobs N             runner lanes (0 = all cores; default 2)\n"
         "  --trace-cache DIR    persistent trace cache shared with the "
         "CLI\n"
@@ -116,7 +132,7 @@ main(int argc, char **argv)
 {
     daemon::DaemonConfig cfg;
     cfg.session.jobs = 2;
-    std::string trace_json_path, metrics_out_path;
+    std::string trace_json_path, metrics_out_path, port_file_path;
     bool show_stats = false;
 
     for (int arg = 1; arg < argc; ++arg) {
@@ -126,6 +142,28 @@ main(int argc, char **argv)
             if (!value)
                 vpprof_fatal("--socket requires a path");
             cfg.socketPath = value;
+        } else if (flag == "--shards") {
+            cfg.shards = static_cast<size_t>(
+                parseUintFlag("--shards", value));
+            if (cfg.shards == 0)
+                vpprof_fatal("--shards must be >= 1 (got 0)");
+        } else if (flag == "--listen") {
+            if (!value)
+                vpprof_fatal("--listen requires host:port");
+            cfg.listenAddress = value;
+        } else if (flag == "--port-file") {
+            if (!value)
+                vpprof_fatal("--port-file requires a file path");
+            port_file_path = value;
+        } else if (flag == "--cluster-heartbeat-ms") {
+            cfg.clusterHeartbeatMs = parseUintFlag(
+                "--cluster-heartbeat-ms", value);
+            if (cfg.clusterHeartbeatMs == 0)
+                vpprof_fatal("--cluster-heartbeat-ms must be >= 1 "
+                             "(got 0)");
+        } else if (flag == "--cluster-stale-ms") {
+            cfg.clusterStaleMs = parseUintFlag(
+                "--cluster-stale-ms", value);
         } else if (flag == "--jobs") {
             cfg.session.jobs = static_cast<unsigned>(
                 parseUintFlag("--jobs", value));
@@ -221,7 +259,23 @@ main(int argc, char **argv)
     ::sigaction(SIGTERM, &sa, nullptr);
     ::sigaction(SIGINT, &sa, nullptr);
 
-    vpprof_inform("vpprofd: serving on ", cfg.socketPath, " (",
+    // The TCP port is only known after bind (--listen host:0): the
+    // port file is how a harness discovers it race-free.
+    if (!port_file_path.empty()) {
+        if (!writeFileAtomically(port_file_path,
+                                 std::to_string(server.tcpPort()) +
+                                     "\n"))
+            vpprof_fatal("vpprofd: cannot write --port-file ",
+                         port_file_path);
+    }
+
+    vpprof_inform("vpprofd: serving on ", cfg.socketPath,
+                  cfg.listenAddress.empty()
+                      ? std::string()
+                      : " + tcp port " + std::to_string(
+                            server.tcpPort()),
+                  " (", server.shardCount(), " shard",
+                  server.shardCount() == 1 ? "" : "s", ", ",
                   cfg.session.jobs == 0 ? std::string("all-core")
                                         : std::to_string(
                                               cfg.session.jobs),
